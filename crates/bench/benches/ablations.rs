@@ -1,0 +1,115 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * KRP prefix reuse on/off (sequential, isolating Algorithm 1's gain);
+//! * 2-step left vs right partial (vs the paper's `IL_n > IR_n` rule);
+//! * 1-step Algorithm 2 (explicit full KRP) vs Algorithm 3 with one
+//!   thread (streaming KRP blocks) — the paper's observation that the
+//!   parallel formulation is the better sequential algorithm too;
+//! * dimension-tree CP-ALS on/off (the future-work extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_core::{mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, TwoStepSide};
+use mttkrp_cpals::{cp_als, cp_als_dimtree, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_krp::{krp_naive, krp_reuse};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_workloads::{krp_input_rows, random_matrix};
+
+fn ablation_krp_reuse(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation/krp_reuse");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let c = 25;
+    let rows = krp_input_rows(4, 100_000);
+    let mats: Vec<Vec<f64>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| random_matrix(r, c, i as u64))
+        .collect();
+    let inputs: Vec<MatRef> = mats
+        .iter()
+        .zip(&rows)
+        .map(|(m, &r)| MatRef::from_slice(m, r, c, Layout::RowMajor))
+        .collect();
+    let j: usize = rows.iter().product();
+    let mut out = vec![0.0; j * c];
+    group.bench_function("reuse_on", |b| b.iter(|| krp_reuse(&inputs, &mut out)));
+    group.bench_function("reuse_off", |b| b.iter(|| krp_naive(&inputs, &mut out)));
+    group.finish();
+}
+
+fn ablation_twostep_side(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation/twostep_side");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let pool = ThreadPool::host();
+    // Asymmetric dims so the side choice matters: mode 1 has IL=32,
+    // IR=64*40 — the paper's rule picks Right here.
+    let fx = MttkrpFixture::with_dims(&[32, 24, 64, 40]);
+    let refs = fx.refs();
+    let n = 1;
+    let mut out = vec![0.0; fx.dims[n] * RANK];
+    for (name, side) in [
+        ("auto", TwoStepSide::Auto),
+        ("left", TwoStepSide::Left),
+        ("right", TwoStepSide::Right),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| mttkrp_2step_timed(&pool, &fx.x, &refs, n, &mut out, side))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_alg2_vs_alg3_seq(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation/onestep_seq_variant");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let one = ThreadPool::new(1);
+    let fx = MttkrpFixture::equal(4, 1_000_000);
+    let refs = fx.refs();
+    let n = 1;
+    let mut out = vec![0.0; fx.dims[n] * RANK];
+    group.bench_function("alg2_full_krp", |b| {
+        b.iter(|| mttkrp_1step_seq(&fx.x, &refs, n, &mut out))
+    });
+    group.bench_function("alg3_one_thread", |b| {
+        b.iter(|| mttkrp_1step(&one, &fx.x, &refs, n, &mut out))
+    });
+    group.finish();
+}
+
+fn ablation_dimtree(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation/dimtree");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let pool = ThreadPool::host();
+    let fx = MttkrpFixture::with_dims(&[24, 12, 24, 24]);
+    let init = KruskalModel::random(&fx.dims, 16, 42);
+    let opts = CpAlsOptions {
+        max_iters: 1,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
+    group.bench_function("standard", |b| {
+        b.iter(|| cp_als(&pool, &fx.x, init.clone(), &opts))
+    });
+    group.bench_function("dimtree", |b| {
+        b.iter(|| cp_als_dimtree(&pool, &fx.x, init.clone(), &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_krp_reuse,
+    ablation_twostep_side,
+    ablation_alg2_vs_alg3_seq,
+    ablation_dimtree
+);
+criterion_main!(ablations);

@@ -1,0 +1,53 @@
+//! Figure 5: MTTKRP time per mode — 1-step vs 2-step vs the baseline
+//! DGEMM, for N ∈ {3,4,5,6} equal-dimension tensors (scaled down from
+//! the paper's ≈750M entries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_core::baseline::baseline_gemm_only;
+use mttkrp_core::{mttkrp_1step, mttkrp_2step};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_workloads::random_matrix;
+
+const ENTRIES: usize = 2_000_000;
+
+fn bench_fig5(criterion: &mut Criterion) {
+    let pool = ThreadPool::host();
+    for nmodes in 3..=6 {
+        let fx = MttkrpFixture::equal(nmodes, ENTRIES);
+        let refs = fx.refs();
+        let mut group = criterion.benchmark_group(format!("fig5/N{nmodes}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(400));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+
+        for n in 0..nmodes {
+            let mut out = vec![0.0; fx.dims[n] * RANK];
+            group.bench_function(BenchmarkId::new("1step", n), |b| {
+                b.iter(|| mttkrp_1step(&pool, &fx.x, &refs, n, &mut out))
+            });
+            if n > 0 && n < nmodes - 1 {
+                group.bench_function(BenchmarkId::new("2step", n), |b| {
+                    b.iter(|| mttkrp_2step(&pool, &fx.x, &refs, n, &mut out))
+                });
+            }
+        }
+
+        // Baseline DGEMM of the middle mode's shape.
+        let n_mid = nmodes / 2;
+        let i_n = fx.dims[n_mid];
+        let i_neq = fx.x.len() / i_n;
+        let xv = MatRef::from_slice(fx.x.data(), i_n, i_neq, Layout::ColMajor);
+        let k = random_matrix(i_neq, RANK, 5);
+        let kv = MatRef::from_slice(&k, i_neq, RANK, Layout::ColMajor);
+        let mut out = vec![0.0; i_n * RANK];
+        group.bench_function("baseline_dgemm", |b| {
+            b.iter(|| baseline_gemm_only(&pool, xv, kv, &mut out))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(fig5, bench_fig5);
+criterion_main!(fig5);

@@ -1,0 +1,56 @@
+//! Shared fixtures for the Criterion benches (one bench target per
+//! paper figure, plus ablations). Sizes are scaled down from the paper
+//! (≈750M-entry tensors) so `cargo bench` completes in minutes on one
+//! core; the harness binary (`mttkrp-harness`) regenerates the actual
+//! figure tables, including modeled 12-thread series.
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_tensor::DenseTensor;
+use mttkrp_workloads::{equal_dims, random_factors};
+
+/// Rank used throughout the figure benches (paper: C = 25).
+pub const RANK: usize = 25;
+
+/// An equal-dims tensor plus factor matrices for MTTKRP benches.
+pub struct MttkrpFixture {
+    /// The dense input tensor.
+    pub x: DenseTensor,
+    /// Row-major `I_n × C` factors.
+    pub factors: Vec<Vec<f64>>,
+    /// Tensor dimensions.
+    pub dims: Vec<usize>,
+}
+
+impl MttkrpFixture {
+    /// Build an order-`nmodes` fixture with ≈`entries` total entries.
+    pub fn equal(nmodes: usize, entries: usize) -> Self {
+        let dims = equal_dims(nmodes, entries);
+        Self::with_dims(&dims)
+    }
+
+    /// Fixture with explicit dimensions (fMRI shapes).
+    pub fn with_dims(dims: &[usize]) -> Self {
+        let mut k = 9u64;
+        let x = DenseTensor::from_fn(dims, || {
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((k >> 40) as f64) * 2e-8 - 0.5
+        });
+        let factors = random_factors(dims, RANK, 17);
+        MttkrpFixture {
+            x,
+            factors,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Borrowed factor views.
+    pub fn refs(&self) -> Vec<MatRef<'_>> {
+        self.factors
+            .iter()
+            .zip(&self.dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, RANK, Layout::RowMajor))
+            .collect()
+    }
+}

@@ -1,0 +1,458 @@
+//! Cache-blocked matrix-matrix multiply: `C ← α·A·B + β·C`.
+//!
+//! Classic three-level blocking (BLIS-style): panels of `A` and `B` are
+//! packed into contiguous buffers sized for cache residency, and a
+//! register-tiled `MR × NR` microkernel accumulates into `C`. Transposes
+//! and layouts are expressed through the strides of the [`MatRef`]
+//! views, so one entry point serves every case in the MTTKRP algorithms
+//! (column-major `X(0)`, row-major tensor blocks, transposed
+//! matricizations, strided submatrices).
+//!
+//! [`par_gemm`] statically partitions the larger output dimension across
+//! a thread pool, mirroring how the paper invokes multithreaded MKL.
+
+use mttkrp_parallel::{block_range, ThreadPool};
+
+use crate::mat::{MatMut, MatRef};
+
+/// Microkernel tile height (rows of C per register tile).
+const MR: usize = 4;
+/// Microkernel tile width (columns of C per register tile).
+const NR: usize = 8;
+/// K-dimension cache block (sized so an `MR × KC` strip of packed A and a
+/// `KC × NR` strip of packed B stay L1/L2-resident).
+const KC: usize = 256;
+/// M-dimension cache block (packed A panel is `MC × KC` ≈ 512 KiB / 4).
+const MC: usize = 64;
+/// N-dimension cache block (packed B panel is `KC × NC`).
+const NC: usize = 1024;
+
+/// `C ← α·A·B + β·C` for arbitrarily strided views.
+///
+/// # Panics
+/// Panics on dimension mismatch (`A: m×k`, `B: k×n`, `C: m×n`).
+pub fn gemm(alpha: f64, a: MatRef, b: MatRef, beta: f64, mut c: MatMut) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    assert_eq!(b.nrows(), k, "inner dimensions must agree");
+    assert_eq!(c.nrows(), m, "output rows must match A");
+    assert_eq!(c.ncols(), n, "output columns must match B");
+
+    scale_c(&mut c, beta);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Small problems (e.g. the tiny per-block multiplies of the
+    // internal-mode 1-step MTTKRP on high-order tensors) skip packing:
+    // the panels would not amortize, and the accumulate loop below is
+    // register-friendly enough at these sizes.
+    if m * n * k <= 16 * 1024 {
+        small_kernel(alpha, &a, &b, &mut c);
+        return;
+    }
+
+    // Pack buffers are thread-local so repeated GEMM calls (one per
+    // tensor block) do not re-allocate or re-zero 2 MiB each time.
+    thread_local! {
+        static PACKS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    PACKS.with(|packs| {
+        let mut packs = packs.borrow_mut();
+        let (ref mut a_pack, ref mut b_pack) = *packs;
+        a_pack.resize(MC * KC, 0.0);
+        b_pack.resize(KC * NC, 0.0);
+        gemm_blocked(alpha, &a, &b, &mut c, a_pack, b_pack);
+    });
+}
+
+/// Unpacked accumulation kernel for small problems:
+/// `C += α·A·B` (C already scaled by β).
+fn small_kernel(alpha: f64, a: &MatRef, b: &MatRef, c: &mut MatMut) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += unsafe { a.get_unchecked(i, p) * b.get_unchecked(p, j) };
+            }
+            unsafe {
+                let old = c.get_unchecked(i, j);
+                c.set_unchecked(i, j, old + alpha * s);
+            }
+        }
+    }
+}
+
+/// The packed, blocked path of [`gemm`].
+fn gemm_blocked(
+    alpha: f64,
+    a: &MatRef,
+    b: &MatRef,
+    c: &mut MatMut,
+    a_pack: &mut [f64],
+    b_pack: &mut [f64],
+) {
+    let (m, k) = (a.nrows(), a.ncols());
+    let n = b.ncols();
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = usize::min(NC, n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = usize::min(KC, k - pc);
+            pack_b(b_pack, b, pc, jc, kc, nc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = usize::min(MC, m - ic);
+                pack_a(a_pack, a, ic, pc, mc, kc);
+                macro_kernel(alpha, a_pack, b_pack, c, ic, jc, mc, nc, kc);
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Scale `C` by `beta` in place (`beta == 0` overwrites, so NaNs in
+/// uninitialized output memory do not propagate).
+fn scale_c(c: &mut MatMut, beta: f64) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.fill(0.0);
+        return;
+    }
+    for i in 0..c.nrows() {
+        for j in 0..c.ncols() {
+            unsafe {
+                let v = c.get_unchecked(i, j);
+                c.set_unchecked(i, j, v * beta);
+            }
+        }
+    }
+}
+
+/// Pack an `mc × kc` panel of A starting at `(ic, pc)` into micro-panels
+/// of `MR` rows, column-major within each micro-panel
+/// (`a_pack[panel][p * MR + i]`). Rows past `mc` are zero-padded.
+fn pack_a(a_pack: &mut [f64], a: &MatRef, ic: usize, pc: usize, mc: usize, kc: usize) {
+    let mut dst = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let mr = usize::min(MR, mc - ir);
+        for p in 0..kc {
+            for i in 0..MR {
+                a_pack[dst] = if i < mr {
+                    unsafe { a.get_unchecked(ic + ir + i, pc + p) }
+                } else {
+                    0.0
+                };
+                dst += 1;
+            }
+        }
+        ir += MR;
+    }
+}
+
+/// Pack a `kc × nc` panel of B starting at `(pc, jc)` into micro-panels
+/// of `NR` columns, row-major within each micro-panel
+/// (`b_pack[panel][p * NR + j]`). Columns past `nc` are zero-padded.
+fn pack_b(b_pack: &mut [f64], b: &MatRef, pc: usize, jc: usize, kc: usize, nc: usize) {
+    let mut dst = 0;
+    let mut jr = 0;
+    while jr < nc {
+        let nr = usize::min(NR, nc - jr);
+        for p in 0..kc {
+            for j in 0..NR {
+                b_pack[dst] = if j < nr {
+                    unsafe { b.get_unchecked(pc + p, jc + jr + j) }
+                } else {
+                    0.0
+                };
+                dst += 1;
+            }
+        }
+        jr += NR;
+    }
+}
+
+/// Multiply one packed `mc × kc` A panel by one packed `kc × nc` B panel,
+/// accumulating `α · (panel product)` into `C[ic.., jc..]`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    alpha: f64,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    c: &mut MatMut,
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let mut jr = 0;
+    while jr < nc {
+        let nr = usize::min(NR, nc - jr);
+        let b_panel = &b_pack[(jr / NR) * (kc * NR)..][..kc * NR];
+        let mut ir = 0;
+        while ir < mc {
+            let mr = usize::min(MR, mc - ir);
+            let a_panel = &a_pack[(ir / MR) * (kc * MR)..][..kc * MR];
+            let acc = micro_kernel(kc, a_panel, b_panel);
+            // Write back the valid `mr × nr` corner of the register tile.
+            for i in 0..mr {
+                for j in 0..nr {
+                    unsafe {
+                        let old = c.get_unchecked(ic + ir + i, jc + jr + j);
+                        c.set_unchecked(ic + ir + i, jc + jr + j, old + alpha * acc[i][j]);
+                    }
+                }
+            }
+            ir += MR;
+        }
+        jr += NR;
+    }
+}
+
+/// Register-tiled `MR × NR` rank-`kc` update on packed panels.
+///
+/// The accumulator lives in `MR × NR` locals; with `MR = 4`, `NR = 8`
+/// LLVM vectorizes the inner loop into FMA lanes.
+#[inline(always)]
+fn micro_kernel(kc: usize, a_panel: &[f64], b_panel: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    for p in 0..kc {
+        let a = &a_panel[p * MR..p * MR + MR];
+        let b = &b_panel[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+    acc
+}
+
+/// Parallel `C ← α·A·B + β·C`: the larger output dimension is statically
+/// partitioned into one contiguous block per pool thread, each of which
+/// runs the sequential [`gemm`] on its disjoint slice of `C`.
+pub fn par_gemm(pool: &ThreadPool, alpha: f64, a: MatRef, b: MatRef, beta: f64, c: MatMut) {
+    let t = pool.num_threads();
+    let (m, n) = (c.nrows(), c.ncols());
+    if t == 1 || m * n == 0 {
+        gemm(alpha, a, b, beta, c);
+        return;
+    }
+    let k = a.ncols();
+    let split_cols = n >= m;
+    let nsplit = usize::min(t, if split_cols { n } else { m });
+
+    // Carve C into per-thread disjoint blocks ahead of the region.
+    let mut blocks: Vec<Option<MatMut>> = Vec::with_capacity(t);
+    let mut rest = c;
+    for tid in 0..t {
+        if tid >= nsplit {
+            blocks.push(None);
+            continue;
+        }
+        let r = block_range(if split_cols { n } else { m }, nsplit, tid);
+        if split_cols {
+            let (head, tail) = rest.split_cols_at(r.len());
+            blocks.push(Some(head));
+            rest = tail;
+        } else {
+            let (head, tail) = rest.split_rows_at(r.len());
+            blocks.push(Some(head));
+            rest = tail;
+        }
+    }
+
+    let mut items: Vec<Option<MatMut>> = blocks;
+    pool.run_with_private(
+        |tid| items[tid].take(),
+        |ctx, item| {
+            if let Some(cblk) = item.take() {
+                let r = block_range(if split_cols { n } else { m }, nsplit, ctx.thread_id);
+                if split_cols {
+                    gemm(alpha, a, b.submatrix(0, r.start, k, r.len()), beta, cblk);
+                } else {
+                    gemm(alpha, a.submatrix(r.start, 0, r.len(), k), b, beta, cblk);
+                }
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Layout;
+
+    /// Definition-by-summation oracle.
+    fn naive_gemm(alpha: f64, a: &MatRef, b: &MatRef, beta: f64, c: &mut [f64], n: usize) {
+        let m = a.nrows();
+        let k = a.ncols();
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                c[i * n + j] = alpha * s + beta * c[i * n + j];
+            }
+        }
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        // Small deterministic LCG so the test has no RNG dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn check_case(m: usize, n: usize, k: usize, la: Layout, lb: Layout, alpha: f64, beta: f64) {
+        let a_data = rand_vec(m * k, (m * 31 + k) as u64);
+        let b_data = rand_vec(k * n, (k * 17 + n) as u64);
+        let a = MatRef::from_slice(&a_data, m, k, la);
+        let b = MatRef::from_slice(&b_data, k, n, lb);
+
+        let mut c_ref = rand_vec(m * n, 99);
+        let mut c_ours = c_ref.clone();
+        naive_gemm(alpha, &a, &b, beta, &mut c_ref, n);
+        gemm(alpha, a, b, beta, MatMut::from_slice(&mut c_ours, m, n, Layout::RowMajor));
+
+        for (i, (x, y)) in c_ours.iter().zip(c_ref.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-10 * (1.0 + y.abs()),
+                "m={m} n={n} k={k} idx={i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_small_sizes() {
+        for &(m, n, k) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 3, 9), (1, 8, 1), (4, 8, 256)] {
+            check_case(m, n, k, Layout::RowMajor, Layout::RowMajor, 1.0, 0.0);
+            check_case(m, n, k, Layout::ColMajor, Layout::RowMajor, 1.0, 0.0);
+            check_case(m, n, k, Layout::RowMajor, Layout::ColMajor, 1.0, 0.0);
+            check_case(m, n, k, Layout::ColMajor, Layout::ColMajor, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_blocked_sizes() {
+        // Cross the MC/KC/NC boundaries and the MR/NR tails.
+        for &(m, n, k) in &[(65, 9, 257), (130, 1030, 3), (63, 17, 300), (100, 25, 513)] {
+            check_case(m, n, k, Layout::ColMajor, Layout::RowMajor, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_combinations() {
+        for &(alpha, beta) in &[(1.0, 1.0), (2.5, 0.0), (0.0, 3.0), (-1.0, 0.5), (0.0, 0.0)] {
+            check_case(13, 11, 17, Layout::RowMajor, Layout::ColMajor, alpha, beta);
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a_data = vec![1.0; 4];
+        let b_data = vec![1.0; 4];
+        let a = MatRef::from_slice(&a_data, 2, 2, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 2, 2, Layout::RowMajor);
+        let mut c_data = vec![f64::NAN; 4];
+        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_data, 2, 2, Layout::RowMajor));
+        assert!(c_data.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn transposed_views_multiply_correctly() {
+        // C = A^T * B where A is stored 3x2 and viewed 2x3.
+        let a_data = rand_vec(6, 5);
+        let b_data = rand_vec(9, 6);
+        let a = MatRef::from_slice(&a_data, 3, 2, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 3, 3, Layout::RowMajor);
+        let at = a.t();
+
+        let mut c_ref = vec![0.0; 6];
+        naive_gemm(1.0, &at, &b, 0.0, &mut c_ref, 3);
+        let mut c_ours = vec![0.0; 6];
+        gemm(1.0, at, b, 0.0, MatMut::from_slice(&mut c_ours, 2, 3, Layout::RowMajor));
+        assert_eq!(c_ours, c_ref);
+    }
+
+    #[test]
+    fn column_major_output() {
+        let a_data = rand_vec(12, 7);
+        let b_data = rand_vec(20, 8);
+        let a = MatRef::from_slice(&a_data, 3, 4, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 4, 5, Layout::RowMajor);
+        let mut c_rm = vec![0.0; 15];
+        let mut c_cm = vec![0.0; 15];
+        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_rm, 3, 5, Layout::RowMajor));
+        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_cm, 3, 5, Layout::ColMajor));
+        let rm = MatRef::from_slice(&c_rm, 3, 5, Layout::RowMajor);
+        let cm = MatRef::from_slice(&c_cm, 3, 5, Layout::ColMajor);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(rm.get(i, j), cm.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn par_gemm_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        for &(m, n, k) in &[(37, 90, 64), (90, 7, 33), (4, 4, 4), (1, 100, 50)] {
+            let a_data = rand_vec(m * k, 1);
+            let b_data = rand_vec(k * n, 2);
+            let a = MatRef::from_slice(&a_data, m, k, Layout::ColMajor);
+            let b = MatRef::from_slice(&b_data, k, n, Layout::RowMajor);
+            let mut c_seq = rand_vec(m * n, 3);
+            let mut c_par = c_seq.clone();
+            gemm(1.5, a, b, 0.5, MatMut::from_slice(&mut c_seq, m, n, Layout::RowMajor));
+            par_gemm(&pool, 1.5, a, b, 0.5, MatMut::from_slice(&mut c_par, m, n, Layout::RowMajor));
+            for (x, y) in c_par.iter().zip(c_seq.iter()) {
+                assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn par_gemm_more_threads_than_rows() {
+        let pool = ThreadPool::new(8);
+        let a_data = rand_vec(6, 1);
+        let b_data = rand_vec(6, 2);
+        let a = MatRef::from_slice(&a_data, 3, 2, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 2, 3, Layout::RowMajor);
+        let mut c_par = vec![0.0; 9];
+        par_gemm(&pool, 1.0, a, b, 0.0, MatMut::from_slice(&mut c_par, 3, 3, Layout::RowMajor));
+        let mut c_seq = vec![0.0; 9];
+        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_seq, 3, 3, Layout::RowMajor));
+        assert_eq!(c_par, c_seq);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a_data = vec![0.0; 6];
+        let b_data = vec![0.0; 6];
+        let a = MatRef::from_slice(&a_data, 2, 3, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 2, 3, Layout::RowMajor); // inner dim mismatch
+        let mut c = vec![0.0; 4];
+        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c, 2, 2, Layout::RowMajor));
+    }
+}

@@ -1,0 +1,133 @@
+//! Vector (level-1) kernels.
+//!
+//! The Hadamard (element-wise) product is the workhorse of the row-wise
+//! Khatri-Rao product: every output row of a KRP is a Hadamard product of
+//! one row from each input factor matrix (§2.1 of the paper).
+
+/// Dot product `Σ x[i]·y[i]`.
+///
+/// Accumulates in four independent partial sums so the loop vectorizes
+/// and the rounding behaviour is deterministic for a given length.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let xb = &x[c * 4..c * 4 + 4];
+        let yb = &y[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            acc[l] += xb[l] * yb[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y ← y + α·x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← α·x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// `dst ← src`.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Hadamard product `out[i] = a[i]·b[i]`.
+#[inline]
+pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    assert_eq!(a.len(), out.len(), "hadamard output length mismatch");
+    for i in 0..out.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// In-place Hadamard product `a[i] *= b[i]`.
+#[inline]
+pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        *ai *= bi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..103).map(|i| i as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..103).map(|i| (i as f64 - 50.0) * 0.5).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_short_vectors() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scale_and_copy() {
+        let mut x = vec![1.0, -2.0, 4.0];
+        scale(-0.5, &mut x);
+        assert_eq!(x, vec![-0.5, 1.0, -2.0]);
+        let mut dst = vec![0.0; 3];
+        copy(&x, &mut dst);
+        assert_eq!(dst, x);
+    }
+
+    #[test]
+    fn hadamard_variants_agree() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut out = vec![0.0; 4];
+        hadamard(&a, &b, &mut out);
+        assert_eq!(out, vec![5.0, 12.0, 21.0, 32.0]);
+        let mut a2 = a.clone();
+        hadamard_assign(&mut a2, &b);
+        assert_eq!(a2, out);
+    }
+
+    #[test]
+    fn nrm2_is_euclidean() {
+        assert_eq!(nrm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dot_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

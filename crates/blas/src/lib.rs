@@ -1,0 +1,35 @@
+//! Dense BLAS kernels substituting for Intel MKL in the MTTKRP
+//! reproduction.
+//!
+//! The paper casts nearly all MTTKRP work as `DGEMM`/`DGEMV` on matrices
+//! that are column- or row-major *views* of tensor memory — the whole
+//! point of the 1-step/2-step algorithms is that tensor entries are never
+//! reordered, only reinterpreted. This crate therefore provides:
+//!
+//! * [`MatRef`]/[`MatMut`] — borrowed, arbitrarily strided 2-D views.
+//!   Row-major, column-major, transposed, and block-submatrix views are
+//!   all just stride choices, so a single [`gemm()`] entry point covers
+//!   every layout/transpose combination the algorithms need.
+//! * [`gemm()`] — cache-blocked, packing matrix multiply
+//!   (`C ← α·A·B + β·C`) with a register-tiled microkernel, plus
+//!   [`par_gemm`] which statically partitions the output across an
+//!   [`mttkrp_parallel::ThreadPool`] (how the paper uses multithreaded
+//!   MKL).
+//! * [`gemv()`] — matrix-vector multiply used by the 2-step multi-TTV.
+//! * [`level1`] — dot/axpy/scale/Hadamard vector kernels (the Hadamard
+//!   product is the inner operation of the row-wise Khatri-Rao product).
+//! * [`stream`] — the STREAM bandwidth benchmark (McCalpin) the paper
+//!   compares the KRP against in Figure 4.
+
+pub mod gemm;
+pub mod gemv;
+pub mod level1;
+pub mod mat;
+pub mod stream;
+pub mod syrk;
+
+pub use gemm::{gemm, par_gemm};
+pub use gemv::{gemv, par_gemv};
+pub use level1::{axpy, copy, dot, hadamard, hadamard_assign, scale};
+pub use mat::{Layout, MatMut, MatRef};
+pub use syrk::{par_syrk_t, syrk_t};

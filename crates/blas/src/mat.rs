@@ -1,0 +1,546 @@
+//! Borrowed, strided 2-D matrix views over `f64` storage.
+//!
+//! A view is `(ptr, nrows, ncols, row_stride, col_stride)`. Column-major
+//! storage is `rs == 1, cs == nrows`; row-major is `rs == ncols, cs == 1`;
+//! a transpose swaps the strides; a submatrix offsets the pointer. The
+//! matricization views in `mttkrp-tensor` are exactly such reinterpretations
+//! of tensor memory, which is how the algorithms avoid reordering entries.
+
+use std::marker::PhantomData;
+
+/// Memory order of a dense matrix backed by one contiguous slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Fortran order: element `(i, j)` at `i + j * nrows`.
+    ColMajor,
+    /// C order: element `(i, j)` at `i * ncols + j`.
+    RowMajor,
+}
+
+/// Immutable strided view of an `nrows × ncols` matrix of `f64`.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    ptr: *const f64,
+    nrows: usize,
+    ncols: usize,
+    rs: isize,
+    cs: isize,
+    _marker: PhantomData<&'a f64>,
+}
+
+// Safety: shared reads of f64 through the view; aliasing rules are those
+// of the underlying `&[f64]` borrow.
+unsafe impl Send for MatRef<'_> {}
+unsafe impl Sync for MatRef<'_> {}
+
+/// Mutable strided view of an `nrows × ncols` matrix of `f64`.
+///
+/// Distinct `MatMut` views handed to different threads must be disjoint;
+/// the splitting constructors ([`MatMut::split_rows_at`],
+/// [`MatMut::split_cols_at`]) guarantee this.
+pub struct MatMut<'a> {
+    ptr: *mut f64,
+    nrows: usize,
+    ncols: usize,
+    rs: isize,
+    cs: isize,
+    _marker: PhantomData<&'a mut f64>,
+}
+
+// Safety: exclusive access to the viewed elements, like `&mut [f64]`.
+unsafe impl Send for MatMut<'_> {}
+
+impl<'a> MatRef<'a> {
+    /// View a contiguous slice as an `nrows × ncols` matrix.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_slice(data: &'a [f64], nrows: usize, ncols: usize, layout: Layout) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "slice length must be nrows*ncols");
+        let (rs, cs) = match layout {
+            Layout::ColMajor => (1isize, nrows as isize),
+            Layout::RowMajor => (ncols as isize, 1isize),
+        };
+        MatRef { ptr: data.as_ptr(), nrows, ncols, rs, cs, _marker: PhantomData }
+    }
+
+    /// View with explicit strides (in elements).
+    ///
+    /// # Safety
+    /// Every element `(i, j)` with `i < nrows`, `j < ncols` must map to a
+    /// readable `f64` within the borrow that produced `ptr`, and the
+    /// mapping must stay within that allocation.
+    pub unsafe fn from_raw_parts(
+        ptr: *const f64,
+        nrows: usize,
+        ncols: usize,
+        rs: isize,
+        cs: isize,
+    ) -> Self {
+        MatRef { ptr, nrows, ncols, rs, cs, _marker: PhantomData }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row stride in elements.
+    #[inline]
+    pub fn row_stride(&self) -> isize {
+        self.rs
+    }
+
+    /// Column stride in elements.
+    #[inline]
+    pub fn col_stride(&self) -> isize {
+        self.cs
+    }
+
+    /// Element `(i, j)` without bounds checking.
+    ///
+    /// # Safety
+    /// `i < nrows && j < ncols`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+        unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
+    }
+
+    /// Element `(i, j)` with bounds checking.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        unsafe { self.get_unchecked(i, j) }
+    }
+
+    /// Transposed view (swaps dimensions and strides; no data movement).
+    #[inline]
+    pub fn t(&self) -> MatRef<'a> {
+        MatRef {
+            ptr: self.ptr,
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rs: self.cs,
+            cs: self.rs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Submatrix view of shape `nrows × ncols` starting at `(i, j)`.
+    #[inline]
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+        assert!(i + nrows <= self.nrows && j + ncols <= self.ncols, "submatrix out of bounds");
+        MatRef {
+            ptr: unsafe { self.ptr.offset(i as isize * self.rs + j as isize * self.cs) },
+            nrows,
+            ncols,
+            rs: self.rs,
+            cs: self.cs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Column `j` as a `nrows × 1` view.
+    #[inline]
+    pub fn col(&self, j: usize) -> MatRef<'a> {
+        self.submatrix(0, j, self.nrows, 1)
+    }
+
+    /// Row `i` as a `1 × ncols` view.
+    #[inline]
+    pub fn row(&self, i: usize) -> MatRef<'a> {
+        self.submatrix(i, 0, 1, self.ncols)
+    }
+
+    /// Row `i` as a slice, available when columns are contiguous
+    /// (`col_stride == 1`, i.e. row-major-like views).
+    #[inline]
+    pub fn row_slice(&self, i: usize) -> &'a [f64] {
+        assert_eq!(self.cs, 1, "row_slice requires contiguous rows (col_stride == 1)");
+        assert!(i < self.nrows, "row {i} out of bounds");
+        unsafe {
+            std::slice::from_raw_parts(self.ptr.offset(i as isize * self.rs), self.ncols)
+        }
+    }
+
+    /// Column `j` as a slice, available when rows are contiguous
+    /// (`row_stride == 1`, i.e. column-major-like views).
+    #[inline]
+    pub fn col_slice(&self, j: usize) -> &'a [f64] {
+        assert_eq!(self.rs, 1, "col_slice requires contiguous columns (row_stride == 1)");
+        assert!(j < self.ncols, "column {j} out of bounds");
+        unsafe {
+            std::slice::from_raw_parts(self.ptr.offset(j as isize * self.cs), self.nrows)
+        }
+    }
+
+    /// Copy into a freshly allocated `Vec` in the requested layout.
+    pub fn to_vec(&self, layout: Layout) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.nrows * self.ncols);
+        match layout {
+            Layout::ColMajor => {
+                for j in 0..self.ncols {
+                    for i in 0..self.nrows {
+                        out.push(unsafe { self.get_unchecked(i, j) });
+                    }
+                }
+            }
+            Layout::RowMajor => {
+                for i in 0..self.nrows {
+                    for j in 0..self.ncols {
+                        out.push(unsafe { self.get_unchecked(i, j) });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<'a> MatMut<'a> {
+    /// View a contiguous mutable slice as an `nrows × ncols` matrix.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_slice(data: &'a mut [f64], nrows: usize, ncols: usize, layout: Layout) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "slice length must be nrows*ncols");
+        let (rs, cs) = match layout {
+            Layout::ColMajor => (1isize, nrows as isize),
+            Layout::RowMajor => (ncols as isize, 1isize),
+        };
+        MatMut { ptr: data.as_mut_ptr(), nrows, ncols, rs, cs, _marker: PhantomData }
+    }
+
+    /// Mutable view with explicit strides (in elements).
+    ///
+    /// # Safety
+    /// As [`MatRef::from_raw_parts`], plus: the mapping `(i, j) → offset`
+    /// must be injective (no two indices alias) and the caller must hold
+    /// exclusive access to every mapped element.
+    pub unsafe fn from_raw_parts(
+        ptr: *mut f64,
+        nrows: usize,
+        ncols: usize,
+        rs: isize,
+        cs: isize,
+    ) -> Self {
+        MatMut { ptr, nrows, ncols, rs, cs, _marker: PhantomData }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row stride in elements.
+    #[inline]
+    pub fn row_stride(&self) -> isize {
+        self.rs
+    }
+
+    /// Column stride in elements.
+    #[inline]
+    pub fn col_stride(&self) -> isize {
+        self.cs
+    }
+
+    /// Immutable view of the same matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            ptr: self.ptr,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rs: self.rs,
+            cs: self.cs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reborrowed mutable view (shorter lifetime).
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            ptr: self.ptr,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rs: self.rs,
+            cs: self.cs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Transposed mutable view.
+    #[inline]
+    pub fn t(self) -> MatMut<'a> {
+        MatMut {
+            ptr: self.ptr,
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rs: self.cs,
+            cs: self.rs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Element `(i, j)` without bounds checking.
+    ///
+    /// # Safety
+    /// `i < nrows && j < ncols`.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+        unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
+    }
+
+    /// Write element `(i, j)` without bounds checking.
+    ///
+    /// # Safety
+    /// `i < nrows && j < ncols`.
+    #[inline(always)]
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+        unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) = v }
+    }
+
+    /// Element `(i, j)` with bounds checking.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        unsafe { self.get_unchecked(i, j) }
+    }
+
+    /// Write element `(i, j)` with bounds checking.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        unsafe { self.set_unchecked(i, j, v) }
+    }
+
+    /// Mutable submatrix of shape `nrows × ncols` starting at `(i, j)`,
+    /// consuming the view (use [`MatMut::as_mut`] first to keep it).
+    #[inline]
+    pub fn submatrix(self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'a> {
+        assert!(i + nrows <= self.nrows && j + ncols <= self.ncols, "submatrix out of bounds");
+        MatMut {
+            ptr: unsafe { self.ptr.offset(i as isize * self.rs + j as isize * self.cs) },
+            nrows,
+            ncols,
+            rs: self.rs,
+            cs: self.cs,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into the first `i` rows and the remaining rows (disjoint).
+    #[inline]
+    pub fn split_rows_at(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(i <= self.nrows, "split row {i} out of bounds");
+        let top = MatMut {
+            ptr: self.ptr,
+            nrows: i,
+            ncols: self.ncols,
+            rs: self.rs,
+            cs: self.cs,
+            _marker: PhantomData,
+        };
+        let bot = MatMut {
+            ptr: unsafe { self.ptr.offset(i as isize * self.rs) },
+            nrows: self.nrows - i,
+            ncols: self.ncols,
+            rs: self.rs,
+            cs: self.cs,
+            _marker: PhantomData,
+        };
+        (top, bot)
+    }
+
+    /// Split into the first `j` columns and the remaining columns.
+    #[inline]
+    pub fn split_cols_at(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
+        let (l, r) = self.t().split_rows_at(j);
+        (l.t(), r.t())
+    }
+
+    /// Mutable row `i` as a slice (requires `col_stride == 1`).
+    #[inline]
+    pub fn row_slice_mut(&mut self, i: usize) -> &mut [f64] {
+        assert_eq!(self.cs, 1, "row_slice_mut requires contiguous rows (col_stride == 1)");
+        assert!(i < self.nrows, "row {i} out of bounds");
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.offset(i as isize * self.rs), self.ncols)
+        }
+    }
+
+    /// Mutable column `j` as a slice (requires `row_stride == 1`).
+    #[inline]
+    pub fn col_slice_mut(&mut self, j: usize) -> &mut [f64] {
+        assert_eq!(self.rs, 1, "col_slice_mut requires contiguous columns (row_stride == 1)");
+        assert!(j < self.ncols, "column {j} out of bounds");
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.offset(j as isize * self.cs), self.nrows)
+        }
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: f64) {
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                unsafe { self.set_unchecked(i, j, v) };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MatRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MatRef({}x{}, rs={}, cs={})", self.nrows, self.ncols, self.rs, self.cs)
+    }
+}
+
+impl std::fmt::Debug for MatMut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MatMut({}x{}, rs={}, cs={})", self.nrows, self.ncols, self.rs, self.cs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(n: usize) -> Vec<f64> {
+        (0..n).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn col_major_indexing() {
+        let data = iota(6);
+        let m = MatRef::from_slice(&data, 2, 3, Layout::ColMajor);
+        // columns are [0,1], [2,3], [4,5]
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn row_major_indexing() {
+        let data = iota(6);
+        let m = MatRef::from_slice(&data, 2, 3, Layout::RowMajor);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let data = iota(6);
+        let m = MatRef::from_slice(&data, 2, 3, Layout::RowMajor);
+        let t = m.t();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_offsets() {
+        let data = iota(16);
+        let m = MatRef::from_slice(&data, 4, 4, Layout::RowMajor);
+        let s = m.submatrix(1, 2, 2, 2);
+        assert_eq!(s.get(0, 0), m.get(1, 2));
+        assert_eq!(s.get(1, 1), m.get(2, 3));
+    }
+
+    #[test]
+    fn row_and_col_slices() {
+        let data = iota(6);
+        let rm = MatRef::from_slice(&data, 2, 3, Layout::RowMajor);
+        assert_eq!(rm.row_slice(1), &[3.0, 4.0, 5.0]);
+        let cm = MatRef::from_slice(&data, 2, 3, Layout::ColMajor);
+        assert_eq!(cm.col_slice(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_slice_requires_contiguity() {
+        let data = iota(6);
+        let cm = MatRef::from_slice(&data, 2, 3, Layout::ColMajor);
+        let _ = cm.row_slice(0);
+    }
+
+    #[test]
+    fn to_vec_round_trips_layouts() {
+        let data = iota(6);
+        let rm = MatRef::from_slice(&data, 2, 3, Layout::RowMajor);
+        let cm_data = rm.to_vec(Layout::ColMajor);
+        let cm = MatRef::from_slice(&cm_data, 2, 3, Layout::ColMajor);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(rm.get(i, j), cm.get(i, j));
+            }
+        }
+        assert_eq!(cm.to_vec(Layout::RowMajor), data);
+    }
+
+    #[test]
+    fn split_rows_and_cols_are_disjoint_and_cover() {
+        let mut data = iota(12);
+        let m = MatMut::from_slice(&mut data, 3, 4, Layout::RowMajor);
+        let (mut top, mut bot) = m.split_rows_at(1);
+        assert_eq!(top.nrows(), 1);
+        assert_eq!(bot.nrows(), 2);
+        top.set(0, 0, -1.0);
+        bot.set(1, 3, -2.0);
+        assert_eq!(data[0], -1.0);
+        assert_eq!(data[11], -2.0);
+
+        let m = MatMut::from_slice(&mut data, 3, 4, Layout::RowMajor);
+        let (mut l, mut r) = m.split_cols_at(2);
+        assert_eq!(l.ncols(), 2);
+        assert_eq!(r.ncols(), 2);
+        l.set(0, 0, 7.0);
+        r.set(0, 0, 8.0);
+        assert_eq!(data[0], 7.0);
+        assert_eq!(data[2], 8.0);
+    }
+
+    #[test]
+    fn fill_touches_every_element() {
+        let mut data = iota(9);
+        let mut m = MatMut::from_slice(&mut data, 3, 3, Layout::ColMajor);
+        m.fill(2.5);
+        assert!(data.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_slice_length_panics() {
+        let data = iota(5);
+        let _ = MatRef::from_slice(&data, 2, 3, Layout::ColMajor);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let data = iota(4);
+        let m = MatRef::from_slice(&data, 2, 2, Layout::ColMajor);
+        let _ = m.get(2, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The STREAM sustainable-bandwidth benchmark (McCalpin), used by the
+//! paper as the memory-bound roofline for the Khatri-Rao product
+//! (Figure 4: "reading, scaling, and writing a matrix the same size as
+//! the output KRP matrix").
+
+use mttkrp_parallel::ThreadPool;
+
+/// `dst[i] = src[i]` (STREAM Copy: 2 words of traffic per element).
+pub fn stream_copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "stream length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// `dst[i] = α·src[i]` (STREAM Scale — the variant the paper reports).
+pub fn stream_scale(alpha: f64, src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "stream length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = alpha * s;
+    }
+}
+
+/// `dst[i] = a[i] + b[i]` (STREAM Add).
+pub fn stream_add(a: &[f64], b: &[f64], dst: &mut [f64]) {
+    assert_eq!(a.len(), dst.len(), "stream length mismatch");
+    assert_eq!(b.len(), dst.len(), "stream length mismatch");
+    for i in 0..dst.len() {
+        dst[i] = a[i] + b[i];
+    }
+}
+
+/// `dst[i] = a[i] + α·b[i]` (STREAM Triad).
+pub fn stream_triad(alpha: f64, a: &[f64], b: &[f64], dst: &mut [f64]) {
+    assert_eq!(a.len(), dst.len(), "stream length mismatch");
+    assert_eq!(b.len(), dst.len(), "stream length mismatch");
+    for i in 0..dst.len() {
+        dst[i] = a[i] + alpha * b[i];
+    }
+}
+
+/// Parallel STREAM Scale with static contiguous partitioning, the
+/// configuration benchmarked against the parallel KRP in Figure 4.
+pub fn par_stream_scale(pool: &ThreadPool, alpha: f64, src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "stream length mismatch");
+    pool.parallel_for_blocks(dst.len(), dst, |_, range, chunk| {
+        let s = &src[range];
+        for (d, &x) in chunk.iter_mut().zip(s.iter()) {
+            *d = alpha * x;
+        }
+    });
+}
+
+/// Measured bandwidth of one STREAM Scale pass, in bytes per second
+/// (16 bytes of traffic per element: one read + one write).
+pub fn measure_scale_bandwidth(pool: &ThreadPool, n: usize, trials: usize) -> f64 {
+    let src = vec![1.0f64; n];
+    let mut dst = vec![0.0f64; n];
+    // Warm up and fault in the pages.
+    par_stream_scale(pool, 1.5, &src, &mut dst);
+    let mut best = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        let t0 = std::time::Instant::now();
+        par_stream_scale(pool, 1.5, &src, &mut dst);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(&dst);
+    (16 * n) as f64 / best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_compute_expected_values() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 20.0, 30.0];
+        let mut d = vec![0.0; 3];
+        stream_copy(&a, &mut d);
+        assert_eq!(d, a);
+        stream_scale(2.0, &a, &mut d);
+        assert_eq!(d, vec![2.0, 4.0, 6.0]);
+        stream_add(&a, &b, &mut d);
+        assert_eq!(d, vec![11.0, 22.0, 33.0]);
+        stream_triad(0.5, &a, &b, &mut d);
+        assert_eq!(d, vec![6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn parallel_scale_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let src: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let mut seq = vec![0.0; src.len()];
+        let mut par = vec![0.0; src.len()];
+        stream_scale(3.0, &src, &mut seq);
+        par_stream_scale(&pool, 3.0, &src, &mut par);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn bandwidth_measurement_is_positive() {
+        let pool = ThreadPool::new(1);
+        let bw = measure_scale_bandwidth(&pool, 1 << 16, 2);
+        assert!(bw > 0.0 && bw.is_finite());
+    }
+}

@@ -1,0 +1,217 @@
+//! Symmetric rank-k update: `C ← α·AᵀA + β·C` (the `DSYRK` case used
+//! for CP-ALS Gram matrices `G = UᵀU`).
+//!
+//! Exploits symmetry: only the lower triangle is computed, then
+//! mirrored. For the tall-skinny factors of CP-ALS (`I_n × C` with
+//! small `C`) this is bandwidth-bound on reading `A`, so the kernel
+//! streams `A` once, accumulating all `C(C+1)/2` pairs per row block.
+
+use mttkrp_parallel::ThreadPool;
+
+use crate::mat::{Layout, MatMut, MatRef};
+
+/// `C ← α·AᵀA + β·C` with `A` an `m × n` view and `C` an `n × n`
+/// matrix. Both triangles of `C` are written (full symmetric result).
+pub fn syrk_t(alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+    let (m, n) = (a.nrows(), a.ncols());
+    assert_eq!(c.nrows(), n, "output must be n x n");
+    assert_eq!(c.ncols(), n, "output must be n x n");
+
+    // Scale/clear C first (lower triangle suffices, mirrored at the end,
+    // but clearing everything keeps the beta semantics obvious).
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for i in 0..n {
+            for j in 0..n {
+                unsafe {
+                    let v = c.get_unchecked(i, j);
+                    c.set_unchecked(i, j, v * beta);
+                }
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 {
+        return;
+    }
+
+    if a.col_stride() == 1 {
+        // Row-contiguous A (the CP-ALS factor layout): stream rows,
+        // accumulate outer products into the lower triangle.
+        let mut acc = vec![0.0f64; n * n];
+        for i in 0..m {
+            let row = a.row_slice(i);
+            for p in 0..n {
+                let rp = row[p];
+                if rp == 0.0 {
+                    continue;
+                }
+                let dst = &mut acc[p * n..p * n + p + 1];
+                for (q, d) in dst.iter_mut().enumerate() {
+                    *d += rp * row[q];
+                }
+            }
+        }
+        for p in 0..n {
+            for q in 0..=p {
+                let v = alpha * acc[p * n + q];
+                unsafe {
+                    let lo = c.get_unchecked(p, q);
+                    c.set_unchecked(p, q, lo + v);
+                    if p != q {
+                        let hi = c.get_unchecked(q, p);
+                        c.set_unchecked(q, p, hi + v);
+                    }
+                }
+            }
+        }
+    } else {
+        // Generic strides: pairwise column dot products.
+        for p in 0..n {
+            for q in 0..=p {
+                let mut s = 0.0;
+                for i in 0..m {
+                    s += unsafe { a.get_unchecked(i, p) * a.get_unchecked(i, q) };
+                }
+                let v = alpha * s;
+                unsafe {
+                    let lo = c.get_unchecked(p, q);
+                    c.set_unchecked(p, q, lo + v);
+                    if p != q {
+                        let hi = c.get_unchecked(q, p);
+                        c.set_unchecked(q, p, hi + v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel [`syrk_t`]: rows of `A` are statically partitioned and each
+/// thread accumulates a private `n × n` Gram, reduced at the end —
+/// exactly the thread-private-plus-reduction pattern of the MTTKRP
+/// algorithms.
+pub fn par_syrk_t(pool: &ThreadPool, alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+    let (m, n) = (a.nrows(), a.ncols());
+    let t = pool.num_threads();
+    if t == 1 || m < 4 * t {
+        syrk_t(alpha, a, beta, c);
+        return;
+    }
+    let privs = pool.run_with_private(
+        |_| vec![0.0f64; n * n],
+        |ctx, buf| {
+            let r = mttkrp_parallel::block_range(m, ctx.num_threads, ctx.thread_id);
+            if r.is_empty() {
+                return;
+            }
+            let blk = a.submatrix(r.start, 0, r.len(), n);
+            let mut view = MatMut::from_slice(buf, n, n, Layout::ColMajor);
+            syrk_t(1.0, blk, 0.0, &mut view);
+        },
+    );
+    // Combine private Grams into C with alpha/beta.
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for i in 0..n {
+            for j in 0..n {
+                unsafe {
+                    let v = c.get_unchecked(i, j);
+                    c.set_unchecked(i, j, v * beta);
+                }
+            }
+        }
+    }
+    for buf in &privs {
+        for i in 0..n {
+            for j in 0..n {
+                unsafe {
+                    let v = c.get_unchecked(i, j);
+                    c.set_unchecked(i, j, v + alpha * buf[i + j * n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn check(m: usize, n: usize, layout: Layout, alpha: f64, beta: f64) {
+        let a_data = data(m * n, (m * 7 + n) as u64);
+        let a = MatRef::from_slice(&a_data, m, n, layout);
+        let mut want = data(n * n, 3);
+        // Symmetrize the beta'd initial C so both paths agree exactly.
+        for i in 0..n {
+            for j in 0..i {
+                want[i + j * n] = want[j + i * n];
+            }
+        }
+        let mut got = want.clone();
+        gemm(alpha, a.t(), a, beta, MatMut::from_slice(&mut want, n, n, Layout::ColMajor));
+        let mut view = MatMut::from_slice(&mut got, n, n, Layout::ColMajor);
+        syrk_t(alpha, a, beta, &mut view);
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-10, "m={m} n={n} {layout:?}");
+        }
+    }
+
+    #[test]
+    fn matches_gemm_row_major() {
+        for &(m, n) in &[(1, 1), (5, 3), (64, 8), (33, 7)] {
+            check(m, n, Layout::RowMajor, 1.0, 0.0);
+            check(m, n, Layout::RowMajor, 2.0, 0.5);
+        }
+    }
+
+    #[test]
+    fn matches_gemm_col_major() {
+        for &(m, n) in &[(4, 4), (17, 5)] {
+            check(m, n, Layout::ColMajor, 1.0, 0.0);
+            check(m, n, Layout::ColMajor, -1.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn output_is_symmetric() {
+        let a_data = data(60, 9);
+        let a = MatRef::from_slice(&a_data, 12, 5, Layout::RowMajor);
+        let mut c = vec![0.0; 25];
+        let mut view = MatMut::from_slice(&mut c, 5, 5, Layout::ColMajor);
+        syrk_t(1.0, a, 0.0, &mut view);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(c[i + j * 5], c[j + i * 5]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let a_data = data(1000, 5);
+        let a = MatRef::from_slice(&a_data, 200, 5, Layout::RowMajor);
+        let mut seq = vec![0.5; 25];
+        let mut par = vec![0.5; 25];
+        let mut sv = MatMut::from_slice(&mut seq, 5, 5, Layout::ColMajor);
+        syrk_t(1.5, a, 2.0, &mut sv);
+        let mut pv = MatMut::from_slice(&mut par, 5, 5, Layout::ColMajor);
+        par_syrk_t(&pool, 1.5, a, 2.0, &mut pv);
+        for (x, y) in par.iter().zip(&seq) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

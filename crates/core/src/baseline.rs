@@ -1,0 +1,146 @@
+//! The Bader–Kolda baseline (§2.3): explicitly reorder the tensor into a
+//! column-major matricization, form the full KRP, and make one GEMM
+//! call. The reordering pass is purely memory-bound, which is exactly
+//! what the paper's algorithms eliminate.
+//!
+//! The paper's *plotted* "Baseline" is a lower bound on this approach —
+//! the time of the single DGEMM alone, ignoring reorder and KRP costs.
+//! [`baseline_gemm_only`] provides that operation for the harness.
+
+use mttkrp_blas::{par_gemm, Layout, MatMut, MatRef};
+use mttkrp_krp::{krp_reuse, krp_rows};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+
+use crate::breakdown::{timed, Breakdown};
+use crate::{krp_inputs, validate_factors};
+
+/// Full explicit-matricization MTTKRP: reorder + full KRP + one GEMM.
+///
+/// Output is row-major `I_n × C`, overwritten.
+pub fn mttkrp_explicit(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+    let _ = mttkrp_explicit_timed(pool, x, factors, n, out);
+}
+
+/// [`mttkrp_explicit`] with the per-phase breakdown (reorder / full KRP /
+/// DGEMM).
+pub fn mttkrp_explicit_timed(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) -> Breakdown {
+    let dims = x.dims();
+    assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
+    let c = validate_factors(dims, factors);
+    assert!(n < dims.len(), "mode {n} out of range");
+    let i_n = dims[n];
+    assert_eq!(out.len(), i_n * c, "output must be I_n × C");
+
+    let total_t0 = std::time::Instant::now();
+    let mut bd = Breakdown::default();
+
+    // Reorder tensor entries into an explicit column-major X(n).
+    let x_mat = timed(&mut bd.reorder, || x.materialize_unfolding(n, Layout::ColMajor));
+    let i_neq = x.info().i_neq(n);
+
+    // Form the full KRP explicitly.
+    let inputs = krp_inputs(factors, n);
+    debug_assert_eq!(krp_rows(&inputs), i_neq);
+    let mut k = vec![0.0; i_neq * c];
+    timed(&mut bd.full_krp, || krp_reuse(&inputs, &mut k));
+
+    // One (multithreaded) GEMM.
+    timed(&mut bd.dgemm, || {
+        let xv = MatRef::from_slice(&x_mat, i_n, i_neq, Layout::ColMajor);
+        let kv = MatRef::from_slice(&k, i_neq, c, Layout::RowMajor);
+        par_gemm(pool, 1.0, xv, kv, 0.0, MatMut::from_slice(out, i_n, c, Layout::RowMajor));
+    });
+
+    bd.total = total_t0.elapsed().as_secs_f64();
+    bd
+}
+
+/// The paper's plotted "Baseline": a single DGEMM between column-major
+/// matrices with the MTTKRP's shape (`I_n × I≠n` times `I≠n × C`),
+/// excluding reorder and KRP time. Operands are caller-provided so the
+/// harness can time exactly this call.
+pub fn baseline_gemm_only(pool: &ThreadPool, x_mat: MatRef, k: MatRef, out: &mut [f64]) {
+    let (m, c) = (x_mat.nrows(), k.ncols());
+    assert_eq!(out.len(), m * c, "output must be I_n × C");
+    par_gemm(pool, 1.0, x_mat, k, 0.0, MatMut::from_slice(out, m, c, Layout::ColMajor));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explicit_baseline_matches_oracle() {
+        let dims = [4usize, 3, 2, 3];
+        let c = 3;
+        let x = DenseTensor::from_vec(&dims, rand_vec(72, 1));
+        let factors: Vec<Vec<f64>> =
+            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 5)).collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(2);
+        for n in 0..dims.len() {
+            let mut want = vec![0.0; dims[n] * c];
+            let mut got = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            mttkrp_explicit(&pool, &x, &refs, n, &mut got);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "mode {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_has_reorder_krp_and_gemm_phases() {
+        let dims = [8usize, 8, 8];
+        let c = 4;
+        let x = DenseTensor::from_vec(&dims, rand_vec(512, 2));
+        let factors: Vec<Vec<f64>> = dims.iter().map(|&d| rand_vec(d * c, 9)).collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0.0; 8 * c];
+        let bd = mttkrp_explicit_timed(&pool, &x, &refs, 1, &mut out);
+        assert!(bd.reorder > 0.0);
+        assert!(bd.full_krp > 0.0);
+        assert!(bd.dgemm > 0.0);
+        assert_eq!(bd.dgemv, 0.0);
+        assert_eq!(bd.reduce, 0.0);
+    }
+
+    #[test]
+    fn gemm_only_baseline_multiplies() {
+        let pool = ThreadPool::new(2);
+        let x_mat = vec![1.0; 3 * 4];
+        let k = vec![2.0; 4 * 2];
+        let xv = MatRef::from_slice(&x_mat, 3, 4, Layout::ColMajor);
+        let kv = MatRef::from_slice(&k, 4, 2, Layout::ColMajor);
+        let mut out = vec![0.0; 6];
+        baseline_gemm_only(&pool, xv, kv, &mut out);
+        assert!(out.iter().all(|&v| (v - 8.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-phase timing breakdown of an MTTKRP call (Figures 6 and 8).
+
+use std::time::Instant;
+
+/// Wall-clock seconds spent in each phase of one MTTKRP invocation.
+///
+/// The categories match the paper's Figure 6 legend. Phases executed
+/// concurrently by several threads (the interleaved KRP/GEMM work of the
+/// internal-mode 1-step loop) report the **maximum** per-thread sum,
+/// which approximates the phase's wall-clock share.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Explicit tensor reordering (baseline only).
+    pub reorder: f64,
+    /// Forming the full KRP (1-step external modes; baseline).
+    pub full_krp: f64,
+    /// Forming left/right partial KRPs and per-block KRP rows
+    /// (1-step internal modes; 2-step lines 2–3).
+    pub lr_krp: f64,
+    /// Matrix-matrix multiplication time.
+    pub dgemm: f64,
+    /// Matrix-vector multiplication time (2-step multi-TTV).
+    pub dgemv: f64,
+    /// Final parallel reduction of thread-private outputs.
+    pub reduce: f64,
+    /// End-to-end wall time of the call.
+    pub total: f64,
+}
+
+impl Breakdown {
+    /// Sum of all categorized phase times (excludes `total`).
+    pub fn categorized(&self) -> f64 {
+        self.reorder + self.full_krp + self.lr_krp + self.dgemm + self.dgemv + self.reduce
+    }
+
+    /// Merge per-thread phase sums by taking the max per category —
+    /// the wall-clock approximation for concurrently executed phases.
+    pub fn max_merge(parts: &[Breakdown]) -> Breakdown {
+        let mut out = Breakdown::default();
+        for p in parts {
+            out.reorder = out.reorder.max(p.reorder);
+            out.full_krp = out.full_krp.max(p.full_krp);
+            out.lr_krp = out.lr_krp.max(p.lr_krp);
+            out.dgemm = out.dgemm.max(p.dgemm);
+            out.dgemv = out.dgemv.max(p.dgemv);
+            out.reduce = out.reduce.max(p.reduce);
+            out.total = out.total.max(p.total);
+        }
+        out
+    }
+
+    /// Add another breakdown category-wise (accumulating over CP-ALS
+    /// iterations or over modes).
+    pub fn accumulate(&mut self, other: &Breakdown) {
+        self.reorder += other.reorder;
+        self.full_krp += other.full_krp;
+        self.lr_krp += other.lr_krp;
+        self.dgemm += other.dgemm;
+        self.dgemv += other.dgemv;
+        self.reduce += other.reduce;
+        self.total += other.total;
+    }
+}
+
+/// Time a closure, adding the elapsed seconds to `slot`, and return its
+/// value.
+#[inline]
+pub(crate) fn timed<R>(slot: &mut f64, f: impl FnOnce() -> R) -> R {
+    let t0 = Instant::now();
+    let r = f();
+    *slot += t0.elapsed().as_secs_f64();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut slot = 0.0;
+        let v = timed(&mut slot, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(slot >= 0.004, "slot={slot}");
+        timed(&mut slot, || {});
+        assert!(slot >= 0.004);
+    }
+
+    #[test]
+    fn max_merge_takes_per_category_max() {
+        let a = Breakdown { dgemm: 2.0, lr_krp: 1.0, ..Default::default() };
+        let b = Breakdown { dgemm: 1.0, lr_krp: 3.0, ..Default::default() };
+        let m = Breakdown::max_merge(&[a, b]);
+        assert_eq!(m.dgemm, 2.0);
+        assert_eq!(m.lr_krp, 3.0);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = Breakdown { dgemm: 1.0, total: 2.0, ..Default::default() };
+        let b = Breakdown { dgemm: 0.5, total: 1.0, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.dgemm, 1.5);
+        assert_eq!(a.total, 3.0);
+        assert_eq!(a.categorized(), 1.5);
+    }
+}

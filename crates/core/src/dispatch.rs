@@ -1,0 +1,109 @@
+//! Per-mode algorithm selection, as used by the paper's CP-ALS driver
+//! (§5.3.3): 1-step for external modes (where the 2-step degenerates to
+//! it anyway) and 2-step for internal modes (where it wins or ties in
+//! every benchmark).
+
+use mttkrp_blas::MatRef;
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+
+use crate::breakdown::Breakdown;
+use crate::onestep::{mttkrp_1step, mttkrp_1step_timed};
+use crate::twostep::{mttkrp_2step, mttkrp_2step_timed, TwoStepSide};
+
+/// Classification of a mode for algorithm dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeKind {
+    /// Mode 0 or mode `N−1`: `X(n)` is a single strided matrix view.
+    External,
+    /// `0 < n < N−1`: `X(n)` is a sequence of `IR_n` blocks.
+    Internal,
+}
+
+impl ModeKind {
+    /// Classify mode `n` of an order-`order` tensor.
+    pub fn of(order: usize, n: usize) -> ModeKind {
+        assert!(n < order, "mode {n} out of range for order {order}");
+        if n == 0 || n == order - 1 {
+            ModeKind::External
+        } else {
+            ModeKind::Internal
+        }
+    }
+}
+
+/// MTTKRP with the per-mode best algorithm: 1-step for external modes,
+/// 2-step for internal modes. Output is row-major `I_n × C`.
+pub fn mttkrp_auto(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+    match ModeKind::of(x.order(), n) {
+        ModeKind::External => mttkrp_1step(pool, x, factors, n, out),
+        ModeKind::Internal => mttkrp_2step(pool, x, factors, n, out),
+    }
+}
+
+/// [`mttkrp_auto`] returning the phase breakdown.
+pub fn mttkrp_auto_timed(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) -> Breakdown {
+    match ModeKind::of(x.order(), n) {
+        ModeKind::External => mttkrp_1step_timed(pool, x, factors, n, out),
+        ModeKind::Internal => mttkrp_2step_timed(pool, x, factors, n, out, TwoStepSide::Auto),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+    use mttkrp_blas::Layout;
+
+    #[test]
+    fn mode_kinds() {
+        assert_eq!(ModeKind::of(3, 0), ModeKind::External);
+        assert_eq!(ModeKind::of(3, 1), ModeKind::Internal);
+        assert_eq!(ModeKind::of(3, 2), ModeKind::External);
+        assert_eq!(ModeKind::of(2, 1), ModeKind::External);
+        assert_eq!(ModeKind::of(6, 4), ModeKind::Internal);
+    }
+
+    #[test]
+    fn auto_matches_oracle_every_mode() {
+        let dims = [3usize, 4, 2, 3];
+        let c = 3;
+        let n_entries: usize = dims.iter().product();
+        let data: Vec<f64> = (0..n_entries).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let x = DenseTensor::from_vec(&dims, data);
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| (0..d * c).map(|i| ((i * 13 + k) % 7) as f64 - 3.0).collect())
+            .collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(3);
+        for n in 0..dims.len() {
+            let mut want = vec![0.0; dims[n] * c];
+            let mut got = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            mttkrp_auto(&pool, &x, &refs, n, &mut got);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "mode {n}");
+            }
+            let bd = mttkrp_auto_timed(&pool, &x, &refs, n, &mut got);
+            assert!(bd.total > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_mode_panics() {
+        let _ = ModeKind::of(3, 3);
+    }
+}

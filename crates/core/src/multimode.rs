@@ -1,0 +1,215 @@
+//! All-modes MTTKRP with shared partial results.
+//!
+//! Gradient-based CP optimizers (CP-OPT, Gauss-Newton, the paper's §2.2
+//! remark that "nearly all of them require computing and are
+//! bottlenecked by MTTKRP") need `M_n` for *every* mode at a fixed
+//! factor set. Computing them independently costs `N` full MTTKRPs;
+//! this module computes the whole set from **two** partial-MTTKRP GEMMs
+//! (left/right split, Phan et al. §III.C), the same reuse
+//! `mttkrp_cpals::cp_als_dimtree` applies inside ALS — but exposed at
+//! the kernel level, where no factor updates happen between modes.
+
+use mttkrp_blas::{gemv, par_gemm, Layout, MatMut, MatRef};
+use mttkrp_krp::{krp_rows, par_krp};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+
+use crate::validate_factors;
+
+/// Compute `M_n = X(n)·(⊙_{k≠n} U_k)` for every mode `n` at once,
+/// sharing the two group partials. Returns one row-major `I_n × C`
+/// matrix per mode.
+///
+/// Flops: `2·|X|·C` per partial GEMM (2 total) plus `O(|partial|·C)`
+/// multi-TTV work — versus `N · 2·|X|·C` for independent MTTKRPs.
+pub fn mttkrp_all_modes(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef]) -> Vec<Vec<f64>> {
+    let dims = x.dims().to_vec();
+    let nmodes = dims.len();
+    assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
+    let c = validate_factors(&dims, factors);
+
+    let s = nmodes.div_ceil(2);
+    let left_dims = &dims[..s];
+    let right_dims = &dims[s..];
+    let left_total: usize = left_dims.iter().product();
+    let right_total: usize = right_dims.iter().product();
+
+    let mut outputs: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d * c]).collect();
+
+    // Right partial: R = X(0:s−1) · KR  →  (Π left dims) × C, col-major.
+    {
+        let kr_inputs: Vec<MatRef> = factors[s..].iter().rev().copied().collect();
+        debug_assert_eq!(krp_rows(&kr_inputs), right_total);
+        let mut kr = vec![0.0; right_total * c];
+        par_krp(pool, &kr_inputs, &mut kr);
+        let mut r = vec![0.0; left_total * c];
+        par_gemm(
+            pool,
+            1.0,
+            x.unfold_leading(s - 1),
+            MatRef::from_slice(&kr, right_total, c, Layout::RowMajor),
+            0.0,
+            MatMut::from_slice(&mut r, left_total, c, Layout::ColMajor),
+        );
+        for n in 0..s {
+            group_multi_ttv(&r, left_dims, c, n, factors, 0, &mut outputs[n]);
+        }
+    }
+
+    // Left partial: L = X(0:s−1)ᵀ · KL  →  (Π right dims) × C, col-major.
+    if s < nmodes {
+        let kl_inputs: Vec<MatRef> = factors[..s].iter().rev().copied().collect();
+        debug_assert_eq!(krp_rows(&kl_inputs), left_total);
+        let mut kl = vec![0.0; left_total * c];
+        par_krp(pool, &kl_inputs, &mut kl);
+        let mut l = vec![0.0; right_total * c];
+        par_gemm(
+            pool,
+            1.0,
+            x.unfold_leading(s - 1).t(),
+            MatRef::from_slice(&kl, left_total, c, Layout::RowMajor),
+            0.0,
+            MatMut::from_slice(&mut l, right_total, c, Layout::ColMajor),
+        );
+        for n in s..nmodes {
+            group_multi_ttv(&l, right_dims, c, n - s, factors, s, &mut outputs[n]);
+        }
+    }
+
+    outputs
+}
+
+/// Contract the group partial `(g_dims…, C)` against the `j`-th columns
+/// of every in-group factor except `local_n`, writing row-major
+/// `I_{local_n} × C` into `out`.
+///
+/// Specialized contiguous paths: groups of size 1 (transpose copy) and
+/// size 2 (one GEMV per column); larger groups fold modes pairwise via
+/// GEMV chains on contiguous reshapes.
+fn group_multi_ttv(
+    partial: &[f64],
+    g_dims: &[usize],
+    c: usize,
+    local_n: usize,
+    factors: &[MatRef],
+    group_offset: usize,
+    out: &mut [f64],
+) {
+    let g_total: usize = g_dims.iter().product();
+    let rows = g_dims[local_n];
+    debug_assert_eq!(out.len(), rows * c);
+    debug_assert_eq!(partial.len(), g_total * c);
+
+    let mut col_buf = vec![0.0; *g_dims.iter().max().unwrap()];
+    let mut work: Vec<f64> = Vec::new();
+    let mut next: Vec<f64> = Vec::new();
+
+    for j in 0..c {
+        let sub = &partial[j * g_total..(j + 1) * g_total];
+        if g_dims.len() == 1 {
+            for i in 0..rows {
+                out[i * c + j] = sub[i];
+            }
+            continue;
+        }
+        // Iteratively contract the highest remaining mode (≠ local_n),
+        // then the lowest ones, keeping data contiguous throughout.
+        work.clear();
+        work.extend_from_slice(sub);
+        let mut cur_dims: Vec<usize> = g_dims.to_vec();
+        let mut n_pos = local_n;
+        // High modes: the tensor is (lead, d_high) column-major; each
+        // contraction is one GEMV with the matrix (lead × d_high).
+        while cur_dims.len() > n_pos + 1 {
+            let d_high = *cur_dims.last().unwrap();
+            let lead: usize = cur_dims[..cur_dims.len() - 1].iter().product();
+            let f = &factors[group_offset + cur_dims.len() - 1];
+            for (i, slot) in col_buf[..d_high].iter_mut().enumerate() {
+                *slot = f.get(i, j);
+            }
+            next.clear();
+            next.resize(lead, 0.0);
+            let mat = MatRef::from_slice(&work[..lead * d_high], lead, d_high, Layout::ColMajor);
+            gemv(1.0, mat, &col_buf[..d_high], 0.0, &mut next);
+            std::mem::swap(&mut work, &mut next);
+            cur_dims.pop();
+        }
+        // Low modes: the tensor is (d_low, rest) column-major; contract
+        // mode 0 via the transposed view (rest × d_low).
+        while n_pos > 0 {
+            let d_low = cur_dims[0];
+            let rest: usize = cur_dims[1..].iter().product();
+            let f = &factors[group_offset + (local_n - n_pos)];
+            for (i, slot) in col_buf[..d_low].iter_mut().enumerate() {
+                *slot = f.get(i, j);
+            }
+            next.clear();
+            next.resize(rest, 0.0);
+            let mat = MatRef::from_slice(&work[..d_low * rest], d_low, rest, Layout::ColMajor);
+            gemv(1.0, mat.t(), &col_buf[..d_low], 0.0, &mut next);
+            std::mem::swap(&mut work, &mut next);
+            cur_dims.remove(0);
+            n_pos -= 1;
+        }
+        debug_assert_eq!(work.len(), rows);
+        for (i, &v) in work[..rows].iter().enumerate() {
+            out[i * c + j] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut st = seed | 1;
+        (0..n)
+            .map(|_| {
+                st = st.wrapping_mul(6364136223846793005).wrapping_add(31);
+                ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn check(dims: &[usize], c: usize, t: usize) {
+        let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 3));
+        let factors: Vec<Vec<f64>> =
+            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 9)).collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(t);
+        let all = mttkrp_all_modes(&pool, &x, &refs);
+        assert_eq!(all.len(), dims.len());
+        for n in 0..dims.len() {
+            let mut want = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            for (a, b) in all[n].iter().zip(&want) {
+                assert!(
+                    (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                    "dims {dims:?} mode {n} t={t}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_2way_to_6way() {
+        check(&[4, 5], 3, 1);
+        check(&[4, 3, 5], 3, 2);
+        check(&[3, 4, 2, 3], 2, 2);
+        check(&[2, 3, 2, 2, 3], 2, 3);
+        check(&[2, 2, 2, 2, 2, 2], 2, 1);
+    }
+
+    #[test]
+    fn asymmetric_dims() {
+        check(&[13, 2, 7], 4, 2);
+        check(&[1, 6, 5], 2, 2);
+        check(&[6, 1, 5, 2], 2, 1);
+    }
+}

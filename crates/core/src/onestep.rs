@@ -1,0 +1,377 @@
+//! The 1-step MTTKRP (Algorithms 2 and 3).
+//!
+//! Sequential (Algorithm 2): form the full KRP with Algorithm 1, then
+//! multiply against the zero-copy block structure of `X(n)` — one GEMM
+//! for external modes, a block inner product of `IR_n` GEMMs for
+//! internal modes. No tensor entry is ever moved.
+//!
+//! Parallel (Algorithm 3):
+//!
+//! * **External modes** (`n = 0`, `n = N−1`): the columns of the (single
+//!   strided view) matricization are partitioned into `T` contiguous
+//!   blocks; each thread forms only its own rows of the KRP with a
+//!   seeked [`KrpCursor`] and multiplies into a thread-private output,
+//!   followed by a parallel reduction.
+//! * **Internal modes**: the left partial KRP `KL` is precomputed in
+//!   parallel; the `IR_n` blocks are dealt block-cyclically to threads,
+//!   each of which forms the needed row of the right KRP `KR`, expands
+//!   the block's KRP rows as `KR(j,:) ⊙ KL`, and accumulates
+//!   `X(n)[j] · K_t` into its private output — again followed by a
+//!   parallel reduction.
+
+use mttkrp_blas::{gemm, hadamard, Layout, MatMut, MatRef};
+use mttkrp_krp::{krp_reuse, krp_rows, par_krp, KrpCursor};
+use mttkrp_parallel::{block_range, reduce, ThreadPool};
+use mttkrp_tensor::DenseTensor;
+
+use crate::breakdown::{timed, Breakdown};
+use crate::{krp_inputs, left_krp_inputs, right_krp_inputs, validate_factors};
+
+/// Sequential 1-step MTTKRP (Algorithm 2): explicit full KRP, then one
+/// GEMM per contiguous block of `X(n)`.
+///
+/// Output is row-major `I_n × C`, overwritten.
+pub fn mttkrp_1step_seq(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+    let dims = x.dims();
+    assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
+    let c = validate_factors(dims, factors);
+    assert!(n < dims.len(), "mode {n} out of range");
+    assert_eq!(out.len(), dims[n] * c, "output must be I_n × C");
+
+    let inputs = krp_inputs(factors, n);
+    let j_rows = krp_rows(&inputs);
+    let mut k = vec![0.0; j_rows * c];
+    krp_reuse(&inputs, &mut k);
+
+    let unf = x.unfold(n);
+    if let Some(xv) = unf.as_single_view() {
+        let kv = MatRef::from_slice(&k, j_rows, c, Layout::RowMajor);
+        gemm(1.0, xv, kv, 0.0, MatMut::from_slice(out, dims[n], c, Layout::RowMajor));
+        return;
+    }
+    let il = unf.block_cols();
+    for j in 0..unf.num_blocks() {
+        let k_block = MatRef::from_slice(&k[j * il * c..(j + 1) * il * c], il, c, Layout::RowMajor);
+        let beta = if j == 0 { 0.0 } else { 1.0 };
+        gemm(1.0, unf.block(j), k_block, beta, MatMut::from_slice(out, dims[n], c, Layout::RowMajor));
+    }
+}
+
+/// Parallel 1-step MTTKRP (Algorithm 3). With a 1-thread pool this is
+/// the configuration the paper uses for sequential benchmarks of
+/// internal modes (left KRP + per-block KRP rows, less memory than the
+/// full KRP of Algorithm 2).
+pub fn mttkrp_1step(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+    let _ = mttkrp_1step_impl(pool, x, factors, n, out);
+}
+
+/// [`mttkrp_1step`] returning the per-phase time breakdown (Figure 6's
+/// `1S` bars).
+pub fn mttkrp_1step_timed(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) -> Breakdown {
+    mttkrp_1step_impl(pool, x, factors, n, out)
+}
+
+fn mttkrp_1step_impl(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) -> Breakdown {
+    let dims = x.dims();
+    assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
+    let c = validate_factors(dims, factors);
+    assert!(n < dims.len(), "mode {n} out of range");
+    let i_n = dims[n];
+    assert_eq!(out.len(), i_n * c, "output must be I_n × C");
+
+    let total_t0 = std::time::Instant::now();
+    let mut bd = Breakdown::default();
+    let t = pool.num_threads();
+    let unf = x.unfold(n);
+
+    if let Some(xv) = unf.as_single_view() {
+        // External mode: partition the I≠n columns of X(n).
+        let j_total = unf.ncols();
+        let inputs = krp_inputs(factors, n);
+        let nsplit = usize::min(t, j_total.max(1));
+
+        struct Private {
+            m: Vec<f64>,
+            k: Vec<f64>,
+            bd: Breakdown,
+        }
+        let mut privs = pool.run_with_private(
+            |tid| {
+                let cols = if tid < nsplit { block_range(j_total, nsplit, tid).len() } else { 0 };
+                Private { m: vec![0.0; i_n * c], k: vec![0.0; cols * c], bd: Breakdown::default() }
+            },
+            |ctx, p| {
+                if ctx.thread_id >= nsplit {
+                    return;
+                }
+                let r = block_range(j_total, nsplit, ctx.thread_id);
+                if r.is_empty() {
+                    return;
+                }
+                timed(&mut p.bd.full_krp, || {
+                    let mut cur = KrpCursor::new(&inputs);
+                    cur.seek(r.start);
+                    for row in p.k.chunks_exact_mut(c) {
+                        cur.write_next(row);
+                    }
+                });
+                timed(&mut p.bd.dgemm, || {
+                    let xt = xv.submatrix(0, r.start, i_n, r.len());
+                    let kt = MatRef::from_slice(&p.k, r.len(), c, Layout::RowMajor);
+                    gemm(1.0, xt, kt, 0.0, MatMut::from_slice(&mut p.m, i_n, c, Layout::RowMajor));
+                });
+            },
+        );
+        let phase = Breakdown::max_merge(&privs.iter().map(|p| p.bd).collect::<Vec<_>>());
+        bd.full_krp = phase.full_krp;
+        bd.dgemm = phase.dgemm;
+        timed(&mut bd.reduce, || {
+            out.fill(0.0);
+            let parts: Vec<&[f64]> = privs.iter().map(|p| p.m.as_slice()).collect();
+            reduce::sum_into(pool, out, &parts);
+        });
+        drop(privs.drain(..));
+    } else {
+        // Internal mode: precompute KL in parallel, deal blocks cyclically.
+        let il = unf.block_cols();
+        let ir = unf.num_blocks();
+        let left = left_krp_inputs(factors, n);
+        let right = right_krp_inputs(factors, n);
+        let mut kl = vec![0.0; il * c];
+        timed(&mut bd.lr_krp, || {
+            mttkrp_krp_parallel(pool, &left, &mut kl);
+        });
+
+        struct Private {
+            m: Vec<f64>,
+            kt: Vec<f64>,
+            kr_row: Vec<f64>,
+            bd: Breakdown,
+        }
+        let privs = pool.run_with_private(
+            |_| Private {
+                m: vec![0.0; i_n * c],
+                kt: vec![0.0; il * c],
+                kr_row: vec![0.0; c],
+                bd: Breakdown::default(),
+            },
+            |ctx, p| {
+                let mut cur = KrpCursor::new(&right);
+                let mut j = ctx.thread_id;
+                while j < ir {
+                    timed(&mut p.bd.lr_krp, || {
+                        cur.seek(j);
+                        cur.write_next(&mut p.kr_row);
+                        // K_t = KR(j,:) ⊙ KL : scale each KL row.
+                        for (kt_row, kl_row) in
+                            p.kt.chunks_exact_mut(c).zip(kl.chunks_exact(c))
+                        {
+                            hadamard(&p.kr_row, kl_row, kt_row);
+                        }
+                    });
+                    timed(&mut p.bd.dgemm, || {
+                        let ktv = MatRef::from_slice(&p.kt, il, c, Layout::RowMajor);
+                        gemm(
+                            1.0,
+                            unf.block(j),
+                            ktv,
+                            1.0,
+                            MatMut::from_slice(&mut p.m, i_n, c, Layout::RowMajor),
+                        );
+                    });
+                    j += ctx.num_threads;
+                }
+            },
+        );
+        let phase = Breakdown::max_merge(&privs.iter().map(|p| p.bd).collect::<Vec<_>>());
+        bd.lr_krp += phase.lr_krp;
+        bd.dgemm = phase.dgemm;
+        timed(&mut bd.reduce, || {
+            out.fill(0.0);
+            let parts: Vec<&[f64]> = privs.iter().map(|p| p.m.as_slice()).collect();
+            reduce::sum_into(pool, out, &parts);
+        });
+    }
+
+    bd.total = total_t0.elapsed().as_secs_f64();
+    bd
+}
+
+/// Parallel KRP helper for the internal-mode left partial KRP (which is
+/// never empty: internal modes have at least mode 0 on their left).
+fn mttkrp_krp_parallel(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
+    assert!(!inputs.is_empty(), "internal mode must have left factors");
+    par_krp(pool, inputs, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn setup(dims: &[usize], c: usize) -> (DenseTensor, Vec<Vec<f64>>) {
+        let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 42));
+        let factors: Vec<Vec<f64>> =
+            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 1)).collect();
+        (x, factors)
+    }
+
+    fn factor_refs<'a>(factors: &'a [Vec<f64>], dims: &[usize], c: usize) -> Vec<MatRef<'a>> {
+        factors
+            .iter()
+            .zip(dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tag: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{tag} idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sequential_matches_oracle_all_modes_3way() {
+        let dims = [5usize, 4, 3];
+        let c = 3;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        for n in 0..3 {
+            let mut want = vec![0.0; dims[n] * c];
+            let mut got = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            mttkrp_1step_seq(&x, &refs, n, &mut got);
+            assert_close(&got, &want, &format!("mode {n}"));
+        }
+    }
+
+    #[test]
+    fn sequential_matches_oracle_higher_orders() {
+        for dims in [vec![3usize, 4], vec![2, 3, 2, 3], vec![2, 2, 3, 2, 2]] {
+            let c = 2;
+            let (x, factors) = setup(&dims, c);
+            let refs = factor_refs(&factors, &dims, c);
+            for n in 0..dims.len() {
+                let mut want = vec![0.0; dims[n] * c];
+                let mut got = vec![0.0; dims[n] * c];
+                mttkrp_oracle(&x, &refs, n, &mut want);
+                mttkrp_1step_seq(&x, &refs, n, &mut got);
+                assert_close(&got, &want, &format!("dims {dims:?} mode {n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_many_thread_counts() {
+        let dims = [4usize, 3, 3, 2];
+        let c = 3;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        for t in [1usize, 2, 5, 13] {
+            let pool = ThreadPool::new(t);
+            for n in 0..dims.len() {
+                let mut want = vec![0.0; dims[n] * c];
+                let mut got = vec![0.0; dims[n] * c];
+                mttkrp_oracle(&x, &refs, n, &mut want);
+                mttkrp_1step(&pool, &x, &refs, n, &mut got);
+                assert_close(&got, &want, &format!("t={t} mode {n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_overwrites_stale_output() {
+        let dims = [3usize, 3, 3];
+        let c = 2;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        let mut want = vec![0.0; 3 * c];
+        mttkrp_oracle(&x, &refs, 1, &mut want);
+        let mut got = vec![f64::NAN; 3 * c];
+        mttkrp_1step(&pool, &x, &refs, 1, &mut got);
+        assert_close(&got, &want, "stale output");
+    }
+
+    #[test]
+    fn timed_breakdown_is_consistent() {
+        let dims = [8usize, 8, 8];
+        let c = 4;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        for n in 0..3 {
+            let mut out = vec![0.0; dims[n] * c];
+            let bd = mttkrp_1step_timed(&pool, &x, &refs, n, &mut out);
+            assert!(bd.total > 0.0);
+            assert!(bd.categorized() > 0.0);
+            assert_eq!(bd.reorder, 0.0, "1-step never reorders");
+            assert_eq!(bd.dgemv, 0.0, "1-step has no GEMV phase");
+            if n == 0 || n == 2 {
+                assert_eq!(bd.lr_krp, 0.0, "external modes use the full KRP");
+                assert!(bd.full_krp > 0.0);
+            } else {
+                assert_eq!(bd.full_krp, 0.0, "internal modes never form the full KRP");
+                assert!(bd.lr_krp > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_tensor_both_modes() {
+        let dims = [6usize, 5];
+        let c = 4;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(3);
+        for n in 0..2 {
+            let mut want = vec![0.0; dims[n] * c];
+            let mut got = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            mttkrp_1step(&pool, &x, &refs, n, &mut got);
+            assert_close(&got, &want, &format!("2-way mode {n}"));
+        }
+    }
+
+    #[test]
+    fn rank_one_factors_give_weighted_fiber_sums() {
+        // With all-ones factors (C = 1), MTTKRP reduces to summing X over
+        // all modes but n.
+        let dims = [3usize, 2, 2];
+        let x = DenseTensor::from_vec(&dims, (0..12).map(|i| i as f64).collect());
+        let ones: Vec<Vec<f64>> = dims.iter().map(|&d| vec![1.0; d]).collect();
+        let refs: Vec<MatRef> =
+            ones.iter().zip(&dims).map(|(f, &d)| MatRef::from_slice(f, d, 1, Layout::RowMajor)).collect();
+        let pool = ThreadPool::new(2);
+        let mut got = vec![0.0; 3];
+        mttkrp_1step(&pool, &x, &refs, 0, &mut got);
+        // Sum over j,k of X(i,j,k): entries i, i+3, i+6, i+9.
+        for i in 0..3 {
+            let want: f64 = (0..4).map(|b| (i + 3 * b) as f64).sum();
+            assert!((got[i] - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Definition-by-summation MTTKRP, the correctness oracle.
+
+use mttkrp_blas::MatRef;
+use mttkrp_tensor::DenseTensor;
+
+use crate::validate_factors;
+
+/// `M(i, c) = Σ_{idx: idx[n] = i} X(idx) · Π_{k≠n} U_k(idx[k], c)`,
+/// evaluated entry by entry. `O(I · C · N)` — test sizes only.
+///
+/// Output is row-major `I_n × C`, overwritten.
+pub fn mttkrp_oracle(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+    let dims = x.dims();
+    let c = validate_factors(dims, factors);
+    assert!(n < dims.len(), "mode {n} out of range");
+    assert_eq!(out.len(), dims[n] * c, "output must be I_n × C");
+
+    out.fill(0.0);
+    let mut idx = vec![0usize; dims.len()];
+    for &v in x.data() {
+        let i = idx[n];
+        for col in 0..c {
+            let mut p = v;
+            for (k, &ik) in idx.iter().enumerate() {
+                if k != n {
+                    p *= factors[k].get(ik, col);
+                }
+            }
+            out[i * c + col] += p;
+        }
+        x.info().increment(&mut idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_blas::Layout;
+
+    #[test]
+    fn rank1_tensor_mttkrp_has_closed_form() {
+        // X = u ∘ v (outer product); factors U = [u], V = [v] with C = 1.
+        // M (mode 0) = X(0) · v = u (vᵀv).
+        let u = vec![1.0, 2.0, 3.0];
+        let v = vec![4.0, 5.0];
+        let x = DenseTensor::from_factors(&[3, 2], &[u.clone(), v.clone()], 1);
+        let factors = [
+            MatRef::from_slice(&u, 3, 1, Layout::RowMajor),
+            MatRef::from_slice(&v, 2, 1, Layout::RowMajor),
+        ];
+        let mut m = vec![0.0; 3];
+        mttkrp_oracle(&x, &factors, 0, &mut m);
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        for i in 0..3 {
+            assert!((m[i] - u[i] * vtv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_manual_3way_computation() {
+        // Tiny 2x2x2 case checked against a hand-written triple loop in a
+        // different index order.
+        let x = DenseTensor::from_vec(&[2, 2, 2], (1..=8).map(|i| i as f64).collect());
+        let u = vec![1.0, -1.0, 0.5, 2.0]; // 2x2 row-major
+        let v = vec![2.0, 0.0, 1.0, 1.0];
+        let w = vec![1.0, 3.0, -2.0, 0.5];
+        let factors = [
+            MatRef::from_slice(&u, 2, 2, Layout::RowMajor),
+            MatRef::from_slice(&v, 2, 2, Layout::RowMajor),
+            MatRef::from_slice(&w, 2, 2, Layout::RowMajor),
+        ];
+        let mut m = vec![0.0; 4];
+        mttkrp_oracle(&x, &factors, 1, &mut m);
+        let mut expect = vec![0.0; 4];
+        for c in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for i in 0..2 {
+                    for k in 0..2 {
+                        s += x.get(&[i, j, k]) * u[i * 2 + c] * w[k * 2 + c];
+                    }
+                }
+                expect[j * 2 + c] = s;
+            }
+        }
+        assert_eq!(m, expect);
+    }
+}

@@ -1,0 +1,299 @@
+//! The 2-step MTTKRP (Algorithm 4, due to Phan et al.).
+//!
+//! Step 1 — *partial MTTKRP* — is one large GEMM that never touches the
+//! block structure: `X(0:n)` is column-major in memory for every `n`, so
+//! `R(0:n) = X(0:n) · KR` is a single BLAS call (right variant), and
+//! `X(0:n−1)ᵀ` is row-major, so `L = X(0:n−1)ᵀ · KL` is too (left
+//! variant). The side is chosen to minimize the flops of step 2
+//! (`IL_n > IR_n ⇒ left`, Algorithm 4 line 4).
+//!
+//! Step 2 — *multi-TTV* — combines the intermediate with the remaining
+//! factors one output column at a time; each column is a GEMV on a
+//! contiguous (row- or column-major) block of the intermediate.
+//!
+//! For external modes the 2-step algorithm degenerates to the 1-step
+//! algorithm (the partial MTTKRP already is the answer), so this module
+//! delegates those modes to [`crate::onestep`].
+
+use mttkrp_blas::{par_gemm, par_gemv, Layout, MatMut, MatRef};
+use mttkrp_krp::{krp_rows, par_krp};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+
+use crate::breakdown::{timed, Breakdown};
+use crate::onestep::mttkrp_1step;
+use crate::{left_krp_inputs, right_krp_inputs, validate_factors};
+
+/// Which side Algorithm 4 performs the partial MTTKRP on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoStepSide {
+    /// Follow the paper's heuristic: left when `IL_n > IR_n`.
+    Auto,
+    /// Force `L = X(0:n−1)ᵀ · KL`, multi-TTV against `KR`.
+    Left,
+    /// Force `R = X(0:n) · KR`, multi-TTV against `KL`.
+    Right,
+}
+
+/// 2-step MTTKRP (Algorithm 4). Parallelism lives inside the BLAS calls,
+/// exactly as in the paper. Output is row-major `I_n × C`, overwritten.
+///
+/// External modes delegate to the (equivalent) 1-step algorithm.
+pub fn mttkrp_2step(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+    let _ = mttkrp_2step_impl(pool, x, factors, n, out, TwoStepSide::Auto);
+}
+
+/// [`mttkrp_2step`] with an explicit side choice (the left-vs-right
+/// ablation) and per-phase timing (Figure 6's `2S` bars).
+pub fn mttkrp_2step_timed(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+    side: TwoStepSide,
+) -> Breakdown {
+    mttkrp_2step_impl(pool, x, factors, n, out, side)
+}
+
+fn mttkrp_2step_impl(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+    side: TwoStepSide,
+) -> Breakdown {
+    let dims = x.dims();
+    assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
+    let c = validate_factors(dims, factors);
+    assert!(n < dims.len(), "mode {n} out of range");
+    let i_n = dims[n];
+    assert_eq!(out.len(), i_n * c, "output must be I_n × C");
+
+    if n == 0 || n == dims.len() - 1 {
+        // Degenerate: the partial MTTKRP is the full MTTKRP.
+        let t0 = std::time::Instant::now();
+        mttkrp_1step(pool, x, factors, n, out);
+        let mut bd = Breakdown::default();
+        bd.total = t0.elapsed().as_secs_f64();
+        bd.dgemm = bd.total;
+        return bd;
+    }
+
+    let total_t0 = std::time::Instant::now();
+    let mut bd = Breakdown::default();
+    let info = x.info();
+    let il = info.i_left(n);
+    let ir = info.i_right(n);
+
+    // Lines 2–3: both partial KRPs.
+    let left_inputs = left_krp_inputs(factors, n);
+    let right_inputs = right_krp_inputs(factors, n);
+    debug_assert_eq!(krp_rows(&left_inputs), il);
+    debug_assert_eq!(krp_rows(&right_inputs), ir);
+    let mut kl = vec![0.0; il * c];
+    let mut kr = vec![0.0; ir * c];
+    timed(&mut bd.lr_krp, || {
+        par_krp(pool, &left_inputs, &mut kl);
+        par_krp(pool, &right_inputs, &mut kr);
+    });
+    let kl_view = MatRef::from_slice(&kl, il, c, Layout::RowMajor);
+    let kr_view = MatRef::from_slice(&kr, ir, c, Layout::RowMajor);
+
+    let use_left = match side {
+        TwoStepSide::Auto => il > ir,
+        TwoStepSide::Left => true,
+        TwoStepSide::Right => false,
+    };
+
+    let mut out_mat = MatMut::from_slice(out, i_n, c, Layout::RowMajor);
+    let mut col_in = vec![0.0; usize::max(il, ir)];
+    let mut col_out = vec![0.0; i_n];
+
+    if use_left {
+        // Line 5: L(0:N−n−1) = X(0:n−1)ᵀ · KL, of shape (I_n·IR_n) × C,
+        // stored column-major (L in natural order with C appended).
+        let mut l = vec![0.0; i_n * ir * c];
+        timed(&mut bd.dgemm, || {
+            let xt = x.unfold_leading(n - 1).t(); // (I_n·IR_n) × IL_n, row-major
+            par_gemm(pool, 1.0, xt, kl_view, 0.0, MatMut::from_slice(&mut l, i_n * ir, c, Layout::ColMajor));
+        });
+        // Lines 6–9: M(:,j) = L(0)[j] · KR(:,j); L(0)[j] is the j-th
+        // I_n × IR_n column-major block of L's mode-0 unfolding.
+        timed(&mut bd.dgemv, || {
+            for j in 0..c {
+                let lj = MatRef::from_slice(&l[j * i_n * ir..(j + 1) * i_n * ir], i_n, ir, Layout::ColMajor);
+                for (i, dst) in col_in[..ir].iter_mut().enumerate() {
+                    *dst = kr_view.get(i, j);
+                }
+                par_gemv(pool, 1.0, lj, &col_in[..ir], 0.0, &mut col_out);
+                for (i, &v) in col_out.iter().enumerate() {
+                    out_mat.set(i, j, v);
+                }
+            }
+        });
+    } else {
+        // Line 11: R(0:n) = X(0:n) · KR, of shape (IL_n·I_n) × C,
+        // stored column-major (R in natural order with C appended).
+        let mut r = vec![0.0; il * i_n * c];
+        timed(&mut bd.dgemm, || {
+            let xv = x.unfold_leading(n); // (IL_n·I_n) × IR_n, column-major
+            par_gemm(pool, 1.0, xv, kr_view, 0.0, MatMut::from_slice(&mut r, il * i_n, c, Layout::ColMajor));
+        });
+        // Lines 12–15: M(:,j) = R(n)[j] · KL(:,j); R(n)[j] is the j-th
+        // I_n × IL_n row-major block of R's mode-n unfolding.
+        timed(&mut bd.dgemv, || {
+            for j in 0..c {
+                let rj = MatRef::from_slice(&r[j * il * i_n..(j + 1) * il * i_n], i_n, il, Layout::RowMajor);
+                for (i, dst) in col_in[..il].iter_mut().enumerate() {
+                    *dst = kl_view.get(i, j);
+                }
+                par_gemv(pool, 1.0, rj, &col_in[..il], 0.0, &mut col_out);
+                for (i, &v) in col_out.iter().enumerate() {
+                    out_mat.set(i, j, v);
+                }
+            }
+        });
+    }
+
+    bd.total = total_t0.elapsed().as_secs_f64();
+    bd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn setup(dims: &[usize], c: usize) -> (DenseTensor, Vec<Vec<f64>>) {
+        let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 7));
+        let factors: Vec<Vec<f64>> =
+            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 3)).collect();
+        (x, factors)
+    }
+
+    fn factor_refs<'a>(factors: &'a [Vec<f64>], dims: &[usize], c: usize) -> Vec<MatRef<'a>> {
+        factors
+            .iter()
+            .zip(dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tag: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{tag} idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_internal_modes() {
+        for dims in [vec![4usize, 3, 5], vec![3, 4, 2, 3], vec![2, 3, 2, 2, 2]] {
+            let c = 3;
+            let (x, factors) = setup(&dims, c);
+            let refs = factor_refs(&factors, &dims, c);
+            let pool = ThreadPool::new(2);
+            for n in 1..dims.len() - 1 {
+                let mut want = vec![0.0; dims[n] * c];
+                let mut got = vec![0.0; dims[n] * c];
+                mttkrp_oracle(&x, &refs, n, &mut want);
+                mttkrp_2step(&pool, &x, &refs, n, &mut got);
+                assert_close(&got, &want, &format!("dims {dims:?} mode {n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn left_and_right_variants_agree() {
+        let dims = [4usize, 3, 2, 5];
+        let c = 4;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(3);
+        for n in 1..3 {
+            let mut left = vec![0.0; dims[n] * c];
+            let mut right = vec![0.0; dims[n] * c];
+            let mut want = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            mttkrp_2step_timed(&pool, &x, &refs, n, &mut left, TwoStepSide::Left);
+            mttkrp_2step_timed(&pool, &x, &refs, n, &mut right, TwoStepSide::Right);
+            assert_close(&left, &want, &format!("left mode {n}"));
+            assert_close(&right, &want, &format!("right mode {n}"));
+        }
+    }
+
+    #[test]
+    fn external_modes_delegate_to_1step() {
+        let dims = [4usize, 3, 5];
+        let c = 2;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        for n in [0, 2] {
+            let mut want = vec![0.0; dims[n] * c];
+            let mut got = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            mttkrp_2step(&pool, &x, &refs, n, &mut got);
+            assert_close(&got, &want, &format!("external mode {n}"));
+        }
+    }
+
+    #[test]
+    fn auto_side_matches_paper_heuristic() {
+        // dims chosen so mode 1 has IL=6 > IR=2 (left) and mode 2 has
+        // IL=... the heuristic itself is internal; we just verify both
+        // autos equal the oracle.
+        let dims = [6usize, 2, 2, 2];
+        let c = 3;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        for n in 1..3 {
+            let mut want = vec![0.0; dims[n] * c];
+            let mut got = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            let bd = mttkrp_2step_timed(&pool, &x, &refs, n, &mut got, TwoStepSide::Auto);
+            assert_close(&got, &want, &format!("auto mode {n}"));
+            assert!(bd.dgemm > 0.0);
+            assert!(bd.dgemv > 0.0);
+            assert_eq!(bd.full_krp, 0.0, "2-step never forms the full KRP");
+        }
+    }
+
+    #[test]
+    fn timed_breakdown_sums_below_total() {
+        let dims = [8usize, 6, 8];
+        let c = 5;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0.0; dims[1] * c];
+        let bd = mttkrp_2step_timed(&pool, &x, &refs, 1, &mut out, TwoStepSide::Auto);
+        assert!(bd.categorized() <= bd.total * 1.5 + 1e-3);
+    }
+
+    #[test]
+    fn overwrites_stale_output() {
+        let dims = [3usize, 4, 3];
+        let c = 2;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        let mut want = vec![0.0; 4 * c];
+        mttkrp_oracle(&x, &refs, 1, &mut want);
+        let mut got = vec![f64::NAN; 4 * c];
+        mttkrp_2step(&pool, &x, &refs, 1, &mut got);
+        assert_close(&got, &want, "stale");
+    }
+}

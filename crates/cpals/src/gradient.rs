@@ -1,0 +1,146 @@
+//! Gradient of the CP objective, for gradient-based optimizers.
+//!
+//! The paper notes (§2.2) that alternatives to ALS — CP-OPT and other
+//! gradient methods — are *also* bottlenecked by MTTKRP, because for
+//! `f(U) = ½‖X − ⟦U_0, …, U_{N−1}⟧‖²` the gradient is
+//!
+//! `∂f/∂U_n = U_n·(⊛_{k≠n} U_kᵀU_k) − M_n`
+//!
+//! with `M_n` the mode-`n` MTTKRP. All `N` MTTKRPs are computed at a
+//! *fixed* factor set here, so [`mttkrp_core::mttkrp_all_modes`]'s
+//! two-GEMM shared-partial evaluation applies directly.
+
+use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
+use mttkrp_core::mttkrp_all_modes;
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+
+use crate::gram::{gram, hadamard_excluding};
+use crate::model::KruskalModel;
+
+/// The CP objective `f = ½‖X − Y‖²` and its gradient with respect to
+/// every factor matrix (λ is treated as folded into the factors and
+/// must be all-ones).
+///
+/// Returns `(f, [∂f/∂U_0, …])` with each gradient row-major `I_n × C`.
+///
+/// # Panics
+/// Panics if the model's λ is not identically 1 (fold weights into a
+/// factor first) or shapes mismatch.
+pub fn cp_gradient(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    model: &KruskalModel,
+) -> (f64, Vec<Vec<f64>>) {
+    assert!(
+        model.lambda.iter().all(|&l| l == 1.0),
+        "fold λ into a factor before calling cp_gradient"
+    );
+    let dims = x.dims().to_vec();
+    let nmodes = dims.len();
+    let c = model.rank();
+    assert_eq!(model.dims(), &dims[..], "model shape must match tensor");
+
+    let refs = model.factor_refs();
+    let mttkrps = mttkrp_all_modes(pool, x, &refs);
+    let grams: Vec<Vec<f64>> =
+        model.factors.iter().zip(&dims).map(|(f, &d)| gram(f, d, c)).collect();
+
+    let mut grads = Vec::with_capacity(nmodes);
+    for n in 0..nmodes {
+        let rows = dims[n];
+        let h = hadamard_excluding(&grams, n, c);
+        // G_n = U_n·H − M_n  (H symmetric).
+        let mut g = mttkrps[n].clone();
+        let hv = MatRef::from_slice(&h, c, c, Layout::ColMajor);
+        gemm(1.0, refs[n], hv, -1.0, MatMut::from_slice(&mut g, rows, c, Layout::RowMajor));
+        grads.push(g);
+    }
+
+    // f = ½(‖X‖² − 2⟨X,Y⟩ + ‖Y‖²), with ⟨X,Y⟩ from any mode's MTTKRP.
+    let inner: f64 = {
+        let n = nmodes - 1;
+        let u = &model.factors[n];
+        u.iter().zip(&mttkrps[n]).map(|(a, b)| a * b).sum()
+    };
+    let norm_x_sq = x.data().iter().map(|v| v * v).sum::<f64>();
+    let f = 0.5 * (norm_x_sq - 2.0 * inner + model.norm_sq());
+    (f.max(0.0), grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objective(x: &DenseTensor, model: &KruskalModel) -> f64 {
+        let y = model.to_dense();
+        let mut s = 0.0;
+        for (a, b) in x.data().iter().zip(y.data()) {
+            s += (a - b) * (a - b);
+        }
+        0.5 * s
+    }
+
+    #[test]
+    fn objective_matches_dense_residual() {
+        let dims = [4usize, 3, 3];
+        let x = KruskalModel::random(&dims, 2, 1).to_dense();
+        let model = KruskalModel::random(&dims, 2, 2);
+        let pool = ThreadPool::new(2);
+        let (f, _) = cp_gradient(&pool, &x, &model);
+        let want = objective(&x, &model);
+        assert!((f - want).abs() < 1e-8 * (1.0 + want), "{f} vs {want}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let dims = [3usize, 4, 2];
+        let c = 2;
+        let x = KruskalModel::random(&dims, c, 5).to_dense();
+        let model = KruskalModel::random(&dims, c, 6);
+        let pool = ThreadPool::new(1);
+        let (_, grads) = cp_gradient(&pool, &x, &model);
+
+        let eps = 1e-6;
+        for n in 0..dims.len() {
+            for idx in 0..dims[n] * c {
+                let mut plus = model.clone();
+                plus.factors[n][idx] += eps;
+                let mut minus = model.clone();
+                minus.factors[n][idx] -= eps;
+                let fd = (objective(&x, &plus) - objective(&x, &minus)) / (2.0 * eps);
+                let an = grads[n][idx];
+                assert!(
+                    (fd - an).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "mode {n} idx {idx}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_vanishes_at_exact_decomposition() {
+        let dims = [5usize, 4, 3];
+        let model = KruskalModel::random(&dims, 2, 8);
+        let x = model.to_dense();
+        let pool = ThreadPool::new(2);
+        let (f, grads) = cp_gradient(&pool, &x, &model);
+        assert!(f < 1e-16 * x.norm().powi(2).max(1.0) + 1e-10, "f = {f}");
+        for g in &grads {
+            for &v in g {
+                assert!(v.abs() < 1e-8, "gradient entry {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_weighted_models() {
+        let dims = [3usize, 3];
+        let x = KruskalModel::random(&dims, 1, 1).to_dense();
+        let mut model = KruskalModel::random(&dims, 1, 2);
+        model.lambda[0] = 2.0;
+        let pool = ThreadPool::new(1);
+        let _ = cp_gradient(&pool, &x, &model);
+    }
+}

@@ -1,0 +1,74 @@
+//! Gram matrices and their Hadamard products (§2.2's
+//! `H = ⊛_{k≠n} U_kᵀ U_k`).
+
+use mttkrp_blas::{syrk_t, Layout, MatMut, MatRef};
+
+/// `G = Uᵀ·U` for a row-major `rows × c` factor; output is column-major
+/// `c × c` (symmetric, so layout is moot, but kept consistent with the
+/// `mttkrp-linalg` convention).
+pub fn gram(u: &[f64], rows: usize, c: usize) -> Vec<f64> {
+    assert_eq!(u.len(), rows * c, "factor must be rows x c");
+    let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
+    let mut g = vec![0.0; c * c];
+    let mut gv = MatMut::from_slice(&mut g, c, c, Layout::ColMajor);
+    syrk_t(1.0, uv, 0.0, &mut gv);
+    g
+}
+
+/// Hadamard product of all Gram matrices except mode `n`
+/// (`H = ⊛_{k≠n} G_k`), given precomputed per-mode Grams.
+pub fn hadamard_excluding(grams: &[Vec<f64>], n: usize, c: usize) -> Vec<f64> {
+    assert!(n < grams.len(), "mode {n} out of range");
+    let mut h = vec![1.0; c * c];
+    for (k, g) in grams.iter().enumerate() {
+        if k == n {
+            continue;
+        }
+        assert_eq!(g.len(), c * c, "gram {k} must be c x c");
+        for (hh, &gg) in h.iter_mut().zip(g) {
+            *hh *= gg;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_matches_manual() {
+        // U = [[1,2],[3,4],[5,6]] row-major.
+        let u = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let g = gram(&u, 3, 2);
+        // UᵀU = [[35, 44], [44, 56]].
+        assert_eq!(g[0], 35.0);
+        assert_eq!(g[1], 44.0);
+        assert_eq!(g[2], 44.0);
+        assert_eq!(g[3], 56.0);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal_nonneg() {
+        let u: Vec<f64> = (0..20).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        let g = gram(&u, 5, 4);
+        for i in 0..4 {
+            assert!(g[i + i * 4] >= 0.0);
+            for j in 0..4 {
+                assert!((g[i + j * 4] - g[j + i * 4]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_excluding_skips_mode() {
+        let g0 = vec![2.0; 4];
+        let g1 = vec![3.0; 4];
+        let g2 = vec![5.0; 4];
+        let grams = vec![g0, g1, g2];
+        let h = hadamard_excluding(&grams, 1, 2);
+        assert!(h.iter().all(|&x| x == 10.0));
+        let h_all_but_0 = hadamard_excluding(&grams, 0, 2);
+        assert!(h_all_but_0.iter().all(|&x| x == 15.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! The Kruskal (CP) model: weights plus one factor matrix per mode.
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_tensor::DenseTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rank-`C` Kruskal tensor `⟦λ; U_0, …, U_{N−1}⟧`.
+///
+/// Factors are row-major `I_n × C`; `lambda` holds the per-component
+/// weights extracted by column normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KruskalModel {
+    dims: Vec<usize>,
+    rank: usize,
+    /// Row-major `I_n × C` factor matrices.
+    pub factors: Vec<Vec<f64>>,
+    /// Component weights, length `C`.
+    pub lambda: Vec<f64>,
+}
+
+impl KruskalModel {
+    /// Model with every factor entry drawn uniformly from `[0, 1)`
+    /// (Tensor Toolbox's default random initialization) and unit
+    /// weights. Deterministic in `seed`.
+    pub fn random(dims: &[usize], rank: usize, seed: u64) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors = dims.iter().map(|&d| (0..d * rank).map(|_| rng.random::<f64>()).collect()).collect();
+        KruskalModel { dims: dims.to_vec(), rank, factors, lambda: vec![1.0; rank] }
+    }
+
+    /// Wrap existing factors (row-major `I_n × C`) with unit weights.
+    pub fn from_factors(dims: &[usize], rank: usize, factors: Vec<Vec<f64>>) -> Self {
+        assert_eq!(factors.len(), dims.len(), "one factor per mode");
+        for (n, (f, &d)) in factors.iter().zip(dims).enumerate() {
+            assert_eq!(f.len(), d * rank, "factor {n} must be I_n x C");
+        }
+        KruskalModel { dims: dims.to_vec(), rank, factors, lambda: vec![1.0; rank] }
+    }
+
+    /// Tensor dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Decomposition rank `C`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Borrowed views of the factors, as the MTTKRP kernels expect.
+    pub fn factor_refs(&self) -> Vec<MatRef<'_>> {
+        self.factors
+            .iter()
+            .zip(&self.dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, self.rank, Layout::RowMajor))
+            .collect()
+    }
+
+    /// Pull each column's 2-norm of factor `n` into `lambda`
+    /// (multiplicatively), leaving the column unit-norm when possible.
+    pub fn normalize_mode(&mut self, n: usize) {
+        let c = self.rank;
+        let rows = self.dims[n];
+        for col in 0..c {
+            let mut s = 0.0;
+            for i in 0..rows {
+                let v = self.factors[n][i * c + col];
+                s += v * v;
+            }
+            let norm = s.sqrt();
+            if norm > 0.0 {
+                self.lambda[col] *= norm;
+                let inv = 1.0 / norm;
+                for i in 0..rows {
+                    self.factors[n][i * c + col] *= inv;
+                }
+            }
+        }
+    }
+
+    /// Squared Frobenius norm of the modeled tensor:
+    /// `‖Y‖² = λᵀ (⊛_k U_kᵀU_k) λ`, computed without materializing `Y`.
+    pub fn norm_sq(&self) -> f64 {
+        let c = self.rank;
+        let mut had = vec![1.0; c * c];
+        for (f, &d) in self.factors.iter().zip(&self.dims) {
+            let g = crate::gram::gram(f, d, c);
+            for (h, gg) in had.iter_mut().zip(&g) {
+                *h *= gg;
+            }
+        }
+        let mut total = 0.0;
+        for i in 0..c {
+            for j in 0..c {
+                total += self.lambda[i] * self.lambda[j] * had[i + j * c];
+            }
+        }
+        total
+    }
+
+    /// Materialize the modeled tensor (test sizes only: `O(I·C·N)`).
+    pub fn to_dense(&self) -> DenseTensor {
+        // Fold λ into mode-0 columns, then evaluate.
+        let c = self.rank;
+        let mut f0 = self.factors[0].clone();
+        for chunk in f0.chunks_exact_mut(c) {
+            for (v, &l) in chunk.iter_mut().zip(&self.lambda) {
+                *v *= l;
+            }
+        }
+        // DenseTensor::from_factors expects column-major factors.
+        let mut col_factors = Vec::with_capacity(self.factors.len());
+        for (n, f) in std::iter::once(&f0).chain(self.factors.iter().skip(1)).enumerate() {
+            let d = self.dims[n];
+            let mut cm = vec![0.0; d * c];
+            for i in 0..d {
+                for col in 0..c {
+                    cm[i + col * d] = f[i * c + col];
+                }
+            }
+            col_factors.push(cm);
+        }
+        DenseTensor::from_factors(&self.dims, &col_factors, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let a = KruskalModel::random(&[3, 4], 2, 7);
+        let b = KruskalModel::random(&[3, 4], 2, 7);
+        let c = KruskalModel::random(&[3, 4], 2, 8);
+        assert_eq!(a, b);
+        assert_ne!(a.factors, c.factors);
+    }
+
+    #[test]
+    fn normalize_extracts_column_norms() {
+        let mut m = KruskalModel::from_factors(
+            &[2, 2],
+            2,
+            vec![vec![3.0, 0.0, 4.0, 0.0], vec![1.0, 1.0, 0.0, 1.0]],
+        );
+        m.normalize_mode(0);
+        assert!((m.lambda[0] - 5.0).abs() < 1e-12);
+        // Column 0 of factor 0 now unit norm.
+        let c0: f64 = (0..2).map(|i| m.factors[0][i * 2].powi(2)).sum();
+        assert!((c0 - 1.0).abs() < 1e-12);
+        // Zero column left untouched, lambda unchanged.
+        assert_eq!(m.lambda[1], 0.0_f64.max(0.0) + 1.0 * 0.0 + 1.0);
+    }
+
+    #[test]
+    fn norm_sq_matches_dense_norm() {
+        let m = KruskalModel::random(&[3, 4, 2], 3, 5);
+        let dense = m.to_dense();
+        assert!((m.norm_sq() - dense.norm().powi(2)).abs() < 1e-8 * m.norm_sq().max(1.0));
+    }
+
+    #[test]
+    fn norm_sq_respects_lambda() {
+        let mut m = KruskalModel::random(&[3, 3], 2, 9);
+        let base = m.norm_sq();
+        m.lambda = vec![2.0; 2];
+        // Doubling both weights quadruples the squared norm.
+        assert!((m.norm_sq() - 4.0 * base).abs() < 1e-8 * base);
+    }
+
+    #[test]
+    fn to_dense_rank1_outer_product() {
+        let m = KruskalModel::from_factors(&[2, 3], 1, vec![vec![2.0, 3.0], vec![1.0, 4.0, 5.0]]);
+        let d = m.to_dense();
+        assert_eq!(d.get(&[1, 2]), 15.0);
+        assert_eq!(d.get(&[0, 1]), 8.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! `tensorcp` — command-line CP decomposition of dense tensor files.
+//!
+//! The downstream-user face of the library: generate or import tensors
+//! in the repo's binary format, decompose them with the paper's
+//! optimized kernels, inspect results.
+//!
+//! ```text
+//! tensorcp gen --dims 60x50x40 --rank 5 --noise 0.01 --out x.mtkt
+//! tensorcp gen-fmri --preset small --out brain.mtkt [--three-way]
+//! tensorcp decompose --input x.mtkt --rank 5 [--method als|nn|dimtree]
+//!                    [--iters 50] [--tol 1e-8] [--threads 4]
+//!                    [--model-out model.mtkm]
+//! tensorcp info --input x.mtkt
+//! tensorcp profile --input x.mtkt [--rank 25]
+//! ```
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_core::{mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, TwoStepSide};
+use mttkrp_cpals::{
+    cp_als, cp_als_dimtree, cp_als_nn, CpAlsOptions, CpAlsReport, KruskalModel, MttkrpStrategy,
+};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+use mttkrp_workloads::{
+    linearize_symmetric, random_factors, read_tensor, write_model, write_tensor, FmriConfig,
+    StoredModel,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "gen-fmri" => cmd_gen_fmri(&opts),
+        "decompose" => cmd_decompose(&opts),
+        "info" => cmd_info(&opts),
+        "profile" => cmd_profile(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    println!(
+        "tensorcp — CP decomposition of dense tensor files\n\
+         commands:\n\
+           gen        --dims AxBxC --rank R [--noise S] [--seed N] --out FILE\n\
+           gen-fmri   [--preset small|medium|paper] [--three-way] --out FILE\n\
+           decompose  --input FILE --rank R [--method als|nn|dimtree]\n\
+                      [--iters N] [--tol T] [--threads T] [--model-out FILE]\n\
+           info       --input FILE\n\
+           profile    --input FILE [--rank R] [--threads T]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let next = args.get(i + 1);
+            if next.is_none_or(|n| n.starts_with("--")) {
+                map.insert(key.to_string(), String::from("true"));
+                i += 1;
+            } else {
+                map.insert(key.to_string(), next.unwrap().clone());
+                i += 2;
+            }
+        } else {
+            eprintln!("ignoring stray argument {a:?}");
+            i += 1;
+        }
+    }
+    map
+}
+
+type CliResult = Result<(), String>;
+
+fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = s.split(['x', 'X', ',']).map(|t| t.parse()).collect();
+    let dims = dims.map_err(|_| format!("bad --dims {s:?} (expected e.g. 60x50x40)"))?;
+    if dims.len() < 2 || dims.contains(&0) {
+        return Err("need at least two nonzero dimensions".into());
+    }
+    Ok(dims)
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad --{key} {s:?}")),
+    }
+}
+
+fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
+    let dims = parse_dims(require(opts, "dims")?)?;
+    let rank: usize = num(opts, "rank", 4)?;
+    let noise: f64 = num(opts, "noise", 0.0)?;
+    let seed: u64 = num(opts, "seed", 0)?;
+    let out = require(opts, "out")?;
+
+    let mut x = KruskalModel::random(&dims, rank, seed).to_dense();
+    if noise > 0.0 {
+        let scale = x.norm() / (x.len() as f64).sqrt() * noise;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        for v in x.data_mut() {
+            *v += scale * (rng.random::<f64>() - 0.5);
+        }
+    }
+    write_tensor(out, &x).map_err(|e| e.to_string())?;
+    println!("wrote rank-{rank} tensor {dims:?} (+{noise} noise) to {out}");
+    Ok(())
+}
+
+fn cmd_gen_fmri(opts: &HashMap<String, String>) -> CliResult {
+    let cfg = match opts.get("preset").map(|s| s.as_str()).unwrap_or("small") {
+        "small" => FmriConfig::small(),
+        "medium" => FmriConfig { time: 96, subjects: 16, regions: 64, latent: 8, window: 16, seed: 0xF0A1 },
+        "paper" => FmriConfig::paper(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let out = require(opts, "out")?;
+    let x4 = cfg.generate_4way();
+    let x = if opts.contains_key("three-way") { linearize_symmetric(&x4) } else { x4 };
+    write_tensor(out, &x).map_err(|e| e.to_string())?;
+    println!("wrote fMRI tensor {:?} to {out}", x.dims());
+    Ok(())
+}
+
+fn load(opts: &HashMap<String, String>) -> Result<DenseTensor, String> {
+    read_tensor(require(opts, "input")?).map_err(|e| e.to_string())
+}
+
+fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
+    let x = load(opts)?;
+    println!("dims      : {:?}", x.dims());
+    println!("entries   : {}", x.len());
+    println!("bytes     : {}", x.len() * 8);
+    println!("frobenius : {:.6e}", x.norm());
+    let info = x.info();
+    for n in 0..x.order() {
+        println!(
+            "mode {n}   : I_n = {:<8} IL_n = {:<10} IR_n = {:<10} ({})",
+            info.dim(n),
+            info.i_left(n),
+            info.i_right(n),
+            if n == 0 || n == x.order() - 1 { "external" } else { "internal" },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
+    let x = load(opts)?;
+    let rank: usize = num(opts, "rank", 4)?;
+    let iters: usize = num(opts, "iters", 50)?;
+    let tol: f64 = num(opts, "tol", 1e-8)?;
+    let threads: usize = num(opts, "threads", 0)?;
+    let seed: u64 = num(opts, "seed", 42)?;
+    let pool = if threads == 0 { ThreadPool::host() } else { ThreadPool::new(threads) };
+
+    let init = KruskalModel::random(x.dims(), rank, seed);
+    let cp_opts = CpAlsOptions { max_iters: iters, tol, strategy: MttkrpStrategy::Auto };
+    let method = opts.get("method").map(|s| s.as_str()).unwrap_or("als");
+    let t0 = std::time::Instant::now();
+    let (model, report): (KruskalModel, CpAlsReport) = match method {
+        "als" => cp_als(&pool, &x, init, &cp_opts),
+        "nn" => cp_als_nn(&pool, &x, init, &cp_opts),
+        "dimtree" => cp_als_dimtree(&pool, &x, init, &cp_opts),
+        other => return Err(format!("unknown method {other:?} (als|nn|dimtree)")),
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    println!("method        : {method}");
+    println!("rank          : {rank}");
+    println!("iterations    : {} (converged = {})", report.iters, report.converged);
+    println!("final fit     : {:.6}", report.final_fit());
+    println!("total time    : {elapsed:.3}s ({:.3}s/iter)", report.mean_iter_time());
+    println!("mttkrp share  : {:.1}%", 100.0 * report.mttkrp_time / elapsed.max(1e-12));
+    println!("lambda        : {:?}", model.lambda.iter().map(|l| (l * 1e3).round() / 1e3).collect::<Vec<_>>());
+
+    if let Some(path) = opts.get("model-out") {
+        let stored = StoredModel {
+            dims: model.dims().to_vec(),
+            rank: model.rank(),
+            lambda: model.lambda.clone(),
+            factors: model.factors.clone(),
+        };
+        write_model(path, &stored).map_err(|e| e.to_string())?;
+        println!("model written : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_profile(opts: &HashMap<String, String>) -> CliResult {
+    let x = load(opts)?;
+    let rank: usize = num(opts, "rank", 25)?;
+    let threads: usize = num(opts, "threads", 0)?;
+    let pool = if threads == 0 { ThreadPool::host() } else { ThreadPool::new(threads) };
+    let dims = x.dims().to_vec();
+    let factors = random_factors(&dims, rank, 1);
+    let refs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, rank, Layout::RowMajor))
+        .collect();
+
+    println!("algorithm,mode,total_ms,reorder_ms,krp_ms,gemm_ms,gemv_ms,reduce_ms");
+    for n in 0..dims.len() {
+        let mut out = vec![0.0; dims[n] * rank];
+        let bd = mttkrp_explicit_timed(&pool, &x, &refs, n, &mut out);
+        print_row("explicit", n, &bd);
+        let bd = mttkrp_1step_timed(&pool, &x, &refs, n, &mut out);
+        print_row("1step", n, &bd);
+        if n > 0 && n < dims.len() - 1 {
+            let bd = mttkrp_2step_timed(&pool, &x, &refs, n, &mut out, TwoStepSide::Auto);
+            print_row("2step", n, &bd);
+        }
+    }
+    Ok(())
+}
+
+fn print_row(alg: &str, n: usize, bd: &mttkrp_core::Breakdown) {
+    println!(
+        "{alg},{n},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+        bd.total * 1e3,
+        bd.reorder * 1e3,
+        (bd.full_krp + bd.lr_krp) * 1e3,
+        bd.dgemm * 1e3,
+        bd.dgemv * 1e3,
+        bd.reduce * 1e3,
+    );
+}

@@ -1,0 +1,48 @@
+//! Future-work extension (paper conclusion): dimension-tree CP-ALS
+//! (Phan §III.C multi-mode reuse) vs the standard per-mode driver. The
+//! paper predicts per-iteration savings around 50% for 3-way and 2× for
+//! 4-way tensors.
+
+use mttkrp_cpals::{cp_als, cp_als_dimtree, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+use mttkrp_workloads::linearize_symmetric;
+
+use crate::scale::Scale;
+use crate::util::{claim, fmt_s};
+
+fn bench(label: &str, x: &DenseTensor, rank: usize, iters: usize, pool: &ThreadPool) -> f64 {
+    let opts = CpAlsOptions { max_iters: iters, tol: 0.0, strategy: MttkrpStrategy::Auto };
+    let init = KruskalModel::random(x.dims(), rank, 42);
+    let (_, rep_std) = cp_als(pool, x, init.clone(), &opts);
+    let (_, rep_dt) = cp_als_dimtree(pool, x, init, &opts);
+    let (std_t, dt_t) = (rep_std.mean_iter_time(), rep_dt.mean_iter_time());
+    let fit_gap = (rep_std.final_fit() - rep_dt.final_fit()).abs();
+    println!(
+        "{label},standard={},dimtree={},speedup={:.2}x,fit_gap={fit_gap:.2e}",
+        fmt_s(std_t),
+        fmt_s(dt_t),
+        std_t / dt_t
+    );
+    std_t / dt_t
+}
+
+pub fn run(scale: Scale) {
+    println!("## Extension: dimension-tree CP-ALS (Phan §III.C reuse)");
+    println!("tensor,standard_iter_s,dimtree_iter_s,speedup,fit_agreement");
+    let pool = ThreadPool::host();
+    let iters = scale.cpals_iters();
+    let cfg = scale.fmri();
+    let x4 = cfg.generate_4way();
+    let x3 = linearize_symmetric(&x4);
+
+    let s3 = bench("3D fMRI", &x3, 25, iters, &pool);
+    let s4 = bench("4D fMRI", &x4, 25, iters, &pool);
+    println!(
+        "# claim: ~50% savings in 3D -> {:.2}x [{}]",
+        s3,
+        claim(s3 > 1.15)
+    );
+    println!("# claim: ~2x savings in 4D -> {:.2}x [{}]", s4, claim(s4 > 1.3));
+    println!();
+}

@@ -1,0 +1,85 @@
+//! Figure 4: Khatri-Rao product — Reuse (Algorithm 1) vs Naive vs the
+//! STREAM benchmark, for Z ∈ {2,3,4} inputs and C ∈ {25,50} columns.
+
+use mttkrp_blas::stream::par_stream_scale;
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_krp::{par_krp, par_krp_naive};
+use mttkrp_machine::{predict_krp, predict_stream, Machine};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_workloads::{krp_input_rows, random_matrix};
+
+use crate::scale::Scale;
+use crate::util::{claim, fmt_s, time_median, MODEL_THREADS};
+
+pub fn run(scale: Scale) {
+    println!("## Figure 4: KRP time — Reuse (Alg 1) vs Naive vs STREAM");
+    let target = scale.krp_rows();
+    let pool = ThreadPool::host();
+    // Model/claims use the paper testbed's constants; measurements below
+    // are from this host.
+    let machine = Machine::sandy_bridge_12core();
+
+    for &c in &[25usize, 50] {
+        println!("\n### C = {c}, output rows ≈ {target} (paper: 2e7)");
+        println!("series,threads,seconds,source");
+
+        // Measured on this host (at the host's core count and at 1).
+        for &z in &[2usize, 3, 4] {
+            let rows = krp_input_rows(z, target);
+            let j: usize = rows.iter().product();
+            let mats: Vec<Vec<f64>> =
+                rows.iter().enumerate().map(|(i, &r)| random_matrix(r, c, i as u64 + 1)).collect();
+            let inputs: Vec<MatRef> = mats
+                .iter()
+                .zip(&rows)
+                .map(|(m, &r)| MatRef::from_slice(m, r, c, Layout::RowMajor))
+                .collect();
+            let mut out = vec![0.0; j * c];
+            let t_reuse = time_median(scale.trials(), || par_krp(&pool, &inputs, &mut out));
+            let t_naive = time_median(scale.trials(), || par_krp_naive(&pool, &inputs, &mut out));
+            println!("{z}-Reuse,{},{},measured", pool.num_threads(), fmt_s(t_reuse));
+            println!("{z}-Naive,{},{},measured", pool.num_threads(), fmt_s(t_naive));
+
+            for &t in &MODEL_THREADS {
+                println!("{z}-Reuse,{t},{},model", fmt_s(predict_krp(&machine, j, c, z, true, t)));
+                println!("{z}-Naive,{t},{},model", fmt_s(predict_krp(&machine, j, c, z, false, t)));
+            }
+        }
+
+        // STREAM over a matrix the size of the KRP output.
+        let j = krp_input_rows(2, target).iter().product::<usize>();
+        let src = vec![1.0f64; j * c];
+        let mut dst = vec![0.0f64; j * c];
+        let t_stream = time_median(scale.trials(), || par_stream_scale(&pool, 1.5, &src, &mut dst));
+        println!("STREAM,{},{},measured", pool.num_threads(), fmt_s(t_stream));
+        for &t in &MODEL_THREADS {
+            println!("STREAM,{t},{},model", fmt_s(predict_stream(&machine, j, c, t)));
+        }
+
+        // Claim checks (§5.2) — evaluated at the paper's J ≈ 2e7 rows so
+        // they are independent of the measurement scale.
+        let paper_rows = 20_000_000;
+        let j3 = krp_input_rows(3, paper_rows).iter().product::<usize>();
+        let speedup_z3 =
+            predict_krp(&machine, j3, c, 3, false, 1) / predict_krp(&machine, j3, c, 3, true, 1);
+        let j4 = krp_input_rows(4, paper_rows).iter().product::<usize>();
+        let speedup_z4 =
+            predict_krp(&machine, j4, c, 4, false, 1) / predict_krp(&machine, j4, c, 4, true, 1);
+        println!(
+            "# claim: Reuse over Naive 1.5-2.5x for Z=3,4 -> modeled {speedup_z3:.2}x / {speedup_z4:.2}x [{}]",
+            claim((1.2..3.0).contains(&speedup_z3) && (1.2..3.0).contains(&speedup_z4))
+        );
+        let par_speedup =
+            predict_krp(&machine, j3, c, 3, true, 1) / predict_krp(&machine, j3, c, 3, true, 12);
+        println!(
+            "# claim: parallel KRP speedup 6.6-8.3x @12T -> modeled {par_speedup:.2}x [{}]",
+            claim((5.0..9.5).contains(&par_speedup))
+        );
+        let ratio = predict_krp(&machine, j3, c, 3, true, 12) / predict_stream(&machine, j3, c, 12);
+        println!(
+            "# claim: Alg 1 competitive with STREAM -> modeled ratio {ratio:.2} [{}]",
+            claim((0.4..2.0).contains(&ratio))
+        );
+    }
+    println!();
+}

@@ -1,0 +1,61 @@
+//! Figure 6: per-phase time breakdown of baseline / 1-step / 2-step
+//! across modes, sequential (T=1) and parallel (T=12), for the Figure 5
+//! tensors.
+
+use mttkrp_core::{
+    mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, Breakdown, TwoStepSide,
+};
+use mttkrp_machine::{predict_1step, predict_2step, predict_explicit, Machine};
+use mttkrp_parallel::ThreadPool;
+
+use crate::fig5::{refs, workload, C};
+use crate::scale::Scale;
+use crate::util::fmt_s;
+
+fn print_bd(series: &str, n: usize, t: usize, source: &str, bd: &Breakdown) {
+    println!(
+        "{series},n={n},T={t},{source},reorder={},full_krp={},lr_krp={},dgemm={},dgemv={},reduce={},total={}",
+        fmt_s(bd.reorder),
+        fmt_s(bd.full_krp),
+        fmt_s(bd.lr_krp),
+        fmt_s(bd.dgemm),
+        fmt_s(bd.dgemv),
+        fmt_s(bd.reduce),
+        fmt_s(bd.total),
+    );
+}
+
+pub fn run(scale: Scale) {
+    println!("## Figure 6: MTTKRP phase breakdowns (C = {C})");
+    println!("# B = explicit baseline (reorder + full KRP + DGEMM); 1S/2S = paper algorithms");
+    let pool = ThreadPool::host();
+    let machine = Machine::sandy_bridge_12core();
+    let host_t = pool.num_threads();
+
+    for nmodes in 3..=6 {
+        let (x, factors, dims) = workload(nmodes, scale);
+        println!("\n### N = {nmodes}: dims = {dims:?}");
+        let frefs = refs(&factors, &dims);
+
+        for n in 0..nmodes {
+            let mut out = vec![0.0; dims[n] * C];
+            let bd_b = mttkrp_explicit_timed(&pool, &x, &frefs, n, &mut out);
+            print_bd("B", n, host_t, "measured", &bd_b);
+            let bd_1 = mttkrp_1step_timed(&pool, &x, &frefs, n, &mut out);
+            print_bd("1S", n, host_t, "measured", &bd_1);
+            if n > 0 && n < nmodes - 1 {
+                let bd_2 = mttkrp_2step_timed(&pool, &x, &frefs, n, &mut out, TwoStepSide::Auto);
+                print_bd("2S", n, host_t, "measured", &bd_2);
+            }
+
+            for &t in &[1usize, 12] {
+                print_bd("B", n, t, "model", &predict_explicit(&machine, &dims, n, C, t));
+                print_bd("1S", n, t, "model", &predict_1step(&machine, &dims, n, C, t));
+                if n > 0 && n < nmodes - 1 {
+                    print_bd("2S", n, t, "model", &predict_2step(&machine, &dims, n, C, t));
+                }
+            }
+        }
+    }
+    println!();
+}

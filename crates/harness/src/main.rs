@@ -1,0 +1,95 @@
+//! Figure/table regeneration harness.
+//!
+//! One subcommand per paper figure; each prints the figure's series as
+//! a CSV-style table (measured on this host, plus the calibrated
+//! machine-model prediction for 1–12 threads of the paper's testbed)
+//! followed by summary lines checking the paper's qualitative claims.
+//!
+//! ```text
+//! mttkrp-harness --fig4            # KRP: Reuse vs Naive vs STREAM
+//! mttkrp-harness --fig5            # MTTKRP time vs threads, N = 3..6
+//! mttkrp-harness --fig6            # MTTKRP phase breakdowns
+//! mttkrp-harness --fig7            # CP-ALS per-iteration, ours vs TTB-style
+//! mttkrp-harness --fig8            # breakdowns on the fMRI tensors
+//! mttkrp-harness --ext-dimtree     # future-work: dimension-tree CP-ALS
+//! mttkrp-harness --all             # everything
+//! mttkrp-harness --all --scale medium   # small (default) | medium | paper
+//! ```
+
+mod extension;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod scale;
+mod util;
+
+use scale::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
+            Some("small") => Scale::Small,
+            Some("medium") => Scale::Medium,
+            Some("paper") => Scale::Paper,
+            other => {
+                eprintln!("unknown scale {other:?} (expected small|medium|paper)");
+                std::process::exit(2);
+            }
+        },
+        None => Scale::Small,
+    };
+    let all = args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    println!("# MTTKRP reproduction harness");
+    println!(
+        "# scale = {scale:?}; host cores = {}",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!("# modeled machine = 2 x 6-core Sandy Bridge E5-2620 (calibrated to this host's kernel rates)");
+    println!();
+
+    let mut ran = false;
+    if want("--fig4") {
+        fig4::run(scale);
+        ran = true;
+    }
+    if want("--fig5") {
+        fig5::run(scale);
+        ran = true;
+    }
+    if want("--fig6") {
+        fig6::run(scale);
+        ran = true;
+    }
+    if want("--fig7") {
+        fig7::run(scale);
+        ran = true;
+    }
+    if want("--fig8") {
+        fig8::run(scale);
+        ran = true;
+    }
+    if want("--ext-dimtree") {
+        extension::run(scale);
+        ran = true;
+    }
+    if !ran {
+        print_help();
+        std::process::exit(2);
+    }
+}
+
+fn print_help() {
+    println!(
+        "usage: mttkrp-harness [--fig4] [--fig5] [--fig6] [--fig7] [--fig8] \
+         [--ext-dimtree] [--all] [--scale small|medium|paper]"
+    );
+}

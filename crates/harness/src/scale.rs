@@ -1,0 +1,67 @@
+//! Experiment sizing. The paper's tensors (≈750M entries, ≈6 GB) do not
+//! fit a quick regeneration loop, so the default scale shrinks every
+//! workload while preserving its shape family (equal dims, same C, same
+//! mode counts). `Paper` restores the published sizes.
+
+use mttkrp_workloads::FmriConfig;
+
+/// Workload scale for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure sizes (default): ~4–8M-entry tensors.
+    Small,
+    /// Tens of seconds per figure: ~32M-entry tensors.
+    Medium,
+    /// The published sizes (≈750M entries; needs ≈8 GB and hours on one
+    /// core).
+    Paper,
+}
+
+impl Scale {
+    /// Total entries of the Figure 5/6 synthetic tensors.
+    pub fn synthetic_entries(self) -> usize {
+        match self {
+            Scale::Small => 4_000_000,
+            Scale::Medium => 32_000_000,
+            Scale::Paper => 750_000_000,
+        }
+    }
+
+    /// Output rows of the Figure 4 KRP experiment (paper: ≈2·10⁷).
+    pub fn krp_rows(self) -> usize {
+        match self {
+            Scale::Small => 400_000,
+            Scale::Medium => 2_000_000,
+            Scale::Paper => 20_000_000,
+        }
+    }
+
+    /// fMRI tensor configuration for Figures 7/8.
+    pub fn fmri(self) -> FmriConfig {
+        match self {
+            Scale::Small => FmriConfig::small(),
+            Scale::Medium => {
+                FmriConfig { time: 96, subjects: 16, regions: 64, latent: 8, window: 16, seed: 0xF0A1 }
+            }
+            Scale::Paper => FmriConfig::paper(),
+        }
+    }
+
+    /// CP-ALS iterations to time per configuration.
+    pub fn cpals_iters(self) -> usize {
+        match self {
+            Scale::Small => 3,
+            Scale::Medium => 3,
+            Scale::Paper => 2,
+        }
+    }
+
+    /// Measurement repetitions (median taken).
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Small => 3,
+            Scale::Medium => 3,
+            Scale::Paper => 1,
+        }
+    }
+}

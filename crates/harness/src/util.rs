@@ -1,0 +1,40 @@
+//! Small measurement and formatting helpers shared by the figure
+//! modules.
+
+use std::time::Instant;
+
+/// Median wall time (seconds) of `trials` runs of `f`.
+pub fn time_median(trials: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Thread counts to evaluate the machine model at (the paper's x-axis).
+pub const MODEL_THREADS: [usize; 7] = [1, 2, 4, 6, 8, 10, 12];
+
+/// Seconds with 4 significant-ish digits for tables.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.1}")
+    } else if t >= 1.0 {
+        format!("{t:.3}")
+    } else {
+        format!("{:.3}ms", t * 1e3)
+    }
+}
+
+/// `PASS`/`WARN` tag for claim-check summary lines.
+pub fn claim(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "WARN"
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the Khatri-Rao kernels: random input counts,
+//! shapes, and column counts; cursor seek consistency; parallel
+//! partitioning across arbitrary thread counts.
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_krp::{
+    krp_colwise, krp_naive, krp_reuse, krp_rows, par_krp, par_krp_naive, KrpCursor,
+};
+use mttkrp_parallel::ThreadPool;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Inputs {
+    shapes: Vec<usize>,
+    c: usize,
+    seed: u64,
+}
+
+fn inputs_strategy() -> impl Strategy<Value = Inputs> {
+    (proptest::collection::vec(1usize..=5, 1..=5), 1usize..=6, any::<u64>())
+        .prop_map(|(shapes, c, seed)| Inputs { shapes, c, seed })
+}
+
+fn build(inp: &Inputs) -> Vec<Vec<f64>> {
+    let mut st = inp.seed | 1;
+    inp.shapes
+        .iter()
+        .map(|&r| {
+            (0..r * inp.c)
+                .map(|_| {
+                    st = st.wrapping_mul(6364136223846793005).wrapping_add(17);
+                    ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn refs<'a>(datas: &'a [Vec<f64>], shapes: &[usize], c: usize) -> Vec<MatRef<'a>> {
+    datas
+        .iter()
+        .zip(shapes)
+        .map(|(d, &r)| MatRef::from_slice(d, r, c, Layout::RowMajor))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_variants_agree(inp in inputs_strategy()) {
+        let datas = build(&inp);
+        let inputs = refs(&datas, &inp.shapes, inp.c);
+        let j = krp_rows(&inputs);
+        let mut reuse = vec![0.0; j * inp.c];
+        let mut naive = vec![0.0; j * inp.c];
+        let mut colwise = vec![0.0; j * inp.c];
+        krp_reuse(&inputs, &mut reuse);
+        krp_naive(&inputs, &mut naive);
+        krp_colwise(&inputs, &mut colwise);
+        prop_assert_eq!(&reuse, &naive);
+        for (a, b) in reuse.iter().zip(&colwise) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential(inp in inputs_strategy(), t in 1usize..8) {
+        let datas = build(&inp);
+        let inputs = refs(&datas, &inp.shapes, inp.c);
+        let j = krp_rows(&inputs);
+        let mut reference = vec![0.0; j * inp.c];
+        krp_reuse(&inputs, &mut reference);
+        let pool = ThreadPool::new(t);
+        let mut par = vec![0.0; j * inp.c];
+        par_krp(&pool, &inputs, &mut par);
+        prop_assert_eq!(&par, &reference);
+        let mut parn = vec![0.0; j * inp.c];
+        par_krp_naive(&pool, &inputs, &mut parn);
+        prop_assert_eq!(&parn, &reference);
+    }
+
+    #[test]
+    fn cursor_seek_is_consistent(inp in inputs_strategy(), frac in 0.0f64..1.0) {
+        let datas = build(&inp);
+        let inputs = refs(&datas, &inp.shapes, inp.c);
+        let j = krp_rows(&inputs);
+        let mut full = vec![0.0; j * inp.c];
+        krp_reuse(&inputs, &mut full);
+        let start = ((j - 1) as f64 * frac) as usize;
+        let mut cur = KrpCursor::new(&inputs);
+        cur.seek(start);
+        let mut row = vec![0.0; inp.c];
+        for jj in start..j {
+            cur.write_next(&mut row);
+            prop_assert_eq!(&row[..], &full[jj * inp.c..(jj + 1) * inp.c]);
+        }
+        prop_assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn krp_norm_is_product_of_column_norms(rows_a in 1usize..6, rows_b in 1usize..6, c in 1usize..4, seed in any::<u64>()) {
+        // ‖K(:,c)‖² = ‖A(:,c)‖²·‖B(:,c)‖² for K = A ⊙ B (Kronecker of
+        // columns).
+        let inp = Inputs { shapes: vec![rows_a, rows_b], c, seed };
+        let datas = build(&inp);
+        let inputs = refs(&datas, &inp.shapes, c);
+        let j = rows_a * rows_b;
+        let mut k = vec![0.0; j * c];
+        krp_reuse(&inputs, &mut k);
+        for col in 0..c {
+            let nk: f64 = (0..j).map(|r| k[r * c + col].powi(2)).sum();
+            let na: f64 = (0..rows_a).map(|r| datas[0][r * c + col].powi(2)).sum();
+            let nb: f64 = (0..rows_b).map(|r| datas[1][r * c + col].powi(2)).sum();
+            prop_assert!((nk - na * nb).abs() < 1e-10 * (1.0 + na * nb));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Cholesky factorization and solve for symmetric positive definite
+//! matrices.
+
+use crate::LinalgError;
+
+/// In-place lower Cholesky factorization of a column-major `n × n`
+/// symmetric positive definite matrix: on success the lower triangle of
+/// `a` holds `L` with `A = L·Lᵀ` (the strict upper triangle is left
+/// untouched and must be ignored by consumers).
+pub fn cholesky(a: &mut [f64], n: usize) -> Result<(), LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    for j in 0..n {
+        // Diagonal element.
+        let mut d = a[j + j * n];
+        for k in 0..j {
+            let ljk = a[j + k * n];
+            d -= ljk * ljk;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let ljj = d.sqrt();
+        a[j + j * n] = ljj;
+        // Column below the diagonal.
+        for i in j + 1..n {
+            let mut s = a[i + j * n];
+            for k in 0..j {
+                s -= a[i + k * n] * a[j + k * n];
+            }
+            a[i + j * n] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `A·x = b` given the Cholesky factor `L` from [`cholesky`]
+/// (forward then backward substitution); `b` is overwritten with `x`.
+pub fn cholesky_solve(l: &[f64], n: usize, b: &mut [f64]) {
+    assert_eq!(l.len(), n * n, "factor must be n x n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    // Forward: L y = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i + k * n] * b[k];
+        }
+        b[i] = s / l[i + i * n];
+    }
+    // Backward: Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in i + 1..n {
+            s -= l[k + i * n] * b[k];
+        }
+        b[i] = s / l[i + i * n];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul_nn;
+
+    fn spd_matrix(n: usize, seed: u64) -> Vec<f64> {
+        // A = B Bᵀ + n·I is SPD.
+        let mut state = seed | 1;
+        let mut b = vec![0.0; n * n];
+        for v in b.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
+        }
+        let mut bt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                bt[i + j * n] = b[j + i * n];
+            }
+        }
+        let mut a = matmul_nn(&b, &bt, n);
+        for i in 0..n {
+            a[i + i * n] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let n = 6;
+        let a = spd_matrix(n, 3);
+        let mut l = a.clone();
+        cholesky(&mut l, n).unwrap();
+        // Reconstruct L·Lᵀ from the lower triangle.
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=usize::min(i, j) {
+                    s += l[i + k * n] * l[j + k * n];
+                }
+                assert!((s - a[i + j * n]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let n = 5;
+        let a = spd_matrix(n, 9);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i + j * n] * x_true[j];
+            }
+        }
+        let mut l = a.clone();
+        cholesky(&mut l, n).unwrap();
+        cholesky_solve(&l, n, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i + i * n] = 1.0;
+        }
+        cholesky(&mut a, n).unwrap();
+        for i in 0..n {
+            assert!((a[i + i * n] - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let n = 2;
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert_eq!(cholesky(&mut a, n), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut a = vec![4.0];
+        cholesky(&mut a, 1).unwrap();
+        assert_eq!(a[0], 2.0);
+        let mut b = vec![6.0];
+        cholesky_solve(&a, 1, &mut b);
+        assert_eq!(b[0], 1.5);
+    }
+}

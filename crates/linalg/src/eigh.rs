@@ -1,0 +1,240 @@
+//! Cyclic Jacobi symmetric eigendecomposition and the symmetric
+//! pseudoinverse built on it.
+//!
+//! CP-ALS applies `H†` where `H` is the Hadamard product of Gram
+//! matrices — symmetric PSD but possibly rank-deficient (collinear
+//! factor columns). The Jacobi method is slow but unconditionally
+//! robust, which is the right trade-off at rank × rank sizes.
+
+use crate::{matmul_nn, LinalgError};
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Symmetric eigendecomposition `A = V·diag(w)·Vᵀ` by the cyclic Jacobi
+/// method. `a` is a column-major `n × n` symmetric matrix (destroyed);
+/// returns `(w, v)` with eigenvalues unsorted and eigenvectors in the
+/// columns of the column-major `v`.
+pub fn jacobi_eigh(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>), LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i + i * n] = 1.0;
+    }
+    if n == 1 {
+        return Ok((vec![a[0]], v));
+    }
+
+    let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let tol = f64::EPSILON * norm.max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for j in 0..n {
+            for i in 0..j {
+                off += a[i + j * n] * a[i + j * n];
+            }
+        }
+        if off.sqrt() <= tol {
+            let w = (0..n).map(|i| a[i + i * n]).collect();
+            return Ok((w, v));
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = a[p + q * n];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = a[p + p * n];
+                let aqq = a[q + q * n];
+                // Rotation angle (Golub & Van Loan, symmetric Schur).
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A ← JᵀAJ applied to rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[k + p * n];
+                    let akq = a[k + q * n];
+                    a[k + p * n] = c * akp - s * akq;
+                    a[k + q * n] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p + k * n];
+                    let aqk = a[q + k * n];
+                    a[p + k * n] = c * apk - s * aqk;
+                    a[q + k * n] = s * apk + c * aqk;
+                }
+                // Accumulate V ← V·J.
+                for k in 0..n {
+                    let vkp = v[k + p * n];
+                    let vkq = v[k + q * n];
+                    v[k + p * n] = c * vkp - s * vkq;
+                    v[k + q * n] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence)
+}
+
+/// Moore–Penrose pseudoinverse of a symmetric matrix:
+/// `A† = V·diag(1/w_i where |w_i| > rcond·max|w|)·Vᵀ`.
+///
+/// `rcond <= 0` uses the default `n · ε`.
+pub fn sym_pinv(a: &[f64], n: usize, rcond: f64) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    let mut work = a.to_vec();
+    let (w, v) = jacobi_eigh(&mut work, n)?;
+    let wmax = w.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let cut = if rcond > 0.0 { rcond } else { n as f64 * f64::EPSILON } * wmax;
+
+    // A† = V · diag(w†) · Vᵀ, assembled as (V·diag) · Vᵀ.
+    let mut vd = v.clone();
+    for (j, &wj) in w.iter().enumerate() {
+        let inv = if wj.abs() > cut { 1.0 / wj } else { 0.0 };
+        for i in 0..n {
+            vd[i + j * n] *= inv;
+        }
+    }
+    let mut vt = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            vt[i + j * n] = v[j + i * n];
+        }
+    }
+    Ok(matmul_nn(&vd, &vt, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_mat(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut a = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
+                a[i + j * n] = x;
+                a[j + i * n] = x;
+            }
+        }
+        a
+    }
+
+    fn reconstruct(w: &[f64], v: &[f64], n: usize) -> Vec<f64> {
+        let mut vd = v.to_vec();
+        for (j, &wj) in w.iter().enumerate() {
+            for i in 0..n {
+                vd[i + j * n] *= wj;
+            }
+        }
+        let mut vt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                vt[i + j * n] = v[j + i * n];
+            }
+        }
+        matmul_nn(&vd, &vt, n)
+    }
+
+    #[test]
+    fn eigendecomposition_reconstructs() {
+        for n in [1usize, 2, 3, 6, 10] {
+            let a = sym_mat(n, n as u64 + 1);
+            let mut work = a.clone();
+            let (w, v) = jacobi_eigh(&mut work, n).unwrap();
+            let back = reconstruct(&w, &v, n);
+            for (x, y) in back.iter().zip(&a) {
+                assert!((x - y).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let n = 7;
+        let a = sym_mat(n, 44);
+        let mut work = a.clone();
+        let (_, v) = jacobi_eigh(&mut work, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = (0..n).map(|k| v[k + i * n] * v[k + j * n]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i + i * n] = (i + 1) as f64;
+        }
+        let (mut w, _) = jacobi_eigh(&mut a, n).unwrap();
+        w.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for i in 0..n {
+            assert!((w[i] - (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let n = 5;
+        // SPD matrix: A = B + Bᵀ + 2n·I.
+        let mut a = sym_mat(n, 17);
+        for i in 0..n {
+            a[i + i * n] += 2.0 * n as f64;
+        }
+        let p = sym_pinv(&a, n, 0.0).unwrap();
+        let prod = matmul_nn(&p, &a, n);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i + j * n] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pinv_of_rank_deficient_satisfies_penrose() {
+        // A = x xᵀ (rank 1). A† = x xᵀ / ‖x‖⁴.
+        let n = 4;
+        let x = [1.0, 2.0, -1.0, 0.5];
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i + j * n] = x[i] * x[j];
+            }
+        }
+        let p = sym_pinv(&a, n, 0.0).unwrap();
+        // Penrose condition: A·A†·A = A.
+        let apa = matmul_nn(&matmul_nn(&a, &p, n), &a, n);
+        for (u, v) in apa.iter().zip(&a) {
+            assert!((u - v).abs() < 1e-9);
+        }
+        // Closed form check.
+        let norm4 = x.iter().map(|v| v * v).sum::<f64>().powi(2);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p[i + j * n] - x[i] * x[j] / norm4).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pinv_of_zero_is_zero() {
+        let p = sym_pinv(&[0.0; 9], 3, 0.0).unwrap();
+        assert!(p.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Small dense factorizations substituting for LAPACK in the CP-ALS
+//! driver.
+//!
+//! CP-ALS needs one `C × C` solve per factor update:
+//! `U_n = M · H†` where `H = ⊛_{k≠n} U_kᵀU_k` is symmetric positive
+//! semi-definite and `C` is the decomposition rank (10–50 in the paper's
+//! experiments). This crate provides:
+//!
+//! * [`cholesky`] / [`cholesky_solve`] — for the well-conditioned case;
+//! * [`lu_factor`] / [`lu_solve`] — general square solves with partial
+//!   pivoting;
+//! * [`jacobi_eigh`] — cyclic Jacobi symmetric eigendecomposition, whose
+//!   robustness (not speed) matters here;
+//! * [`sym_pinv`] — the Moore–Penrose pseudoinverse of a symmetric PSD
+//!   matrix via Jacobi, used for rank-deficient Gram matrices exactly as
+//!   Tensor Toolbox uses `pinv`.
+//!
+//! All matrices are **column-major** `n × n` slices. Sizes here are tiny
+//! (rank × rank), so clarity and robustness win over blocking.
+
+pub mod chol;
+pub mod eigh;
+pub mod lu;
+
+pub use chol::{cholesky, cholesky_solve};
+pub use eigh::{jacobi_eigh, sym_pinv};
+pub use lu::{lu_factor, lu_solve};
+
+/// Errors from the dense factorizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Cholesky pivot was non-positive: the matrix is not (numerically)
+    /// positive definite.
+    NotPositiveDefinite,
+    /// An exactly singular pivot was encountered in LU.
+    Singular,
+    /// The Jacobi sweep limit was reached before convergence.
+    NoConvergence,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NoConvergence => write!(f, "eigensolver did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Multiply two column-major `n × n` matrices (helper for tests and for
+/// the pseudoinverse assembly).
+pub(crate) fn matmul_nn(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for j in 0..n {
+        for p in 0..n {
+            let bpj = b[p + j * n];
+            if bpj != 0.0 {
+                for i in 0..n {
+                    c[i + j * n] += a[i + p * n] * bpj;
+                }
+            }
+        }
+    }
+    c
+}

@@ -1,0 +1,125 @@
+//! LU factorization with partial pivoting.
+
+use crate::LinalgError;
+
+/// In-place LU factorization with partial pivoting of a column-major
+/// `n × n` matrix: `P·A = L·U`, `L` unit lower / `U` upper triangular,
+/// both stored in `a`. Returns the pivot permutation (`piv[k]` = row
+/// swapped into position `k` at step `k`).
+pub fn lu_factor(a: &mut [f64], n: usize) -> Result<Vec<usize>, LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    let mut piv = Vec::with_capacity(n);
+    for k in 0..n {
+        // Find pivot in column k.
+        let mut p = k;
+        let mut pmax = a[k + k * n].abs();
+        for i in k + 1..n {
+            let v = a[i + k * n].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax == 0.0 || !pmax.is_finite() {
+            return Err(LinalgError::Singular);
+        }
+        piv.push(p);
+        if p != k {
+            for j in 0..n {
+                a.swap(k + j * n, p + j * n);
+            }
+        }
+        // Eliminate below the pivot.
+        let pivot = a[k + k * n];
+        for i in k + 1..n {
+            let m = a[i + k * n] / pivot;
+            a[i + k * n] = m;
+            for j in k + 1..n {
+                a[i + j * n] -= m * a[k + j * n];
+            }
+        }
+    }
+    Ok(piv)
+}
+
+/// Solve `A·x = b` given [`lu_factor`] output; `b` is overwritten.
+pub fn lu_solve(lu: &[f64], piv: &[usize], n: usize, b: &mut [f64]) {
+    assert_eq!(lu.len(), n * n, "factor must be n x n");
+    assert_eq!(piv.len(), n, "pivot vector must have length n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    // Apply the permutation.
+    for (k, &p) in piv.iter().enumerate() {
+        if p != k {
+            b.swap(k, p);
+        }
+    }
+    // Forward: L y = P b (unit diagonal).
+    for i in 1..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= lu[i + k * n] * b[k];
+        }
+        b[i] = s;
+    }
+    // Backward: U x = y.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in i + 1..n {
+            s -= lu[i + k * n] * b[k];
+        }
+        b[i] = s / lu[i + i * n];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n * n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for n in [1usize, 2, 5, 9] {
+            let a = rand_mat(n, n as u64 * 7 + 1);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a[i + j * n] * x_true[j];
+                }
+            }
+            let mut lu = a.clone();
+            let piv = lu_factor(&mut lu, n).unwrap();
+            lu_solve(&lu, &piv, n, &mut b);
+            for (got, want) in b.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // A = [[0, 1], [1, 0]] requires a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let piv = lu_factor(&mut a, 2).unwrap();
+        let mut b = vec![2.0, 3.0];
+        lu_solve(&a, &piv, 2, &mut b);
+        // x solves [[0,1],[1,0]] x = (2,3) → x = (3,2).
+        assert!((b[0] - 3.0).abs() < 1e-14);
+        assert!((b[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
+        assert_eq!(lu_factor(&mut a, 2), Err(LinalgError::Singular));
+    }
+}

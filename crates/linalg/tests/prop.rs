@@ -1,0 +1,149 @@
+//! Property tests for the dense factorizations: random well-conditioned
+//! and rank-deficient inputs, Penrose conditions, solver recovery.
+
+use mttkrp_linalg::{cholesky, cholesky_solve, jacobi_eigh, lu_factor, lu_solve, sym_pinv};
+use proptest::prelude::*;
+
+fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for j in 0..n {
+        for p in 0..n {
+            let bpj = b[p + j * n];
+            for i in 0..n {
+                c[i + j * n] += a[i + p * n] * bpj;
+            }
+        }
+    }
+    c
+}
+
+fn rand_mat(n: usize, seed: u64) -> Vec<f64> {
+    let mut st = seed | 1;
+    (0..n * n)
+        .map(|_| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// SPD matrix `B·Bᵀ + n·I`.
+fn spd(n: usize, seed: u64) -> Vec<f64> {
+    let b = rand_mat(n, seed);
+    let mut bt = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            bt[i + j * n] = b[j + i * n];
+        }
+    }
+    let mut a = matmul(&b, &bt, n);
+    for i in 0..n {
+        a[i + i * n] += n as f64;
+    }
+    a
+}
+
+/// Rank-`r` symmetric PSD matrix `B_r · B_rᵀ` (B_r is n × r).
+fn psd_rank(n: usize, r: usize, seed: u64) -> Vec<f64> {
+    let b = rand_mat(n, seed); // take first r columns
+    let mut a = vec![0.0; n * n];
+    for p in 0..r {
+        for i in 0..n {
+            for j in 0..n {
+                a[i + j * n] += b[i + p * n] * b[j + p * n];
+            }
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_solves_random_systems(n in 1usize..12, seed in any::<u64>()) {
+        let a = rand_mat(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64) / 2.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i + j * n] * x_true[j];
+            }
+        }
+        let mut lu = a.clone();
+        // Random matrices are almost surely nonsingular; skip the
+        // measure-zero failures rather than fail the property.
+        if let Ok(piv) = lu_factor(&mut lu, n) {
+            lu_solve(&lu, &piv, n, &mut b);
+            for (got, want) in b.iter().zip(&x_true) {
+                prop_assert!((got - want).abs() < 1e-6, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(n in 1usize..12, seed in any::<u64>()) {
+        let a = spd(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.25).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i + j * n] * x_true[j];
+            }
+        }
+        let mut l = a.clone();
+        cholesky(&mut l, n).unwrap();
+        cholesky_solve(&l, n, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_match_trace_and_norm(n in 1usize..10, seed in any::<u64>()) {
+        // Σλ = trace(A), Σλ² = ‖A‖²_F for symmetric A.
+        let b = rand_mat(n, seed);
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i + j * n] = 0.5 * (b[i + j * n] + b[j + i * n]);
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[i + i * n]).sum();
+        let frob2: f64 = a.iter().map(|x| x * x).sum();
+        let (w, _) = jacobi_eigh(&mut a.clone(), n).unwrap();
+        let sum: f64 = w.iter().sum();
+        let sum2: f64 = w.iter().map(|x| x * x).sum();
+        prop_assert!((sum - trace).abs() < 1e-8 * (1.0 + trace.abs()));
+        prop_assert!((sum2 - frob2).abs() < 1e-8 * (1.0 + frob2));
+    }
+
+    #[test]
+    fn pinv_satisfies_penrose_conditions(
+        n in 2usize..9,
+        r_frac in 0.1f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let r = ((n as f64 * r_frac).ceil() as usize).clamp(1, n);
+        let a = psd_rank(n, r, seed);
+        let p = sym_pinv(&a, n, 0.0).unwrap();
+        // 1) A P A = A, 2) P A P = P, 3/4) symmetry of A·P and P·A.
+        let ap = matmul(&a, &p, n);
+        let apa = matmul(&ap, &a, n);
+        let pap = matmul(&p, &ap, n);
+        let scale = a.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
+        let pnorm = p.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1.0);
+        // Random PSD matrices can be arbitrarily ill-conditioned near the
+        // rank cutoff; the achievable residual grows with ‖P‖·‖A‖.
+        let kappa = 1.0 + pnorm * scale;
+        for i in 0..n * n {
+            prop_assert!((apa[i] - a[i]).abs() < 1e-8 * scale * kappa, "APA=A failed");
+            prop_assert!((pap[i] - p[i]).abs() < 1e-8 * pnorm * kappa, "PAP=P failed");
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((ap[i + j * n] - ap[j + i * n]).abs() < 1e-8 * scale * kappa);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! OpenMP-like shared-memory parallel runtime for the MTTKRP reproduction.
+//!
+//! The paper parallelizes its kernels with OpenMP `parallel for` regions
+//! using *static* scheduling: each of `T` threads receives one contiguous
+//! block of the iteration space, plus thread-private output buffers that
+//! are combined by a final parallel reduction. This crate provides exactly
+//! that model:
+//!
+//! * [`ThreadPool`] — a persistent pool of workers. A *parallel region*
+//!   ([`ThreadPool::run`]) invokes one closure per thread with its
+//!   [`WorkerCtx`] (thread id and team size), blocking the caller until
+//!   every thread finishes. The calling thread participates as thread 0,
+//!   so a pool of size 1 runs entirely inline with no synchronization.
+//! * [`ThreadPool::parallel_for_blocks`] — static contiguous partition of
+//!   an index range, one block per thread (OpenMP `schedule(static)`).
+//! * [`ThreadPool::parallel_for_chunks`] — block-cyclic partition for
+//!   load-balancing loops whose per-iteration cost varies.
+//! * [`reduce::sum_into`] — the parallel reduction used to combine
+//!   thread-private MTTKRP outputs: threads each own a contiguous slice
+//!   range of the output and sum the corresponding ranges of all private
+//!   buffers.
+//!
+//! Panics raised inside a region are captured and re-thrown on the caller
+//! after the team quiesces, so a poisoned pool is never left behind.
+//!
+//! # Example
+//!
+//! ```
+//! use mttkrp_parallel::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let mut out = vec![0u64; 1000];
+//! pool.parallel_for_blocks(out.len(), &mut out, |ctx, range, chunk| {
+//!     for (i, slot) in range.clone().zip(chunk.iter_mut()) {
+//!         *slot = (i as u64) * (ctx.num_threads as u64);
+//!     }
+//! });
+//! assert_eq!(out[10], 40);
+//! ```
+
+pub mod partition;
+pub mod pool;
+pub mod reduce;
+
+pub use partition::{block_len, block_range, Blocks};
+pub use pool::{ThreadPool, WorkerCtx};

@@ -1,0 +1,162 @@
+//! Static partitioning of iteration spaces, mirroring OpenMP
+//! `schedule(static)` semantics: the first `n % nblocks` blocks receive
+//! one extra element so block sizes differ by at most one.
+
+use std::ops::Range;
+
+/// Length of block `b` when `n` items are split into `nblocks` blocks.
+///
+/// Blocks are balanced: sizes differ by at most one and sum to `n`.
+#[inline]
+pub fn block_len(n: usize, nblocks: usize, b: usize) -> usize {
+    debug_assert!(b < nblocks);
+    let base = n / nblocks;
+    let rem = n % nblocks;
+    base + usize::from(b < rem)
+}
+
+/// Half-open index range of block `b` when `n` items are split into
+/// `nblocks` balanced contiguous blocks.
+///
+/// # Panics
+/// Panics if `nblocks == 0` or `b >= nblocks`.
+#[inline]
+pub fn block_range(n: usize, nblocks: usize, b: usize) -> Range<usize> {
+    assert!(nblocks > 0, "cannot partition into zero blocks");
+    assert!(b < nblocks, "block index {b} out of range for {nblocks} blocks");
+    let base = n / nblocks;
+    let rem = n % nblocks;
+    // Blocks [0, rem) have length base+1, the rest have length base.
+    let start = if b < rem { b * (base + 1) } else { rem * (base + 1) + (b - rem) * base };
+    let len = base + usize::from(b < rem);
+    start..start + len
+}
+
+/// Iterator over the balanced contiguous blocks of `0..n`.
+///
+/// Yields `nblocks` ranges (some possibly empty when `n < nblocks`) that
+/// tile `0..n` exactly.
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    n: usize,
+    nblocks: usize,
+    next: usize,
+}
+
+impl Blocks {
+    /// Create an iterator over the `nblocks` balanced blocks of `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `nblocks == 0`.
+    pub fn new(n: usize, nblocks: usize) -> Self {
+        assert!(nblocks > 0, "cannot partition into zero blocks");
+        Blocks { n, nblocks, next: 0 }
+    }
+}
+
+impl Iterator for Blocks {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.nblocks {
+            return None;
+        }
+        let r = block_range(self.n, self.nblocks, self.next);
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.nblocks - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Blocks {}
+
+/// Split a mutable slice into `nblocks` balanced contiguous sub-slices.
+///
+/// The returned vector always has exactly `nblocks` entries; trailing
+/// entries are empty when `slice.len() < nblocks`.
+pub fn split_blocks_mut<T>(slice: &mut [T], nblocks: usize) -> Vec<&mut [T]> {
+    assert!(nblocks > 0, "cannot partition into zero blocks");
+    let n = slice.len();
+    let mut out = Vec::with_capacity(nblocks);
+    let mut rest = slice;
+    for b in 0..nblocks {
+        let len = block_len(n, nblocks, b);
+        let (head, tail) = rest.split_at_mut(len);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_exactly() {
+        for n in [0usize, 1, 2, 7, 12, 100, 101] {
+            for t in [1usize, 2, 3, 5, 12, 16] {
+                let mut covered = 0;
+                for b in 0..t {
+                    let r = block_range(n, t, b);
+                    assert_eq!(r.start, covered, "n={n} t={t} b={b}");
+                    assert_eq!(r.len(), block_len(n, t, b));
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_balanced_within_one() {
+        for n in [1usize, 5, 13, 97] {
+            for t in [1usize, 2, 4, 7, 12] {
+                let lens: Vec<usize> = Blocks::new(n, t).map(|r| r.len()).collect();
+                let min = *lens.iter().min().unwrap();
+                let max = *lens.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} t={t} lens={lens:?}");
+                assert_eq!(lens.iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_iterator_counts() {
+        let b = Blocks::new(10, 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.collect::<Vec<_>>(), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn empty_blocks_when_fewer_items_than_blocks() {
+        let rs: Vec<_> = Blocks::new(2, 5).collect();
+        assert_eq!(rs, vec![0..1, 1..2, 2..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn split_blocks_mut_tiles() {
+        let mut v: Vec<u32> = (0..11).collect();
+        let parts = split_blocks_mut(&mut v, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2, 3]);
+        assert_eq!(parts[1], &[4, 5, 6, 7]);
+        assert_eq!(parts[2], &[8, 9, 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_blocks_panics() {
+        let _ = block_range(10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let _ = block_range(10, 3, 3);
+    }
+}

@@ -1,0 +1,376 @@
+//! A persistent thread pool with OpenMP-style parallel regions.
+//!
+//! The pool owns `T - 1` worker threads; the thread that enters a region
+//! participates as thread 0. Regions are *blocking*: [`ThreadPool::run`]
+//! returns only after every member of the team has finished, which is what
+//! makes it sound to hand the workers a closure that borrows the caller's
+//! stack.
+
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::partition::block_range;
+
+/// Identity of one thread inside a parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCtx {
+    /// Thread id within the team, `0 <= thread_id < num_threads`.
+    pub thread_id: usize,
+    /// Team size for this region (the pool size).
+    pub num_threads: usize,
+}
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Type-erased pointer to the region closure living on the caller's stack.
+///
+/// Safety: the caller blocks until every worker acknowledges completion,
+/// so the pointee outlives every dereference.
+struct JobMsg {
+    data: *const (),
+    call: unsafe fn(*const (), WorkerCtx),
+    ctx: WorkerCtx,
+    done: Sender<Result<(), PanicPayload>>,
+}
+
+// The raw pointer refers to a `Sync` closure that outlives the region.
+unsafe impl Send for JobMsg {}
+
+enum Msg {
+    Run(JobMsg),
+    Exit,
+}
+
+/// A persistent team of threads executing OpenMP-like parallel regions.
+///
+/// Creating a pool of size `1` spawns no threads; every region then runs
+/// inline on the caller, so sequential benchmarks measure zero
+/// synchronization overhead.
+pub struct ThreadPool {
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Create a pool with `size` threads (including the caller).
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "thread pool must have at least one thread");
+        let mut senders = Vec::with_capacity(size.saturating_sub(1));
+        let mut handles = Vec::with_capacity(size.saturating_sub(1));
+        for i in 1..size {
+            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+            let handle = std::thread::Builder::new()
+                .name(format!("mttkrp-worker-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("failed to spawn pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ThreadPool { size, senders, handles }
+    }
+
+    /// Pool sized to the host's available parallelism.
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of threads in the team (including the caller).
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.size
+    }
+
+    /// Execute `f(ctx)` once per team member, blocking until all finish.
+    ///
+    /// The calling thread runs as `thread_id == 0`. If any invocation
+    /// panics, the panic is re-raised here after the team quiesces (the
+    /// first panic observed wins; thread 0's panic takes precedence).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(WorkerCtx) + Sync,
+    {
+        if self.size == 1 {
+            f(WorkerCtx { thread_id: 0, num_threads: 1 });
+            return;
+        }
+        let (done_tx, done_rx) = bounded::<Result<(), PanicPayload>>(self.size - 1);
+        let data = &f as *const F as *const ();
+        unsafe fn call_shim<F: Fn(WorkerCtx) + Sync>(data: *const (), ctx: WorkerCtx) {
+            // Safety: `data` points at the caller's `F`, alive for the region.
+            unsafe { (*(data as *const F))(ctx) }
+        }
+        for (i, tx) in self.senders.iter().enumerate() {
+            let msg = JobMsg {
+                data,
+                call: call_shim::<F>,
+                ctx: WorkerCtx { thread_id: i + 1, num_threads: self.size },
+                done: done_tx.clone(),
+            };
+            tx.send(Msg::Run(msg)).expect("pool worker exited unexpectedly");
+        }
+        drop(done_tx);
+        let mine = catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { thread_id: 0, num_threads: self.size })));
+        // Quiesce before unwinding: the closure must outlive every worker.
+        let mut worker_panic: Option<PanicPayload> = None;
+        for _ in 0..self.size - 1 {
+            match done_rx.recv().expect("pool worker exited unexpectedly") {
+                Ok(()) => {}
+                Err(p) => {
+                    if worker_panic.is_none() {
+                        worker_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Err(p) = mine {
+            resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Static contiguous partition of `0..n`: thread `t` receives the
+    /// `t`-th balanced block as a half-open range.
+    pub fn parallel_for_range<F>(&self, n: usize, f: F)
+    where
+        F: Fn(WorkerCtx, Range<usize>) + Sync,
+    {
+        self.run(|ctx| {
+            let r = block_range(n, ctx.num_threads, ctx.thread_id);
+            if !r.is_empty() {
+                f(ctx, r);
+            }
+        });
+    }
+
+    /// Static contiguous partition of `data` (length `n`): thread `t`
+    /// receives its index range plus the matching disjoint sub-slice.
+    pub fn parallel_for_blocks<T, F>(&self, n: usize, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(WorkerCtx, Range<usize>, &mut [T]) + Sync,
+    {
+        assert_eq!(data.len(), n, "data length must equal iteration count");
+        let base = data.as_mut_ptr() as usize;
+        self.run(|ctx| {
+            let r = block_range(n, ctx.num_threads, ctx.thread_id);
+            if r.is_empty() {
+                return;
+            }
+            // Safety: blocks are pairwise disjoint and within `data`,
+            // which is mutably borrowed for the whole region.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(r.start), r.len()) };
+            f(ctx, r, chunk);
+        });
+    }
+
+    /// Block-cyclic partition: thread `t` processes chunks
+    /// `t, t + T, t + 2T, ...` of `chunk` consecutive indices each.
+    ///
+    /// Used where per-chunk cost varies; the paper's internal-mode 1-step
+    /// loop over `IRn` blocks uses this with `chunk == 1`.
+    pub fn parallel_for_chunks<F>(&self, n: usize, chunk: usize, f: F)
+    where
+        F: Fn(WorkerCtx, Range<usize>) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.run(|ctx| {
+            let mut start = ctx.thread_id * chunk;
+            while start < n {
+                let end = usize::min(start + chunk, n);
+                f(ctx, start..end);
+                start += ctx.num_threads * chunk;
+            }
+        });
+    }
+
+    /// Run a region with one private value per thread, returning the
+    /// private values afterwards (e.g. thread-local MTTKRP accumulators).
+    ///
+    /// `init(t)` is called on the caller for `t in 0..T` before the region
+    /// starts; thread `t` then receives `&mut` access to its value.
+    pub fn run_with_private<B, I, F>(&self, init: I, f: F) -> Vec<B>
+    where
+        B: Send,
+        I: FnMut(usize) -> B,
+        F: Fn(WorkerCtx, &mut B) + Sync,
+    {
+        let mut privs: Vec<B> = (0..self.size).map(init).collect();
+        let base = privs.as_mut_ptr() as usize;
+        self.run(|ctx| {
+            // Safety: each thread touches only element `thread_id`, and
+            // `privs` outlives the region.
+            let b = unsafe { &mut *(base as *mut B).add(ctx.thread_id) };
+            f(ctx, b);
+        });
+        privs
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Exit);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Exit => break,
+            Msg::Run(job) => {
+                let res = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, job.ctx) }));
+                // The caller is guaranteed to be draining the channel.
+                let _ = job.done.send(res.map_err(|p| p as PanicPayload));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_thread_runs_once() {
+        for t in [1, 2, 3, 7] {
+            let pool = ThreadPool::new(t);
+            let count = AtomicUsize::new(0);
+            let mask = AtomicUsize::new(0);
+            pool.run(|ctx| {
+                assert_eq!(ctx.num_threads, t);
+                count.fetch_add(1, Ordering::Relaxed);
+                mask.fetch_or(1 << ctx.thread_id, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), t);
+            assert_eq!(mask.load(Ordering::Relaxed), (1usize << t) - 1);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_regions() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn blocks_cover_all_indices_exactly_once() {
+        let pool = ThreadPool::new(5);
+        let mut hits = vec![0u8; 1003];
+        pool.parallel_for_blocks(hits.len(), &mut hits, |_, range, chunk| {
+            assert_eq!(range.len(), chunk.len());
+            for slot in chunk {
+                *slot += 1;
+            }
+        });
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn chunks_cover_all_indices_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..250).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_chunks(hits.len(), 7, |_, range| {
+            assert!(range.len() <= 7);
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn private_buffers_are_per_thread() {
+        let pool = ThreadPool::new(4);
+        let privs = pool.run_with_private(
+            |t| vec![t],
+            |ctx, buf| {
+                buf.push(ctx.thread_id + 100);
+            },
+        );
+        for (t, buf) in privs.iter().enumerate() {
+            assert_eq!(buf, &vec![t, t + 100]);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id == 2 {
+                    panic!("boom from worker");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // Pool still usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn caller_panic_propagates_after_quiesce() {
+        let pool = ThreadPool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id == 0 {
+                    panic!("boom from caller");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        pool.run(|_| {});
+    }
+
+    #[test]
+    fn size_one_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        pool.run(|ctx| {
+            assert_eq!(ctx.thread_id, 0);
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn empty_range_threads_skip_work() {
+        let pool = ThreadPool::new(8);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for_range(3, |_, range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Parallel reductions of thread-private accumulators.
+//!
+//! Both MTTKRP parallelizations in the paper end with a reduction of `T`
+//! thread-private `In × C` matrices into the output (`M ← Σ_t M_t`,
+//! Algorithm 3 line 19). Each matrix is a flat slice; the reduction is
+//! parallelized over *elements* — thread `t` owns a contiguous element
+//! range and sums that range across every private buffer — so the
+//! reduction itself scales with the team.
+
+use crate::pool::ThreadPool;
+
+/// `out[i] += Σ_p parts[p][i]`, sequentially.
+pub fn sum_into_seq(out: &mut [f64], parts: &[&[f64]]) {
+    for part in parts {
+        assert_eq!(part.len(), out.len(), "private buffer length mismatch");
+        for (o, &x) in out.iter_mut().zip(part.iter()) {
+            *o += x;
+        }
+    }
+}
+
+/// `out[i] += Σ_p parts[p][i]`, parallelized over element ranges.
+///
+/// This is the paper's parallel reduction: each team thread sums a
+/// contiguous range of indices across all private buffers, touching each
+/// output element exactly once.
+pub fn sum_into(pool: &ThreadPool, out: &mut [f64], parts: &[&[f64]]) {
+    for part in parts {
+        assert_eq!(part.len(), out.len(), "private buffer length mismatch");
+    }
+    if pool.num_threads() == 1 || out.len() < 1024 {
+        sum_into_seq(out, parts);
+        return;
+    }
+    pool.parallel_for_blocks(out.len(), out, |_, range, chunk| {
+        for part in parts {
+            let src = &part[range.clone()];
+            for (o, &x) in chunk.iter_mut().zip(src.iter()) {
+                *o += x;
+            }
+        }
+    });
+}
+
+/// Sum the owned private buffers into the first one and return it,
+/// consuming the rest. Convenience wrapper over [`sum_into`].
+pub fn fold_first(pool: &ThreadPool, mut parts: Vec<Vec<f64>>) -> Vec<f64> {
+    let mut first = parts.remove(0);
+    let refs: Vec<&[f64]> = parts.iter().map(|v| v.as_slice()).collect();
+    sum_into(pool, &mut first, &refs);
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_sum() {
+        let pool = ThreadPool::new(4);
+        let parts_owned: Vec<Vec<f64>> = (0..5)
+            .map(|p| (0..4096).map(|i| (p * 4096 + i) as f64).collect())
+            .collect();
+        let parts: Vec<&[f64]> = parts_owned.iter().map(|v| v.as_slice()).collect();
+
+        let mut seq = vec![1.0; 4096];
+        sum_into_seq(&mut seq, &parts);
+        let mut par = vec![1.0; 4096];
+        sum_into(&pool, &mut par, &parts);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn small_inputs_take_sequential_path() {
+        let pool = ThreadPool::new(4);
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 20.0, 30.0];
+        let mut out = vec![0.0; 3];
+        sum_into(&pool, &mut out, &[&a, &b]);
+        assert_eq!(out, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn fold_first_consumes_buffers() {
+        let pool = ThreadPool::new(2);
+        let parts = vec![vec![1.0; 2048], vec![2.0; 2048], vec![3.0; 2048]];
+        let out = fold_first(&pool, parts);
+        assert!(out.iter().all(|&x| x == 6.0));
+    }
+
+    #[test]
+    fn empty_parts_is_identity() {
+        let pool = ThreadPool::new(2);
+        let mut out = vec![7.0; 10];
+        sum_into(&pool, &mut out, &[]);
+        assert!(out.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let pool = ThreadPool::new(2);
+        let a = vec![0.0; 4];
+        let mut out = vec![0.0; 5];
+        sum_into(&pool, &mut out, &[&a]);
+    }
+}

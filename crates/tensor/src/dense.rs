@@ -1,0 +1,317 @@
+//! The dense tensor container.
+
+use mttkrp_blas::{Layout, MatRef};
+
+use crate::dims::DimInfo;
+use crate::unfold::ModeUnfolding;
+
+/// A dense `N`-way tensor stored under the natural linearization
+/// (mode 0 fastest; generalized column-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor {
+    info: DimInfo,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let info = DimInfo::new(dims);
+        let data = vec![0.0; info.total()];
+        DenseTensor { info, data }
+    }
+
+    /// Wrap an existing linearized buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the product of `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<f64>) -> Self {
+        let info = DimInfo::new(dims);
+        assert_eq!(data.len(), info.total(), "data length must match shape");
+        DenseTensor { info, data }
+    }
+
+    /// Tensor filled by calling `f` once per entry in linearization order.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut() -> f64) -> Self {
+        let info = DimInfo::new(dims);
+        let data = (0..info.total()).map(|_| f()).collect();
+        DenseTensor { info, data }
+    }
+
+    /// Rank-`C` Kruskal tensor `⟦U_0, …, U_{N−1}⟧` evaluated densely:
+    /// `X(i_0,…,i_{N−1}) = Σ_c Π_n U_n(i_n, c)`.
+    ///
+    /// Factors are column-major `I_n × C` matrices. Used to plant
+    /// known-rank inputs for CP-ALS recovery tests.
+    pub fn from_factors(dims: &[usize], factors: &[Vec<f64>], rank: usize) -> Self {
+        let info = DimInfo::new(dims);
+        assert_eq!(factors.len(), dims.len(), "one factor matrix per mode");
+        for (n, f) in factors.iter().enumerate() {
+            assert_eq!(f.len(), dims[n] * rank, "factor {n} must be I_n x C");
+        }
+        let mut data = vec![0.0; info.total()];
+        let mut idx = vec![0usize; dims.len()];
+        for slot in data.iter_mut() {
+            let mut s = 0.0;
+            for c in 0..rank {
+                let mut p = 1.0;
+                for (n, &i) in idx.iter().enumerate() {
+                    // column-major factor: entry (i, c) at i + c * I_n
+                    p *= factors[n][i + c * dims[n]];
+                }
+                s += p;
+            }
+            *slot = s;
+            info.increment(&mut idx);
+        }
+        DenseTensor { info, data }
+    }
+
+    /// Shape metadata.
+    #[inline]
+    pub fn info(&self) -> &DimInfo {
+        &self.info
+    }
+
+    /// Dimension list.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.info.dims()
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.info.order()
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero entries (never, given nonzero dims).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The linearized entries.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable linearized entries.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.info.linear(idx)]
+    }
+
+    /// Write the entry at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        let ell = self.info.linear(idx);
+        self.data[ell] = v;
+    }
+
+    /// Frobenius norm (square root of the sum of squared entries).
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Mode-`n` unfolding as a block sequence (zero-copy; see
+    /// [`ModeUnfolding`]). Valid for every mode including external ones.
+    pub fn unfold(&self, n: usize) -> ModeUnfolding<'_> {
+        ModeUnfolding::new(self, n)
+    }
+
+    /// `X(0:n)` — the multi-mode matricization with row modes
+    /// `{0, …, n}` — as a single zero-copy *column-major* view of shape
+    /// `(I_0⋯I_n) × (I_{n+1}⋯I_{N−1})`.
+    ///
+    /// This is the left operand of the 2-step algorithm's partial MTTKRP
+    /// (Algorithm 4 line 11; transposed for line 5).
+    pub fn unfold_leading(&self, n: usize) -> MatRef<'_> {
+        assert!(n < self.order(), "mode {n} out of range");
+        let rows = self.info.i_left(n + 1);
+        let cols = self.info.total() / rows;
+        MatRef::from_slice(&self.data, rows, cols, Layout::ColMajor)
+    }
+
+    /// Explicit mode-`n` matricization: copies entries into a freshly
+    /// allocated `I_n × I≠n` matrix in the requested layout.
+    ///
+    /// This reordering pass is exactly what the Bader–Kolda baseline pays
+    /// for and the paper's algorithms avoid; it exists here to implement
+    /// that baseline and to validate the zero-copy views against it.
+    pub fn materialize_unfolding(&self, n: usize, layout: Layout) -> Vec<f64> {
+        let rows = self.info.dim(n);
+        let cols = self.info.i_neq(n);
+        let mut out = vec![0.0; rows * cols];
+        let unf = self.unfold(n);
+        let il = self.info.i_left(n);
+        for j in 0..self.info.i_right(n) {
+            let block = unf.block(j);
+            for i in 0..rows {
+                for col in 0..il {
+                    let v = unsafe { block.get_unchecked(i, col) };
+                    let global_col = col + j * il;
+                    match layout {
+                        Layout::ColMajor => out[i + global_col * rows] = v,
+                        Layout::RowMajor => out[i * cols + global_col] = v,
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Consume the tensor, returning its linearized buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reinterpret the entries under a new shape with the same total
+    /// size (e.g. the paper's 4-way → 3-way fMRI linearization merges
+    /// the two region modes).
+    pub fn reshape(self, dims: &[usize]) -> DenseTensor {
+        let info = DimInfo::new(dims);
+        assert_eq!(info.total(), self.data.len(), "reshape must preserve entry count");
+        DenseTensor { info, data: self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota_tensor(dims: &[usize]) -> DenseTensor {
+        let mut c = -1.0;
+        DenseTensor::from_fn(dims, || {
+            c += 1.0;
+            c
+        })
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut x = DenseTensor::zeros(&[3, 4, 2]);
+        x.set(&[2, 1, 1], 5.5);
+        assert_eq!(x.get(&[2, 1, 1]), 5.5);
+        // linear position: 2 + 1*3 + 1*12 = 17
+        assert_eq!(x.data()[17], 5.5);
+    }
+
+    #[test]
+    fn from_fn_fills_linearization_order() {
+        let x = iota_tensor(&[2, 3]);
+        assert_eq!(x.get(&[0, 0]), 0.0);
+        assert_eq!(x.get(&[1, 0]), 1.0);
+        assert_eq!(x.get(&[0, 1]), 2.0);
+        assert_eq!(x.get(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn norm_matches_manual() {
+        let x = DenseTensor::from_vec(&[2, 2], vec![1.0, 2.0, 2.0, 4.0]);
+        assert!((x.norm() - 25.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_factors_matches_definition_3way() {
+        // Rank-1: X(i,j,k) = u(i) v(j) w(k)
+        let u = vec![1.0, 2.0];
+        let v = vec![3.0, 4.0, 5.0];
+        let w = vec![6.0, 7.0];
+        let x = DenseTensor::from_factors(&[2, 3, 2], &[u.clone(), v.clone(), w.clone()], 1);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..2 {
+                    assert_eq!(x.get(&[i, j, k]), u[i] * v[j] * w[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_factors_rank2_sums_components() {
+        // U: 2x2 col-major, V: 2x2
+        let u = vec![1.0, 0.0, 0.0, 1.0]; // columns e1, e2
+        let v = vec![2.0, 3.0, 4.0, 5.0]; // columns (2,3), (4,5)
+        let x = DenseTensor::from_factors(&[2, 2], &[u, v], 2);
+        // X(i,j) = e1(i)*(2,3)(j) + e2(i)*(4,5)(j)
+        assert_eq!(x.get(&[0, 0]), 2.0);
+        assert_eq!(x.get(&[0, 1]), 3.0);
+        assert_eq!(x.get(&[1, 0]), 4.0);
+        assert_eq!(x.get(&[1, 1]), 5.0);
+    }
+
+    #[test]
+    fn unfold_leading_is_column_major_view() {
+        let x = iota_tensor(&[2, 3, 4]);
+        let m = x.unfold_leading(1); // 6 x 4, col-major over the raw data
+        assert_eq!(m.nrows(), 6);
+        assert_eq!(m.ncols(), 4);
+        for ell in 0..24 {
+            assert_eq!(m.get(ell % 6, ell / 6), ell as f64);
+        }
+    }
+
+    #[test]
+    fn unfold_leading_last_mode_is_whole_tensor_as_one_column_block() {
+        let x = iota_tensor(&[2, 3]);
+        let m = x.unfold_leading(1);
+        assert_eq!(m.nrows(), 6);
+        assert_eq!(m.ncols(), 1);
+    }
+
+    #[test]
+    fn materialized_unfolding_matches_definition() {
+        let x = iota_tensor(&[2, 3, 2]);
+        // X(1) is I1 x (I0*I2) = 3 x 4; column (i0, i2) pairs with i0 fastest.
+        let m = x.materialize_unfolding(1, Layout::ColMajor);
+        for i1 in 0..3 {
+            for i0 in 0..2 {
+                for i2 in 0..2 {
+                    let col = i0 + i2 * 2;
+                    assert_eq!(m[i1 + col * 3], x.get(&[i0, i1, i2]));
+                }
+            }
+        }
+        let mr = x.materialize_unfolding(1, Layout::RowMajor);
+        for i1 in 0..3 {
+            for col in 0..4 {
+                assert_eq!(mr[i1 * 4 + col], m[i1 + col * 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let x = iota_tensor(&[2, 3, 2]);
+        let y = x.clone().reshape(&[6, 2]);
+        assert_eq!(y.data(), x.data());
+        assert_eq!(y.get(&[5, 1]), 11.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reshape_wrong_size_panics() {
+        let x = iota_tensor(&[2, 3]);
+        let _ = x.reshape(&[7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_wrong_len_panics() {
+        let _ = DenseTensor::from_vec(&[2, 2], vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Dimension bookkeeping for the natural linearization.
+//!
+//! Throughout, for an `N`-way tensor with dimensions `I_0 × ⋯ × I_{N−1}`
+//! (paper §2.1):
+//!
+//! * `I` — total entry count, `Π_k I_k`;
+//! * `IL_n` — product of dimensions *left* of mode `n` (`Π_{k<n} I_k`);
+//! * `IR_n` — product of dimensions *right* of mode `n` (`Π_{k>n} I_k`);
+//! * `I≠n` — product of all dimensions but `n`.
+
+/// Precomputed dimension products for one tensor shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimInfo {
+    dims: Vec<usize>,
+    /// `left[n] = Π_{k<n} I_k`; `left[N] = I`.
+    left: Vec<usize>,
+}
+
+impl DimInfo {
+    /// Build from a dimension list.
+    ///
+    /// # Panics
+    /// Panics on an empty dimension list or any zero dimension.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "tensor must have at least one mode");
+        assert!(dims.iter().all(|&d| d > 0), "zero-length modes are not supported");
+        let mut left = Vec::with_capacity(dims.len() + 1);
+        let mut acc = 1usize;
+        left.push(1);
+        for &d in dims {
+            acc = acc.checked_mul(d).expect("tensor size overflows usize");
+            left.push(acc);
+        }
+        DimInfo { dims: dims.to_vec(), left }
+    }
+
+    /// The dimension list.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes `N`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Mode-`n` dimension `I_n`.
+    #[inline]
+    pub fn dim(&self, n: usize) -> usize {
+        self.dims[n]
+    }
+
+    /// Total entry count `I`.
+    #[inline]
+    pub fn total(&self) -> usize {
+        *self.left.last().unwrap()
+    }
+
+    /// `IL_n`: product of dimensions left of mode `n`.
+    #[inline]
+    pub fn i_left(&self, n: usize) -> usize {
+        self.left[n]
+    }
+
+    /// `IR_n`: product of dimensions right of mode `n`.
+    #[inline]
+    pub fn i_right(&self, n: usize) -> usize {
+        self.total() / self.left[n + 1]
+    }
+
+    /// `I≠n`: product of all dimensions except mode `n`.
+    #[inline]
+    pub fn i_neq(&self, n: usize) -> usize {
+        self.total() / self.dims[n]
+    }
+
+    /// Linear index of a multi-index under the natural linearization.
+    #[inline]
+    pub fn linear(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        idx.iter().zip(&self.left).map(|(&i, &l)| i * l).sum()
+    }
+
+    /// Multi-index of a linear index (inverse of [`DimInfo::linear`]).
+    pub fn unlinear(&self, mut ell: usize) -> Vec<usize> {
+        let mut idx = Vec::with_capacity(self.dims.len());
+        for &d in &self.dims {
+            idx.push(ell % d);
+            ell /= d;
+        }
+        idx
+    }
+
+    /// Advance `idx` to the next multi-index in linearization order
+    /// (mode 0 fastest). Returns `false` on wrap-around to all-zeros.
+    pub fn increment(&self, idx: &mut [usize]) -> bool {
+        for (i, &d) in idx.iter_mut().zip(&self.dims) {
+            *i += 1;
+            if *i < d {
+                return true;
+            }
+            *i = 0;
+        }
+        false
+    }
+}
+
+/// Free-function form of [`DimInfo::linear`] for ad-hoc use.
+pub fn linear_index(dims: &[usize], idx: &[usize]) -> usize {
+    let mut stride = 1;
+    let mut ell = 0;
+    for (&i, &d) in idx.iter().zip(dims.iter()) {
+        debug_assert!(i < d);
+        ell += i * stride;
+        stride *= d;
+    }
+    ell
+}
+
+/// Free-function form of [`DimInfo::unlinear`].
+pub fn multi_index(dims: &[usize], mut ell: usize) -> Vec<usize> {
+    let mut idx = Vec::with_capacity(dims.len());
+    for &d in dims {
+        idx.push(ell % d);
+        ell /= d;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_match_definitions() {
+        let d = DimInfo::new(&[3, 4, 5, 2]);
+        assert_eq!(d.total(), 120);
+        assert_eq!(d.i_left(0), 1);
+        assert_eq!(d.i_left(2), 12);
+        assert_eq!(d.i_right(0), 40);
+        assert_eq!(d.i_right(3), 1);
+        assert_eq!(d.i_neq(1), 30);
+        assert_eq!(d.i_left(1) * d.dim(1) * d.i_right(1), d.total());
+    }
+
+    #[test]
+    fn linear_unlinear_round_trip() {
+        let d = DimInfo::new(&[3, 4, 5]);
+        for ell in 0..60 {
+            let idx = d.unlinear(ell);
+            assert_eq!(d.linear(&idx), ell);
+        }
+    }
+
+    #[test]
+    fn linearization_is_mode0_fastest() {
+        let d = DimInfo::new(&[3, 4]);
+        assert_eq!(d.linear(&[1, 0]), 1);
+        assert_eq!(d.linear(&[0, 1]), 3);
+        assert_eq!(d.linear(&[2, 3]), 11);
+    }
+
+    #[test]
+    fn increment_enumerates_in_linear_order() {
+        let d = DimInfo::new(&[2, 3, 2]);
+        let mut idx = vec![0; 3];
+        let mut ell = 0;
+        loop {
+            assert_eq!(d.linear(&idx), ell);
+            ell += 1;
+            if !d.increment(&mut idx) {
+                break;
+            }
+        }
+        assert_eq!(ell, 12);
+        assert_eq!(idx, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn free_functions_agree_with_diminfo() {
+        let dims = [4usize, 3, 7];
+        let d = DimInfo::new(&dims);
+        for ell in [0usize, 5, 27, 83] {
+            assert_eq!(multi_index(&dims, ell), d.unlinear(ell));
+            assert_eq!(linear_index(&dims, &d.unlinear(ell)), ell);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        let _ = DimInfo::new(&[3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dims_rejected() {
+        let _ = DimInfo::new(&[]);
+    }
+}

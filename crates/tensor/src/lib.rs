@@ -1,0 +1,45 @@
+//! Dense tensors under the paper's *natural linearization* (generalized
+//! column-major order), with the zero-copy matricization views that make
+//! the 1-step and 2-step MTTKRP algorithms possible.
+//!
+//! The linear index of entry `(i_0, …, i_{N−1})` is
+//! `ℓ = Σ_n i_n · IL_n` where `IL_n = Π_{k<n} I_k` (§2.1). Key layout
+//! facts exploited throughout (Figure 2 of the paper):
+//!
+//! * `X(0)` is column-major; `X(N−1)` is row-major — both are single
+//!   strided [`mttkrp_blas::MatRef`] views.
+//! * For internal modes `0 < n < N−1`, `X(n)` is a sequence of `IR_n`
+//!   contiguous row-major `I_n × IL_n` blocks ([`ModeUnfolding`]).
+//! * The multi-mode matricization `X(0:n)` is column-major for every `n`
+//!   ([`DenseTensor::unfold_leading`]), which gives the 2-step algorithm
+//!   its single large GEMM.
+//!
+//! Explicit, entry-reordering matricization
+//! ([`DenseTensor::materialize_unfolding`]) is also provided — it is what
+//! the Bader–Kolda baseline does and what the paper's algorithms avoid.
+//!
+//! # Example
+//!
+//! ```
+//! use mttkrp_tensor::DenseTensor;
+//!
+//! let x = DenseTensor::from_vec(&[2, 3, 2], (0..12).map(|i| i as f64).collect());
+//! // Mode-1 unfolding: 2 contiguous row-major 3x2 blocks, zero copy.
+//! let unf = x.unfold(1);
+//! assert_eq!(unf.num_blocks(), 2);
+//! assert_eq!(unf.block(0).get(1, 0), x.get(&[0, 1, 0]));
+//! // X(0:1) is column-major by construction.
+//! let lead = x.unfold_leading(1);
+//! assert_eq!((lead.nrows(), lead.ncols()), (6, 2));
+//! ```
+
+pub mod dense;
+pub mod dims;
+pub mod ops;
+pub mod permute;
+pub mod unfold;
+
+pub use dense::DenseTensor;
+pub use dims::{linear_index, multi_index, DimInfo};
+pub use permute::{invert_permutation, permute_modes};
+pub use unfold::ModeUnfolding;

@@ -1,0 +1,188 @@
+//! Whole-tensor operations: tensor-times-vector (TTV), tensor-times-
+//! matrix (TTM), and inner products.
+//!
+//! `Y = X ×_n M` is defined by `Y(n) = Mᵀ X(n)` (§2.1). Both operations
+//! run block-wise over the zero-copy unfolding so no entries are
+//! reordered; each block multiply is a BLAS call.
+
+use mttkrp_blas::{gemm, gemv, dot, Layout, MatMut, MatRef};
+
+use crate::dense::DenseTensor;
+
+/// Tensor-times-vector: contract mode `n` of `x` with `v`, returning the
+/// order-`(N−1)` tensor `Y` with `Y(…) = Σ_{i_n} X(…, i_n, …) · v(i_n)`.
+///
+/// # Panics
+/// Panics if `v.len() != I_n` or the tensor is 1-way (use [`dot`] on the
+/// data instead).
+pub fn ttv(x: &DenseTensor, n: usize, v: &[f64]) -> DenseTensor {
+    let info = x.info();
+    assert!(info.order() >= 2, "TTV requires an order >= 2 tensor");
+    assert_eq!(v.len(), info.dim(n), "vector length must equal I_n");
+
+    let out_dims: Vec<usize> =
+        info.dims().iter().enumerate().filter(|&(k, _)| k != n).map(|(_, &d)| d).collect();
+    let mut out = DenseTensor::zeros(&out_dims);
+    let il = info.i_left(n);
+    let unf = x.unfold(n);
+
+    // Output entries for block j occupy out[j*IL_n .. (j+1)*IL_n]:
+    // out(col, j) = Σ_i v(i) · block_j(i, col) = block_jᵀ · v.
+    let out_data = out.data_mut();
+    for j in 0..unf.num_blocks() {
+        let block_t = unf.block(j).t(); // IL_n × I_n, column-contiguous
+        gemv(1.0, block_t, v, 0.0, &mut out_data[j * il..(j + 1) * il]);
+    }
+    out
+}
+
+/// Tensor-times-matrix: `Y = X ×_n M` with `M` an `I_n × F` column-major
+/// matrix, so `Y` has mode-`n` dimension `F` and `Y(n) = Mᵀ X(n)`.
+pub fn ttm(x: &DenseTensor, n: usize, m: MatRef) -> DenseTensor {
+    let info = x.info();
+    assert_eq!(m.nrows(), info.dim(n), "matrix rows must equal I_n");
+    let f = m.ncols();
+
+    let mut out_dims = info.dims().to_vec();
+    out_dims[n] = f;
+    let mut out = DenseTensor::zeros(&out_dims);
+    let il = info.i_left(n);
+    let unf = x.unfold(n);
+
+    // Each input block j (I_n × IL_n, row-major) maps to output block j
+    // (F × IL_n, row-major): out_block = Mᵀ · block.
+    let block_len = f * il;
+    let out_data = out.data_mut();
+    for j in 0..unf.num_blocks() {
+        let out_block =
+            MatMut::from_slice(&mut out_data[j * block_len..(j + 1) * block_len], f, il, Layout::RowMajor);
+        gemm(1.0, m.t(), unf.block(j), 0.0, out_block);
+    }
+    out
+}
+
+/// Frobenius inner product `⟨X, Y⟩ = Σ X(i)·Y(i)`.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn inner(x: &DenseTensor, y: &DenseTensor) -> f64 {
+    assert_eq!(x.dims(), y.dims(), "inner product requires equal shapes");
+    dot(x.data(), y.data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota_tensor(dims: &[usize]) -> DenseTensor {
+        let mut c = -1.0;
+        DenseTensor::from_fn(dims, || {
+            c += 1.0;
+            c
+        })
+    }
+
+    /// Oracle TTV by definition.
+    fn naive_ttv(x: &DenseTensor, n: usize, v: &[f64]) -> DenseTensor {
+        let dims = x.dims();
+        let out_dims: Vec<usize> =
+            dims.iter().enumerate().filter(|&(k, _)| k != n).map(|(_, &d)| d).collect();
+        let mut out = DenseTensor::zeros(&out_dims);
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let mut out_idx: Vec<usize> =
+                idx.iter().enumerate().filter(|&(k, _)| k != n).map(|(_, &i)| i).collect();
+            if out_idx.is_empty() {
+                out_idx.push(0);
+            }
+            let cur = out.get(&out_idx);
+            out.set(&out_idx, cur + x.get(&idx) * v[idx[n]]);
+            if !x.info().increment(&mut idx) {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ttv_matches_oracle_all_modes() {
+        let x = iota_tensor(&[3, 4, 2, 2]);
+        for n in 0..4 {
+            let v: Vec<f64> = (0..x.dims()[n]).map(|i| (i + 1) as f64 * 0.5).collect();
+            let ours = ttv(&x, n, &v);
+            let oracle = naive_ttv(&x, n, &v);
+            assert_eq!(ours.dims(), oracle.dims());
+            for (a, b) in ours.data().iter().zip(oracle.data()) {
+                assert!((a - b).abs() < 1e-12, "mode {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ttv_chain_reduces_to_scalar_weighted_sum() {
+        // Contracting a 2-way tensor in both modes equals vᵀ X w.
+        let x = iota_tensor(&[2, 3]);
+        let v = vec![1.0, 2.0];
+        let w = vec![1.0, 0.0, -1.0];
+        let y = ttv(&x, 0, &v); // length-3
+        let s: f64 = y.data().iter().zip(&w).map(|(a, b)| a * b).sum();
+        let mut expected = 0.0;
+        for i in 0..2 {
+            for j in 0..3 {
+                expected += v[i] * w[j] * x.get(&[i, j]);
+            }
+        }
+        assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttm_matches_ttv_per_column() {
+        let x = iota_tensor(&[3, 4, 2]);
+        let n = 1;
+        let f = 2;
+        let m_data: Vec<f64> = (0..x.dims()[n] * f).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        let m = MatRef::from_slice(&m_data, x.dims()[n], f, Layout::ColMajor);
+        let y = ttm(&x, n, m);
+        assert_eq!(y.dims(), &[3, 2, 2]);
+        // Column c of M contracted via TTV must equal the slice of Y at
+        // mode-n index c.
+        for c in 0..f {
+            let col: Vec<f64> = (0..x.dims()[n]).map(|i| m.get(i, c)).collect();
+            let yc = ttv(&x, n, &col);
+            for i0 in 0..3 {
+                for i2 in 0..2 {
+                    assert!((y.get(&[i0, c, i2]) - yc.get(&[i0, i2])).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ttm_identity_is_noop() {
+        let x = iota_tensor(&[2, 3, 2]);
+        let eye = {
+            let mut m = vec![0.0; 9];
+            for i in 0..3 {
+                m[i + i * 3] = 1.0;
+            }
+            m
+        };
+        let m = MatRef::from_slice(&eye, 3, 3, Layout::ColMajor);
+        let y = ttm(&x, 1, m);
+        assert_eq!(y.dims(), x.dims());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn inner_product_matches_norm() {
+        let x = iota_tensor(&[3, 3]);
+        assert!((inner(&x, &x) - x.norm() * x.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ttv_wrong_length_panics() {
+        let x = iota_tensor(&[2, 3]);
+        let _ = ttv(&x, 0, &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Zero-copy mode-`n` matricization as a sequence of contiguous blocks.
+//!
+//! Under the natural linearization, entry `(i, col, j)` of the mode-`n`
+//! unfolding — row `i ∈ [I_n]`, left-linearization `col ∈ [IL_n]`,
+//! right-linearization `j ∈ [IR_n]` — lives at linear offset
+//! `col + i·IL_n + j·IL_n·I_n`. Fixing `j` therefore yields a contiguous
+//! *row-major* `I_n × IL_n` matrix: Figure 2's block structure. External
+//! modes degenerate to a single strided view (`X(0)` column-major,
+//! `X(N−1)` row-major).
+
+use mttkrp_blas::MatRef;
+
+use crate::dense::DenseTensor;
+
+/// Zero-copy view of the mode-`n` matricization `X(n)`.
+#[derive(Clone, Copy)]
+pub struct ModeUnfolding<'a> {
+    data: &'a [f64],
+    /// Mode dimension `I_n` (rows of the matricization).
+    i_n: usize,
+    /// Product of dimensions left of `n` (block width).
+    i_left: usize,
+    /// Product of dimensions right of `n` (number of blocks).
+    i_right: usize,
+}
+
+impl<'a> ModeUnfolding<'a> {
+    /// Create the unfolding view for mode `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range.
+    pub fn new(tensor: &'a DenseTensor, n: usize) -> Self {
+        assert!(n < tensor.order(), "mode {n} out of range for order {}", tensor.order());
+        let info = tensor.info();
+        ModeUnfolding {
+            data: tensor.data(),
+            i_n: info.dim(n),
+            i_left: info.i_left(n),
+            i_right: info.i_right(n),
+        }
+    }
+
+    /// Rows of `X(n)` (= `I_n`).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.i_n
+    }
+
+    /// Columns of `X(n)` (= `I≠n`).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.i_left * self.i_right
+    }
+
+    /// Number of contiguous row-major blocks (= `IR_n`).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.i_right
+    }
+
+    /// Columns per block (= `IL_n`).
+    #[inline]
+    pub fn block_cols(&self) -> usize {
+        self.i_left
+    }
+
+    /// Block `j` as a row-major `I_n × IL_n` view (Algorithm 2 line 9's
+    /// `X(n)[j]`).
+    #[inline]
+    pub fn block(&self, j: usize) -> MatRef<'a> {
+        assert!(j < self.i_right, "block {j} out of range");
+        let start = j * self.i_left * self.i_n;
+        let len = self.i_left * self.i_n;
+        let slice = &self.data[start..start + len];
+        // Row-major I_n × IL_n: element (i, col) at col + i*IL_n.
+        unsafe { MatRef::from_raw_parts(slice.as_ptr(), self.i_n, self.i_left, self.i_left as isize, 1) }
+    }
+
+    /// The whole matricization as **one** strided view, available only
+    /// for external modes where `X(n)` is a plain matrix in memory:
+    /// mode 0 (column-major) and mode `N−1` (row-major; also any mode
+    /// with `IR_n == 1` or `IL_n == 1`).
+    pub fn as_single_view(&self) -> Option<MatRef<'a>> {
+        if self.i_left == 1 {
+            // Mode 0 (or all-left dims of size 1): entry (i, j) at
+            // i + j*I_n — column-major.
+            Some(unsafe {
+                MatRef::from_raw_parts(self.data.as_ptr(), self.i_n, self.i_right, 1, self.i_n as isize)
+            })
+        } else if self.i_right == 1 {
+            // Last mode: entry (i, col) at col + i*IL_n — row-major.
+            Some(unsafe {
+                MatRef::from_raw_parts(self.data.as_ptr(), self.i_n, self.i_left, self.i_left as isize, 1)
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Entry `(i, c)` of `X(n)` where `c` is the global column index
+    /// (left modes fastest). For tests and oracles; not a hot path.
+    pub fn get(&self, i: usize, c: usize) -> f64 {
+        assert!(i < self.nrows() && c < self.ncols(), "index out of bounds");
+        let col = c % self.i_left;
+        let j = c / self.i_left;
+        self.block(j).get(i, col)
+    }
+}
+
+impl std::fmt::Debug for ModeUnfolding<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ModeUnfolding({}x{} = {} blocks of {}x{})",
+            self.nrows(),
+            self.ncols(),
+            self.i_right,
+            self.i_n,
+            self.i_left
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_blas::Layout;
+
+    fn iota_tensor(dims: &[usize]) -> DenseTensor {
+        let mut c = -1.0;
+        DenseTensor::from_fn(dims, || {
+            c += 1.0;
+            c
+        })
+    }
+
+    #[test]
+    fn blocks_agree_with_materialized_unfolding_all_modes() {
+        let x = iota_tensor(&[3, 4, 2, 3]);
+        for n in 0..4 {
+            let unf = x.unfold(n);
+            let rows = unf.nrows();
+            let cols = unf.ncols();
+            let mat = x.materialize_unfolding(n, Layout::ColMajor);
+            for i in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(unf.get(i, c), mat[i + c * rows], "mode {n} entry ({i},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode0_single_view_is_column_major() {
+        let x = iota_tensor(&[3, 4, 2]);
+        let unf = x.unfold(0);
+        let v = unf.as_single_view().expect("mode 0 must be a single view");
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.ncols(), 8);
+        assert_eq!(v.row_stride(), 1);
+        for i in 0..3 {
+            for c in 0..8 {
+                assert_eq!(v.get(i, c), unf.get(i, c));
+            }
+        }
+    }
+
+    #[test]
+    fn last_mode_single_view_is_row_major() {
+        let x = iota_tensor(&[3, 4, 2]);
+        let unf = x.unfold(2);
+        let v = unf.as_single_view().expect("last mode must be a single view");
+        assert_eq!(v.nrows(), 2);
+        assert_eq!(v.ncols(), 12);
+        assert_eq!(v.col_stride(), 1);
+        for i in 0..2 {
+            for c in 0..12 {
+                assert_eq!(v.get(i, c), unf.get(i, c));
+            }
+        }
+    }
+
+    #[test]
+    fn internal_mode_has_no_single_view() {
+        let x = iota_tensor(&[3, 4, 2]);
+        assert!(x.unfold(1).as_single_view().is_none());
+        assert_eq!(x.unfold(1).num_blocks(), 2);
+        assert_eq!(x.unfold(1).block_cols(), 3);
+    }
+
+    #[test]
+    fn block_is_row_major_contiguous() {
+        let x = iota_tensor(&[2, 3, 4]);
+        let unf = x.unfold(1);
+        // Block j covers linear range [j*6, (j+1)*6), laid out row-major 3x2.
+        let b = unf.block(2);
+        assert_eq!(b.nrows(), 3);
+        assert_eq!(b.ncols(), 2);
+        assert_eq!(b.col_stride(), 1);
+        assert_eq!(b.get(0, 0), 12.0);
+        assert_eq!(b.get(0, 1), 13.0);
+        assert_eq!(b.get(1, 0), 14.0);
+        assert_eq!(b.get(2, 1), 17.0);
+    }
+
+    #[test]
+    fn unfolding_entries_match_tensor_entries() {
+        // Definition check: X(n)[i_n, linearization of others] == X[idx].
+        let dims = [2usize, 3, 2, 2];
+        let x = iota_tensor(&dims);
+        for n in 0..dims.len() {
+            let unf = x.unfold(n);
+            let mut idx = vec![0usize; dims.len()];
+            loop {
+                // Column index: linearization of all modes but n, left fastest.
+                let mut col = 0;
+                let mut stride = 1;
+                for (k, &i) in idx.iter().enumerate() {
+                    if k == n {
+                        continue;
+                    }
+                    col += i * stride;
+                    stride *= dims[k];
+                }
+                assert_eq!(unf.get(idx[n], col), x.get(&idx), "mode {n} idx {idx:?}");
+                if !x.info().increment(&mut idx) {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let x = iota_tensor(&[2, 2, 2]);
+        let _ = x.unfold(1).block(2);
+    }
+}

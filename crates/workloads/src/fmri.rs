@@ -1,0 +1,252 @@
+//! Synthetic fMRI-like correlation tensors (§3, §5.3.3 substitution).
+//!
+//! The paper's data set is a 225 × 59 × 200 × 200 tensor of
+//! sliding-window correlations between brain regions of interest
+//! (time × subject × region × region), symmetric in the two region
+//! modes, which the authors also linearize into a 3-way
+//! 225 × 59 × 19900 tensor (upper triangle, halving the entries).
+//!
+//! We synthesize data with the same generative structure neuroimaging
+//! assumes: `L` latent functional networks, each a spatial map over
+//! regions, activate with smooth time-varying loadings that differ per
+//! subject; region signals are noisy mixtures; windowed correlations
+//! then yield a tensor that is (a) exactly symmetric in the region
+//! modes, (b) approximately low-CP-rank, and (c) shaped exactly like
+//! the paper's. Since MTTKRP cost depends only on shape and rank, every
+//! benchmark code path matches the original experiment.
+
+use mttkrp_tensor::DenseTensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the synthetic fMRI correlation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmriConfig {
+    /// Number of sliding-window time points (paper: 225).
+    pub time: usize,
+    /// Number of subjects (paper: 59).
+    pub subjects: usize,
+    /// Number of brain regions of interest (paper: 200).
+    pub regions: usize,
+    /// Number of latent functional networks (ground-truth components).
+    pub latent: usize,
+    /// Correlation window length in raw samples.
+    pub window: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FmriConfig {
+    /// The paper's full-size configuration (225 × 59 × 200 × 200;
+    /// ≈ 531M entries — only for `--scale full` harness runs).
+    pub fn paper() -> Self {
+        FmriConfig { time: 225, subjects: 59, regions: 200, latent: 12, window: 20, seed: 0xF0A1 }
+    }
+
+    /// A scaled-down configuration whose 4-way tensor has ≈ 1.2M
+    /// entries; regenerates every figure in seconds on one core.
+    pub fn small() -> Self {
+        FmriConfig { time: 48, subjects: 10, regions: 50, latent: 6, window: 12, seed: 0xF0A1 }
+    }
+
+    /// Dimensions of the 4-way tensor (time, subjects, regions, regions).
+    pub fn dims4(&self) -> [usize; 4] {
+        [self.time, self.subjects, self.regions, self.regions]
+    }
+
+    /// Dimensions of the symmetric 3-way linearization
+    /// (time, subjects, regions·(regions−1)/2).
+    pub fn dims3(&self) -> [usize; 3] {
+        [self.time, self.subjects, self.regions * (self.regions - 1) / 2]
+    }
+
+    /// Generate the 4-way correlation tensor.
+    pub fn generate_4way(&self) -> DenseTensor {
+        assert!(self.window >= 2, "correlation window needs at least 2 samples");
+        assert!(self.latent >= 1, "need at least one latent network");
+        let (t_out, s, r, l, w) = (self.time, self.subjects, self.regions, self.latent, self.window);
+        let raw_len = t_out + w; // raw samples per region
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+
+        // Latent spatial maps: B (r × l), sparse-ish positive/negative.
+        let spatial: Vec<f64> = (0..r * l)
+            .map(|_| {
+                let v: f64 = rng.random::<f64>() - 0.5;
+                if v.abs() < 0.15 {
+                    0.0
+                } else {
+                    v * 2.0
+                }
+            })
+            .collect();
+        // Subject weights (s × l) and per-network temporal frequency/phase.
+        let subj_w: Vec<f64> = (0..s * l).map(|_| 0.5 + rng.random::<f64>()).collect();
+        let freq: Vec<f64> = (0..l).map(|_| 0.02 + 0.2 * rng.random::<f64>()).collect();
+        let phase: Vec<f64> = (0..l).map(|_| std::f64::consts::TAU * rng.random::<f64>()).collect();
+
+        let mut x = DenseTensor::zeros(&self.dims4());
+        let mut signals = vec![0.0f64; r * raw_len]; // region-major raw signals
+        let mut means = vec![0.0f64; r];
+        let mut stds = vec![0.0f64; r];
+
+        for subj in 0..s {
+            // Region signals y_r(t) = Σ_l w_{subj,l}·B_{r,l}·a_l(t) + noise.
+            for reg in 0..r {
+                for t in 0..raw_len {
+                    let mut v = 0.0;
+                    for net in 0..l {
+                        let a = (freq[net] * t as f64 + phase[net]).sin()
+                            * (1.0 + 0.3 * ((0.005 * t as f64) + net as f64).cos());
+                        v += subj_w[subj * l + net] * spatial[reg * l + net] * a;
+                    }
+                    signals[reg * raw_len + t] = v + 0.1 * (rng.random::<f64>() - 0.5);
+                }
+            }
+            // Sliding-window Pearson correlations.
+            for t in 0..t_out {
+                let win = t..t + w;
+                for reg in 0..r {
+                    let sl = &signals[reg * raw_len..][win.clone()];
+                    let mean = sl.iter().sum::<f64>() / w as f64;
+                    let var = sl.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>();
+                    means[reg] = mean;
+                    stds[reg] = var.sqrt().max(1e-12);
+                }
+                for r1 in 0..r {
+                    let s1 = &signals[r1 * raw_len..][win.clone()];
+                    for r2 in r1..r {
+                        let s2 = &signals[r2 * raw_len..][win.clone()];
+                        let mut cov = 0.0;
+                        for k in 0..w {
+                            cov += (s1[k] - means[r1]) * (s2[k] - means[r2]);
+                        }
+                        let corr = cov / (stds[r1] * stds[r2]);
+                        x.set(&[t, subj, r1, r2], corr);
+                        x.set(&[t, subj, r2, r1], corr);
+                    }
+                }
+            }
+        }
+        x
+    }
+}
+
+/// Linearize the two symmetric region modes of a 4-way
+/// `(T, S, R, R)` tensor into one mode of the strict upper-triangle
+/// pairs, giving `(T, S, R·(R−1)/2)` — the paper's 3-way variant that
+/// halves the entry count.
+///
+/// # Panics
+/// Panics if the last two modes differ in size or the tensor is not
+/// symmetric in them (tolerance `1e-9`).
+pub fn linearize_symmetric(x4: &DenseTensor) -> DenseTensor {
+    let dims = x4.dims();
+    assert_eq!(dims.len(), 4, "expected a 4-way tensor");
+    let (t, s, r) = (dims[0], dims[1], dims[2]);
+    assert_eq!(dims[2], dims[3], "region modes must match");
+    let pairs = r * (r - 1) / 2;
+    let mut out = DenseTensor::zeros(&[t, s, pairs]);
+    let mut p = 0;
+    for r1 in 0..r {
+        for r2 in r1 + 1..r {
+            for subj in 0..s {
+                for tt in 0..t {
+                    let v = x4.get(&[tt, subj, r1, r2]);
+                    let v_sym = x4.get(&[tt, subj, r2, r1]);
+                    assert!(
+                        (v - v_sym).abs() <= 1e-9 * (1.0 + v.abs()),
+                        "tensor not symmetric at ({tt},{subj},{r1},{r2})"
+                    );
+                    out.set(&[tt, subj, p], v);
+                }
+            }
+            p += 1;
+        }
+    }
+    debug_assert_eq!(p, pairs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FmriConfig {
+        FmriConfig { time: 6, subjects: 3, regions: 8, latent: 3, window: 5, seed: 7 }
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = tiny();
+        let x = cfg.generate_4way();
+        assert_eq!(x.dims(), &cfg.dims4());
+        let x3 = linearize_symmetric(&x);
+        assert_eq!(x3.dims(), &cfg.dims3());
+    }
+
+    #[test]
+    fn correlations_are_bounded_and_diagonal_is_one() {
+        let cfg = tiny();
+        let x = cfg.generate_4way();
+        for &v in x.data() {
+            assert!(v.abs() <= 1.0 + 1e-9, "correlation out of range: {v}");
+        }
+        for t in 0..cfg.time {
+            for s in 0..cfg.subjects {
+                for r in 0..cfg.regions {
+                    assert!((x.get(&[t, s, r, r]) - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_is_symmetric_in_region_modes() {
+        let cfg = tiny();
+        let x = cfg.generate_4way();
+        for t in 0..cfg.time {
+            for s in 0..cfg.subjects {
+                for r1 in 0..cfg.regions {
+                    for r2 in 0..cfg.regions {
+                        assert_eq!(x.get(&[t, s, r1, r2]), x.get(&[t, s, r2, r1]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny().generate_4way();
+        let b = tiny().generate_4way();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn linearization_picks_upper_triangle_in_pair_order() {
+        let cfg = tiny();
+        let x = cfg.generate_4way();
+        let x3 = linearize_symmetric(&x);
+        // Pair index 0 is (0,1); pair index r-1 is (0, r-1)... spot check
+        // the first and second pairs.
+        assert_eq!(x3.get(&[2, 1, 0]), x.get(&[2, 1, 0, 1]));
+        assert_eq!(x3.get(&[2, 1, 1]), x.get(&[2, 1, 0, 2]));
+    }
+
+    #[test]
+    fn paper_config_dims() {
+        let cfg = FmriConfig::paper();
+        assert_eq!(cfg.dims4(), [225, 59, 200, 200]);
+        assert_eq!(cfg.dims3(), [225, 59, 19900]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn linearize_rejects_asymmetric() {
+        let mut x = DenseTensor::zeros(&[2, 2, 3, 3]);
+        x.set(&[0, 0, 0, 1], 1.0);
+        x.set(&[0, 0, 1, 0], -1.0);
+        let _ = linearize_symmetric(&x);
+    }
+}

@@ -1,0 +1,235 @@
+//! Binary on-disk formats for tensors and Kruskal models, so CP runs
+//! can be scripted from the CLI and results persist across processes.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! tensor  file:  b"MTKT" u32(version=1) u32(ndims) u64(dim)*ndims f64(entry)*Π dims
+//! kruskal file:  b"MTKM" u32(version=1) u32(ndims) u32(rank)
+//!                u64(dim)*ndims f64(lambda)*rank f64(factor rows)*Σ dims·rank
+//! ```
+//!
+//! Tensor entries are the natural linearization; factors are row-major,
+//! matching the in-memory conventions everywhere else in the workspace.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mttkrp_tensor::DenseTensor;
+
+const TENSOR_MAGIC: &[u8; 4] = b"MTKT";
+const MODEL_MAGIC: &[u8; 4] = b"MTKM";
+const VERSION: u32 = 1;
+
+/// A Kruskal model as stored on disk (mirrors
+/// `mttkrp_cpals::KruskalModel` without depending on that crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredModel {
+    /// Tensor dimensions.
+    pub dims: Vec<usize>,
+    /// Decomposition rank.
+    pub rank: usize,
+    /// Component weights (length `rank`).
+    pub lambda: Vec<f64>,
+    /// Row-major `I_n × rank` factors.
+    pub factors: Vec<Vec<f64>>,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serialize a tensor into a byte buffer.
+pub fn tensor_to_bytes(x: &DenseTensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + x.dims().len() * 8 + x.len() * 8);
+    buf.put_slice(TENSOR_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(x.dims().len() as u32);
+    for &d in x.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in x.data() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a tensor from bytes.
+pub fn tensor_from_bytes(mut buf: &[u8]) -> io::Result<DenseTensor> {
+    if buf.remaining() < 12 || &buf[..4] != TENSOR_MAGIC {
+        return Err(bad("not a tensor file (bad magic)"));
+    }
+    buf.advance(4);
+    if buf.get_u32_le() != VERSION {
+        return Err(bad("unsupported tensor file version"));
+    }
+    let ndims = buf.get_u32_le() as usize;
+    if ndims == 0 || buf.remaining() < ndims * 8 {
+        return Err(bad("truncated tensor header"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let d = buf.get_u64_le() as usize;
+        if d == 0 {
+            return Err(bad("zero-length tensor mode"));
+        }
+        dims.push(d);
+    }
+    let total: usize = dims.iter().product();
+    if buf.remaining() != total * 8 {
+        return Err(bad("tensor payload length mismatch"));
+    }
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(buf.get_f64_le());
+    }
+    Ok(DenseTensor::from_vec(&dims, data))
+}
+
+/// Write a tensor to `path`.
+pub fn write_tensor(path: impl AsRef<Path>, x: &DenseTensor) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&tensor_to_bytes(x))
+}
+
+/// Read a tensor from `path`.
+pub fn read_tensor(path: impl AsRef<Path>) -> io::Result<DenseTensor> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    tensor_from_bytes(&buf)
+}
+
+/// Serialize a Kruskal model into bytes.
+pub fn model_to_bytes(m: &StoredModel) -> Bytes {
+    let factor_len: usize = m.factors.iter().map(|f| f.len()).sum();
+    let mut buf = BytesMut::with_capacity(16 + m.dims.len() * 8 + (m.rank + factor_len) * 8);
+    buf.put_slice(MODEL_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(m.dims.len() as u32);
+    buf.put_u32_le(m.rank as u32);
+    for &d in &m.dims {
+        buf.put_u64_le(d as u64);
+    }
+    for &l in &m.lambda {
+        buf.put_f64_le(l);
+    }
+    for f in &m.factors {
+        for &v in f {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a Kruskal model from bytes.
+pub fn model_from_bytes(mut buf: &[u8]) -> io::Result<StoredModel> {
+    if buf.remaining() < 16 || &buf[..4] != MODEL_MAGIC {
+        return Err(bad("not a model file (bad magic)"));
+    }
+    buf.advance(4);
+    if buf.get_u32_le() != VERSION {
+        return Err(bad("unsupported model file version"));
+    }
+    let ndims = buf.get_u32_le() as usize;
+    let rank = buf.get_u32_le() as usize;
+    if ndims == 0 || rank == 0 || buf.remaining() < ndims * 8 {
+        return Err(bad("truncated model header"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let expect: usize = rank + dims.iter().map(|&d| d * rank).sum::<usize>();
+    if buf.remaining() != expect * 8 {
+        return Err(bad("model payload length mismatch"));
+    }
+    let mut lambda = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        lambda.push(buf.get_f64_le());
+    }
+    let mut factors = Vec::with_capacity(ndims);
+    for &d in &dims {
+        let mut f = Vec::with_capacity(d * rank);
+        for _ in 0..d * rank {
+            f.push(buf.get_f64_le());
+        }
+        factors.push(f);
+    }
+    Ok(StoredModel { dims, rank, lambda, factors })
+}
+
+/// Write a Kruskal model to `path`.
+pub fn write_model(path: impl AsRef<Path>, m: &StoredModel) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&model_to_bytes(m))
+}
+
+/// Read a Kruskal model from `path`.
+pub fn read_model(path: impl AsRef<Path>) -> io::Result<StoredModel> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    model_from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_tensor;
+
+    #[test]
+    fn tensor_round_trips_through_bytes() {
+        let x = random_tensor(&[5, 4, 3], 1);
+        let bytes = tensor_to_bytes(&x);
+        let back = tensor_from_bytes(&bytes).unwrap();
+        assert_eq!(back.dims(), x.dims());
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn tensor_round_trips_through_file() {
+        let x = random_tensor(&[6, 2, 7], 2);
+        let path = std::env::temp_dir().join("mttkrp_io_test_tensor.mtkt");
+        write_tensor(&path, &x).unwrap();
+        let back = read_tensor(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn model_round_trips() {
+        let m = StoredModel {
+            dims: vec![3, 4],
+            rank: 2,
+            lambda: vec![1.5, 0.25],
+            factors: vec![vec![0.5; 6], vec![0.75; 8]],
+        };
+        let back = model_from_bytes(&model_to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(tensor_from_bytes(b"NOPE").is_err());
+        assert!(model_from_bytes(b"XXXXXXXXXXXXXXXXXXX").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let x = random_tensor(&[3, 3], 3);
+        let bytes = tensor_to_bytes(&x);
+        assert!(tensor_from_bytes(&bytes[..bytes.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dim() {
+        // Hand-craft a header with a zero mode.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"MTKT");
+        buf.put_u32_le(1);
+        buf.put_u32_le(2);
+        buf.put_u64_le(0);
+        buf.put_u64_le(3);
+        assert!(tensor_from_bytes(&buf).is_err());
+    }
+}

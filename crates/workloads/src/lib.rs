@@ -1,0 +1,109 @@
+//! Workload generators for the paper's experiments.
+//!
+//! * [`equal_dims`] / [`random_tensor`] / [`random_factors`] — the
+//!   synthetic equal-dimension tensors of Figures 5 and 6 (the paper
+//!   uses ≈750M entries; the harness scales that down by default).
+//! * [`fmri`] — a synthetic stand-in for the paper's private fMRI data
+//!   set (§5.3.3): ROI time series are generated from latent spatial
+//!   networks with time-varying loadings and per-subject weights, then
+//!   converted into a time × subject × region × region sliding-window
+//!   correlation tensor. Shapes, symmetry (and hence the 4-way → 3-way
+//!   linearization) and an approximately low CP rank match the real
+//!   data's structure; MTTKRP cost depends only on shape and rank, so
+//!   the benchmarks exercise exactly the paper's code path.
+
+pub mod fmri;
+pub mod io;
+
+pub use fmri::{linearize_symmetric, FmriConfig};
+pub use io::{read_model, read_tensor, write_model, write_tensor, StoredModel};
+
+use mttkrp_tensor::DenseTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Equal per-mode dimension for an order-`n` tensor with approximately
+/// `target_entries` total entries (the paper's 900³/165⁴/60⁵/30⁶
+/// construction).
+pub fn equal_dims(n_modes: usize, target_entries: usize) -> Vec<usize> {
+    assert!(n_modes >= 1, "need at least one mode");
+    assert!(target_entries >= 1, "need at least one entry");
+    let d = (target_entries as f64).powf(1.0 / n_modes as f64).round().max(1.0) as usize;
+    vec![d; n_modes]
+}
+
+/// Uniform `[−0.5, 0.5)` random tensor, reproducible in `seed` across
+/// platforms (ChaCha12 stream).
+pub fn random_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    DenseTensor::from_fn(dims, || rng.random::<f64>() - 0.5)
+}
+
+/// One uniform `[0, 1)` row-major `I_n × c` factor per mode,
+/// reproducible in `seed`.
+pub fn random_factors(dims: &[usize], c: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xFAC7);
+    dims.iter().map(|&d| (0..d * c).map(|_| rng.random::<f64>()).collect()).collect()
+}
+
+/// Random `rows × cols` row-major matrix (used by the KRP benchmarks,
+/// Figure 4). `StdRng` is fine here: the KRP experiments do not need
+/// cross-version reproducibility of values, only of shapes.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.random::<f64>()).collect()
+}
+
+/// Row dimensions for the Figure 4 KRP experiment: `z` equal input row
+/// counts whose product is approximately `target_rows` (the paper uses
+/// ≈2·10⁷ output rows).
+pub fn krp_input_rows(z: usize, target_rows: usize) -> Vec<usize> {
+    equal_dims(z, target_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_dims_hits_paper_sizes() {
+        assert_eq!(equal_dims(3, 750_000_000), vec![909, 909, 909]);
+        assert_eq!(equal_dims(4, 750_000_000), vec![165, 165, 165, 165]);
+        assert_eq!(equal_dims(5, 750_000_000), vec![60, 60, 60, 60, 60]);
+        assert_eq!(equal_dims(6, 750_000_000), vec![30, 30, 30, 30, 30, 30]);
+    }
+
+    #[test]
+    fn equal_dims_small_targets() {
+        assert_eq!(equal_dims(3, 1), vec![1, 1, 1]);
+        let d = equal_dims(2, 100);
+        assert_eq!(d, vec![10, 10]);
+    }
+
+    #[test]
+    fn random_tensor_is_deterministic_and_centered() {
+        let a = random_tensor(&[20, 20, 5], 3);
+        let b = random_tensor(&[20, 20, 5], 3);
+        assert_eq!(a.data(), b.data());
+        let mean: f64 = a.data().iter().sum::<f64>() / a.len() as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!(a.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn random_factors_shapes() {
+        let f = random_factors(&[4, 6, 3], 5, 1);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].len(), 20);
+        assert_eq!(f[1].len(), 30);
+        assert_eq!(f[2].len(), 15);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_tensor(&[10, 10], 1);
+        let b = random_tensor(&[10, 10], 2);
+        assert_ne!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's motivating application (§3, §5.3.3): extract functional
+//! brain networks from a time × subject × region × region correlation
+//! tensor with CP-ALS, using the optimized per-mode MTTKRP dispatch.
+//!
+//! The tensor here is the synthetic stand-in from `mttkrp-workloads`
+//! (same shape family and symmetry as the paper's private data set).
+//!
+//! ```text
+//! cargo run --release --example fmri_analysis [-- --medium]
+//! ```
+
+use mttkrp_repro::cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::workloads::{linearize_symmetric, FmriConfig};
+
+fn main() {
+    let medium = std::env::args().any(|a| a == "--medium");
+    let cfg = if medium {
+        FmriConfig { time: 96, subjects: 16, regions: 64, latent: 8, window: 16, seed: 0xF0A1 }
+    } else {
+        FmriConfig::small()
+    };
+    println!("generating synthetic fMRI tensor {:?} ...", cfg.dims4());
+    let x4 = cfg.generate_4way();
+    let x3 = linearize_symmetric(&x4);
+    println!("4-way: {:?} ({} entries)", x4.dims(), x4.len());
+    println!("3-way symmetric linearization: {:?} ({} entries)", x3.dims(), x3.len());
+
+    let pool = ThreadPool::host();
+    let rank = 10;
+
+    for (label, x) in [("4-way", &x4), ("3-way", &x3)] {
+        let init = KruskalModel::random(x.dims(), rank, 42);
+        let opts = CpAlsOptions { max_iters: 25, tol: 1e-7, strategy: MttkrpStrategy::Auto };
+        let t0 = std::time::Instant::now();
+        let (model, report) = cp_als(&pool, x, init, &opts);
+        println!(
+            "\n{label}: rank-{rank} CP in {:.2}s — fit {:.4}, {} iters, \
+             {:.1}% of time in MTTKRP",
+            t0.elapsed().as_secs_f64(),
+            report.final_fit(),
+            report.iters,
+            100.0 * report.mttkrp_time / report.iter_times.iter().sum::<f64>().max(1e-12),
+        );
+        // Interpret components: dominant time profile and subject spread,
+        // the quantities neuroscientists read off the factor matrices.
+        let time_len = x.dims()[0];
+        for comp in 0..3.min(rank) {
+            let time_col: Vec<f64> =
+                (0..time_len).map(|t| model.factors[0][t * rank + comp]).collect();
+            let peak_t = time_col
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            println!(
+                "  component {comp}: weight {:.3}, temporal peak at t = {peak_t}",
+                model.lambda[comp]
+            );
+        }
+    }
+}

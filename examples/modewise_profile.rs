@@ -1,0 +1,60 @@
+//! Per-mode MTTKRP profiler: for a tensor shape given on the command
+//! line, time every algorithm on every mode with its phase breakdown —
+//! the tool you would use to pick a kernel for a new workload (and the
+//! data behind Figures 6 and 8).
+//!
+//! ```text
+//! cargo run --release --example modewise_profile -- 120 40 90
+//! cargo run --release --example modewise_profile -- 40 30 20 25
+//! ```
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::mttkrp::{
+    mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, Breakdown, TwoStepSide,
+};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::workloads::{random_factors, random_tensor};
+
+const C: usize = 25;
+
+fn row(label: &str, bd: &Breakdown) {
+    println!(
+        "  {label:<10} total {:>9.3}ms | reorder {:>8.3}ms  krp {:>8.3}ms  gemm {:>8.3}ms  gemv {:>8.3}ms  reduce {:>7.3}ms",
+        bd.total * 1e3,
+        bd.reorder * 1e3,
+        (bd.full_krp + bd.lr_krp) * 1e3,
+        bd.dgemm * 1e3,
+        bd.dgemv * 1e3,
+        bd.reduce * 1e3,
+    );
+}
+
+fn main() {
+    let dims: Vec<usize> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let dims = if dims.len() >= 2 { dims } else { vec![120, 40, 90] };
+    println!("profiling MTTKRP on a {dims:?} tensor, C = {C}");
+
+    let pool = ThreadPool::host();
+    let x = random_tensor(&dims, 3);
+    let factors = random_factors(&dims, C, 4);
+    let refs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, C, Layout::RowMajor))
+        .collect();
+
+    let nmodes = dims.len();
+    for n in 0..nmodes {
+        println!("mode {n} (I_{n} = {}):", dims[n]);
+        let mut out = vec![0.0; dims[n] * C];
+        row("explicit", &mttkrp_explicit_timed(&pool, &x, &refs, n, &mut out));
+        row("1-step", &mttkrp_1step_timed(&pool, &x, &refs, n, &mut out));
+        if n > 0 && n < nmodes - 1 {
+            row("2-step", &mttkrp_2step_timed(&pool, &x, &refs, n, &mut out, TwoStepSide::Auto));
+        } else {
+            println!("  2-step     (degenerates to 1-step for external modes)");
+        }
+    }
+    println!("\nrule of thumb (paper §5.3.3): 1-step for external modes, 2-step for internal modes.");
+}

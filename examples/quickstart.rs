@@ -1,0 +1,61 @@
+//! Quickstart: build a small dense tensor, run every MTTKRP variant,
+//! then compute a CP decomposition.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::cpals::{cp_als, CpAlsOptions, KruskalModel};
+use mttkrp_repro::mttkrp::{mttkrp_1step, mttkrp_2step, mttkrp_explicit, mttkrp_oracle};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::workloads::{random_factors, random_tensor};
+
+fn main() {
+    let pool = ThreadPool::host();
+    println!("thread pool: {} threads", pool.num_threads());
+
+    // A 60 x 50 x 40 dense tensor under the natural linearization.
+    let dims = [60usize, 50, 40];
+    let c = 8;
+    let x = random_tensor(&dims, 1);
+    let factors = random_factors(&dims, c, 2);
+    let refs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+
+    // MTTKRP for the internal mode with all four implementations.
+    let n = 1;
+    let mut m_oracle = vec![0.0; dims[n] * c];
+    let mut m_1step = vec![0.0; dims[n] * c];
+    let mut m_2step = vec![0.0; dims[n] * c];
+    let mut m_explicit = vec![0.0; dims[n] * c];
+    mttkrp_oracle(&x, &refs, n, &mut m_oracle);
+    mttkrp_1step(&pool, &x, &refs, n, &mut m_1step);
+    mttkrp_2step(&pool, &x, &refs, n, &mut m_2step);
+    mttkrp_explicit(&pool, &x, &refs, n, &mut m_explicit);
+
+    let diff = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max)
+    };
+    println!("mode {n} MTTKRP agreement vs oracle:");
+    println!("  1-step   max abs diff = {:.2e}", diff(&m_1step, &m_oracle));
+    println!("  2-step   max abs diff = {:.2e}", diff(&m_2step, &m_oracle));
+    println!("  explicit max abs diff = {:.2e}", diff(&m_explicit, &m_oracle));
+
+    // CP decomposition of a planted rank-4 tensor.
+    let planted = KruskalModel::random(&dims, 4, 7).to_dense();
+    let init = KruskalModel::random(&dims, 4, 8);
+    let opts = CpAlsOptions { max_iters: 60, tol: 1e-9, ..Default::default() };
+    let (model, report) = cp_als(&pool, &planted, init, &opts);
+    println!(
+        "CP-ALS: rank {} fit = {:.6} after {} iterations (converged = {})",
+        model.rank(),
+        report.final_fit(),
+        report.iters,
+        report.converged
+    );
+    println!("lambda = {:?}", model.lambda.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>());
+}

@@ -1,0 +1,50 @@
+//! Thread-scaling predictions from the machine model: prints the
+//! modeled Figure 5 curves (time vs threads on the paper's 12-core
+//! Sandy Bridge server) for a tensor shape given on the command line.
+//!
+//! ```text
+//! cargo run --release --example scaling_model -- 909 909 909
+//! cargo run --release --example scaling_model -- 165 165 165 165
+//! ```
+
+use mttkrp_repro::machine::{predict_1step, predict_2step, predict_baseline, Machine};
+
+const C: usize = 25;
+
+fn main() {
+    let dims: Vec<usize> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let dims = if dims.len() >= 2 { dims } else { vec![909, 909, 909] };
+    let machine = Machine::sandy_bridge_12core();
+    println!("modeled machine: 2 x 6-core Sandy Bridge E5-2620 (16 GFLOP/s per core)");
+    println!("tensor {dims:?}, C = {C}\n");
+
+    let nmodes = dims.len();
+    print!("{:>8}", "threads");
+    for n in 0..nmodes {
+        print!("{:>12}", format!("1S n={n}"));
+    }
+    for n in 1..nmodes.saturating_sub(1) {
+        print!("{:>12}", format!("2S n={n}"));
+    }
+    println!("{:>12}", "Baseline");
+
+    for t in 1..=12usize {
+        print!("{t:>8}");
+        for n in 0..nmodes {
+            print!("{:>11.3}s", predict_1step(&machine, &dims, n, C, t).total);
+        }
+        for n in 1..nmodes.saturating_sub(1) {
+            print!("{:>11.3}s", predict_2step(&machine, &dims, n, C, t).total);
+        }
+        println!("{:>11.3}s", predict_baseline(&machine, &dims, nmodes / 2, C, t));
+    }
+
+    let n_mid = nmodes / 2;
+    let s1 = predict_1step(&machine, &dims, 0, C, 1).total
+        / predict_1step(&machine, &dims, 0, C, 12).total;
+    let b12 = predict_baseline(&machine, &dims, n_mid, C, 12);
+    let best12 = predict_2step(&machine, &dims, n_mid, C, 12).total;
+    println!("\n1-step external-mode speedup @12T: {s1:.1}x");
+    println!("win over baseline DGEMM @12T (mode {n_mid}): {:.1}x", b12 / best12);
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the MTTKRP reproduction workspace.
+//!
+//! Re-exports every sub-crate so `examples/` and `tests/` can use one
+//! dependency. See the README for an overview and DESIGN.md for the
+//! system inventory.
+
+pub use mttkrp_blas as blas;
+pub use mttkrp_core as mttkrp;
+pub use mttkrp_cpals as cpals;
+pub use mttkrp_krp as krp;
+pub use mttkrp_linalg as linalg;
+pub use mttkrp_machine as machine;
+pub use mttkrp_parallel as parallel;
+pub use mttkrp_tensor as tensor;
+pub use mttkrp_workloads as workloads;

@@ -1,0 +1,118 @@
+//! Cross-crate agreement: every MTTKRP implementation must produce the
+//! same matrix as the definition-by-summation oracle, for arbitrary
+//! shapes, orders, ranks, and modes. This is the repo's central
+//! correctness property (the paper's algorithms are exact
+//! reformulations, not approximations).
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::mttkrp::{
+    mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, mttkrp_auto, mttkrp_explicit,
+    mttkrp_oracle, TwoStepSide,
+};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::tensor::DenseTensor;
+use proptest::prelude::*;
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-8 * (1.0 + y.abs()))
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    dims: Vec<usize>,
+    c: usize,
+    n: usize,
+    seed: u64,
+    threads: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..=5)
+        .prop_flat_map(|order| {
+            (
+                proptest::collection::vec(1usize..=6, order),
+                1usize..=4,
+                0usize..order,
+                any::<u64>(),
+                1usize..=5,
+            )
+        })
+        .prop_map(|(dims, c, n, seed, threads)| Case { dims, c, n, seed, threads })
+}
+
+fn build(case: &Case) -> (DenseTensor, Vec<Vec<f64>>) {
+    let mut state = case.seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+    };
+    let total: usize = case.dims.iter().product();
+    let x = DenseTensor::from_vec(&case.dims, (0..total).map(|_| next()).collect());
+    let factors =
+        case.dims.iter().map(|&d| (0..d * case.c).map(|_| next()).collect()).collect();
+    (x, factors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_variants_match_oracle(case in case_strategy()) {
+        let (x, factors) = build(&case);
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&case.dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, case.c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(case.threads);
+        let out_len = case.dims[case.n] * case.c;
+
+        let mut want = vec![0.0; out_len];
+        mttkrp_oracle(&x, &refs, case.n, &mut want);
+
+        let mut got = vec![f64::NAN; out_len];
+        mttkrp_1step_seq(&x, &refs, case.n, &mut got);
+        prop_assert!(close(&got, &want), "1-step seq");
+
+        got.fill(f64::NAN);
+        mttkrp_1step(&pool, &x, &refs, case.n, &mut got);
+        prop_assert!(close(&got, &want), "1-step par");
+
+        got.fill(f64::NAN);
+        mttkrp_explicit(&pool, &x, &refs, case.n, &mut got);
+        prop_assert!(close(&got, &want), "explicit baseline");
+
+        got.fill(f64::NAN);
+        mttkrp_auto(&pool, &x, &refs, case.n, &mut got);
+        prop_assert!(close(&got, &want), "auto dispatch");
+
+        if case.n > 0 && case.n < case.dims.len() - 1 {
+            for side in [TwoStepSide::Auto, TwoStepSide::Left, TwoStepSide::Right] {
+                got.fill(f64::NAN);
+                mttkrp_2step_timed(&pool, &x, &refs, case.n, &mut got, side);
+                prop_assert!(close(&got, &want), "2-step {side:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results(
+        dims in proptest::collection::vec(2usize..=5, 3..=4),
+        seed in any::<u64>(),
+    ) {
+        let case = Case { dims: dims.clone(), c: 3, n: 1, seed, threads: 1 };
+        let (x, factors) = build(&case);
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, 3, Layout::RowMajor))
+            .collect();
+        let mut reference = vec![0.0; dims[1] * 3];
+        mttkrp_1step(&ThreadPool::new(1), &x, &refs, 1, &mut reference);
+        for t in [2usize, 3, 7] {
+            let mut got = vec![0.0; dims[1] * 3];
+            mttkrp_1step(&ThreadPool::new(t), &x, &refs, 1, &mut got);
+            prop_assert!(close(&got, &reference), "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests of the layout algebra everything rests on: natural
+//! linearization, zero-copy unfolding views, and the KRP row ordering —
+//! plus the identity connecting MTTKRP to TTV chains.
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::krp::{krp_colwise, krp_reuse, krp_rows};
+use mttkrp_repro::mttkrp::mttkrp_oracle;
+use mttkrp_repro::tensor::ops::ttv;
+use mttkrp_repro::tensor::{multi_index, DenseTensor, DimInfo};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..=5, 2..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linearization_round_trip(dims in dims_strategy(), frac in 0.0f64..1.0) {
+        let info = DimInfo::new(&dims);
+        let ell = ((info.total() - 1) as f64 * frac) as usize;
+        let idx = info.unlinear(ell);
+        prop_assert_eq!(info.linear(&idx), ell);
+        prop_assert_eq!(multi_index(&dims, ell), idx);
+    }
+
+    #[test]
+    fn unfolding_view_equals_materialized(dims in dims_strategy(), n_frac in 0.0f64..1.0) {
+        let n = ((dims.len() - 1) as f64 * n_frac).round() as usize;
+        let total: usize = dims.iter().product();
+        let x = DenseTensor::from_vec(&dims, (0..total).map(|i| i as f64).collect());
+        let unf = x.unfold(n);
+        let mat = x.materialize_unfolding(n, Layout::ColMajor);
+        let rows = unf.nrows();
+        for i in 0..rows {
+            for c in 0..unf.ncols() {
+                prop_assert_eq!(unf.get(i, c), mat[i + c * rows]);
+            }
+        }
+    }
+
+    #[test]
+    fn leading_unfold_is_identity_reshape(dims in dims_strategy()) {
+        // X(0:n) viewed column-major must enumerate the raw buffer.
+        let total: usize = dims.iter().product();
+        let x = DenseTensor::from_vec(&dims, (0..total).map(|i| i as f64).collect());
+        for n in 0..dims.len() {
+            let v = x.unfold_leading(n);
+            let rows = v.nrows();
+            for ell in 0..total {
+                prop_assert_eq!(v.get(ell % rows, ell / rows), ell as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn krp_row_order_matches_column_linearization(
+        shapes in proptest::collection::vec(1usize..=4, 2..=4),
+        c in 1usize..=3,
+    ) {
+        // Row j of the KRP (inputs in descending mode order) must be the
+        // Hadamard of factor rows selected by the mode-multi-index of j
+        // with the *first* remaining mode fastest — i.e. exactly the
+        // column order of the matricization. Cross-check against the
+        // Kronecker (column-wise) definition.
+        let datas: Vec<Vec<f64>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (0..r * c).map(|k| ((i + 1) * (k + 3)) as f64 * 0.25).collect())
+            .collect();
+        let inputs: Vec<MatRef> = datas
+            .iter()
+            .zip(&shapes)
+            .map(|(d, &r)| MatRef::from_slice(d, r, c, Layout::RowMajor))
+            .collect();
+        let j = krp_rows(&inputs);
+        let mut a = vec![0.0; j * c];
+        let mut b = vec![0.0; j * c];
+        krp_reuse(&inputs, &mut a);
+        krp_colwise(&inputs, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank1_mttkrp_equals_ttv_chain(dims in proptest::collection::vec(2usize..=5, 3..=4)) {
+        // With C = 1 the MTTKRP reduces to contracting every other mode
+        // with its factor vector — a TTV chain.
+        let total: usize = dims.iter().product();
+        let x = DenseTensor::from_vec(
+            &dims,
+            (0..total).map(|i| ((i * 7919) % 23) as f64 - 11.0).collect(),
+        );
+        let vecs: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| (0..d).map(|i| ((i + k + 2) as f64) * 0.5 - 1.0).collect())
+            .collect();
+        let refs: Vec<MatRef> = vecs
+            .iter()
+            .zip(&dims)
+            .map(|(v, &d)| MatRef::from_slice(v, d, 1, Layout::RowMajor))
+            .collect();
+        let n = 1;
+        let mut m = vec![0.0; dims[n]];
+        mttkrp_oracle(&x, &refs, n, &mut m);
+
+        // TTV chain: contract from the highest mode down, skipping n.
+        let mut t = x.clone();
+        for k in (0..dims.len()).rev() {
+            if k == n {
+                continue;
+            }
+            // Contracting high-to-low keeps every remaining original
+            // mode at its original index position.
+            t = ttv(&t, k, &vecs[k]);
+        }
+        prop_assert_eq!(t.len(), dims[n]);
+        for (a, b) in t.data().iter().zip(&m) {
+            prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Stress tests of the parallel runtime under oversubscription (more
+//! threads than cores) and across repeated reuse — the conditions the
+//! benchmark harness puts it through.
+
+use mttkrp_repro::blas::{par_gemm, Layout, MatMut, MatRef};
+use mttkrp_repro::parallel::{reduce, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn heavy_oversubscription_still_covers_all_work() {
+    let pool = ThreadPool::new(32);
+    let counter = AtomicUsize::new(0);
+    for _ in 0..50 {
+        pool.parallel_for_range(1000, |_, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 50_000);
+}
+
+#[test]
+fn many_pools_can_coexist_sequentially() {
+    for t in 1..=16 {
+        let pool = ThreadPool::new(t);
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), t);
+    }
+}
+
+#[test]
+fn par_gemm_consistent_across_pool_sizes() {
+    let (m, n, k) = (37, 29, 53);
+    let a: Vec<f64> = (0..m * k).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| ((i % 7) as f64) * 0.5).collect();
+    let av = MatRef::from_slice(&a, m, k, Layout::RowMajor);
+    let bv = MatRef::from_slice(&b, k, n, Layout::ColMajor);
+
+    let mut reference = vec![0.0; m * n];
+    par_gemm(
+        &ThreadPool::new(1),
+        1.0,
+        av,
+        bv,
+        0.0,
+        MatMut::from_slice(&mut reference, m, n, Layout::RowMajor),
+    );
+    for t in [2usize, 4, 9, 17] {
+        let pool = ThreadPool::new(t);
+        let mut out = vec![0.0; m * n];
+        par_gemm(&pool, 1.0, av, bv, 0.0, MatMut::from_slice(&mut out, m, n, Layout::RowMajor));
+        for (x, y) in out.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-12, "t = {t}");
+        }
+    }
+}
+
+#[test]
+fn reduction_is_exact_for_integers() {
+    // Integer-valued f64 sums are exact regardless of association, so
+    // the parallel reduction must match the sequential one bit-for-bit.
+    let pool = ThreadPool::new(8);
+    let parts_owned: Vec<Vec<f64>> =
+        (0..6).map(|p| (0..5000).map(|i| ((p * i) % 97) as f64).collect()).collect();
+    let parts: Vec<&[f64]> = parts_owned.iter().map(|v| v.as_slice()).collect();
+    let mut seq = vec![0.0; 5000];
+    reduce::sum_into_seq(&mut seq, &parts);
+    let mut par = vec![0.0; 5000];
+    reduce::sum_into(&pool, &mut par, &parts);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn nested_region_panics_are_contained() {
+    // A panic in one region must not poison subsequent regions.
+    let pool = ThreadPool::new(4);
+    for round in 0..5 {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id == round % 4 {
+                    panic!("round {round}");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+    let hits = AtomicUsize::new(0);
+    pool.run(|_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 4);
+}
