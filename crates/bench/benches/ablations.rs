@@ -5,22 +5,21 @@
 //! * 1-step Algorithm 2 (explicit full KRP) vs Algorithm 3 with one
 //!   thread (streaming KRP blocks) — the paper's observation that the
 //!   parallel formulation is the better sequential algorithm too;
+//! * plan reuse on/off (per-call allocation vs cached `MttkrpPlan`);
 //! * dimension-tree CP-ALS on/off (the future-work extension).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_bench::{BenchGroup, MttkrpFixture, RANK};
 use mttkrp_blas::{Layout, MatRef};
-use mttkrp_core::{mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, TwoStepSide};
+use mttkrp_core::{
+    mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, AlgoChoice, MttkrpPlan, TwoStepSide,
+};
 use mttkrp_cpals::{cp_als, cp_als_dimtree, CpAlsOptions, KruskalModel, MttkrpStrategy};
 use mttkrp_krp::{krp_naive, krp_reuse};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_workloads::{krp_input_rows, random_matrix};
 
-fn ablation_krp_reuse(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("ablation/krp_reuse");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(400));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn ablation_krp_reuse() {
+    let group = BenchGroup::new("ablation/krp_reuse");
     let c = 25;
     let rows = krp_input_rows(4, 100_000);
     let mats: Vec<Vec<f64>> = rows
@@ -35,16 +34,12 @@ fn ablation_krp_reuse(criterion: &mut Criterion) {
         .collect();
     let j: usize = rows.iter().product();
     let mut out = vec![0.0; j * c];
-    group.bench_function("reuse_on", |b| b.iter(|| krp_reuse(&inputs, &mut out)));
-    group.bench_function("reuse_off", |b| b.iter(|| krp_naive(&inputs, &mut out)));
-    group.finish();
+    group.bench("reuse_on", || krp_reuse(&inputs, &mut out));
+    group.bench("reuse_off", || krp_naive(&inputs, &mut out));
 }
 
-fn ablation_twostep_side(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("ablation/twostep_side");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(400));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn ablation_twostep_side() {
+    let group = BenchGroup::new("ablation/twostep_side");
     let pool = ThreadPool::host();
     // Asymmetric dims so the side choice matters: mode 1 has IL=32,
     // IR=64*40 — the paper's rule picks Right here.
@@ -57,37 +52,46 @@ fn ablation_twostep_side(criterion: &mut Criterion) {
         ("left", TwoStepSide::Left),
         ("right", TwoStepSide::Right),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| mttkrp_2step_timed(&pool, &fx.x, &refs, n, &mut out, side))
+        group.bench(name, || {
+            let _ = mttkrp_2step_timed(&pool, &fx.x, &refs, n, &mut out, side);
         });
     }
-    group.finish();
 }
 
-fn ablation_alg2_vs_alg3_seq(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("ablation/onestep_seq_variant");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(400));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn ablation_alg2_vs_alg3_seq() {
+    let group = BenchGroup::new("ablation/onestep_seq_variant");
     let one = ThreadPool::new(1);
     let fx = MttkrpFixture::equal(4, 1_000_000);
     let refs = fx.refs();
     let n = 1;
     let mut out = vec![0.0; fx.dims[n] * RANK];
-    group.bench_function("alg2_full_krp", |b| {
-        b.iter(|| mttkrp_1step_seq(&fx.x, &refs, n, &mut out))
+    group.bench("alg2_full_krp", || {
+        mttkrp_1step_seq(&fx.x, &refs, n, &mut out)
     });
-    group.bench_function("alg3_one_thread", |b| {
-        b.iter(|| mttkrp_1step(&one, &fx.x, &refs, n, &mut out))
+    group.bench("alg3_one_thread", || {
+        mttkrp_1step(&one, &fx.x, &refs, n, &mut out)
     });
-    group.finish();
 }
 
-fn ablation_dimtree(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("ablation/dimtree");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(400));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+fn ablation_plan_reuse() {
+    let group = BenchGroup::new("ablation/plan_reuse");
+    let pool = ThreadPool::host();
+    let fx = MttkrpFixture::equal(4, 1_000_000);
+    let refs = fx.refs();
+    let n = 1;
+    let mut out = vec![0.0; fx.dims[n] * RANK];
+    group.bench("allocating_wrapper", || {
+        let mut plan = MttkrpPlan::new(&pool, &fx.dims, RANK, n, AlgoChoice::Heuristic);
+        plan.execute(&pool, &fx.x, &refs, &mut out);
+    });
+    let mut plan = MttkrpPlan::new(&pool, &fx.dims, RANK, n, AlgoChoice::Heuristic);
+    group.bench("cached_plan", || {
+        plan.execute(&pool, &fx.x, &refs, &mut out)
+    });
+}
+
+fn ablation_dimtree() {
+    let group = BenchGroup::new("ablation/dimtree");
     let pool = ThreadPool::host();
     let fx = MttkrpFixture::with_dims(&[24, 12, 24, 24]);
     let init = KruskalModel::random(&fx.dims, 16, 42);
@@ -96,20 +100,18 @@ fn ablation_dimtree(criterion: &mut Criterion) {
         tol: 0.0,
         strategy: MttkrpStrategy::Auto,
     };
-    group.bench_function("standard", |b| {
-        b.iter(|| cp_als(&pool, &fx.x, init.clone(), &opts))
+    group.bench("standard", || {
+        let _ = cp_als(&pool, &fx.x, init.clone(), &opts);
     });
-    group.bench_function("dimtree", |b| {
-        b.iter(|| cp_als_dimtree(&pool, &fx.x, init.clone(), &opts))
+    group.bench("dimtree", || {
+        let _ = cp_als_dimtree(&pool, &fx.x, init.clone(), &opts);
     });
-    group.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablation_krp_reuse,
-    ablation_twostep_side,
-    ablation_alg2_vs_alg3_seq,
-    ablation_dimtree
-);
-criterion_main!(ablations);
+fn main() {
+    ablation_krp_reuse();
+    ablation_twostep_side();
+    ablation_alg2_vs_alg3_seq();
+    ablation_plan_reuse();
+    ablation_dimtree();
+}

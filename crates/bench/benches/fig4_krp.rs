@@ -1,7 +1,7 @@
 //! Figure 4: Khatri-Rao product — Reuse (Algorithm 1) vs Naive vs the
 //! STREAM roofline, for Z ∈ {2,3,4} inputs and C ∈ {25,50}.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::BenchGroup;
 use mttkrp_blas::stream::par_stream_scale;
 use mttkrp_blas::{Layout, MatRef};
 use mttkrp_krp::{par_krp, par_krp_naive};
@@ -11,13 +11,10 @@ use mttkrp_workloads::{krp_input_rows, random_matrix};
 /// Scaled-down output rows (paper: ≈2e7).
 const TARGET_ROWS: usize = 200_000;
 
-fn bench_fig4(criterion: &mut Criterion) {
+fn main() {
     let pool = ThreadPool::host();
     for &c in &[25usize, 50] {
-        let mut group = criterion.benchmark_group(format!("fig4/C{c}"));
-        group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(400));
-        group.measurement_time(std::time::Duration::from_millis(1500));
+        let group = BenchGroup::new(format!("fig4/C{c}"));
         for &z in &[2usize, 3, 4] {
             let rows = krp_input_rows(z, TARGET_ROWS);
             let j: usize = rows.iter().product();
@@ -32,23 +29,15 @@ fn bench_fig4(criterion: &mut Criterion) {
                 .map(|(m, &r)| MatRef::from_slice(m, r, c, Layout::RowMajor))
                 .collect();
             let mut out = vec![0.0; j * c];
-            group.bench_function(BenchmarkId::new("reuse", z), |b| {
-                b.iter(|| par_krp(&pool, &inputs, &mut out))
-            });
-            group.bench_function(BenchmarkId::new("naive", z), |b| {
-                b.iter(|| par_krp_naive(&pool, &inputs, &mut out))
+            group.bench(&format!("reuse/{z}"), || par_krp(&pool, &inputs, &mut out));
+            group.bench(&format!("naive/{z}"), || {
+                par_krp_naive(&pool, &inputs, &mut out)
             });
         }
         // STREAM Scale over a matrix the size of the KRP output.
         let j: usize = krp_input_rows(2, TARGET_ROWS).iter().product();
         let src = vec![1.0f64; j * c];
         let mut dst = vec![0.0f64; j * c];
-        group.bench_function("stream", |b| {
-            b.iter(|| par_stream_scale(&pool, 1.5, &src, &mut dst))
-        });
-        group.finish();
+        group.bench("stream", || par_stream_scale(&pool, 1.5, &src, &mut dst));
     }
 }
-
-criterion_group!(fig4, bench_fig4);
-criterion_main!(fig4);

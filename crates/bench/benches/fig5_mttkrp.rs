@@ -1,35 +1,43 @@
 //! Figure 5: MTTKRP time per mode — 1-step vs 2-step vs the baseline
 //! DGEMM, for N ∈ {3,4,5,6} equal-dimension tensors (scaled down from
 //! the paper's ≈750M entries).
+//!
+//! The `*_planned` entries time steady-state execution — the plan is
+//! built once outside the timing loop, so KRP/partial buffers are
+//! reused exactly as CP-ALS reuses them across sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_bench::{BenchGroup, MttkrpFixture, RANK};
 use mttkrp_blas::{Layout, MatRef};
 use mttkrp_core::baseline::baseline_gemm_only;
-use mttkrp_core::{mttkrp_1step, mttkrp_2step};
+use mttkrp_core::{mttkrp_1step, mttkrp_2step, AlgoChoice, MttkrpPlan};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_workloads::random_matrix;
 
 const ENTRIES: usize = 2_000_000;
 
-fn bench_fig5(criterion: &mut Criterion) {
+fn main() {
     let pool = ThreadPool::host();
     for nmodes in 3..=6 {
         let fx = MttkrpFixture::equal(nmodes, ENTRIES);
         let refs = fx.refs();
-        let mut group = criterion.benchmark_group(format!("fig5/N{nmodes}"));
-        group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(400));
-        group.measurement_time(std::time::Duration::from_millis(1500));
+        let group = BenchGroup::new(format!("fig5/N{nmodes}"));
 
         for n in 0..nmodes {
             let mut out = vec![0.0; fx.dims[n] * RANK];
-            group.bench_function(BenchmarkId::new("1step", n), |b| {
-                b.iter(|| mttkrp_1step(&pool, &fx.x, &refs, n, &mut out))
+            group.bench(&format!("1step/{n}"), || {
+                mttkrp_1step(&pool, &fx.x, &refs, n, &mut out)
+            });
+            let mut plan = MttkrpPlan::new(&pool, &fx.dims, RANK, n, AlgoChoice::OneStep);
+            group.bench(&format!("1step_planned/{n}"), || {
+                plan.execute(&pool, &fx.x, &refs, &mut out)
             });
             if n > 0 && n < nmodes - 1 {
-                group.bench_function(BenchmarkId::new("2step", n), |b| {
-                    b.iter(|| mttkrp_2step(&pool, &fx.x, &refs, n, &mut out))
+                group.bench(&format!("2step/{n}"), || {
+                    mttkrp_2step(&pool, &fx.x, &refs, n, &mut out)
+                });
+                let mut plan = MttkrpPlan::new(&pool, &fx.dims, RANK, n, AlgoChoice::Heuristic);
+                group.bench(&format!("2step_planned/{n}"), || {
+                    plan.execute(&pool, &fx.x, &refs, &mut out)
                 });
             }
         }
@@ -42,12 +50,8 @@ fn bench_fig5(criterion: &mut Criterion) {
         let k = random_matrix(i_neq, RANK, 5);
         let kv = MatRef::from_slice(&k, i_neq, RANK, Layout::ColMajor);
         let mut out = vec![0.0; i_n * RANK];
-        group.bench_function("baseline_dgemm", |b| {
-            b.iter(|| baseline_gemm_only(&pool, xv, kv, &mut out))
+        group.bench("baseline_dgemm", || {
+            baseline_gemm_only(&pool, xv, kv, &mut out)
         });
-        group.finish();
     }
 }
-
-criterion_group!(fig5, bench_fig5);
-criterion_main!(fig5);

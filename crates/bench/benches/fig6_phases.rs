@@ -3,8 +3,7 @@
 //! isolated phase kernels (reorder pass, full KRP, reduction) whose
 //! relative costs Figure 6 decomposes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_bench::{BenchGroup, MttkrpFixture, RANK};
 use mttkrp_blas::Layout;
 use mttkrp_core::{mttkrp_1step, mttkrp_explicit};
 use mttkrp_krp::par_krp;
@@ -12,27 +11,24 @@ use mttkrp_parallel::{reduce, ThreadPool};
 
 const ENTRIES: usize = 2_000_000;
 
-fn bench_fig6(criterion: &mut Criterion) {
+fn main() {
     let pool = ThreadPool::host();
     let fx = MttkrpFixture::equal(4, ENTRIES);
     let refs = fx.refs();
     let n = 1; // internal mode
 
-    let mut group = criterion.benchmark_group("fig6");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(400));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+    let group = BenchGroup::new("fig6");
     let mut out = vec![0.0; fx.dims[n] * RANK];
-    group.bench_function("explicit_baseline_total", |b| {
-        b.iter(|| mttkrp_explicit(&pool, &fx.x, &refs, n, &mut out))
+    group.bench("explicit_baseline_total", || {
+        mttkrp_explicit(&pool, &fx.x, &refs, n, &mut out)
     });
-    group.bench_function("1step_total", |b| {
-        b.iter(|| mttkrp_1step(&pool, &fx.x, &refs, n, &mut out))
+    group.bench("1step_total", || {
+        mttkrp_1step(&pool, &fx.x, &refs, n, &mut out)
     });
 
     // Isolated phases.
-    group.bench_function("phase/reorder", |b| {
-        b.iter(|| fx.x.materialize_unfolding(n, Layout::ColMajor))
+    group.bench("phase/reorder", || {
+        let _ = fx.x.materialize_unfolding(n, Layout::ColMajor);
     });
     let krp_inputs: Vec<_> = refs
         .iter()
@@ -43,17 +39,13 @@ fn bench_fig6(criterion: &mut Criterion) {
         .collect();
     let j: usize = krp_inputs.iter().map(|m| m.nrows()).product();
     let mut krp_out = vec![0.0; j * RANK];
-    group.bench_function("phase/full_krp", |b| {
-        b.iter(|| par_krp(&pool, &krp_inputs, &mut krp_out))
+    group.bench("phase/full_krp", || {
+        par_krp(&pool, &krp_inputs, &mut krp_out)
     });
 
     let parts: Vec<Vec<f64>> = (0..4).map(|p| vec![p as f64; fx.dims[n] * RANK]).collect();
     let part_refs: Vec<&[f64]> = parts.iter().map(|v| v.as_slice()).collect();
-    group.bench_function("phase/reduce", |b| {
-        b.iter(|| reduce::sum_into(&pool, &mut out, &part_refs))
+    group.bench("phase/reduce", || {
+        reduce::sum_into(&pool, &mut out, &part_refs)
     });
-    group.finish();
 }
-
-criterion_group!(fig6, bench_fig6);
-criterion_main!(fig6);

@@ -2,12 +2,12 @@
 //! external / 2-step internal) vs the Tensor-Toolbox-style explicit
 //! baseline, on scaled fMRI-shaped tensors over the paper's rank sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::BenchGroup;
 use mttkrp_cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_workloads::{linearize_symmetric, FmriConfig};
 
-fn bench_fig7(criterion: &mut Criterion) {
+fn main() {
     let pool = ThreadPool::host();
     let cfg = FmriConfig {
         time: 32,
@@ -21,10 +21,7 @@ fn bench_fig7(criterion: &mut Criterion) {
     let x3 = linearize_symmetric(&x4);
 
     for (label, x) in [("4d", &x4), ("3d", &x3)] {
-        let mut group = criterion.benchmark_group(format!("fig7/{label}"));
-        group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(400));
-        group.measurement_time(std::time::Duration::from_millis(1500));
+        let group = BenchGroup::new(format!("fig7/{label}"));
         for &rank in &[10usize, 20, 30] {
             let init = KruskalModel::random(x.dims(), rank, 42);
             for (name, strategy) in [
@@ -36,14 +33,10 @@ fn bench_fig7(criterion: &mut Criterion) {
                     tol: 0.0,
                     strategy,
                 };
-                group.bench_function(BenchmarkId::new(name, rank), |b| {
-                    b.iter(|| cp_als(&pool, x, init.clone(), &opts))
+                group.bench(&format!("{name}/{rank}"), || {
+                    let _ = cp_als(&pool, x, init.clone(), &opts);
                 });
             }
         }
-        group.finish();
     }
 }
-
-criterion_group!(fig7, bench_fig7);
-criterion_main!(fig7);

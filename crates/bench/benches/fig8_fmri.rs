@@ -2,12 +2,11 @@
 //! tensors, whose wildly differing mode sizes (few subjects, many
 //! region pairs) expose the KRP cost of small modes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_bench::{BenchGroup, MttkrpFixture, RANK};
 use mttkrp_core::{mttkrp_1step, mttkrp_2step, mttkrp_explicit};
 use mttkrp_parallel::ThreadPool;
 
-fn bench_fig8(criterion: &mut Criterion) {
+fn main() {
     let pool = ThreadPool::host();
     // Scaled versions of the paper's 225×59×200×200 and 225×59×19900.
     let shapes: [(&str, Vec<usize>); 2] = [("4d", vec![48, 12, 40, 40]), ("3d", vec![48, 12, 780])];
@@ -16,27 +15,20 @@ fn bench_fig8(criterion: &mut Criterion) {
         let fx = MttkrpFixture::with_dims(&dims);
         let refs = fx.refs();
         let nmodes = dims.len();
-        let mut group = criterion.benchmark_group(format!("fig8/{label}"));
-        group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_millis(400));
-        group.measurement_time(std::time::Duration::from_millis(1500));
+        let group = BenchGroup::new(format!("fig8/{label}"));
         for n in 0..nmodes {
             let mut out = vec![0.0; dims[n] * RANK];
-            group.bench_function(BenchmarkId::new("explicit", n), |b| {
-                b.iter(|| mttkrp_explicit(&pool, &fx.x, &refs, n, &mut out))
+            group.bench(&format!("explicit/{n}"), || {
+                mttkrp_explicit(&pool, &fx.x, &refs, n, &mut out)
             });
-            group.bench_function(BenchmarkId::new("1step", n), |b| {
-                b.iter(|| mttkrp_1step(&pool, &fx.x, &refs, n, &mut out))
+            group.bench(&format!("1step/{n}"), || {
+                mttkrp_1step(&pool, &fx.x, &refs, n, &mut out)
             });
             if n > 0 && n < nmodes - 1 {
-                group.bench_function(BenchmarkId::new("2step", n), |b| {
-                    b.iter(|| mttkrp_2step(&pool, &fx.x, &refs, n, &mut out))
+                group.bench(&format!("2step/{n}"), || {
+                    mttkrp_2step(&pool, &fx.x, &refs, n, &mut out)
                 });
             }
         }
-        group.finish();
     }
 }
-
-criterion_group!(fig8, bench_fig8);
-criterion_main!(fig8);

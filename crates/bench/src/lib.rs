@@ -1,8 +1,14 @@
-//! Shared fixtures for the Criterion benches (one bench target per
-//! paper figure, plus ablations). Sizes are scaled down from the paper
-//! (≈750M-entry tensors) so `cargo bench` completes in minutes on one
-//! core; the harness binary (`mttkrp-harness`) regenerates the actual
-//! figure tables, including modeled 12-thread series.
+//! Shared fixtures plus a small in-tree timing harness for the figure
+//! benches (one bench target per paper figure, plus ablations). Sizes
+//! are scaled down from the paper (≈750M-entry tensors) so
+//! `cargo bench` completes in minutes on one core; the harness binary
+//! (`mttkrp-harness`) regenerates the actual figure tables, including
+//! modeled 12-thread series.
+//!
+//! The bench targets are plain `harness = false` binaries driven by
+//! [`BenchGroup`] — the build environment has no registry access, so
+//! Criterion is replaced by a median-of-samples timer with the same
+//! group/function reporting structure.
 
 use mttkrp_blas::{Layout, MatRef};
 use mttkrp_tensor::DenseTensor;
@@ -52,5 +58,52 @@ impl MttkrpFixture {
             .zip(&self.dims)
             .map(|(f, &d)| MatRef::from_slice(f, d, RANK, Layout::RowMajor))
             .collect()
+    }
+}
+
+/// A named group of timed benchmark functions (the in-tree stand-in for
+/// `criterion::BenchmarkGroup`).
+///
+/// Each function is warmed up once, then run `samples` times; the
+/// median, minimum, and maximum wall times are printed as one CSV-ish
+/// line `group/name,median_s,min_s,max_s,samples`. Sample count
+/// defaults to 5 and can be overridden with `MTTKRP_BENCH_SAMPLES`.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Start a group; prints a header line.
+    pub fn new(name: impl Into<String>) -> Self {
+        let samples = std::env::var("MTTKRP_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(5);
+        let name = name.into();
+        println!("## {name} ({samples} samples)");
+        BenchGroup { name, samples }
+    }
+
+    /// Time `f`: one warm-up call, then `samples` measured calls.
+    pub fn bench(&self, fn_name: &str, mut f: impl FnMut()) {
+        f(); // warm-up (faults pages, fills thread-local pack buffers)
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{}/{fn_name},{:.6},{:.6},{:.6},{}",
+            self.name,
+            times[times.len() / 2],
+            times[0],
+            times[times.len() - 1],
+            self.samples,
+        );
     }
 }

@@ -317,7 +317,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -332,7 +334,13 @@ mod tests {
         let mut c_ref = rand_vec(m * n, 99);
         let mut c_ours = c_ref.clone();
         naive_gemm(alpha, &a, &b, beta, &mut c_ref, n);
-        gemm(alpha, a, b, beta, MatMut::from_slice(&mut c_ours, m, n, Layout::RowMajor));
+        gemm(
+            alpha,
+            a,
+            b,
+            beta,
+            MatMut::from_slice(&mut c_ours, m, n, Layout::RowMajor),
+        );
 
         for (i, (x, y)) in c_ours.iter().zip(c_ref.iter()).enumerate() {
             assert!(
@@ -344,7 +352,14 @@ mod tests {
 
     #[test]
     fn matches_oracle_small_sizes() {
-        for &(m, n, k) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 3, 9), (1, 8, 1), (4, 8, 256)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 5, 5),
+            (7, 3, 9),
+            (1, 8, 1),
+            (4, 8, 256),
+        ] {
             check_case(m, n, k, Layout::RowMajor, Layout::RowMajor, 1.0, 0.0);
             check_case(m, n, k, Layout::ColMajor, Layout::RowMajor, 1.0, 0.0);
             check_case(m, n, k, Layout::RowMajor, Layout::ColMajor, 1.0, 0.0);
@@ -374,7 +389,13 @@ mod tests {
         let a = MatRef::from_slice(&a_data, 2, 2, Layout::RowMajor);
         let b = MatRef::from_slice(&b_data, 2, 2, Layout::RowMajor);
         let mut c_data = vec![f64::NAN; 4];
-        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_data, 2, 2, Layout::RowMajor));
+        gemm(
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c_data, 2, 2, Layout::RowMajor),
+        );
         assert!(c_data.iter().all(|&x| x == 2.0));
     }
 
@@ -390,7 +411,13 @@ mod tests {
         let mut c_ref = vec![0.0; 6];
         naive_gemm(1.0, &at, &b, 0.0, &mut c_ref, 3);
         let mut c_ours = vec![0.0; 6];
-        gemm(1.0, at, b, 0.0, MatMut::from_slice(&mut c_ours, 2, 3, Layout::RowMajor));
+        gemm(
+            1.0,
+            at,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c_ours, 2, 3, Layout::RowMajor),
+        );
         assert_eq!(c_ours, c_ref);
     }
 
@@ -402,8 +429,20 @@ mod tests {
         let b = MatRef::from_slice(&b_data, 4, 5, Layout::RowMajor);
         let mut c_rm = vec![0.0; 15];
         let mut c_cm = vec![0.0; 15];
-        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_rm, 3, 5, Layout::RowMajor));
-        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_cm, 3, 5, Layout::ColMajor));
+        gemm(
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c_rm, 3, 5, Layout::RowMajor),
+        );
+        gemm(
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c_cm, 3, 5, Layout::ColMajor),
+        );
         let rm = MatRef::from_slice(&c_rm, 3, 5, Layout::RowMajor);
         let cm = MatRef::from_slice(&c_cm, 3, 5, Layout::ColMajor);
         for i in 0..3 {
@@ -423,8 +462,21 @@ mod tests {
             let b = MatRef::from_slice(&b_data, k, n, Layout::RowMajor);
             let mut c_seq = rand_vec(m * n, 3);
             let mut c_par = c_seq.clone();
-            gemm(1.5, a, b, 0.5, MatMut::from_slice(&mut c_seq, m, n, Layout::RowMajor));
-            par_gemm(&pool, 1.5, a, b, 0.5, MatMut::from_slice(&mut c_par, m, n, Layout::RowMajor));
+            gemm(
+                1.5,
+                a,
+                b,
+                0.5,
+                MatMut::from_slice(&mut c_seq, m, n, Layout::RowMajor),
+            );
+            par_gemm(
+                &pool,
+                1.5,
+                a,
+                b,
+                0.5,
+                MatMut::from_slice(&mut c_par, m, n, Layout::RowMajor),
+            );
             for (x, y) in c_par.iter().zip(c_seq.iter()) {
                 assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
             }
@@ -439,9 +491,22 @@ mod tests {
         let a = MatRef::from_slice(&a_data, 3, 2, Layout::RowMajor);
         let b = MatRef::from_slice(&b_data, 2, 3, Layout::RowMajor);
         let mut c_par = vec![0.0; 9];
-        par_gemm(&pool, 1.0, a, b, 0.0, MatMut::from_slice(&mut c_par, 3, 3, Layout::RowMajor));
+        par_gemm(
+            &pool,
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c_par, 3, 3, Layout::RowMajor),
+        );
         let mut c_seq = vec![0.0; 9];
-        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c_seq, 3, 3, Layout::RowMajor));
+        gemm(
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c_seq, 3, 3, Layout::RowMajor),
+        );
         assert_eq!(c_par, c_seq);
     }
 
@@ -453,6 +518,12 @@ mod tests {
         let a = MatRef::from_slice(&a_data, 2, 3, Layout::RowMajor);
         let b = MatRef::from_slice(&b_data, 2, 3, Layout::RowMajor); // inner dim mismatch
         let mut c = vec![0.0; 4];
-        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut c, 2, 2, Layout::RowMajor));
+        gemm(
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, Layout::RowMajor),
+        );
     }
 }

@@ -151,6 +151,13 @@ mod tests {
         let mut out = vec![0.0; 6];
         let mut m = MatMut::from_slice(&mut out, 3, 2, Layout::ColMajor);
         gemv(1.0, a, &x, 0.0, m.col_slice_mut(1));
-        assert_eq!(&out[3..6], &[a.get(0, 0) + a.get(0, 1), a.get(1, 0) + a.get(1, 1), a.get(2, 0) + a.get(2, 1)]);
+        assert_eq!(
+            &out[3..6],
+            &[
+                a.get(0, 0) + a.get(0, 1),
+                a.get(1, 0) + a.get(1, 1),
+                a.get(2, 0) + a.get(2, 1)
+            ]
+        );
     }
 }

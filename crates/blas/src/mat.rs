@@ -56,12 +56,23 @@ impl<'a> MatRef<'a> {
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
     pub fn from_slice(data: &'a [f64], nrows: usize, ncols: usize, layout: Layout) -> Self {
-        assert_eq!(data.len(), nrows * ncols, "slice length must be nrows*ncols");
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "slice length must be nrows*ncols"
+        );
         let (rs, cs) = match layout {
             Layout::ColMajor => (1isize, nrows as isize),
             Layout::RowMajor => (ncols as isize, 1isize),
         };
-        MatRef { ptr: data.as_ptr(), nrows, ncols, rs, cs, _marker: PhantomData }
+        MatRef {
+            ptr: data.as_ptr(),
+            nrows,
+            ncols,
+            rs,
+            cs,
+            _marker: PhantomData,
+        }
     }
 
     /// View with explicit strides (in elements).
@@ -77,7 +88,14 @@ impl<'a> MatRef<'a> {
         rs: isize,
         cs: isize,
     ) -> Self {
-        MatRef { ptr, nrows, ncols, rs, cs, _marker: PhantomData }
+        MatRef {
+            ptr,
+            nrows,
+            ncols,
+            rs,
+            cs,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of rows.
@@ -116,7 +134,10 @@ impl<'a> MatRef<'a> {
     /// Element `(i, j)` with bounds checking.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         unsafe { self.get_unchecked(i, j) }
     }
 
@@ -136,7 +157,10 @@ impl<'a> MatRef<'a> {
     /// Submatrix view of shape `nrows × ncols` starting at `(i, j)`.
     #[inline]
     pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
-        assert!(i + nrows <= self.nrows && j + ncols <= self.ncols, "submatrix out of bounds");
+        assert!(
+            i + nrows <= self.nrows && j + ncols <= self.ncols,
+            "submatrix out of bounds"
+        );
         MatRef {
             ptr: unsafe { self.ptr.offset(i as isize * self.rs + j as isize * self.cs) },
             nrows,
@@ -163,22 +187,24 @@ impl<'a> MatRef<'a> {
     /// (`col_stride == 1`, i.e. row-major-like views).
     #[inline]
     pub fn row_slice(&self, i: usize) -> &'a [f64] {
-        assert_eq!(self.cs, 1, "row_slice requires contiguous rows (col_stride == 1)");
+        assert_eq!(
+            self.cs, 1,
+            "row_slice requires contiguous rows (col_stride == 1)"
+        );
         assert!(i < self.nrows, "row {i} out of bounds");
-        unsafe {
-            std::slice::from_raw_parts(self.ptr.offset(i as isize * self.rs), self.ncols)
-        }
+        unsafe { std::slice::from_raw_parts(self.ptr.offset(i as isize * self.rs), self.ncols) }
     }
 
     /// Column `j` as a slice, available when rows are contiguous
     /// (`row_stride == 1`, i.e. column-major-like views).
     #[inline]
     pub fn col_slice(&self, j: usize) -> &'a [f64] {
-        assert_eq!(self.rs, 1, "col_slice requires contiguous columns (row_stride == 1)");
+        assert_eq!(
+            self.rs, 1,
+            "col_slice requires contiguous columns (row_stride == 1)"
+        );
         assert!(j < self.ncols, "column {j} out of bounds");
-        unsafe {
-            std::slice::from_raw_parts(self.ptr.offset(j as isize * self.cs), self.nrows)
-        }
+        unsafe { std::slice::from_raw_parts(self.ptr.offset(j as isize * self.cs), self.nrows) }
     }
 
     /// Copy into a freshly allocated `Vec` in the requested layout.
@@ -210,12 +236,23 @@ impl<'a> MatMut<'a> {
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
     pub fn from_slice(data: &'a mut [f64], nrows: usize, ncols: usize, layout: Layout) -> Self {
-        assert_eq!(data.len(), nrows * ncols, "slice length must be nrows*ncols");
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "slice length must be nrows*ncols"
+        );
         let (rs, cs) = match layout {
             Layout::ColMajor => (1isize, nrows as isize),
             Layout::RowMajor => (ncols as isize, 1isize),
         };
-        MatMut { ptr: data.as_mut_ptr(), nrows, ncols, rs, cs, _marker: PhantomData }
+        MatMut {
+            ptr: data.as_mut_ptr(),
+            nrows,
+            ncols,
+            rs,
+            cs,
+            _marker: PhantomData,
+        }
     }
 
     /// Mutable view with explicit strides (in elements).
@@ -231,7 +268,14 @@ impl<'a> MatMut<'a> {
         rs: isize,
         cs: isize,
     ) -> Self {
-        MatMut { ptr, nrows, ncols, rs, cs, _marker: PhantomData }
+        MatMut {
+            ptr,
+            nrows,
+            ncols,
+            rs,
+            cs,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of rows.
@@ -318,14 +362,20 @@ impl<'a> MatMut<'a> {
     /// Element `(i, j)` with bounds checking.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         unsafe { self.get_unchecked(i, j) }
     }
 
     /// Write element `(i, j)` with bounds checking.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         unsafe { self.set_unchecked(i, j, v) }
     }
 
@@ -333,7 +383,10 @@ impl<'a> MatMut<'a> {
     /// consuming the view (use [`MatMut::as_mut`] first to keep it).
     #[inline]
     pub fn submatrix(self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'a> {
-        assert!(i + nrows <= self.nrows && j + ncols <= self.ncols, "submatrix out of bounds");
+        assert!(
+            i + nrows <= self.nrows && j + ncols <= self.ncols,
+            "submatrix out of bounds"
+        );
         MatMut {
             ptr: unsafe { self.ptr.offset(i as isize * self.rs + j as isize * self.cs) },
             nrows,
@@ -377,21 +430,23 @@ impl<'a> MatMut<'a> {
     /// Mutable row `i` as a slice (requires `col_stride == 1`).
     #[inline]
     pub fn row_slice_mut(&mut self, i: usize) -> &mut [f64] {
-        assert_eq!(self.cs, 1, "row_slice_mut requires contiguous rows (col_stride == 1)");
+        assert_eq!(
+            self.cs, 1,
+            "row_slice_mut requires contiguous rows (col_stride == 1)"
+        );
         assert!(i < self.nrows, "row {i} out of bounds");
-        unsafe {
-            std::slice::from_raw_parts_mut(self.ptr.offset(i as isize * self.rs), self.ncols)
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.offset(i as isize * self.rs), self.ncols) }
     }
 
     /// Mutable column `j` as a slice (requires `row_stride == 1`).
     #[inline]
     pub fn col_slice_mut(&mut self, j: usize) -> &mut [f64] {
-        assert_eq!(self.rs, 1, "col_slice_mut requires contiguous columns (row_stride == 1)");
+        assert_eq!(
+            self.rs, 1,
+            "col_slice_mut requires contiguous columns (row_stride == 1)"
+        );
         assert!(j < self.ncols, "column {j} out of bounds");
-        unsafe {
-            std::slice::from_raw_parts_mut(self.ptr.offset(j as isize * self.cs), self.nrows)
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.offset(j as isize * self.cs), self.nrows) }
     }
 
     /// Fill every element with `v`.
@@ -406,13 +461,21 @@ impl<'a> MatMut<'a> {
 
 impl std::fmt::Debug for MatRef<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MatRef({}x{}, rs={}, cs={})", self.nrows, self.ncols, self.rs, self.cs)
+        write!(
+            f,
+            "MatRef({}x{}, rs={}, cs={})",
+            self.nrows, self.ncols, self.rs, self.cs
+        )
     }
 }
 
 impl std::fmt::Debug for MatMut<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MatMut({}x{}, rs={}, cs={})", self.nrows, self.ncols, self.rs, self.cs)
+        write!(
+            f,
+            "MatMut({}x{}, rs={}, cs={})",
+            self.nrows, self.ncols, self.rs, self.cs
+        )
     }
 }
 

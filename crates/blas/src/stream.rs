@@ -20,20 +20,26 @@ pub fn stream_scale(alpha: f64, src: &[f64], dst: &mut [f64]) {
 }
 
 /// `dst[i] = a[i] + b[i]` (STREAM Add).
+///
+/// Written as an iterator zip so the hot loop carries no per-element
+/// bounds checks — a roofline benchmark must measure bandwidth, not
+/// branch overhead.
 pub fn stream_add(a: &[f64], b: &[f64], dst: &mut [f64]) {
     assert_eq!(a.len(), dst.len(), "stream length mismatch");
     assert_eq!(b.len(), dst.len(), "stream length mismatch");
-    for i in 0..dst.len() {
-        dst[i] = a[i] + b[i];
+    for ((d, &x), &y) in dst.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *d = x + y;
     }
 }
 
 /// `dst[i] = a[i] + α·b[i]` (STREAM Triad).
+///
+/// Iterator zip for the same reason as [`stream_add`].
 pub fn stream_triad(alpha: f64, a: &[f64], b: &[f64], dst: &mut [f64]) {
     assert_eq!(a.len(), dst.len(), "stream length mismatch");
     assert_eq!(b.len(), dst.len(), "stream length mismatch");
-    for i in 0..dst.len() {
-        dst[i] = a[i] + alpha * b[i];
+    for ((d, &x), &y) in dst.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *d = x + alpha * y;
     }
 }
 
@@ -83,6 +89,34 @@ mod tests {
         assert_eq!(d, vec![11.0, 22.0, 33.0]);
         stream_triad(0.5, &a, &b, &mut d);
         assert_eq!(d, vec![6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn add_and_triad_outputs_are_pinned() {
+        // Exact-value pin for the zip rewrites: integer-valued doubles
+        // make every sum exact, so any reordering/indexing mistake in
+        // the hot loop shows up as a hard mismatch.
+        let n = 257; // deliberately not a multiple of any vector width
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (2 * i) as f64).collect();
+        let mut d = vec![f64::NAN; n];
+        stream_add(&a, &b, &mut d);
+        for (i, &v) in d.iter().enumerate() {
+            assert_eq!(v, (3 * i) as f64, "add idx {i}");
+        }
+        stream_triad(4.0, &a, &b, &mut d);
+        for (i, &v) in d.iter().enumerate() {
+            assert_eq!(v, (i + 8 * i) as f64, "triad idx {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_add_lengths_panic() {
+        let a = vec![0.0; 4];
+        let b = vec![0.0; 3];
+        let mut d = vec![0.0; 4];
+        stream_add(&a, &b, &mut d);
     }
 
     #[test]

@@ -144,7 +144,9 @@ mod tests {
         let mut s = seed | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect()
@@ -161,7 +163,13 @@ mod tests {
             }
         }
         let mut got = want.clone();
-        gemm(alpha, a.t(), a, beta, MatMut::from_slice(&mut want, n, n, Layout::ColMajor));
+        gemm(
+            alpha,
+            a.t(),
+            a,
+            beta,
+            MatMut::from_slice(&mut want, n, n, Layout::ColMajor),
+        );
         let mut view = MatMut::from_slice(&mut got, n, n, Layout::ColMajor);
         syrk_t(alpha, a, beta, &mut view);
         for (x, y) in got.iter().zip(&want) {

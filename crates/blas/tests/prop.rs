@@ -1,17 +1,23 @@
-//! Property tests for the BLAS kernels: random shapes, layouts,
-//! transposes, scalars, and submatrix views, all checked against
-//! definition-by-summation oracles.
+//! Randomized-property tests for the BLAS kernels: random shapes,
+//! layouts, transposes, scalars, and submatrix views, all checked
+//! against definition-by-summation oracles. Cases are generated from a
+//! fixed-seed [`mttkrp_rng::Rng64`] stream, so failures reproduce
+//! deterministically.
 
 use mttkrp_blas::{gemm, gemv, par_gemm, syrk_t, Layout, MatMut, MatRef};
 use mttkrp_parallel::ThreadPool;
-use proptest::prelude::*;
+use mttkrp_rng::Rng64;
 
-fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-4.0f64..4.0, len)
+fn rand_layout(rng: &mut Rng64) -> Layout {
+    if rng.next_u64() & 1 == 0 {
+        Layout::RowMajor
+    } else {
+        Layout::ColMajor
+    }
 }
 
-fn layout_strategy() -> impl Strategy<Value = Layout> {
-    prop_oneof![Just(Layout::RowMajor), Just(Layout::ColMajor)]
+fn rand_vec(rng: &mut Rng64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.f64_in(-4.0, 4.0)).collect()
 }
 
 fn naive_gemm(alpha: f64, a: &MatRef, b: &MatRef, beta: f64, c: &mut [f64], n: usize) {
@@ -27,32 +33,30 @@ fn naive_gemm(alpha: f64, a: &MatRef, b: &MatRef, beta: f64, c: &mut [f64], n: u
 }
 
 fn close(a: &[f64], b: &[f64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + y.abs()))
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + y.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gemm_matches_oracle(
-        m in 1usize..40,
-        n in 1usize..40,
-        k in 1usize..40,
-        la in layout_strategy(),
-        lb in layout_strategy(),
-        lc in layout_strategy(),
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-        seed in any::<u64>(),
-    ) {
-        let mut st = seed | 1;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(99);
-            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-        };
-        let a_data: Vec<f64> = (0..m * k).map(|_| next()).collect();
-        let b_data: Vec<f64> = (0..k * n).map(|_| next()).collect();
-        let c0: Vec<f64> = (0..m * n).map(|_| next()).collect();
+#[test]
+fn gemm_matches_oracle() {
+    let mut rng = Rng64::seed_from_u64(0xB1A5_0001);
+    for case in 0..64 {
+        let (m, n, k) = (
+            rng.usize_in(1, 40),
+            rng.usize_in(1, 40),
+            rng.usize_in(1, 40),
+        );
+        let (la, lb, lc) = (
+            rand_layout(&mut rng),
+            rand_layout(&mut rng),
+            rand_layout(&mut rng),
+        );
+        let alpha = rng.f64_in(-2.0, 2.0);
+        let beta = rng.f64_in(-2.0, 2.0);
+        let a_data = rand_vec(&mut rng, m * k);
+        let b_data = rand_vec(&mut rng, k * n);
+        let c0 = rand_vec(&mut rng, m * n);
         let a = MatRef::from_slice(&a_data, m, k, la);
         let b = MatRef::from_slice(&b_data, k, n, lb);
 
@@ -63,74 +67,101 @@ proptest! {
         // Run the kernel in layout lc, then read back row-major.
         let mut c_data = match lc {
             Layout::RowMajor => c0.clone(),
-            Layout::ColMajor => MatRef::from_slice(&c0, m, n, Layout::RowMajor).to_vec(Layout::ColMajor),
+            Layout::ColMajor => {
+                MatRef::from_slice(&c0, m, n, Layout::RowMajor).to_vec(Layout::ColMajor)
+            }
         };
         gemm(alpha, a, b, beta, MatMut::from_slice(&mut c_data, m, n, lc));
         let got = MatRef::from_slice(&c_data, m, n, lc).to_vec(Layout::RowMajor);
-        prop_assert!(close(&got, &want));
+        assert!(close(&got, &want), "case {case}: m={m} n={n} k={k}");
     }
+}
 
-    #[test]
-    fn gemm_of_transposed_views(
-        m in 1usize..20,
-        n in 1usize..20,
-        k in 1usize..20,
-        data_a in vec_strategy(400),
-        data_b in vec_strategy(400),
-    ) {
+#[test]
+fn gemm_of_transposed_views() {
+    let mut rng = Rng64::seed_from_u64(0xB1A5_0002);
+    for case in 0..64 {
         // (AᵀB)ᵀ == Bᵀ A as computed through transposed views.
-        let a = MatRef::from_slice(&data_a[..k * m], k, m, Layout::RowMajor);
-        let b = MatRef::from_slice(&data_b[..k * n], k, n, Layout::RowMajor);
+        let (m, n, k) = (
+            rng.usize_in(1, 20),
+            rng.usize_in(1, 20),
+            rng.usize_in(1, 20),
+        );
+        let data_a = rand_vec(&mut rng, k * m);
+        let data_b = rand_vec(&mut rng, k * n);
+        let a = MatRef::from_slice(&data_a, k, m, Layout::RowMajor);
+        let b = MatRef::from_slice(&data_b, k, n, Layout::RowMajor);
         let mut atb = vec![0.0; m * n];
-        gemm(1.0, a.t(), b, 0.0, MatMut::from_slice(&mut atb, m, n, Layout::RowMajor));
+        gemm(
+            1.0,
+            a.t(),
+            b,
+            0.0,
+            MatMut::from_slice(&mut atb, m, n, Layout::RowMajor),
+        );
         let mut bta = vec![0.0; n * m];
-        gemm(1.0, b.t(), a, 0.0, MatMut::from_slice(&mut bta, n, m, Layout::RowMajor));
+        gemm(
+            1.0,
+            b.t(),
+            a,
+            0.0,
+            MatMut::from_slice(&mut bta, n, m, Layout::RowMajor),
+        );
         for i in 0..m {
             for j in 0..n {
-                prop_assert!((atb[i * n + j] - bta[j * m + i]).abs() < 1e-10);
+                assert!(
+                    (atb[i * n + j] - bta[j * m + i]).abs() < 1e-10,
+                    "case {case}: ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn par_gemm_equals_gemm(
-        m in 1usize..48,
-        n in 1usize..48,
-        k in 1usize..24,
-        t in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        let mut st = seed | 1;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(7);
-            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-        };
-        let a_data: Vec<f64> = (0..m * k).map(|_| next()).collect();
-        let b_data: Vec<f64> = (0..k * n).map(|_| next()).collect();
+#[test]
+fn par_gemm_equals_gemm() {
+    let mut rng = Rng64::seed_from_u64(0xB1A5_0003);
+    for case in 0..32 {
+        let (m, n, k) = (
+            rng.usize_in(1, 48),
+            rng.usize_in(1, 48),
+            rng.usize_in(1, 24),
+        );
+        let t = rng.usize_in(1, 6);
+        let a_data = rand_vec(&mut rng, m * k);
+        let b_data = rand_vec(&mut rng, k * n);
         let a = MatRef::from_slice(&a_data, m, k, Layout::ColMajor);
         let b = MatRef::from_slice(&b_data, k, n, Layout::RowMajor);
         let mut seq = vec![1.0; m * n];
         let mut par = vec![1.0; m * n];
-        gemm(1.5, a, b, -0.5, MatMut::from_slice(&mut seq, m, n, Layout::RowMajor));
+        gemm(
+            1.5,
+            a,
+            b,
+            -0.5,
+            MatMut::from_slice(&mut seq, m, n, Layout::RowMajor),
+        );
         let pool = ThreadPool::new(t);
-        par_gemm(&pool, 1.5, a, b, -0.5, MatMut::from_slice(&mut par, m, n, Layout::RowMajor));
-        prop_assert!(close(&par, &seq));
+        par_gemm(
+            &pool,
+            1.5,
+            a,
+            b,
+            -0.5,
+            MatMut::from_slice(&mut par, m, n, Layout::RowMajor),
+        );
+        assert!(close(&par, &seq), "case {case}: m={m} n={n} k={k} t={t}");
     }
+}
 
-    #[test]
-    fn gemv_matches_gemm_column(
-        m in 1usize..50,
-        n in 1usize..30,
-        layout in layout_strategy(),
-        seed in any::<u64>(),
-    ) {
-        let mut st = seed | 1;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(3);
-            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-        };
-        let a_data: Vec<f64> = (0..m * n).map(|_| next()).collect();
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+#[test]
+fn gemv_matches_gemm_column() {
+    let mut rng = Rng64::seed_from_u64(0xB1A5_0004);
+    for case in 0..64 {
+        let (m, n) = (rng.usize_in(1, 50), rng.usize_in(1, 30));
+        let layout = rand_layout(&mut rng);
+        let a_data = rand_vec(&mut rng, m * n);
+        let x = rand_vec(&mut rng, n);
         let a = MatRef::from_slice(&a_data, m, n, layout);
 
         let mut y_gemv = vec![0.0; m];
@@ -138,58 +169,65 @@ proptest! {
         // GEMM with B as an n×1 column.
         let mut y_gemm = vec![0.0; m];
         let xv = MatRef::from_slice(&x, n, 1, Layout::ColMajor);
-        gemm(1.0, a, xv, 0.0, MatMut::from_slice(&mut y_gemm, m, 1, Layout::ColMajor));
-        prop_assert!(close(&y_gemv, &y_gemm));
+        gemm(
+            1.0,
+            a,
+            xv,
+            0.0,
+            MatMut::from_slice(&mut y_gemm, m, 1, Layout::ColMajor),
+        );
+        assert!(close(&y_gemv, &y_gemm), "case {case}: m={m} n={n}");
     }
+}
 
-    #[test]
-    fn syrk_equals_gemm_transpose_product(
-        m in 1usize..40,
-        n in 1usize..12,
-        layout in layout_strategy(),
-        seed in any::<u64>(),
-    ) {
-        let mut st = seed | 1;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(5);
-            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-        };
-        let a_data: Vec<f64> = (0..m * n).map(|_| next()).collect();
+#[test]
+fn syrk_equals_gemm_transpose_product() {
+    let mut rng = Rng64::seed_from_u64(0xB1A5_0005);
+    for case in 0..64 {
+        let (m, n) = (rng.usize_in(1, 40), rng.usize_in(1, 12));
+        let layout = rand_layout(&mut rng);
+        let a_data = rand_vec(&mut rng, m * n);
         let a = MatRef::from_slice(&a_data, m, n, layout);
         let mut want = vec![0.0; n * n];
-        gemm(1.0, a.t(), a, 0.0, MatMut::from_slice(&mut want, n, n, Layout::ColMajor));
+        gemm(
+            1.0,
+            a.t(),
+            a,
+            0.0,
+            MatMut::from_slice(&mut want, n, n, Layout::ColMajor),
+        );
         let mut got = vec![0.0; n * n];
         let mut gv = MatMut::from_slice(&mut got, n, n, Layout::ColMajor);
         syrk_t(1.0, a, 0.0, &mut gv);
-        prop_assert!(close(&got, &want));
+        assert!(close(&got, &want), "case {case}: m={m} n={n}");
     }
+}
 
-    #[test]
-    fn submatrix_gemm_equals_sliced_oracle(
-        seed in any::<u64>(),
-        i0 in 0usize..4,
-        j0 in 0usize..4,
-        m in 1usize..8,
-        n in 1usize..8,
-    ) {
+#[test]
+fn submatrix_gemm_equals_sliced_oracle() {
+    let mut rng = Rng64::seed_from_u64(0xB1A5_0006);
+    for case in 0..64 {
         // Multiply interior blocks of larger matrices through views.
         let big = 12usize;
-        let mut st = seed | 1;
-        let mut next = move || {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(13);
-            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-        };
-        let a_data: Vec<f64> = (0..big * big).map(|_| next()).collect();
-        let b_data: Vec<f64> = (0..big * big).map(|_| next()).collect();
+        let (i0, j0) = (rng.usize_below(4), rng.usize_below(4));
+        let (m, n) = (rng.usize_in(1, 8), rng.usize_in(1, 8));
+        let a_data = rand_vec(&mut rng, big * big);
+        let b_data = rand_vec(&mut rng, big * big);
         let a_full = MatRef::from_slice(&a_data, big, big, Layout::RowMajor);
         let b_full = MatRef::from_slice(&b_data, big, big, Layout::ColMajor);
         let k = 5;
         let a = a_full.submatrix(i0, j0, m, k);
         let b = b_full.submatrix(j0, i0, k, n);
         let mut got = vec![0.0; m * n];
-        gemm(1.0, a, b, 0.0, MatMut::from_slice(&mut got, m, n, Layout::RowMajor));
+        gemm(
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut got, m, n, Layout::RowMajor),
+        );
         let mut want = vec![0.0; m * n];
         naive_gemm(1.0, &a, &b, 0.0, &mut want, n);
-        prop_assert!(close(&got, &want));
+        assert!(close(&got, &want), "case {case}");
     }
 }

@@ -18,7 +18,13 @@ use crate::{krp_inputs, validate_factors};
 /// Full explicit-matricization MTTKRP: reorder + full KRP + one GEMM.
 ///
 /// Output is row-major `I_n × C`, overwritten.
-pub fn mttkrp_explicit(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+pub fn mttkrp_explicit(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) {
     let _ = mttkrp_explicit_timed(pool, x, factors, n, out);
 }
 
@@ -42,7 +48,9 @@ pub fn mttkrp_explicit_timed(
     let mut bd = Breakdown::default();
 
     // Reorder tensor entries into an explicit column-major X(n).
-    let x_mat = timed(&mut bd.reorder, || x.materialize_unfolding(n, Layout::ColMajor));
+    let x_mat = timed(&mut bd.reorder, || {
+        x.materialize_unfolding(n, Layout::ColMajor)
+    });
     let i_neq = x.info().i_neq(n);
 
     // Form the full KRP explicitly.
@@ -55,7 +63,14 @@ pub fn mttkrp_explicit_timed(
     timed(&mut bd.dgemm, || {
         let xv = MatRef::from_slice(&x_mat, i_n, i_neq, Layout::ColMajor);
         let kv = MatRef::from_slice(&k, i_neq, c, Layout::RowMajor);
-        par_gemm(pool, 1.0, xv, kv, 0.0, MatMut::from_slice(out, i_n, c, Layout::RowMajor));
+        par_gemm(
+            pool,
+            1.0,
+            xv,
+            kv,
+            0.0,
+            MatMut::from_slice(out, i_n, c, Layout::RowMajor),
+        );
     });
 
     bd.total = total_t0.elapsed().as_secs_f64();
@@ -69,7 +84,14 @@ pub fn mttkrp_explicit_timed(
 pub fn baseline_gemm_only(pool: &ThreadPool, x_mat: MatRef, k: MatRef, out: &mut [f64]) {
     let (m, c) = (x_mat.nrows(), k.ncols());
     assert_eq!(out.len(), m * c, "output must be I_n × C");
-    par_gemm(pool, 1.0, x_mat, k, 0.0, MatMut::from_slice(out, m, c, Layout::ColMajor));
+    par_gemm(
+        pool,
+        1.0,
+        x_mat,
+        k,
+        0.0,
+        MatMut::from_slice(out, m, c, Layout::ColMajor),
+    );
 }
 
 #[cfg(test)]
@@ -81,7 +103,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect()
@@ -92,8 +116,11 @@ mod tests {
         let dims = [4usize, 3, 2, 3];
         let c = 3;
         let x = DenseTensor::from_vec(&dims, rand_vec(72, 1));
-        let factors: Vec<Vec<f64>> =
-            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 5)).collect();
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, k as u64 + 5))
+            .collect();
         let refs: Vec<MatRef> = factors
             .iter()
             .zip(&dims)

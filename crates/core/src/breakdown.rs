@@ -91,8 +91,16 @@ mod tests {
 
     #[test]
     fn max_merge_takes_per_category_max() {
-        let a = Breakdown { dgemm: 2.0, lr_krp: 1.0, ..Default::default() };
-        let b = Breakdown { dgemm: 1.0, lr_krp: 3.0, ..Default::default() };
+        let a = Breakdown {
+            dgemm: 2.0,
+            lr_krp: 1.0,
+            ..Default::default()
+        };
+        let b = Breakdown {
+            dgemm: 1.0,
+            lr_krp: 3.0,
+            ..Default::default()
+        };
         let m = Breakdown::max_merge(&[a, b]);
         assert_eq!(m.dgemm, 2.0);
         assert_eq!(m.lr_krp, 3.0);
@@ -100,8 +108,16 @@ mod tests {
 
     #[test]
     fn accumulate_sums() {
-        let mut a = Breakdown { dgemm: 1.0, total: 2.0, ..Default::default() };
-        let b = Breakdown { dgemm: 0.5, total: 1.0, ..Default::default() };
+        let mut a = Breakdown {
+            dgemm: 1.0,
+            total: 2.0,
+            ..Default::default()
+        };
+        let b = Breakdown {
+            dgemm: 0.5,
+            total: 1.0,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.dgemm, 1.5);
         assert_eq!(a.total, 3.0);

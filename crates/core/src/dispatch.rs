@@ -8,8 +8,8 @@ use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
 use crate::breakdown::Breakdown;
-use crate::onestep::{mttkrp_1step, mttkrp_1step_timed};
-use crate::twostep::{mttkrp_2step, mttkrp_2step_timed, TwoStepSide};
+use crate::plan::{AlgoChoice, MttkrpPlan};
+use crate::validate_factors;
 
 /// Classification of a mode for algorithm dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,11 +34,19 @@ impl ModeKind {
 
 /// MTTKRP with the per-mode best algorithm: 1-step for external modes,
 /// 2-step for internal modes. Output is row-major `I_n × C`.
-pub fn mttkrp_auto(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
-    match ModeKind::of(x.order(), n) {
-        ModeKind::External => mttkrp_1step(pool, x, factors, n, out),
-        ModeKind::Internal => mttkrp_2step(pool, x, factors, n, out),
-    }
+///
+/// Thin allocating wrapper over a one-shot
+/// [`MttkrpPlan`](crate::plan::MttkrpPlan) with
+/// [`AlgoChoice::Heuristic`]; iterative callers should hold a
+/// [`MttkrpPlanSet`](crate::plan::MttkrpPlanSet) instead.
+pub fn mttkrp_auto(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) {
+    let _ = mttkrp_auto_timed(pool, x, factors, n, out);
 }
 
 /// [`mttkrp_auto`] returning the phase breakdown.
@@ -49,10 +57,10 @@ pub fn mttkrp_auto_timed(
     n: usize,
     out: &mut [f64],
 ) -> Breakdown {
-    match ModeKind::of(x.order(), n) {
-        ModeKind::External => mttkrp_1step_timed(pool, x, factors, n, out),
-        ModeKind::Internal => mttkrp_2step_timed(pool, x, factors, n, out, TwoStepSide::Auto),
-    }
+    let dims = x.dims();
+    let c = validate_factors(dims, factors);
+    let mut plan = MttkrpPlan::new(pool, dims, c, n, AlgoChoice::Heuristic);
+    plan.execute_timed(pool, x, factors, out)
 }
 
 #[cfg(test)]
@@ -75,12 +83,18 @@ mod tests {
         let dims = [3usize, 4, 2, 3];
         let c = 3;
         let n_entries: usize = dims.iter().product();
-        let data: Vec<f64> = (0..n_entries).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let data: Vec<f64> = (0..n_entries)
+            .map(|i| ((i * 37) % 11) as f64 - 5.0)
+            .collect();
         let x = DenseTensor::from_vec(&dims, data);
         let factors: Vec<Vec<f64>> = dims
             .iter()
             .enumerate()
-            .map(|(k, &d)| (0..d * c).map(|i| ((i * 13 + k) % 7) as f64 - 3.0).collect())
+            .map(|(k, &d)| {
+                (0..d * c)
+                    .map(|i| ((i * 13 + k) % 7) as f64 - 3.0)
+                    .collect()
+            })
             .collect();
         let refs: Vec<MatRef> = factors
             .iter()

@@ -17,6 +17,13 @@
 //!   calls, choosing the side that minimizes second-step flops.
 //! * [`dispatch::mttkrp_auto`] — the per-mode choice used by the CP-ALS
 //!   driver (1-step for external modes, 2-step for internal modes).
+//! * [`plan::MttkrpPlan`] — the reusable plan/executor split: algorithm
+//!   choice, static partition schedule, and pre-allocated per-thread
+//!   workspaces computed once per (shape, rank, mode, team) and reused
+//!   across calls. The free functions above are thin allocating
+//!   wrappers over one-shot plans; iterative drivers (CP-ALS) hold a
+//!   [`plan::MttkrpPlanSet`] instead and pay no per-iteration
+//!   allocation.
 //!
 //! All variants share conventions: factor matrices and the output are
 //! **row-major** `I_k × C` buffers, and the KRP factor order for mode
@@ -57,14 +64,16 @@ pub mod dispatch;
 pub mod multimode;
 pub mod onestep;
 pub mod oracle;
+pub mod plan;
 pub mod twostep;
 
 pub use baseline::{mttkrp_explicit, mttkrp_explicit_timed};
 pub use breakdown::Breakdown;
 pub use dispatch::{mttkrp_auto, mttkrp_auto_timed, ModeKind};
-pub use multimode::mttkrp_all_modes;
+pub use multimode::{mttkrp_all_modes, AllModesPlan};
 pub use onestep::{mttkrp_1step, mttkrp_1step_seq, mttkrp_1step_timed};
 pub use oracle::mttkrp_oracle;
+pub use plan::{AlgoChoice, MttkrpPlan, MttkrpPlanSet, PlannedAlgo};
 pub use twostep::{mttkrp_2step, mttkrp_2step_timed, TwoStepSide};
 
 use mttkrp_blas::MatRef;
@@ -74,7 +83,11 @@ use mttkrp_blas::MatRef;
 /// # Panics
 /// Panics unless there is one `I_k × C` row-contiguous factor per mode.
 pub(crate) fn validate_factors(dims: &[usize], factors: &[MatRef]) -> usize {
-    assert_eq!(factors.len(), dims.len(), "one factor matrix per tensor mode");
+    assert_eq!(
+        factors.len(),
+        dims.len(),
+        "one factor matrix per tensor mode"
+    );
     let c = factors[0].ncols();
     for (k, (f, &d)) in factors.iter().zip(dims).enumerate() {
         assert_eq!(f.nrows(), d, "factor {k} must have I_{k} rows");
@@ -87,17 +100,11 @@ pub(crate) fn validate_factors(dims: &[usize], factors: &[MatRef]) -> usize {
 /// The KRP inputs for mode `n`: all factors but `U_n`, in descending
 /// mode order (so mode 0 varies fastest in the KRP rows).
 pub(crate) fn krp_inputs<'a>(factors: &[MatRef<'a>], n: usize) -> Vec<MatRef<'a>> {
-    factors.iter().enumerate().rev().filter(|&(k, _)| k != n).map(|(_, f)| *f).collect()
-}
-
-/// Right-KRP inputs for mode `n`: `U_{N−1}, …, U_{n+1}` (mode `n+1`
-/// fastest — the block index order of `X(n)`).
-pub(crate) fn right_krp_inputs<'a>(factors: &[MatRef<'a>], n: usize) -> Vec<MatRef<'a>> {
-    factors[n + 1..].iter().rev().copied().collect()
-}
-
-/// Left-KRP inputs for mode `n`: `U_{n−1}, …, U_0` (mode 0 fastest —
-/// the in-block column order of `X(n)`).
-pub(crate) fn left_krp_inputs<'a>(factors: &[MatRef<'a>], n: usize) -> Vec<MatRef<'a>> {
-    factors[..n].iter().rev().copied().collect()
+    factors
+        .iter()
+        .enumerate()
+        .rev()
+        .filter(|&(k, _)| k != n)
+        .map(|(_, f)| *f)
+        .collect()
 }

@@ -8,6 +8,12 @@
 //! (left/right split, Phan et al. §III.C), the same reuse
 //! `mttkrp_cpals::cp_als_dimtree` applies inside ALS — but exposed at
 //! the kernel level, where no factor updates happen between modes.
+//!
+//! Like the per-mode kernels, the execution path is plan-based:
+//! [`AllModesPlan`] precomputes the group split and owns the KRP,
+//! partial, and multi-TTV scratch buffers, so optimizers that evaluate
+//! many gradients reuse one plan; [`mttkrp_all_modes`] remains the
+//! one-shot allocating wrapper.
 
 use mttkrp_blas::{gemv, par_gemm, Layout, MatMut, MatRef};
 use mttkrp_krp::{krp_rows, par_krp};
@@ -16,76 +22,174 @@ use mttkrp_tensor::DenseTensor;
 
 use crate::validate_factors;
 
+/// Reusable plan for the all-modes MTTKRP of one tensor shape and rank:
+/// the left/right group split plus every intermediate buffer.
+#[derive(Debug)]
+pub struct AllModesPlan {
+    dims: Vec<usize>,
+    c: usize,
+    /// Split point: left group `{0..s-1}`, right group `{s..N-1}`.
+    s: usize,
+    left_total: usize,
+    right_total: usize,
+    /// KRP of the right (resp. left) group factors.
+    kr: Vec<f64>,
+    kl: Vec<f64>,
+    /// Right partial `R = X(0:s−1)·KR` (`left_total × C`, col-major).
+    r: Vec<f64>,
+    /// Left partial `L = X(0:s−1)ᵀ·KL` (`right_total × C`, col-major).
+    l: Vec<f64>,
+    /// Multi-TTV scratch.
+    col_buf: Vec<f64>,
+    work: Vec<f64>,
+    next: Vec<f64>,
+    /// One row-major `I_n × C` output per mode.
+    outputs: Vec<Vec<f64>>,
+}
+
+impl AllModesPlan {
+    /// Plan the all-modes MTTKRP of a `dims` tensor at rank `c`.
+    ///
+    /// # Panics
+    /// Panics if the tensor order is below 2 or `c == 0`.
+    pub fn new(dims: &[usize], c: usize) -> Self {
+        let nmodes = dims.len();
+        assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
+        assert!(c > 0, "rank must be positive");
+        let s = nmodes.div_ceil(2);
+        let left_total: usize = dims[..s].iter().product();
+        let right_total: usize = dims[s..].iter().product();
+        AllModesPlan {
+            dims: dims.to_vec(),
+            c,
+            s,
+            left_total,
+            right_total,
+            kr: vec![0.0; right_total * c],
+            kl: vec![0.0; left_total * c],
+            r: vec![0.0; left_total * c],
+            l: vec![0.0; right_total * c],
+            col_buf: vec![0.0; dims.iter().copied().max().unwrap_or(1)],
+            work: Vec::new(),
+            next: Vec::new(),
+            outputs: dims.iter().map(|&d| vec![0.0; d * c]).collect(),
+        }
+    }
+
+    /// Compute `M_n = X(n)·(⊙_{k≠n} U_k)` for every mode at once,
+    /// sharing the two group partials; returns the per-mode outputs
+    /// (row-major `I_n × C`), owned by the plan and overwritten on the
+    /// next execution.
+    pub fn execute(
+        &mut self,
+        pool: &ThreadPool,
+        x: &DenseTensor,
+        factors: &[MatRef],
+    ) -> &[Vec<f64>] {
+        assert_eq!(
+            x.dims(),
+            &self.dims[..],
+            "tensor shape differs from the planned shape"
+        );
+        let c = validate_factors(&self.dims, factors);
+        assert_eq!(c, self.c, "factor rank differs from the planned rank");
+
+        let s = self.s;
+        let nmodes = self.dims.len();
+        let (left_total, right_total) = (self.left_total, self.right_total);
+
+        // Right partial: R = X(0:s−1) · KR  →  (Π left dims) × C, col-major.
+        {
+            let kr_inputs: Vec<MatRef> = factors[s..].iter().rev().copied().collect();
+            debug_assert_eq!(krp_rows(&kr_inputs), right_total);
+            par_krp(pool, &kr_inputs, &mut self.kr);
+            par_gemm(
+                pool,
+                1.0,
+                x.unfold_leading(s - 1),
+                MatRef::from_slice(&self.kr, right_total, c, Layout::RowMajor),
+                0.0,
+                MatMut::from_slice(&mut self.r, left_total, c, Layout::ColMajor),
+            );
+            for n in 0..s {
+                group_multi_ttv(
+                    &self.r,
+                    &self.dims[..s],
+                    c,
+                    n,
+                    factors,
+                    0,
+                    &mut self.outputs[n],
+                    &mut self.col_buf,
+                    &mut self.work,
+                    &mut self.next,
+                );
+            }
+        }
+
+        // Left partial: L = X(0:s−1)ᵀ · KL  →  (Π right dims) × C, col-major.
+        if s < nmodes {
+            let kl_inputs: Vec<MatRef> = factors[..s].iter().rev().copied().collect();
+            debug_assert_eq!(krp_rows(&kl_inputs), left_total);
+            par_krp(pool, &kl_inputs, &mut self.kl);
+            par_gemm(
+                pool,
+                1.0,
+                x.unfold_leading(s - 1).t(),
+                MatRef::from_slice(&self.kl, left_total, c, Layout::RowMajor),
+                0.0,
+                MatMut::from_slice(&mut self.l, right_total, c, Layout::ColMajor),
+            );
+            for n in s..nmodes {
+                group_multi_ttv(
+                    &self.l,
+                    &self.dims[s..],
+                    c,
+                    n - s,
+                    factors,
+                    s,
+                    &mut self.outputs[n],
+                    &mut self.col_buf,
+                    &mut self.work,
+                    &mut self.next,
+                );
+            }
+        }
+
+        &self.outputs
+    }
+
+    /// Consume the plan, returning the per-mode outputs of the last
+    /// execution.
+    pub fn into_outputs(self) -> Vec<Vec<f64>> {
+        self.outputs
+    }
+}
+
 /// Compute `M_n = X(n)·(⊙_{k≠n} U_k)` for every mode `n` at once,
 /// sharing the two group partials. Returns one row-major `I_n × C`
 /// matrix per mode.
 ///
+/// Thin allocating wrapper over a one-shot [`AllModesPlan`].
+///
 /// Flops: `2·|X|·C` per partial GEMM (2 total) plus `O(|partial|·C)`
 /// multi-TTV work — versus `N · 2·|X|·C` for independent MTTKRPs.
 pub fn mttkrp_all_modes(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef]) -> Vec<Vec<f64>> {
-    let dims = x.dims().to_vec();
-    let nmodes = dims.len();
-    assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
-    let c = validate_factors(&dims, factors);
-
-    let s = nmodes.div_ceil(2);
-    let left_dims = &dims[..s];
-    let right_dims = &dims[s..];
-    let left_total: usize = left_dims.iter().product();
-    let right_total: usize = right_dims.iter().product();
-
-    let mut outputs: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d * c]).collect();
-
-    // Right partial: R = X(0:s−1) · KR  →  (Π left dims) × C, col-major.
-    {
-        let kr_inputs: Vec<MatRef> = factors[s..].iter().rev().copied().collect();
-        debug_assert_eq!(krp_rows(&kr_inputs), right_total);
-        let mut kr = vec![0.0; right_total * c];
-        par_krp(pool, &kr_inputs, &mut kr);
-        let mut r = vec![0.0; left_total * c];
-        par_gemm(
-            pool,
-            1.0,
-            x.unfold_leading(s - 1),
-            MatRef::from_slice(&kr, right_total, c, Layout::RowMajor),
-            0.0,
-            MatMut::from_slice(&mut r, left_total, c, Layout::ColMajor),
-        );
-        for n in 0..s {
-            group_multi_ttv(&r, left_dims, c, n, factors, 0, &mut outputs[n]);
-        }
-    }
-
-    // Left partial: L = X(0:s−1)ᵀ · KL  →  (Π right dims) × C, col-major.
-    if s < nmodes {
-        let kl_inputs: Vec<MatRef> = factors[..s].iter().rev().copied().collect();
-        debug_assert_eq!(krp_rows(&kl_inputs), left_total);
-        let mut kl = vec![0.0; left_total * c];
-        par_krp(pool, &kl_inputs, &mut kl);
-        let mut l = vec![0.0; right_total * c];
-        par_gemm(
-            pool,
-            1.0,
-            x.unfold_leading(s - 1).t(),
-            MatRef::from_slice(&kl, left_total, c, Layout::RowMajor),
-            0.0,
-            MatMut::from_slice(&mut l, right_total, c, Layout::ColMajor),
-        );
-        for n in s..nmodes {
-            group_multi_ttv(&l, right_dims, c, n - s, factors, s, &mut outputs[n]);
-        }
-    }
-
-    outputs
+    let c = validate_factors(x.dims(), factors);
+    let mut plan = AllModesPlan::new(x.dims(), c);
+    plan.execute(pool, x, factors);
+    plan.into_outputs()
 }
 
 /// Contract the group partial `(g_dims…, C)` against the `j`-th columns
 /// of every in-group factor except `local_n`, writing row-major
-/// `I_{local_n} × C` into `out`.
+/// `I_{local_n} × C` into `out`. Scratch buffers are caller-owned so
+/// repeated executions do not allocate.
 ///
 /// Specialized contiguous paths: groups of size 1 (transpose copy) and
 /// size 2 (one GEMV per column); larger groups fold modes pairwise via
 /// GEMV chains on contiguous reshapes.
+#[allow(clippy::too_many_arguments)]
 fn group_multi_ttv(
     partial: &[f64],
     g_dims: &[usize],
@@ -94,16 +198,16 @@ fn group_multi_ttv(
     factors: &[MatRef],
     group_offset: usize,
     out: &mut [f64],
+    col_buf: &mut [f64],
+    work: &mut Vec<f64>,
+    next: &mut Vec<f64>,
 ) {
     let g_total: usize = g_dims.iter().product();
     let rows = g_dims[local_n];
     debug_assert_eq!(out.len(), rows * c);
     debug_assert_eq!(partial.len(), g_total * c);
 
-    let mut col_buf = vec![0.0; *g_dims.iter().max().unwrap()];
-    let mut work: Vec<f64> = Vec::new();
-    let mut next: Vec<f64> = Vec::new();
-
+    let mut cur_dims: Vec<usize> = Vec::with_capacity(g_dims.len());
     for j in 0..c {
         let sub = &partial[j * g_total..(j + 1) * g_total];
         if g_dims.len() == 1 {
@@ -116,7 +220,8 @@ fn group_multi_ttv(
         // then the lowest ones, keeping data contiguous throughout.
         work.clear();
         work.extend_from_slice(sub);
-        let mut cur_dims: Vec<usize> = g_dims.to_vec();
+        cur_dims.clear();
+        cur_dims.extend_from_slice(g_dims);
         let mut n_pos = local_n;
         // High modes: the tensor is (lead, d_high) column-major; each
         // contraction is one GEMV with the matrix (lead × d_high).
@@ -130,8 +235,8 @@ fn group_multi_ttv(
             next.clear();
             next.resize(lead, 0.0);
             let mat = MatRef::from_slice(&work[..lead * d_high], lead, d_high, Layout::ColMajor);
-            gemv(1.0, mat, &col_buf[..d_high], 0.0, &mut next);
-            std::mem::swap(&mut work, &mut next);
+            gemv(1.0, mat, &col_buf[..d_high], 0.0, next);
+            std::mem::swap(work, next);
             cur_dims.pop();
         }
         // Low modes: the tensor is (d_low, rest) column-major; contract
@@ -146,8 +251,8 @@ fn group_multi_ttv(
             next.clear();
             next.resize(rest, 0.0);
             let mat = MatRef::from_slice(&work[..d_low * rest], d_low, rest, Layout::ColMajor);
-            gemv(1.0, mat.t(), &col_buf[..d_low], 0.0, &mut next);
-            std::mem::swap(&mut work, &mut next);
+            gemv(1.0, mat.t(), &col_buf[..d_low], 0.0, next);
+            std::mem::swap(work, next);
             cur_dims.remove(0);
             n_pos -= 1;
         }
@@ -175,8 +280,11 @@ mod tests {
 
     fn check(dims: &[usize], c: usize, t: usize) {
         let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 3));
-        let factors: Vec<Vec<f64>> =
-            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 9)).collect();
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, k as u64 + 9))
+            .collect();
         let refs: Vec<MatRef> = factors
             .iter()
             .zip(dims)
@@ -211,5 +319,29 @@ mod tests {
         check(&[13, 2, 7], 4, 2);
         check(&[1, 6, 5], 2, 2);
         check(&[6, 1, 5, 2], 2, 1);
+    }
+
+    #[test]
+    fn plan_reuse_matches_wrapper_and_is_stable() {
+        let dims = [4usize, 3, 2, 3];
+        let c = 3;
+        let x = DenseTensor::from_vec(&dims, rand_vec(dims.iter().product(), 5));
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, k as u64 + 21))
+            .collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(2);
+        let wrapper = mttkrp_all_modes(&pool, &x, &refs);
+        let mut plan = AllModesPlan::new(&dims, c);
+        let first = plan.execute(&pool, &x, &refs).to_vec();
+        assert_eq!(first, wrapper, "plan output differs from wrapper");
+        let again = plan.execute(&pool, &x, &refs).to_vec();
+        assert_eq!(first, again, "plan output drifted across executions");
     }
 }

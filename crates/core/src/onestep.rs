@@ -19,13 +19,14 @@
 //!   `X(n)[j] · K_t` into its private output — again followed by a
 //!   parallel reduction.
 
-use mttkrp_blas::{gemm, hadamard, Layout, MatMut, MatRef};
-use mttkrp_krp::{krp_reuse, krp_rows, par_krp, KrpCursor};
-use mttkrp_parallel::{block_range, reduce, ThreadPool};
+use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
+use mttkrp_krp::{krp_reuse, krp_rows};
+use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
-use crate::breakdown::{timed, Breakdown};
-use crate::{krp_inputs, left_krp_inputs, right_krp_inputs, validate_factors};
+use crate::breakdown::Breakdown;
+use crate::plan::{AlgoChoice, MttkrpPlan};
+use crate::{krp_inputs, validate_factors};
 
 /// Sequential 1-step MTTKRP (Algorithm 2): explicit full KRP, then one
 /// GEMM per contiguous block of `X(n)`.
@@ -46,14 +47,26 @@ pub fn mttkrp_1step_seq(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut
     let unf = x.unfold(n);
     if let Some(xv) = unf.as_single_view() {
         let kv = MatRef::from_slice(&k, j_rows, c, Layout::RowMajor);
-        gemm(1.0, xv, kv, 0.0, MatMut::from_slice(out, dims[n], c, Layout::RowMajor));
+        gemm(
+            1.0,
+            xv,
+            kv,
+            0.0,
+            MatMut::from_slice(out, dims[n], c, Layout::RowMajor),
+        );
         return;
     }
     let il = unf.block_cols();
     for j in 0..unf.num_blocks() {
         let k_block = MatRef::from_slice(&k[j * il * c..(j + 1) * il * c], il, c, Layout::RowMajor);
         let beta = if j == 0 { 0.0 } else { 1.0 };
-        gemm(1.0, unf.block(j), k_block, beta, MatMut::from_slice(out, dims[n], c, Layout::RowMajor));
+        gemm(
+            1.0,
+            unf.block(j),
+            k_block,
+            beta,
+            MatMut::from_slice(out, dims[n], c, Layout::RowMajor),
+        );
     }
 }
 
@@ -61,7 +74,17 @@ pub fn mttkrp_1step_seq(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut
 /// the configuration the paper uses for sequential benchmarks of
 /// internal modes (left KRP + per-block KRP rows, less memory than the
 /// full KRP of Algorithm 2).
-pub fn mttkrp_1step(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+///
+/// This is a thin allocating wrapper: it builds a one-shot
+/// [`MttkrpPlan`] (forced to the 1-step kernel) and executes it.
+/// Iterative callers should hold the plan instead.
+pub fn mttkrp_1step(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) {
     let _ = mttkrp_1step_impl(pool, x, factors, n, out);
 }
 
@@ -88,132 +111,9 @@ fn mttkrp_1step_impl(
     assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
     let c = validate_factors(dims, factors);
     assert!(n < dims.len(), "mode {n} out of range");
-    let i_n = dims[n];
-    assert_eq!(out.len(), i_n * c, "output must be I_n × C");
-
-    let total_t0 = std::time::Instant::now();
-    let mut bd = Breakdown::default();
-    let t = pool.num_threads();
-    let unf = x.unfold(n);
-
-    if let Some(xv) = unf.as_single_view() {
-        // External mode: partition the I≠n columns of X(n).
-        let j_total = unf.ncols();
-        let inputs = krp_inputs(factors, n);
-        let nsplit = usize::min(t, j_total.max(1));
-
-        struct Private {
-            m: Vec<f64>,
-            k: Vec<f64>,
-            bd: Breakdown,
-        }
-        let mut privs = pool.run_with_private(
-            |tid| {
-                let cols = if tid < nsplit { block_range(j_total, nsplit, tid).len() } else { 0 };
-                Private { m: vec![0.0; i_n * c], k: vec![0.0; cols * c], bd: Breakdown::default() }
-            },
-            |ctx, p| {
-                if ctx.thread_id >= nsplit {
-                    return;
-                }
-                let r = block_range(j_total, nsplit, ctx.thread_id);
-                if r.is_empty() {
-                    return;
-                }
-                timed(&mut p.bd.full_krp, || {
-                    let mut cur = KrpCursor::new(&inputs);
-                    cur.seek(r.start);
-                    for row in p.k.chunks_exact_mut(c) {
-                        cur.write_next(row);
-                    }
-                });
-                timed(&mut p.bd.dgemm, || {
-                    let xt = xv.submatrix(0, r.start, i_n, r.len());
-                    let kt = MatRef::from_slice(&p.k, r.len(), c, Layout::RowMajor);
-                    gemm(1.0, xt, kt, 0.0, MatMut::from_slice(&mut p.m, i_n, c, Layout::RowMajor));
-                });
-            },
-        );
-        let phase = Breakdown::max_merge(&privs.iter().map(|p| p.bd).collect::<Vec<_>>());
-        bd.full_krp = phase.full_krp;
-        bd.dgemm = phase.dgemm;
-        timed(&mut bd.reduce, || {
-            out.fill(0.0);
-            let parts: Vec<&[f64]> = privs.iter().map(|p| p.m.as_slice()).collect();
-            reduce::sum_into(pool, out, &parts);
-        });
-        drop(privs.drain(..));
-    } else {
-        // Internal mode: precompute KL in parallel, deal blocks cyclically.
-        let il = unf.block_cols();
-        let ir = unf.num_blocks();
-        let left = left_krp_inputs(factors, n);
-        let right = right_krp_inputs(factors, n);
-        let mut kl = vec![0.0; il * c];
-        timed(&mut bd.lr_krp, || {
-            mttkrp_krp_parallel(pool, &left, &mut kl);
-        });
-
-        struct Private {
-            m: Vec<f64>,
-            kt: Vec<f64>,
-            kr_row: Vec<f64>,
-            bd: Breakdown,
-        }
-        let privs = pool.run_with_private(
-            |_| Private {
-                m: vec![0.0; i_n * c],
-                kt: vec![0.0; il * c],
-                kr_row: vec![0.0; c],
-                bd: Breakdown::default(),
-            },
-            |ctx, p| {
-                let mut cur = KrpCursor::new(&right);
-                let mut j = ctx.thread_id;
-                while j < ir {
-                    timed(&mut p.bd.lr_krp, || {
-                        cur.seek(j);
-                        cur.write_next(&mut p.kr_row);
-                        // K_t = KR(j,:) ⊙ KL : scale each KL row.
-                        for (kt_row, kl_row) in
-                            p.kt.chunks_exact_mut(c).zip(kl.chunks_exact(c))
-                        {
-                            hadamard(&p.kr_row, kl_row, kt_row);
-                        }
-                    });
-                    timed(&mut p.bd.dgemm, || {
-                        let ktv = MatRef::from_slice(&p.kt, il, c, Layout::RowMajor);
-                        gemm(
-                            1.0,
-                            unf.block(j),
-                            ktv,
-                            1.0,
-                            MatMut::from_slice(&mut p.m, i_n, c, Layout::RowMajor),
-                        );
-                    });
-                    j += ctx.num_threads;
-                }
-            },
-        );
-        let phase = Breakdown::max_merge(&privs.iter().map(|p| p.bd).collect::<Vec<_>>());
-        bd.lr_krp += phase.lr_krp;
-        bd.dgemm = phase.dgemm;
-        timed(&mut bd.reduce, || {
-            out.fill(0.0);
-            let parts: Vec<&[f64]> = privs.iter().map(|p| p.m.as_slice()).collect();
-            reduce::sum_into(pool, out, &parts);
-        });
-    }
-
-    bd.total = total_t0.elapsed().as_secs_f64();
-    bd
-}
-
-/// Parallel KRP helper for the internal-mode left partial KRP (which is
-/// never empty: internal modes have at least mode 0 on their left).
-fn mttkrp_krp_parallel(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
-    assert!(!inputs.is_empty(), "internal mode must have left factors");
-    par_krp(pool, inputs, out);
+    assert_eq!(out.len(), dims[n] * c, "output must be I_n \u{d7} C");
+    let mut plan = MttkrpPlan::new(pool, dims, c, n, AlgoChoice::OneStep);
+    plan.execute_timed(pool, x, factors, out)
 }
 
 #[cfg(test)]
@@ -225,7 +125,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect()
@@ -233,8 +135,11 @@ mod tests {
 
     fn setup(dims: &[usize], c: usize) -> (DenseTensor, Vec<Vec<f64>>) {
         let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 42));
-        let factors: Vec<Vec<f64>> =
-            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 1)).collect();
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, k as u64 + 1))
+            .collect();
         (x, factors)
     }
 
@@ -249,7 +154,10 @@ mod tests {
     fn assert_close(a: &[f64], b: &[f64], tag: &str) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{tag} idx {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+                "{tag} idx {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -363,8 +271,11 @@ mod tests {
         let dims = [3usize, 2, 2];
         let x = DenseTensor::from_vec(&dims, (0..12).map(|i| i as f64).collect());
         let ones: Vec<Vec<f64>> = dims.iter().map(|&d| vec![1.0; d]).collect();
-        let refs: Vec<MatRef> =
-            ones.iter().zip(&dims).map(|(f, &d)| MatRef::from_slice(f, d, 1, Layout::RowMajor)).collect();
+        let refs: Vec<MatRef> = ones
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, 1, Layout::RowMajor))
+            .collect();
         let pool = ThreadPool::new(2);
         let mut got = vec![0.0; 3];
         mttkrp_1step(&pool, &x, &refs, 0, &mut got);

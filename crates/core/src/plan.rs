@@ -1,0 +1,1074 @@
+//! Reusable MTTKRP execution plans — the plan/executor split.
+//!
+//! The seed implementation recomputed three things on every MTTKRP
+//! call: the per-mode algorithm choice, the static partition schedule,
+//! and — worst — every intermediate buffer (KRP row blocks,
+//! thread-private outputs, 2-step partials), all heap-allocated inside
+//! the hot loop. Those choices depend only on *shape* (tensor dims,
+//! rank, mode, team size), not on tensor or factor values, so an
+//! iterative driver like CP-ALS, which performs the same `N` MTTKRPs
+//! every sweep, can make them exactly once.
+//!
+//! [`MttkrpPlan`] captures everything shape-dependent:
+//!
+//! * the **algorithm choice** ([`AlgoChoice`] → [`PlannedAlgo`]):
+//!   external modes always run the 1-step algorithm (the 2-step
+//!   degenerates to it); internal modes run 2-step by default (the
+//!   paper's §5.3.3 dispatch), a forced variant, or whichever a
+//!   machine-model prediction says is faster
+//!   ([`AlgoChoice::Predicted`], fed by `mttkrp_machine::predict`);
+//! * the **static partition schedule**: per-thread column ranges of
+//!   `X(n)` for external modes (`mttkrp_parallel::block_range`),
+//!   block-cyclic dealing parameters for internal modes, and the
+//!   left/right side of the 2-step partial;
+//! * **pre-allocated workspaces**: per-thread KRP row blocks, private
+//!   `I_n × C` accumulators and Khatri-Rao cursor state held in a
+//!   [`mttkrp_parallel::Workspace`] arena, plus the shared partial-KRP
+//!   and 2-step intermediate buffers.
+//!
+//! [`MttkrpPlan::execute`] then runs the kernel against borrowed tensor
+//! and factor data. Steady-state execution performs **no heap
+//! allocation in the MTTKRP path** for single-thread pools, and only
+//! O(threads) bookkeeping allocations (the reduction's slice-of-parts
+//! header, pool messages) for multi-thread pools; every
+//! tensor-sized or rank-sized buffer is reused across calls.
+//!
+//! The old free functions (`mttkrp_1step`, `mttkrp_2step`,
+//! `mttkrp_auto`) remain as thin wrappers that build a plan, run it
+//! once, and drop it — one code path for both APIs, so wrapper and
+//! plan-based execution are bitwise identical.
+//!
+//! # Example
+//!
+//! ```
+//! use mttkrp_blas::{Layout, MatRef};
+//! use mttkrp_core::{AlgoChoice, MttkrpPlan};
+//! use mttkrp_parallel::ThreadPool;
+//! use mttkrp_tensor::DenseTensor;
+//!
+//! let dims = [4usize, 3, 2];
+//! let c = 2;
+//! let pool = ThreadPool::new(2);
+//! let mut plan = MttkrpPlan::new(&pool, &dims, c, 1, AlgoChoice::Heuristic);
+//!
+//! let x = DenseTensor::from_vec(&dims, (0..24).map(|i| i as f64).collect());
+//! let factors: Vec<Vec<f64>> = dims.iter().map(|&d| vec![1.0; d * c]).collect();
+//! let refs: Vec<MatRef> = factors
+//!     .iter()
+//!     .zip(&dims)
+//!     .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+//!     .collect();
+//! let mut m = vec![0.0; dims[1] * c];
+//! plan.execute(&pool, &x, &refs, &mut m);   // reusable: no fresh buffers
+//! plan.execute(&pool, &x, &refs, &mut m);
+//! assert_eq!(m[0], (0..24).filter(|i| (i / 4) % 3 == 0).sum::<usize>() as f64);
+//! ```
+
+use std::ops::Range;
+
+use mttkrp_blas::{gemm, hadamard, par_gemm, par_gemv, Layout, MatMut, MatRef};
+use mttkrp_krp::{par_krp, KrpState};
+use mttkrp_parallel::{block_range, reduce, ThreadPool, Workspace};
+use mttkrp_tensor::DenseTensor;
+
+use crate::breakdown::{timed, Breakdown};
+use crate::twostep::TwoStepSide;
+use crate::validate_factors;
+
+/// How a plan picks the kernel for its mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgoChoice {
+    /// The paper's §5.3.3 dispatch: 1-step for external modes, 2-step
+    /// (auto side) for internal modes. What [`crate::mttkrp_auto`] does.
+    Heuristic,
+    /// Force the 1-step algorithm (Algorithm 3) on every mode.
+    OneStep,
+    /// Force the 2-step algorithm (Algorithm 4) with the given side on
+    /// internal modes; external modes still degenerate to 1-step.
+    TwoStep(TwoStepSide),
+    /// Pick whichever of the two predicted times is smaller — the
+    /// machine-model override. Build the predictions with
+    /// `mttkrp_machine::predicted_choice`.
+    Predicted {
+        /// Predicted seconds for the 1-step algorithm on this mode.
+        one_step: f64,
+        /// Predicted seconds for the 2-step algorithm on this mode.
+        two_step: f64,
+    },
+}
+
+/// The fully resolved kernel a plan will run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedAlgo {
+    /// 1-step where `X(n)` is a single strided view (external modes,
+    /// plus any mode whose left or right dims are all 1): per-thread
+    /// KRP column blocks, one GEMM each, parallel reduction.
+    OneStepExternal,
+    /// 1-step on a blocked internal mode: shared left KRP,
+    /// block-cyclic GEMMs.
+    OneStepInternal,
+    /// 2-step, partial on the left (`L = X(0:n−1)ᵀ·KL`).
+    TwoStepLeft,
+    /// 2-step, partial on the right (`R = X(0:n)·KR`).
+    TwoStepRight,
+}
+
+/// Per-thread workspace of the external-mode 1-step executor.
+struct ExtSlot {
+    /// Private `I_n × C` output accumulator.
+    m: Vec<f64>,
+    /// This thread's KRP row block (`cols × C` for its column range).
+    k: Vec<f64>,
+    /// Reusable Khatri-Rao cursor state.
+    krp: KrpState,
+    /// Per-thread phase times for the merged breakdown.
+    bd: Breakdown,
+}
+
+/// Per-thread workspace of the internal-mode 1-step executor.
+struct IntSlot {
+    /// Private `I_n × C` output accumulator.
+    m: Vec<f64>,
+    /// Expanded per-block KRP `K_t = KR(j,:) ⊙ KL` (`IL_n × C`).
+    kt: Vec<f64>,
+    /// One row of the right KRP.
+    kr_row: Vec<f64>,
+    /// Reusable Khatri-Rao cursor state.
+    krp: KrpState,
+    /// Per-thread phase times for the merged breakdown.
+    bd: Breakdown,
+}
+
+enum PlanKind {
+    OneStepExternal {
+        /// Threads that actually receive a column block.
+        nsplit: usize,
+        /// Static per-thread column ranges (empty beyond `nsplit`).
+        col_ranges: Vec<Range<usize>>,
+        /// Factor indices in KRP order (descending, skipping `n`).
+        krp_order: Vec<usize>,
+        ws: Workspace<ExtSlot>,
+    },
+    OneStepInternal {
+        ir: usize,
+        /// Factor indices `n−1, …, 0` (left KRP order).
+        left_order: Vec<usize>,
+        /// Factor indices `N−1, …, n+1` (right KRP order).
+        right_order: Vec<usize>,
+        /// Shared left partial KRP (`IL_n × C`).
+        kl: Vec<f64>,
+        /// Cursor state for single-thread KL formation.
+        kl_state: KrpState,
+        ws: Workspace<IntSlot>,
+    },
+    TwoStep {
+        use_left: bool,
+        il: usize,
+        ir: usize,
+        left_order: Vec<usize>,
+        right_order: Vec<usize>,
+        /// Left partial KRP (`IL_n × C`).
+        kl: Vec<f64>,
+        /// Right partial KRP (`IR_n × C`).
+        kr: Vec<f64>,
+        /// Cursor state for single-thread KRP formation.
+        krp_state: KrpState,
+        /// The step-1 intermediate (`I_n·IR_n × C` or `IL_n·I_n × C`).
+        mid: Vec<f64>,
+        /// Multi-TTV input column scratch.
+        col_in: Vec<f64>,
+        /// Multi-TTV output column scratch.
+        col_out: Vec<f64>,
+    },
+}
+
+/// A reusable execution plan for the mode-`n` MTTKRP of one tensor
+/// shape, rank, and thread-pool size. See the [module docs](self).
+pub struct MttkrpPlan {
+    dims: Vec<usize>,
+    c: usize,
+    n: usize,
+    threads: usize,
+    algo: PlannedAlgo,
+    kind: PlanKind,
+}
+
+impl std::fmt::Debug for MttkrpPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MttkrpPlan")
+            .field("dims", &self.dims)
+            .field("c", &self.c)
+            .field("n", &self.n)
+            .field("threads", &self.threads)
+            .field("algo", &self.algo)
+            .finish()
+    }
+}
+
+impl MttkrpPlan {
+    /// Plan the mode-`n` MTTKRP of a `dims` tensor at rank `c` on
+    /// `pool`'s team, resolving `choice` to a concrete kernel and
+    /// pre-allocating every workspace.
+    ///
+    /// # Panics
+    /// Panics if the tensor order is below 2, `n` is out of range, or
+    /// `c == 0`.
+    pub fn new(pool: &ThreadPool, dims: &[usize], c: usize, n: usize, choice: AlgoChoice) -> Self {
+        let nmodes = dims.len();
+        assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
+        assert!(n < nmodes, "mode {n} out of range");
+        assert!(c > 0, "rank must be positive");
+        let t = pool.num_threads();
+        let i_n = dims[n];
+        let il: usize = dims[..n].iter().product();
+        let ir: usize = dims[n + 1..].iter().product();
+        // Algorithm choice follows the paper's mode-index rule: the
+        // 2-step degenerates on modes 0 and N−1.
+        let external = n == 0 || n == nmodes - 1;
+
+        let one_step = if external {
+            true
+        } else {
+            match choice {
+                AlgoChoice::Heuristic => false,
+                AlgoChoice::OneStep => true,
+                AlgoChoice::TwoStep(_) => false,
+                AlgoChoice::Predicted { one_step, two_step } => one_step <= two_step,
+            }
+        };
+
+        // The 1-step *kernel* variant is chosen by layout, not mode
+        // index: whenever `X(n)` collapses to a single strided view
+        // (all-left or all-right dims of size 1 — always true for
+        // external modes), the column-partitioned external kernel
+        // applies and parallelizes over all `I≠n` columns. Classifying
+        // by index alone would send e.g. mode 1 of `[400, 300, 1]` to
+        // the block-cyclic internal kernel, whose single block serializes
+        // the whole GEMM on one thread.
+        let (algo, kind) = if one_step && (il == 1 || ir == 1) {
+            let j_total: usize = dims.iter().product::<usize>() / i_n;
+            let nsplit = usize::min(t, j_total.max(1));
+            let col_ranges: Vec<Range<usize>> = (0..t)
+                .map(|tid| {
+                    if tid < nsplit {
+                        block_range(j_total, nsplit, tid)
+                    } else {
+                        0..0
+                    }
+                })
+                .collect();
+            let krp_order: Vec<usize> = (0..nmodes).rev().filter(|&k| k != n).collect();
+            let ws = Workspace::new(t, |tid| ExtSlot {
+                m: vec![0.0; i_n * c],
+                k: vec![0.0; col_ranges[tid].len() * c],
+                krp: KrpState::new(),
+                bd: Breakdown::default(),
+            });
+            (
+                PlannedAlgo::OneStepExternal,
+                PlanKind::OneStepExternal {
+                    nsplit,
+                    col_ranges,
+                    krp_order,
+                    ws,
+                },
+            )
+        } else {
+            let left_order: Vec<usize> = (0..n).rev().collect();
+            let right_order: Vec<usize> = (n + 1..nmodes).rev().collect();
+            if one_step {
+                let ws = Workspace::new(t, |_| IntSlot {
+                    m: vec![0.0; i_n * c],
+                    kt: vec![0.0; il * c],
+                    kr_row: vec![0.0; c],
+                    krp: KrpState::new(),
+                    bd: Breakdown::default(),
+                });
+                (
+                    PlannedAlgo::OneStepInternal,
+                    PlanKind::OneStepInternal {
+                        ir,
+                        left_order,
+                        right_order,
+                        kl: vec![0.0; il * c],
+                        kl_state: KrpState::new(),
+                        ws,
+                    },
+                )
+            } else {
+                let use_left = match choice {
+                    AlgoChoice::TwoStep(TwoStepSide::Left) => true,
+                    AlgoChoice::TwoStep(TwoStepSide::Right) => false,
+                    // Auto / Heuristic / Predicted: the paper's rule.
+                    _ => il > ir,
+                };
+                let mid_len = if use_left { i_n * ir * c } else { il * i_n * c };
+                (
+                    if use_left {
+                        PlannedAlgo::TwoStepLeft
+                    } else {
+                        PlannedAlgo::TwoStepRight
+                    },
+                    PlanKind::TwoStep {
+                        use_left,
+                        il,
+                        ir,
+                        left_order,
+                        right_order,
+                        kl: vec![0.0; il * c],
+                        kr: vec![0.0; ir * c],
+                        krp_state: KrpState::new(),
+                        mid: vec![0.0; mid_len],
+                        col_in: vec![0.0; usize::max(il, ir)],
+                        col_out: vec![0.0; i_n],
+                    },
+                )
+            }
+        };
+
+        MttkrpPlan {
+            dims: dims.to_vec(),
+            c,
+            n,
+            threads: t,
+            algo,
+            kind,
+        }
+    }
+
+    /// Tensor dimensions the plan was built for.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Decomposition rank `C`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.c
+    }
+
+    /// The planned mode.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.n
+    }
+
+    /// Team size the schedule was computed for.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The resolved kernel.
+    #[inline]
+    pub fn algo(&self) -> PlannedAlgo {
+        self.algo
+    }
+
+    /// Address of the first thread's private output buffer — exposed so
+    /// tests can assert workspace-pointer stability across executions
+    /// (the "no per-iteration allocation" property).
+    pub fn workspace_ptr(&self) -> *const f64 {
+        match &self.kind {
+            PlanKind::OneStepExternal { ws, .. } => ws.slot(0).m.as_ptr(),
+            PlanKind::OneStepInternal { ws, .. } => ws.slot(0).m.as_ptr(),
+            PlanKind::TwoStep { mid, .. } => mid.as_ptr(),
+        }
+    }
+
+    /// Execute the planned MTTKRP: `out ← X(n) · (⊙_{k≠n} U_k)`,
+    /// row-major `I_n × C`, overwritten.
+    ///
+    /// # Panics
+    /// Panics if `pool`, `x`, `factors`, or `out` disagree with the
+    /// planned shape.
+    pub fn execute(
+        &mut self,
+        pool: &ThreadPool,
+        x: &DenseTensor,
+        factors: &[MatRef],
+        out: &mut [f64],
+    ) {
+        let _ = self.execute_timed(pool, x, factors, out);
+    }
+
+    /// [`MttkrpPlan::execute`] returning the per-phase time breakdown.
+    pub fn execute_timed(
+        &mut self,
+        pool: &ThreadPool,
+        x: &DenseTensor,
+        factors: &[MatRef],
+        out: &mut [f64],
+    ) -> Breakdown {
+        assert_eq!(
+            x.dims(),
+            &self.dims[..],
+            "tensor shape differs from the planned shape"
+        );
+        assert_eq!(
+            pool.num_threads(),
+            self.threads,
+            "pool size differs from the planned team"
+        );
+        let c = validate_factors(&self.dims, factors);
+        assert_eq!(c, self.c, "factor rank differs from the planned rank");
+        let i_n = self.dims[self.n];
+        assert_eq!(out.len(), i_n * c, "output must be I_n × C");
+
+        let total_t0 = std::time::Instant::now();
+        let mut bd = Breakdown::default();
+        match &mut self.kind {
+            PlanKind::OneStepExternal {
+                nsplit,
+                col_ranges,
+                krp_order,
+                ws,
+                ..
+            } => {
+                exec_onestep_external(
+                    pool, x, factors, self.n, i_n, c, *nsplit, col_ranges, krp_order, ws, out,
+                    &mut bd,
+                );
+            }
+            PlanKind::OneStepInternal {
+                ir,
+                left_order,
+                right_order,
+                kl,
+                kl_state,
+                ws,
+                ..
+            } => {
+                exec_onestep_internal(
+                    pool,
+                    x,
+                    factors,
+                    self.n,
+                    i_n,
+                    c,
+                    *ir,
+                    left_order,
+                    right_order,
+                    kl,
+                    kl_state,
+                    ws,
+                    out,
+                    &mut bd,
+                );
+            }
+            PlanKind::TwoStep {
+                use_left,
+                il,
+                ir,
+                left_order,
+                right_order,
+                kl,
+                kr,
+                krp_state,
+                mid,
+                col_in,
+                col_out,
+            } => {
+                exec_twostep(
+                    pool,
+                    x,
+                    factors,
+                    self.n,
+                    i_n,
+                    c,
+                    *use_left,
+                    *il,
+                    *ir,
+                    left_order,
+                    right_order,
+                    kl,
+                    kr,
+                    krp_state,
+                    mid,
+                    col_in,
+                    col_out,
+                    out,
+                    &mut bd,
+                );
+            }
+        }
+        bd.total = total_t0.elapsed().as_secs_f64();
+        bd
+    }
+}
+
+/// Form the KRP `factors[order[0]] ⊙ …` into `out`: cursor-state path
+/// for one thread (allocation-free), row-partitioned [`par_krp`] for a
+/// team.
+fn plan_krp(
+    pool: &ThreadPool,
+    factors: &[MatRef],
+    order: &[usize],
+    st: &mut KrpState,
+    out: &mut [f64],
+    c: usize,
+) {
+    if pool.num_threads() == 1 {
+        let mut stream = st.cursor(factors, order);
+        for row in out.chunks_exact_mut(c) {
+            stream.write_next(row);
+        }
+    } else {
+        let inputs: Vec<MatRef> = order.iter().map(|&i| factors[i]).collect();
+        par_krp(pool, &inputs, out);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_onestep_external(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    i_n: usize,
+    c: usize,
+    nsplit: usize,
+    col_ranges: &[Range<usize>],
+    krp_order: &[usize],
+    ws: &mut Workspace<ExtSlot>,
+    out: &mut [f64],
+    bd: &mut Breakdown,
+) {
+    let unf = x.unfold(n);
+    let xv = unf
+        .as_single_view()
+        .expect("external mode is a single strided view");
+
+    pool.run_with_workspace(ws, |ctx, slot| {
+        slot.bd = Breakdown::default();
+        let r = col_ranges[ctx.thread_id].clone();
+        if r.is_empty() {
+            return;
+        }
+        timed(&mut slot.bd.full_krp, || {
+            let mut stream = slot.krp.cursor(factors, krp_order);
+            stream.seek(r.start);
+            for row in slot.k.chunks_exact_mut(c) {
+                stream.write_next(row);
+            }
+        });
+        timed(&mut slot.bd.dgemm, || {
+            let xt = xv.submatrix(0, r.start, i_n, r.len());
+            let kt = MatRef::from_slice(&slot.k, r.len(), c, Layout::RowMajor);
+            gemm(
+                1.0,
+                xt,
+                kt,
+                0.0,
+                MatMut::from_slice(&mut slot.m, i_n, c, Layout::RowMajor),
+            );
+        });
+    });
+
+    for slot in ws.slots() {
+        bd.full_krp = bd.full_krp.max(slot.bd.full_krp);
+        bd.dgemm = bd.dgemm.max(slot.bd.dgemm);
+    }
+    timed(&mut bd.reduce, || {
+        reduce_slots(pool, out, ws.slots(), nsplit, |s| &s.m)
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_onestep_internal(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    i_n: usize,
+    c: usize,
+    ir: usize,
+    left_order: &[usize],
+    right_order: &[usize],
+    kl: &mut [f64],
+    kl_state: &mut KrpState,
+    ws: &mut Workspace<IntSlot>,
+    out: &mut [f64],
+    bd: &mut Breakdown,
+) {
+    let unf = x.unfold(n);
+    debug_assert_eq!(unf.num_blocks(), ir);
+
+    timed(&mut bd.lr_krp, || {
+        plan_krp(pool, factors, left_order, kl_state, kl, c)
+    });
+    let kl = &*kl;
+
+    pool.run_with_workspace(ws, |ctx, slot| {
+        slot.bd = Breakdown::default();
+        slot.m.fill(0.0);
+        let mut stream = slot.krp.cursor(factors, right_order);
+        let mut j = ctx.thread_id;
+        while j < ir {
+            timed(&mut slot.bd.lr_krp, || {
+                stream.seek(j);
+                stream.write_next(&mut slot.kr_row);
+                // K_t = KR(j,:) ⊙ KL : scale each KL row.
+                for (kt_row, kl_row) in slot.kt.chunks_exact_mut(c).zip(kl.chunks_exact(c)) {
+                    hadamard(&slot.kr_row, kl_row, kt_row);
+                }
+            });
+            timed(&mut slot.bd.dgemm, || {
+                let ktv = MatRef::from_slice(&slot.kt, slot.kt.len() / c, c, Layout::RowMajor);
+                gemm(
+                    1.0,
+                    unf.block(j),
+                    ktv,
+                    1.0,
+                    MatMut::from_slice(&mut slot.m, i_n, c, Layout::RowMajor),
+                );
+            });
+            j += ctx.num_threads;
+        }
+    });
+
+    let mut phase = Breakdown::default();
+    for slot in ws.slots() {
+        phase.lr_krp = phase.lr_krp.max(slot.bd.lr_krp);
+        phase.dgemm = phase.dgemm.max(slot.bd.dgemm);
+    }
+    bd.lr_krp += phase.lr_krp;
+    bd.dgemm = phase.dgemm;
+    timed(&mut bd.reduce, || {
+        reduce_slots(pool, out, ws.slots(), ws.slots().len(), |s| &s.m)
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_twostep(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    i_n: usize,
+    c: usize,
+    use_left: bool,
+    il: usize,
+    ir: usize,
+    left_order: &[usize],
+    right_order: &[usize],
+    kl: &mut [f64],
+    kr: &mut [f64],
+    krp_state: &mut KrpState,
+    mid: &mut [f64],
+    col_in: &mut [f64],
+    col_out: &mut [f64],
+    out: &mut [f64],
+    bd: &mut Breakdown,
+) {
+    // Lines 2–3: both partial KRPs.
+    timed(&mut bd.lr_krp, || {
+        plan_krp(pool, factors, left_order, krp_state, kl, c);
+        plan_krp(pool, factors, right_order, krp_state, kr, c);
+    });
+    let kl_view = MatRef::from_slice(kl, il, c, Layout::RowMajor);
+    let kr_view = MatRef::from_slice(kr, ir, c, Layout::RowMajor);
+
+    let mut out_mat = MatMut::from_slice(out, i_n, c, Layout::RowMajor);
+
+    if use_left {
+        // Line 5: L(0:N−n−1) = X(0:n−1)ᵀ · KL, of shape (I_n·IR_n) × C,
+        // stored column-major (L in natural order with C appended).
+        timed(&mut bd.dgemm, || {
+            let xt = x.unfold_leading(n - 1).t(); // (I_n·IR_n) × IL_n, row-major
+            par_gemm(
+                pool,
+                1.0,
+                xt,
+                kl_view,
+                0.0,
+                MatMut::from_slice(mid, i_n * ir, c, Layout::ColMajor),
+            );
+        });
+        // Lines 6–9: M(:,j) = L(0)[j] · KR(:,j); L(0)[j] is the j-th
+        // I_n × IR_n column-major block of L's mode-0 unfolding.
+        timed(&mut bd.dgemv, || {
+            for j in 0..c {
+                let lj = MatRef::from_slice(
+                    &mid[j * i_n * ir..(j + 1) * i_n * ir],
+                    i_n,
+                    ir,
+                    Layout::ColMajor,
+                );
+                for (i, dst) in col_in[..ir].iter_mut().enumerate() {
+                    *dst = kr_view.get(i, j);
+                }
+                par_gemv(pool, 1.0, lj, &col_in[..ir], 0.0, col_out);
+                for (i, &v) in col_out.iter().enumerate() {
+                    out_mat.set(i, j, v);
+                }
+            }
+        });
+    } else {
+        // Line 11: R(0:n) = X(0:n) · KR, of shape (IL_n·I_n) × C,
+        // stored column-major (R in natural order with C appended).
+        timed(&mut bd.dgemm, || {
+            let xv = x.unfold_leading(n); // (IL_n·I_n) × IR_n, column-major
+            par_gemm(
+                pool,
+                1.0,
+                xv,
+                kr_view,
+                0.0,
+                MatMut::from_slice(mid, il * i_n, c, Layout::ColMajor),
+            );
+        });
+        // Lines 12–15: M(:,j) = R(n)[j] · KL(:,j); R(n)[j] is the j-th
+        // I_n × IL_n row-major block of R's mode-n unfolding.
+        timed(&mut bd.dgemv, || {
+            for j in 0..c {
+                let rj = MatRef::from_slice(
+                    &mid[j * il * i_n..(j + 1) * il * i_n],
+                    i_n,
+                    il,
+                    Layout::RowMajor,
+                );
+                for (i, dst) in col_in[..il].iter_mut().enumerate() {
+                    *dst = kl_view.get(i, j);
+                }
+                par_gemv(pool, 1.0, rj, &col_in[..il], 0.0, col_out);
+                for (i, &v) in col_out.iter().enumerate() {
+                    out_mat.set(i, j, v);
+                }
+            }
+        });
+    }
+}
+
+/// Combine the first `nparts` slots' private outputs into `out`
+/// (overwriting). Allocation-free for one part; the paper's parallel
+/// element-range reduction otherwise.
+fn reduce_slots<S>(
+    pool: &ThreadPool,
+    out: &mut [f64],
+    slots: &[S],
+    nparts: usize,
+    buf: impl Fn(&S) -> &Vec<f64>,
+) {
+    if nparts == 1 {
+        out.copy_from_slice(buf(&slots[0]));
+        return;
+    }
+    out.fill(0.0);
+    let parts: Vec<&[f64]> = slots[..nparts].iter().map(|s| buf(s).as_slice()).collect();
+    reduce::sum_into(pool, out, &parts);
+}
+
+/// One plan per mode of a tensor shape — what CP-ALS builds once per
+/// model and reuses every sweep.
+#[derive(Debug)]
+pub struct MttkrpPlanSet {
+    plans: Vec<MttkrpPlan>,
+}
+
+impl MttkrpPlanSet {
+    /// Plan every mode of a `dims` tensor at rank `c` with the same
+    /// [`AlgoChoice`].
+    pub fn new(pool: &ThreadPool, dims: &[usize], c: usize, choice: AlgoChoice) -> Self {
+        Self::with_choices(pool, dims, c, |_| choice)
+    }
+
+    /// Plan every mode, choosing the kernel per mode — e.g. from
+    /// machine-model predictions.
+    pub fn with_choices(
+        pool: &ThreadPool,
+        dims: &[usize],
+        c: usize,
+        mut choice: impl FnMut(usize) -> AlgoChoice,
+    ) -> Self {
+        let plans = (0..dims.len())
+            .map(|n| MttkrpPlan::new(pool, dims, c, n, choice(n)))
+            .collect();
+        MttkrpPlanSet { plans }
+    }
+
+    /// Number of planned modes.
+    #[inline]
+    pub fn nmodes(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The plan for mode `n`.
+    #[inline]
+    pub fn plan(&self, n: usize) -> &MttkrpPlan {
+        &self.plans[n]
+    }
+
+    /// Mutable plan for mode `n`.
+    #[inline]
+    pub fn plan_mut(&mut self, n: usize) -> &mut MttkrpPlan {
+        &mut self.plans[n]
+    }
+
+    /// Execute the mode-`n` plan.
+    pub fn execute(
+        &mut self,
+        pool: &ThreadPool,
+        x: &DenseTensor,
+        factors: &[MatRef],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        self.plans[n].execute(pool, x, factors, out);
+    }
+
+    /// Execute the mode-`n` plan, returning the phase breakdown.
+    pub fn execute_timed(
+        &mut self,
+        pool: &ThreadPool,
+        x: &DenseTensor,
+        factors: &[MatRef],
+        n: usize,
+        out: &mut [f64],
+    ) -> Breakdown {
+        self.plans[n].execute_timed(pool, x, factors, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+    use crate::{mttkrp_1step, mttkrp_2step, mttkrp_auto};
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn setup(dims: &[usize], c: usize) -> (DenseTensor, Vec<Vec<f64>>) {
+        let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 77));
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, k as u64 + 11))
+            .collect();
+        (x, factors)
+    }
+
+    fn factor_refs<'a>(factors: &'a [Vec<f64>], dims: &[usize], c: usize) -> Vec<MatRef<'a>> {
+        factors
+            .iter()
+            .zip(dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect()
+    }
+
+    #[test]
+    fn plan_matches_oracle_all_modes_and_choices() {
+        let dims = [4usize, 3, 2, 3];
+        let c = 3;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        for t in [1usize, 2, 5] {
+            let pool = ThreadPool::new(t);
+            for n in 0..dims.len() {
+                let mut want = vec![0.0; dims[n] * c];
+                mttkrp_oracle(&x, &refs, n, &mut want);
+                for choice in [
+                    AlgoChoice::Heuristic,
+                    AlgoChoice::OneStep,
+                    AlgoChoice::TwoStep(TwoStepSide::Auto),
+                    AlgoChoice::TwoStep(TwoStepSide::Left),
+                    AlgoChoice::TwoStep(TwoStepSide::Right),
+                    AlgoChoice::Predicted {
+                        one_step: 1.0,
+                        two_step: 2.0,
+                    },
+                    AlgoChoice::Predicted {
+                        one_step: 2.0,
+                        two_step: 1.0,
+                    },
+                ] {
+                    let mut plan = MttkrpPlan::new(&pool, &dims, c, n, choice);
+                    let mut got = vec![f64::NAN; dims[n] * c];
+                    plan.execute(&pool, &x, &refs, &mut got);
+                    for (a, b) in got.iter().zip(&want) {
+                        assert!(
+                            (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                            "t={t} n={n} choice {choice:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_execution_is_bitwise_stable() {
+        let dims = [5usize, 4, 3];
+        let c = 4;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(3);
+        for n in 0..dims.len() {
+            let mut plan = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::Heuristic);
+            let mut first = vec![f64::NAN; dims[n] * c];
+            plan.execute(&pool, &x, &refs, &mut first);
+            let ptr = plan.workspace_ptr();
+            for _ in 0..3 {
+                let mut again = vec![f64::NAN; dims[n] * c];
+                plan.execute(&pool, &x, &refs, &mut again);
+                assert_eq!(first, again, "mode {n} drifted across executions");
+            }
+            assert_eq!(ptr, plan.workspace_ptr(), "workspace reallocated");
+        }
+    }
+
+    #[test]
+    fn wrappers_are_bitwise_identical_to_plans() {
+        let dims = [3usize, 4, 2, 2];
+        let c = 3;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        for t in [1usize, 4] {
+            let pool = ThreadPool::new(t);
+            for n in 0..dims.len() {
+                let mut from_wrapper = vec![0.0; dims[n] * c];
+                mttkrp_auto(&pool, &x, &refs, n, &mut from_wrapper);
+                let mut plan = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::Heuristic);
+                let mut from_plan = vec![0.0; dims[n] * c];
+                plan.execute(&pool, &x, &refs, &mut from_plan);
+                assert_eq!(from_wrapper, from_plan, "auto t={t} n={n}");
+
+                mttkrp_1step(&pool, &x, &refs, n, &mut from_wrapper);
+                let mut plan = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::OneStep);
+                plan.execute(&pool, &x, &refs, &mut from_plan);
+                assert_eq!(from_wrapper, from_plan, "1step t={t} n={n}");
+
+                mttkrp_2step(&pool, &x, &refs, n, &mut from_wrapper);
+                let mut plan =
+                    MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::TwoStep(TwoStepSide::Auto));
+                plan.execute(&pool, &x, &refs, &mut from_plan);
+                assert_eq!(from_wrapper, from_plan, "2step t={t} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_algo_resolution() {
+        let pool = ThreadPool::new(2);
+        let dims = [4usize, 3, 5];
+        // External modes always resolve to 1-step.
+        for choice in [
+            AlgoChoice::Heuristic,
+            AlgoChoice::TwoStep(TwoStepSide::Auto),
+        ] {
+            assert_eq!(
+                MttkrpPlan::new(&pool, &dims, 2, 0, choice).algo(),
+                PlannedAlgo::OneStepExternal
+            );
+        }
+        // Internal heuristic: 2-step with the IL > IR rule (IL=4 < IR=5
+        // here → right).
+        assert_eq!(
+            MttkrpPlan::new(&pool, &dims, 2, 1, AlgoChoice::Heuristic).algo(),
+            PlannedAlgo::TwoStepRight
+        );
+        assert_eq!(
+            MttkrpPlan::new(&pool, &dims, 2, 1, AlgoChoice::TwoStep(TwoStepSide::Left)).algo(),
+            PlannedAlgo::TwoStepLeft
+        );
+        // Machine-model override picks the cheaper prediction.
+        assert_eq!(
+            MttkrpPlan::new(
+                &pool,
+                &dims,
+                2,
+                1,
+                AlgoChoice::Predicted {
+                    one_step: 0.5,
+                    two_step: 1.0
+                }
+            )
+            .algo(),
+            PlannedAlgo::OneStepInternal
+        );
+    }
+
+    #[test]
+    fn degenerate_internal_modes_take_the_single_view_kernel() {
+        // Mode 1 of [4, 3, 1] is "internal" by index but X(1) is a
+        // single strided view (IR = 1); the 1-step kernel must use the
+        // column-partitioned external variant, not the one-block
+        // block-cyclic loop that would serialize the GEMM.
+        let pool = ThreadPool::new(2);
+        for dims in [vec![4usize, 3, 1], vec![1, 3, 4], vec![1, 1, 3, 4]] {
+            let n = 1;
+            let plan = MttkrpPlan::new(&pool, &dims, 2, n, AlgoChoice::OneStep);
+            assert_eq!(plan.algo(), PlannedAlgo::OneStepExternal, "dims {dims:?}");
+            // And it still matches the oracle.
+            let (x, factors) = setup(&dims, 2);
+            let refs = factor_refs(&factors, &dims, 2);
+            let mut want = vec![0.0; dims[n] * 2];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            let mut plan = plan;
+            let mut got = vec![0.0; dims[n] * 2];
+            plan.execute(&pool, &x, &refs, &mut got);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "dims {dims:?}");
+            }
+        }
+        // A genuinely blocked internal mode still plans the internal kernel.
+        let plan = MttkrpPlan::new(&pool, &[4, 3, 2], 2, 1, AlgoChoice::OneStep);
+        assert_eq!(plan.algo(), PlannedAlgo::OneStepInternal);
+    }
+
+    #[test]
+    fn plan_set_covers_every_mode() {
+        let dims = [4usize, 2, 3];
+        let c = 2;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        let mut set = MttkrpPlanSet::new(&pool, &dims, c, AlgoChoice::Heuristic);
+        assert_eq!(set.nmodes(), 3);
+        for n in 0..3 {
+            let mut want = vec![0.0; dims[n] * c];
+            mttkrp_oracle(&x, &refs, n, &mut want);
+            let mut got = vec![0.0; dims[n] * c];
+            let bd = set.execute_timed(&pool, &x, &refs, n, &mut got);
+            assert!(bd.total > 0.0);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "mode {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_pool_size_panics() {
+        let dims = [3usize, 3];
+        let (x, factors) = setup(&dims, 2);
+        let refs = factor_refs(&factors, &dims, 2);
+        let mut plan = MttkrpPlan::new(&ThreadPool::new(2), &dims, 2, 0, AlgoChoice::Heuristic);
+        let mut out = vec![0.0; 6];
+        plan.execute(&ThreadPool::new(3), &x, &refs, &mut out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_tensor_shape_panics() {
+        let dims = [3usize, 3];
+        let (_, factors) = setup(&dims, 2);
+        let refs = factor_refs(&factors, &dims, 2);
+        let pool = ThreadPool::new(1);
+        let mut plan = MttkrpPlan::new(&pool, &dims, 2, 0, AlgoChoice::Heuristic);
+        let other = DenseTensor::zeros(&[3, 4]);
+        let mut out = vec![0.0; 6];
+        plan.execute(&pool, &other, &refs, &mut out);
+    }
+}

@@ -15,14 +15,13 @@
 //! algorithm (the partial MTTKRP already is the answer), so this module
 //! delegates those modes to [`crate::onestep`].
 
-use mttkrp_blas::{par_gemm, par_gemv, Layout, MatMut, MatRef};
-use mttkrp_krp::{krp_rows, par_krp};
+use mttkrp_blas::MatRef;
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
-use crate::breakdown::{timed, Breakdown};
-use crate::onestep::mttkrp_1step;
-use crate::{left_krp_inputs, right_krp_inputs, validate_factors};
+use crate::breakdown::Breakdown;
+use crate::plan::{AlgoChoice, MttkrpPlan};
+use crate::validate_factors;
 
 /// Which side Algorithm 4 performs the partial MTTKRP on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +38,13 @@ pub enum TwoStepSide {
 /// exactly as in the paper. Output is row-major `I_n × C`, overwritten.
 ///
 /// External modes delegate to the (equivalent) 1-step algorithm.
-pub fn mttkrp_2step(pool: &ThreadPool, x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+pub fn mttkrp_2step(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    factors: &[MatRef],
+    n: usize,
+    out: &mut [f64],
+) {
     let _ = mttkrp_2step_impl(pool, x, factors, n, out, TwoStepSide::Auto);
 }
 
@@ -68,109 +73,24 @@ fn mttkrp_2step_impl(
     assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
     let c = validate_factors(dims, factors);
     assert!(n < dims.len(), "mode {n} out of range");
-    let i_n = dims[n];
-    assert_eq!(out.len(), i_n * c, "output must be I_n × C");
-
-    if n == 0 || n == dims.len() - 1 {
-        // Degenerate: the partial MTTKRP is the full MTTKRP.
-        let t0 = std::time::Instant::now();
-        mttkrp_1step(pool, x, factors, n, out);
-        let mut bd = Breakdown::default();
-        bd.total = t0.elapsed().as_secs_f64();
-        bd.dgemm = bd.total;
-        return bd;
-    }
-
-    let total_t0 = std::time::Instant::now();
-    let mut bd = Breakdown::default();
-    let info = x.info();
-    let il = info.i_left(n);
-    let ir = info.i_right(n);
-
-    // Lines 2–3: both partial KRPs.
-    let left_inputs = left_krp_inputs(factors, n);
-    let right_inputs = right_krp_inputs(factors, n);
-    debug_assert_eq!(krp_rows(&left_inputs), il);
-    debug_assert_eq!(krp_rows(&right_inputs), ir);
-    let mut kl = vec![0.0; il * c];
-    let mut kr = vec![0.0; ir * c];
-    timed(&mut bd.lr_krp, || {
-        par_krp(pool, &left_inputs, &mut kl);
-        par_krp(pool, &right_inputs, &mut kr);
-    });
-    let kl_view = MatRef::from_slice(&kl, il, c, Layout::RowMajor);
-    let kr_view = MatRef::from_slice(&kr, ir, c, Layout::RowMajor);
-
-    let use_left = match side {
-        TwoStepSide::Auto => il > ir,
-        TwoStepSide::Left => true,
-        TwoStepSide::Right => false,
-    };
-
-    let mut out_mat = MatMut::from_slice(out, i_n, c, Layout::RowMajor);
-    let mut col_in = vec![0.0; usize::max(il, ir)];
-    let mut col_out = vec![0.0; i_n];
-
-    if use_left {
-        // Line 5: L(0:N−n−1) = X(0:n−1)ᵀ · KL, of shape (I_n·IR_n) × C,
-        // stored column-major (L in natural order with C appended).
-        let mut l = vec![0.0; i_n * ir * c];
-        timed(&mut bd.dgemm, || {
-            let xt = x.unfold_leading(n - 1).t(); // (I_n·IR_n) × IL_n, row-major
-            par_gemm(pool, 1.0, xt, kl_view, 0.0, MatMut::from_slice(&mut l, i_n * ir, c, Layout::ColMajor));
-        });
-        // Lines 6–9: M(:,j) = L(0)[j] · KR(:,j); L(0)[j] is the j-th
-        // I_n × IR_n column-major block of L's mode-0 unfolding.
-        timed(&mut bd.dgemv, || {
-            for j in 0..c {
-                let lj = MatRef::from_slice(&l[j * i_n * ir..(j + 1) * i_n * ir], i_n, ir, Layout::ColMajor);
-                for (i, dst) in col_in[..ir].iter_mut().enumerate() {
-                    *dst = kr_view.get(i, j);
-                }
-                par_gemv(pool, 1.0, lj, &col_in[..ir], 0.0, &mut col_out);
-                for (i, &v) in col_out.iter().enumerate() {
-                    out_mat.set(i, j, v);
-                }
-            }
-        });
-    } else {
-        // Line 11: R(0:n) = X(0:n) · KR, of shape (IL_n·I_n) × C,
-        // stored column-major (R in natural order with C appended).
-        let mut r = vec![0.0; il * i_n * c];
-        timed(&mut bd.dgemm, || {
-            let xv = x.unfold_leading(n); // (IL_n·I_n) × IR_n, column-major
-            par_gemm(pool, 1.0, xv, kr_view, 0.0, MatMut::from_slice(&mut r, il * i_n, c, Layout::ColMajor));
-        });
-        // Lines 12–15: M(:,j) = R(n)[j] · KL(:,j); R(n)[j] is the j-th
-        // I_n × IL_n row-major block of R's mode-n unfolding.
-        timed(&mut bd.dgemv, || {
-            for j in 0..c {
-                let rj = MatRef::from_slice(&r[j * il * i_n..(j + 1) * il * i_n], i_n, il, Layout::RowMajor);
-                for (i, dst) in col_in[..il].iter_mut().enumerate() {
-                    *dst = kl_view.get(i, j);
-                }
-                par_gemv(pool, 1.0, rj, &col_in[..il], 0.0, &mut col_out);
-                for (i, &v) in col_out.iter().enumerate() {
-                    out_mat.set(i, j, v);
-                }
-            }
-        });
-    }
-
-    bd.total = total_t0.elapsed().as_secs_f64();
-    bd
+    assert_eq!(out.len(), dims[n] * c, "output must be I_n \u{d7} C");
+    let mut plan = MttkrpPlan::new(pool, dims, c, n, AlgoChoice::TwoStep(side));
+    plan.execute_timed(pool, x, factors, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::oracle::mttkrp_oracle;
+    use mttkrp_blas::Layout;
 
     fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect()
@@ -178,8 +98,11 @@ mod tests {
 
     fn setup(dims: &[usize], c: usize) -> (DenseTensor, Vec<Vec<f64>>) {
         let x = DenseTensor::from_vec(dims, rand_vec(dims.iter().product(), 7));
-        let factors: Vec<Vec<f64>> =
-            dims.iter().enumerate().map(|(k, &d)| rand_vec(d * c, k as u64 + 3)).collect();
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, k as u64 + 3))
+            .collect();
         (x, factors)
     }
 
@@ -193,7 +116,10 @@ mod tests {
 
     fn assert_close(a: &[f64], b: &[f64], tag: &str) {
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{tag} idx {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+                "{tag} idx {i}: {x} vs {y}"
+            );
         }
     }
 

@@ -1,10 +1,7 @@
 //! The CP-ALS driver (§2.2) with selectable MTTKRP kernels.
 
 use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
-use mttkrp_core::{
-    mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_auto_timed, mttkrp_explicit_timed, Breakdown,
-    TwoStepSide,
-};
+use mttkrp_core::{mttkrp_explicit_timed, AlgoChoice, Breakdown, MttkrpPlanSet, TwoStepSide};
 use mttkrp_linalg::sym_pinv;
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
@@ -29,6 +26,20 @@ pub enum MttkrpStrategy {
     Explicit,
 }
 
+impl MttkrpStrategy {
+    /// The per-mode [`AlgoChoice`] this strategy plans with, or `None`
+    /// for the explicit baseline (which reorders tensor entries and has
+    /// no plan-based executor).
+    pub fn algo_choice(self) -> Option<AlgoChoice> {
+        match self {
+            MttkrpStrategy::Auto => Some(AlgoChoice::Heuristic),
+            MttkrpStrategy::OneStep => Some(AlgoChoice::OneStep),
+            MttkrpStrategy::TwoStep => Some(AlgoChoice::TwoStep(TwoStepSide::Auto)),
+            MttkrpStrategy::Explicit => None,
+        }
+    }
+}
+
 /// CP-ALS options.
 #[derive(Debug, Clone, Copy)]
 pub struct CpAlsOptions {
@@ -42,7 +53,11 @@ pub struct CpAlsOptions {
 
 impl Default for CpAlsOptions {
     fn default() -> Self {
-        CpAlsOptions { max_iters: 50, tol: 1e-8, strategy: MttkrpStrategy::Auto }
+        CpAlsOptions {
+            max_iters: 50,
+            tol: 1e-8,
+            strategy: MttkrpStrategy::Auto,
+        }
     }
 }
 
@@ -102,8 +117,12 @@ pub fn cp_als(
     let norm_x_sq = norm_x * norm_x;
 
     // Per-mode Gram matrices of the (normalized) factors.
-    let mut grams: Vec<Vec<f64>> =
-        model.factors.iter().zip(&dims).map(|(f, &d)| gram(f, d, c)).collect();
+    let mut grams: Vec<Vec<f64>> = model
+        .factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| gram(f, d, c))
+        .collect();
 
     let mut report = CpAlsReport {
         iters: 0,
@@ -117,34 +136,37 @@ pub fn cp_als(
     let mut m_buf = vec![0.0; dims.iter().copied().max().unwrap_or(0) * c];
     let mut prev_fit = f64::NEG_INFINITY;
 
+    // One plan per mode, built once and reused every sweep: algorithm
+    // choice, partition schedule, and workspaces are fixed by shape, so
+    // the per-iteration MTTKRP path performs no heap allocation.
+    let mut plans: Option<MttkrpPlanSet> = opts
+        .strategy
+        .algo_choice()
+        .map(|choice| MttkrpPlanSet::new(pool, &dims, c, choice));
+
+    let mut last_mode_m = vec![0.0; dims[nmodes - 1] * c];
     for _iter in 0..opts.max_iters {
         let iter_t0 = std::time::Instant::now();
-        let mut last_mode_m = Vec::new();
         for n in 0..nmodes {
             let rows = dims[n];
             let m = &mut m_buf[..rows * c];
             let bd = {
                 let refs = model.factor_refs();
-                match opts.strategy {
-                    MttkrpStrategy::Auto => mttkrp_auto_timed(pool, x, &refs, n, m),
-                    MttkrpStrategy::OneStep => mttkrp_1step_timed(pool, x, &refs, n, m),
-                    MttkrpStrategy::TwoStep => {
-                        mttkrp_2step_timed(pool, x, &refs, n, m, TwoStepSide::Auto)
-                    }
-                    MttkrpStrategy::Explicit => mttkrp_explicit_timed(pool, x, &refs, n, m),
+                match plans.as_mut() {
+                    Some(plans) => plans.execute_timed(pool, x, &refs, n, m),
+                    None => mttkrp_explicit_timed(pool, x, &refs, n, m),
                 }
             };
             report.mttkrp_time += bd.total;
             report.breakdown.accumulate(&bd);
 
+            if n == nmodes - 1 {
+                last_mode_m.copy_from_slice(m);
+            }
             solve_factor_update(m, rows, c, &grams, n, &mut model.factors[n]);
             model.lambda.fill(1.0);
             model.normalize_mode(n);
             grams[n] = gram(&model.factors[n], rows, c);
-
-            if n == nmodes - 1 {
-                last_mode_m = m.to_vec();
-            }
         }
 
         // Fit via the last-mode MTTKRP: ⟨X, Y⟩ = Σ_{i,c} λ_c·U(i,c)·M(i,c).
@@ -160,7 +182,11 @@ pub fn cp_als(
         };
         let norm_y_sq = model.norm_sq();
         let resid_sq = (norm_x_sq - 2.0 * inner + norm_y_sq).max(0.0);
-        let fit = if norm_x > 0.0 { 1.0 - resid_sq.sqrt() / norm_x } else { 1.0 };
+        let fit = if norm_x > 0.0 {
+            1.0 - resid_sq.sqrt() / norm_x
+        } else {
+            1.0
+        };
 
         report.iters += 1;
         report.fits.push(fit);
@@ -191,7 +217,13 @@ pub(crate) fn solve_factor_update(
     let mv = MatRef::from_slice(m, rows, c, Layout::RowMajor);
     let pv = MatRef::from_slice(&p, c, c, Layout::ColMajor);
     out.resize(rows * c, 0.0);
-    gemm(1.0, mv, pv, 0.0, MatMut::from_slice(out, rows, c, Layout::RowMajor));
+    gemm(
+        1.0,
+        mv,
+        pv,
+        0.0,
+        MatMut::from_slice(out, rows, c, Layout::RowMajor),
+    );
 }
 
 #[cfg(test)]
@@ -207,8 +239,15 @@ mod tests {
         let x = planted_tensor(&[6, 5, 4], 3, 11);
         let pool = ThreadPool::new(2);
         let init = KruskalModel::random(&[6, 5, 4], 3, 99);
-        let (_, report) =
-            cp_als(&pool, &x, init, &CpAlsOptions { max_iters: 30, ..Default::default() });
+        let (_, report) = cp_als(
+            &pool,
+            &x,
+            init,
+            &CpAlsOptions {
+                max_iters: 30,
+                ..Default::default()
+            },
+        );
         for w in report.fits.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "fit decreased: {:?}", report.fits);
         }
@@ -219,8 +258,16 @@ mod tests {
         let x = planted_tensor(&[8, 7, 6], 2, 3);
         let pool = ThreadPool::new(2);
         let init = KruskalModel::random(&[8, 7, 6], 2, 1234);
-        let (_, report) =
-            cp_als(&pool, &x, init, &CpAlsOptions { max_iters: 200, tol: 1e-12, ..Default::default() });
+        let (_, report) = cp_als(
+            &pool,
+            &x,
+            init,
+            &CpAlsOptions {
+                max_iters: 200,
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
         // Random-init ALS can crawl through a swamp; 0.99 still implies
         // the planted structure was found (random models fit ≪ 0.9).
         assert!(report.final_fit() > 0.99, "fit = {}", report.final_fit());
@@ -230,7 +277,11 @@ mod tests {
     fn all_strategies_converge_to_same_fit_from_same_init() {
         let x = planted_tensor(&[5, 4, 3, 3], 2, 21);
         let pool = ThreadPool::new(2);
-        let opts_base = CpAlsOptions { max_iters: 25, tol: 0.0, ..Default::default() };
+        let opts_base = CpAlsOptions {
+            max_iters: 25,
+            tol: 0.0,
+            ..Default::default()
+        };
         let mut fits = Vec::new();
         for strategy in [
             MttkrpStrategy::Auto,
@@ -239,14 +290,19 @@ mod tests {
             MttkrpStrategy::Explicit,
         ] {
             let init = KruskalModel::random(&[5, 4, 3, 3], 2, 777);
-            let (_, report) = cp_als(&pool, &x, init, &CpAlsOptions { strategy, ..opts_base });
+            let (_, report) = cp_als(
+                &pool,
+                &x,
+                init,
+                &CpAlsOptions {
+                    strategy,
+                    ..opts_base
+                },
+            );
             fits.push(report.final_fit());
         }
         for f in &fits[1..] {
-            assert!(
-                (f - fits[0]).abs() < 1e-6,
-                "strategies disagree: {fits:?}"
-            );
+            assert!((f - fits[0]).abs() < 1e-6, "strategies disagree: {fits:?}");
         }
     }
 
@@ -255,8 +311,16 @@ mod tests {
         let x = planted_tensor(&[5, 5, 5], 1, 2);
         let pool = ThreadPool::new(1);
         let init = KruskalModel::random(&[5, 5, 5], 1, 3);
-        let (_, report) =
-            cp_als(&pool, &x, init, &CpAlsOptions { max_iters: 500, tol: 1e-10, ..Default::default() });
+        let (_, report) = cp_als(
+            &pool,
+            &x,
+            init,
+            &CpAlsOptions {
+                max_iters: 500,
+                tol: 1e-10,
+                ..Default::default()
+            },
+        );
         assert!(report.converged);
         assert!(report.iters < 500);
     }
@@ -266,8 +330,16 @@ mod tests {
         let x = planted_tensor(&[4, 4, 4], 2, 5);
         let pool = ThreadPool::new(1);
         let init = KruskalModel::random(&[4, 4, 4], 2, 6);
-        let (_, report) =
-            cp_als(&pool, &x, init, &CpAlsOptions { max_iters: 3, tol: 0.0, ..Default::default() });
+        let (_, report) = cp_als(
+            &pool,
+            &x,
+            init,
+            &CpAlsOptions {
+                max_iters: 3,
+                tol: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.iters, 3);
         assert_eq!(report.iter_times.len(), 3);
         assert!(report.mttkrp_time > 0.0);
@@ -281,8 +353,16 @@ mod tests {
         let x = planted_tensor(&[10, 8], 2, 31);
         let pool = ThreadPool::new(2);
         let init = KruskalModel::random(&[10, 8], 2, 32);
-        let (_, report) =
-            cp_als(&pool, &x, init, &CpAlsOptions { max_iters: 300, tol: 1e-13, ..Default::default() });
+        let (_, report) = cp_als(
+            &pool,
+            &x,
+            init,
+            &CpAlsOptions {
+                max_iters: 300,
+                tol: 1e-13,
+                ..Default::default()
+            },
+        );
         assert!(report.final_fit() > 0.999, "fit = {}", report.final_fit());
     }
 }

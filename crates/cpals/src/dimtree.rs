@@ -55,8 +55,12 @@ pub fn cp_als_dimtree(
     let mut model = init;
     let norm_x = x.norm();
     let norm_x_sq = norm_x * norm_x;
-    let mut grams: Vec<Vec<f64>> =
-        model.factors.iter().zip(&dims).map(|(f, &d)| gram(f, d, c)).collect();
+    let mut grams: Vec<Vec<f64>> = model
+        .factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| gram(f, d, c))
+        .collect();
 
     let mut report = CpAlsReport {
         iters: 0,
@@ -68,9 +72,15 @@ pub fn cp_als_dimtree(
     };
     let mut prev_fit = f64::NEG_INFINITY;
 
+    // Per-model buffers, allocated once and reused every iteration
+    // (the dimension-tree analogue of the per-mode MttkrpPlan reuse).
     let mut r_buf = vec![0.0; left_total * c];
     let mut l_buf = vec![0.0; right_total * c];
     let mut m_buf = vec![0.0; dims.iter().copied().max().unwrap() * c];
+    let mut kr_buf = vec![0.0; right_total * c];
+    let mut kl_buf = vec![0.0; left_total * c];
+    let mut col_buf = vec![0.0; dims.iter().copied().max().unwrap()];
+    let mut last_mode_m = vec![0.0; dims[nmodes - 1] * c];
 
     for _iter in 0..opts.max_iters {
         let iter_t0 = std::time::Instant::now();
@@ -81,30 +91,28 @@ pub fn cp_als_dimtree(
             let refs = model.factor_refs();
             let kr_inputs: Vec<MatRef> = refs[s..].iter().rev().copied().collect();
             debug_assert_eq!(krp_rows(&kr_inputs), right_total);
-            let mut kr = vec![0.0; right_total * c];
-            par_krp(pool, &kr_inputs, &mut kr);
+            par_krp(pool, &kr_inputs, &mut kr_buf);
             let xv = x.unfold_leading(s - 1); // left_total × right_total, col-major
             par_gemm(
                 pool,
                 1.0,
                 xv,
-                MatRef::from_slice(&kr, right_total, c, Layout::RowMajor),
+                MatRef::from_slice(&kr_buf, right_total, c, Layout::RowMajor),
                 0.0,
                 MatMut::from_slice(&mut r_buf, left_total, c, Layout::ColMajor),
             );
         }
-        let mut last_mode_m = Vec::new();
         for n in 0..s {
             let rows = dims[n];
             let m = &mut m_buf[..rows * c];
-            group_mttkrp(&r_buf, left_dims, c, n, 0, &model, m);
+            group_mttkrp(&r_buf, left_dims, c, n, 0, &model, m, &mut col_buf);
+            if n == nmodes - 1 {
+                last_mode_m.copy_from_slice(m);
+            }
             solve_factor_update(m, rows, c, &grams, n, &mut model.factors[n]);
             model.lambda.fill(1.0);
             model.normalize_mode(n);
             grams[n] = gram(&model.factors[n], rows, c);
-            if n == nmodes - 1 {
-                last_mode_m = m.to_vec();
-            }
         }
 
         // ---- Right group: L = X(0:s−1)ᵀ · KL(new left factors). ----
@@ -112,28 +120,27 @@ pub fn cp_als_dimtree(
             let refs = model.factor_refs();
             let kl_inputs: Vec<MatRef> = refs[..s].iter().rev().copied().collect();
             debug_assert_eq!(krp_rows(&kl_inputs), left_total);
-            let mut kl = vec![0.0; left_total * c];
-            par_krp(pool, &kl_inputs, &mut kl);
+            par_krp(pool, &kl_inputs, &mut kl_buf);
             let xv = x.unfold_leading(s - 1).t(); // right_total × left_total, row-major
             par_gemm(
                 pool,
                 1.0,
                 xv,
-                MatRef::from_slice(&kl, left_total, c, Layout::RowMajor),
+                MatRef::from_slice(&kl_buf, left_total, c, Layout::RowMajor),
                 0.0,
                 MatMut::from_slice(&mut l_buf, right_total, c, Layout::ColMajor),
             );
             for n in s..nmodes {
                 let rows = dims[n];
                 let m = &mut m_buf[..rows * c];
-                group_mttkrp(&l_buf, right_dims, c, n - s, s, &model, m);
+                group_mttkrp(&l_buf, right_dims, c, n - s, s, &model, m, &mut col_buf);
+                if n == nmodes - 1 {
+                    last_mode_m.copy_from_slice(m);
+                }
                 solve_factor_update(m, rows, c, &grams, n, &mut model.factors[n]);
                 model.lambda.fill(1.0);
                 model.normalize_mode(n);
                 grams[n] = gram(&model.factors[n], rows, c);
-                if n == nmodes - 1 {
-                    last_mode_m = m.to_vec();
-                }
             }
         }
         report.mttkrp_time += mttkrp_t0.elapsed().as_secs_f64();
@@ -151,7 +158,11 @@ pub fn cp_als_dimtree(
         };
         let norm_y_sq = model.norm_sq();
         let resid_sq = (norm_x_sq - 2.0 * inner + norm_y_sq).max(0.0);
-        let fit = if norm_x > 0.0 { 1.0 - resid_sq.sqrt() / norm_x } else { 1.0 };
+        let fit = if norm_x > 0.0 {
+            1.0 - resid_sq.sqrt() / norm_x
+        } else {
+            1.0
+        };
 
         report.iters += 1;
         report.fits.push(fit);
@@ -173,7 +184,9 @@ pub fn cp_als_dimtree(
 /// For each component `j`, the contiguous subtensor `partial[.., j]` is
 /// contracted with column `j` of every group factor except local mode
 /// `local_n` (global mode `group_offset + local_n`). Output `m` is
-/// row-major `I_n × C`.
+/// row-major `I_n × C`; `col` is caller-owned scratch of at least the
+/// largest group dimension.
+#[allow(clippy::too_many_arguments)]
 fn group_mttkrp(
     partial: &[f64],
     g_dims: &[usize],
@@ -182,6 +195,7 @@ fn group_mttkrp(
     group_offset: usize,
     model: &KruskalModel,
     m: &mut [f64],
+    col: &mut [f64],
 ) {
     let g_total: usize = g_dims.iter().product();
     let rows = g_dims[local_n];
@@ -198,7 +212,6 @@ fn group_mttkrp(
         return;
     }
 
-    let mut col = vec![0.0; *g_dims.iter().max().unwrap()];
     for j in 0..c {
         let mut t = DenseTensor::from_vec(g_dims, partial[j * g_total..(j + 1) * g_total].to_vec());
         let mut n_pos = local_n;
@@ -245,11 +258,20 @@ mod tests {
         let dims = [6usize, 5, 4];
         let x = planted(&dims, 2, 17);
         let pool = ThreadPool::new(2);
-        let opts = CpAlsOptions { max_iters: 8, tol: 0.0, strategy: MttkrpStrategy::Auto };
+        let opts = CpAlsOptions {
+            max_iters: 8,
+            tol: 0.0,
+            strategy: MttkrpStrategy::Auto,
+        };
         let (m_std, r_std) = cp_als(&pool, &x, KruskalModel::random(&dims, 2, 5), &opts);
         let (m_dt, r_dt) = cp_als_dimtree(&pool, &x, KruskalModel::random(&dims, 2, 5), &opts);
         for (a, b) in r_std.fits.iter().zip(&r_dt.fits) {
-            assert!((a - b).abs() < 1e-8, "fits diverged: {:?} vs {:?}", r_std.fits, r_dt.fits);
+            assert!(
+                (a - b).abs() < 1e-8,
+                "fits diverged: {:?} vs {:?}",
+                r_std.fits,
+                r_dt.fits
+            );
         }
         for (fa, fb) in m_std.factors.iter().zip(&m_dt.factors) {
             for (x1, x2) in fa.iter().zip(fb) {
@@ -263,11 +285,20 @@ mod tests {
         for dims in [vec![4usize, 3, 3, 4], vec![3, 2, 3, 2, 3]] {
             let x = planted(&dims, 2, 23);
             let pool = ThreadPool::new(2);
-            let opts = CpAlsOptions { max_iters: 6, tol: 0.0, strategy: MttkrpStrategy::Auto };
+            let opts = CpAlsOptions {
+                max_iters: 6,
+                tol: 0.0,
+                strategy: MttkrpStrategy::Auto,
+            };
             let (_, r_std) = cp_als(&pool, &x, KruskalModel::random(&dims, 2, 9), &opts);
             let (_, r_dt) = cp_als_dimtree(&pool, &x, KruskalModel::random(&dims, 2, 9), &opts);
             for (a, b) in r_std.fits.iter().zip(&r_dt.fits) {
-                assert!((a - b).abs() < 1e-8, "dims {dims:?}: {:?} vs {:?}", r_std.fits, r_dt.fits);
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "dims {dims:?}: {:?} vs {:?}",
+                    r_std.fits,
+                    r_dt.fits
+                );
             }
         }
     }
@@ -277,7 +308,11 @@ mod tests {
         let dims = [8usize, 6];
         let x = planted(&dims, 2, 41);
         let pool = ThreadPool::new(1);
-        let opts = CpAlsOptions { max_iters: 300, tol: 1e-13, strategy: MttkrpStrategy::Auto };
+        let opts = CpAlsOptions {
+            max_iters: 300,
+            tol: 1e-13,
+            strategy: MttkrpStrategy::Auto,
+        };
         let (_, report) = cp_als_dimtree(&pool, &x, KruskalModel::random(&dims, 2, 42), &opts);
         assert!(report.final_fit() > 0.999, "fit = {}", report.final_fit());
     }
@@ -287,7 +322,11 @@ mod tests {
         let dims = [5usize, 4, 4, 3];
         let x = planted(&dims, 3, 51);
         let pool = ThreadPool::new(2);
-        let opts = CpAlsOptions { max_iters: 400, tol: 1e-12, strategy: MttkrpStrategy::Auto };
+        let opts = CpAlsOptions {
+            max_iters: 400,
+            tol: 1e-12,
+            strategy: MttkrpStrategy::Auto,
+        };
         let (_, report) = cp_als_dimtree(&pool, &x, KruskalModel::random(&dims, 3, 52), &opts);
         assert!(report.final_fit() > 0.99, "fit = {}", report.final_fit());
     }

@@ -11,7 +11,7 @@
 //! two-GEMM shared-partial evaluation applies directly.
 
 use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
-use mttkrp_core::mttkrp_all_modes;
+use mttkrp_core::AllModesPlan;
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
@@ -24,6 +24,10 @@ use crate::model::KruskalModel;
 ///
 /// Returns `(f, [∂f/∂U_0, …])` with each gradient row-major `I_n × C`.
 ///
+/// Thin wrapper over [`cp_gradient_planned`] with a one-shot
+/// [`AllModesPlan`]; optimizers evaluating many gradients should hold
+/// the plan (and gradient buffers) across evaluations instead.
+///
 /// # Panics
 /// Panics if the model's λ is not identically 1 (fold weights into a
 /// factor first) or shapes mismatch.
@@ -32,6 +36,32 @@ pub fn cp_gradient(
     x: &DenseTensor,
     model: &KruskalModel,
 ) -> (f64, Vec<Vec<f64>>) {
+    let mut plan = AllModesPlan::new(x.dims(), model.rank());
+    let mut grads: Vec<Vec<f64>> = x
+        .dims()
+        .iter()
+        .map(|&d| vec![0.0; d * model.rank()])
+        .collect();
+    let f = cp_gradient_planned(pool, x, model, &mut plan, &mut grads);
+    (f, grads)
+}
+
+/// [`cp_gradient`] against caller-held state: the all-modes MTTKRP plan
+/// and the per-mode gradient buffers are reused across evaluations, so
+/// an optimizer's steady-state gradient loop allocates nothing
+/// tensor-sized — only small per-call temporaries remain (KRP input
+/// lists, cursor state, and the `C × C` Gram/Hadamard products).
+///
+/// # Panics
+/// Panics if the model's λ is not identically 1, shapes mismatch, or
+/// `grads` does not hold one `I_n × C` buffer per mode.
+pub fn cp_gradient_planned(
+    pool: &ThreadPool,
+    x: &DenseTensor,
+    model: &KruskalModel,
+    plan: &mut AllModesPlan,
+    grads: &mut [Vec<f64>],
+) -> f64 {
     assert!(
         model.lambda.iter().all(|&l| l == 1.0),
         "fold λ into a factor before calling cp_gradient"
@@ -40,21 +70,32 @@ pub fn cp_gradient(
     let nmodes = dims.len();
     let c = model.rank();
     assert_eq!(model.dims(), &dims[..], "model shape must match tensor");
+    assert_eq!(grads.len(), nmodes, "one gradient buffer per mode");
 
     let refs = model.factor_refs();
-    let mttkrps = mttkrp_all_modes(pool, x, &refs);
-    let grams: Vec<Vec<f64>> =
-        model.factors.iter().zip(&dims).map(|(f, &d)| gram(f, d, c)).collect();
+    let mttkrps = plan.execute(pool, x, &refs);
+    let grams: Vec<Vec<f64>> = model
+        .factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| gram(f, d, c))
+        .collect();
 
-    let mut grads = Vec::with_capacity(nmodes);
     for n in 0..nmodes {
         let rows = dims[n];
         let h = hadamard_excluding(&grams, n, c);
         // G_n = U_n·H − M_n  (H symmetric).
-        let mut g = mttkrps[n].clone();
+        let g = &mut grads[n];
+        assert_eq!(g.len(), rows * c, "gradient buffer {n} must be I_n × C");
+        g.copy_from_slice(&mttkrps[n]);
         let hv = MatRef::from_slice(&h, c, c, Layout::ColMajor);
-        gemm(1.0, refs[n], hv, -1.0, MatMut::from_slice(&mut g, rows, c, Layout::RowMajor));
-        grads.push(g);
+        gemm(
+            1.0,
+            refs[n],
+            hv,
+            -1.0,
+            MatMut::from_slice(g, rows, c, Layout::RowMajor),
+        );
     }
 
     // f = ½(‖X‖² − 2⟨X,Y⟩ + ‖Y‖²), with ⟨X,Y⟩ from any mode's MTTKRP.
@@ -65,7 +106,7 @@ pub fn cp_gradient(
     };
     let norm_x_sq = x.data().iter().map(|v| v * v).sum::<f64>();
     let f = 0.5 * (norm_x_sq - 2.0 * inner + model.norm_sq());
-    (f.max(0.0), grads)
+    f.max(0.0)
 }
 
 #[cfg(test)]

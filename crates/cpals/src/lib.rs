@@ -17,6 +17,14 @@
 //! paper's future-work item — Phan et al. §III.C reuse of partial
 //! MTTKRPs across modes within one iteration.
 //!
+//! Every iterative driver here builds its MTTKRP execution state
+//! **once per model** and reuses it every sweep: [`cp_als`] and
+//! [`cp_als_nn`] hold an `mttkrp_core::MttkrpPlanSet` (one cached plan
+//! per mode — algorithm choice, partition schedule, and per-thread
+//! workspaces), and [`cp_gradient_planned`] accepts a caller-held
+//! `mttkrp_core::AllModesPlan`, so steady-state iterations perform no
+//! per-iteration allocation in the MTTKRP path.
+//!
 //! # Example
 //!
 //! ```
@@ -37,11 +45,11 @@ pub mod als;
 pub mod dimtree;
 pub mod gradient;
 pub mod gram;
-pub mod nncp;
 pub mod model;
+pub mod nncp;
 
 pub use als::{cp_als, CpAlsOptions, CpAlsReport, MttkrpStrategy};
 pub use dimtree::cp_als_dimtree;
-pub use gradient::cp_gradient;
+pub use gradient::{cp_gradient, cp_gradient_planned};
 pub use model::KruskalModel;
 pub use nncp::cp_als_nn;

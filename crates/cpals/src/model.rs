@@ -1,9 +1,8 @@
 //! The Kruskal (CP) model: weights plus one factor matrix per mode.
 
 use mttkrp_blas::{Layout, MatRef};
+use mttkrp_rng::Rng64;
 use mttkrp_tensor::DenseTensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A rank-`C` Kruskal tensor `⟦λ; U_0, …, U_{N−1}⟧`.
 ///
@@ -25,9 +24,17 @@ impl KruskalModel {
     /// weights. Deterministic in `seed`.
     pub fn random(dims: &[usize], rank: usize, seed: u64) -> Self {
         assert!(rank > 0, "rank must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let factors = dims.iter().map(|&d| (0..d * rank).map(|_| rng.random::<f64>()).collect()).collect();
-        KruskalModel { dims: dims.to_vec(), rank, factors, lambda: vec![1.0; rank] }
+        let mut rng = Rng64::seed_from_u64(seed);
+        let factors = dims
+            .iter()
+            .map(|&d| (0..d * rank).map(|_| rng.next_f64()).collect())
+            .collect();
+        KruskalModel {
+            dims: dims.to_vec(),
+            rank,
+            factors,
+            lambda: vec![1.0; rank],
+        }
     }
 
     /// Wrap existing factors (row-major `I_n × C`) with unit weights.
@@ -36,7 +43,12 @@ impl KruskalModel {
         for (n, (f, &d)) in factors.iter().zip(dims).enumerate() {
             assert_eq!(f.len(), d * rank, "factor {n} must be I_n x C");
         }
-        KruskalModel { dims: dims.to_vec(), rank, factors, lambda: vec![1.0; rank] }
+        KruskalModel {
+            dims: dims.to_vec(),
+            rank,
+            factors,
+            lambda: vec![1.0; rank],
+        }
     }
 
     /// Tensor dimensions.
@@ -114,7 +126,10 @@ impl KruskalModel {
         }
         // DenseTensor::from_factors expects column-major factors.
         let mut col_factors = Vec::with_capacity(self.factors.len());
-        for (n, f) in std::iter::once(&f0).chain(self.factors.iter().skip(1)).enumerate() {
+        for (n, f) in std::iter::once(&f0)
+            .chain(self.factors.iter().skip(1))
+            .enumerate()
+        {
             let d = self.dims[n];
             let mut cm = vec![0.0; d * c];
             for i in 0..d {

@@ -23,13 +23,12 @@ use mttkrp_cpals::{
     cp_als, cp_als_dimtree, cp_als_nn, CpAlsOptions, CpAlsReport, KruskalModel, MttkrpStrategy,
 };
 use mttkrp_parallel::ThreadPool;
+use mttkrp_rng::Rng64;
 use mttkrp_tensor::DenseTensor;
 use mttkrp_workloads::{
     linearize_symmetric, random_factors, read_tensor, write_model, write_tensor, FmriConfig,
     StoredModel,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,7 +97,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 type CliResult = Result<(), String>;
 
 fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
@@ -110,7 +111,11 @@ fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
     Ok(dims)
 }
 
-fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
         Some(s) => s.parse().map_err(|_| format!("bad --{key} {s:?}")),
@@ -127,9 +132,9 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
     let mut x = KruskalModel::random(&dims, rank, seed).to_dense();
     if noise > 0.0 {
         let scale = x.norm() / (x.len() as f64).sqrt() * noise;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x5EED);
         for v in x.data_mut() {
-            *v += scale * (rng.random::<f64>() - 0.5);
+            *v += scale * (rng.next_f64() - 0.5);
         }
     }
     write_tensor(out, &x).map_err(|e| e.to_string())?;
@@ -140,13 +145,24 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
 fn cmd_gen_fmri(opts: &HashMap<String, String>) -> CliResult {
     let cfg = match opts.get("preset").map(|s| s.as_str()).unwrap_or("small") {
         "small" => FmriConfig::small(),
-        "medium" => FmriConfig { time: 96, subjects: 16, regions: 64, latent: 8, window: 16, seed: 0xF0A1 },
+        "medium" => FmriConfig {
+            time: 96,
+            subjects: 16,
+            regions: 64,
+            latent: 8,
+            window: 16,
+            seed: 0xF0A1,
+        },
         "paper" => FmriConfig::paper(),
         other => return Err(format!("unknown preset {other:?}")),
     };
     let out = require(opts, "out")?;
     let x4 = cfg.generate_4way();
-    let x = if opts.contains_key("three-way") { linearize_symmetric(&x4) } else { x4 };
+    let x = if opts.contains_key("three-way") {
+        linearize_symmetric(&x4)
+    } else {
+        x4
+    };
     write_tensor(out, &x).map_err(|e| e.to_string())?;
     println!("wrote fMRI tensor {:?} to {out}", x.dims());
     Ok(())
@@ -169,7 +185,11 @@ fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
             info.dim(n),
             info.i_left(n),
             info.i_right(n),
-            if n == 0 || n == x.order() - 1 { "external" } else { "internal" },
+            if n == 0 || n == x.order() - 1 {
+                "external"
+            } else {
+                "internal"
+            },
         );
     }
     Ok(())
@@ -182,10 +202,18 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
     let tol: f64 = num(opts, "tol", 1e-8)?;
     let threads: usize = num(opts, "threads", 0)?;
     let seed: u64 = num(opts, "seed", 42)?;
-    let pool = if threads == 0 { ThreadPool::host() } else { ThreadPool::new(threads) };
+    let pool = if threads == 0 {
+        ThreadPool::host()
+    } else {
+        ThreadPool::new(threads)
+    };
 
     let init = KruskalModel::random(x.dims(), rank, seed);
-    let cp_opts = CpAlsOptions { max_iters: iters, tol, strategy: MttkrpStrategy::Auto };
+    let cp_opts = CpAlsOptions {
+        max_iters: iters,
+        tol,
+        strategy: MttkrpStrategy::Auto,
+    };
     let method = opts.get("method").map(|s| s.as_str()).unwrap_or("als");
     let t0 = std::time::Instant::now();
     let (model, report): (KruskalModel, CpAlsReport) = match method {
@@ -198,11 +226,27 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
 
     println!("method        : {method}");
     println!("rank          : {rank}");
-    println!("iterations    : {} (converged = {})", report.iters, report.converged);
+    println!(
+        "iterations    : {} (converged = {})",
+        report.iters, report.converged
+    );
     println!("final fit     : {:.6}", report.final_fit());
-    println!("total time    : {elapsed:.3}s ({:.3}s/iter)", report.mean_iter_time());
-    println!("mttkrp share  : {:.1}%", 100.0 * report.mttkrp_time / elapsed.max(1e-12));
-    println!("lambda        : {:?}", model.lambda.iter().map(|l| (l * 1e3).round() / 1e3).collect::<Vec<_>>());
+    println!(
+        "total time    : {elapsed:.3}s ({:.3}s/iter)",
+        report.mean_iter_time()
+    );
+    println!(
+        "mttkrp share  : {:.1}%",
+        100.0 * report.mttkrp_time / elapsed.max(1e-12)
+    );
+    println!(
+        "lambda        : {:?}",
+        model
+            .lambda
+            .iter()
+            .map(|l| (l * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
 
     if let Some(path) = opts.get("model-out") {
         let stored = StoredModel {
@@ -221,7 +265,11 @@ fn cmd_profile(opts: &HashMap<String, String>) -> CliResult {
     let x = load(opts)?;
     let rank: usize = num(opts, "rank", 25)?;
     let threads: usize = num(opts, "threads", 0)?;
-    let pool = if threads == 0 { ThreadPool::host() } else { ThreadPool::new(threads) };
+    let pool = if threads == 0 {
+        ThreadPool::host()
+    } else {
+        ThreadPool::new(threads)
+    };
     let dims = x.dims().to_vec();
     let factors = random_factors(&dims, rank, 1);
     let refs: Vec<MatRef> = factors

@@ -12,7 +12,11 @@ use crate::scale::Scale;
 use crate::util::{claim, fmt_s};
 
 fn bench(label: &str, x: &DenseTensor, rank: usize, iters: usize, pool: &ThreadPool) -> f64 {
-    let opts = CpAlsOptions { max_iters: iters, tol: 0.0, strategy: MttkrpStrategy::Auto };
+    let opts = CpAlsOptions {
+        max_iters: iters,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
     let init = KruskalModel::random(x.dims(), rank, 42);
     let (_, rep_std) = cp_als(pool, x, init.clone(), &opts);
     let (_, rep_dt) = cp_als_dimtree(pool, x, init, &opts);
@@ -43,6 +47,10 @@ pub fn run(scale: Scale) {
         s3,
         claim(s3 > 1.15)
     );
-    println!("# claim: ~2x savings in 4D -> {:.2}x [{}]", s4, claim(s4 > 1.3));
+    println!(
+        "# claim: ~2x savings in 4D -> {:.2}x [{}]",
+        s4,
+        claim(s4 > 1.3)
+    );
     println!();
 }

@@ -27,8 +27,11 @@ pub fn run(scale: Scale) {
         for &z in &[2usize, 3, 4] {
             let rows = krp_input_rows(z, target);
             let j: usize = rows.iter().product();
-            let mats: Vec<Vec<f64>> =
-                rows.iter().enumerate().map(|(i, &r)| random_matrix(r, c, i as u64 + 1)).collect();
+            let mats: Vec<Vec<f64>> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| random_matrix(r, c, i as u64 + 1))
+                .collect();
             let inputs: Vec<MatRef> = mats
                 .iter()
                 .zip(&rows)
@@ -37,12 +40,26 @@ pub fn run(scale: Scale) {
             let mut out = vec![0.0; j * c];
             let t_reuse = time_median(scale.trials(), || par_krp(&pool, &inputs, &mut out));
             let t_naive = time_median(scale.trials(), || par_krp_naive(&pool, &inputs, &mut out));
-            println!("{z}-Reuse,{},{},measured", pool.num_threads(), fmt_s(t_reuse));
-            println!("{z}-Naive,{},{},measured", pool.num_threads(), fmt_s(t_naive));
+            println!(
+                "{z}-Reuse,{},{},measured",
+                pool.num_threads(),
+                fmt_s(t_reuse)
+            );
+            println!(
+                "{z}-Naive,{},{},measured",
+                pool.num_threads(),
+                fmt_s(t_naive)
+            );
 
             for &t in &MODEL_THREADS {
-                println!("{z}-Reuse,{t},{},model", fmt_s(predict_krp(&machine, j, c, z, true, t)));
-                println!("{z}-Naive,{t},{},model", fmt_s(predict_krp(&machine, j, c, z, false, t)));
+                println!(
+                    "{z}-Reuse,{t},{},model",
+                    fmt_s(predict_krp(&machine, j, c, z, true, t))
+                );
+                println!(
+                    "{z}-Naive,{t},{},model",
+                    fmt_s(predict_krp(&machine, j, c, z, false, t))
+                );
             }
         }
 
@@ -50,10 +67,15 @@ pub fn run(scale: Scale) {
         let j = krp_input_rows(2, target).iter().product::<usize>();
         let src = vec![1.0f64; j * c];
         let mut dst = vec![0.0f64; j * c];
-        let t_stream = time_median(scale.trials(), || par_stream_scale(&pool, 1.5, &src, &mut dst));
+        let t_stream = time_median(scale.trials(), || {
+            par_stream_scale(&pool, 1.5, &src, &mut dst)
+        });
         println!("STREAM,{},{},measured", pool.num_threads(), fmt_s(t_stream));
         for &t in &MODEL_THREADS {
-            println!("STREAM,{t},{},model", fmt_s(predict_stream(&machine, j, c, t)));
+            println!(
+                "STREAM,{t},{},model",
+                fmt_s(predict_stream(&machine, j, c, t))
+            );
         }
 
         // Claim checks (§5.2) — evaluated at the paper's J ≈ 2e7 rows so

@@ -33,28 +33,52 @@ fn bench_tensor(label: &str, x: &DenseTensor, scale: Scale, machine: &Machine, p
     println!("rank,ours_s,ttb_style_s,speedup,source");
     let iters = scale.cpals_iters();
     for &c in &[10usize, 15, 20, 25, 30] {
-        let opts = CpAlsOptions { max_iters: iters, tol: 0.0, strategy: MttkrpStrategy::Auto };
+        let opts = CpAlsOptions {
+            max_iters: iters,
+            tol: 0.0,
+            strategy: MttkrpStrategy::Auto,
+        };
         let init = KruskalModel::random(x.dims(), c, 42);
         let (_, rep_ours) = cp_als(pool, x, init.clone(), &opts);
-        let opts_ttb = CpAlsOptions { strategy: MttkrpStrategy::Explicit, ..opts };
+        let opts_ttb = CpAlsOptions {
+            strategy: MttkrpStrategy::Explicit,
+            ..opts
+        };
         let (_, rep_ttb) = cp_als(pool, x, init, &opts_ttb);
         let (ours, ttb) = (rep_ours.mean_iter_time(), rep_ttb.mean_iter_time());
-        println!("{c},{},{},{:.2}x,measured", fmt_s(ours), fmt_s(ttb), ttb / ours);
+        println!(
+            "{c},{},{},{:.2}x,measured",
+            fmt_s(ours),
+            fmt_s(ttb),
+            ttb / ours
+        );
 
         for &t in &[1usize, 12] {
             let m_ours = model_iter(machine, x.dims(), c, t, false);
             let m_ttb = model_iter(machine, x.dims(), c, t, true);
-            println!("{c} (T={t}),{},{},{:.2}x,model", fmt_s(m_ours), fmt_s(m_ttb), m_ttb / m_ours);
+            println!(
+                "{c} (T={t}),{},{},{:.2}x,model",
+                fmt_s(m_ours),
+                fmt_s(m_ttb),
+                m_ttb / m_ours
+            );
         }
     }
 
     // Claims (§5.3.3): up to 2x sequential, 6.7x (3D) / 7.4x (4D)
     // parallel speedup over the Matlab baseline at the largest rank.
-    let m1 = model_iter(machine, x.dims(), 30, 1, true) / model_iter(machine, x.dims(), 30, 1, false);
+    let m1 =
+        model_iter(machine, x.dims(), 30, 1, true) / model_iter(machine, x.dims(), 30, 1, false);
     let m12 =
         model_iter(machine, x.dims(), 30, 12, true) / model_iter(machine, x.dims(), 30, 12, false);
-    println!("# claim: sequential speedup up to ~2x -> modeled {m1:.2}x [{}]", claim(m1 > 1.2 && m1 < 4.0));
-    println!("# claim: parallel speedup ~6.7-7.4x (C=30) -> modeled {m12:.2}x [{}]", claim(m12 > 3.0));
+    println!(
+        "# claim: sequential speedup up to ~2x -> modeled {m1:.2}x [{}]",
+        claim(m1 > 1.2 && m1 < 4.0)
+    );
+    println!(
+        "# claim: parallel speedup ~6.7-7.4x (C=30) -> modeled {m12:.2}x [{}]",
+        claim(m12 > 3.0)
+    );
 }
 
 pub fn run(scale: Scale) {
@@ -65,6 +89,12 @@ pub fn run(scale: Scale) {
     let x4 = cfg.generate_4way();
     let x3 = linearize_symmetric(&x4);
     bench_tensor("4D fMRI", &x4, scale, &machine, &pool);
-    bench_tensor("3D fMRI (symmetric linearization)", &x3, scale, &machine, &pool);
+    bench_tensor(
+        "3D fMRI (symmetric linearization)",
+        &x3,
+        scale,
+        &machine,
+        &pool,
+    );
     println!();
 }

@@ -4,9 +4,7 @@
 //! becomes visible.
 
 use mttkrp_blas::{Layout, MatRef};
-use mttkrp_core::{
-    mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, Breakdown, TwoStepSide,
-};
+use mttkrp_core::{mttkrp_explicit_timed, AlgoChoice, Breakdown, MttkrpPlan, TwoStepSide};
 use mttkrp_machine::{predict_1step, predict_2step, predict_explicit, Machine};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
@@ -34,26 +32,52 @@ fn bench(label: &str, x: &DenseTensor, machine: &Machine, pool: &ThreadPool) {
     let dims = x.dims().to_vec();
     println!("\n### {label}: dims = {dims:?}");
     let factors = random_factors(&dims, C, 7);
-    let frefs: Vec<MatRef> =
-        factors.iter().zip(&dims).map(|(f, &d)| MatRef::from_slice(f, d, C, Layout::RowMajor)).collect();
+    let frefs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, C, Layout::RowMajor))
+        .collect();
     let host_t = pool.num_threads();
     let nmodes = dims.len();
 
     for n in 0..nmodes {
         let mut out = vec![0.0; dims[n] * C];
-        print_bd("B", n, host_t, "measured", &mttkrp_explicit_timed(pool, x, &frefs, n, &mut out));
-        print_bd("1S", n, host_t, "measured", &mttkrp_1step_timed(pool, x, &frefs, n, &mut out));
+        print_bd(
+            "B",
+            n,
+            host_t,
+            "measured",
+            &mttkrp_explicit_timed(pool, x, &frefs, n, &mut out),
+        );
+        // Steady state: warm the plan once, report the second run.
+        let mut p1 = MttkrpPlan::new(pool, &dims, C, n, AlgoChoice::OneStep);
+        p1.execute(pool, x, &frefs, &mut out);
+        print_bd(
+            "1S",
+            n,
+            host_t,
+            "measured",
+            &p1.execute_timed(pool, x, &frefs, &mut out),
+        );
         if n > 0 && n < nmodes - 1 {
+            let mut p2 = MttkrpPlan::new(pool, &dims, C, n, AlgoChoice::TwoStep(TwoStepSide::Auto));
+            p2.execute(pool, x, &frefs, &mut out);
             print_bd(
                 "2S",
                 n,
                 host_t,
                 "measured",
-                &mttkrp_2step_timed(pool, x, &frefs, n, &mut out, TwoStepSide::Auto),
+                &p2.execute_timed(pool, x, &frefs, &mut out),
             );
         }
         for &t in &[1usize, 12] {
-            print_bd("B", n, t, "model", &predict_explicit(machine, &dims, n, C, t));
+            print_bd(
+                "B",
+                n,
+                t,
+                "model",
+                &predict_explicit(machine, &dims, n, C, t),
+            );
             print_bd("1S", n, t, "model", &predict_1step(machine, &dims, n, C, t));
             if n > 0 && n < nmodes - 1 {
                 print_bd("2S", n, t, "model", &predict_2step(machine, &dims, n, C, t));

@@ -51,7 +51,9 @@ fn main() {
     println!("# MTTKRP reproduction harness");
     println!(
         "# scale = {scale:?}; host cores = {}",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!("# modeled machine = 2 x 6-core Sandy Bridge E5-2620 (calibrated to this host's kernel rates)");
     println!();

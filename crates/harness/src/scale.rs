@@ -40,9 +40,14 @@ impl Scale {
     pub fn fmri(self) -> FmriConfig {
         match self {
             Scale::Small => FmriConfig::small(),
-            Scale::Medium => {
-                FmriConfig { time: 96, subjects: 16, regions: 64, latent: 8, window: 16, seed: 0xF0A1 }
-            }
+            Scale::Medium => FmriConfig {
+                time: 96,
+                subjects: 16,
+                regions: 64,
+                latent: 8,
+                window: 16,
+                seed: 0xF0A1,
+            },
             Scale::Paper => FmriConfig::paper(),
         }
     }

@@ -18,30 +18,59 @@ fn gen_info_decompose_round_trip() {
     let model_path = tmp("m.mtkm");
 
     let out = tensorcp()
-        .args(["gen", "--dims", "12x10x8", "--rank", "2", "--seed", "3", "--out"])
+        .args([
+            "gen", "--dims", "12x10x8", "--rank", "2", "--seed", "3", "--out",
+        ])
         .arg(&tensor_path)
         .output()
         .expect("run tensorcp gen");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let out = tensorcp().args(["info", "--input"]).arg(&tensor_path).output().unwrap();
+    let out = tensorcp()
+        .args(["info", "--input"])
+        .arg(&tensor_path)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("[12, 10, 8]"), "info output: {text}");
     assert!(text.contains("960"), "entry count missing: {text}");
-    assert!(text.contains("internal"), "mode classification missing: {text}");
+    assert!(
+        text.contains("internal"),
+        "mode classification missing: {text}"
+    );
 
     let out = tensorcp()
-        .args(["decompose", "--rank", "2", "--iters", "40", "--method", "als", "--input"])
+        .args([
+            "decompose",
+            "--rank",
+            "2",
+            "--iters",
+            "200",
+            "--method",
+            "als",
+            "--input",
+        ])
         .arg(&tensor_path)
         .arg("--model-out")
         .arg(&model_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "decompose failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "decompose failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // A rank-2 planted tensor must be fit almost exactly.
-    let fit_line = text.lines().find(|l| l.starts_with("final fit")).expect("fit line");
+    let fit_line = text
+        .lines()
+        .find(|l| l.starts_with("final fit"))
+        .expect("fit line");
     let fit: f64 = fit_line.split(':').nth(1).unwrap().trim().parse().unwrap();
     assert!(fit > 0.99, "fit = {fit}");
 
@@ -72,7 +101,14 @@ fn profile_reports_all_modes_and_algorithms() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for needle in ["explicit,0", "1step,0", "explicit,1", "1step,1", "2step,1", "1step,2"] {
+    for needle in [
+        "explicit,0",
+        "1step,0",
+        "explicit,1",
+        "1step,1",
+        "2step,1",
+        "1step,2",
+    ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
     std::fs::remove_file(&tensor_path).ok();
@@ -96,11 +132,17 @@ fn bad_inputs_fail_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
 
     // Missing file.
-    let out = tensorcp().args(["info", "--input", "/nonexistent/x.mtkt"]).output().unwrap();
+    let out = tensorcp()
+        .args(["info", "--input", "/nonexistent/x.mtkt"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     // Malformed dims.
-    let out = tensorcp().args(["gen", "--dims", "abc", "--out", "/tmp/never.mtkt"]).output().unwrap();
+    let out = tensorcp()
+        .args(["gen", "--dims", "abc", "--out", "/tmp/never.mtkt"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     std::fs::remove_file(&tensor_path).ok();
 }
@@ -115,11 +157,24 @@ fn nn_and_dimtree_methods_run() {
         .unwrap();
     for method in ["nn", "dimtree"] {
         let out = tensorcp()
-            .args(["decompose", "--rank", "2", "--iters", "15", "--method", method, "--input"])
+            .args([
+                "decompose",
+                "--rank",
+                "2",
+                "--iters",
+                "15",
+                "--method",
+                method,
+                "--input",
+            ])
             .arg(&tensor_path)
             .output()
             .unwrap();
-        assert!(out.status.success(), "{method} failed: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{method} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         assert!(String::from_utf8_lossy(&out.stdout).contains("final fit"));
     }
     std::fs::remove_file(&tensor_path).ok();

@@ -197,6 +197,180 @@ impl<'a> KrpCursor<'a> {
     }
 }
 
+/// Reusable, allocation-free backing storage for a KRP row stream.
+///
+/// [`KrpCursor`] owns its multi-index and prefix table, which costs a
+/// handful of heap allocations per cursor — fine for one-shot calls,
+/// but the plan-based MTTKRP executors stream KRP rows on every
+/// invocation and must not allocate in steady state. A `KrpState` holds
+/// those buffers across invocations: [`KrpState::cursor`] borrows them
+/// into a [`KrpRowStream`] positioned at row 0, resizing only on the
+/// first use of a larger shape (capacity is retained thereafter).
+///
+/// The input list is addressed *indirectly* through an `order` slice of
+/// indices into the caller's factor list, so callers with a precomputed
+/// mode order (e.g. `MttkrpPlan`) never build a reordered `Vec<MatRef>`
+/// in the hot path.
+#[derive(Debug, Default)]
+pub struct KrpState {
+    rows: Vec<usize>,
+    ell: Vec<usize>,
+    prefix: Vec<f64>,
+}
+
+impl KrpState {
+    /// Empty state; buffers grow on first use and are then retained.
+    pub fn new() -> Self {
+        KrpState::default()
+    }
+
+    /// Borrow a row stream over `factors[order[0]] ⊙ factors[order[1]] ⊙ …`,
+    /// positioned at row 0.
+    ///
+    /// # Panics
+    /// Panics if `order` is empty, indexes out of `factors`, or the
+    /// selected inputs disagree on columns / have non-contiguous rows.
+    pub fn cursor<'f, 's>(
+        &'s mut self,
+        factors: &'f [MatRef<'f>],
+        order: &'s [usize],
+    ) -> KrpRowStream<'f, 's> {
+        assert!(!order.is_empty(), "KRP of zero matrices is undefined");
+        let c = factors[order[0]].ncols();
+        for &i in order {
+            let u = &factors[i];
+            assert_eq!(u.ncols(), c, "KRP input {i} has mismatched column count");
+            assert_eq!(u.col_stride(), 1, "KRP input {i} must have contiguous rows");
+        }
+        let z = order.len();
+        self.rows.clear();
+        self.rows.extend(order.iter().map(|&i| factors[i].nrows()));
+        self.ell.clear();
+        self.ell.resize(z, 0);
+        self.prefix.clear();
+        self.prefix.resize(z.saturating_sub(2) * c, 0.0);
+        let total: usize = self.rows.iter().product();
+        let mut stream = KrpRowStream {
+            factors,
+            order,
+            c,
+            st: self,
+            remaining: total,
+        };
+        stream.rebuild_prefixes(0);
+        stream
+    }
+}
+
+/// A borrowed KRP row stream over externally owned state — the
+/// allocation-free counterpart of [`KrpCursor`] (same Algorithm 1
+/// prefix reuse, same row order).
+pub struct KrpRowStream<'f, 's> {
+    factors: &'f [MatRef<'f>],
+    order: &'s [usize],
+    c: usize,
+    st: &'s mut KrpState,
+    remaining: usize,
+}
+
+impl<'f> KrpRowStream<'f, '_> {
+    #[inline]
+    fn input(&self, z: usize) -> MatRef<'f> {
+        self.factors[self.order[z]]
+    }
+
+    /// Number of rows not yet emitted.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Column count `C`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.c
+    }
+
+    /// Position the stream at absolute output row `j` (per-thread
+    /// initialization of the parallel variant, §4.1.2).
+    pub fn seek(&mut self, j: usize) {
+        let total: usize = self.st.rows.iter().product();
+        assert!(j <= total, "seek past end of KRP");
+        let mut rem = j;
+        for z in (0..self.st.rows.len()).rev() {
+            self.st.ell[z] = rem % self.st.rows[z];
+            rem /= self.st.rows[z];
+        }
+        self.remaining = total - j;
+        self.rebuild_prefixes(0);
+    }
+
+    /// Recompute prefix products `prefix[from..]` from the current
+    /// multi-index.
+    fn rebuild_prefixes(&mut self, from: usize) {
+        let z = self.order.len();
+        if z < 3 {
+            return;
+        }
+        let c = self.c;
+        for k in from..z - 2 {
+            let right = self.input(k + 1).row_slice(self.st.ell[k + 1]);
+            if k == 0 {
+                let left = self.input(0).row_slice(self.st.ell[0]);
+                hadamard(left, right, &mut self.st.prefix[..c]);
+            } else {
+                let (done, rest) = self.st.prefix.split_at_mut(k * c);
+                let left = &done[(k - 1) * c..];
+                hadamard(left, right, &mut rest[..c]);
+            }
+        }
+    }
+
+    /// Write the current row into `out` and advance the stream.
+    ///
+    /// # Panics
+    /// Panics if the stream is exhausted or `out.len() != C`.
+    pub fn write_next(&mut self, out: &mut [f64]) {
+        assert!(self.remaining > 0, "KRP stream exhausted");
+        assert_eq!(out.len(), self.c, "output row must have length C");
+        let z = self.order.len();
+        let last = self.input(z - 1).row_slice(self.st.ell[z - 1]);
+        match z {
+            1 => out.copy_from_slice(last),
+            2 => hadamard(self.input(0).row_slice(self.st.ell[0]), last, out),
+            _ => hadamard(
+                &self.st.prefix[(z - 3) * self.c..(z - 2) * self.c],
+                last,
+                out,
+            ),
+        }
+        self.advance();
+    }
+
+    /// Increment the multi-index (last position fastest) and refresh the
+    /// prefix products invalidated by the carry, if any.
+    fn advance(&mut self) {
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            return;
+        }
+        let z = self.order.len();
+        let mut pos = z - 1;
+        loop {
+            self.st.ell[pos] += 1;
+            if self.st.ell[pos] < self.st.rows[pos] {
+                break;
+            }
+            self.st.ell[pos] = 0;
+            debug_assert!(pos > 0, "advance past end contradicts remaining > 0");
+            pos -= 1;
+        }
+        if pos < z - 1 {
+            self.rebuild_prefixes(pos.saturating_sub(1));
+        }
+    }
+}
+
 /// Khatri-Rao product with reuse (Algorithm 1): writes the full
 /// `(Π J_z) × C` row-major KRP into `out`.
 pub fn krp_reuse(inputs: &[MatRef], out: &mut [f64]) {
@@ -332,15 +506,20 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..rows * cols)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect()
     }
 
     fn check_all_variants(shapes: &[usize], c: usize) {
-        let datas: Vec<Vec<f64>> =
-            shapes.iter().enumerate().map(|(z, &r)| mat(r, c, z as u64 + 1)).collect();
+        let datas: Vec<Vec<f64>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(z, &r)| mat(r, c, z as u64 + 1))
+            .collect();
         let inputs: Vec<MatRef> = datas
             .iter()
             .zip(shapes)
@@ -365,7 +544,10 @@ mod tests {
 
         let mut par_naive = vec![0.0; j * c];
         par_krp_naive(&pool, &inputs, &mut par_naive);
-        assert_eq!(par_naive, naive, "parallel naive vs naive, shapes {shapes:?}");
+        assert_eq!(
+            par_naive, naive,
+            "parallel naive vs naive, shapes {shapes:?}"
+        );
     }
 
     #[test]
@@ -413,8 +595,11 @@ mod tests {
     fn cursor_seek_matches_streaming() {
         let shapes = [3usize, 4, 2];
         let c = 4;
-        let datas: Vec<Vec<f64>> =
-            shapes.iter().enumerate().map(|(z, &r)| mat(r, c, z as u64 + 7)).collect();
+        let datas: Vec<Vec<f64>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(z, &r)| mat(r, c, z as u64 + 7))
+            .collect();
         let inputs: Vec<MatRef> = datas
             .iter()
             .zip(&shapes)
@@ -441,8 +626,11 @@ mod tests {
     fn parallel_krp_many_thread_counts() {
         let shapes = [5usize, 3, 4];
         let c = 6;
-        let datas: Vec<Vec<f64>> =
-            shapes.iter().enumerate().map(|(z, &r)| mat(r, c, z as u64 + 11)).collect();
+        let datas: Vec<Vec<f64>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(z, &r)| mat(r, c, z as u64 + 11))
+            .collect();
         let inputs: Vec<MatRef> = datas
             .iter()
             .zip(&shapes)

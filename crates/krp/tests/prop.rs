@@ -1,56 +1,46 @@
-//! Property tests for the Khatri-Rao kernels: random input counts,
-//! shapes, and column counts; cursor seek consistency; parallel
-//! partitioning across arbitrary thread counts.
+//! Randomized-property tests for the Khatri-Rao kernels: random input
+//! counts, shapes, and column counts; cursor seek consistency; parallel
+//! partitioning across arbitrary thread counts. Cases come from a
+//! fixed-seed [`mttkrp_rng::Rng64`] stream.
 
 use mttkrp_blas::{Layout, MatRef};
 use mttkrp_krp::{
-    krp_colwise, krp_naive, krp_reuse, krp_rows, par_krp, par_krp_naive, KrpCursor,
+    krp_colwise, krp_naive, krp_reuse, krp_rows, par_krp, par_krp_naive, KrpCursor, KrpState,
 };
 use mttkrp_parallel::ThreadPool;
-use proptest::prelude::*;
+use mttkrp_rng::Rng64;
 
-#[derive(Debug, Clone)]
 struct Inputs {
     shapes: Vec<usize>,
     c: usize,
-    seed: u64,
+    datas: Vec<Vec<f64>>,
 }
 
-fn inputs_strategy() -> impl Strategy<Value = Inputs> {
-    (proptest::collection::vec(1usize..=5, 1..=5), 1usize..=6, any::<u64>())
-        .prop_map(|(shapes, c, seed)| Inputs { shapes, c, seed })
-}
-
-fn build(inp: &Inputs) -> Vec<Vec<f64>> {
-    let mut st = inp.seed | 1;
-    inp.shapes
+fn rand_inputs(rng: &mut Rng64) -> Inputs {
+    let z = rng.usize_in(1, 6);
+    let shapes: Vec<usize> = (0..z).map(|_| rng.usize_in(1, 6)).collect();
+    let c = rng.usize_in(1, 7);
+    let datas = shapes
         .iter()
-        .map(|&r| {
-            (0..r * inp.c)
-                .map(|_| {
-                    st = st.wrapping_mul(6364136223846793005).wrapping_add(17);
-                    ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-                })
-                .collect()
-        })
+        .map(|&r| (0..r * c).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
+    Inputs { shapes, c, datas }
+}
+
+fn refs<'a>(inp: &'a Inputs) -> Vec<MatRef<'a>> {
+    inp.datas
+        .iter()
+        .zip(&inp.shapes)
+        .map(|(d, &r)| MatRef::from_slice(d, r, inp.c, Layout::RowMajor))
         .collect()
 }
 
-fn refs<'a>(datas: &'a [Vec<f64>], shapes: &[usize], c: usize) -> Vec<MatRef<'a>> {
-    datas
-        .iter()
-        .zip(shapes)
-        .map(|(d, &r)| MatRef::from_slice(d, r, c, Layout::RowMajor))
-        .collect()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn all_variants_agree(inp in inputs_strategy()) {
-        let datas = build(&inp);
-        let inputs = refs(&datas, &inp.shapes, inp.c);
+#[test]
+fn all_variants_agree() {
+    let mut rng = Rng64::seed_from_u64(0x6B29_0001);
+    for case in 0..96 {
+        let inp = rand_inputs(&mut rng);
+        let inputs = refs(&inp);
         let j = krp_rows(&inputs);
         let mut reuse = vec![0.0; j * inp.c];
         let mut naive = vec![0.0; j * inp.c];
@@ -58,61 +48,135 @@ proptest! {
         krp_reuse(&inputs, &mut reuse);
         krp_naive(&inputs, &mut naive);
         krp_colwise(&inputs, &mut colwise);
-        prop_assert_eq!(&reuse, &naive);
+        assert_eq!(reuse, naive, "case {case}: shapes {:?}", inp.shapes);
         for (a, b) in reuse.iter().zip(&colwise) {
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn parallel_matches_sequential(inp in inputs_strategy(), t in 1usize..8) {
-        let datas = build(&inp);
-        let inputs = refs(&datas, &inp.shapes, inp.c);
+#[test]
+fn parallel_matches_sequential() {
+    let mut rng = Rng64::seed_from_u64(0x6B29_0002);
+    for case in 0..48 {
+        let inp = rand_inputs(&mut rng);
+        let t = rng.usize_in(1, 8);
+        let inputs = refs(&inp);
         let j = krp_rows(&inputs);
         let mut reference = vec![0.0; j * inp.c];
         krp_reuse(&inputs, &mut reference);
         let pool = ThreadPool::new(t);
         let mut par = vec![0.0; j * inp.c];
         par_krp(&pool, &inputs, &mut par);
-        prop_assert_eq!(&par, &reference);
+        assert_eq!(par, reference, "case {case}: t={t}");
         let mut parn = vec![0.0; j * inp.c];
         par_krp_naive(&pool, &inputs, &mut parn);
-        prop_assert_eq!(&parn, &reference);
+        assert_eq!(parn, reference, "case {case}: naive t={t}");
     }
+}
 
-    #[test]
-    fn cursor_seek_is_consistent(inp in inputs_strategy(), frac in 0.0f64..1.0) {
-        let datas = build(&inp);
-        let inputs = refs(&datas, &inp.shapes, inp.c);
+#[test]
+fn cursor_seek_is_consistent() {
+    let mut rng = Rng64::seed_from_u64(0x6B29_0003);
+    for case in 0..96 {
+        let inp = rand_inputs(&mut rng);
+        let inputs = refs(&inp);
         let j = krp_rows(&inputs);
         let mut full = vec![0.0; j * inp.c];
         krp_reuse(&inputs, &mut full);
-        let start = ((j - 1) as f64 * frac) as usize;
+        let start = rng.usize_below(j);
         let mut cur = KrpCursor::new(&inputs);
         cur.seek(start);
         let mut row = vec![0.0; inp.c];
         for jj in start..j {
             cur.write_next(&mut row);
-            prop_assert_eq!(&row[..], &full[jj * inp.c..(jj + 1) * inp.c]);
+            assert_eq!(
+                &row[..],
+                &full[jj * inp.c..(jj + 1) * inp.c],
+                "case {case} row {jj}"
+            );
         }
-        prop_assert_eq!(cur.remaining(), 0);
+        assert_eq!(cur.remaining(), 0);
     }
+}
 
-    #[test]
-    fn krp_norm_is_product_of_column_norms(rows_a in 1usize..6, rows_b in 1usize..6, c in 1usize..4, seed in any::<u64>()) {
+#[test]
+fn state_cursor_matches_owned_cursor() {
+    // The allocation-free KrpState stream must emit exactly the rows of
+    // the owning KrpCursor, including when one state is reused across
+    // different input sets and orders.
+    let mut rng = Rng64::seed_from_u64(0x6B29_0004);
+    let mut state = KrpState::new();
+    for case in 0..96 {
+        let inp = rand_inputs(&mut rng);
+        let inputs = refs(&inp);
+        let j = krp_rows(&inputs);
+        let mut full = vec![0.0; j * inp.c];
+        krp_reuse(&inputs, &mut full);
+
+        // Identity order over the already-ordered inputs.
+        let order: Vec<usize> = (0..inputs.len()).collect();
+        let start = rng.usize_below(j);
+        let mut stream = state.cursor(&inputs, &order);
+        stream.seek(start);
+        let mut row = vec![0.0; inp.c];
+        for jj in start..j {
+            stream.write_next(&mut row);
+            assert_eq!(
+                &row[..],
+                &full[jj * inp.c..(jj + 1) * inp.c],
+                "case {case} row {jj}"
+            );
+        }
+
+        // A random permutation order must equal a cursor over the
+        // permuted input list.
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.usize_below(i + 1));
+        }
+        let permuted: Vec<MatRef> = order.iter().map(|&i| inputs[i]).collect();
+        let jp = krp_rows(&permuted);
+        let mut want = vec![0.0; jp * inp.c];
+        krp_reuse(&permuted, &mut want);
+        let mut stream = state.cursor(&inputs, &order);
+        for jj in 0..jp {
+            stream.write_next(&mut row);
+            assert_eq!(
+                &row[..],
+                &want[jj * inp.c..(jj + 1) * inp.c],
+                "case {case} perm row {jj}"
+            );
+        }
+    }
+}
+
+#[test]
+fn krp_norm_is_product_of_column_norms() {
+    let mut rng = Rng64::seed_from_u64(0x6B29_0005);
+    for case in 0..64 {
         // ‖K(:,c)‖² = ‖A(:,c)‖²·‖B(:,c)‖² for K = A ⊙ B (Kronecker of
         // columns).
-        let inp = Inputs { shapes: vec![rows_a, rows_b], c, seed };
-        let datas = build(&inp);
-        let inputs = refs(&datas, &inp.shapes, c);
+        let rows_a = rng.usize_in(1, 6);
+        let rows_b = rng.usize_in(1, 6);
+        let c = rng.usize_in(1, 4);
+        let a: Vec<f64> = (0..rows_a * c).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..rows_b * c).map(|_| rng.next_f64() - 0.5).collect();
+        let inputs = [
+            MatRef::from_slice(&a, rows_a, c, Layout::RowMajor),
+            MatRef::from_slice(&b, rows_b, c, Layout::RowMajor),
+        ];
         let j = rows_a * rows_b;
         let mut k = vec![0.0; j * c];
         krp_reuse(&inputs, &mut k);
         for col in 0..c {
             let nk: f64 = (0..j).map(|r| k[r * c + col].powi(2)).sum();
-            let na: f64 = (0..rows_a).map(|r| datas[0][r * c + col].powi(2)).sum();
-            let nb: f64 = (0..rows_b).map(|r| datas[1][r * c + col].powi(2)).sum();
-            prop_assert!((nk - na * nb).abs() < 1e-10 * (1.0 + na * nb));
+            let na: f64 = (0..rows_a).map(|r| a[r * c + col].powi(2)).sum();
+            let nb: f64 = (0..rows_b).map(|r| b[r * c + col].powi(2)).sum();
+            assert!(
+                (nk - na * nb).abs() < 1e-10 * (1.0 + na * nb),
+                "case {case} col {col}"
+            );
         }
     }
 }

@@ -66,7 +66,9 @@ mod tests {
         let mut state = seed | 1;
         let mut b = vec![0.0; n * n];
         for v in b.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
         }
         let mut bt = vec![0.0; n * n];

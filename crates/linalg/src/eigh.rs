@@ -93,7 +93,11 @@ pub fn sym_pinv(a: &[f64], n: usize, rcond: f64) -> Result<Vec<f64>, LinalgError
     let mut work = a.to_vec();
     let (w, v) = jacobi_eigh(&mut work, n)?;
     let wmax = w.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-    let cut = if rcond > 0.0 { rcond } else { n as f64 * f64::EPSILON } * wmax;
+    let cut = if rcond > 0.0 {
+        rcond
+    } else {
+        n as f64 * f64::EPSILON
+    } * wmax;
 
     // A† = V · diag(w†) · Vᵀ, assembled as (V·diag) · Vᵀ.
     let mut vd = v.clone();
@@ -121,7 +125,9 @@ mod tests {
         let mut a = vec![0.0; n * n];
         for j in 0..n {
             for i in 0..=j {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
                 a[i + j * n] = x;
                 a[j + i * n] = x;

@@ -79,7 +79,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n * n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect()

@@ -1,8 +1,9 @@
-//! Property tests for the dense factorizations: random well-conditioned
-//! and rank-deficient inputs, Penrose conditions, solver recovery.
+//! Randomized-property tests for the dense factorizations: random
+//! well-conditioned and rank-deficient inputs, Penrose conditions,
+//! solver recovery. Cases come from a fixed-seed stream.
 
 use mttkrp_linalg::{cholesky, cholesky_solve, jacobi_eigh, lu_factor, lu_solve, sym_pinv};
-use proptest::prelude::*;
+use mttkrp_rng::Rng64;
 
 fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     let mut c = vec![0.0; n * n];
@@ -17,19 +18,13 @@ fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     c
 }
 
-fn rand_mat(n: usize, seed: u64) -> Vec<f64> {
-    let mut st = seed | 1;
-    (0..n * n)
-        .map(|_| {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((st >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-        })
-        .collect()
+fn rand_mat(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    (0..n * n).map(|_| rng.next_f64() - 0.5).collect()
 }
 
 /// SPD matrix `B·Bᵀ + n·I`.
-fn spd(n: usize, seed: u64) -> Vec<f64> {
-    let b = rand_mat(n, seed);
+fn spd(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    let b = rand_mat(rng, n);
     let mut bt = vec![0.0; n * n];
     for i in 0..n {
         for j in 0..n {
@@ -44,8 +39,8 @@ fn spd(n: usize, seed: u64) -> Vec<f64> {
 }
 
 /// Rank-`r` symmetric PSD matrix `B_r · B_rᵀ` (B_r is n × r).
-fn psd_rank(n: usize, r: usize, seed: u64) -> Vec<f64> {
-    let b = rand_mat(n, seed); // take first r columns
+fn psd_rank(rng: &mut Rng64, n: usize, r: usize) -> Vec<f64> {
+    let b = rand_mat(rng, n); // take first r columns
     let mut a = vec![0.0; n * n];
     for p in 0..r {
         for i in 0..n {
@@ -57,12 +52,12 @@ fn psd_rank(n: usize, r: usize, seed: u64) -> Vec<f64> {
     a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn lu_solves_random_systems(n in 1usize..12, seed in any::<u64>()) {
-        let a = rand_mat(n, seed);
+#[test]
+fn lu_solves_random_systems() {
+    let mut rng = Rng64::seed_from_u64(0x11A6_0001);
+    for case in 0..48 {
+        let n = rng.usize_in(1, 12);
+        let a = rand_mat(&mut rng, n);
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64) / 2.0).collect();
         let mut b = vec![0.0; n];
         for i in 0..n {
@@ -76,14 +71,18 @@ proptest! {
         if let Ok(piv) = lu_factor(&mut lu, n) {
             lu_solve(&lu, &piv, n, &mut b);
             for (got, want) in b.iter().zip(&x_true) {
-                prop_assert!((got - want).abs() < 1e-6, "n={n}");
+                assert!((got - want).abs() < 1e-6, "case {case}: n={n}");
             }
         }
     }
+}
 
-    #[test]
-    fn cholesky_solves_spd_systems(n in 1usize..12, seed in any::<u64>()) {
-        let a = spd(n, seed);
+#[test]
+fn cholesky_solves_spd_systems() {
+    let mut rng = Rng64::seed_from_u64(0x11A6_0002);
+    for case in 0..48 {
+        let n = rng.usize_in(1, 12);
+        let a = spd(&mut rng, n);
         let x_true: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.25).collect();
         let mut b = vec![0.0; n];
         for i in 0..n {
@@ -95,14 +94,18 @@ proptest! {
         cholesky(&mut l, n).unwrap();
         cholesky_solve(&l, n, &mut b);
         for (got, want) in b.iter().zip(&x_true) {
-            prop_assert!((got - want).abs() < 1e-7);
+            assert!((got - want).abs() < 1e-7, "case {case}: n={n}");
         }
     }
+}
 
-    #[test]
-    fn jacobi_eigenvalues_match_trace_and_norm(n in 1usize..10, seed in any::<u64>()) {
+#[test]
+fn jacobi_eigenvalues_match_trace_and_norm() {
+    let mut rng = Rng64::seed_from_u64(0x11A6_0003);
+    for case in 0..48 {
         // Σλ = trace(A), Σλ² = ‖A‖²_F for symmetric A.
-        let b = rand_mat(n, seed);
+        let n = rng.usize_in(1, 10);
+        let b = rand_mat(&mut rng, n);
         let mut a = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..n {
@@ -114,18 +117,24 @@ proptest! {
         let (w, _) = jacobi_eigh(&mut a.clone(), n).unwrap();
         let sum: f64 = w.iter().sum();
         let sum2: f64 = w.iter().map(|x| x * x).sum();
-        prop_assert!((sum - trace).abs() < 1e-8 * (1.0 + trace.abs()));
-        prop_assert!((sum2 - frob2).abs() < 1e-8 * (1.0 + frob2));
+        assert!(
+            (sum - trace).abs() < 1e-8 * (1.0 + trace.abs()),
+            "case {case}: n={n}"
+        );
+        assert!(
+            (sum2 - frob2).abs() < 1e-8 * (1.0 + frob2),
+            "case {case}: n={n}"
+        );
     }
+}
 
-    #[test]
-    fn pinv_satisfies_penrose_conditions(
-        n in 2usize..9,
-        r_frac in 0.1f64..1.0,
-        seed in any::<u64>(),
-    ) {
-        let r = ((n as f64 * r_frac).ceil() as usize).clamp(1, n);
-        let a = psd_rank(n, r, seed);
+#[test]
+fn pinv_satisfies_penrose_conditions() {
+    let mut rng = Rng64::seed_from_u64(0x11A6_0004);
+    for case in 0..48 {
+        let n = rng.usize_in(2, 9);
+        let r = rng.usize_in(1, n + 1);
+        let a = psd_rank(&mut rng, n, r);
         let p = sym_pinv(&a, n, 0.0).unwrap();
         // 1) A P A = A, 2) P A P = P, 3/4) symmetry of A·P and P·A.
         let ap = matmul(&a, &p, n);
@@ -137,12 +146,21 @@ proptest! {
         // rank cutoff; the achievable residual grows with ‖P‖·‖A‖.
         let kappa = 1.0 + pnorm * scale;
         for i in 0..n * n {
-            prop_assert!((apa[i] - a[i]).abs() < 1e-8 * scale * kappa, "APA=A failed");
-            prop_assert!((pap[i] - p[i]).abs() < 1e-8 * pnorm * kappa, "PAP=P failed");
+            assert!(
+                (apa[i] - a[i]).abs() < 1e-8 * scale * kappa,
+                "case {case}: APA=A failed"
+            );
+            assert!(
+                (pap[i] - p[i]).abs() < 1e-8 * pnorm * kappa,
+                "case {case}: PAP=P failed"
+            );
         }
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((ap[i + j * n] - ap[j + i * n]).abs() < 1e-8 * scale * kappa);
+                assert!(
+                    (ap[i + j * n] - ap[j + i * n]).abs() < 1e-8 * scale * kappa,
+                    "case {case}: AP not symmetric"
+                );
             }
         }
     }

@@ -5,7 +5,8 @@
 //! categories, so the harness can print modeled Figure 5/6/8 series
 //! next to measured ones.
 
-use mttkrp_core::Breakdown;
+use mttkrp_core::{AlgoChoice, Breakdown, MttkrpPlanSet};
+use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DimInfo;
 
 use crate::Machine;
@@ -60,8 +61,11 @@ pub fn predict_1step(m: &Machine, dims: &[usize], n: usize, c: usize, t: usize) 
         let expand_elems = (il * ir * c) as f64;
         let expand_compute = expand_elems * m.hadamard_cost / t as f64;
         let kt_bytes = (il * c * 8) as f64;
-        let expand_mem =
-            if kt_bytes > 2.0e6 { expand_elems * 16.0 / m.bw(t) } else { 0.0 };
+        let expand_mem = if kt_bytes > 2.0e6 {
+            expand_elems * 16.0 / m.bw(t)
+        } else {
+            0.0
+        };
         bd.lr_krp += expand_compute.max(expand_mem);
         // IR_n block GEMMs of I_n × C × IL_n, block-cyclic across threads.
         let flops = 2.0 * i_n as f64 * c as f64 * (il * ir) as f64;
@@ -102,6 +106,30 @@ pub fn predict_2step(m: &Machine, dims: &[usize], n: usize, c: usize, t: usize) 
     bd
 }
 
+/// The machine-model override for plan construction: hand
+/// `MttkrpPlan::new` the predicted 1-step and 2-step times of mode `n`
+/// at `t` threads, letting it pick the faster kernel for *this* shape on
+/// *this* modeled machine instead of the paper's external/internal rule.
+pub fn predicted_choice(m: &Machine, dims: &[usize], n: usize, c: usize, t: usize) -> AlgoChoice {
+    AlgoChoice::Predicted {
+        one_step: predict_1step(m, dims, n, c, t).total,
+        two_step: predict_2step(m, dims, n, c, t).total,
+    }
+}
+
+/// Plan every mode of a `dims` tensor with the machine-model override —
+/// the model-driven counterpart of `MttkrpPlanSet::new(...,
+/// AlgoChoice::Heuristic)`.
+pub fn predicted_plan_set(
+    m: &Machine,
+    pool: &ThreadPool,
+    dims: &[usize],
+    c: usize,
+) -> MttkrpPlanSet {
+    let t = pool.num_threads();
+    MttkrpPlanSet::with_choices(pool, dims, c, |n| predicted_choice(m, dims, n, c, t))
+}
+
 /// Modeled Algorithm 1 (or naive) KRP time — the Figure 4 series.
 pub fn predict_krp(m: &Machine, rows: usize, c: usize, z: usize, reuse: bool, t: usize) -> f64 {
     m.krp_time(rows, c, z, reuse, t)
@@ -139,9 +167,18 @@ mod tests {
                 let base = predict_baseline(&m, &dims, n, C, 1);
                 let one = predict_1step(&m, &dims, n, C, 1).total;
                 let two = predict_2step(&m, &dims, n, C, 1).total;
-                assert!(two <= base * 1.35, "2-step too slow: {two} vs {base} {dims:?} n={n}");
-                assert!(base <= two * 1.45, "2-step unrealistically fast {dims:?} n={n}");
-                assert!(one <= base * 2.3, "1-step beyond 2x baseline {dims:?} n={n}");
+                assert!(
+                    two <= base * 1.35,
+                    "2-step too slow: {two} vs {base} {dims:?} n={n}"
+                );
+                assert!(
+                    base <= two * 1.45,
+                    "2-step unrealistically fast {dims:?} n={n}"
+                );
+                assert!(
+                    one <= base * 2.3,
+                    "1-step beyond 2x baseline {dims:?} n={n}"
+                );
             }
         }
     }
@@ -180,7 +217,10 @@ mod tests {
                 let base = predict_baseline(&m, &dims, n, C, 12);
                 let two = predict_2step(&m, &dims, n, C, 12).total;
                 let ratio = base / two;
-                assert!(ratio > 1.5, "expected >1.5x win, got {ratio} {dims:?} n={n}");
+                assert!(
+                    ratio > 1.5,
+                    "expected >1.5x win, got {ratio} {dims:?} n={n}"
+                );
                 assert!(ratio < 8.0, "implausible win {ratio} {dims:?} n={n}");
             }
         }

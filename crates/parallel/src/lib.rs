@@ -19,6 +19,11 @@
 //!   thread-private MTTKRP outputs: threads each own a contiguous slice
 //!   range of the output and sum the corresponding ranges of all private
 //!   buffers.
+//! * [`Workspace`] — a reusable arena of per-thread state for kernels
+//!   that run repeatedly (the plan-based MTTKRP executors):
+//!   [`ThreadPool::run_with_workspace`] hands thread `t` exclusive
+//!   `&mut` access to slot `t`, and the slots persist across regions so
+//!   steady-state execution performs no per-call allocation.
 //!
 //! Panics raised inside a region are captured and re-thrown on the caller
 //! after the team quiesces, so a poisoned pool is never left behind.
@@ -41,6 +46,8 @@
 pub mod partition;
 pub mod pool;
 pub mod reduce;
+pub mod workspace;
 
 pub use partition::{block_len, block_range, Blocks};
 pub use pool::{ThreadPool, WorkerCtx};
+pub use workspace::Workspace;

@@ -23,11 +23,18 @@ pub fn block_len(n: usize, nblocks: usize, b: usize) -> usize {
 #[inline]
 pub fn block_range(n: usize, nblocks: usize, b: usize) -> Range<usize> {
     assert!(nblocks > 0, "cannot partition into zero blocks");
-    assert!(b < nblocks, "block index {b} out of range for {nblocks} blocks");
+    assert!(
+        b < nblocks,
+        "block index {b} out of range for {nblocks} blocks"
+    );
     let base = n / nblocks;
     let rem = n % nblocks;
     // Blocks [0, rem) have length base+1, the rest have length base.
-    let start = if b < rem { b * (base + 1) } else { rem * (base + 1) + (b - rem) * base };
+    let start = if b < rem {
+        b * (base + 1)
+    } else {
+        rem * (base + 1) + (b - rem) * base
+    };
     let len = base + usize::from(b < rem);
     start..start + len
 }
@@ -50,7 +57,11 @@ impl Blocks {
     /// Panics if `nblocks == 0`.
     pub fn new(n: usize, nblocks: usize) -> Self {
         assert!(nblocks > 0, "cannot partition into zero blocks");
-        Blocks { n, nblocks, next: 0 }
+        Blocks {
+            n,
+            nblocks,
+            next: 0,
+        }
     }
 }
 

@@ -9,9 +9,8 @@
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use crate::partition::block_range;
 
@@ -34,7 +33,7 @@ struct JobMsg {
     data: *const (),
     call: unsafe fn(*const (), WorkerCtx),
     ctx: WorkerCtx,
-    done: Sender<Result<(), PanicPayload>>,
+    done: SyncSender<Result<(), PanicPayload>>,
 }
 
 // The raw pointer refers to a `Sync` closure that outlives the region.
@@ -58,7 +57,9 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish()
     }
 }
 
@@ -72,7 +73,7 @@ impl ThreadPool {
         let mut senders = Vec::with_capacity(size.saturating_sub(1));
         let mut handles = Vec::with_capacity(size.saturating_sub(1));
         for i in 1..size {
-            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = channel();
             let handle = std::thread::Builder::new()
                 .name(format!("mttkrp-worker-{i}"))
                 .spawn(move || worker_loop(rx))
@@ -80,12 +81,18 @@ impl ThreadPool {
             senders.push(tx);
             handles.push(handle);
         }
-        ThreadPool { size, senders, handles }
+        ThreadPool {
+            size,
+            senders,
+            handles,
+        }
     }
 
     /// Pool sized to the host's available parallelism.
     pub fn host() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self::new(n)
     }
 
@@ -105,10 +112,16 @@ impl ThreadPool {
         F: Fn(WorkerCtx) + Sync,
     {
         if self.size == 1 {
-            f(WorkerCtx { thread_id: 0, num_threads: 1 });
+            f(WorkerCtx {
+                thread_id: 0,
+                num_threads: 1,
+            });
             return;
         }
-        let (done_tx, done_rx) = bounded::<Result<(), PanicPayload>>(self.size - 1);
+        // Completion channel buffered for every worker, so completion
+        // sends never block even while the caller is still running its
+        // own share of the region.
+        let (done_tx, done_rx) = sync_channel::<Result<(), PanicPayload>>(self.size - 1);
         let data = &f as *const F as *const ();
         unsafe fn call_shim<F: Fn(WorkerCtx) + Sync>(data: *const (), ctx: WorkerCtx) {
             // Safety: `data` points at the caller's `F`, alive for the region.
@@ -118,13 +131,22 @@ impl ThreadPool {
             let msg = JobMsg {
                 data,
                 call: call_shim::<F>,
-                ctx: WorkerCtx { thread_id: i + 1, num_threads: self.size },
+                ctx: WorkerCtx {
+                    thread_id: i + 1,
+                    num_threads: self.size,
+                },
                 done: done_tx.clone(),
             };
-            tx.send(Msg::Run(msg)).expect("pool worker exited unexpectedly");
+            tx.send(Msg::Run(msg))
+                .expect("pool worker exited unexpectedly");
         }
         drop(done_tx);
-        let mine = catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { thread_id: 0, num_threads: self.size })));
+        let mine = catch_unwind(AssertUnwindSafe(|| {
+            f(WorkerCtx {
+                thread_id: 0,
+                num_threads: self.size,
+            })
+        }));
         // Quiesce before unwinding: the closure must outlive every worker.
         let mut worker_panic: Option<PanicPayload> = None;
         for _ in 0..self.size - 1 {
@@ -240,7 +262,9 @@ fn worker_loop(rx: Receiver<Msg>) {
         match msg {
             Msg::Exit => break,
             Msg::Run(job) => {
-                let res = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, job.ctx) }));
+                let res = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (job.call)(job.data, job.ctx)
+                }));
                 // The caller is guaranteed to be draining the channel.
                 let _ = job.done.send(res.map_err(|p| p as PanicPayload));
             }

@@ -1,0 +1,125 @@
+//! Randomized-property tests of the parallel runtime's partitioning and
+//! panic behavior: `block_range` must tile `0..n` exactly for
+//! adversarial `(n, nblocks)` pairs — including `n < nblocks` and
+//! `n = 0` — and a panicking worker must reach the caller without
+//! deadlocking or poisoning the pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mttkrp_parallel::{block_len, block_range, Blocks, ThreadPool};
+use mttkrp_rng::Rng64;
+
+#[test]
+fn block_range_tiles_exactly_for_adversarial_pairs() {
+    let mut rng = Rng64::seed_from_u64(0x9A47_0001);
+    // Deliberately adversarial corners plus a random sweep.
+    let mut cases: Vec<(usize, usize)> = vec![
+        (0, 1),
+        (0, 17),
+        (1, 1),
+        (1, 64),
+        (2, 1000), // n ≪ nblocks
+        (5, 7),
+        (7, 5),
+        (1000, 999),
+        (1000, 1000),
+        (1000, 1001), // one empty block
+        (usize::from(u16::MAX), 3),
+    ];
+    for _ in 0..500 {
+        let n = rng.usize_below(10_000);
+        let nblocks = rng.usize_in(1, 2_000);
+        cases.push((n, nblocks));
+    }
+
+    for (n, nblocks) in cases {
+        let mut covered = 0usize;
+        let mut max_len = 0usize;
+        let mut min_len = usize::MAX;
+        for b in 0..nblocks {
+            let r = block_range(n, nblocks, b);
+            assert_eq!(
+                r.start, covered,
+                "gap/overlap at n={n} nblocks={nblocks} b={b}"
+            );
+            assert_eq!(
+                r.len(),
+                block_len(n, nblocks, b),
+                "len mismatch n={n} nblocks={nblocks} b={b}"
+            );
+            max_len = max_len.max(r.len());
+            min_len = min_len.min(r.len());
+            covered = r.end;
+        }
+        assert_eq!(
+            covered, n,
+            "blocks do not cover 0..{n} for nblocks={nblocks}"
+        );
+        assert!(
+            max_len - min_len <= 1,
+            "unbalanced: n={n} nblocks={nblocks}"
+        );
+        // The iterator view must agree with the direct indexing.
+        let via_iter: Vec<_> = Blocks::new(n, nblocks).collect();
+        assert_eq!(via_iter.len(), nblocks);
+        assert_eq!(via_iter.last().unwrap().end, n);
+    }
+}
+
+#[test]
+fn worker_panic_propagates_without_deadlocking_the_pool() {
+    let pool = ThreadPool::new(6);
+    for round in 0..20 {
+        let panicker = round % 6;
+        let before = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                before.fetch_add(1, Ordering::Relaxed);
+                if ctx.thread_id == panicker {
+                    panic!("deliberate panic from thread {}", ctx.thread_id);
+                }
+            });
+        }));
+        // The panic must reach the caller (not hang, not be swallowed)…
+        let payload = result.expect_err("worker panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("deliberate panic"),
+            "unexpected payload: {msg:?}"
+        );
+        // …after every team member entered the region (quiesce first).
+        assert_eq!(before.load(Ordering::Relaxed), 6);
+
+        // And the pool must remain fully usable for the next region.
+        let after = AtomicUsize::new(0);
+        pool.run(|_| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 6);
+    }
+}
+
+#[test]
+fn multiple_simultaneous_worker_panics_still_return() {
+    let pool = ThreadPool::new(8);
+    for _ in 0..10 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id % 2 == 1 {
+                    panic!("thread {}", ctx.thread_id);
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+    let count = AtomicUsize::new(0);
+    pool.run(|_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 8);
+}

@@ -1,0 +1,152 @@
+//! Small, dependency-free deterministic PRNG for workload generation
+//! and randomized tests.
+//!
+//! The repo is built in environments without network access to a crate
+//! registry, so instead of `rand`/`rand_chacha` this crate provides a
+//! xoshiro256** generator (Blackman & Vigna) seeded through SplitMix64 —
+//! the standard construction for expanding a 64-bit seed into the full
+//! 256-bit state. Streams are deterministic in the seed and identical
+//! across platforms (the algorithm is pure 64-bit integer arithmetic),
+//! which is all the workload generators and property tests need; nothing
+//! here is cryptographic.
+//!
+//! # Example
+//!
+//! ```
+//! use mttkrp_rng::Rng64;
+//!
+//! let mut a = Rng64::seed_from_u64(7);
+//! let mut b = Rng64::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let u = a.next_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+
+/// xoshiro256** generator with SplitMix64 seeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Expand `seed` into the 256-bit state via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` (Lemire rejection-free is overkill
+    /// here; modulo bias is negligible for test-sized `n` ≪ 2⁶⁴).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "usize_below(0) is undefined");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.usize_below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_pins_the_stream() {
+        // Pin the exact stream so accidental algorithm changes (which
+        // would silently change every generated workload) are caught.
+        let mut r = Rng64::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532,
+            ]
+        );
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut r = Rng64::seed_from_u64(9);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.usize_in(3, 17);
+            assert!((3..17).contains(&v));
+            let f = r.f64_in(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.usize_below(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

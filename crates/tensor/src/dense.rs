@@ -184,8 +184,15 @@ impl DenseTensor {
     /// the two region modes).
     pub fn reshape(self, dims: &[usize]) -> DenseTensor {
         let info = DimInfo::new(dims);
-        assert_eq!(info.total(), self.data.len(), "reshape must preserve entry count");
-        DenseTensor { info, data: self.data }
+        assert_eq!(
+            info.total(),
+            self.data.len(),
+            "reshape must preserve entry count"
+        );
+        DenseTensor {
+            info,
+            data: self.data,
+        }
     }
 }
 

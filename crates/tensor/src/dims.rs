@@ -23,7 +23,10 @@ impl DimInfo {
     /// Panics on an empty dimension list or any zero dimension.
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "tensor must have at least one mode");
-        assert!(dims.iter().all(|&d| d > 0), "zero-length modes are not supported");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-length modes are not supported"
+        );
         let mut left = Vec::with_capacity(dims.len() + 1);
         let mut acc = 1usize;
         left.push(1);
@@ -31,7 +34,10 @@ impl DimInfo {
             acc = acc.checked_mul(d).expect("tensor size overflows usize");
             left.push(acc);
         }
-        DimInfo { dims: dims.to_vec(), left }
+        DimInfo {
+            dims: dims.to_vec(),
+            left,
+        }
     }
 
     /// The dimension list.

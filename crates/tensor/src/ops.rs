@@ -5,7 +5,7 @@
 //! run block-wise over the zero-copy unfolding so no entries are
 //! reordered; each block multiply is a BLAS call.
 
-use mttkrp_blas::{gemm, gemv, dot, Layout, MatMut, MatRef};
+use mttkrp_blas::{dot, gemm, gemv, Layout, MatMut, MatRef};
 
 use crate::dense::DenseTensor;
 
@@ -20,8 +20,13 @@ pub fn ttv(x: &DenseTensor, n: usize, v: &[f64]) -> DenseTensor {
     assert!(info.order() >= 2, "TTV requires an order >= 2 tensor");
     assert_eq!(v.len(), info.dim(n), "vector length must equal I_n");
 
-    let out_dims: Vec<usize> =
-        info.dims().iter().enumerate().filter(|&(k, _)| k != n).map(|(_, &d)| d).collect();
+    let out_dims: Vec<usize> = info
+        .dims()
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != n)
+        .map(|(_, &d)| d)
+        .collect();
     let mut out = DenseTensor::zeros(&out_dims);
     let il = info.i_left(n);
     let unf = x.unfold(n);
@@ -54,8 +59,12 @@ pub fn ttm(x: &DenseTensor, n: usize, m: MatRef) -> DenseTensor {
     let block_len = f * il;
     let out_data = out.data_mut();
     for j in 0..unf.num_blocks() {
-        let out_block =
-            MatMut::from_slice(&mut out_data[j * block_len..(j + 1) * block_len], f, il, Layout::RowMajor);
+        let out_block = MatMut::from_slice(
+            &mut out_data[j * block_len..(j + 1) * block_len],
+            f,
+            il,
+            Layout::RowMajor,
+        );
         gemm(1.0, m.t(), unf.block(j), 0.0, out_block);
     }
     out
@@ -85,13 +94,21 @@ mod tests {
     /// Oracle TTV by definition.
     fn naive_ttv(x: &DenseTensor, n: usize, v: &[f64]) -> DenseTensor {
         let dims = x.dims();
-        let out_dims: Vec<usize> =
-            dims.iter().enumerate().filter(|&(k, _)| k != n).map(|(_, &d)| d).collect();
+        let out_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != n)
+            .map(|(_, &d)| d)
+            .collect();
         let mut out = DenseTensor::zeros(&out_dims);
         let mut idx = vec![0usize; dims.len()];
         loop {
-            let mut out_idx: Vec<usize> =
-                idx.iter().enumerate().filter(|&(k, _)| k != n).map(|(_, &i)| i).collect();
+            let mut out_idx: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != n)
+                .map(|(_, &i)| i)
+                .collect();
             if out_idx.is_empty() {
                 out_idx.push(0);
             }
@@ -140,7 +157,9 @@ mod tests {
         let x = iota_tensor(&[3, 4, 2]);
         let n = 1;
         let f = 2;
-        let m_data: Vec<f64> = (0..x.dims()[n] * f).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        let m_data: Vec<f64> = (0..x.dims()[n] * f)
+            .map(|i| (i as f64) * 0.25 - 1.0)
+            .collect();
         let m = MatRef::from_slice(&m_data, x.dims()[n], f, Layout::ColMajor);
         let y = ttm(&x, n, m);
         assert_eq!(y.dims(), &[3, 2, 2]);

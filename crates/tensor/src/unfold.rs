@@ -30,7 +30,11 @@ impl<'a> ModeUnfolding<'a> {
     /// # Panics
     /// Panics if `n` is out of range.
     pub fn new(tensor: &'a DenseTensor, n: usize) -> Self {
-        assert!(n < tensor.order(), "mode {n} out of range for order {}", tensor.order());
+        assert!(
+            n < tensor.order(),
+            "mode {n} out of range for order {}",
+            tensor.order()
+        );
         let info = tensor.info();
         ModeUnfolding {
             data: tensor.data(),
@@ -73,7 +77,15 @@ impl<'a> ModeUnfolding<'a> {
         let len = self.i_left * self.i_n;
         let slice = &self.data[start..start + len];
         // Row-major I_n × IL_n: element (i, col) at col + i*IL_n.
-        unsafe { MatRef::from_raw_parts(slice.as_ptr(), self.i_n, self.i_left, self.i_left as isize, 1) }
+        unsafe {
+            MatRef::from_raw_parts(
+                slice.as_ptr(),
+                self.i_n,
+                self.i_left,
+                self.i_left as isize,
+                1,
+            )
+        }
     }
 
     /// The whole matricization as **one** strided view, available only
@@ -85,12 +97,24 @@ impl<'a> ModeUnfolding<'a> {
             // Mode 0 (or all-left dims of size 1): entry (i, j) at
             // i + j*I_n — column-major.
             Some(unsafe {
-                MatRef::from_raw_parts(self.data.as_ptr(), self.i_n, self.i_right, 1, self.i_n as isize)
+                MatRef::from_raw_parts(
+                    self.data.as_ptr(),
+                    self.i_n,
+                    self.i_right,
+                    1,
+                    self.i_n as isize,
+                )
             })
         } else if self.i_right == 1 {
             // Last mode: entry (i, col) at col + i*IL_n — row-major.
             Some(unsafe {
-                MatRef::from_raw_parts(self.data.as_ptr(), self.i_n, self.i_left, self.i_left as isize, 1)
+                MatRef::from_raw_parts(
+                    self.data.as_ptr(),
+                    self.i_n,
+                    self.i_left,
+                    self.i_left as isize,
+                    1,
+                )
             })
         } else {
             None
@@ -169,7 +193,9 @@ mod tests {
     fn last_mode_single_view_is_row_major() {
         let x = iota_tensor(&[3, 4, 2]);
         let unf = x.unfold(2);
-        let v = unf.as_single_view().expect("last mode must be a single view");
+        let v = unf
+            .as_single_view()
+            .expect("last mode must be a single view");
         assert_eq!(v.nrows(), 2);
         assert_eq!(v.ncols(), 12);
         assert_eq!(v.col_stride(), 1);

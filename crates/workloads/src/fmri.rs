@@ -15,10 +15,8 @@
 //! the paper's. Since MTTKRP cost depends only on shape and rank, every
 //! benchmark code path matches the original experiment.
 
+use mttkrp_rng::Rng64;
 use mttkrp_tensor::DenseTensor;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 
 /// Configuration of the synthetic fMRI correlation tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,13 +39,27 @@ impl FmriConfig {
     /// The paper's full-size configuration (225 × 59 × 200 × 200;
     /// ≈ 531M entries — only for `--scale full` harness runs).
     pub fn paper() -> Self {
-        FmriConfig { time: 225, subjects: 59, regions: 200, latent: 12, window: 20, seed: 0xF0A1 }
+        FmriConfig {
+            time: 225,
+            subjects: 59,
+            regions: 200,
+            latent: 12,
+            window: 20,
+            seed: 0xF0A1,
+        }
     }
 
     /// A scaled-down configuration whose 4-way tensor has ≈ 1.2M
     /// entries; regenerates every figure in seconds on one core.
     pub fn small() -> Self {
-        FmriConfig { time: 48, subjects: 10, regions: 50, latent: 6, window: 12, seed: 0xF0A1 }
+        FmriConfig {
+            time: 48,
+            subjects: 10,
+            regions: 50,
+            latent: 6,
+            window: 12,
+            seed: 0xF0A1,
+        }
     }
 
     /// Dimensions of the 4-way tensor (time, subjects, regions, regions).
@@ -58,21 +70,34 @@ impl FmriConfig {
     /// Dimensions of the symmetric 3-way linearization
     /// (time, subjects, regions·(regions−1)/2).
     pub fn dims3(&self) -> [usize; 3] {
-        [self.time, self.subjects, self.regions * (self.regions - 1) / 2]
+        [
+            self.time,
+            self.subjects,
+            self.regions * (self.regions - 1) / 2,
+        ]
     }
 
     /// Generate the 4-way correlation tensor.
     pub fn generate_4way(&self) -> DenseTensor {
-        assert!(self.window >= 2, "correlation window needs at least 2 samples");
+        assert!(
+            self.window >= 2,
+            "correlation window needs at least 2 samples"
+        );
         assert!(self.latent >= 1, "need at least one latent network");
-        let (t_out, s, r, l, w) = (self.time, self.subjects, self.regions, self.latent, self.window);
+        let (t_out, s, r, l, w) = (
+            self.time,
+            self.subjects,
+            self.regions,
+            self.latent,
+            self.window,
+        );
         let raw_len = t_out + w; // raw samples per region
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
 
         // Latent spatial maps: B (r × l), sparse-ish positive/negative.
         let spatial: Vec<f64> = (0..r * l)
             .map(|_| {
-                let v: f64 = rng.random::<f64>() - 0.5;
+                let v: f64 = rng.next_f64() - 0.5;
                 if v.abs() < 0.15 {
                     0.0
                 } else {
@@ -81,9 +106,11 @@ impl FmriConfig {
             })
             .collect();
         // Subject weights (s × l) and per-network temporal frequency/phase.
-        let subj_w: Vec<f64> = (0..s * l).map(|_| 0.5 + rng.random::<f64>()).collect();
-        let freq: Vec<f64> = (0..l).map(|_| 0.02 + 0.2 * rng.random::<f64>()).collect();
-        let phase: Vec<f64> = (0..l).map(|_| std::f64::consts::TAU * rng.random::<f64>()).collect();
+        let subj_w: Vec<f64> = (0..s * l).map(|_| 0.5 + rng.next_f64()).collect();
+        let freq: Vec<f64> = (0..l).map(|_| 0.02 + 0.2 * rng.next_f64()).collect();
+        let phase: Vec<f64> = (0..l)
+            .map(|_| std::f64::consts::TAU * rng.next_f64())
+            .collect();
 
         let mut x = DenseTensor::zeros(&self.dims4());
         let mut signals = vec![0.0f64; r * raw_len]; // region-major raw signals
@@ -100,7 +127,7 @@ impl FmriConfig {
                             * (1.0 + 0.3 * ((0.005 * t as f64) + net as f64).cos());
                         v += subj_w[subj * l + net] * spatial[reg * l + net] * a;
                     }
-                    signals[reg * raw_len + t] = v + 0.1 * (rng.random::<f64>() - 0.5);
+                    signals[reg * raw_len + t] = v + 0.1 * (rng.next_f64() - 0.5);
                 }
             }
             // Sliding-window Pearson correlations.
@@ -173,7 +200,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> FmriConfig {
-        FmriConfig { time: 6, subjects: 3, regions: 8, latent: 3, window: 5, seed: 7 }
+        FmriConfig {
+            time: 6,
+            subjects: 3,
+            regions: 8,
+            latent: 3,
+            window: 5,
+            seed: 7,
+        }
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //!
 //! Tensor entries are the natural linearization; factors are row-major,
 //! matching the in-memory conventions everywhere else in the workspace.
+//! Encoding/decoding is plain `std` (`to_le_bytes`/`from_le_bytes`) on a
+//! `Vec<u8>` — no serialization dependency.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mttkrp_tensor::DenseTensor;
 
 const TENSOR_MAGIC: &[u8; 4] = b"MTKT";
@@ -40,24 +41,73 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Little-endian cursor over a byte slice. Callers bounds-check with
+/// [`Reader::remaining`] before reading, as the format validators do.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.buf = &self.buf[n..];
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.buf.split_at(4);
+        self.buf = tail;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.buf.split_at(8);
+        self.buf = tail;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64_le(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Serialize a tensor into a byte buffer.
-pub fn tensor_to_bytes(x: &DenseTensor) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + x.dims().len() * 8 + x.len() * 8);
-    buf.put_slice(TENSOR_MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(x.dims().len() as u32);
+pub fn tensor_to_bytes(x: &DenseTensor) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + x.dims().len() * 8 + x.len() * 8);
+    buf.extend_from_slice(TENSOR_MAGIC);
+    put_u32_le(&mut buf, VERSION);
+    put_u32_le(&mut buf, x.dims().len() as u32);
     for &d in x.dims() {
-        buf.put_u64_le(d as u64);
+        put_u64_le(&mut buf, d as u64);
     }
     for &v in x.data() {
-        buf.put_f64_le(v);
+        put_f64_le(&mut buf, v);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a tensor from bytes.
-pub fn tensor_from_bytes(mut buf: &[u8]) -> io::Result<DenseTensor> {
-    if buf.remaining() < 12 || &buf[..4] != TENSOR_MAGIC {
+pub fn tensor_from_bytes(buf: &[u8]) -> io::Result<DenseTensor> {
+    let mut buf = Reader::new(buf);
+    if buf.remaining() < 12 || &buf.buf[..4] != TENSOR_MAGIC {
         return Err(bad("not a tensor file (bad magic)"));
     }
     buf.advance(4);
@@ -101,30 +151,31 @@ pub fn read_tensor(path: impl AsRef<Path>) -> io::Result<DenseTensor> {
 }
 
 /// Serialize a Kruskal model into bytes.
-pub fn model_to_bytes(m: &StoredModel) -> Bytes {
+pub fn model_to_bytes(m: &StoredModel) -> Vec<u8> {
     let factor_len: usize = m.factors.iter().map(|f| f.len()).sum();
-    let mut buf = BytesMut::with_capacity(16 + m.dims.len() * 8 + (m.rank + factor_len) * 8);
-    buf.put_slice(MODEL_MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(m.dims.len() as u32);
-    buf.put_u32_le(m.rank as u32);
+    let mut buf = Vec::with_capacity(16 + m.dims.len() * 8 + (m.rank + factor_len) * 8);
+    buf.extend_from_slice(MODEL_MAGIC);
+    put_u32_le(&mut buf, VERSION);
+    put_u32_le(&mut buf, m.dims.len() as u32);
+    put_u32_le(&mut buf, m.rank as u32);
     for &d in &m.dims {
-        buf.put_u64_le(d as u64);
+        put_u64_le(&mut buf, d as u64);
     }
     for &l in &m.lambda {
-        buf.put_f64_le(l);
+        put_f64_le(&mut buf, l);
     }
     for f in &m.factors {
         for &v in f {
-            buf.put_f64_le(v);
+            put_f64_le(&mut buf, v);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a Kruskal model from bytes.
-pub fn model_from_bytes(mut buf: &[u8]) -> io::Result<StoredModel> {
-    if buf.remaining() < 16 || &buf[..4] != MODEL_MAGIC {
+pub fn model_from_bytes(buf: &[u8]) -> io::Result<StoredModel> {
+    let mut buf = Reader::new(buf);
+    if buf.remaining() < 16 || &buf.buf[..4] != MODEL_MAGIC {
         return Err(bad("not a model file (bad magic)"));
     }
     buf.advance(4);
@@ -138,9 +189,19 @@ pub fn model_from_bytes(mut buf: &[u8]) -> io::Result<StoredModel> {
     }
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
-        dims.push(buf.get_u64_le() as usize);
+        let d = buf.get_u64_le() as usize;
+        if d == 0 {
+            return Err(bad("zero-length model mode"));
+        }
+        dims.push(d);
     }
-    let expect: usize = rank + dims.iter().map(|&d| d * rank).sum::<usize>();
+    // Checked arithmetic: crafted headers must fail cleanly, not wrap.
+    let expect = dims
+        .iter()
+        .try_fold(rank, |acc, &d| {
+            d.checked_mul(rank).and_then(|f| acc.checked_add(f))
+        })
+        .ok_or_else(|| bad("model header overflows"))?;
     if buf.remaining() != expect * 8 {
         return Err(bad("model payload length mismatch"));
     }
@@ -156,7 +217,12 @@ pub fn model_from_bytes(mut buf: &[u8]) -> io::Result<StoredModel> {
         }
         factors.push(f);
     }
-    Ok(StoredModel { dims, rank, lambda, factors })
+    Ok(StoredModel {
+        dims,
+        rank,
+        lambda,
+        factors,
+    })
 }
 
 /// Write a Kruskal model to `path`.
@@ -222,14 +288,28 @@ mod tests {
     }
 
     #[test]
+    fn rejects_zero_model_dim() {
+        // Model header with a zero mode must fail cleanly, not defer a
+        // panic to whoever consumes the decoded dims.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKM");
+        put_u32_le(&mut buf, 1);
+        put_u32_le(&mut buf, 2); // ndims
+        put_u32_le(&mut buf, 1); // rank
+        put_u64_le(&mut buf, 0);
+        put_u64_le(&mut buf, 3);
+        assert!(model_from_bytes(&buf).is_err());
+    }
+
+    #[test]
     fn rejects_zero_dim() {
         // Hand-craft a header with a zero mode.
-        let mut buf = bytes::BytesMut::new();
-        buf.put_slice(b"MTKT");
-        buf.put_u32_le(1);
-        buf.put_u32_le(2);
-        buf.put_u64_le(0);
-        buf.put_u64_le(3);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        put_u32_le(&mut buf, 1);
+        put_u32_le(&mut buf, 2);
+        put_u64_le(&mut buf, 0);
+        put_u64_le(&mut buf, 3);
         assert!(tensor_from_bytes(&buf).is_err());
     }
 }

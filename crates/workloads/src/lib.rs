@@ -18,10 +18,8 @@ pub mod io;
 pub use fmri::{linearize_symmetric, FmriConfig};
 pub use io::{read_model, read_tensor, write_model, write_tensor, StoredModel};
 
+use mttkrp_rng::Rng64;
 use mttkrp_tensor::DenseTensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
 
 /// Equal per-mode dimension for an order-`n` tensor with approximately
 /// `target_entries` total entries (the paper's 900³/165⁴/60⁵/30⁶
@@ -29,30 +27,34 @@ use rand_chacha::ChaCha12Rng;
 pub fn equal_dims(n_modes: usize, target_entries: usize) -> Vec<usize> {
     assert!(n_modes >= 1, "need at least one mode");
     assert!(target_entries >= 1, "need at least one entry");
-    let d = (target_entries as f64).powf(1.0 / n_modes as f64).round().max(1.0) as usize;
+    let d = (target_entries as f64)
+        .powf(1.0 / n_modes as f64)
+        .round()
+        .max(1.0) as usize;
     vec![d; n_modes]
 }
 
 /// Uniform `[−0.5, 0.5)` random tensor, reproducible in `seed` across
-/// platforms (ChaCha12 stream).
+/// platforms (xoshiro256** stream).
 pub fn random_tensor(dims: &[usize], seed: u64) -> DenseTensor {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
-    DenseTensor::from_fn(dims, || rng.random::<f64>() - 0.5)
+    let mut rng = Rng64::seed_from_u64(seed);
+    DenseTensor::from_fn(dims, || rng.next_f64() - 0.5)
 }
 
 /// One uniform `[0, 1)` row-major `I_n × c` factor per mode,
 /// reproducible in `seed`.
 pub fn random_factors(dims: &[usize], c: usize, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xFAC7);
-    dims.iter().map(|&d| (0..d * c).map(|_| rng.random::<f64>()).collect()).collect()
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xFAC7);
+    dims.iter()
+        .map(|&d| (0..d * c).map(|_| rng.next_f64()).collect())
+        .collect()
 }
 
 /// Random `rows × cols` row-major matrix (used by the KRP benchmarks,
-/// Figure 4). `StdRng` is fine here: the KRP experiments do not need
-/// cross-version reproducibility of values, only of shapes.
+/// Figure 4).
 pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.random::<f64>()).collect()
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.next_f64()).collect()
 }
 
 /// Row dimensions for the Figure 4 KRP experiment: `z` equal input row

@@ -12,7 +12,8 @@
 //! cargo run --release --example cp_opt
 //! ```
 
-use mttkrp_repro::cpals::{cp_gradient, KruskalModel};
+use mttkrp_repro::cpals::{cp_gradient, cp_gradient_planned, KruskalModel};
+use mttkrp_repro::mttkrp::AllModesPlan;
 use mttkrp_repro::parallel::ThreadPool;
 
 fn main() {
@@ -25,8 +26,16 @@ fn main() {
     let mut model = KruskalModel::random(&dims, rank, 2);
     let mut step = 1e-3;
     let (mut f, mut grads) = cp_gradient(&pool, &x, &model);
-    println!("iter 0: f = {f:.6e}, fit = {:.4}", 1.0 - (2.0 * f / norm_x_sq).sqrt());
+    println!(
+        "iter 0: f = {f:.6e}, fit = {:.4}",
+        1.0 - (2.0 * f / norm_x_sq).sqrt()
+    );
 
+    // The optimizer loop reuses one all-modes plan and one set of
+    // gradient buffers across every evaluation — steady-state gradient
+    // descent allocates nothing MTTKRP-sized.
+    let mut plan = AllModesPlan::new(&dims, rank);
+    let mut g_new: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d * rank]).collect();
     for iter in 1..=200 {
         // Candidate update with backtracking on the objective.
         let mut accepted = false;
@@ -37,11 +46,13 @@ fn main() {
                     *w -= step * gi;
                 }
             }
-            let (f_new, g_new) = cp_gradient(&pool, &x, &cand);
+            let f_new = cp_gradient_planned(&pool, &x, &cand, &mut plan, &mut g_new);
             if f_new < f {
                 model = cand;
                 f = f_new;
-                grads = g_new;
+                for (dst, src) in grads.iter_mut().zip(&g_new) {
+                    dst.copy_from_slice(src);
+                }
                 step *= 1.2;
                 accepted = true;
                 break;
@@ -56,8 +67,12 @@ fn main() {
             let fit = 1.0 - (2.0 * f / norm_x_sq).sqrt();
             println!("iter {iter}: f = {f:.6e}, fit = {fit:.6}, step = {step:.2e}");
         }
-        let gnorm: f64 =
-            grads.iter().flat_map(|g| g.iter()).map(|v| v * v).sum::<f64>().sqrt();
+        let gnorm: f64 = grads
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt();
         if gnorm < 1e-10 {
             println!("converged: ‖∇f‖ = {gnorm:.2e} at iter {iter}");
             break;

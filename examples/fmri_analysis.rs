@@ -16,7 +16,14 @@ use mttkrp_repro::workloads::{linearize_symmetric, FmriConfig};
 fn main() {
     let medium = std::env::args().any(|a| a == "--medium");
     let cfg = if medium {
-        FmriConfig { time: 96, subjects: 16, regions: 64, latent: 8, window: 16, seed: 0xF0A1 }
+        FmriConfig {
+            time: 96,
+            subjects: 16,
+            regions: 64,
+            latent: 8,
+            window: 16,
+            seed: 0xF0A1,
+        }
     } else {
         FmriConfig::small()
     };
@@ -24,14 +31,22 @@ fn main() {
     let x4 = cfg.generate_4way();
     let x3 = linearize_symmetric(&x4);
     println!("4-way: {:?} ({} entries)", x4.dims(), x4.len());
-    println!("3-way symmetric linearization: {:?} ({} entries)", x3.dims(), x3.len());
+    println!(
+        "3-way symmetric linearization: {:?} ({} entries)",
+        x3.dims(),
+        x3.len()
+    );
 
     let pool = ThreadPool::host();
     let rank = 10;
 
     for (label, x) in [("4-way", &x4), ("3-way", &x3)] {
         let init = KruskalModel::random(x.dims(), rank, 42);
-        let opts = CpAlsOptions { max_iters: 25, tol: 1e-7, strategy: MttkrpStrategy::Auto };
+        let opts = CpAlsOptions {
+            max_iters: 25,
+            tol: 1e-7,
+            strategy: MttkrpStrategy::Auto,
+        };
         let t0 = std::time::Instant::now();
         let (model, report) = cp_als(&pool, x, init, &opts);
         println!(
@@ -46,8 +61,9 @@ fn main() {
         // the quantities neuroscientists read off the factor matrices.
         let time_len = x.dims()[0];
         for comp in 0..3.min(rank) {
-            let time_col: Vec<f64> =
-                (0..time_len).map(|t| model.factors[0][t * rank + comp]).collect();
+            let time_col: Vec<f64> = (0..time_len)
+                .map(|t| model.factors[0][t * rank + comp])
+                .collect();
             let peak_t = time_col
                 .iter()
                 .enumerate()

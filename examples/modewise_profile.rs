@@ -30,9 +30,15 @@ fn row(label: &str, bd: &Breakdown) {
 }
 
 fn main() {
-    let dims: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let dims = if dims.len() >= 2 { dims } else { vec![120, 40, 90] };
+    let dims: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let dims = if dims.len() >= 2 {
+        dims
+    } else {
+        vec![120, 40, 90]
+    };
     println!("profiling MTTKRP on a {dims:?} tensor, C = {C}");
 
     let pool = ThreadPool::host();
@@ -48,13 +54,21 @@ fn main() {
     for n in 0..nmodes {
         println!("mode {n} (I_{n} = {}):", dims[n]);
         let mut out = vec![0.0; dims[n] * C];
-        row("explicit", &mttkrp_explicit_timed(&pool, &x, &refs, n, &mut out));
+        row(
+            "explicit",
+            &mttkrp_explicit_timed(&pool, &x, &refs, n, &mut out),
+        );
         row("1-step", &mttkrp_1step_timed(&pool, &x, &refs, n, &mut out));
         if n > 0 && n < nmodes - 1 {
-            row("2-step", &mttkrp_2step_timed(&pool, &x, &refs, n, &mut out, TwoStepSide::Auto));
+            row(
+                "2-step",
+                &mttkrp_2step_timed(&pool, &x, &refs, n, &mut out, TwoStepSide::Auto),
+            );
         } else {
             println!("  2-step     (degenerates to 1-step for external modes)");
         }
     }
-    println!("\nrule of thumb (paper §5.3.3): 1-step for external modes, 2-step for internal modes.");
+    println!(
+        "\nrule of thumb (paper §5.3.3): 1-step for external modes, 2-step for internal modes."
+    );
 }

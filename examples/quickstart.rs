@@ -38,17 +38,33 @@ fn main() {
     mttkrp_explicit(&pool, &x, &refs, n, &mut m_explicit);
 
     let diff = |a: &[f64], b: &[f64]| {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max)
     };
     println!("mode {n} MTTKRP agreement vs oracle:");
-    println!("  1-step   max abs diff = {:.2e}", diff(&m_1step, &m_oracle));
-    println!("  2-step   max abs diff = {:.2e}", diff(&m_2step, &m_oracle));
-    println!("  explicit max abs diff = {:.2e}", diff(&m_explicit, &m_oracle));
+    println!(
+        "  1-step   max abs diff = {:.2e}",
+        diff(&m_1step, &m_oracle)
+    );
+    println!(
+        "  2-step   max abs diff = {:.2e}",
+        diff(&m_2step, &m_oracle)
+    );
+    println!(
+        "  explicit max abs diff = {:.2e}",
+        diff(&m_explicit, &m_oracle)
+    );
 
     // CP decomposition of a planted rank-4 tensor.
     let planted = KruskalModel::random(&dims, 4, 7).to_dense();
     let init = KruskalModel::random(&dims, 4, 8);
-    let opts = CpAlsOptions { max_iters: 60, tol: 1e-9, ..Default::default() };
+    let opts = CpAlsOptions {
+        max_iters: 60,
+        tol: 1e-9,
+        ..Default::default()
+    };
     let (model, report) = cp_als(&pool, &planted, init, &opts);
     println!(
         "CP-ALS: rank {} fit = {:.6} after {} iterations (converged = {})",
@@ -57,5 +73,12 @@ fn main() {
         report.iters,
         report.converged
     );
-    println!("lambda = {:?}", model.lambda.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "lambda = {:?}",
+        model
+            .lambda
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 }

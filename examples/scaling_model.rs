@@ -12,9 +12,15 @@ use mttkrp_repro::machine::{predict_1step, predict_2step, predict_baseline, Mach
 const C: usize = 25;
 
 fn main() {
-    let dims: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let dims = if dims.len() >= 2 { dims } else { vec![909, 909, 909] };
+    let dims: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let dims = if dims.len() >= 2 {
+        dims
+    } else {
+        vec![909, 909, 909]
+    };
     let machine = Machine::sandy_bridge_12core();
     println!("modeled machine: 2 x 6-core Sandy Bridge E5-2620 (16 GFLOP/s per core)");
     println!("tensor {dims:?}, C = {C}\n");
@@ -37,7 +43,10 @@ fn main() {
         for n in 1..nmodes.saturating_sub(1) {
             print!("{:>11.3}s", predict_2step(&machine, &dims, n, C, t).total);
         }
-        println!("{:>11.3}s", predict_baseline(&machine, &dims, nmodes / 2, C, t));
+        println!(
+            "{:>11.3}s",
+            predict_baseline(&machine, &dims, nmodes / 2, C, t)
+        );
     }
 
     let n_mid = nmodes / 2;
@@ -46,5 +55,8 @@ fn main() {
     let b12 = predict_baseline(&machine, &dims, n_mid, C, 12);
     let best12 = predict_2step(&machine, &dims, n_mid, C, 12).total;
     println!("\n1-step external-mode speedup @12T: {s1:.1}x");
-    println!("win over baseline DGEMM @12T (mode {n_mid}): {:.1}x", b12 / best12);
+    println!(
+        "win over baseline DGEMM @12T (mode {n_mid}): {:.1}x",
+        b12 / best12
+    );
 }

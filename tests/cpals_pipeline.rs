@@ -1,14 +1,19 @@
 //! End-to-end pipeline tests: fMRI generation → linearization → CP-ALS
 //! with each MTTKRP strategy → dimension-tree equivalence.
 
-use mttkrp_repro::cpals::{
-    cp_als, cp_als_dimtree, CpAlsOptions, KruskalModel, MttkrpStrategy,
-};
+use mttkrp_repro::cpals::{cp_als, cp_als_dimtree, CpAlsOptions, KruskalModel, MttkrpStrategy};
 use mttkrp_repro::parallel::ThreadPool;
 use mttkrp_repro::workloads::{linearize_symmetric, FmriConfig};
 
 fn tiny_fmri() -> FmriConfig {
-    FmriConfig { time: 10, subjects: 4, regions: 12, latent: 3, window: 6, seed: 5 }
+    FmriConfig {
+        time: 10,
+        subjects: 4,
+        regions: 12,
+        latent: 3,
+        window: 6,
+        seed: 5,
+    }
 }
 
 #[test]
@@ -16,10 +21,17 @@ fn fmri_pipeline_end_to_end() {
     let cfg = tiny_fmri();
     let x4 = cfg.generate_4way();
     let x3 = linearize_symmetric(&x4);
-    assert_eq!(x3.len() * 2 + cfg.time * cfg.subjects * cfg.regions, x4.len());
+    assert_eq!(
+        x3.len() * 2 + cfg.time * cfg.subjects * cfg.regions,
+        x4.len()
+    );
 
     let pool = ThreadPool::new(2);
-    let opts = CpAlsOptions { max_iters: 20, tol: 1e-6, strategy: MttkrpStrategy::Auto };
+    let opts = CpAlsOptions {
+        max_iters: 20,
+        tol: 1e-6,
+        strategy: MttkrpStrategy::Auto,
+    };
     for x in [&x4, &x3] {
         let init = KruskalModel::random(x.dims(), 4, 11);
         let (model, report) = cp_als(&pool, x, init, &opts);
@@ -47,7 +59,11 @@ fn strategies_produce_identical_trajectories() {
         MttkrpStrategy::Explicit,
     ] {
         let init = KruskalModel::random(x.dims(), 3, 99);
-        let opts = CpAlsOptions { max_iters: 6, tol: 0.0, strategy };
+        let opts = CpAlsOptions {
+            max_iters: 6,
+            tol: 0.0,
+            strategy,
+        };
         let (_, report) = cp_als(&pool, &x, init, &opts);
         trajectories.push(report.fits);
     }
@@ -63,7 +79,11 @@ fn dimtree_matches_standard_on_fmri() {
     let cfg = tiny_fmri();
     let x4 = cfg.generate_4way();
     let pool = ThreadPool::new(2);
-    let opts = CpAlsOptions { max_iters: 5, tol: 0.0, strategy: MttkrpStrategy::Auto };
+    let opts = CpAlsOptions {
+        max_iters: 5,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
     let (m_std, r_std) = cp_als(&pool, &x4, KruskalModel::random(x4.dims(), 3, 4), &opts);
     let (m_dt, r_dt) = cp_als_dimtree(&pool, &x4, KruskalModel::random(x4.dims(), 3, 4), &opts);
     for (a, b) in r_std.fits.iter().zip(&r_dt.fits) {
@@ -80,10 +100,21 @@ fn dimtree_matches_standard_on_fmri() {
 fn mttkrp_dominates_cpals_time() {
     // §2.2: nearly all CP-ALS time is MTTKRP. On a non-trivial tensor
     // our driver should spend the bulk of its time there.
-    let cfg = FmriConfig { time: 24, subjects: 6, regions: 24, latent: 4, window: 8, seed: 2 };
+    let cfg = FmriConfig {
+        time: 24,
+        subjects: 6,
+        regions: 24,
+        latent: 4,
+        window: 8,
+        seed: 2,
+    };
     let x = cfg.generate_4way();
     let pool = ThreadPool::new(1);
-    let opts = CpAlsOptions { max_iters: 2, tol: 0.0, strategy: MttkrpStrategy::Auto };
+    let opts = CpAlsOptions {
+        max_iters: 2,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
     let (_, report) = cp_als(&pool, &x, KruskalModel::random(x.dims(), 16, 3), &opts);
     let total: f64 = report.iter_times.iter().sum();
     assert!(

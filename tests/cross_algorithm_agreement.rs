@@ -2,7 +2,8 @@
 //! same matrix as the definition-by-summation oracle, for arbitrary
 //! shapes, orders, ranks, and modes. This is the repo's central
 //! correctness property (the paper's algorithms are exact
-//! reformulations, not approximations).
+//! reformulations, not approximations). Cases are generated from a
+//! fixed-seed [`mttkrp_rng::Rng64`] stream so failures reproduce.
 
 use mttkrp_repro::blas::{Layout, MatRef};
 use mttkrp_repro::mttkrp::{
@@ -10,55 +11,56 @@ use mttkrp_repro::mttkrp::{
     mttkrp_oracle, TwoStepSide,
 };
 use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
 use mttkrp_repro::tensor::DenseTensor;
-use proptest::prelude::*;
 
 fn close(a: &[f64], b: &[f64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-8 * (1.0 + y.abs()))
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= 1e-8 * (1.0 + y.abs()))
 }
 
-#[derive(Debug, Clone)]
 struct Case {
     dims: Vec<usize>,
     c: usize,
     n: usize,
-    seed: u64,
     threads: usize,
 }
 
-fn case_strategy() -> impl Strategy<Value = Case> {
-    (2usize..=5)
-        .prop_flat_map(|order| {
-            (
-                proptest::collection::vec(1usize..=6, order),
-                1usize..=4,
-                0usize..order,
-                any::<u64>(),
-                1usize..=5,
-            )
-        })
-        .prop_map(|(dims, c, n, seed, threads)| Case { dims, c, n, seed, threads })
+fn rand_case(rng: &mut Rng64) -> Case {
+    let order = rng.usize_in(2, 6);
+    let dims: Vec<usize> = (0..order).map(|_| rng.usize_in(1, 7)).collect();
+    let c = rng.usize_in(1, 5);
+    let n = rng.usize_below(order);
+    let threads = rng.usize_in(1, 6);
+    Case {
+        dims,
+        c,
+        n,
+        threads,
+    }
 }
 
-fn build(case: &Case) -> (DenseTensor, Vec<Vec<f64>>) {
-    let mut state = case.seed | 1;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-    };
+fn build(rng: &mut Rng64, case: &Case) -> (DenseTensor, Vec<Vec<f64>>) {
     let total: usize = case.dims.iter().product();
-    let x = DenseTensor::from_vec(&case.dims, (0..total).map(|_| next()).collect());
-    let factors =
-        case.dims.iter().map(|&d| (0..d * case.c).map(|_| next()).collect()).collect();
+    let x = DenseTensor::from_vec(
+        &case.dims,
+        (0..total).map(|_| rng.next_f64() - 0.5).collect(),
+    );
+    let factors = case
+        .dims
+        .iter()
+        .map(|&d| (0..d * case.c).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
     (x, factors)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_variants_match_oracle(case in case_strategy()) {
-        let (x, factors) = build(&case);
+#[test]
+fn all_variants_match_oracle() {
+    let mut rng = Rng64::seed_from_u64(0xA62E_0001);
+    for case_idx in 0..48 {
+        let case = rand_case(&mut rng);
+        let (x, factors) = build(&mut rng, &case);
         let refs: Vec<MatRef> = factors
             .iter()
             .zip(&case.dims)
@@ -66,42 +68,53 @@ proptest! {
             .collect();
         let pool = ThreadPool::new(case.threads);
         let out_len = case.dims[case.n] * case.c;
+        let tag = format!(
+            "case {case_idx}: dims {:?} c={} n={} t={}",
+            case.dims, case.c, case.n, case.threads
+        );
 
         let mut want = vec![0.0; out_len];
         mttkrp_oracle(&x, &refs, case.n, &mut want);
 
         let mut got = vec![f64::NAN; out_len];
         mttkrp_1step_seq(&x, &refs, case.n, &mut got);
-        prop_assert!(close(&got, &want), "1-step seq");
+        assert!(close(&got, &want), "1-step seq; {tag}");
 
         got.fill(f64::NAN);
         mttkrp_1step(&pool, &x, &refs, case.n, &mut got);
-        prop_assert!(close(&got, &want), "1-step par");
+        assert!(close(&got, &want), "1-step par; {tag}");
 
         got.fill(f64::NAN);
         mttkrp_explicit(&pool, &x, &refs, case.n, &mut got);
-        prop_assert!(close(&got, &want), "explicit baseline");
+        assert!(close(&got, &want), "explicit baseline; {tag}");
 
         got.fill(f64::NAN);
         mttkrp_auto(&pool, &x, &refs, case.n, &mut got);
-        prop_assert!(close(&got, &want), "auto dispatch");
+        assert!(close(&got, &want), "auto dispatch; {tag}");
 
         if case.n > 0 && case.n < case.dims.len() - 1 {
             for side in [TwoStepSide::Auto, TwoStepSide::Left, TwoStepSide::Right] {
                 got.fill(f64::NAN);
                 mttkrp_2step_timed(&pool, &x, &refs, case.n, &mut got, side);
-                prop_assert!(close(&got, &want), "2-step {side:?}");
+                assert!(close(&got, &want), "2-step {side:?}; {tag}");
             }
         }
     }
+}
 
-    #[test]
-    fn thread_count_does_not_change_results(
-        dims in proptest::collection::vec(2usize..=5, 3..=4),
-        seed in any::<u64>(),
-    ) {
-        let case = Case { dims: dims.clone(), c: 3, n: 1, seed, threads: 1 };
-        let (x, factors) = build(&case);
+#[test]
+fn thread_count_does_not_change_results() {
+    let mut rng = Rng64::seed_from_u64(0xA62E_0002);
+    for case_idx in 0..24 {
+        let order = rng.usize_in(3, 5);
+        let dims: Vec<usize> = (0..order).map(|_| rng.usize_in(2, 6)).collect();
+        let case = Case {
+            dims: dims.clone(),
+            c: 3,
+            n: 1,
+            threads: 1,
+        };
+        let (x, factors) = build(&mut rng, &case);
         let refs: Vec<MatRef> = factors
             .iter()
             .zip(&dims)
@@ -112,7 +125,7 @@ proptest! {
         for t in [2usize, 3, 7] {
             let mut got = vec![0.0; dims[1] * 3];
             mttkrp_1step(&ThreadPool::new(t), &x, &refs, 1, &mut got);
-            prop_assert!(close(&got, &reference), "t = {t}");
+            assert!(close(&got, &reference), "case {case_idx}: t = {t}");
         }
     }
 }

@@ -1,33 +1,45 @@
-//! Property tests of the layout algebra everything rests on: natural
-//! linearization, zero-copy unfolding views, and the KRP row ordering —
-//! plus the identity connecting MTTKRP to TTV chains.
+//! Randomized-property tests of the layout algebra everything rests on:
+//! natural linearization, zero-copy unfolding views, and the KRP row
+//! ordering — plus the identity connecting MTTKRP to TTV chains. Cases
+//! come from a fixed-seed [`mttkrp_rng::Rng64`] stream.
 
 use mttkrp_repro::blas::{Layout, MatRef};
 use mttkrp_repro::krp::{krp_colwise, krp_reuse, krp_rows};
 use mttkrp_repro::mttkrp::mttkrp_oracle;
+use mttkrp_repro::rng::Rng64;
 use mttkrp_repro::tensor::ops::ttv;
 use mttkrp_repro::tensor::{multi_index, DenseTensor, DimInfo};
-use proptest::prelude::*;
 
-fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..=5, 2..=5)
+fn rand_dims(
+    rng: &mut Rng64,
+    lo: usize,
+    hi: usize,
+    min_order: usize,
+    max_order: usize,
+) -> Vec<usize> {
+    let order = rng.usize_in(min_order, max_order + 1);
+    (0..order).map(|_| rng.usize_in(lo, hi + 1)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn linearization_round_trip(dims in dims_strategy(), frac in 0.0f64..1.0) {
+#[test]
+fn linearization_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0x1A70_0001);
+    for _ in 0..64 {
+        let dims = rand_dims(&mut rng, 1, 5, 2, 5);
         let info = DimInfo::new(&dims);
-        let ell = ((info.total() - 1) as f64 * frac) as usize;
+        let ell = rng.usize_below(info.total());
         let idx = info.unlinear(ell);
-        prop_assert_eq!(info.linear(&idx), ell);
-        prop_assert_eq!(multi_index(&dims, ell), idx);
+        assert_eq!(info.linear(&idx), ell);
+        assert_eq!(multi_index(&dims, ell), idx);
     }
+}
 
-    #[test]
-    fn unfolding_view_equals_materialized(dims in dims_strategy(), n_frac in 0.0f64..1.0) {
-        let n = ((dims.len() - 1) as f64 * n_frac).round() as usize;
+#[test]
+fn unfolding_view_equals_materialized() {
+    let mut rng = Rng64::seed_from_u64(0x1A70_0002);
+    for _ in 0..64 {
+        let dims = rand_dims(&mut rng, 1, 5, 2, 5);
+        let n = rng.usize_below(dims.len());
         let total: usize = dims.iter().product();
         let x = DenseTensor::from_vec(&dims, (0..total).map(|i| i as f64).collect());
         let unf = x.unfold(n);
@@ -35,39 +47,49 @@ proptest! {
         let rows = unf.nrows();
         for i in 0..rows {
             for c in 0..unf.ncols() {
-                prop_assert_eq!(unf.get(i, c), mat[i + c * rows]);
+                assert_eq!(unf.get(i, c), mat[i + c * rows], "dims {dims:?} n={n}");
             }
         }
     }
+}
 
-    #[test]
-    fn leading_unfold_is_identity_reshape(dims in dims_strategy()) {
+#[test]
+fn leading_unfold_is_identity_reshape() {
+    let mut rng = Rng64::seed_from_u64(0x1A70_0003);
+    for _ in 0..64 {
         // X(0:n) viewed column-major must enumerate the raw buffer.
+        let dims = rand_dims(&mut rng, 1, 5, 2, 5);
         let total: usize = dims.iter().product();
         let x = DenseTensor::from_vec(&dims, (0..total).map(|i| i as f64).collect());
         for n in 0..dims.len() {
             let v = x.unfold_leading(n);
             let rows = v.nrows();
             for ell in 0..total {
-                prop_assert_eq!(v.get(ell % rows, ell / rows), ell as f64);
+                assert_eq!(v.get(ell % rows, ell / rows), ell as f64);
             }
         }
     }
+}
 
-    #[test]
-    fn krp_row_order_matches_column_linearization(
-        shapes in proptest::collection::vec(1usize..=4, 2..=4),
-        c in 1usize..=3,
-    ) {
+#[test]
+fn krp_row_order_matches_column_linearization() {
+    let mut rng = Rng64::seed_from_u64(0x1A70_0004);
+    for _ in 0..64 {
         // Row j of the KRP (inputs in descending mode order) must be the
         // Hadamard of factor rows selected by the mode-multi-index of j
         // with the *first* remaining mode fastest — i.e. exactly the
         // column order of the matricization. Cross-check against the
         // Kronecker (column-wise) definition.
+        let shapes = rand_dims(&mut rng, 1, 4, 2, 4);
+        let c = rng.usize_in(1, 4);
         let datas: Vec<Vec<f64>> = shapes
             .iter()
             .enumerate()
-            .map(|(i, &r)| (0..r * c).map(|k| ((i + 1) * (k + 3)) as f64 * 0.25).collect())
+            .map(|(i, &r)| {
+                (0..r * c)
+                    .map(|k| ((i + 1) * (k + 3)) as f64 * 0.25)
+                    .collect()
+            })
             .collect();
         let inputs: Vec<MatRef> = datas
             .iter()
@@ -80,18 +102,24 @@ proptest! {
         krp_reuse(&inputs, &mut a);
         krp_colwise(&inputs, &mut b);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10, "shapes {shapes:?}");
         }
     }
+}
 
-    #[test]
-    fn rank1_mttkrp_equals_ttv_chain(dims in proptest::collection::vec(2usize..=5, 3..=4)) {
+#[test]
+fn rank1_mttkrp_equals_ttv_chain() {
+    let mut rng = Rng64::seed_from_u64(0x1A70_0005);
+    for _ in 0..48 {
         // With C = 1 the MTTKRP reduces to contracting every other mode
         // with its factor vector — a TTV chain.
+        let dims = rand_dims(&mut rng, 2, 5, 3, 4);
         let total: usize = dims.iter().product();
         let x = DenseTensor::from_vec(
             &dims,
-            (0..total).map(|i| ((i * 7919) % 23) as f64 - 11.0).collect(),
+            (0..total)
+                .map(|i| ((i * 7919) % 23) as f64 - 11.0)
+                .collect(),
         );
         let vecs: Vec<Vec<f64>> = dims
             .iter()
@@ -117,9 +145,9 @@ proptest! {
             // mode at its original index position.
             t = ttv(&t, k, &vecs[k]);
         }
-        prop_assert_eq!(t.len(), dims[n]);
+        assert_eq!(t.len(), dims[n]);
         for (a, b) in t.data().iter().zip(&m) {
-            prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()), "dims {dims:?}");
         }
     }
 }

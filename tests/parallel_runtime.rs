@@ -50,7 +50,14 @@ fn par_gemm_consistent_across_pool_sizes() {
     for t in [2usize, 4, 9, 17] {
         let pool = ThreadPool::new(t);
         let mut out = vec![0.0; m * n];
-        par_gemm(&pool, 1.0, av, bv, 0.0, MatMut::from_slice(&mut out, m, n, Layout::RowMajor));
+        par_gemm(
+            &pool,
+            1.0,
+            av,
+            bv,
+            0.0,
+            MatMut::from_slice(&mut out, m, n, Layout::RowMajor),
+        );
         for (x, y) in out.iter().zip(&reference) {
             assert!((x - y).abs() < 1e-12, "t = {t}");
         }
@@ -62,8 +69,9 @@ fn reduction_is_exact_for_integers() {
     // Integer-valued f64 sums are exact regardless of association, so
     // the parallel reduction must match the sequential one bit-for-bit.
     let pool = ThreadPool::new(8);
-    let parts_owned: Vec<Vec<f64>> =
-        (0..6).map(|p| (0..5000).map(|i| ((p * i) % 97) as f64).collect()).collect();
+    let parts_owned: Vec<Vec<f64>> = (0..6)
+        .map(|p| (0..5000).map(|i| ((p * i) % 97) as f64).collect())
+        .collect();
     let parts: Vec<&[f64]> = parts_owned.iter().map(|v| v.as_slice()).collect();
     let mut seq = vec![0.0; 5000];
     reduce::sum_into_seq(&mut seq, &parts);

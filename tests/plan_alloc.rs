@@ -1,0 +1,122 @@
+//! Allocation accounting for plan-based MTTKRP execution.
+//!
+//! The acceptance property of the plan/executor split: after plan
+//! construction (and one warm-up execution to fill lazily grown
+//! buffers like the GEMM pack cache), executing a plan performs **zero
+//! heap allocation** on a single-thread pool — every KRP block,
+//! private accumulator, partial, and cursor buffer is reused. The
+//! allocating wrappers, by contrast, allocate on every call.
+//!
+//! This file holds exactly one `#[test]` so the counting global
+//! allocator sees no concurrent test threads.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::mttkrp::{mttkrp_auto, AlgoChoice, MttkrpPlan, TwoStepSide};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::tensor::DenseTensor;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting enabled; returns (calls, bytes).
+fn counted(f: impl FnOnce()) -> (u64, u64) {
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    ALLOC_BYTES.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (
+        ALLOC_CALLS.load(Ordering::SeqCst),
+        ALLOC_BYTES.load(Ordering::SeqCst),
+    )
+}
+
+#[test]
+fn steady_state_plan_execution_does_not_allocate() {
+    let dims = [8usize, 6, 5, 4];
+    let c = 5;
+    let mut rng = Rng64::seed_from_u64(0xA110_C001);
+    let total: usize = dims.iter().product();
+    let x = DenseTensor::from_vec(&dims, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+    let factors: Vec<Vec<f64>> = dims
+        .iter()
+        .map(|&d| (0..d * c).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
+    let frefs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+
+    // Single-thread pool: regions run inline, so the only possible
+    // allocations are the executor's own — which the plan must have
+    // hoisted into construction time.
+    let pool = ThreadPool::new(1);
+
+    for n in 0..dims.len() {
+        for choice in [
+            AlgoChoice::Heuristic,
+            AlgoChoice::OneStep,
+            AlgoChoice::TwoStep(TwoStepSide::Auto),
+        ] {
+            let mut plan = MttkrpPlan::new(&pool, &dims, c, n, choice);
+            let mut out = vec![0.0; dims[n] * c];
+            // Warm up: first run grows the thread-local GEMM pack
+            // buffers and the KRP cursor state to their steady sizes.
+            plan.execute(&pool, &x, &frefs, &mut out);
+            let (calls, bytes) = counted(|| {
+                plan.execute(&pool, &x, &frefs, &mut out);
+                plan.execute(&pool, &x, &frefs, &mut out);
+            });
+            assert_eq!(
+                (calls, bytes),
+                (0, 0),
+                "steady-state plan execution allocated: n={n} choice={choice:?}"
+            );
+        }
+
+        // Contrast: the allocating wrapper pays tensor-sized buffers on
+        // every call (this is what the plan split eliminates).
+        let mut out = vec![0.0; dims[n] * c];
+        mttkrp_auto(&pool, &x, &frefs, n, &mut out);
+        let (calls, bytes) = counted(|| {
+            mttkrp_auto(&pool, &x, &frefs, n, &mut out);
+        });
+        assert!(
+            calls > 0 && bytes > 1024,
+            "expected the wrapper to allocate per call: n={n} calls={calls} bytes={bytes}"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Plan-reuse contract tests: the allocating wrappers and the cached
+//! [`MttkrpPlan`]s must produce **bitwise-identical** output across all
+//! modes, and executing one plan repeatedly must be stable (no stale
+//! workspace state) with stable workspace buffers.
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::mttkrp::{
+    mttkrp_1step, mttkrp_2step, mttkrp_auto, AlgoChoice, MttkrpPlan, MttkrpPlanSet, TwoStepSide,
+};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::tensor::DenseTensor;
+
+const DIMS: [usize; 4] = [6, 5, 4, 3];
+const C: usize = 4;
+
+fn setup(seed: u64) -> (DenseTensor, Vec<Vec<f64>>) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let total: usize = DIMS.iter().product();
+    let x = DenseTensor::from_vec(&DIMS, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+    let factors = DIMS
+        .iter()
+        .map(|&d| (0..d * C).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
+    (x, factors)
+}
+
+fn refs(factors: &[Vec<f64>]) -> Vec<MatRef<'_>> {
+    factors
+        .iter()
+        .zip(&DIMS)
+        .map(|(f, &d)| MatRef::from_slice(f, d, C, Layout::RowMajor))
+        .collect()
+}
+
+#[test]
+fn wrapper_and_plan_agree_bitwise_on_every_mode_of_a_4way_tensor() {
+    let (x, factors) = setup(0x9F1A_0001);
+    let frefs = refs(&factors);
+    for t in [1usize, 2, 4, 7] {
+        let pool = ThreadPool::new(t);
+        for n in 0..DIMS.len() {
+            let mut from_wrapper = vec![0.0; DIMS[n] * C];
+            let mut from_plan = vec![0.0; DIMS[n] * C];
+
+            mttkrp_auto(&pool, &x, &frefs, n, &mut from_wrapper);
+            let mut plan = MttkrpPlan::new(&pool, &DIMS, C, n, AlgoChoice::Heuristic);
+            plan.execute(&pool, &x, &frefs, &mut from_plan);
+            assert_eq!(from_wrapper, from_plan, "auto vs plan: t={t} n={n}");
+
+            mttkrp_1step(&pool, &x, &frefs, n, &mut from_wrapper);
+            let mut plan = MttkrpPlan::new(&pool, &DIMS, C, n, AlgoChoice::OneStep);
+            plan.execute(&pool, &x, &frefs, &mut from_plan);
+            assert_eq!(from_wrapper, from_plan, "1step vs plan: t={t} n={n}");
+
+            mttkrp_2step(&pool, &x, &frefs, n, &mut from_wrapper);
+            let mut plan =
+                MttkrpPlan::new(&pool, &DIMS, C, n, AlgoChoice::TwoStep(TwoStepSide::Auto));
+            plan.execute(&pool, &x, &frefs, &mut from_plan);
+            assert_eq!(from_wrapper, from_plan, "2step vs plan: t={t} n={n}");
+        }
+    }
+}
+
+#[test]
+fn executing_one_plan_twice_is_bitwise_identical() {
+    let (x, factors) = setup(0x9F1A_0002);
+    let frefs = refs(&factors);
+    for t in [1usize, 3] {
+        let pool = ThreadPool::new(t);
+        let mut plans = MttkrpPlanSet::new(&pool, &DIMS, C, AlgoChoice::Heuristic);
+        for n in 0..DIMS.len() {
+            let mut first = vec![f64::NAN; DIMS[n] * C];
+            plans.execute(&pool, &x, &frefs, n, &mut first);
+            // Stale-state check: a second run of the same plan (and runs
+            // interleaved with other modes touching the same pool) must
+            // reproduce the output bit for bit.
+            for round in 0..3 {
+                let mut again = vec![f64::NAN; DIMS[n] * C];
+                plans.execute(&pool, &x, &frefs, n, &mut again);
+                assert_eq!(first, again, "t={t} n={n} round={round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_buffers_are_stable_across_executions() {
+    let (x, factors) = setup(0x9F1A_0003);
+    let frefs = refs(&factors);
+    let pool = ThreadPool::new(2);
+    for n in 0..DIMS.len() {
+        for choice in [
+            AlgoChoice::Heuristic,
+            AlgoChoice::OneStep,
+            AlgoChoice::TwoStep(TwoStepSide::Auto),
+        ] {
+            let mut plan = MttkrpPlan::new(&pool, &DIMS, C, n, choice);
+            let mut out = vec![0.0; DIMS[n] * C];
+            plan.execute(&pool, &x, &frefs, &mut out);
+            let ptr = plan.workspace_ptr();
+            for _ in 0..5 {
+                plan.execute(&pool, &x, &frefs, &mut out);
+                assert_eq!(
+                    ptr,
+                    plan.workspace_ptr(),
+                    "workspace reallocated: n={n} choice={choice:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_reuse_survives_factor_updates() {
+    // CP-ALS changes factor *values* (not shapes) between executions; a
+    // cached plan must track them, matching a freshly planned run.
+    let (x, mut factors) = setup(0x9F1A_0004);
+    let pool = ThreadPool::new(3);
+    let mut plans = MttkrpPlanSet::new(&pool, &DIMS, C, AlgoChoice::Heuristic);
+    for sweep in 0..3 {
+        for v in factors.iter_mut().flat_map(|f| f.iter_mut()) {
+            *v = 0.5 * *v + 0.1;
+        }
+        let frefs = refs(&factors);
+        for n in 0..DIMS.len() {
+            let mut cached = vec![0.0; DIMS[n] * C];
+            plans.execute(&pool, &x, &frefs, n, &mut cached);
+            let mut fresh_plan = MttkrpPlan::new(&pool, &DIMS, C, n, AlgoChoice::Heuristic);
+            let mut fresh = vec![0.0; DIMS[n] * C];
+            fresh_plan.execute(&pool, &x, &frefs, &mut fresh);
+            assert_eq!(cached, fresh, "sweep={sweep} n={n}");
+        }
+    }
+}
