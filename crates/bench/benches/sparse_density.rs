@@ -1,0 +1,44 @@
+//! Sparse MTTKRP density sweep: steady-state planned CSF execution per
+//! mode at several densities of a 3-way tensor, against the dense
+//! planned kernel on the same shape. Shows where the compressed-fiber
+//! walk crosses over the dense BLAS path as the tensor fills in.
+
+use mttkrp_bench::{BenchGroup, MttkrpFixture, RANK};
+use mttkrp_core::{AlgoChoice, MttkrpPlan};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_sparse::{CsfTensor, SparseMttkrpPlan};
+use mttkrp_workloads::random_sparse;
+
+const ENTRIES: usize = 2_000_000;
+const DENSITIES: [f64; 3] = [1e-3, 1e-2, 1e-1];
+
+fn main() {
+    let pool = ThreadPool::host();
+    let fx = MttkrpFixture::equal(3, ENTRIES);
+    let refs = fx.refs();
+    let total: usize = fx.dims.iter().product();
+
+    for &density in &DENSITIES {
+        let nnz = ((total as f64 * density) as usize).max(1);
+        let coo = random_sparse(&fx.dims, nnz, 0xBE1);
+        let csf = CsfTensor::from_coo(&coo);
+        let group = BenchGroup::new(format!("sparse_density/d{density}"));
+        for n in 0..fx.dims.len() {
+            let mut plan = SparseMttkrpPlan::new(&pool, &csf, RANK, n);
+            let mut out = vec![0.0; fx.dims[n] * RANK];
+            group.bench(&format!("csf_planned/{n}"), || {
+                plan.execute(&pool, &csf, &refs, &mut out)
+            });
+        }
+    }
+
+    // Dense reference at density 1.
+    let group = BenchGroup::new("sparse_density/dense_ref");
+    for n in 0..fx.dims.len() {
+        let mut plan = MttkrpPlan::new(&pool, &fx.dims, RANK, n, AlgoChoice::Heuristic);
+        let mut out = vec![0.0; fx.dims[n] * RANK];
+        group.bench(&format!("dense_planned/{n}"), || {
+            plan.execute(&pool, &fx.x, &refs, &mut out)
+        });
+    }
+}

@@ -24,6 +24,11 @@
 //!   wrappers over one-shot plans; iterative drivers (CP-ALS) hold a
 //!   [`plan::MttkrpPlanSet`] instead and pay no per-iteration
 //!   allocation.
+//! * [`backend::MttkrpBackend`] — the storage-generic contract CP
+//!   drivers are written against: shape/norm queries plus planned
+//!   per-mode MTTKRP execution. Implemented here for the dense tensor
+//!   (planned kernels or the explicit baseline) and by `mttkrp-sparse`
+//!   for compressed-sparse-fiber tensors.
 //!
 //! All variants share conventions: factor matrices and the output are
 //! **row-major** `I_k × C` buffers, and the KRP factor order for mode
@@ -58,6 +63,7 @@
 //! assert_eq!(m[0], (0..24).filter(|i| (i / 4) % 3 == 0).sum::<usize>() as f64);
 //! ```
 
+pub mod backend;
 pub mod baseline;
 pub mod breakdown;
 pub mod dispatch;
@@ -67,6 +73,7 @@ pub mod oracle;
 pub mod plan;
 pub mod twostep;
 
+pub use backend::{DensePlans, MttkrpBackend};
 pub use baseline::{mttkrp_explicit, mttkrp_explicit_timed};
 pub use breakdown::Breakdown;
 pub use dispatch::{mttkrp_auto, mttkrp_auto_timed, ModeKind};

@@ -838,15 +838,8 @@ mod tests {
     use crate::{mttkrp_1step, mttkrp_2step, mttkrp_auto};
 
     fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        (0..n)
-            .map(|_| {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
-            })
-            .collect()
+        let mut rng = mttkrp_rng::Rng64::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_f64() - 0.5).collect()
     }
 
     fn setup(dims: &[usize], c: usize) -> (DenseTensor, Vec<Vec<f64>>) {

@@ -1,10 +1,15 @@
 //! The CP-ALS driver (§2.2) with selectable MTTKRP kernels.
+//!
+//! [`cp_als`] is generic over [`MttkrpBackend`]: the same sweep runs on
+//! a dense tensor (planned 1-step/2-step kernels or the explicit
+//! baseline) or on a `mttkrp_sparse::CsfTensor` (planned tree-walk
+//! kernel) — the driver only ever asks the backend for its shape, its
+//! norm, and a planned mode-`n` MTTKRP.
 
 use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
-use mttkrp_core::{mttkrp_explicit_timed, AlgoChoice, Breakdown, MttkrpPlanSet, TwoStepSide};
+use mttkrp_core::{AlgoChoice, Breakdown, MttkrpBackend, TwoStepSide};
 use mttkrp_linalg::sym_pinv;
 use mttkrp_parallel::ThreadPool;
-use mttkrp_tensor::DenseTensor;
 
 use crate::gram::{gram, hadamard_excluding};
 use crate::model::KruskalModel;
@@ -101,9 +106,13 @@ impl CpAlsReport {
 /// order, MTTKRP → Hadamard of Grams → pseudoinverse solve → column
 /// normalization, with the fit evaluated from the last mode's MTTKRP
 /// without forming the residual tensor.
-pub fn cp_als(
+///
+/// Generic over the tensor storage: pass a `DenseTensor` or a
+/// `mttkrp_sparse::CsfTensor` (any [`MttkrpBackend`]). Backends
+/// without selectable kernels ignore [`CpAlsOptions::strategy`].
+pub fn cp_als<X: MttkrpBackend>(
     pool: &ThreadPool,
-    x: &DenseTensor,
+    x: &X,
     init: KruskalModel,
     opts: &CpAlsOptions,
 ) -> (KruskalModel, CpAlsReport) {
@@ -137,12 +146,10 @@ pub fn cp_als(
     let mut prev_fit = f64::NEG_INFINITY;
 
     // One plan per mode, built once and reused every sweep: algorithm
-    // choice, partition schedule, and workspaces are fixed by shape, so
-    // the per-iteration MTTKRP path performs no heap allocation.
-    let mut plans: Option<MttkrpPlanSet> = opts
-        .strategy
-        .algo_choice()
-        .map(|choice| MttkrpPlanSet::new(pool, &dims, c, choice));
+    // choice, partition schedule, and workspaces are fixed by the
+    // backend's structure, so the per-iteration MTTKRP path performs no
+    // heap allocation.
+    let mut plans = x.plan_modes(pool, c, opts.strategy.algo_choice());
 
     let mut last_mode_m = vec![0.0; dims[nmodes - 1] * c];
     for _iter in 0..opts.max_iters {
@@ -152,10 +159,7 @@ pub fn cp_als(
             let m = &mut m_buf[..rows * c];
             let bd = {
                 let refs = model.factor_refs();
-                match plans.as_mut() {
-                    Some(plans) => plans.execute_timed(pool, x, &refs, n, m),
-                    None => mttkrp_explicit_timed(pool, x, &refs, n, m),
-                }
+                x.mttkrp_planned(&mut plans, pool, &refs, n, m)
             };
             report.mttkrp_time += bd.total;
             report.breakdown.accumulate(&bd);
@@ -229,6 +233,7 @@ pub(crate) fn solve_factor_update(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mttkrp_tensor::DenseTensor;
 
     fn planted_tensor(dims: &[usize], rank: usize, seed: u64) -> DenseTensor {
         KruskalModel::random(dims, rank, seed).to_dense()

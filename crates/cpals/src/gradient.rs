@@ -11,7 +11,7 @@
 //! two-GEMM shared-partial evaluation applies directly.
 
 use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
-use mttkrp_core::AllModesPlan;
+use mttkrp_core::{AlgoChoice, AllModesPlan, MttkrpBackend};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
@@ -24,26 +24,86 @@ use crate::model::KruskalModel;
 ///
 /// Returns `(f, [∂f/∂U_0, …])` with each gradient row-major `I_n × C`.
 ///
-/// Thin wrapper over [`cp_gradient_planned`] with a one-shot
-/// [`AllModesPlan`]; optimizers evaluating many gradients should hold
-/// the plan (and gradient buffers) across evaluations instead.
+/// Generic over the tensor storage ([`MttkrpBackend`]): the gradient
+/// needs only the `N` planned mode-wise MTTKRPs plus `‖X‖²`, so it runs
+/// unchanged on dense or CSF tensors. Dense optimizers evaluating many
+/// gradients at the same shape should hold an [`AllModesPlan`] and call
+/// [`cp_gradient_planned`] instead — it additionally shares the 2-GEMM
+/// partial across modes.
 ///
 /// # Panics
 /// Panics if the model's λ is not identically 1 (fold weights into a
 /// factor first) or shapes mismatch.
-pub fn cp_gradient(
+pub fn cp_gradient<X: MttkrpBackend>(
     pool: &ThreadPool,
-    x: &DenseTensor,
+    x: &X,
     model: &KruskalModel,
 ) -> (f64, Vec<Vec<f64>>) {
-    let mut plan = AllModesPlan::new(x.dims(), model.rank());
-    let mut grads: Vec<Vec<f64>> = x
-        .dims()
-        .iter()
-        .map(|&d| vec![0.0; d * model.rank()])
-        .collect();
-    let f = cp_gradient_planned(pool, x, model, &mut plan, &mut grads);
+    assert!(
+        model.lambda.iter().all(|&l| l == 1.0),
+        "fold λ into a factor before calling cp_gradient"
+    );
+    let dims = x.dims().to_vec();
+    let c = model.rank();
+    assert_eq!(model.dims(), &dims[..], "model shape must match tensor");
+
+    let refs = model.factor_refs();
+    let mut plans = x.plan_modes(pool, c, Some(AlgoChoice::Heuristic));
+    let mut grads: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d * c]).collect();
+    for (n, g) in grads.iter_mut().enumerate() {
+        x.mttkrp_planned(&mut plans, pool, &refs, n, g);
+    }
+
+    let norm_x = x.norm();
+    let f = finish_gradient(model, &dims, norm_x * norm_x, &mut grads);
     (f, grads)
+}
+
+/// Shared tail of both gradient entry points. Precondition: `grads[n]`
+/// holds the mode-`n` MTTKRP `M_n`. Applies `G_n = U_n·H − M_n` with
+/// `H = ⊛_{k≠n} G_k` in place and returns the objective
+/// `½(‖X‖² − 2⟨X,Y⟩ + ‖Y‖²).max(0)`, with `⟨X,Y⟩` read from the last
+/// mode's MTTKRP before it is consumed.
+fn finish_gradient(
+    model: &KruskalModel,
+    dims: &[usize],
+    norm_x_sq: f64,
+    grads: &mut [Vec<f64>],
+) -> f64 {
+    let nmodes = dims.len();
+    let c = model.rank();
+    let refs = model.factor_refs();
+    let grams: Vec<Vec<f64>> = model
+        .factors
+        .iter()
+        .zip(dims)
+        .map(|(f, &d)| gram(f, d, c))
+        .collect();
+
+    let inner: f64 = {
+        let n = nmodes - 1;
+        let u = &model.factors[n];
+        u.iter().zip(&grads[n]).map(|(a, b)| a * b).sum()
+    };
+
+    for n in 0..nmodes {
+        let rows = dims[n];
+        let g = &mut grads[n];
+        assert_eq!(g.len(), rows * c, "gradient buffer {n} must be I_n × C");
+        // G_n = U_n·H − M_n  (H symmetric).
+        let h = hadamard_excluding(&grams, n, c);
+        let hv = MatRef::from_slice(&h, c, c, Layout::ColMajor);
+        gemm(
+            1.0,
+            refs[n],
+            hv,
+            -1.0,
+            MatMut::from_slice(g, rows, c, Layout::RowMajor),
+        );
+    }
+
+    let f = 0.5 * (norm_x_sq - 2.0 * inner + model.norm_sq());
+    f.max(0.0)
 }
 
 /// [`cp_gradient`] against caller-held state: the all-modes MTTKRP plan
@@ -74,39 +134,13 @@ pub fn cp_gradient_planned(
 
     let refs = model.factor_refs();
     let mttkrps = plan.execute(pool, x, &refs);
-    let grams: Vec<Vec<f64>> = model
-        .factors
-        .iter()
-        .zip(&dims)
-        .map(|(f, &d)| gram(f, d, c))
-        .collect();
-
-    for n in 0..nmodes {
-        let rows = dims[n];
-        let h = hadamard_excluding(&grams, n, c);
-        // G_n = U_n·H − M_n  (H symmetric).
-        let g = &mut grads[n];
-        assert_eq!(g.len(), rows * c, "gradient buffer {n} must be I_n × C");
+    for (n, g) in grads.iter_mut().enumerate() {
+        assert_eq!(g.len(), dims[n] * c, "gradient buffer {n} must be I_n × C");
         g.copy_from_slice(&mttkrps[n]);
-        let hv = MatRef::from_slice(&h, c, c, Layout::ColMajor);
-        gemm(
-            1.0,
-            refs[n],
-            hv,
-            -1.0,
-            MatMut::from_slice(g, rows, c, Layout::RowMajor),
-        );
     }
 
-    // f = ½(‖X‖² − 2⟨X,Y⟩ + ‖Y‖²), with ⟨X,Y⟩ from any mode's MTTKRP.
-    let inner: f64 = {
-        let n = nmodes - 1;
-        let u = &model.factors[n];
-        u.iter().zip(&mttkrps[n]).map(|(a, b)| a * b).sum()
-    };
     let norm_x_sq = x.data().iter().map(|v| v * v).sum::<f64>();
-    let f = 0.5 * (norm_x_sq - 2.0 * inner + model.norm_sq());
-    f.max(0.0)
+    finish_gradient(model, &dims, norm_x_sq, grads)
 }
 
 #[cfg(test)]

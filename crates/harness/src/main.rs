@@ -11,6 +11,7 @@
 //! mttkrp-harness --fig6            # MTTKRP phase breakdowns
 //! mttkrp-harness --fig7            # CP-ALS per-iteration, ours vs TTB-style
 //! mttkrp-harness --fig8            # breakdowns on the fMRI tensors
+//! mttkrp-harness --sparse          # sparse CSF MTTKRP vs density sweep
 //! mttkrp-harness --ext-dimtree     # future-work: dimension-tree CP-ALS
 //! mttkrp-harness --all             # everything
 //! mttkrp-harness --all --scale medium   # small (default) | medium | paper
@@ -23,6 +24,7 @@ mod fig6;
 mod fig7;
 mod fig8;
 mod scale;
+mod sparse;
 mod util;
 
 use scale::Scale;
@@ -79,6 +81,10 @@ fn main() {
         fig8::run(scale);
         ran = true;
     }
+    if want("--sparse") {
+        sparse::run(scale);
+        ran = true;
+    }
     if want("--ext-dimtree") {
         extension::run(scale);
         ran = true;
@@ -92,6 +98,6 @@ fn main() {
 fn print_help() {
     println!(
         "usage: mttkrp-harness [--fig4] [--fig5] [--fig6] [--fig7] [--fig8] \
-         [--ext-dimtree] [--all] [--scale small|medium|paper]"
+         [--sparse] [--ext-dimtree] [--all] [--scale small|medium|paper]"
     );
 }

@@ -27,6 +27,16 @@ impl Scale {
         }
     }
 
+    /// Dense-equivalent entry count of the sparse MTTKRP sweep tensors
+    /// (the density ladder stores a small fraction of these).
+    pub fn sparse_entries(self) -> usize {
+        match self {
+            Scale::Small => 1_000_000,
+            Scale::Medium => 8_000_000,
+            Scale::Paper => 64_000_000,
+        }
+    }
+
     /// Output rows of the Figure 4 KRP experiment (paper: ≈2·10⁷).
     pub fn krp_rows(self) -> usize {
         match self {

@@ -1,0 +1,71 @@
+//! Sparse MTTKRP sweep (Figure 5-style): planned CSF MTTKRP time per
+//! mode across a density ladder for 3rd- and 4th-order tensors, with
+//! the dense planned kernel on the same shape as the crossover
+//! reference. Where the sparse time beats the dense time, the CSF path
+//! wins despite its irregular access — the expected regime for the low
+//! densities real CP workloads live at.
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_core::{AlgoChoice, MttkrpPlan};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_sparse::{CsfTensor, SparseMttkrpPlan};
+use mttkrp_tensor::DenseTensor;
+use mttkrp_workloads::{equal_dims, random_factors, random_sparse};
+
+use crate::scale::Scale;
+use crate::util::{fmt_s, time_median};
+
+pub const C: usize = 25;
+
+/// Densities swept (fraction of stored entries).
+const DENSITIES: [f64; 3] = [1e-3, 1e-2, 5e-2];
+
+pub fn run(scale: Scale) {
+    println!("## Sparse MTTKRP: planned CSF kernel vs density (C = {C})");
+    let pool = ThreadPool::host();
+
+    for nmodes in [3usize, 4] {
+        let dims = equal_dims(nmodes, scale.sparse_entries());
+        let total: usize = dims.iter().product();
+        println!("\n### N = {nmodes}: dims = {dims:?} ({total} dense entries)");
+        println!("series,density,nnz,seconds,source");
+
+        let factors = random_factors(&dims, C, nmodes as u64 + 100);
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, C, Layout::RowMajor))
+            .collect();
+
+        for &density in &DENSITIES {
+            let nnz_target = ((total as f64 * density) as usize).max(1);
+            let coo = random_sparse(&dims, nnz_target, 0xD0 + nmodes as u64);
+            let csf = CsfTensor::from_coo(&coo);
+            for n in 0..nmodes {
+                let mut plan = SparseMttkrpPlan::new(&pool, &csf, C, n);
+                let mut out = vec![0.0; dims[n] * C];
+                let ts = time_median(scale.trials(), || {
+                    plan.execute(&pool, &csf, &refs, &mut out)
+                });
+                println!("CSF n={n},{density},{},{},measured", csf.nnz(), fmt_s(ts));
+            }
+        }
+
+        // Dense reference: the planned heuristic kernel on a same-shape
+        // dense tensor (density 1, every entry stored).
+        let mut k = 77u64;
+        let x = DenseTensor::from_fn(&dims, || {
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((k >> 40) as f64) * 2e-8 - 0.5
+        });
+        for n in 0..nmodes {
+            let mut plan = MttkrpPlan::new(&pool, &dims, C, n, AlgoChoice::Heuristic);
+            let mut out = vec![0.0; dims[n] * C];
+            let td = time_median(scale.trials(), || plan.execute(&pool, &x, &refs, &mut out));
+            println!("Dense n={n},1,{total},{},measured", fmt_s(td));
+        }
+    }
+    println!();
+}

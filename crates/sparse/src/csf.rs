@@ -1,0 +1,321 @@
+//! Compressed sparse fiber (CSF) storage with per-mode orderings.
+//!
+//! CSF stores the nonzeros of an `N`-way tensor as a forest of depth-`N`
+//! paths with shared prefixes: level 0 holds the distinct root-mode
+//! indices, level `d` holds one node per distinct `(i_{m_0}, …, i_{m_d})`
+//! prefix, and the leaves carry the values. A fiber at depth `d` is the
+//! contiguous range of depth-`d+1` nodes below one node, addressed by
+//! `fptr`. This is the layout SPLATT introduced for sparse MTTKRP and
+//! the one the related multicore work (Dynasor, out-of-memory MTTKRP)
+//! builds on: walking a subtree reuses the factor rows of every shared
+//! prefix instead of recomputing an `N−1`-way Hadamard product per
+//! nonzero.
+//!
+//! [`CsfTensor`] keeps **one tree per mode**, each rooted at that mode
+//! (the remaining modes follow in ascending order). The mode-`n` MTTKRP
+//! then walks the mode-`n` tree: every output row is owned by exactly
+//! one root fiber, so a static partition over root fibers never writes
+//! a row from two threads, and the per-level partial sums implement the
+//! prefix reuse. The memory cost is `N` copies of the value array plus
+//! the (smaller) fiber index arrays — the classic "allmode" CSF
+//! trade-off, which this repo accepts to keep every mode's kernel
+//! allocation-free and race-free.
+
+use mttkrp_tensor::DenseTensor;
+
+use crate::coo::CooTensor;
+
+/// One CSF tree: the nonzeros ordered with `order[0]` as the root mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsfTree {
+    /// Mode permutation: `order[d]` is the tensor mode stored at tree
+    /// depth `d`; `order[0]` is the root (output) mode.
+    pub(crate) order: Vec<usize>,
+    /// `fids[d][j]`: the mode-`order[d]` index of node `j` at depth `d`.
+    pub(crate) fids: Vec<Vec<usize>>,
+    /// `fptr[d][j] .. fptr[d][j+1]`: children of node `j` (depth `d`)
+    /// within level `d+1`. One entry per node plus a trailing sentinel;
+    /// `fptr.len() == order.len() - 1`.
+    pub(crate) fptr: Vec<Vec<usize>>,
+    /// Values, aligned with the deepest level's nodes (one per nonzero).
+    pub(crate) vals: Vec<f64>,
+}
+
+impl CsfTree {
+    /// The mode permutation (root first).
+    #[inline]
+    pub fn mode_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of root fibers (distinct root-mode indices with any
+    /// nonzero).
+    #[inline]
+    pub fn num_root_fibers(&self) -> usize {
+        self.fids[0].len()
+    }
+
+    /// Number of nodes at depth `d`.
+    #[inline]
+    pub fn level_len(&self, d: usize) -> usize {
+        self.fids[d].len()
+    }
+
+    /// The stored values in this tree's depth-first order (one per
+    /// nonzero; a permutation of every other tree's values).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Nonzeros stored under each root fiber, in root-fiber order —
+    /// the load measure the plan's static partition balances.
+    pub fn root_fiber_nnz(&self) -> Vec<usize> {
+        let depth = self.fids.len();
+        // Fold leaf counts upward one level at a time.
+        let mut counts: Vec<usize> = vec![1; self.fids[depth - 1].len()];
+        for d in (0..depth - 1).rev() {
+            let ptr = &self.fptr[d];
+            counts = (0..self.fids[d].len())
+                .map(|j| counts[ptr[j]..ptr[j + 1]].iter().sum())
+                .collect();
+        }
+        counts
+    }
+}
+
+/// A sparse tensor in per-mode CSF form, ready for MTTKRP on any mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsfTensor {
+    dims: Vec<usize>,
+    nnz: usize,
+    trees: Vec<CsfTree>,
+}
+
+impl CsfTensor {
+    /// Compress a canonical COO tensor into one CSF tree per mode.
+    pub fn from_coo(coo: &CooTensor) -> Self {
+        let dims = coo.dims().to_vec();
+        let nm = dims.len();
+        let trees = (0..nm)
+            .map(|n| {
+                let mut order = Vec::with_capacity(nm);
+                order.push(n);
+                order.extend((0..nm).filter(|&m| m != n));
+                build_tree(coo, order)
+            })
+            .collect();
+        CsfTensor {
+            dims,
+            nnz: coo.nnz(),
+            trees,
+        }
+    }
+
+    /// Decompress back to canonical COO form (inverse of
+    /// [`CsfTensor::from_coo`]).
+    pub fn to_coo(&self) -> CooTensor {
+        let t = &self.trees[0];
+        let nm = self.dims.len();
+        let mut inds = Vec::with_capacity(self.nnz * nm);
+        let mut vals = Vec::with_capacity(self.nnz);
+        let mut idx = vec![0usize; nm];
+        walk_collect(t, 0, 0..t.fids[0].len(), &mut idx, &mut inds, &mut vals);
+        CooTensor::from_entries(&self.dims, inds, vals)
+    }
+
+    /// Sparsify a dense tensor straight into CSF (entries with
+    /// `|x| > threshold`).
+    pub fn from_dense(x: &DenseTensor, threshold: f64) -> Self {
+        Self::from_coo(&CooTensor::from_dense(x, threshold))
+    }
+
+    /// Tensor dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The tree rooted at mode `n` (the one mode-`n` MTTKRP walks).
+    #[inline]
+    pub fn tree(&self, n: usize) -> &CsfTree {
+        &self.trees[n]
+    }
+
+    /// Frobenius norm of the stored values.
+    pub fn norm(&self) -> f64 {
+        self.trees[0]
+            .vals
+            .iter()
+            .map(|&v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Build one tree: sort entry ids lexicographically under `order`, then
+/// emit a node at depth `d` whenever the prefix `(i_{m_0}, …, i_{m_d})`
+/// changes.
+fn build_tree(coo: &CooTensor, order: Vec<usize>) -> CsfTree {
+    let nm = order.len();
+    let nnz = coo.nnz();
+    let mut perm: Vec<usize> = (0..nnz).collect();
+    perm.sort_by(|&a, &b| {
+        let (ia, ib) = (coo.index(a), coo.index(b));
+        for &m in &order {
+            match ia[m].cmp(&ib[m]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    let mut fids: Vec<Vec<usize>> = vec![Vec::new(); nm];
+    let mut fptr: Vec<Vec<usize>> = vec![Vec::new(); nm - 1];
+    let mut vals = Vec::with_capacity(nnz);
+    for &e in &perm {
+        let idx = coo.index(e);
+        // Once one level diverges from the previous entry's path, every
+        // deeper level starts a fresh node.
+        let mut diverged = fids[0].is_empty();
+        for d in 0..nm {
+            let i = idx[order[d]];
+            if !diverged && *fids[d].last().unwrap() != i {
+                diverged = true;
+            }
+            if diverged {
+                if d + 1 < nm {
+                    fptr[d].push(fids[d + 1].len());
+                }
+                fids[d].push(i);
+            }
+        }
+        vals.push(coo.value(e));
+    }
+    for d in 0..nm - 1 {
+        fptr[d].push(fids[d + 1].len());
+    }
+
+    CsfTree {
+        order,
+        fids,
+        fptr,
+        vals,
+    }
+}
+
+/// Depth-first reconstruction of `(multi-index, value)` entries.
+fn walk_collect(
+    t: &CsfTree,
+    depth: usize,
+    range: std::ops::Range<usize>,
+    idx: &mut [usize],
+    inds: &mut Vec<usize>,
+    vals: &mut Vec<f64>,
+) {
+    let leaf = depth == t.fids.len() - 1;
+    for j in range {
+        idx[t.order[depth]] = t.fids[depth][j];
+        if leaf {
+            inds.extend_from_slice(idx);
+            vals.push(t.vals[j]);
+        } else {
+            walk_collect(
+                t,
+                depth + 1,
+                t.fptr[depth][j]..t.fptr[depth][j + 1],
+                idx,
+                inds,
+                vals,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooTensor {
+        // 3 x 2 x 2 tensor with 4 nonzeros, two sharing a root fiber
+        // in mode 0.
+        CooTensor::from_entries(
+            &[3, 2, 2],
+            vec![
+                0, 1, 0, //
+                2, 0, 1, //
+                0, 0, 1, //
+                1, 1, 1,
+            ],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn tree_structure_mode0() {
+        let csf = CsfTensor::from_coo(&sample_coo());
+        let t = csf.tree(0);
+        assert_eq!(t.mode_order(), &[0, 1, 2]);
+        // Root fibers: i0 ∈ {0, 1, 2}.
+        assert_eq!(t.fids[0], vec![0, 1, 2]);
+        assert_eq!(t.num_root_fibers(), 3);
+        // i0 = 0 has two children fibers (j = 0 and j = 1).
+        assert_eq!(t.fptr[0], vec![0, 2, 3, 4]);
+        assert_eq!(t.fids[1], vec![0, 1, 1, 0]);
+        // Leaves carry one node per nonzero.
+        assert_eq!(t.level_len(2), 4);
+        assert_eq!(t.root_fiber_nnz(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn every_mode_tree_holds_all_values() {
+        let coo = sample_coo();
+        let csf = CsfTensor::from_coo(&coo);
+        for n in 0..3 {
+            let t = csf.tree(n);
+            assert_eq!(t.mode_order()[0], n);
+            assert_eq!(t.vals.len(), coo.nnz());
+            let sum: f64 = t.vals.iter().sum();
+            assert!((sum - 10.0).abs() < 1e-12, "mode {n}");
+            assert_eq!(t.root_fiber_nnz().iter().sum::<usize>(), coo.nnz());
+        }
+    }
+
+    #[test]
+    fn coo_round_trip_is_identity() {
+        let coo = sample_coo();
+        let back = CsfTensor::from_coo(&coo).to_coo();
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn from_dense_matches_coo_path() {
+        let x = sample_coo().to_dense();
+        let a = CsfTensor::from_dense(&x, 0.0);
+        let b = CsfTensor::from_coo(&CooTensor::from_dense(&x, 0.0));
+        assert_eq!(a, b);
+        assert!((a.norm() - x.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tensor_is_representable() {
+        let coo = CooTensor::from_entries(&[3, 3], Vec::new(), Vec::new());
+        let csf = CsfTensor::from_coo(&coo);
+        assert_eq!(csf.nnz(), 0);
+        assert_eq!(csf.tree(0).num_root_fibers(), 0);
+        assert_eq!(csf.to_coo(), coo);
+    }
+}

@@ -1,0 +1,60 @@
+//! Sparse tensor subsystem: COO ingestion, per-mode compressed sparse
+//! fiber (CSF) storage, and planned parallel sparse MTTKRP.
+//!
+//! Most real CP-ALS workloads are sparse; this crate opens them up
+//! without touching the dense machinery. It mirrors the dense design
+//! point for point:
+//!
+//! * [`CooTensor`] — the ingestion/interchange type: a sorted,
+//!   deduplicated (by summation), bounds-validated coordinate list.
+//!   Disk codecs, generators, and densification all speak COO.
+//! * [`CsfTensor`] — one compressed-sparse-fiber tree per mode, each
+//!   rooted at that mode, so every mode's MTTKRP walks a tree whose
+//!   root fibers own disjoint output rows (SPLATT's "allmode" layout).
+//! * [`SparseMttkrpPlan`] / [`SparseMttkrpPlanSet`] — the plan/executor
+//!   split: nnz-balanced static partitioning of root fibers over the
+//!   `mttkrp_parallel::ThreadPool`, per-thread accumulators held in a
+//!   reusable `Workspace` arena and merged by the existing
+//!   element-range reduction. Zero steady-state heap allocation at one
+//!   thread, no mutexes or atomics on the hot loop.
+//! * `impl mttkrp_core::MttkrpBackend for CsfTensor` — the CP drivers
+//!   in `mttkrp-cpals` (`cp_als`, `cp_gradient`) run unchanged on
+//!   either dense or CSF tensors through the backend trait.
+//!
+//! # Example
+//!
+//! ```
+//! use mttkrp_blas::{Layout, MatRef};
+//! use mttkrp_parallel::ThreadPool;
+//! use mttkrp_sparse::{sparse_mttkrp, CooTensor, CsfTensor};
+//!
+//! // 3 nonzeros of a 3 x 2 x 2 tensor, given in any order.
+//! let coo = CooTensor::from_entries(
+//!     &[3, 2, 2],
+//!     vec![2, 1, 1, /**/ 0, 0, 0, /**/ 2, 1, 0],
+//!     vec![5.0, 1.0, 2.0],
+//! );
+//! let csf = CsfTensor::from_coo(&coo);
+//! let dims = [3usize, 2, 2];
+//! let c = 2;
+//! let factors: Vec<Vec<f64>> = dims.iter().map(|&d| vec![1.0; d * c]).collect();
+//! let refs: Vec<MatRef> = factors
+//!     .iter()
+//!     .zip(&dims)
+//!     .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+//!     .collect();
+//! let pool = ThreadPool::new(2);
+//! let mut m = vec![0.0; dims[0] * c];
+//! sparse_mttkrp(&pool, &csf, &refs, 0, &mut m);
+//! // All-ones factors: row i sums the nonzeros of slice X(i, :, :).
+//! assert_eq!(m[0], 1.0);
+//! assert_eq!(m[2 * c], 7.0);
+//! ```
+
+pub mod coo;
+pub mod csf;
+pub mod mttkrp;
+
+pub use coo::CooTensor;
+pub use csf::{CsfTensor, CsfTree};
+pub use mttkrp::{sparse_mttkrp, SparseMttkrpPlan, SparseMttkrpPlanSet};

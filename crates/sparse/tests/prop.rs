@@ -1,0 +1,136 @@
+//! Seeded property tests for the sparse storage pipeline: COO
+//! canonicalization (sorting, dedup-by-sum, validation), COO → CSF →
+//! COO round-tripping, and per-mode ordering/value preservation.
+//! Cases are generated from a fixed-seed [`mttkrp_rng::Rng64`] stream
+//! so failures reproduce.
+
+use mttkrp_rng::Rng64;
+use mttkrp_sparse::{CooTensor, CsfTensor};
+use mttkrp_tensor::{linear_index, DenseTensor};
+
+struct Case {
+    dims: Vec<usize>,
+    inds: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+/// A random entry list with deliberate duplicates (each drawn
+/// coordinate is repeated with probability ~1/4).
+fn rand_case(rng: &mut Rng64) -> Case {
+    let order = rng.usize_in(2, 6);
+    let dims: Vec<usize> = (0..order).map(|_| rng.usize_in(1, 7)).collect();
+    let total: usize = dims.iter().product();
+    let draws = rng.usize_in(0, 2 * total + 2);
+    let mut inds = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..draws {
+        let idx: Vec<usize> = dims.iter().map(|&d| rng.usize_below(d)).collect();
+        let mut reps = 1;
+        if rng.usize_below(4) == 0 {
+            reps += rng.usize_in(1, 3);
+        }
+        for _ in 0..reps {
+            inds.extend_from_slice(&idx);
+            vals.push(rng.next_f64() - 0.5);
+        }
+    }
+    Case { dims, inds, vals }
+}
+
+/// Accumulate the raw entry list densely — the semantics COO
+/// construction must reproduce.
+fn dense_oracle(case: &Case) -> DenseTensor {
+    let nm = case.dims.len();
+    let mut x = DenseTensor::zeros(&case.dims);
+    for (k, &v) in case.vals.iter().enumerate() {
+        let idx = &case.inds[k * nm..(k + 1) * nm];
+        let prev = x.get(idx);
+        x.set(idx, prev + v);
+    }
+    x
+}
+
+#[test]
+fn coo_canonicalization_sorts_dedups_and_preserves_sums() {
+    let mut rng = Rng64::seed_from_u64(0x5AB5_0001);
+    for case_idx in 0..60 {
+        let case = rand_case(&mut rng);
+        let coo = CooTensor::from_entries(&case.dims, case.inds.clone(), case.vals.clone());
+        let tag = format!("case {case_idx}: dims {:?}", case.dims);
+
+        // Sorted strictly ascending by linear position ⇒ sorted and
+        // duplicate-free in one check.
+        let positions: Vec<usize> = (0..coo.nnz())
+            .map(|k| linear_index(&case.dims, coo.index(k)))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{tag}");
+
+        // Dedup-by-sum: densification matches accumulating the raw
+        // entry list (bitwise would over-constrain the merge order, so
+        // compare to 1e-12; values are O(1)).
+        let want = dense_oracle(&case);
+        let got = coo.to_dense();
+        for (a, b) in got.data().iter().zip(want.data()) {
+            assert!((a - b).abs() <= 1e-12, "{tag}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn coo_csf_coo_round_trip_is_identity() {
+    let mut rng = Rng64::seed_from_u64(0x5AB5_0002);
+    for case_idx in 0..60 {
+        let case = rand_case(&mut rng);
+        let coo = CooTensor::from_entries(&case.dims, case.inds, case.vals);
+        let csf = CsfTensor::from_coo(&coo);
+        let back = csf.to_coo();
+        assert_eq!(back, coo, "case {case_idx}: dims {:?}", case.dims);
+    }
+}
+
+#[test]
+fn per_mode_orderings_preserve_values_and_structure() {
+    let mut rng = Rng64::seed_from_u64(0x5AB5_0003);
+    for case_idx in 0..40 {
+        let case = rand_case(&mut rng);
+        let coo = CooTensor::from_entries(&case.dims, case.inds, case.vals);
+        let csf = CsfTensor::from_coo(&coo);
+        let tag = format!("case {case_idx}: dims {:?}", case.dims);
+        assert_eq!(csf.nnz(), coo.nnz(), "{tag}");
+        for n in 0..csf.order() {
+            let t = csf.tree(n);
+            // The mode-n tree is rooted at mode n and covers every mode
+            // exactly once.
+            assert_eq!(t.mode_order()[0], n, "{tag}");
+            let mut seen = t.mode_order().to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..csf.order()).collect::<Vec<_>>(), "{tag}");
+            // Every ordering is a permutation of the same nonzeros: the
+            // leaf level has one node per entry and the multiset of
+            // values is preserved (checked through sum and sum of
+            // squares, which the reordering must leave bitwise alike).
+            assert_eq!(t.level_len(csf.order() - 1), coo.nnz(), "{tag} mode {n}");
+            assert_eq!(
+                t.root_fiber_nnz().iter().sum::<usize>(),
+                coo.nnz(),
+                "{tag} mode {n}"
+            );
+            // Root fiber ids are the distinct mode-n indices, ascending.
+            let roots: Vec<usize> = (0..coo.nnz()).map(|k| coo.index(k)[n]).collect();
+            let mut distinct = roots.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(t.num_root_fibers(), distinct.len(), "{tag} mode {n}");
+        }
+        // The value multiset survives every per-mode reordering
+        // (checked through sorted value lists, which a permutation must
+        // preserve exactly).
+        let mut want = coo.values().to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for n in 0..csf.order() {
+            let mut got = csf.tree(n).values().to_vec();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got, want, "{tag} mode {n}");
+        }
+    }
+}

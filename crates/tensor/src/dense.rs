@@ -110,14 +110,31 @@ impl DenseTensor {
     }
 
     /// Entry at a multi-index.
+    ///
+    /// Debug builds assert the index arity matches [`Self::order`]; a
+    /// wrong-length index would otherwise silently linearize against a
+    /// prefix of the shape.
     #[inline]
     pub fn get(&self, idx: &[usize]) -> f64 {
+        debug_assert_eq!(
+            idx.len(),
+            self.order(),
+            "index arity must match the tensor order"
+        );
         self.data[self.info.linear(idx)]
     }
 
     /// Write the entry at a multi-index.
+    ///
+    /// Debug builds assert the index arity matches [`Self::order`],
+    /// like [`Self::get`].
     #[inline]
     pub fn set(&mut self, idx: &[usize], v: f64) {
+        debug_assert_eq!(
+            idx.len(),
+            self.order(),
+            "index arity must match the tensor order"
+        );
         let ell = self.info.linear(idx);
         self.data[ell] = v;
     }
@@ -320,5 +337,25 @@ mod tests {
     #[should_panic]
     fn from_vec_wrong_len_panics() {
         let _ = DenseTensor::from_vec(&[2, 2], vec![0.0; 5]);
+    }
+
+    // Regression: a wrong-arity index used to silently linearize
+    // against a prefix of the shape (e.g. `get(&[1, 1])` on a 3-way
+    // tensor read entry (1, 1, 0)); it must be rejected in debug
+    // builds.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "index arity")]
+    fn get_rejects_wrong_arity_in_debug() {
+        let x = DenseTensor::zeros(&[2, 3, 2]);
+        let _ = x.get(&[1, 1]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "index arity")]
+    fn set_rejects_wrong_arity_in_debug() {
+        let mut x = DenseTensor::zeros(&[2, 3]);
+        x.set(&[1, 1, 0], 4.0);
     }
 }

@@ -7,7 +7,15 @@
 //! tensor  file:  b"MTKT" u32(version=1) u32(ndims) u64(dim)*ndims f64(entry)*Π dims
 //! kruskal file:  b"MTKM" u32(version=1) u32(ndims) u32(rank)
 //!                u64(dim)*ndims f64(lambda)*rank f64(factor rows)*Σ dims·rank
+//! sparse  file:  b"MTKS" u32(version=1) u32(ndims) u64(nnz) u64(dim)*ndims
+//!                u64(index)*nnz·ndims f64(value)*nnz
 //! ```
+//!
+//! Sparse entries are written in the COO tensor's canonical order
+//! (sorted by linear position, duplicates pre-merged) and re-validated
+//! on read — out-of-range indices, header arithmetic overflow, and
+//! truncated payloads are all rejected with `InvalidData` rather than
+//! deferred to a panic downstream.
 //!
 //! Tensor entries are the natural linearization; factors are row-major,
 //! matching the in-memory conventions everywhere else in the workspace.
@@ -17,10 +25,12 @@
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use mttkrp_sparse::CooTensor;
 use mttkrp_tensor::DenseTensor;
 
 const TENSOR_MAGIC: &[u8; 4] = b"MTKT";
 const MODEL_MAGIC: &[u8; 4] = b"MTKM";
+const SPARSE_MAGIC: &[u8; 4] = b"MTKS";
 const VERSION: u32 = 1;
 
 /// A Kruskal model as stored on disk (mirrors
@@ -126,8 +136,12 @@ pub fn tensor_from_bytes(buf: &[u8]) -> io::Result<DenseTensor> {
         }
         dims.push(d);
     }
-    let total: usize = dims.iter().product();
-    if buf.remaining() != total * 8 {
+    // Checked shape product, like the sparse/model readers.
+    let total = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| bad("tensor shape overflows"))?;
+    if total.checked_mul(8) != Some(buf.remaining()) {
         return Err(bad("tensor payload length mismatch"));
     }
     let mut data = Vec::with_capacity(total);
@@ -238,6 +252,98 @@ pub fn read_model(path: impl AsRef<Path>) -> io::Result<StoredModel> {
     model_from_bytes(&buf)
 }
 
+/// Serialize a sparse (COO) tensor into bytes, entries in canonical
+/// order.
+pub fn sparse_to_bytes(x: &CooTensor) -> Vec<u8> {
+    let nm = x.order();
+    let nnz = x.nnz();
+    let mut buf = Vec::with_capacity(20 + nm * 8 + nnz * (nm + 1) * 8);
+    buf.extend_from_slice(SPARSE_MAGIC);
+    put_u32_le(&mut buf, VERSION);
+    put_u32_le(&mut buf, nm as u32);
+    put_u64_le(&mut buf, nnz as u64);
+    for &d in x.dims() {
+        put_u64_le(&mut buf, d as u64);
+    }
+    for &i in x.indices() {
+        put_u64_le(&mut buf, i as u64);
+    }
+    for &v in x.values() {
+        put_f64_le(&mut buf, v);
+    }
+    buf
+}
+
+/// Deserialize a sparse (COO) tensor from bytes, re-validating indices
+/// and header arithmetic.
+pub fn sparse_from_bytes(buf: &[u8]) -> io::Result<CooTensor> {
+    let mut buf = Reader::new(buf);
+    if buf.remaining() < 20 || &buf.buf[..4] != SPARSE_MAGIC {
+        return Err(bad("not a sparse tensor file (bad magic)"));
+    }
+    buf.advance(4);
+    if buf.get_u32_le() != VERSION {
+        return Err(bad("unsupported sparse tensor file version"));
+    }
+    let ndims = buf.get_u32_le() as usize;
+    let nnz = buf.get_u64_le() as usize;
+    if ndims < 2 || buf.remaining() < ndims * 8 {
+        return Err(bad("truncated sparse tensor header"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let d = buf.get_u64_le() as usize;
+        if d == 0 {
+            return Err(bad("zero-length sparse tensor mode"));
+        }
+        dims.push(d);
+    }
+    // Checked shape product: a forged shape must fail here, not panic
+    // in the COO constructor's linearization.
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| bad("sparse tensor shape overflows"))?;
+    // Checked arithmetic: crafted nnz/ndims must fail cleanly, not wrap.
+    let payload_words = nnz
+        .checked_mul(ndims)
+        .and_then(|iw| iw.checked_add(nnz))
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| bad("sparse tensor header overflows"))?;
+    if buf.remaining() != payload_words {
+        return Err(bad("sparse tensor payload length mismatch"));
+    }
+    let mut inds = Vec::with_capacity(nnz * ndims);
+    for k in 0..nnz {
+        for (m, &d) in dims.iter().enumerate() {
+            let i = buf.get_u64_le() as usize;
+            if i >= d {
+                return Err(bad(&format!(
+                    "entry {k}: index {i} out of bounds for mode {m} ({d})"
+                )));
+            }
+            inds.push(i);
+        }
+    }
+    let mut vals = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        vals.push(buf.get_f64_le());
+    }
+    Ok(CooTensor::from_entries(&dims, inds, vals))
+}
+
+/// Write a sparse tensor to `path`.
+pub fn write_sparse(path: impl AsRef<Path>, x: &CooTensor) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&sparse_to_bytes(x))
+}
+
+/// Read a sparse tensor from `path`.
+pub fn read_sparse(path: impl AsRef<Path>) -> io::Result<CooTensor> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    sparse_from_bytes(&buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +408,17 @@ mod tests {
     }
 
     #[test]
+    fn rejects_overflowing_tensor_shape() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        put_u32_le(&mut buf, 1);
+        put_u32_le(&mut buf, 2);
+        put_u64_le(&mut buf, 1 << 40);
+        put_u64_le(&mut buf, 1 << 40);
+        assert!(tensor_from_bytes(&buf).is_err());
+    }
+
+    #[test]
     fn rejects_zero_dim() {
         // Hand-craft a header with a zero mode.
         let mut buf = Vec::new();
@@ -311,5 +428,83 @@ mod tests {
         put_u64_le(&mut buf, 0);
         put_u64_le(&mut buf, 3);
         assert!(tensor_from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn sparse_round_trips_through_bytes() {
+        let x = crate::random_sparse(&[7, 5, 4], 30, 11);
+        let back = sparse_from_bytes(&sparse_to_bytes(&x)).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn sparse_round_trips_through_file() {
+        let x = crate::random_sparse(&[6, 6], 12, 2);
+        let path = std::env::temp_dir().join("mttkrp_io_test_sparse.mtks");
+        write_sparse(&path, &x).unwrap();
+        let back = read_sparse(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn sparse_rejects_bad_magic_and_version() {
+        assert!(sparse_from_bytes(b"NOPExxxxxxxxxxxxxxxxxxxx").is_err());
+        let mut buf = sparse_to_bytes(&crate::random_sparse(&[3, 3], 4, 1));
+        buf[4] = 9; // version
+        assert!(sparse_from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn sparse_rejects_truncation() {
+        let bytes = sparse_to_bytes(&crate::random_sparse(&[5, 4, 3], 20, 3));
+        // Any proper prefix must fail: header cuts and payload cuts alike.
+        for cut in [4, 12, 19, bytes.len() - 8, bytes.len() - 1] {
+            assert!(sparse_from_bytes(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_corrupt_header() {
+        // nnz forged to overflow the payload-size arithmetic.
+        let x = crate::random_sparse(&[3, 3], 2, 7);
+        let mut buf = sparse_to_bytes(&x);
+        buf[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(sparse_from_bytes(&buf).is_err());
+
+        // Zero dimension.
+        let mut buf = sparse_to_bytes(&x);
+        buf[20..28].copy_from_slice(&0u64.to_le_bytes());
+        assert!(sparse_from_bytes(&buf).is_err());
+
+        // One-mode tensor.
+        let mut buf = sparse_to_bytes(&x);
+        buf[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(sparse_from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn sparse_rejects_overflowing_shape() {
+        // ndims=2, nnz=0, dims = [2^40, 2^40]: every length check
+        // passes, but the shape product overflows usize — must be
+        // InvalidData, not a panic in the COO constructor.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKS");
+        put_u32_le(&mut buf, 1);
+        put_u32_le(&mut buf, 2);
+        put_u64_le(&mut buf, 0);
+        put_u64_le(&mut buf, 1 << 40);
+        put_u64_le(&mut buf, 1 << 40);
+        assert!(sparse_from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn sparse_rejects_out_of_range_index() {
+        let x = crate::random_sparse(&[3, 3], 2, 5);
+        let mut buf = sparse_to_bytes(&x);
+        // First index word sits right after the 20-byte header + 2 dims.
+        let off = 20 + 2 * 8;
+        buf[off..off + 8].copy_from_slice(&99u64.to_le_bytes());
+        assert!(sparse_from_bytes(&buf).is_err());
     }
 }

@@ -3,6 +3,8 @@
 //! * [`equal_dims`] / [`random_tensor`] / [`random_factors`] — the
 //!   synthetic equal-dimension tensors of Figures 5 and 6 (the paper
 //!   uses ≈750M entries; the harness scales that down by default).
+//! * [`random_sparse`] — uniform random sparse (COO) tensors for the
+//!   sparse MTTKRP sweeps and density benches.
 //! * [`fmri`] — a synthetic stand-in for the paper's private fMRI data
 //!   set (§5.3.3): ROI time series are generated from latent spatial
 //!   networks with time-varying loadings and per-subject weights, then
@@ -16,9 +18,12 @@ pub mod fmri;
 pub mod io;
 
 pub use fmri::{linearize_symmetric, FmriConfig};
-pub use io::{read_model, read_tensor, write_model, write_tensor, StoredModel};
+pub use io::{
+    read_model, read_sparse, read_tensor, write_model, write_sparse, write_tensor, StoredModel,
+};
 
 use mttkrp_rng::Rng64;
+use mttkrp_sparse::CooTensor;
 use mttkrp_tensor::DenseTensor;
 
 /// Equal per-mode dimension for an order-`n` tensor with approximately
@@ -48,6 +53,23 @@ pub fn random_factors(dims: &[usize], c: usize, seed: u64) -> Vec<Vec<f64>> {
     dims.iter()
         .map(|&d| (0..d * c).map(|_| rng.next_f64()).collect())
         .collect()
+}
+
+/// Uniform random sparse tensor: `nnz` coordinate draws with values in
+/// `[−0.5, 0.5)`, reproducible in `seed`. Duplicate coordinates are
+/// merged by the COO canonicalizer, so the stored count can fall
+/// slightly below `nnz` at high densities.
+pub fn random_sparse(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x5A123);
+    let mut inds = Vec::with_capacity(nnz * dims.len());
+    let mut vals = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        for &d in dims {
+            inds.push(rng.usize_below(d));
+        }
+        vals.push(rng.next_f64() - 0.5);
+    }
+    CooTensor::from_entries(dims, inds, vals)
 }
 
 /// Random `rows × cols` row-major matrix (used by the KRP benchmarks,
@@ -107,5 +129,19 @@ mod tests {
         let a = random_tensor(&[10, 10], 1);
         let b = random_tensor(&[10, 10], 2);
         assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn random_sparse_is_deterministic_and_in_bounds() {
+        let a = random_sparse(&[8, 6, 4], 50, 9);
+        let b = random_sparse(&[8, 6, 4], 50, 9);
+        assert_eq!(a, b);
+        assert!(a.nnz() <= 50 && a.nnz() > 0);
+        for (idx, v) in a.entries() {
+            assert!(idx[0] < 8 && idx[1] < 6 && idx[2] < 4);
+            // Merged duplicates sum draws from [−0.5, 0.5).
+            assert!(v.is_finite() && v.abs() < 25.0);
+        }
+        assert_ne!(a, random_sparse(&[8, 6, 4], 50, 10));
     }
 }

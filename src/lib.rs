@@ -12,5 +12,6 @@ pub use mttkrp_linalg as linalg;
 pub use mttkrp_machine as machine;
 pub use mttkrp_parallel as parallel;
 pub use mttkrp_rng as rng;
+pub use mttkrp_sparse as sparse;
 pub use mttkrp_tensor as tensor;
 pub use mttkrp_workloads as workloads;

@@ -8,11 +8,13 @@
 use mttkrp_repro::blas::{Layout, MatRef};
 use mttkrp_repro::mttkrp::{
     mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, mttkrp_auto, mttkrp_explicit,
-    mttkrp_oracle, TwoStepSide,
+    mttkrp_oracle, AlgoChoice, MttkrpPlan, TwoStepSide,
 };
 use mttkrp_repro::parallel::ThreadPool;
 use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::sparse::{CsfTensor, SparseMttkrpPlan};
 use mttkrp_repro::tensor::DenseTensor;
+use mttkrp_repro::workloads::random_sparse;
 
 fn close(a: &[f64], b: &[f64]) -> bool {
     a.iter()
@@ -97,6 +99,95 @@ fn all_variants_match_oracle() {
                 got.fill(f64::NAN);
                 mttkrp_2step_timed(&pool, &x, &refs, case.n, &mut got, side);
                 assert!(close(&got, &want), "2-step {side:?}; {tag}");
+            }
+        }
+    }
+}
+
+/// Sparse MTTKRP on a sparsified tensor must agree with dense MTTKRP
+/// on its densification to 1e-12 — the kernels walk the same nonzeros,
+/// only the summation order differs — across every mode and team size,
+/// for 3rd- and 4th-order tensors.
+#[test]
+fn sparse_csf_agrees_with_densified_dense_all_modes() {
+    let mut rng = Rng64::seed_from_u64(0xA62E_0003);
+    for dims in [
+        vec![6usize, 5, 4],
+        vec![9, 3, 7],
+        vec![5, 4, 3, 3],
+        vec![4, 6, 2, 5],
+    ] {
+        let total: usize = dims.iter().product();
+        let coo = random_sparse(&dims, total / 3, rng.next_u64());
+        let csf = CsfTensor::from_coo(&coo);
+        let dense = coo.to_dense();
+        let c = 4;
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .map(|&d| (0..d * c).map(|_| rng.next_f64() - 0.5).collect())
+            .collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        for t in [1usize, 2, 3, 7] {
+            let pool = ThreadPool::new(t);
+            for n in 0..dims.len() {
+                let mut want = vec![0.0; dims[n] * c];
+                let mut plan = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::Heuristic);
+                plan.execute(&pool, &dense, &refs, &mut want);
+                let mut got = vec![f64::NAN; dims[n] * c];
+                let mut splan = SparseMttkrpPlan::new(&pool, &csf, c, n);
+                splan.execute(&pool, &csf, &refs, &mut got);
+                for (a, b) in got.iter().zip(&want) {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                        "dims {dims:?} t={t} n={n}: sparse {a} vs dense {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The sparse kernel partitions fibers differently per team size, so
+/// bitwise equality across thread counts is not guaranteed — but the
+/// 1e-12 window against the 1-thread result must hold.
+#[test]
+fn sparse_thread_count_does_not_change_results() {
+    let mut rng = Rng64::seed_from_u64(0xA62E_0004);
+    let dims = vec![8usize, 6, 5, 4];
+    let total: usize = dims.iter().product();
+    let coo = random_sparse(&dims, total / 4, rng.next_u64());
+    let csf = CsfTensor::from_coo(&coo);
+    let c = 3;
+    let factors: Vec<Vec<f64>> = dims
+        .iter()
+        .map(|&d| (0..d * c).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
+    let refs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+    for n in 0..dims.len() {
+        let mut reference = vec![0.0; dims[n] * c];
+        SparseMttkrpPlan::new(&ThreadPool::new(1), &csf, c, n).execute(
+            &ThreadPool::new(1),
+            &csf,
+            &refs,
+            &mut reference,
+        );
+        for t in [2usize, 4, 9] {
+            let pool = ThreadPool::new(t);
+            let mut got = vec![f64::NAN; dims[n] * c];
+            SparseMttkrpPlan::new(&pool, &csf, c, n).execute(&pool, &csf, &refs, &mut got);
+            for (a, b) in got.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                    "n={n} t={t}: {a} vs {b}"
+                );
             }
         }
     }

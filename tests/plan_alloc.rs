@@ -7,61 +7,21 @@
 //! private accumulator, partial, and cursor buffer is reused. The
 //! allocating wrappers, by contrast, allocate on every call.
 //!
-//! This file holds exactly one `#[test]` so the counting global
-//! allocator sees no concurrent test threads.
+//! The per-thread counting-allocator harness is shared with the
+//! sparse twin; see `tests/support/counting_alloc.rs`.
 
-use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
 
+use counting_alloc::{counted, CountingAlloc};
 use mttkrp_repro::blas::{Layout, MatRef};
 use mttkrp_repro::mttkrp::{mttkrp_auto, AlgoChoice, MttkrpPlan, TwoStepSide};
 use mttkrp_repro::parallel::ThreadPool;
 use mttkrp_repro::rng::Rng64;
 use mttkrp_repro::tensor::DenseTensor;
 
-struct CountingAlloc;
-
-static COUNTING: AtomicBool = AtomicBool::new(false);
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        }
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-            ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        }
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
-
-/// Run `f` with allocation counting enabled; returns (calls, bytes).
-fn counted(f: impl FnOnce()) -> (u64, u64) {
-    ALLOC_CALLS.store(0, Ordering::SeqCst);
-    ALLOC_BYTES.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
-    f();
-    COUNTING.store(false, Ordering::SeqCst);
-    (
-        ALLOC_CALLS.load(Ordering::SeqCst),
-        ALLOC_BYTES.load(Ordering::SeqCst),
-    )
-}
 
 #[test]
 fn steady_state_plan_execution_does_not_allocate() {

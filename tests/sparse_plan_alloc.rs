@@ -1,0 +1,70 @@
+//! Allocation accounting for planned sparse MTTKRP execution — the
+//! sparse twin of `tests/plan_alloc.rs`, held to the same standard:
+//! after plan construction, executing a [`SparseMttkrpPlan`] on a
+//! single-thread pool performs **zero heap allocation** — the tree
+//! walk recurses through pre-allocated per-level scratch, the private
+//! accumulator persists in the workspace arena, and the single-part
+//! reduction is a copy.
+//!
+//! The per-thread counting-allocator harness is shared with the dense
+//! twin; see `tests/support/counting_alloc.rs`.
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+
+use counting_alloc::{counted, CountingAlloc};
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::sparse::{sparse_mttkrp, CsfTensor, SparseMttkrpPlan};
+use mttkrp_repro::workloads::random_sparse;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_sparse_plan_execution_does_not_allocate() {
+    let dims = [9usize, 7, 6, 5];
+    let c = 5;
+    let total: usize = dims.iter().product();
+    let coo = random_sparse(&dims, total / 5, 0x5A11_0C02);
+    let csf = CsfTensor::from_coo(&coo);
+    let factors = mttkrp_repro::workloads::random_factors(&dims, c, 7);
+    let frefs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+
+    // Single-thread pool: regions run inline, so the only possible
+    // allocations are the executor's own — which the plan must have
+    // hoisted into construction time.
+    let pool = ThreadPool::new(1);
+
+    for n in 0..dims.len() {
+        let mut plan = SparseMttkrpPlan::new(&pool, &csf, c, n);
+        let mut out = vec![0.0; dims[n] * c];
+        // Warm up once, then demand exactly zero allocator traffic.
+        plan.execute(&pool, &csf, &frefs, &mut out);
+        let (calls, bytes) = counted(|| {
+            plan.execute(&pool, &csf, &frefs, &mut out);
+            plan.execute(&pool, &csf, &frefs, &mut out);
+        });
+        assert_eq!(
+            (calls, bytes),
+            (0, 0),
+            "steady-state sparse plan execution allocated: n={n}"
+        );
+
+        // Contrast: the one-shot wrapper pays plan construction
+        // (partition + workspaces) on every call.
+        let mut out = vec![0.0; dims[n] * c];
+        sparse_mttkrp(&pool, &csf, &frefs, n, &mut out);
+        let (calls, bytes) = counted(|| {
+            sparse_mttkrp(&pool, &csf, &frefs, n, &mut out);
+        });
+        assert!(
+            calls > 0 && bytes > 0,
+            "expected the wrapper to allocate per call: n={n} calls={calls} bytes={bytes}"
+        );
+    }
+}

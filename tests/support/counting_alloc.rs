@@ -1,0 +1,67 @@
+//! Shared counting-allocator harness for the allocation-accounting
+//! test binaries (`plan_alloc.rs`, `sparse_plan_alloc.rs`), included
+//! via `#[path]` so each binary installs its own `#[global_allocator]`
+//! while the hook logic has a single definition. (Files under
+//! `tests/support/` are not test targets themselves.)
+//!
+//! Counting is enabled **per thread**: libtest's orchestrator thread
+//! runs concurrently with the measured window and allocates
+//! sporadically, so a process-global flag would intermittently charge
+//! its traffic to the kernel under test. The single-thread pools used
+//! by these tests run the executors inline on the measuring thread, so
+//! a thread-local flag captures exactly the kernel's own allocations.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct CountingAlloc;
+
+thread_local! {
+    // Const-initialized so reading it from the allocator hook never
+    // itself allocates.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn counting_here() -> bool {
+    // try_with: the hook can run during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        if counting_here() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        if counting_here() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Run `f` with this thread's allocation counting enabled; returns
+/// (calls, bytes).
+pub fn counted(f: impl FnOnce()) -> (u64, u64) {
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    ALLOC_BYTES.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    (
+        ALLOC_CALLS.load(Ordering::SeqCst),
+        ALLOC_BYTES.load(Ordering::SeqCst),
+    )
+}
