@@ -1,0 +1,117 @@
+//! Kernel microbenchmark: per-tier throughput of the dispatched SIMD
+//! primitives (dot / axpy / hadamard / SYRK row update / GEMM
+//! microkernel and the full packed GEMM built on it), one series per
+//! tier the host CPU supports.
+//!
+//! Output lines are `kernels-<tier>/<kernel>,median_s,min_s,max_s,n`;
+//! each timed call streams `REPS` invocations so the per-call dispatch
+//! overhead is amortized the same way the real hot loops amortize it.
+//! Compare tiers row-wise to see what the explicit-FMA kernels buy over
+//! the scalar reference (BENCH tracking: per-tier kernel throughput).
+
+use mttkrp_bench::BenchGroup;
+use mttkrp_blas::kernels::{available_tiers, KernelSet, MicroTile, MR, NR};
+use mttkrp_blas::{gemm_with, Layout, MatMut, MatRef};
+
+/// Vector length of the level-1 benches (L2-resident: 2 × 64 KiB).
+const LEN: usize = 8192;
+/// Invocations per timed call.
+const REPS: usize = 200;
+/// Gram rank of the SYRK row-update bench (the paper's C = 25).
+const SYRK_N: usize = 25;
+/// Microkernel depth (one full KC panel).
+const KC: usize = 256;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn main() {
+    for tier in available_tiers() {
+        let ks = KernelSet::for_tier(tier).expect("listed tier resolves");
+        let group = BenchGroup::new(format!("kernels-{tier}"));
+
+        let x = rand_vec(LEN, 1);
+        let y = rand_vec(LEN, 2);
+        group.bench("dot_8k", || {
+            let mut acc = 0.0;
+            for _ in 0..REPS {
+                acc += (ks.dot)(&x, &y);
+            }
+            std::hint::black_box(acc);
+        });
+
+        let mut yv = rand_vec(LEN, 3);
+        group.bench("axpy_8k", || {
+            for _ in 0..REPS {
+                (ks.axpy)(1.000000001, &x, &mut yv);
+            }
+            std::hint::black_box(yv[0]);
+        });
+
+        let mut out = vec![0.0; LEN];
+        group.bench("hadamard_8k", || {
+            for _ in 0..REPS {
+                (ks.hadamard)(&x, &y, &mut out);
+            }
+            std::hint::black_box(out[0]);
+        });
+
+        group.bench("mul_add_8k", || {
+            for _ in 0..REPS {
+                (ks.mul_add)(&x, &y, &mut out);
+            }
+            std::hint::black_box(out[0]);
+        });
+
+        // One KRP-rank row against a C × C Gram accumulator — the
+        // inner operation of the Gram path (C = 25).
+        let row = rand_vec(SYRK_N, 5);
+        let mut acc = vec![0.0; SYRK_N * SYRK_N];
+        group.bench("syrk_rank1_c25", || {
+            for _ in 0..REPS * 4 {
+                (ks.syrk_rank1_lower)(&row, &mut acc);
+            }
+            std::hint::black_box(acc[0]);
+        });
+
+        // The raw register tile at full panel depth: 2·MR·NR·KC flops
+        // per invocation.
+        let a_panel = rand_vec(KC * MR, 7);
+        let b_panel = rand_vec(KC * NR, 8);
+        group.bench("gemm_micro_kc256", || {
+            let mut tile: MicroTile = [[0.0; NR]; MR];
+            for _ in 0..REPS * 4 {
+                (ks.gemm_micro)(KC, &a_panel, &b_panel, &mut tile);
+            }
+            std::hint::black_box(tile[0][0]);
+        });
+
+        // End-to-end packed GEMM on one cache-blocked problem.
+        let (m, n, k) = (256usize, 256usize, 256usize);
+        let a_data = rand_vec(m * k, 9);
+        let b_data = rand_vec(k * n, 10);
+        let mut c_data = vec![0.0; m * n];
+        group.bench("gemm_256cubed", || {
+            let a = MatRef::from_slice(&a_data, m, k, Layout::ColMajor);
+            let b = MatRef::from_slice(&b_data, k, n, Layout::RowMajor);
+            gemm_with(
+                &ks,
+                1.0,
+                a,
+                b,
+                0.0,
+                MatMut::from_slice(&mut c_data, m, n, Layout::RowMajor),
+            );
+            std::hint::black_box(c_data[0]);
+        });
+    }
+}

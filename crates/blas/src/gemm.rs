@@ -13,12 +13,9 @@
 
 use mttkrp_parallel::{block_range, ThreadPool};
 
+use crate::kernels::{kernels, KernelSet, MicroTile, MR, NR};
 use crate::mat::{MatMut, MatRef};
 
-/// Microkernel tile height (rows of C per register tile).
-const MR: usize = 4;
-/// Microkernel tile width (columns of C per register tile).
-const NR: usize = 8;
 /// K-dimension cache block (sized so an `MR × KC` strip of packed A and a
 /// `KC × NR` strip of packed B stay L1/L2-resident).
 const KC: usize = 256;
@@ -27,11 +24,18 @@ const MC: usize = 64;
 /// N-dimension cache block (packed B panel is `KC × NC`).
 const NC: usize = 1024;
 
-/// `C ← α·A·B + β·C` for arbitrarily strided views.
+/// `C ← α·A·B + β·C` for arbitrarily strided views, using the
+/// process-wide [`kernels()`] dispatch.
 ///
 /// # Panics
 /// Panics on dimension mismatch (`A: m×k`, `B: k×n`, `C: m×n`).
-pub fn gemm(alpha: f64, a: MatRef, b: MatRef, beta: f64, mut c: MatMut) {
+pub fn gemm(alpha: f64, a: MatRef, b: MatRef, beta: f64, c: MatMut) {
+    gemm_with(kernels(), alpha, a, b, beta, c)
+}
+
+/// [`gemm`] against an explicit [`KernelSet`] — what plan executors
+/// call so a tier forced at plan construction threads through.
+pub fn gemm_with(ks: &KernelSet, alpha: f64, a: MatRef, b: MatRef, beta: f64, mut c: MatMut) {
     let (m, k) = (a.nrows(), a.ncols());
     let n = b.ncols();
     assert_eq!(b.nrows(), k, "inner dimensions must agree");
@@ -63,7 +67,7 @@ pub fn gemm(alpha: f64, a: MatRef, b: MatRef, beta: f64, mut c: MatMut) {
         let (ref mut a_pack, ref mut b_pack) = *packs;
         a_pack.resize(MC * KC, 0.0);
         b_pack.resize(KC * NC, 0.0);
-        gemm_blocked(alpha, &a, &b, &mut c, a_pack, b_pack);
+        gemm_blocked(ks, alpha, &a, &b, &mut c, a_pack, b_pack);
     });
 }
 
@@ -88,6 +92,7 @@ fn small_kernel(alpha: f64, a: &MatRef, b: &MatRef, c: &mut MatMut) {
 
 /// The packed, blocked path of [`gemm`].
 fn gemm_blocked(
+    ks: &KernelSet,
     alpha: f64,
     a: &MatRef,
     b: &MatRef,
@@ -109,7 +114,7 @@ fn gemm_blocked(
             while ic < m {
                 let mc = usize::min(MC, m - ic);
                 pack_a(a_pack, a, ic, pc, mc, kc);
-                macro_kernel(alpha, a_pack, b_pack, c, ic, jc, mc, nc, kc);
+                macro_kernel(ks, alpha, a_pack, b_pack, c, ic, jc, mc, nc, kc);
                 ic += MC;
             }
             pc += KC;
@@ -118,9 +123,10 @@ fn gemm_blocked(
     }
 }
 
-/// Scale `C` by `beta` in place (`beta == 0` overwrites, so NaNs in
-/// uninitialized output memory do not propagate).
-fn scale_c(c: &mut MatMut, beta: f64) {
+/// Scale `C` by `beta` in place per the BLAS convention (`beta == 0`
+/// overwrites, so NaNs in uninitialized output memory do not
+/// propagate). Shared with the SYRK entry points.
+pub(crate) fn scale_c(c: &mut MatMut, beta: f64) {
     if beta == 1.0 {
         return;
     }
@@ -186,6 +192,7 @@ fn pack_b(b_pack: &mut [f64], b: &MatRef, pc: usize, jc: usize, kc: usize, nc: u
 /// accumulating `α · (panel product)` into `C[ic.., jc..]`.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    ks: &KernelSet,
     alpha: f64,
     a_pack: &[f64],
     b_pack: &[f64],
@@ -204,7 +211,11 @@ fn macro_kernel(
         while ir < mc {
             let mr = usize::min(MR, mc - ir);
             let a_panel = &a_pack[(ir / MR) * (kc * MR)..][..kc * MR];
-            let acc = micro_kernel(kc, a_panel, b_panel);
+            // Register-tiled rank-`kc` update: the dispatched microkernel
+            // (explicit FMA tile on SIMD tiers) accumulates into a fresh
+            // `MR × NR` stack tile.
+            let mut acc: MicroTile = [[0.0; NR]; MR];
+            (ks.gemm_micro)(kc, a_panel, b_panel, &mut acc);
             // Write back the valid `mr × nr` corner of the register tile.
             for i in 0..mr {
                 for j in 0..nr {
@@ -220,36 +231,27 @@ fn macro_kernel(
     }
 }
 
-/// Register-tiled `MR × NR` rank-`kc` update on packed panels.
-///
-/// The accumulator lives in `MR × NR` locals; with `MR = 4`, `NR = 8`
-/// LLVM vectorizes the inner loop into FMA lanes.
-#[inline(always)]
-fn micro_kernel(kc: usize, a_panel: &[f64], b_panel: &[f64]) -> [[f64; NR]; MR] {
-    let mut acc = [[0.0f64; NR]; MR];
-    debug_assert!(a_panel.len() >= kc * MR);
-    debug_assert!(b_panel.len() >= kc * NR);
-    for p in 0..kc {
-        let a = &a_panel[p * MR..p * MR + MR];
-        let b = &b_panel[p * NR..p * NR + NR];
-        for i in 0..MR {
-            let ai = a[i];
-            for j in 0..NR {
-                acc[i][j] += ai * b[j];
-            }
-        }
-    }
-    acc
-}
-
 /// Parallel `C ← α·A·B + β·C`: the larger output dimension is statically
 /// partitioned into one contiguous block per pool thread, each of which
 /// runs the sequential [`gemm`] on its disjoint slice of `C`.
 pub fn par_gemm(pool: &ThreadPool, alpha: f64, a: MatRef, b: MatRef, beta: f64, c: MatMut) {
+    par_gemm_with(kernels(), pool, alpha, a, b, beta, c)
+}
+
+/// [`par_gemm`] against an explicit [`KernelSet`].
+pub fn par_gemm_with(
+    ks: &KernelSet,
+    pool: &ThreadPool,
+    alpha: f64,
+    a: MatRef,
+    b: MatRef,
+    beta: f64,
+    c: MatMut,
+) {
     let t = pool.num_threads();
     let (m, n) = (c.nrows(), c.ncols());
     if t == 1 || m * n == 0 {
-        gemm(alpha, a, b, beta, c);
+        gemm_with(ks, alpha, a, b, beta, c);
         return;
     }
     let k = a.ncols();
@@ -283,9 +285,23 @@ pub fn par_gemm(pool: &ThreadPool, alpha: f64, a: MatRef, b: MatRef, beta: f64, 
             if let Some(cblk) = item.take() {
                 let r = block_range(if split_cols { n } else { m }, nsplit, ctx.thread_id);
                 if split_cols {
-                    gemm(alpha, a, b.submatrix(0, r.start, k, r.len()), beta, cblk);
+                    gemm_with(
+                        ks,
+                        alpha,
+                        a,
+                        b.submatrix(0, r.start, k, r.len()),
+                        beta,
+                        cblk,
+                    );
                 } else {
-                    gemm(alpha, a.submatrix(r.start, 0, r.len(), k), b, beta, cblk);
+                    gemm_with(
+                        ks,
+                        alpha,
+                        a.submatrix(r.start, 0, r.len(), k),
+                        b,
+                        beta,
+                        cblk,
+                    );
                 }
             }
         },

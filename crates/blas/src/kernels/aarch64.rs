@@ -1,0 +1,210 @@
+//! `aarch64` NEON (AdvSIMD) kernels.
+//!
+//! Same structure as the `x86_64` module: safe wrappers over
+//! `#[target_feature(enable = "neon")]` implementations, handed out
+//! only by [`super::KernelSet::for_tier`] after runtime detection
+//! (`is_aarch64_feature_detected!("neon")` — true on every mainstream
+//! AArch64 core, but checked anyway so the dispatch contract is
+//! uniform across architectures).
+//!
+//! NEON is 128-bit (`float64x2_t`, two lanes of `f64`), so loops step
+//! by 2 with fused multiply-add via `vfmaq_f64`.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::aarch64::*;
+
+use super::{KernelSet, KernelTier, MicroTile, MR, NR};
+
+/// The NEON set. Caller contract: only hand this out after
+/// `KernelTier::Neon.supported()` returned true.
+pub(super) fn neon_set() -> KernelSet {
+    KernelSet {
+        tier: KernelTier::Neon,
+        dot: dot_neon,
+        axpy: axpy_neon,
+        hadamard: hadamard_neon,
+        hadamard_assign: hadamard_assign_neon,
+        mul_add: mul_add_neon,
+        syrk_rank1_lower: syrk_rank1_lower_neon,
+        gemm_micro: gemm_micro_neon,
+    }
+}
+
+fn dot_neon(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { dot_neon_impl(x, y) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_neon_impl(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = vdupq_n_f64(0.0);
+    let mut acc1 = vdupq_n_f64(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        acc0 = vfmaq_f64(acc0, vld1q_f64(xp.add(i)), vld1q_f64(yp.add(i)));
+        acc1 = vfmaq_f64(acc1, vld1q_f64(xp.add(i + 2)), vld1q_f64(yp.add(i + 2)));
+        i += 4;
+    }
+    let mut s = vaddvq_f64(vaddq_f64(acc0, acc1));
+    while i < n {
+        s += x[i] * y[i];
+        i += 1;
+    }
+    s
+}
+
+fn axpy_neon(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { axpy_neon_impl(alpha, x, y) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let va = vdupq_n_f64(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 2 <= n {
+        let r = vfmaq_f64(vld1q_f64(yp.add(i)), va, vld1q_f64(xp.add(i)));
+        vst1q_f64(yp.add(i), r);
+        i += 2;
+    }
+    while i < n {
+        y[i] += alpha * x[i];
+        i += 1;
+    }
+}
+
+fn hadamard_neon(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { hadamard_neon_impl(a, b, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn hadamard_neon_impl(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 2 <= n {
+        vst1q_f64(
+            op.add(i),
+            vmulq_f64(vld1q_f64(ap.add(i)), vld1q_f64(bp.add(i))),
+        );
+        i += 2;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+fn hadamard_assign_neon(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { hadamard_assign_neon_impl(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn hadamard_assign_neon_impl(a: &mut [f64], b: &[f64]) {
+    let n = a.len();
+    let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 2 <= n {
+        vst1q_f64(
+            ap.add(i),
+            vmulq_f64(vld1q_f64(ap.add(i)), vld1q_f64(bp.add(i))),
+        );
+        i += 2;
+    }
+    while i < n {
+        a[i] *= b[i];
+        i += 1;
+    }
+}
+
+fn mul_add_neon(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { mul_add_neon_impl(a, b, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn mul_add_neon_impl(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 2 <= n {
+        let r = vfmaq_f64(
+            vld1q_f64(op.add(i)),
+            vld1q_f64(ap.add(i)),
+            vld1q_f64(bp.add(i)),
+        );
+        vst1q_f64(op.add(i), r);
+        i += 2;
+    }
+    while i < n {
+        out[i] += a[i] * b[i];
+        i += 1;
+    }
+}
+
+fn syrk_rank1_lower_neon(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    unsafe { syrk_rank1_lower_neon_impl(row, acc) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn syrk_rank1_lower_neon_impl(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        axpy_neon_impl(rp, &row[..p + 1], &mut acc[p * n..p * n + p + 1]);
+    }
+}
+
+fn gemm_micro_neon(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    unsafe { gemm_micro_neon_impl(kc, a_panel, b_panel, acc) }
+}
+
+/// 4×8 register tile as 4 rows × 4 two-lane vectors: 16 accumulators,
+/// 4 B loads and 4 A broadcasts per rank-1 step — 24 of 32 NEON regs.
+#[target_feature(enable = "neon")]
+unsafe fn gemm_micro_neon_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    let cp = acc.as_mut_ptr() as *mut f64;
+    let mut c: [[float64x2_t; 4]; MR] = [[vdupq_n_f64(0.0); 4]; MR];
+    for (i, row) in c.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = vld1q_f64(cp.add(i * NR + j * 2));
+        }
+    }
+    let ap = a_panel.as_ptr();
+    let bp = b_panel.as_ptr();
+    for p in 0..kc {
+        let b = [
+            vld1q_f64(bp.add(p * NR)),
+            vld1q_f64(bp.add(p * NR + 2)),
+            vld1q_f64(bp.add(p * NR + 4)),
+            vld1q_f64(bp.add(p * NR + 6)),
+        ];
+        for (i, row) in c.iter_mut().enumerate() {
+            let a = vdupq_n_f64(*ap.add(p * MR + i));
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = vfmaq_f64(*v, a, b[j]);
+            }
+        }
+    }
+    for (i, row) in c.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            vst1q_f64(cp.add(i * NR + j * 2), *v);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Runtime-dispatched hardware kernels under every hot loop.
+//!
+//! The paper's performance argument is that MTTKRP should run at the
+//! speed of tuned matrix kernels (it reaches memory-bound throughput
+//! via multithreaded MKL). Autovectorization gets close on simple
+//! streams but leaves the register-tiled GEMM microkernel, the SYRK
+//! row updates, and the CSF accumulate loops short of peak — dedicated
+//! per-architecture kernels close that gap (cf. the GenTen follow-up's
+//! performance-portable MTTKRP).
+//!
+//! Each primitive has a shared scalar reference implementation
+//! ([`scalar`]) and, where the target supports it, explicit-SIMD
+//! variants: AVX2+FMA and AVX-512F on `x86_64`, NEON on `aarch64`.
+//! CPU capability is detected **once** (via
+//! `is_x86_feature_detected!`-style runtime checks) and resolved into a
+//! [`KernelSet`] — a plain struct of function pointers — so hot loops
+//! pay one indirect call per kernel invocation and zero per-call
+//! feature checks.
+//!
+//! The process-wide default set is [`kernels()`]. It honours the
+//! `MTTKRP_KERNEL` environment variable (`auto`, `scalar`, `avx2`,
+//! `avx512`, `neon`) so CI can force the portable fallback, and
+//! [`force_tier`] lets a harness pin the tier programmatically before
+//! first use (the `--kernel` flag). Plans capture a `KernelSet` at
+//! construction, so a forced tier threads through `MttkrpPlan` /
+//! `SparseMttkrpPlan` executions built afterwards.
+
+use std::sync::OnceLock;
+
+pub mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+pub mod aarch64;
+#[cfg(target_arch = "x86_64")]
+pub mod x86_64;
+
+/// Microkernel tile height (rows of C per register tile).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of C per register tile).
+pub const NR: usize = 8;
+
+/// The `MR × NR` register-tile accumulator of the GEMM microkernel.
+pub type MicroTile = [[f64; NR]; MR];
+
+/// A dispatchable kernel tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Portable reference kernels (autovectorized Rust).
+    Scalar,
+    /// AVX2 + FMA (`x86_64`).
+    Avx2,
+    /// AVX-512F (`x86_64`).
+    Avx512,
+    /// NEON / AdvSIMD (`aarch64`).
+    Neon,
+}
+
+impl KernelTier {
+    /// Lower-case tier name as used by `--kernel` and `MTTKRP_KERNEL`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+            KernelTier::Neon => "neon",
+        }
+    }
+
+    /// Parse a tier name (`auto` maps to `None`, i.e. detect).
+    pub fn parse(s: &str) -> Result<Option<KernelTier>, String> {
+        match s {
+            "auto" => Ok(None),
+            "scalar" => Ok(Some(KernelTier::Scalar)),
+            "avx2" => Ok(Some(KernelTier::Avx2)),
+            "avx512" => Ok(Some(KernelTier::Avx512)),
+            "neon" => Ok(Some(KernelTier::Neon)),
+            other => Err(format!(
+                "unknown kernel tier {other:?} (expected auto|scalar|avx2|avx512|neon)"
+            )),
+        }
+    }
+
+    /// Whether this tier's instructions are available on the running CPU.
+    pub fn supported(self) -> bool {
+        match self {
+            KernelTier::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "aarch64")]
+            KernelTier::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelTier::Avx2 | KernelTier::Avx512 => false,
+            #[cfg(not(target_arch = "aarch64"))]
+            KernelTier::Neon => false,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One resolved set of kernel function pointers — the unit of dispatch.
+///
+/// Sets for SIMD tiers are only constructible when
+/// [`KernelTier::supported`] holds (enforced by [`KernelSet::for_tier`]),
+/// which is what makes calling their pointers sound.
+#[derive(Clone, Copy)]
+pub struct KernelSet {
+    tier: KernelTier,
+    /// Dot product `Σ x[i]·y[i]` (equal lengths).
+    pub dot: fn(&[f64], &[f64]) -> f64,
+    /// `y[i] += α·x[i]` (equal lengths).
+    pub axpy: fn(f64, &[f64], &mut [f64]),
+    /// `out[i] = a[i]·b[i]` (equal lengths).
+    pub hadamard: fn(&[f64], &[f64], &mut [f64]),
+    /// `a[i] *= b[i]` (equal lengths).
+    pub hadamard_assign: fn(&mut [f64], &[f64]),
+    /// `out[i] += a[i]·b[i]` (equal lengths) — the CSF internal-node
+    /// accumulate.
+    pub mul_add: fn(&[f64], &[f64], &mut [f64]),
+    /// Rank-1 lower-triangle SYRK row update: for `n = row.len()`,
+    /// `acc[p·n .. p·n+p+1] += row[p] · row[0..=p]` for every `p`
+    /// (`acc.len() == n·n`; only the lower-triangle prefixes are
+    /// touched).
+    pub syrk_rank1_lower: fn(&[f64], &mut [f64]),
+    /// Register-tiled `MR × NR` rank-`kc` GEMM microkernel on packed
+    /// panels: `acc[i][j] += Σ_p a_panel[p·MR+i] · b_panel[p·NR+j]`
+    /// (`a_panel.len() >= kc·MR`, `b_panel.len() >= kc·NR`).
+    pub gemm_micro: fn(usize, &[f64], &[f64], &mut MicroTile),
+}
+
+impl std::fmt::Debug for KernelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelSet")
+            .field("tier", &self.tier)
+            .finish()
+    }
+}
+
+impl KernelSet {
+    /// The tier this set dispatches to.
+    #[inline]
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// The portable reference set (always available).
+    pub fn scalar() -> KernelSet {
+        KernelSet {
+            tier: KernelTier::Scalar,
+            dot: scalar::dot,
+            axpy: scalar::axpy,
+            hadamard: scalar::hadamard,
+            hadamard_assign: scalar::hadamard_assign,
+            mul_add: scalar::mul_add,
+            syrk_rank1_lower: scalar::syrk_rank1_lower,
+            gemm_micro: scalar::gemm_micro,
+        }
+    }
+
+    /// The set for `tier`, or `None` when the running CPU (or compile
+    /// target) does not support it.
+    pub fn for_tier(tier: KernelTier) -> Option<KernelSet> {
+        if !tier.supported() {
+            return None;
+        }
+        match tier {
+            KernelTier::Scalar => Some(KernelSet::scalar()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => Some(x86_64::avx2_set()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => Some(x86_64::avx512_set()),
+            #[cfg(target_arch = "aarch64")]
+            KernelTier::Neon => Some(aarch64::neon_set()),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        }
+    }
+
+    /// The best set the running CPU supports
+    /// (AVX-512 > AVX2 > NEON > scalar).
+    pub fn detect() -> KernelSet {
+        for tier in [KernelTier::Avx512, KernelTier::Avx2, KernelTier::Neon] {
+            if let Some(set) = KernelSet::for_tier(tier) {
+                return set;
+            }
+        }
+        KernelSet::scalar()
+    }
+}
+
+/// Every tier the running CPU supports, best first (scalar always
+/// last). What the parity tests and the kernel microbench iterate over.
+pub fn available_tiers() -> Vec<KernelTier> {
+    let mut tiers = Vec::new();
+    for tier in [KernelTier::Avx512, KernelTier::Avx2, KernelTier::Neon] {
+        if tier.supported() {
+            tiers.push(tier);
+        }
+    }
+    tiers.push(KernelTier::Scalar);
+    tiers
+}
+
+static GLOBAL: OnceLock<KernelSet> = OnceLock::new();
+
+/// The process-wide kernel set, resolved once on first use:
+/// `MTTKRP_KERNEL` (if set and not `auto`) pins the tier, otherwise the
+/// best supported tier is detected.
+///
+/// # Panics
+/// Panics if `MTTKRP_KERNEL` names an unknown tier or one the running
+/// CPU does not support — a forced tier silently falling back would
+/// defeat its point (CI forcing `scalar` must actually test scalar).
+pub fn kernels() -> &'static KernelSet {
+    GLOBAL.get_or_init(|| match std::env::var("MTTKRP_KERNEL") {
+        Ok(name) => match KernelTier::parse(&name) {
+            Ok(None) => KernelSet::detect(),
+            Ok(Some(tier)) => KernelSet::for_tier(tier)
+                .unwrap_or_else(|| panic!("MTTKRP_KERNEL={name} is not supported on this CPU")),
+            Err(e) => panic!("MTTKRP_KERNEL: {e}"),
+        },
+        Err(_) => KernelSet::detect(),
+    })
+}
+
+/// Pin the process-wide tier before first use (the harness `--kernel`
+/// flag). Returns an error if the tier is unsupported on this CPU, or
+/// if the global set was already resolved to a *different* tier.
+pub fn force_tier(tier: KernelTier) -> Result<&'static KernelSet, String> {
+    let set = KernelSet::for_tier(tier)
+        .ok_or_else(|| format!("kernel tier {tier} is not supported on this CPU"))?;
+    let got = GLOBAL.get_or_init(|| set);
+    if got.tier() == tier {
+        Ok(got)
+    } else {
+        Err(format!(
+            "kernel tier already resolved to {} (force_tier({tier}) came too late)",
+            got.tier()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(KernelTier::Scalar.supported());
+        assert_eq!(KernelSet::scalar().tier(), KernelTier::Scalar);
+        assert_eq!(
+            KernelSet::for_tier(KernelTier::Scalar).unwrap().tier(),
+            KernelTier::Scalar
+        );
+    }
+
+    #[test]
+    fn available_tiers_ends_with_scalar_and_are_constructible() {
+        let tiers = available_tiers();
+        assert_eq!(*tiers.last().unwrap(), KernelTier::Scalar);
+        for tier in tiers {
+            let set = KernelSet::for_tier(tier).expect("listed tier must resolve");
+            assert_eq!(set.tier(), tier);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for tier in [
+            KernelTier::Scalar,
+            KernelTier::Avx2,
+            KernelTier::Avx512,
+            KernelTier::Neon,
+        ] {
+            assert_eq!(KernelTier::parse(tier.name()), Ok(Some(tier)));
+        }
+        assert_eq!(KernelTier::parse("auto"), Ok(None));
+        assert!(KernelTier::parse("sse9").is_err());
+    }
+
+    #[test]
+    fn detect_matches_global_default_tier() {
+        // The global may have been pinned by the environment; absent
+        // that, it must agree with fresh detection.
+        if std::env::var("MTTKRP_KERNEL").is_err() {
+            assert_eq!(kernels().tier(), KernelSet::detect().tier());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Portable reference kernels — the semantic ground truth every SIMD
+//! tier is property-tested against.
+//!
+//! These are plain Rust loops written so LLVM's autovectorizer does
+//! well on them (independent partial sums, fixed-width inner blocks);
+//! they are also the fallback tier on CPUs without AVX2/NEON.
+
+use super::{MicroTile, MR, NR};
+
+/// Dot product `Σ x[i]·y[i]`.
+///
+/// Accumulates in four independent partial sums so the loop vectorizes
+/// and the rounding behaviour is deterministic for a given length.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let xb = &x[c * 4..c * 4 + 4];
+        let yb = &y[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            acc[l] += xb[l] * yb[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y[i] += α·x[i]`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `out[i] = a[i]·b[i]`.
+pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for i in 0..out.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// `a[i] *= b[i]`.
+pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        *ai *= bi;
+    }
+}
+
+/// `out[i] += a[i]·b[i]`.
+pub fn mul_add(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &ai), &bi) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o += ai * bi;
+    }
+}
+
+/// Rank-1 lower-triangle SYRK row update:
+/// `acc[p·n .. p·n+p+1] += row[p] · row[0..=p]` for `p in 0..n`.
+pub fn syrk_rank1_lower(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        let dst = &mut acc[p * n..p * n + p + 1];
+        for (q, d) in dst.iter_mut().enumerate() {
+            *d += rp * row[q];
+        }
+    }
+}
+
+/// Register-tiled `MR × NR` rank-`kc` update on packed panels:
+/// `acc[i][j] += Σ_p a_panel[p·MR+i] · b_panel[p·NR+j]`.
+///
+/// The accumulator lives in `MR × NR` locals; with `MR = 4`, `NR = 8`
+/// LLVM vectorizes the inner loop into FMA lanes.
+#[inline]
+pub fn gemm_micro(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    for p in 0..kc {
+        let a = &a_panel[p * MR..p * MR + MR];
+        let b = &b_panel[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! `x86_64` SIMD kernels: AVX2+FMA and AVX-512F.
+//!
+//! Every public wrapper here is a *safe* fn whose body immediately
+//! enters the matching `#[target_feature]` implementation. That is
+//! sound because the wrappers are only ever reachable through
+//! [`avx2_set`] / [`avx512_set`], which [`super::KernelSet::for_tier`]
+//! refuses to construct unless the running CPU reports the features —
+//! the `is_x86_feature_detected!` contract of the module docs.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+
+use super::{KernelSet, KernelTier, MicroTile, MR, NR};
+
+/// The AVX2+FMA set. Caller contract: only hand this out after
+/// `KernelTier::Avx2.supported()` returned true.
+pub(super) fn avx2_set() -> KernelSet {
+    KernelSet {
+        tier: KernelTier::Avx2,
+        dot: dot_avx2,
+        axpy: axpy_avx2,
+        hadamard: hadamard_avx2,
+        hadamard_assign: hadamard_assign_avx2,
+        mul_add: mul_add_avx2,
+        syrk_rank1_lower: syrk_rank1_lower_avx2,
+        gemm_micro: gemm_micro_avx2,
+    }
+}
+
+/// The AVX-512F set. Caller contract: only hand this out after
+/// `KernelTier::Avx512.supported()` returned true.
+pub(super) fn avx512_set() -> KernelSet {
+    KernelSet {
+        tier: KernelTier::Avx512,
+        dot: dot_avx512,
+        axpy: axpy_avx512,
+        hadamard: hadamard_avx512,
+        hadamard_assign: hadamard_assign_avx512,
+        mul_add: mul_add_avx512,
+        syrk_rank1_lower: syrk_rank1_lower_avx512,
+        gemm_micro: gemm_micro_avx512,
+    }
+}
+
+/// Horizontal sum of a 256-bit accumulator.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256(v: __m256d) -> f64 {
+    let hi = _mm256_extractf128_pd::<1>(v);
+    let lo = _mm256_castpd256_pd128(v);
+    let s = _mm_add_pd(lo, hi);
+    let hi64 = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, hi64))
+}
+
+// ---------------------------------------------------------------- AVX2
+
+fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { dot_avx2_impl(x, y) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2_impl(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+        acc1 = _mm256_fmadd_pd(
+            _mm256_loadu_pd(xp.add(i + 4)),
+            _mm256_loadu_pd(yp.add(i + 4)),
+            acc1,
+        );
+        i += 8;
+    }
+    if i + 4 <= n {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+        i += 4;
+    }
+    let mut s = hsum256(_mm256_add_pd(acc0, acc1));
+    while i < n {
+        s += x[i] * y[i];
+        i += 1;
+    }
+    s
+}
+
+fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { axpy_avx2_impl(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let va = _mm256_set1_pd(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm256_fmadd_pd(va, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+        _mm256_storeu_pd(yp.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i];
+        i += 1;
+    }
+}
+
+fn hadamard_avx2(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { hadamard_avx2_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hadamard_avx2_impl(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm256_mul_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+        _mm256_storeu_pd(op.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+fn hadamard_assign_avx2(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { hadamard_assign_avx2_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hadamard_assign_avx2_impl(a: &mut [f64], b: &[f64]) {
+    let n = a.len();
+    let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm256_mul_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+        _mm256_storeu_pd(ap.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        a[i] *= b[i];
+        i += 1;
+    }
+}
+
+fn mul_add_avx2(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { mul_add_avx2_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mul_add_avx2_impl(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm256_fmadd_pd(
+            _mm256_loadu_pd(ap.add(i)),
+            _mm256_loadu_pd(bp.add(i)),
+            _mm256_loadu_pd(op.add(i)),
+        );
+        _mm256_storeu_pd(op.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        out[i] += a[i] * b[i];
+        i += 1;
+    }
+}
+
+fn syrk_rank1_lower_avx2(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    unsafe { syrk_rank1_lower_avx2_impl(row, acc) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn syrk_rank1_lower_avx2_impl(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        // acc[p·n .. p·n+p+1] += rp · row[0..=p]
+        axpy_avx2_impl(rp, &row[..p + 1], &mut acc[p * n..p * n + p + 1]);
+    }
+}
+
+fn gemm_micro_avx2(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    unsafe { gemm_micro_avx2_impl(kc, a_panel, b_panel, acc) }
+}
+
+/// 4×8 register tile: 8 ymm accumulators (2 per C row), one broadcast
+/// of A per row, two loads of B per rank-1 step — 11 of 16 ymm.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_micro_avx2_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    let cp = acc.as_mut_ptr() as *mut f64;
+    let mut c00 = _mm256_loadu_pd(cp);
+    let mut c01 = _mm256_loadu_pd(cp.add(4));
+    let mut c10 = _mm256_loadu_pd(cp.add(8));
+    let mut c11 = _mm256_loadu_pd(cp.add(12));
+    let mut c20 = _mm256_loadu_pd(cp.add(16));
+    let mut c21 = _mm256_loadu_pd(cp.add(20));
+    let mut c30 = _mm256_loadu_pd(cp.add(24));
+    let mut c31 = _mm256_loadu_pd(cp.add(28));
+    let ap = a_panel.as_ptr();
+    let bp = b_panel.as_ptr();
+    for p in 0..kc {
+        let b0 = _mm256_loadu_pd(bp.add(p * NR));
+        let b1 = _mm256_loadu_pd(bp.add(p * NR + 4));
+        let a0 = _mm256_set1_pd(*ap.add(p * MR));
+        c00 = _mm256_fmadd_pd(a0, b0, c00);
+        c01 = _mm256_fmadd_pd(a0, b1, c01);
+        let a1 = _mm256_set1_pd(*ap.add(p * MR + 1));
+        c10 = _mm256_fmadd_pd(a1, b0, c10);
+        c11 = _mm256_fmadd_pd(a1, b1, c11);
+        let a2 = _mm256_set1_pd(*ap.add(p * MR + 2));
+        c20 = _mm256_fmadd_pd(a2, b0, c20);
+        c21 = _mm256_fmadd_pd(a2, b1, c21);
+        let a3 = _mm256_set1_pd(*ap.add(p * MR + 3));
+        c30 = _mm256_fmadd_pd(a3, b0, c30);
+        c31 = _mm256_fmadd_pd(a3, b1, c31);
+    }
+    _mm256_storeu_pd(cp, c00);
+    _mm256_storeu_pd(cp.add(4), c01);
+    _mm256_storeu_pd(cp.add(8), c10);
+    _mm256_storeu_pd(cp.add(12), c11);
+    _mm256_storeu_pd(cp.add(16), c20);
+    _mm256_storeu_pd(cp.add(20), c21);
+    _mm256_storeu_pd(cp.add(24), c30);
+    _mm256_storeu_pd(cp.add(28), c31);
+}
+
+// -------------------------------------------------------------- AVX-512
+
+fn dot_avx512(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { dot_avx512_impl(x, y) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn dot_avx512_impl(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = _mm512_setzero_pd();
+    let mut acc1 = _mm512_setzero_pd();
+    let mut i = 0;
+    while i + 16 <= n {
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(xp.add(i)), _mm512_loadu_pd(yp.add(i)), acc0);
+        acc1 = _mm512_fmadd_pd(
+            _mm512_loadu_pd(xp.add(i + 8)),
+            _mm512_loadu_pd(yp.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(xp.add(i)), _mm512_loadu_pd(yp.add(i)), acc0);
+        i += 8;
+    }
+    let mut s = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+    while i < n {
+        s += x[i] * y[i];
+        i += 1;
+    }
+    s
+}
+
+fn axpy_avx512(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { axpy_avx512_impl(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let va = _mm512_set1_pd(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm512_fmadd_pd(va, _mm512_loadu_pd(xp.add(i)), _mm512_loadu_pd(yp.add(i)));
+        _mm512_storeu_pd(yp.add(i), r);
+        i += 8;
+    }
+    if i < n {
+        let mask: __mmask8 = (1u8 << (n - i)) - 1;
+        let r = _mm512_fmadd_pd(
+            va,
+            _mm512_maskz_loadu_pd(mask, xp.add(i)),
+            _mm512_maskz_loadu_pd(mask, yp.add(i)),
+        );
+        _mm512_mask_storeu_pd(yp.add(i), mask, r);
+    }
+}
+
+fn hadamard_avx512(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { hadamard_avx512_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn hadamard_avx512_impl(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm512_mul_pd(_mm512_loadu_pd(ap.add(i)), _mm512_loadu_pd(bp.add(i)));
+        _mm512_storeu_pd(op.add(i), r);
+        i += 8;
+    }
+    if i < n {
+        let mask: __mmask8 = (1u8 << (n - i)) - 1;
+        let r = _mm512_mul_pd(
+            _mm512_maskz_loadu_pd(mask, ap.add(i)),
+            _mm512_maskz_loadu_pd(mask, bp.add(i)),
+        );
+        _mm512_mask_storeu_pd(op.add(i), mask, r);
+    }
+}
+
+fn hadamard_assign_avx512(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { hadamard_assign_avx512_impl(a, b) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn hadamard_assign_avx512_impl(a: &mut [f64], b: &[f64]) {
+    let n = a.len();
+    let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm512_mul_pd(_mm512_loadu_pd(ap.add(i)), _mm512_loadu_pd(bp.add(i)));
+        _mm512_storeu_pd(ap.add(i), r);
+        i += 8;
+    }
+    if i < n {
+        let mask: __mmask8 = (1u8 << (n - i)) - 1;
+        let r = _mm512_mul_pd(
+            _mm512_maskz_loadu_pd(mask, ap.add(i)),
+            _mm512_maskz_loadu_pd(mask, bp.add(i)),
+        );
+        _mm512_mask_storeu_pd(ap.add(i), mask, r);
+    }
+}
+
+fn mul_add_avx512(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { mul_add_avx512_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn mul_add_avx512_impl(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm512_fmadd_pd(
+            _mm512_loadu_pd(ap.add(i)),
+            _mm512_loadu_pd(bp.add(i)),
+            _mm512_loadu_pd(op.add(i)),
+        );
+        _mm512_storeu_pd(op.add(i), r);
+        i += 8;
+    }
+    if i < n {
+        let mask: __mmask8 = (1u8 << (n - i)) - 1;
+        let r = _mm512_fmadd_pd(
+            _mm512_maskz_loadu_pd(mask, ap.add(i)),
+            _mm512_maskz_loadu_pd(mask, bp.add(i)),
+            _mm512_maskz_loadu_pd(mask, op.add(i)),
+        );
+        _mm512_mask_storeu_pd(op.add(i), mask, r);
+    }
+}
+
+fn syrk_rank1_lower_avx512(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    unsafe { syrk_rank1_lower_avx512_impl(row, acc) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn syrk_rank1_lower_avx512_impl(row: &[f64], acc: &mut [f64]) {
+    let n = row.len();
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        axpy_avx512_impl(rp, &row[..p + 1], &mut acc[p * n..p * n + p + 1]);
+    }
+}
+
+fn gemm_micro_avx512(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    unsafe { gemm_micro_avx512_impl(kc, a_panel, b_panel, acc) }
+}
+
+/// 4×8 register tile with one zmm per C row: 4 accumulators, one B
+/// load, four A broadcasts per rank-1 step.
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_micro_avx512_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+    let cp = acc.as_mut_ptr() as *mut f64;
+    let mut c0 = _mm512_loadu_pd(cp);
+    let mut c1 = _mm512_loadu_pd(cp.add(8));
+    let mut c2 = _mm512_loadu_pd(cp.add(16));
+    let mut c3 = _mm512_loadu_pd(cp.add(24));
+    let ap = a_panel.as_ptr();
+    let bp = b_panel.as_ptr();
+    for p in 0..kc {
+        let b = _mm512_loadu_pd(bp.add(p * NR));
+        c0 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(p * MR)), b, c0);
+        c1 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(p * MR + 1)), b, c1);
+        c2 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(p * MR + 2)), b, c2);
+        c3 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(p * MR + 3)), b, c3);
+    }
+    _mm512_storeu_pd(cp, c0);
+    _mm512_storeu_pd(cp.add(8), c1);
+    _mm512_storeu_pd(cp.add(16), c2);
+    _mm512_storeu_pd(cp.add(24), c3);
+}

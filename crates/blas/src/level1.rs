@@ -1,37 +1,25 @@
-//! Vector (level-1) kernels.
+//! Vector (level-1) kernels, dispatched through the process-wide
+//! [`crate::kernels`] set.
 //!
 //! The Hadamard (element-wise) product is the workhorse of the row-wise
 //! Khatri-Rao product: every output row of a KRP is a Hadamard product of
-//! one row from each input factor matrix (§2.1 of the paper).
+//! one row from each input factor matrix (§2.1 of the paper). These
+//! wrappers validate lengths and forward to the resolved SIMD tier;
+//! hot loops that already hold a `KernelSet` (KRP streams, plan
+//! executors) call its function pointers directly.
+
+use crate::kernels::kernels;
 
 /// Dot product `Σ x[i]·y[i]`.
-///
-/// Accumulates in four independent partial sums so the loop vectorizes
-/// and the rounding behaviour is deterministic for a given length.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
-    let mut acc = [0.0f64; 4];
-    let chunks = x.len() / 4;
-    for c in 0..chunks {
-        let xb = &x[c * 4..c * 4 + 4];
-        let yb = &y[c * 4..c * 4 + 4];
-        for l in 0..4 {
-            acc[l] += xb[l] * yb[l];
-        }
-    }
-    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for i in chunks * 4..x.len() {
-        s += x[i] * y[i];
-    }
-    s
+    (kernels().dot)(x, y)
 }
 
 /// `y ← y + α·x`.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    (kernels().axpy)(alpha, x, y)
 }
 
 /// `x ← α·x`.
@@ -52,18 +40,22 @@ pub fn copy(src: &[f64], dst: &mut [f64]) {
 pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
     assert_eq!(a.len(), b.len(), "hadamard length mismatch");
     assert_eq!(a.len(), out.len(), "hadamard output length mismatch");
-    for i in 0..out.len() {
-        out[i] = a[i] * b[i];
-    }
+    (kernels().hadamard)(a, b, out)
 }
 
 /// In-place Hadamard product `a[i] *= b[i]`.
 #[inline]
 pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
     assert_eq!(a.len(), b.len(), "hadamard length mismatch");
-    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
-        *ai *= bi;
-    }
+    (kernels().hadamard_assign)(a, b)
+}
+
+/// Fused multiply-accumulate `out[i] += a[i]·b[i]`.
+#[inline]
+pub fn mul_add(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "mul_add length mismatch");
+    assert_eq!(a.len(), out.len(), "mul_add output length mismatch");
+    (kernels().mul_add)(a, b, out)
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -118,6 +110,15 @@ mod tests {
         let mut a2 = a.clone();
         hadamard_assign(&mut a2, &b);
         assert_eq!(a2, out);
+    }
+
+    #[test]
+    fn mul_add_accumulates_products() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, 5.0, 6.0];
+        let mut out = vec![10.0, 10.0, 10.0];
+        mul_add(&a, &b, &mut out);
+        assert_eq!(out, vec![14.0, 20.0, 28.0]);
     }
 
     #[test]

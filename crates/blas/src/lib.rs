@@ -18,18 +18,25 @@
 //! * [`gemv()`] — matrix-vector multiply used by the 2-step multi-TTV.
 //! * [`level1`] — dot/axpy/scale/Hadamard vector kernels (the Hadamard
 //!   product is the inner operation of the row-wise Khatri-Rao product).
+//! * [`kernels`] — runtime-dispatched hardware kernels (scalar
+//!   reference plus AVX2+FMA / AVX-512F / NEON variants) resolved once
+//!   into a [`KernelSet`] of function pointers that the GEMM
+//!   microkernel, SYRK row updates, level-1 wrappers, KRP row streams,
+//!   and CSF accumulate loops all run on.
 //! * [`stream`] — the STREAM bandwidth benchmark (McCalpin) the paper
 //!   compares the KRP against in Figure 4.
 
 pub mod gemm;
 pub mod gemv;
+pub mod kernels;
 pub mod level1;
 pub mod mat;
 pub mod stream;
 pub mod syrk;
 
-pub use gemm::{gemm, par_gemm};
+pub use gemm::{gemm, gemm_with, par_gemm, par_gemm_with};
 pub use gemv::{gemv, par_gemv};
-pub use level1::{axpy, copy, dot, hadamard, hadamard_assign, scale};
+pub use kernels::{available_tiers, force_tier, kernels, KernelSet, KernelTier};
+pub use level1::{axpy, copy, dot, hadamard, hadamard_assign, mul_add, scale};
 pub use mat::{Layout, MatMut, MatRef};
-pub use syrk::{par_syrk_t, syrk_t};
+pub use syrk::{par_syrk_t, par_syrk_t_ws, syrk_t, syrk_t_with, SyrkWorkspace};

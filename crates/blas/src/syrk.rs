@@ -4,141 +4,189 @@
 //! Exploits symmetry: only the lower triangle is computed, then
 //! mirrored. For the tall-skinny factors of CP-ALS (`I_n × C` with
 //! small `C`) this is bandwidth-bound on reading `A`, so the kernel
-//! streams `A` once, accumulating all `C(C+1)/2` pairs per row block.
+//! streams `A` once, accumulating all `C(C+1)/2` pairs per row block
+//! through the dispatched [`crate::kernels`] rank-1 row update.
+//!
+//! Gram matrices are recomputed `N` times per CP-ALS iteration, so both
+//! entry points are allocation-free in steady state: [`syrk_t`] keeps
+//! its accumulator in a thread-local that is grown once and reused, and
+//! [`par_syrk_t_ws`] takes a caller-held [`SyrkWorkspace`] of per-thread
+//! accumulators (the plain [`par_syrk_t`] wrapper builds a fresh one
+//! per call for one-shot use).
 
-use mttkrp_parallel::ThreadPool;
+use std::cell::RefCell;
 
-use crate::mat::{Layout, MatMut, MatRef};
+use mttkrp_parallel::{block_range, ThreadPool, Workspace};
 
-/// `C ← α·AᵀA + β·C` with `A` an `m × n` view and `C` an `n × n`
-/// matrix. Both triangles of `C` are written (full symmetric result).
-pub fn syrk_t(alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+use crate::gemm::scale_c;
+use crate::kernels::{kernels, KernelSet};
+use crate::mat::{MatMut, MatRef};
+
+/// Accumulate the lower triangle of `AᵀA` into `acc` (`n × n`,
+/// row-indexed `acc[p * n + q]`, `q <= p`), which must be zeroed by the
+/// caller.
+fn syrk_acc_lower(ks: &KernelSet, a: &MatRef, acc: &mut [f64]) {
     let (m, n) = (a.nrows(), a.ncols());
-    assert_eq!(c.nrows(), n, "output must be n x n");
-    assert_eq!(c.ncols(), n, "output must be n x n");
-
-    // Scale/clear C first (lower triangle suffices, mirrored at the end,
-    // but clearing everything keeps the beta semantics obvious).
-    if beta == 0.0 {
-        c.fill(0.0);
-    } else if beta != 1.0 {
-        for i in 0..n {
-            for j in 0..n {
-                unsafe {
-                    let v = c.get_unchecked(i, j);
-                    c.set_unchecked(i, j, v * beta);
-                }
-            }
-        }
-    }
-    if alpha == 0.0 || m == 0 || n == 0 {
-        return;
-    }
-
+    debug_assert_eq!(acc.len(), n * n);
     if a.col_stride() == 1 {
         // Row-contiguous A (the CP-ALS factor layout): stream rows,
         // accumulate outer products into the lower triangle.
-        let mut acc = vec![0.0f64; n * n];
         for i in 0..m {
-            let row = a.row_slice(i);
-            for p in 0..n {
-                let rp = row[p];
-                if rp == 0.0 {
-                    continue;
-                }
-                let dst = &mut acc[p * n..p * n + p + 1];
-                for (q, d) in dst.iter_mut().enumerate() {
-                    *d += rp * row[q];
-                }
-            }
-        }
-        for p in 0..n {
-            for q in 0..=p {
-                let v = alpha * acc[p * n + q];
-                unsafe {
-                    let lo = c.get_unchecked(p, q);
-                    c.set_unchecked(p, q, lo + v);
-                    if p != q {
-                        let hi = c.get_unchecked(q, p);
-                        c.set_unchecked(q, p, hi + v);
-                    }
-                }
-            }
+            (ks.syrk_rank1_lower)(a.row_slice(i), acc);
         }
     } else {
-        // Generic strides: pairwise column dot products.
+        // Generic strides: pairwise column dot products (cold path).
         for p in 0..n {
             for q in 0..=p {
                 let mut s = 0.0;
                 for i in 0..m {
                     s += unsafe { a.get_unchecked(i, p) * a.get_unchecked(i, q) };
                 }
-                let v = alpha * s;
-                unsafe {
-                    let lo = c.get_unchecked(p, q);
-                    c.set_unchecked(p, q, lo + v);
-                    if p != q {
-                        let hi = c.get_unchecked(q, p);
-                        c.set_unchecked(q, p, hi + v);
-                    }
+                acc[p * n + q] += s;
+            }
+        }
+    }
+}
+
+/// Mirror `alpha * acc` (lower triangle) into both triangles of `C`.
+fn add_mirrored(alpha: f64, acc: &[f64], c: &mut MatMut) {
+    let n = c.nrows();
+    for p in 0..n {
+        for q in 0..=p {
+            let v = alpha * acc[p * n + q];
+            unsafe {
+                let lo = c.get_unchecked(p, q);
+                c.set_unchecked(p, q, lo + v);
+                if p != q {
+                    let hi = c.get_unchecked(q, p);
+                    c.set_unchecked(q, p, hi + v);
                 }
             }
         }
     }
 }
 
+/// `C ← α·AᵀA + β·C` with `A` an `m × n` view and `C` an `n × n`
+/// matrix. Both triangles of `C` are written (full symmetric result).
+/// Dispatches through the process-wide [`kernels()`].
+pub fn syrk_t(alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+    syrk_t_with(kernels(), alpha, a, beta, c)
+}
+
+/// [`syrk_t`] against an explicit [`KernelSet`].
+pub fn syrk_t_with(ks: &KernelSet, alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+    let (m, n) = (a.nrows(), a.ncols());
+    assert_eq!(c.nrows(), n, "output must be n x n");
+    assert_eq!(c.ncols(), n, "output must be n x n");
+
+    scale_c(c, beta);
+    if alpha == 0.0 || m == 0 || n == 0 {
+        return;
+    }
+
+    // The accumulator is thread-local so repeated Gram computations
+    // (N per CP-ALS iteration) do not heap-allocate in steady state.
+    thread_local! {
+        static SYRK_ACC: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    }
+    SYRK_ACC.with(|accs| {
+        let mut accs = accs.borrow_mut();
+        accs.clear();
+        accs.resize(n * n, 0.0);
+        syrk_acc_lower(ks, &a, &mut accs);
+        add_mirrored(alpha, &accs, c);
+    });
+}
+
+/// Reusable per-thread Gram accumulators for [`par_syrk_t_ws`]: hold
+/// one across calls and the parallel SYRK performs no steady-state
+/// heap allocation (buffers grow once to `n × n` and are retained).
+#[derive(Debug)]
+pub struct SyrkWorkspace {
+    ws: Workspace<Vec<f64>>,
+}
+
+impl SyrkWorkspace {
+    /// One (initially empty) accumulator slot per pool thread.
+    pub fn new(threads: usize) -> Self {
+        SyrkWorkspace {
+            ws: Workspace::new(threads, |_| Vec::new()),
+        }
+    }
+
+    /// Slot count (must match the pool at call time).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.ws.threads()
+    }
+}
+
 /// Parallel [`syrk_t`]: rows of `A` are statically partitioned and each
-/// thread accumulates a private `n × n` Gram, reduced at the end —
-/// exactly the thread-private-plus-reduction pattern of the MTTKRP
-/// algorithms.
-pub fn par_syrk_t(pool: &ThreadPool, alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+/// thread accumulates a private lower-triangle Gram in its workspace
+/// slot, reduced at the end — exactly the thread-private-plus-reduction
+/// pattern of the MTTKRP algorithms.
+pub fn par_syrk_t_ws(
+    pool: &ThreadPool,
+    ws: &mut SyrkWorkspace,
+    alpha: f64,
+    a: MatRef,
+    beta: f64,
+    c: &mut MatMut,
+) {
+    par_syrk_t_ws_with(kernels(), pool, ws, alpha, a, beta, c)
+}
+
+/// [`par_syrk_t_ws`] against an explicit [`KernelSet`].
+pub fn par_syrk_t_ws_with(
+    ks: &KernelSet,
+    pool: &ThreadPool,
+    ws: &mut SyrkWorkspace,
+    alpha: f64,
+    a: MatRef,
+    beta: f64,
+    c: &mut MatMut,
+) {
     let (m, n) = (a.nrows(), a.ncols());
     let t = pool.num_threads();
     if t == 1 || m < 4 * t {
-        syrk_t(alpha, a, beta, c);
+        syrk_t_with(ks, alpha, a, beta, c);
         return;
     }
-    let privs = pool.run_with_private(
-        |_| vec![0.0f64; n * n],
-        |ctx, buf| {
-            let r = mttkrp_parallel::block_range(m, ctx.num_threads, ctx.thread_id);
-            if r.is_empty() {
-                return;
-            }
-            let blk = a.submatrix(r.start, 0, r.len(), n);
-            let mut view = MatMut::from_slice(buf, n, n, Layout::ColMajor);
-            syrk_t(1.0, blk, 0.0, &mut view);
-        },
-    );
-    // Combine private Grams into C with alpha/beta.
-    if beta == 0.0 {
-        c.fill(0.0);
-    } else if beta != 1.0 {
-        for i in 0..n {
-            for j in 0..n {
-                unsafe {
-                    let v = c.get_unchecked(i, j);
-                    c.set_unchecked(i, j, v * beta);
-                }
-            }
+    assert_eq!(c.nrows(), n, "output must be n x n");
+    assert_eq!(c.ncols(), n, "output must be n x n");
+    pool.run_with_workspace(&mut ws.ws, |ctx, acc| {
+        acc.clear();
+        acc.resize(n * n, 0.0);
+        let r = block_range(m, ctx.num_threads, ctx.thread_id);
+        if r.is_empty() {
+            return;
         }
+        let blk = a.submatrix(r.start, 0, r.len(), n);
+        syrk_acc_lower(ks, &blk, acc);
+    });
+    // Combine private lower-triangle Grams into C with alpha/beta.
+    scale_c(c, beta);
+    if alpha == 0.0 {
+        return;
     }
-    for buf in &privs {
-        for i in 0..n {
-            for j in 0..n {
-                unsafe {
-                    let v = c.get_unchecked(i, j);
-                    c.set_unchecked(i, j, v + alpha * buf[i + j * n]);
-                }
-            }
-        }
+    for acc in ws.ws.slots() {
+        add_mirrored(alpha, acc, c);
     }
+}
+
+/// One-shot parallel `C ← α·AᵀA + β·C`: builds a fresh [`SyrkWorkspace`]
+/// per call. Iterative drivers should hold a workspace and call
+/// [`par_syrk_t_ws`] instead.
+pub fn par_syrk_t(pool: &ThreadPool, alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+    let mut ws = SyrkWorkspace::new(pool.num_threads());
+    par_syrk_t_ws(pool, &mut ws, alpha, a, beta, c)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gemm::gemm;
+    use crate::mat::Layout;
 
     fn data(n: usize, seed: u64) -> Vec<f64> {
         let mut s = seed | 1;
@@ -221,5 +269,35 @@ mod tests {
         for (x, y) in par.iter().zip(&seq) {
             assert!((x - y).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn workspace_variant_is_reusable_and_matches() {
+        let pool = ThreadPool::new(3);
+        let mut ws = SyrkWorkspace::new(3);
+        assert_eq!(ws.threads(), 3);
+        for (m, n) in [(120usize, 4usize), (64, 7), (200, 3)] {
+            let a_data = data(m * n, (m + n) as u64);
+            let a = MatRef::from_slice(&a_data, m, n, Layout::RowMajor);
+            let mut seq = vec![0.0; n * n];
+            let mut sv = MatMut::from_slice(&mut seq, n, n, Layout::ColMajor);
+            syrk_t(1.0, a, 0.0, &mut sv);
+            let mut par = vec![f64::NAN; n * n];
+            let mut pv = MatMut::from_slice(&mut par, n, n, Layout::ColMajor);
+            par_syrk_t_ws(&pool, &mut ws, 1.0, a, 0.0, &mut pv);
+            for (x, y) in par.iter().zip(&seq) {
+                assert!((x - y).abs() < 1e-10, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_only_scales() {
+        let a_data = data(12, 2);
+        let a = MatRef::from_slice(&a_data, 4, 3, Layout::RowMajor);
+        let mut c = vec![2.0; 9];
+        let mut view = MatMut::from_slice(&mut c, 3, 3, Layout::ColMajor);
+        syrk_t(0.0, a, 0.5, &mut view);
+        assert!(c.iter().all(|&x| x == 1.0));
     }
 }

@@ -1,0 +1,297 @@
+//! Kernel-parity property tests: every dispatch tier the host CPU
+//! supports must agree with the scalar reference to ≤ 1e-13 relative
+//! error on seeded random inputs, including unaligned/remainder
+//! lengths, `alpha == 0`, the NaN-clearing `beta` semantics of the full
+//! GEMM, and tiles smaller than `MR × NR`.
+
+use mttkrp_blas::kernels::{available_tiers, KernelSet, KernelTier, MicroTile, MR, NR};
+use mttkrp_blas::{gemm_with, syrk_t_with, Layout, MatMut, MatRef};
+
+/// Relative-error budget of the acceptance criterion.
+const TOL: f64 = 1e-13;
+
+/// Lengths crossing every SIMD width boundary (2/4/8/16 lanes) plus
+/// their off-by-one neighbours and a few long streams.
+const LENGTHS: &[usize] = &[
+    0, 1, 2, 3, 4, 5, 7, 8, 9, 11, 15, 16, 17, 23, 31, 32, 33, 63, 64, 65, 100, 127, 128, 129, 255,
+    1000,
+];
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn assert_close(got: f64, want: f64, ctx: &str) {
+    assert!(
+        (got - want).abs() <= TOL * (1.0 + want.abs()),
+        "{ctx}: {got} vs {want}"
+    );
+}
+
+fn assert_all_close(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            (g - w).abs() <= TOL * (1.0 + w.abs()),
+            "{ctx}[{i}]: {g} vs {w}"
+        );
+    }
+}
+
+/// SIMD tiers to compare against the scalar reference (scalar itself is
+/// skipped — it would compare against itself).
+fn simd_tiers() -> Vec<(KernelTier, KernelSet)> {
+    available_tiers()
+        .into_iter()
+        .filter(|&t| t != KernelTier::Scalar)
+        .map(|t| (t, KernelSet::for_tier(t).expect("listed tier resolves")))
+        .collect()
+}
+
+#[test]
+fn dot_matches_scalar_on_all_lengths() {
+    let reference = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for &n in LENGTHS {
+            let x = rand_vec(n, 11 + n as u64);
+            let y = rand_vec(n, 29 + n as u64);
+            let want = (reference.dot)(&x, &y);
+            let got = (ks.dot)(&x, &y);
+            assert_close(got, want, &format!("dot {tier} n={n}"));
+        }
+    }
+}
+
+#[test]
+fn axpy_matches_scalar_including_alpha_zero() {
+    let reference = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for &n in LENGTHS {
+            for &alpha in &[0.0, 1.0, -2.5, 0.37] {
+                let x = rand_vec(n, 3 + n as u64);
+                let y0 = rand_vec(n, 5 + n as u64);
+                let mut want = y0.clone();
+                (reference.axpy)(alpha, &x, &mut want);
+                let mut got = y0.clone();
+                (ks.axpy)(alpha, &x, &mut got);
+                assert_all_close(&got, &want, &format!("axpy {tier} n={n} alpha={alpha}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn hadamard_family_matches_scalar() {
+    let reference = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for &n in LENGTHS {
+            let a = rand_vec(n, 7 + n as u64);
+            let b = rand_vec(n, 13 + n as u64);
+
+            let mut want = vec![f64::NAN; n];
+            (reference.hadamard)(&a, &b, &mut want);
+            let mut got = vec![f64::NAN; n];
+            (ks.hadamard)(&a, &b, &mut got);
+            assert_all_close(&got, &want, &format!("hadamard {tier} n={n}"));
+
+            let mut want_assign = a.clone();
+            (reference.hadamard_assign)(&mut want_assign, &b);
+            let mut got_assign = a.clone();
+            (ks.hadamard_assign)(&mut got_assign, &b);
+            assert_all_close(
+                &got_assign,
+                &want_assign,
+                &format!("hadamard_assign {tier} n={n}"),
+            );
+
+            let acc0 = rand_vec(n, 17 + n as u64);
+            let mut want_acc = acc0.clone();
+            (reference.mul_add)(&a, &b, &mut want_acc);
+            let mut got_acc = acc0.clone();
+            (ks.mul_add)(&a, &b, &mut got_acc);
+            assert_all_close(&got_acc, &want_acc, &format!("mul_add {tier} n={n}"));
+        }
+    }
+}
+
+#[test]
+fn syrk_rank1_lower_matches_scalar() {
+    let reference = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 25, 33] {
+            let row = rand_vec(n, 41 + n as u64);
+            let acc0 = rand_vec(n * n, 43 + n as u64);
+            let mut want = acc0.clone();
+            (reference.syrk_rank1_lower)(&row, &mut want);
+            let mut got = acc0.clone();
+            (ks.syrk_rank1_lower)(&row, &mut got);
+            assert_all_close(&got, &want, &format!("syrk_rank1_lower {tier} n={n}"));
+        }
+    }
+}
+
+#[test]
+fn syrk_rank1_lower_with_zero_entries_skips_consistently() {
+    // Zero entries in the row exercise the early-continue path.
+    let reference = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        let mut row = rand_vec(9, 71);
+        row[0] = 0.0;
+        row[4] = 0.0;
+        row[8] = 0.0;
+        let mut want = vec![0.0; 81];
+        (reference.syrk_rank1_lower)(&row, &mut want);
+        let mut got = vec![0.0; 81];
+        (ks.syrk_rank1_lower)(&row, &mut got);
+        assert_all_close(&got, &want, &format!("syrk zero-entries {tier}"));
+    }
+}
+
+#[test]
+fn gemm_micro_matches_scalar() {
+    let reference = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for kc in [0usize, 1, 2, 3, 8, 17, 100, 256] {
+            let a_panel = rand_vec(kc * MR, 51 + kc as u64);
+            let b_panel = rand_vec(kc * NR, 53 + kc as u64);
+            let init = rand_vec(MR * NR, 57 + kc as u64);
+            let to_tile = |v: &[f64]| {
+                let mut t: MicroTile = [[0.0; NR]; MR];
+                for i in 0..MR {
+                    t[i].copy_from_slice(&v[i * NR..(i + 1) * NR]);
+                }
+                t
+            };
+            let mut want = to_tile(&init);
+            (reference.gemm_micro)(kc, &a_panel, &b_panel, &mut want);
+            let mut got = to_tile(&init);
+            (ks.gemm_micro)(kc, &a_panel, &b_panel, &mut got);
+            for i in 0..MR {
+                assert_all_close(
+                    &got[i],
+                    &want[i],
+                    &format!("gemm_micro {tier} kc={kc} row {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_gemm_matches_scalar_tier_with_beta_variants() {
+    // End-to-end GEMM parity per tier, including shapes below the
+    // MR × NR tile, shapes crossing the cache-block boundaries, and
+    // the packed path.
+    let scalar = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 4),    // smaller than one MR × NR tile
+            (3, 7, 5),    // ragged corner tiles
+            (4, 8, 256),  // exactly one tile, deep K
+            (65, 9, 257), // crosses MC and KC
+            (37, 90, 64), // packed path
+        ] {
+            for &beta in &[0.0, 1.0, 2.0] {
+                let a_data = rand_vec(m * k, (m * 31 + k) as u64);
+                let b_data = rand_vec(k * n, (k * 17 + n) as u64);
+                let a = MatRef::from_slice(&a_data, m, k, Layout::ColMajor);
+                let b = MatRef::from_slice(&b_data, k, n, Layout::RowMajor);
+                let c0 = rand_vec(m * n, 91);
+                let mut want = c0.clone();
+                gemm_with(
+                    &scalar,
+                    1.5,
+                    a,
+                    b,
+                    beta,
+                    MatMut::from_slice(&mut want, m, n, Layout::RowMajor),
+                );
+                let mut got = c0.clone();
+                gemm_with(
+                    &ks,
+                    1.5,
+                    a,
+                    b,
+                    beta,
+                    MatMut::from_slice(&mut got, m, n, Layout::RowMajor),
+                );
+                assert_all_close(
+                    &got,
+                    &want,
+                    &format!("gemm {tier} m={m} n={n} k={k} beta={beta}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_gemm_beta_zero_clears_nan_on_every_tier() {
+    // beta == 0 must overwrite, not multiply, so NaNs in uninitialized
+    // output memory do not propagate — on every tier.
+    for tier in available_tiers() {
+        let ks = KernelSet::for_tier(tier).unwrap();
+        let a_data = vec![1.0; 6];
+        let b_data = vec![1.0; 6];
+        let a = MatRef::from_slice(&a_data, 2, 3, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 3, 2, Layout::RowMajor);
+        let mut c = vec![f64::NAN; 4];
+        gemm_with(
+            &ks,
+            1.0,
+            a,
+            b,
+            0.0,
+            MatMut::from_slice(&mut c, 2, 2, Layout::RowMajor),
+        );
+        assert!(c.iter().all(|&x| x == 3.0), "{tier}: {c:?}");
+    }
+}
+
+#[test]
+fn full_gemm_alpha_zero_only_scales_c_on_every_tier() {
+    for tier in available_tiers() {
+        let ks = KernelSet::for_tier(tier).unwrap();
+        let a_data = rand_vec(12, 1);
+        let b_data = rand_vec(12, 2);
+        let a = MatRef::from_slice(&a_data, 3, 4, Layout::RowMajor);
+        let b = MatRef::from_slice(&b_data, 4, 3, Layout::RowMajor);
+        let mut c = vec![2.0; 9];
+        gemm_with(
+            &ks,
+            0.0,
+            a,
+            b,
+            3.0,
+            MatMut::from_slice(&mut c, 3, 3, Layout::RowMajor),
+        );
+        assert!(c.iter().all(|&x| x == 6.0), "{tier}: {c:?}");
+    }
+}
+
+#[test]
+fn full_syrk_matches_scalar_tier() {
+    let scalar = KernelSet::scalar();
+    for (tier, ks) in simd_tiers() {
+        for &(m, n) in &[(1usize, 1usize), (5, 3), (33, 7), (64, 8), (200, 25)] {
+            let a_data = rand_vec(m * n, (m + 3 * n) as u64);
+            let a = MatRef::from_slice(&a_data, m, n, Layout::RowMajor);
+            let mut want = vec![0.0; n * n];
+            let mut wv = MatMut::from_slice(&mut want, n, n, Layout::ColMajor);
+            syrk_t_with(&scalar, 1.0, a, 0.0, &mut wv);
+            let mut got = vec![0.0; n * n];
+            let mut gv = MatMut::from_slice(&mut got, n, n, Layout::ColMajor);
+            syrk_t_with(&ks, 1.0, a, 0.0, &mut gv);
+            assert_all_close(&got, &want, &format!("syrk_t {tier} m={m} n={n}"));
+        }
+    }
+}

@@ -66,8 +66,8 @@
 
 use std::ops::Range;
 
-use mttkrp_blas::{gemm, hadamard, par_gemm, par_gemv, Layout, MatMut, MatRef};
-use mttkrp_krp::{par_krp, KrpState};
+use mttkrp_blas::{gemm_with, kernels, par_gemm_with, par_gemv, KernelSet, Layout, MatMut, MatRef};
+use mttkrp_krp::{par_krp_with, KrpState};
 use mttkrp_parallel::{block_range, reduce, ThreadPool, Workspace};
 use mttkrp_tensor::DenseTensor;
 
@@ -191,6 +191,9 @@ pub struct MttkrpPlan {
     threads: usize,
     algo: PlannedAlgo,
     kind: PlanKind,
+    /// Dispatched SIMD kernels for GEMM tiles and Hadamard row
+    /// products, resolved at plan construction.
+    kernels: KernelSet,
 }
 
 impl std::fmt::Debug for MttkrpPlan {
@@ -214,6 +217,20 @@ impl MttkrpPlan {
     /// Panics if the tensor order is below 2, `n` is out of range, or
     /// `c == 0`.
     pub fn new(pool: &ThreadPool, dims: &[usize], c: usize, n: usize, choice: AlgoChoice) -> Self {
+        Self::new_with_kernels(pool, dims, c, n, choice, *kernels())
+    }
+
+    /// [`MttkrpPlan::new`] with an explicit [`KernelSet`] (e.g. a
+    /// forced tier for parity testing); the set is captured by the plan
+    /// and used by every execution.
+    pub fn new_with_kernels(
+        pool: &ThreadPool,
+        dims: &[usize],
+        c: usize,
+        n: usize,
+        choice: AlgoChoice,
+        ks: KernelSet,
+    ) -> Self {
         let nmodes = dims.len();
         assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
         assert!(n < nmodes, "mode {n} out of range");
@@ -333,7 +350,14 @@ impl MttkrpPlan {
             threads: t,
             algo,
             kind,
+            kernels: ks,
         }
+    }
+
+    /// The kernel tier this plan's hot loops dispatch to.
+    #[inline]
+    pub fn kernel_tier(&self) -> mttkrp_blas::KernelTier {
+        self.kernels.tier()
     }
 
     /// Tensor dimensions the plan was built for.
@@ -427,7 +451,18 @@ impl MttkrpPlan {
                 ..
             } => {
                 exec_onestep_external(
-                    pool, x, factors, self.n, i_n, c, *nsplit, col_ranges, krp_order, ws, out,
+                    &self.kernels,
+                    pool,
+                    x,
+                    factors,
+                    self.n,
+                    i_n,
+                    c,
+                    *nsplit,
+                    col_ranges,
+                    krp_order,
+                    ws,
+                    out,
                     &mut bd,
                 );
             }
@@ -441,6 +476,7 @@ impl MttkrpPlan {
                 ..
             } => {
                 exec_onestep_internal(
+                    &self.kernels,
                     pool,
                     x,
                     factors,
@@ -471,6 +507,7 @@ impl MttkrpPlan {
                 col_out,
             } => {
                 exec_twostep(
+                    &self.kernels,
                     pool,
                     x,
                     factors,
@@ -502,6 +539,7 @@ impl MttkrpPlan {
 /// for one thread (allocation-free), row-partitioned [`par_krp`] for a
 /// team.
 fn plan_krp(
+    ks: &KernelSet,
     pool: &ThreadPool,
     factors: &[MatRef],
     order: &[usize],
@@ -510,18 +548,19 @@ fn plan_krp(
     c: usize,
 ) {
     if pool.num_threads() == 1 {
-        let mut stream = st.cursor(factors, order);
+        let mut stream = st.cursor_with(factors, order, ks);
         for row in out.chunks_exact_mut(c) {
             stream.write_next(row);
         }
     } else {
         let inputs: Vec<MatRef> = order.iter().map(|&i| factors[i]).collect();
-        par_krp(pool, &inputs, out);
+        par_krp_with(ks, pool, &inputs, out);
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn exec_onestep_external(
+    ks: &KernelSet,
     pool: &ThreadPool,
     x: &DenseTensor,
     factors: &[MatRef],
@@ -547,7 +586,7 @@ fn exec_onestep_external(
             return;
         }
         timed(&mut slot.bd.full_krp, || {
-            let mut stream = slot.krp.cursor(factors, krp_order);
+            let mut stream = slot.krp.cursor_with(factors, krp_order, ks);
             stream.seek(r.start);
             for row in slot.k.chunks_exact_mut(c) {
                 stream.write_next(row);
@@ -556,7 +595,8 @@ fn exec_onestep_external(
         timed(&mut slot.bd.dgemm, || {
             let xt = xv.submatrix(0, r.start, i_n, r.len());
             let kt = MatRef::from_slice(&slot.k, r.len(), c, Layout::RowMajor);
-            gemm(
+            gemm_with(
+                ks,
                 1.0,
                 xt,
                 kt,
@@ -577,6 +617,7 @@ fn exec_onestep_external(
 
 #[allow(clippy::too_many_arguments)]
 fn exec_onestep_internal(
+    ks: &KernelSet,
     pool: &ThreadPool,
     x: &DenseTensor,
     factors: &[MatRef],
@@ -596,14 +637,14 @@ fn exec_onestep_internal(
     debug_assert_eq!(unf.num_blocks(), ir);
 
     timed(&mut bd.lr_krp, || {
-        plan_krp(pool, factors, left_order, kl_state, kl, c)
+        plan_krp(ks, pool, factors, left_order, kl_state, kl, c)
     });
     let kl = &*kl;
 
     pool.run_with_workspace(ws, |ctx, slot| {
         slot.bd = Breakdown::default();
         slot.m.fill(0.0);
-        let mut stream = slot.krp.cursor(factors, right_order);
+        let mut stream = slot.krp.cursor_with(factors, right_order, ks);
         let mut j = ctx.thread_id;
         while j < ir {
             timed(&mut slot.bd.lr_krp, || {
@@ -611,12 +652,13 @@ fn exec_onestep_internal(
                 stream.write_next(&mut slot.kr_row);
                 // K_t = KR(j,:) ⊙ KL : scale each KL row.
                 for (kt_row, kl_row) in slot.kt.chunks_exact_mut(c).zip(kl.chunks_exact(c)) {
-                    hadamard(&slot.kr_row, kl_row, kt_row);
+                    (ks.hadamard)(&slot.kr_row, kl_row, kt_row);
                 }
             });
             timed(&mut slot.bd.dgemm, || {
                 let ktv = MatRef::from_slice(&slot.kt, slot.kt.len() / c, c, Layout::RowMajor);
-                gemm(
+                gemm_with(
+                    ks,
                     1.0,
                     unf.block(j),
                     ktv,
@@ -642,6 +684,7 @@ fn exec_onestep_internal(
 
 #[allow(clippy::too_many_arguments)]
 fn exec_twostep(
+    ks: &KernelSet,
     pool: &ThreadPool,
     x: &DenseTensor,
     factors: &[MatRef],
@@ -664,8 +707,8 @@ fn exec_twostep(
 ) {
     // Lines 2–3: both partial KRPs.
     timed(&mut bd.lr_krp, || {
-        plan_krp(pool, factors, left_order, krp_state, kl, c);
-        plan_krp(pool, factors, right_order, krp_state, kr, c);
+        plan_krp(ks, pool, factors, left_order, krp_state, kl, c);
+        plan_krp(ks, pool, factors, right_order, krp_state, kr, c);
     });
     let kl_view = MatRef::from_slice(kl, il, c, Layout::RowMajor);
     let kr_view = MatRef::from_slice(kr, ir, c, Layout::RowMajor);
@@ -677,7 +720,8 @@ fn exec_twostep(
         // stored column-major (L in natural order with C appended).
         timed(&mut bd.dgemm, || {
             let xt = x.unfold_leading(n - 1).t(); // (I_n·IR_n) × IL_n, row-major
-            par_gemm(
+            par_gemm_with(
+                ks,
                 pool,
                 1.0,
                 xt,
@@ -710,7 +754,8 @@ fn exec_twostep(
         // stored column-major (R in natural order with C appended).
         timed(&mut bd.dgemm, || {
             let xv = x.unfold_leading(n); // (IL_n·I_n) × IR_n, column-major
-            par_gemm(
+            par_gemm_with(
+                ks,
                 pool,
                 1.0,
                 xv,
@@ -1037,6 +1082,38 @@ mod tests {
             assert!(bd.total > 0.0);
             for (a, b) in got.iter().zip(&want) {
                 assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "mode {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_kernel_tier_threads_through_every_executor() {
+        // A plan built with an explicit KernelSet must report that tier
+        // and still match the oracle through every kernel path (GEMM
+        // tiles AND the KRP row streams — regression: the streams used
+        // to fall back to the global dispatch).
+        let dims = [4usize, 3, 2, 3];
+        let c = 3;
+        let (x, factors) = setup(&dims, c);
+        let refs = factor_refs(&factors, &dims, c);
+        let pool = ThreadPool::new(2);
+        for tier in mttkrp_blas::available_tiers() {
+            let ks = mttkrp_blas::KernelSet::for_tier(tier).expect("listed tier resolves");
+            for n in 0..dims.len() {
+                let mut want = vec![0.0; dims[n] * c];
+                mttkrp_oracle(&x, &refs, n, &mut want);
+                for choice in [AlgoChoice::OneStep, AlgoChoice::TwoStep(TwoStepSide::Auto)] {
+                    let mut plan = MttkrpPlan::new_with_kernels(&pool, &dims, c, n, choice, ks);
+                    assert_eq!(plan.kernel_tier(), tier);
+                    let mut got = vec![f64::NAN; dims[n] * c];
+                    plan.execute(&pool, &x, &refs, &mut got);
+                    for (a, b) in got.iter().zip(&want) {
+                        assert!(
+                            (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                            "tier {tier} n={n} choice {choice:?}"
+                        );
+                    }
+                }
             }
         }
     }

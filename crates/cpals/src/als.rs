@@ -8,10 +8,10 @@
 
 use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
 use mttkrp_core::{AlgoChoice, Breakdown, MttkrpBackend, TwoStepSide};
-use mttkrp_linalg::sym_pinv;
+use mttkrp_linalg::{sym_pinv_into, PinvWorkspace};
 use mttkrp_parallel::ThreadPool;
 
-use crate::gram::{gram, hadamard_excluding};
+use crate::gram::{gram_into, hadamard_excluding_into, GramWorkspace};
 use crate::model::KruskalModel;
 
 /// Which MTTKRP kernel CP-ALS uses for every mode.
@@ -116,82 +116,25 @@ pub fn cp_als<X: MttkrpBackend>(
     init: KruskalModel,
     opts: &CpAlsOptions,
 ) -> (KruskalModel, CpAlsReport) {
-    let dims = x.dims().to_vec();
-    let nmodes = dims.len();
-    let c = init.rank();
-    assert_eq!(init.dims(), &dims[..], "model shape must match tensor");
-
-    let mut model = init;
-    let norm_x = x.norm();
-    let norm_x_sq = norm_x * norm_x;
-
-    // Per-mode Gram matrices of the (normalized) factors.
-    let mut grams: Vec<Vec<f64>> = model
-        .factors
-        .iter()
-        .zip(&dims)
-        .map(|(f, &d)| gram(f, d, c))
-        .collect();
+    let mut sweep = CpAlsSweep::new(pool, x, init, opts);
 
     let mut report = CpAlsReport {
         iters: 0,
-        fits: Vec::new(),
-        iter_times: Vec::new(),
+        // Reserve up-front so steady-state iterations do not reallocate
+        // the report vectors (part of the zero-allocation invariant).
+        fits: Vec::with_capacity(opts.max_iters),
+        iter_times: Vec::with_capacity(opts.max_iters),
         mttkrp_time: 0.0,
         breakdown: Breakdown::default(),
         converged: false,
     };
-
-    let mut m_buf = vec![0.0; dims.iter().copied().max().unwrap_or(0) * c];
     let mut prev_fit = f64::NEG_INFINITY;
 
-    // One plan per mode, built once and reused every sweep: algorithm
-    // choice, partition schedule, and workspaces are fixed by the
-    // backend's structure, so the per-iteration MTTKRP path performs no
-    // heap allocation.
-    let mut plans = x.plan_modes(pool, c, opts.strategy.algo_choice());
-
-    let mut last_mode_m = vec![0.0; dims[nmodes - 1] * c];
     for _iter in 0..opts.max_iters {
         let iter_t0 = std::time::Instant::now();
-        for n in 0..nmodes {
-            let rows = dims[n];
-            let m = &mut m_buf[..rows * c];
-            let bd = {
-                let refs = model.factor_refs();
-                x.mttkrp_planned(&mut plans, pool, &refs, n, m)
-            };
-            report.mttkrp_time += bd.total;
-            report.breakdown.accumulate(&bd);
-
-            if n == nmodes - 1 {
-                last_mode_m.copy_from_slice(m);
-            }
-            solve_factor_update(m, rows, c, &grams, n, &mut model.factors[n]);
-            model.lambda.fill(1.0);
-            model.normalize_mode(n);
-            grams[n] = gram(&model.factors[n], rows, c);
-        }
-
-        // Fit via the last-mode MTTKRP: ⟨X, Y⟩ = Σ_{i,c} λ_c·U(i,c)·M(i,c).
-        let inner: f64 = {
-            let u = &model.factors[nmodes - 1];
-            let mut s = 0.0;
-            for i in 0..dims[nmodes - 1] {
-                for col in 0..c {
-                    s += model.lambda[col] * u[i * c + col] * last_mode_m[i * c + col];
-                }
-            }
-            s
-        };
-        let norm_y_sq = model.norm_sq();
-        let resid_sq = (norm_x_sq - 2.0 * inner + norm_y_sq).max(0.0);
-        let fit = if norm_x > 0.0 {
-            1.0 - resid_sq.sqrt() / norm_x
-        } else {
-            1.0
-        };
-
+        let (fit, bd) = sweep.sweep(pool, x);
+        report.mttkrp_time += bd.total;
+        report.breakdown.accumulate(&bd);
         report.iters += 1;
         report.fits.push(fit);
         report.iter_times.push(iter_t0.elapsed().as_secs_f64());
@@ -203,12 +146,198 @@ pub fn cp_als<X: MttkrpBackend>(
         prev_fit = fit;
     }
 
-    (model, report)
+    (sweep.into_model(), report)
+}
+
+/// Reusable per-model CP-ALS iteration state: MTTKRP plans, Gram
+/// matrices and their workspace, the pseudoinverse scratch, and every
+/// intermediate buffer, all allocated at construction.
+///
+/// [`CpAlsSweep::sweep`] runs one full ALS iteration (all `N` modes:
+/// MTTKRP → Gram Hadamard → pseudoinverse solve → normalization, then
+/// the fit) and performs **zero heap allocation** on a single-thread
+/// pool — the property tests/plan_alloc.rs proves with a counting
+/// allocator. [`cp_als`] is a thin driver over this type.
+pub struct CpAlsSweep<X: MttkrpBackend> {
+    model: KruskalModel,
+    plans: X::PlanSet,
+    dims: Vec<usize>,
+    c: usize,
+    norm_x: f64,
+    /// Per-mode Gram matrices of the (normalized) factors.
+    grams: Vec<Vec<f64>>,
+    gram_ws: GramWorkspace,
+    solve: SolveWorkspace,
+    /// MTTKRP output buffer (`max I_n × C`).
+    m_buf: Vec<f64>,
+    /// Copy of the last mode's MTTKRP for the fit evaluation.
+    last_mode_m: Vec<f64>,
+    /// `c × c` scratch for the model-norm Gram Hadamard.
+    norm_had: Vec<f64>,
+}
+
+impl<X: MttkrpBackend> CpAlsSweep<X> {
+    /// Build the sweep state: plans every mode and allocates every
+    /// buffer the iteration loop needs.
+    ///
+    /// # Panics
+    /// Panics if the model shape does not match the tensor.
+    pub fn new(pool: &ThreadPool, x: &X, init: KruskalModel, opts: &CpAlsOptions) -> Self {
+        let dims = x.dims().to_vec();
+        let nmodes = dims.len();
+        let c = init.rank();
+        assert_eq!(init.dims(), &dims[..], "model shape must match tensor");
+
+        let model = init;
+        let mut gram_ws = GramWorkspace::new(pool.num_threads());
+        let grams: Vec<Vec<f64>> = model
+            .factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| {
+                let mut g = vec![0.0; c * c];
+                gram_into(pool, &mut gram_ws, f, d, c, &mut g);
+                g
+            })
+            .collect();
+
+        // One plan per mode, built once and reused every sweep:
+        // algorithm choice, partition schedule, and workspaces are
+        // fixed by the backend's structure, so the per-iteration MTTKRP
+        // path performs no heap allocation.
+        let plans = x.plan_modes(pool, c, opts.strategy.algo_choice());
+
+        CpAlsSweep {
+            plans,
+            dims: dims.clone(),
+            c,
+            norm_x: x.norm(),
+            grams,
+            gram_ws,
+            solve: SolveWorkspace::new(c),
+            m_buf: vec![0.0; dims.iter().copied().max().unwrap_or(0) * c],
+            last_mode_m: vec![0.0; dims[nmodes - 1] * c],
+            norm_had: vec![0.0; c * c],
+            model,
+        }
+    }
+
+    /// The current model.
+    #[inline]
+    pub fn model(&self) -> &KruskalModel {
+        &self.model
+    }
+
+    /// Consume the state, returning the fitted model.
+    pub fn into_model(self) -> KruskalModel {
+        self.model
+    }
+
+    /// One full ALS iteration over every mode; returns the fit
+    /// `1 − ‖X − Y‖/‖X‖` and the accumulated MTTKRP phase breakdown.
+    pub fn sweep(&mut self, pool: &ThreadPool, x: &X) -> (f64, Breakdown) {
+        let nmodes = self.dims.len();
+        let c = self.c;
+        let mut sweep_bd = Breakdown::default();
+
+        for n in 0..nmodes {
+            let rows = self.dims[n];
+            let m = &mut self.m_buf[..rows * c];
+            let bd = {
+                let plans = &mut self.plans;
+                self.model
+                    .with_factor_refs(|refs| x.mttkrp_planned(plans, pool, refs, n, m))
+            };
+            sweep_bd.accumulate(&bd);
+
+            if n == nmodes - 1 {
+                self.last_mode_m.copy_from_slice(m);
+            }
+            solve_factor_update_ws(
+                &mut self.solve,
+                m,
+                rows,
+                c,
+                &self.grams,
+                n,
+                &mut self.model.factors[n],
+            );
+            self.model.lambda.fill(1.0);
+            self.model.normalize_mode(n);
+            gram_into(
+                pool,
+                &mut self.gram_ws,
+                &self.model.factors[n],
+                rows,
+                c,
+                &mut self.grams[n],
+            );
+        }
+
+        // Fit via the last-mode MTTKRP: ⟨X, Y⟩ = Σ_{i,c} λ_c·U(i,c)·M(i,c).
+        let inner: f64 = {
+            let u = &self.model.factors[nmodes - 1];
+            let mut s = 0.0;
+            for i in 0..self.dims[nmodes - 1] {
+                for col in 0..c {
+                    s += self.model.lambda[col] * u[i * c + col] * self.last_mode_m[i * c + col];
+                }
+            }
+            s
+        };
+        // ‖Y‖² = λᵀ (⊛_k G_k) λ from the Grams already on hand (no
+        // recomputation, no allocation).
+        let norm_y_sq = {
+            self.norm_had.fill(1.0);
+            for g in &self.grams {
+                for (h, &gg) in self.norm_had.iter_mut().zip(g) {
+                    *h *= gg;
+                }
+            }
+            let mut total = 0.0;
+            for i in 0..c {
+                for j in 0..c {
+                    total += self.model.lambda[i] * self.model.lambda[j] * self.norm_had[i + j * c];
+                }
+            }
+            total
+        };
+        let norm_x_sq = self.norm_x * self.norm_x;
+        let resid_sq = (norm_x_sq - 2.0 * inner + norm_y_sq).max(0.0);
+        let fit = if self.norm_x > 0.0 {
+            1.0 - resid_sq.sqrt() / self.norm_x
+        } else {
+            1.0
+        };
+        (fit, sweep_bd)
+    }
+}
+
+/// Reusable scratch of the least-squares factor update (the Gram
+/// Hadamard, its pseudoinverse, and the eigensolver workspace).
+pub(crate) struct SolveWorkspace {
+    /// `H = ⊛_{k≠n} G_k`, column-major `c × c`.
+    h: Vec<f64>,
+    /// `H†`, column-major `c × c`.
+    p: Vec<f64>,
+    pinv: PinvWorkspace,
+}
+
+impl SolveWorkspace {
+    pub(crate) fn new(c: usize) -> Self {
+        SolveWorkspace {
+            h: vec![0.0; c * c],
+            p: vec![0.0; c * c],
+            pinv: PinvWorkspace::new(),
+        }
+    }
 }
 
 /// One least-squares factor update: `U_n = M · H†` with
-/// `H = ⊛_{k≠n} G_k` (all buffers row-major `rows × c`).
-pub(crate) fn solve_factor_update(
+/// `H = ⊛_{k≠n} G_k` (all buffers row-major `rows × c`),
+/// allocation-free against a caller-held [`SolveWorkspace`].
+pub(crate) fn solve_factor_update_ws(
+    ws: &mut SolveWorkspace,
     m: &[f64],
     rows: usize,
     c: usize,
@@ -216,10 +345,11 @@ pub(crate) fn solve_factor_update(
     n: usize,
     out: &mut Vec<f64>,
 ) {
-    let h = hadamard_excluding(grams, n, c);
-    let p = sym_pinv(&h, c, 0.0).expect("pseudoinverse of a c x c Gram Hadamard");
+    hadamard_excluding_into(grams, n, c, &mut ws.h);
+    sym_pinv_into(&ws.h, c, 0.0, &mut ws.pinv, &mut ws.p)
+        .expect("pseudoinverse of a c x c Gram Hadamard");
     let mv = MatRef::from_slice(m, rows, c, Layout::RowMajor);
-    let pv = MatRef::from_slice(&p, c, c, Layout::ColMajor);
+    let pv = MatRef::from_slice(&ws.p, c, c, Layout::ColMajor);
     out.resize(rows * c, 0.0);
     gemm(
         1.0,

@@ -24,7 +24,7 @@ use mttkrp_krp::{krp_rows, par_krp};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::{ops::ttv, DenseTensor};
 
-use crate::als::{solve_factor_update, CpAlsOptions, CpAlsReport};
+use crate::als::{solve_factor_update_ws, CpAlsOptions, CpAlsReport, SolveWorkspace};
 use crate::gram::gram;
 use crate::model::KruskalModel;
 
@@ -59,7 +59,7 @@ pub fn cp_als_dimtree(
         .factors
         .iter()
         .zip(&dims)
-        .map(|(f, &d)| gram(f, d, c))
+        .map(|(f, &d)| gram(pool, f, d, c))
         .collect();
 
     let mut report = CpAlsReport {
@@ -81,6 +81,7 @@ pub fn cp_als_dimtree(
     let mut kl_buf = vec![0.0; left_total * c];
     let mut col_buf = vec![0.0; dims.iter().copied().max().unwrap()];
     let mut last_mode_m = vec![0.0; dims[nmodes - 1] * c];
+    let mut solve_ws = SolveWorkspace::new(c);
 
     for _iter in 0..opts.max_iters {
         let iter_t0 = std::time::Instant::now();
@@ -109,10 +110,10 @@ pub fn cp_als_dimtree(
             if n == nmodes - 1 {
                 last_mode_m.copy_from_slice(m);
             }
-            solve_factor_update(m, rows, c, &grams, n, &mut model.factors[n]);
+            solve_factor_update_ws(&mut solve_ws, m, rows, c, &grams, n, &mut model.factors[n]);
             model.lambda.fill(1.0);
             model.normalize_mode(n);
-            grams[n] = gram(&model.factors[n], rows, c);
+            grams[n] = gram(pool, &model.factors[n], rows, c);
         }
 
         // ---- Right group: L = X(0:s−1)ᵀ · KL(new left factors). ----
@@ -137,10 +138,10 @@ pub fn cp_als_dimtree(
                 if n == nmodes - 1 {
                     last_mode_m.copy_from_slice(m);
                 }
-                solve_factor_update(m, rows, c, &grams, n, &mut model.factors[n]);
+                solve_factor_update_ws(&mut solve_ws, m, rows, c, &grams, n, &mut model.factors[n]);
                 model.lambda.fill(1.0);
                 model.normalize_mode(n);
-                grams[n] = gram(&model.factors[n], rows, c);
+                grams[n] = gram(pool, &model.factors[n], rows, c);
             }
         }
         report.mttkrp_time += mttkrp_t0.elapsed().as_secs_f64();

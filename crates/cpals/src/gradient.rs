@@ -55,7 +55,7 @@ pub fn cp_gradient<X: MttkrpBackend>(
     }
 
     let norm_x = x.norm();
-    let f = finish_gradient(model, &dims, norm_x * norm_x, &mut grads);
+    let f = finish_gradient(pool, model, &dims, norm_x * norm_x, &mut grads);
     (f, grads)
 }
 
@@ -65,6 +65,7 @@ pub fn cp_gradient<X: MttkrpBackend>(
 /// `½(‖X‖² − 2⟨X,Y⟩ + ‖Y‖²).max(0)`, with `⟨X,Y⟩` read from the last
 /// mode's MTTKRP before it is consumed.
 fn finish_gradient(
+    pool: &ThreadPool,
     model: &KruskalModel,
     dims: &[usize],
     norm_x_sq: f64,
@@ -77,7 +78,7 @@ fn finish_gradient(
         .factors
         .iter()
         .zip(dims)
-        .map(|(f, &d)| gram(f, d, c))
+        .map(|(f, &d)| gram(pool, f, d, c))
         .collect();
 
     let inner: f64 = {
@@ -140,7 +141,7 @@ pub fn cp_gradient_planned(
     }
 
     let norm_x_sq = x.data().iter().map(|v| v * v).sum::<f64>();
-    finish_gradient(model, &dims, norm_x_sq, grads)
+    finish_gradient(pool, model, &dims, norm_x_sq, grads)
 }
 
 #[cfg(test)]

@@ -1,12 +1,63 @@
 //! Gram matrices and their Hadamard products (§2.2's
 //! `H = ⊛_{k≠n} U_kᵀ U_k`).
+//!
+//! Gram matrices are computed `N` times per ALS iteration, one per
+//! factor update, so they run on the same thread pool as the MTTKRP
+//! kernels ([`mttkrp_blas::par_syrk_t_ws`] — the paper's
+//! multithreaded-BLAS setup) and, in the steady state of an iterative
+//! driver, allocation-free against a caller-held [`GramWorkspace`].
 
-use mttkrp_blas::{syrk_t, Layout, MatMut, MatRef};
+use mttkrp_blas::{par_syrk_t_ws, syrk_t, Layout, MatMut, MatRef, SyrkWorkspace};
+use mttkrp_parallel::ThreadPool;
 
-/// `G = Uᵀ·U` for a row-major `rows × c` factor; output is column-major
+/// Reusable state for [`gram_into`]: the per-thread SYRK accumulators.
+/// Hold one per driver (sized to the pool) and every Gram after the
+/// first performs no heap allocation.
+#[derive(Debug)]
+pub struct GramWorkspace {
+    syrk: SyrkWorkspace,
+}
+
+impl GramWorkspace {
+    /// Workspace for a `threads`-sized pool.
+    pub fn new(threads: usize) -> Self {
+        GramWorkspace {
+            syrk: SyrkWorkspace::new(threads),
+        }
+    }
+}
+
+/// `out ← Uᵀ·U` for a row-major `rows × c` factor; `out` is column-major
 /// `c × c` (symmetric, so layout is moot, but kept consistent with the
-/// `mttkrp-linalg` convention).
-pub fn gram(u: &[f64], rows: usize, c: usize) -> Vec<f64> {
+/// `mttkrp-linalg` convention), fully overwritten. Rows of `U` are
+/// statically partitioned across `pool`'s team.
+pub fn gram_into(
+    pool: &ThreadPool,
+    ws: &mut GramWorkspace,
+    u: &[f64],
+    rows: usize,
+    c: usize,
+    out: &mut [f64],
+) {
+    assert_eq!(u.len(), rows * c, "factor must be rows x c");
+    assert_eq!(out.len(), c * c, "output must be c x c");
+    let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
+    let mut gv = MatMut::from_slice(out, c, c, Layout::ColMajor);
+    par_syrk_t_ws(pool, &mut ws.syrk, 1.0, uv, 0.0, &mut gv);
+}
+
+/// `G = Uᵀ·U`, parallelized over `pool` — the one-shot wrapper over
+/// [`gram_into`] (fresh workspace and output per call).
+pub fn gram(pool: &ThreadPool, u: &[f64], rows: usize, c: usize) -> Vec<f64> {
+    let mut ws = GramWorkspace::new(pool.num_threads());
+    let mut g = vec![0.0; c * c];
+    gram_into(pool, &mut ws, u, rows, c, &mut g);
+    g
+}
+
+/// Sequential `G = Uᵀ·U` for contexts without a pool (e.g.
+/// `KruskalModel::norm_sq`).
+pub fn gram_seq(u: &[f64], rows: usize, c: usize) -> Vec<f64> {
     assert_eq!(u.len(), rows * c, "factor must be rows x c");
     let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
     let mut g = vec![0.0; c * c];
@@ -18,18 +69,26 @@ pub fn gram(u: &[f64], rows: usize, c: usize) -> Vec<f64> {
 /// Hadamard product of all Gram matrices except mode `n`
 /// (`H = ⊛_{k≠n} G_k`), given precomputed per-mode Grams.
 pub fn hadamard_excluding(grams: &[Vec<f64>], n: usize, c: usize) -> Vec<f64> {
-    assert!(n < grams.len(), "mode {n} out of range");
     let mut h = vec![1.0; c * c];
+    hadamard_excluding_into(grams, n, c, &mut h);
+    h
+}
+
+/// Allocation-free [`hadamard_excluding`]: `out` (length `c·c`) is
+/// fully overwritten.
+pub fn hadamard_excluding_into(grams: &[Vec<f64>], n: usize, c: usize, out: &mut [f64]) {
+    assert!(n < grams.len(), "mode {n} out of range");
+    assert_eq!(out.len(), c * c, "output must be c x c");
+    out.fill(1.0);
     for (k, g) in grams.iter().enumerate() {
         if k == n {
             continue;
         }
         assert_eq!(g.len(), c * c, "gram {k} must be c x c");
-        for (hh, &gg) in h.iter_mut().zip(g) {
+        for (hh, &gg) in out.iter_mut().zip(g) {
             *hh *= gg;
         }
     }
-    h
 }
 
 #[cfg(test)]
@@ -40,23 +99,69 @@ mod tests {
     fn gram_matches_manual() {
         // U = [[1,2],[3,4],[5,6]] row-major.
         let u = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-        let g = gram(&u, 3, 2);
+        let pool = ThreadPool::new(1);
+        let g = gram(&pool, &u, 3, 2);
         // UᵀU = [[35, 44], [44, 56]].
         assert_eq!(g[0], 35.0);
         assert_eq!(g[1], 44.0);
         assert_eq!(g[2], 44.0);
         assert_eq!(g[3], 56.0);
+        assert_eq!(gram_seq(&u, 3, 2), g);
     }
 
     #[test]
     fn gram_is_symmetric_psd_diagonal_nonneg() {
         let u: Vec<f64> = (0..20).map(|i| (i as f64) * 0.3 - 2.0).collect();
-        let g = gram(&u, 5, 4);
+        let pool = ThreadPool::new(2);
+        let g = gram(&pool, &u, 5, 4);
         for i in 0..4 {
             assert!(g[i + i * 4] >= 0.0);
             for j in 0..4 {
                 assert!((g[i + j * 4] - g[j + i * 4]).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn team_size_parity() {
+        // Gram must agree across team sizes (the multithreaded path
+        // splits rows and reduces private accumulators, so only
+        // floating-point reassociation distinguishes it): T = 1 vs 2,
+        // 4, 7 on a factor tall enough that every size parallelizes.
+        let rows = 503;
+        let c = 6;
+        let mut s = 0xFEEDu64;
+        let u: Vec<f64> = (0..rows * c)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+            })
+            .collect();
+        let reference = gram(&ThreadPool::new(1), &u, rows, c);
+        for t in [2usize, 4, 7] {
+            let pool = ThreadPool::new(t);
+            let g = gram(&pool, &u, rows, c);
+            for (a, b) in g.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                    "t={t}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gram_into_reuses_workspace() {
+        let pool = ThreadPool::new(3);
+        let mut ws = GramWorkspace::new(3);
+        let u: Vec<f64> = (0..600).map(|i| (i % 13) as f64 - 6.0).collect();
+        let want = gram(&pool, &u, 200, 3);
+        let mut out = vec![f64::NAN; 9];
+        for _ in 0..3 {
+            gram_into(&pool, &mut ws, &u, 200, 3, &mut out);
+            assert_eq!(out, want);
         }
     }
 

@@ -48,7 +48,7 @@ pub mod gram;
 pub mod model;
 pub mod nncp;
 
-pub use als::{cp_als, CpAlsOptions, CpAlsReport, MttkrpStrategy};
+pub use als::{cp_als, CpAlsOptions, CpAlsReport, CpAlsSweep, MttkrpStrategy};
 pub use dimtree::cp_als_dimtree;
 pub use gradient::{cp_gradient, cp_gradient_planned};
 pub use model::KruskalModel;

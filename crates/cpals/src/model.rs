@@ -72,6 +72,26 @@ impl KruskalModel {
             .collect()
     }
 
+    /// Run `f` against borrowed factor views without heap-allocating
+    /// the list: orders up to 16 use a stack array (every driver hot
+    /// loop — the paper tops out at order 6), higher orders fall back
+    /// to [`KruskalModel::factor_refs`]. This is what keeps the
+    /// steady-state CP-ALS sweep free of per-mode allocations.
+    pub fn with_factor_refs<R>(&self, f: impl FnOnce(&[MatRef<'_>]) -> R) -> R {
+        const MAX_STACK_MODES: usize = 16;
+        let n = self.dims.len();
+        if n <= MAX_STACK_MODES {
+            static EMPTY: [f64; 0] = [];
+            let mut buf = [MatRef::from_slice(&EMPTY, 0, 0, Layout::RowMajor); MAX_STACK_MODES];
+            for (slot, (fm, &d)) in buf.iter_mut().zip(self.factors.iter().zip(&self.dims)) {
+                *slot = MatRef::from_slice(fm, d, self.rank, Layout::RowMajor);
+            }
+            f(&buf[..n])
+        } else {
+            f(&self.factor_refs())
+        }
+    }
+
     /// Pull each column's 2-norm of factor `n` into `lambda`
     /// (multiplicatively), leaving the column unit-norm when possible.
     pub fn normalize_mode(&mut self, n: usize) {
@@ -100,7 +120,7 @@ impl KruskalModel {
         let c = self.rank;
         let mut had = vec![1.0; c * c];
         for (f, &d) in self.factors.iter().zip(&self.dims) {
-            let g = crate::gram::gram(f, d, c);
+            let g = crate::gram::gram_seq(f, d, c);
             for (h, gg) in had.iter_mut().zip(&g) {
                 *h *= gg;
             }
@@ -170,6 +190,24 @@ mod tests {
         assert!((c0 - 1.0).abs() < 1e-12);
         // Zero column left untouched, lambda unchanged.
         assert_eq!(m.lambda[1], 0.0_f64.max(0.0) + 1.0 * 0.0 + 1.0);
+    }
+
+    #[test]
+    fn with_factor_refs_matches_allocating_refs() {
+        let m = KruskalModel::random(&[4, 3, 2, 5], 3, 13);
+        let heap = m.factor_refs();
+        m.with_factor_refs(|refs| {
+            assert_eq!(refs.len(), heap.len());
+            for (a, b) in refs.iter().zip(&heap) {
+                assert_eq!(a.nrows(), b.nrows());
+                assert_eq!(a.ncols(), b.ncols());
+                for i in 0..a.nrows() {
+                    for j in 0..a.ncols() {
+                        assert_eq!(a.get(i, j), b.get(i, j));
+                    }
+                }
+            }
+        });
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn cp_als_nn(
         .factors
         .iter()
         .zip(&dims)
-        .map(|(f, &d)| gram(f, d, c))
+        .map(|(f, &d)| gram(pool, f, d, c))
         .collect();
 
     let mut report = CpAlsReport {
@@ -96,7 +96,7 @@ pub fn cp_als_nn(
             hals_update(&mut model.factors[n], m, &h, rows, c);
             model.lambda.fill(1.0);
             model.normalize_mode(n);
-            grams[n] = gram(&model.factors[n], rows, c);
+            grams[n] = gram(pool, &model.factors[n], rows, c);
         }
 
         // Fit via the last-mode MTTKRP (as in cp_als).

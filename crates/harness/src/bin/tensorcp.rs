@@ -37,6 +37,23 @@ fn main() {
         exit(2);
     };
     let opts = parse_flags(&args[1..]);
+    // Pin the hardware-kernel tier before any kernel runs (the
+    // dispatch is process-wide and freezes on first use).
+    if let Some(name) = opts.get("kernel") {
+        match mttkrp_blas::KernelTier::parse(name) {
+            Ok(None) => {}
+            Ok(Some(tier)) => {
+                if let Err(e) = mttkrp_blas::force_tier(tier) {
+                    eprintln!("--kernel {name}: {e}");
+                    exit(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("--kernel: {e}");
+                exit(2);
+            }
+        }
+    }
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "gen-fmri" => cmd_gen_fmri(&opts),
@@ -68,7 +85,9 @@ fn usage() {
            decompose  --input FILE --rank R [--method als|nn|dimtree]\n\
                       [--iters N] [--tol T] [--threads T] [--model-out FILE]\n\
            info       --input FILE\n\
-           profile    --input FILE [--rank R] [--threads T]"
+           profile    --input FILE [--rank R] [--threads T]\n\
+         every command accepts --kernel auto|scalar|avx2|avx512|neon\n\
+         (hardware dispatch tier; default auto = best supported)"
     );
 }
 

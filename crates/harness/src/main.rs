@@ -15,7 +15,12 @@
 //! mttkrp-harness --ext-dimtree     # future-work: dimension-tree CP-ALS
 //! mttkrp-harness --all             # everything
 //! mttkrp-harness --all --scale medium   # small (default) | medium | paper
+//! mttkrp-harness --all --kernel scalar  # force a SIMD dispatch tier
 //! ```
+//!
+//! `--kernel {auto,scalar,avx2,avx512,neon}` pins the hardware-kernel
+//! tier every hot loop dispatches to (default `auto`: best supported);
+//! the selected tier is printed in the header.
 
 mod extension;
 mod fig4;
@@ -47,15 +52,34 @@ fn main() {
         },
         None => Scale::Small,
     };
+    // Resolve the kernel tier before any kernel runs: the dispatch is
+    // process-wide and freezes on first use.
+    if let Some(i) = args.iter().position(|a| a == "--kernel") {
+        let name = args.get(i + 1).map(|s| s.as_str()).unwrap_or("");
+        match mttkrp_blas::KernelTier::parse(name) {
+            Ok(None) => {} // auto: detect below
+            Ok(Some(tier)) => {
+                if let Err(e) = mttkrp_blas::force_tier(tier) {
+                    eprintln!("--kernel {name}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("--kernel: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let all = args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
     println!("# MTTKRP reproduction harness");
     println!(
-        "# scale = {scale:?}; host cores = {}",
+        "# scale = {scale:?}; host cores = {}; kernel tier = {}",
         std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1),
+        mttkrp_blas::kernels().tier(),
     );
     println!("# modeled machine = 2 x 6-core Sandy Bridge E5-2620 (calibrated to this host's kernel rates)");
     println!();
@@ -98,6 +122,7 @@ fn main() {
 fn print_help() {
     println!(
         "usage: mttkrp-harness [--fig4] [--fig5] [--fig6] [--fig7] [--fig8] \
-         [--sparse] [--ext-dimtree] [--all] [--scale small|medium|paper]"
+         [--sparse] [--ext-dimtree] [--all] [--scale small|medium|paper] \
+         [--kernel auto|scalar|avx2|avx512|neon]"
     );
 }

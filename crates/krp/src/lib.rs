@@ -39,8 +39,14 @@
 //! assert_eq!(&k[2..4], &[1.0 * 7.0, 2.0 * 8.0]);
 //! ```
 
-use mttkrp_blas::{hadamard, MatRef};
+use mttkrp_blas::{kernels, KernelSet, MatRef};
 use mttkrp_parallel::ThreadPool;
+
+/// The Hadamard kernel signature cached inside the row streams: the
+/// dispatched SIMD tier is resolved once per cursor/stream, so the
+/// one-Hadamard-per-row hot loop of Algorithm 1 pays no per-row
+/// dispatch lookup.
+type HadamardFn = fn(&[f64], &[f64], &mut [f64]);
 
 /// Total number of rows of the KRP of `inputs`.
 pub fn krp_rows(inputs: &[MatRef]) -> usize {
@@ -76,16 +82,25 @@ pub struct KrpCursor<'a> {
     /// (`prefix[z] = U_0(ℓ_0,:) ∗ ⋯ ∗ U_{z+1}(ℓ_{z+1},:)`).
     prefix: Vec<f64>,
     remaining: usize,
+    /// Dispatched Hadamard kernel, resolved at construction.
+    had: HadamardFn,
 }
 
 impl<'a> KrpCursor<'a> {
-    /// Create a cursor positioned at row 0.
+    /// Create a cursor positioned at row 0, dispatching through the
+    /// process-wide kernel set.
     ///
     /// # Panics
     /// Panics if inputs are empty, disagree on columns, or any input has
     /// rows that are not contiguous (`col_stride != 1`), since rows are
     /// consumed as slices.
     pub fn new(inputs: &[MatRef<'a>]) -> Self {
+        Self::new_with(inputs, kernels())
+    }
+
+    /// [`KrpCursor::new`] against an explicit [`KernelSet`] (e.g. a
+    /// plan's pinned tier).
+    pub fn new_with(inputs: &[MatRef<'a>], ks: &KernelSet) -> Self {
         let c = krp_cols(inputs);
         for (z, u) in inputs.iter().enumerate() {
             assert_eq!(u.col_stride(), 1, "KRP input {z} must have contiguous rows");
@@ -100,6 +115,7 @@ impl<'a> KrpCursor<'a> {
             ell: vec![0; z],
             prefix: vec![0.0; z.saturating_sub(2) * c],
             remaining: total,
+            had: ks.hadamard,
         };
         cur.rebuild_prefixes(0);
         cur
@@ -145,11 +161,11 @@ impl<'a> KrpCursor<'a> {
             if k == 0 {
                 let left = self.inputs[0].row_slice(self.ell[0]);
                 let dst = &mut self.prefix[..c];
-                hadamard(left, right, dst);
+                (self.had)(left, right, dst);
             } else {
                 let (done, rest) = self.prefix.split_at_mut(k * c);
                 let left = &done[(k - 1) * c..];
-                hadamard(left, right, &mut rest[..c]);
+                (self.had)(left, right, &mut rest[..c]);
             }
         }
     }
@@ -165,8 +181,8 @@ impl<'a> KrpCursor<'a> {
         let last = self.inputs[z - 1].row_slice(self.ell[z - 1]);
         match z {
             1 => out.copy_from_slice(last),
-            2 => hadamard(self.inputs[0].row_slice(self.ell[0]), last, out),
-            _ => hadamard(&self.prefix[(z - 3) * self.c..(z - 2) * self.c], last, out),
+            2 => (self.had)(self.inputs[0].row_slice(self.ell[0]), last, out),
+            _ => (self.had)(&self.prefix[(z - 3) * self.c..(z - 2) * self.c], last, out),
         }
         self.advance();
     }
@@ -225,7 +241,8 @@ impl KrpState {
     }
 
     /// Borrow a row stream over `factors[order[0]] ⊙ factors[order[1]] ⊙ …`,
-    /// positioned at row 0.
+    /// positioned at row 0, dispatching through the process-wide
+    /// kernel set.
     ///
     /// # Panics
     /// Panics if `order` is empty, indexes out of `factors`, or the
@@ -234,6 +251,18 @@ impl KrpState {
         &'s mut self,
         factors: &'f [MatRef<'f>],
         order: &'s [usize],
+    ) -> KrpRowStream<'f, 's> {
+        self.cursor_with(factors, order, kernels())
+    }
+
+    /// [`KrpState::cursor`] against an explicit [`KernelSet`] — what
+    /// the plan executors use so a tier pinned at plan construction
+    /// also drives the KRP row products.
+    pub fn cursor_with<'f, 's>(
+        &'s mut self,
+        factors: &'f [MatRef<'f>],
+        order: &'s [usize],
+        ks: &KernelSet,
     ) -> KrpRowStream<'f, 's> {
         assert!(!order.is_empty(), "KRP of zero matrices is undefined");
         let c = factors[order[0]].ncols();
@@ -256,6 +285,7 @@ impl KrpState {
             c,
             st: self,
             remaining: total,
+            had: ks.hadamard,
         };
         stream.rebuild_prefixes(0);
         stream
@@ -271,6 +301,8 @@ pub struct KrpRowStream<'f, 's> {
     c: usize,
     st: &'s mut KrpState,
     remaining: usize,
+    /// Dispatched Hadamard kernel, resolved at stream creation.
+    had: HadamardFn,
 }
 
 impl<'f> KrpRowStream<'f, '_> {
@@ -317,11 +349,11 @@ impl<'f> KrpRowStream<'f, '_> {
             let right = self.input(k + 1).row_slice(self.st.ell[k + 1]);
             if k == 0 {
                 let left = self.input(0).row_slice(self.st.ell[0]);
-                hadamard(left, right, &mut self.st.prefix[..c]);
+                (self.had)(left, right, &mut self.st.prefix[..c]);
             } else {
                 let (done, rest) = self.st.prefix.split_at_mut(k * c);
                 let left = &done[(k - 1) * c..];
-                hadamard(left, right, &mut rest[..c]);
+                (self.had)(left, right, &mut rest[..c]);
             }
         }
     }
@@ -337,8 +369,8 @@ impl<'f> KrpRowStream<'f, '_> {
         let last = self.input(z - 1).row_slice(self.st.ell[z - 1]);
         match z {
             1 => out.copy_from_slice(last),
-            2 => hadamard(self.input(0).row_slice(self.st.ell[0]), last, out),
-            _ => hadamard(
+            2 => (self.had)(self.input(0).row_slice(self.st.ell[0]), last, out),
+            _ => (self.had)(
                 &self.st.prefix[(z - 3) * self.c..(z - 2) * self.c],
                 last,
                 out,
@@ -479,17 +511,25 @@ pub fn par_krp_naive(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
 /// contiguous blocks; each thread seeks a private [`KrpCursor`] to its
 /// starting row and streams its block.
 pub fn par_krp(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
+    par_krp_with(kernels(), pool, inputs, out)
+}
+
+/// [`par_krp`] against an explicit [`KernelSet`].
+pub fn par_krp_with(ks: &KernelSet, pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
     if pool.num_threads() == 1 {
-        krp_reuse(inputs, out);
+        let mut cur = KrpCursor::new_with(inputs, ks);
+        for row in out.chunks_exact_mut(c) {
+            cur.write_next(row);
+        }
         return;
     }
     let mut rows: Vec<&mut [f64]> = out.chunks_exact_mut(c).collect();
     let nrows = rows.len();
     pool.parallel_for_blocks(nrows, &mut rows, |_, range, chunk| {
-        let mut cur = KrpCursor::new(inputs);
+        let mut cur = KrpCursor::new_with(inputs, ks);
         cur.seek(range.start);
         for row in chunk.iter_mut() {
             cur.write_next(row);

@@ -6,7 +6,7 @@
 //! factor columns). The Jacobi method is slow but unconditionally
 //! robust, which is the right trade-off at rank × rank sizes.
 
-use crate::{matmul_nn, LinalgError};
+use crate::LinalgError;
 
 /// Maximum number of full Jacobi sweeps before giving up.
 const MAX_SWEEPS: usize = 64;
@@ -16,13 +16,31 @@ const MAX_SWEEPS: usize = 64;
 /// returns `(w, v)` with eigenvalues unsorted and eigenvectors in the
 /// columns of the column-major `v`.
 pub fn jacobi_eigh(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>), LinalgError> {
-    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    let mut w = vec![0.0; n];
     let mut v = vec![0.0; n * n];
+    jacobi_eigh_in(a, n, &mut w, &mut v)?;
+    Ok((w, v))
+}
+
+/// Allocation-free [`jacobi_eigh`]: eigenvalues land in `w` (length
+/// `n`) and eigenvectors in the columns of the column-major `v`
+/// (length `n·n`), both fully overwritten.
+pub fn jacobi_eigh_in(
+    a: &mut [f64],
+    n: usize,
+    w: &mut [f64],
+    v: &mut [f64],
+) -> Result<(), LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    assert_eq!(w.len(), n, "eigenvalue buffer must have length n");
+    assert_eq!(v.len(), n * n, "eigenvector buffer must be n x n");
+    v.fill(0.0);
     for i in 0..n {
         v[i + i * n] = 1.0;
     }
     if n == 1 {
-        return Ok((vec![a[0]], v));
+        w[0] = a[0];
+        return Ok(());
     }
 
     let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -37,8 +55,10 @@ pub fn jacobi_eigh(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>), Lina
             }
         }
         if off.sqrt() <= tol {
-            let w = (0..n).map(|i| a[i + i * n]).collect();
-            return Ok((w, v));
+            for i in 0..n {
+                w[i] = a[i + i * n];
+            }
+            return Ok(());
         }
         for p in 0..n - 1 {
             for q in p + 1..n {
@@ -89,9 +109,51 @@ pub fn jacobi_eigh(a: &mut [f64], n: usize) -> Result<(Vec<f64>, Vec<f64>), Lina
 ///
 /// `rcond <= 0` uses the default `n · ε`.
 pub fn sym_pinv(a: &[f64], n: usize, rcond: f64) -> Result<Vec<f64>, LinalgError> {
+    let mut ws = PinvWorkspace::new();
+    let mut out = vec![0.0; n * n];
+    sym_pinv_into(a, n, rcond, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable scratch of [`sym_pinv_into`]: holds the Jacobi working
+/// copy, eigenpairs, and the `V·diag(w†)` intermediate. Buffers grow
+/// on first use of a larger `n` and are retained, so an iterative
+/// solver (e.g. the CP-ALS factor update, `N` solves per sweep)
+/// performs no steady-state heap allocation.
+#[derive(Debug, Default)]
+pub struct PinvWorkspace {
+    a: Vec<f64>,
+    w: Vec<f64>,
+    v: Vec<f64>,
+    vd: Vec<f64>,
+}
+
+impl PinvWorkspace {
+    /// Empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        PinvWorkspace::default()
+    }
+}
+
+/// Allocation-free [`sym_pinv`]: writes `A†` into the column-major
+/// `n × n` `out` using `ws` for every intermediate.
+pub fn sym_pinv_into(
+    a: &[f64],
+    n: usize,
+    rcond: f64,
+    ws: &mut PinvWorkspace,
+    out: &mut [f64],
+) -> Result<(), LinalgError> {
     assert_eq!(a.len(), n * n, "matrix must be n x n");
-    let mut work = a.to_vec();
-    let (w, v) = jacobi_eigh(&mut work, n)?;
+    assert_eq!(out.len(), n * n, "output must be n x n");
+    ws.a.clear();
+    ws.a.extend_from_slice(a);
+    ws.w.clear();
+    ws.w.resize(n, 0.0);
+    ws.v.clear();
+    ws.v.resize(n * n, 0.0);
+    jacobi_eigh_in(&mut ws.a, n, &mut ws.w, &mut ws.v)?;
+    let (w, v) = (&ws.w, &ws.v);
     let wmax = w.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
     let cut = if rcond > 0.0 {
         rcond
@@ -99,26 +161,34 @@ pub fn sym_pinv(a: &[f64], n: usize, rcond: f64) -> Result<Vec<f64>, LinalgError
         n as f64 * f64::EPSILON
     } * wmax;
 
-    // A† = V · diag(w†) · Vᵀ, assembled as (V·diag) · Vᵀ.
-    let mut vd = v.clone();
+    // A† = V · diag(w†) · Vᵀ, assembled as (V·diag) · Vᵀ with the
+    // transpose folded into the accumulation loop (no Vᵀ buffer).
+    ws.vd.clear();
+    ws.vd.extend_from_slice(v);
     for (j, &wj) in w.iter().enumerate() {
         let inv = if wj.abs() > cut { 1.0 / wj } else { 0.0 };
         for i in 0..n {
-            vd[i + j * n] *= inv;
+            ws.vd[i + j * n] *= inv;
         }
     }
-    let mut vt = vec![0.0; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            vt[i + j * n] = v[j + i * n];
+    out.fill(0.0);
+    for j in 0..n {
+        for p in 0..n {
+            let vjp = v[j + p * n];
+            if vjp != 0.0 {
+                for i in 0..n {
+                    out[i + j * n] += ws.vd[i + p * n] * vjp;
+                }
+            }
         }
     }
-    Ok(matmul_nn(&vd, &vt, n))
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matmul_nn;
 
     fn sym_mat(n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed | 1;
@@ -242,5 +312,24 @@ mod tests {
     fn pinv_of_zero_is_zero() {
         let p = sym_pinv(&[0.0; 9], 3, 0.0).unwrap();
         assert!(p.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pinv_into_reuses_workspace_and_matches_allocating_path() {
+        let mut ws = PinvWorkspace::new();
+        // Mixed sizes in one workspace: buffers grow and shrink-fit
+        // logically while staying reusable.
+        for n in [5usize, 3, 7, 5] {
+            let mut a = sym_mat(n, 100 + n as u64);
+            for i in 0..n {
+                a[i + i * n] += 2.0 * n as f64;
+            }
+            let want = sym_pinv(&a, n, 0.0).unwrap();
+            let mut got = vec![f64::NAN; n * n];
+            sym_pinv_into(&a, n, 0.0, &mut ws, &mut got).unwrap();
+            for (x, y) in got.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-14 * (1.0 + y.abs()), "n={n}");
+            }
+        }
     }
 }

@@ -23,7 +23,7 @@ pub mod eigh;
 pub mod lu;
 
 pub use chol::{cholesky, cholesky_solve};
-pub use eigh::{jacobi_eigh, sym_pinv};
+pub use eigh::{jacobi_eigh, jacobi_eigh_in, sym_pinv, sym_pinv_into, PinvWorkspace};
 pub use lu::{lu_factor, lu_solve};
 
 /// Errors from the dense factorizations.
@@ -50,8 +50,9 @@ impl std::fmt::Display for LinalgError {
 
 impl std::error::Error for LinalgError {}
 
-/// Multiply two column-major `n × n` matrices (helper for tests and for
-/// the pseudoinverse assembly).
+/// Multiply two column-major `n × n` matrices (test oracle; the
+/// pseudoinverse assembly now folds the transpose into its own loop).
+#[cfg(test)]
 pub(crate) fn matmul_nn(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     let mut c = vec![0.0; n * n];
     for j in 0..n {

@@ -44,7 +44,13 @@ pub fn sum_into(pool: &ThreadPool, out: &mut [f64], parts: &[&[f64]]) {
 
 /// Sum the owned private buffers into the first one and return it,
 /// consuming the rest. Convenience wrapper over [`sum_into`].
+///
+/// An empty `parts` is the empty sum: the result is an empty `Vec`
+/// (previously this indexed `parts[0]` and panicked).
 pub fn fold_first(pool: &ThreadPool, mut parts: Vec<Vec<f64>>) -> Vec<f64> {
+    if parts.is_empty() {
+        return Vec::new();
+    }
     let mut first = parts.remove(0);
     let refs: Vec<&[f64]> = parts.iter().map(|v| v.as_slice()).collect();
     sum_into(pool, &mut first, &refs);
@@ -86,6 +92,20 @@ mod tests {
         let parts = vec![vec![1.0; 2048], vec![2.0; 2048], vec![3.0; 2048]];
         let out = fold_first(&pool, parts);
         assert!(out.iter().all(|&x| x == 6.0));
+    }
+
+    #[test]
+    fn fold_first_of_nothing_is_empty() {
+        let pool = ThreadPool::new(2);
+        let out = fold_first(&pool, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fold_first_of_one_buffer_returns_it_unchanged() {
+        let pool = ThreadPool::new(2);
+        let out = fold_first(&pool, vec![vec![4.0; 7]]);
+        assert_eq!(out, vec![4.0; 7]);
     }
 
     #[test]

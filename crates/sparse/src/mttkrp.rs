@@ -26,7 +26,7 @@
 
 use std::ops::Range;
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{kernels, KernelSet, MatRef};
 use mttkrp_core::Breakdown;
 use mttkrp_parallel::{reduce, ThreadPool, Workspace};
 
@@ -60,6 +60,9 @@ pub struct SparseMttkrpPlan {
     /// Static nnz-balanced contiguous root-fiber range per thread.
     fiber_ranges: Vec<Range<usize>>,
     ws: Workspace<SparseSlot>,
+    /// Dispatched SIMD kernels for the leaf/internal accumulate loops,
+    /// resolved at plan construction.
+    kernels: KernelSet,
 }
 
 impl std::fmt::Debug for SparseMttkrpPlan {
@@ -83,6 +86,18 @@ impl SparseMttkrpPlan {
     /// # Panics
     /// Panics if `n` is out of range or `c == 0`.
     pub fn new(pool: &ThreadPool, csf: &CsfTensor, c: usize, n: usize) -> Self {
+        Self::new_with_kernels(pool, csf, c, n, *kernels())
+    }
+
+    /// [`SparseMttkrpPlan::new`] with an explicit [`KernelSet`] (e.g. a
+    /// forced tier for parity testing).
+    pub fn new_with_kernels(
+        pool: &ThreadPool,
+        csf: &CsfTensor,
+        c: usize,
+        n: usize,
+        ks: KernelSet,
+    ) -> Self {
         let dims = csf.dims().to_vec();
         assert!(n < dims.len(), "mode {n} out of range");
         assert!(c > 0, "rank must be positive");
@@ -129,7 +144,14 @@ impl SparseMttkrpPlan {
             root_fids: tree.fids[0].clone(),
             fiber_ranges,
             ws,
+            kernels: ks,
         }
+    }
+
+    /// The kernel tier this plan's accumulate loops dispatch to.
+    #[inline]
+    pub fn kernel_tier(&self) -> mttkrp_blas::KernelTier {
+        self.kernels.tier()
     }
 
     /// Tensor dimensions the plan was built for.
@@ -225,11 +247,13 @@ impl SparseMttkrpPlan {
 
         let walk_t0 = std::time::Instant::now();
         let ranges = &self.fiber_ranges;
+        let ks = &self.kernels;
         pool.run_with_workspace(&mut self.ws, |ctx, slot| {
             for f in ranges[ctx.thread_id].clone() {
                 let row = tree.fids[0][f];
                 let dst = &mut slot.m[row * c..(row + 1) * c];
                 subtree_into(
+                    ks,
                     tree,
                     1,
                     tree.fptr[0][f]..tree.fptr[0][f + 1],
@@ -261,8 +285,11 @@ impl SparseMttkrpPlan {
 /// depth-`depth` nodes in `range` and everything below them:
 /// `out = Σ_j U_{m_depth}(fids[depth][j], :) ⊙ subtree(j)`, with leaf
 /// subtrees contributing their value. Allocation-free: recursion
-/// consumes one pre-allocated scratch vector per internal level.
+/// consumes one pre-allocated scratch vector per internal level. The
+/// leaf accumulate is the dispatched `axpy` and the internal-node
+/// combine the dispatched fused `mul_add`.
 fn subtree_into(
+    ks: &KernelSet,
     tree: &CsfTree,
     depth: usize,
     range: Range<usize>,
@@ -274,16 +301,14 @@ fn subtree_into(
     let u = factors[tree.order[depth]];
     if depth == tree.fids.len() - 1 {
         for j in range {
-            let row = u.row_slice(tree.fids[depth][j]);
-            let v = tree.vals[j];
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += v * x;
-            }
+            // out += vals[j] · U(i_leaf, :)
+            (ks.axpy)(tree.vals[j], u.row_slice(tree.fids[depth][j]), out);
         }
     } else {
         let (acc, rest) = scratch.split_first_mut().expect("scratch per level");
         for j in range {
             subtree_into(
+                ks,
                 tree,
                 depth + 1,
                 tree.fptr[depth][j]..tree.fptr[depth][j + 1],
@@ -291,10 +316,8 @@ fn subtree_into(
                 rest,
                 acc,
             );
-            let row = u.row_slice(tree.fids[depth][j]);
-            for ((o, &a), &x) in out.iter_mut().zip(acc.iter()).zip(row) {
-                *o += a * x;
-            }
+            // out += subtree(j) ⊙ U(i_node, :)
+            (ks.mul_add)(acc, u.row_slice(tree.fids[depth][j]), out);
         }
     }
 }

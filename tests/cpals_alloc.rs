@@ -1,0 +1,63 @@
+//! Allocation accounting for a full CP-ALS iteration.
+//!
+//! The end-to-end extension of `tests/plan_alloc.rs`: once warm, one
+//! whole ALS sweep — MTTKRP (planned kernels), KRP row streams, the
+//! Gram path (`par_syrk_t` workspace), and the pseudoinverse solve —
+//! performs **zero heap allocation** on a single-thread pool. This
+//! covers the Gram/SYRK accumulators and the `sym_pinv` scratch that
+//! used to heap-allocate on every call.
+//!
+//! Single-test binary: the counting-allocator counters are process
+//! globals, so concurrent libtest threads would cross-contaminate a
+//! second measured window. The per-thread harness is shared with the
+//! plan/sparse twins; see `tests/support/counting_alloc.rs`.
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+
+use counting_alloc::{counted, CountingAlloc};
+use mttkrp_repro::cpals::{CpAlsOptions, CpAlsSweep, KruskalModel, MttkrpStrategy};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::tensor::DenseTensor;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_cp_als_iteration_does_not_allocate() {
+    let dims = [8usize, 6, 5, 4];
+    let c = 5;
+    let mut rng = Rng64::seed_from_u64(0xA110_C002);
+    let total: usize = dims.iter().product();
+    let x = DenseTensor::from_vec(&dims, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+    let pool = ThreadPool::new(1);
+
+    for strategy in [
+        MttkrpStrategy::Auto,
+        MttkrpStrategy::OneStep,
+        MttkrpStrategy::TwoStep,
+    ] {
+        let init = KruskalModel::random(&dims, c, 77);
+        let opts = CpAlsOptions {
+            max_iters: 10,
+            tol: 0.0,
+            strategy,
+        };
+        let mut sweep = CpAlsSweep::new(&pool, &x, init, &opts);
+        // Warm up: the first iteration grows the thread-local GEMM pack
+        // and SYRK accumulator buffers and the KRP cursor state.
+        let (warm_fit, _) = sweep.sweep(&pool, &x);
+        assert!(warm_fit.is_finite());
+        let (calls, bytes) = counted(|| {
+            let (fit1, _) = sweep.sweep(&pool, &x);
+            let (fit2, _) = sweep.sweep(&pool, &x);
+            assert!(fit2 >= fit1 - 1e-9, "ALS fit regressed: {fit1} -> {fit2}");
+        });
+        assert_eq!(
+            (calls, bytes),
+            (0, 0),
+            "steady-state cp_als iteration allocated: strategy={strategy:?}"
+        );
+    }
+}
