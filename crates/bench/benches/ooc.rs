@@ -1,0 +1,77 @@
+//! Out-of-core tile-size sweep: streaming MTTKRP throughput against
+//! the in-core planned kernel on the same tensor, across a ladder of
+//! tile sizes (whole tensor down to 1/16), reporting how much of the
+//! tile I/O the double-buffer prefetch hid.
+//!
+//! Per configuration two extra CSV-ish lines accompany the timings:
+//!
+//! ```text
+//! ooc/<frac>/io_overlap,<io_wait_s>,<efficiency>
+//! ```
+//!
+//! where efficiency = 1 − io_wait / streaming_time (1.0 = compute
+//! fully hid the I/O).
+
+use mttkrp_bench::{BenchGroup, MttkrpFixture, RANK};
+use mttkrp_core::{AlgoChoice, MttkrpBackend};
+use mttkrp_ooc::{OocTensor, TileStore, TiledLayout};
+use mttkrp_parallel::ThreadPool;
+
+const ENTRIES: usize = 2_000_000;
+/// Budget denominators swept: tensor/2 … tensor/16 resident.
+const FRACTIONS: [usize; 4] = [2, 4, 8, 16];
+
+fn main() {
+    let pool = ThreadPool::host();
+    let fx = MttkrpFixture::equal(3, ENTRIES);
+    let refs = fx.refs();
+    let tensor_bytes = 8 * fx.x.len();
+
+    // In-core reference.
+    let group = BenchGroup::new("ooc/in_core");
+    let mut plans = MttkrpBackend::plan_modes(&fx.x, &pool, RANK, Some(AlgoChoice::Heuristic));
+    for n in 0..fx.dims.len() {
+        let mut out = vec![0.0; fx.dims[n] * RANK];
+        group.bench(&format!("planned/{n}"), || {
+            fx.x.mttkrp_planned(&mut plans, &pool, &refs, n, &mut out);
+        });
+    }
+
+    for &frac in &FRACTIONS {
+        let budget = tensor_bytes / frac;
+        let layout = TiledLayout::for_budget(&fx.dims, budget);
+        let path = std::env::temp_dir().join(format!(
+            "mttkrp_bench_ooc_{}_{frac}.mttb",
+            std::process::id()
+        ));
+        let store = TileStore::write_dense(&path, &layout, &fx.x).expect("store build");
+        let ooc = OocTensor::from_store(store).expect("store open");
+        let group = BenchGroup::new(format!(
+            "ooc/budget_1_{frac} ({} tiles of {} KB)",
+            layout.ntiles(),
+            (8 * layout.max_tile_entries()) >> 10
+        ));
+        let mut plans = ooc.plan_modes(&pool, RANK, Some(AlgoChoice::Heuristic));
+        let mut wait_sum = 0.0;
+        let mut time_sum = 0.0;
+        for n in 0..fx.dims.len() {
+            let mut out = vec![0.0; fx.dims[n] * RANK];
+            group.bench(&format!("streaming/{n}"), || {
+                ooc.mttkrp_planned(&mut plans, &pool, &refs, n, &mut out);
+            });
+            // One more timed call for the overlap figure (the bench
+            // timer only reports medians, not the matching io-wait).
+            let t0 = std::time::Instant::now();
+            ooc.mttkrp_planned(&mut plans, &pool, &refs, n, &mut out);
+            time_sum += t0.elapsed().as_secs_f64();
+            wait_sum += plans.last_io_wait();
+        }
+        println!(
+            "ooc/budget_1_{frac}/io_overlap,{wait_sum:.6},{:.3}",
+            1.0 - wait_sum / time_sum.max(1e-12)
+        );
+        drop(plans);
+        drop(ooc);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -52,13 +52,23 @@ impl Breakdown {
     /// Add another breakdown category-wise (accumulating over CP-ALS
     /// iterations or over modes).
     pub fn accumulate(&mut self, other: &Breakdown) {
+        self.accumulate_phases(other);
+        self.total += other.total;
+    }
+
+    /// Add only the categorized phases, leaving `total` untouched.
+    ///
+    /// Drivers that overlap sub-calls with other work (the out-of-core
+    /// engine runs tile MTTKRPs while an I/O thread prefetches the next
+    /// tile) sum their sub-call phases but report their *own* wall time
+    /// as `total`, so `total < categorized()` measures the overlap won.
+    pub fn accumulate_phases(&mut self, other: &Breakdown) {
         self.reorder += other.reorder;
         self.full_krp += other.full_krp;
         self.lr_krp += other.lr_krp;
         self.dgemm += other.dgemm;
         self.dgemv += other.dgemv;
         self.reduce += other.reduce;
-        self.total += other.total;
     }
 }
 
@@ -122,5 +132,24 @@ mod tests {
         assert_eq!(a.dgemm, 1.5);
         assert_eq!(a.total, 3.0);
         assert_eq!(a.categorized(), 1.5);
+    }
+
+    #[test]
+    fn accumulate_phases_leaves_total_alone() {
+        let mut a = Breakdown {
+            dgemm: 1.0,
+            total: 2.0,
+            ..Default::default()
+        };
+        let b = Breakdown {
+            dgemm: 0.5,
+            reduce: 0.25,
+            total: 9.0,
+            ..Default::default()
+        };
+        a.accumulate_phases(&b);
+        assert_eq!(a.dgemm, 1.5);
+        assert_eq!(a.reduce, 0.25);
+        assert_eq!(a.total, 2.0);
     }
 }

@@ -114,6 +114,33 @@ impl KruskalModel {
         }
     }
 
+    /// Evaluate the modeled tensor at one multi-index:
+    /// `Y(i_0,…,i_{N−1}) = Σ_c λ_c Π_n U_n(i_n, c)`, with the exact
+    /// multiplication order of [`KruskalModel::to_dense`] (λ folded
+    /// into the mode-0 term, modes ascending), so entrywise and dense
+    /// evaluation agree **bitwise**. This is what out-of-core store
+    /// generators stream from without materializing the tensor.
+    ///
+    /// # Panics
+    /// Debug builds assert the index arity matches the order.
+    pub fn entry(&self, idx: &[usize]) -> f64 {
+        debug_assert_eq!(idx.len(), self.dims.len(), "one index per mode");
+        let c = self.rank;
+        let mut s = 0.0;
+        for col in 0..c {
+            let mut p = 1.0;
+            for (n, &i) in idx.iter().enumerate() {
+                let mut v = self.factors[n][i * c + col];
+                if n == 0 {
+                    v *= self.lambda[col];
+                }
+                p *= v;
+            }
+            s += p;
+        }
+        s
+    }
+
     /// Squared Frobenius norm of the modeled tensor:
     /// `‖Y‖² = λᵀ (⊛_k U_kᵀU_k) λ`, computed without materializing `Y`.
     pub fn norm_sq(&self) -> f64 {
@@ -166,6 +193,22 @@ impl KruskalModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn entry_matches_to_dense_bitwise() {
+        let mut m = KruskalModel::random(&[4, 3, 2], 3, 17);
+        m.normalize_mode(0); // non-unit lambda
+        let dense = m.to_dense();
+        let mut idx = vec![0usize; 3];
+        for slot in 0..dense.len() {
+            assert_eq!(
+                m.entry(&idx),
+                dense.data()[slot],
+                "entry/to_dense diverge at {idx:?}"
+            );
+            dense.info().increment(&mut idx);
+        }
+    }
 
     #[test]
     fn random_is_deterministic_in_seed() {

@@ -6,13 +6,22 @@
 //!
 //! ```text
 //! tensorcp gen --dims 60x50x40 --rank 5 --noise 0.01 --out x.mtkt
+//! tensorcp gen --dims 800x700x600 --ooc --budget-mb 64 --out x.mttb
 //! tensorcp gen-fmri --preset small --out brain.mtkt [--three-way]
 //! tensorcp decompose --input x.mtkt --rank 5 [--method als|nn|dimtree]
 //!                    [--iters 50] [--tol 1e-8] [--threads 4]
 //!                    [--model-out model.mtkm]
-//! tensorcp info --input x.mtkt
+//! tensorcp decompose --input x.mttb --ooc [--budget-mb N] [--tile AxBxC]
+//! tensorcp info --input x.mtkt        # or a .mttb tile store
 //! tensorcp profile --input x.mtkt [--rank 25]
 //! ```
+//!
+//! `--ooc` runs out-of-core: `gen --ooc` streams a tile store straight
+//! from the generator (the tensor never materializes, so it can exceed
+//! RAM), and `decompose --ooc` accepts a tile store (`MTTB`) or
+//! converts a dense file on the fly, holding at most two tiles of
+//! tensor data resident. The budget comes from `--budget-mb`, else
+//! `MTTKRP_OOC_BUDGET`, else 256 MB; `--tile` overrides the grid.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -22,8 +31,10 @@ use mttkrp_core::{mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed,
 use mttkrp_cpals::{
     cp_als, cp_als_dimtree, cp_als_nn, CpAlsOptions, CpAlsReport, KruskalModel, MttkrpStrategy,
 };
+use mttkrp_ooc::{OocTensor, TileStore, TiledLayout};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_rng::Rng64;
+use mttkrp_tensor::linear_index;
 use mttkrp_tensor::DenseTensor;
 use mttkrp_workloads::{
     linearize_symmetric, random_factors, read_tensor, write_model, write_tensor, FmriConfig,
@@ -81,14 +92,74 @@ fn usage() {
         "tensorcp — CP decomposition of dense tensor files\n\
          commands:\n\
            gen        --dims AxBxC --rank R [--noise S] [--seed N] --out FILE\n\
+                      [--ooc [--budget-mb N] [--tile AxBxC]]  (write a tile store)\n\
            gen-fmri   [--preset small|medium|paper] [--three-way] --out FILE\n\
            decompose  --input FILE --rank R [--method als|nn|dimtree]\n\
                       [--iters N] [--tol T] [--threads T] [--model-out FILE]\n\
-           info       --input FILE\n\
+                      [--ooc [--budget-mb N] [--tile AxBxC]]  (stream from disk)\n\
+           info       --input FILE   (dense .mtkt or tile-store .mttb)\n\
            profile    --input FILE [--rank R] [--threads T]\n\
          every command accepts --kernel auto|scalar|avx2|avx512|neon\n\
-         (hardware dispatch tier; default auto = best supported)"
+         (hardware dispatch tier; default auto = best supported);\n\
+         the out-of-core budget falls back to MTTKRP_OOC_BUDGET, then 256 MB"
     );
+}
+
+/// Resolve the out-of-core byte budget: `--budget-mb`, then the
+/// `MTTKRP_OOC_BUDGET` environment variable, then 256 MB.
+fn ooc_budget(opts: &HashMap<String, String>) -> Result<usize, String> {
+    if let Some(s) = opts.get("budget-mb") {
+        let mb: usize = s.parse().map_err(|_| format!("bad --budget-mb {s:?}"))?;
+        return Ok(mb << 20);
+    }
+    Ok(mttkrp_ooc::budget_from_env().unwrap_or(256 << 20))
+}
+
+/// Layout from `--tile` if given, else from the budget.
+fn ooc_layout(
+    opts: &HashMap<String, String>,
+    dims: &[usize],
+    budget: usize,
+) -> Result<TiledLayout, String> {
+    match opts.get("tile") {
+        Some(s) => {
+            let tile = parse_dims(s).map_err(|e| e.replace("--dims", "--tile"))?;
+            if tile.len() != dims.len() {
+                return Err(format!(
+                    "--tile has {} extents for a {}-mode tensor",
+                    tile.len(),
+                    dims.len()
+                ));
+            }
+            Ok(TiledLayout::new(dims, &tile))
+        }
+        None => Ok(TiledLayout::for_budget(dims, budget)),
+    }
+}
+
+/// The `--ooc` run header: tile grid, budget, and kernel tier.
+fn print_ooc_header(layout: &TiledLayout, budget: usize) {
+    println!(
+        "ooc           : tile {:?} grid {:?} ({} tiles, {} KB each)",
+        layout.tile_dims(),
+        layout.grid(),
+        layout.ntiles(),
+        (8 * layout.max_tile_entries()) >> 10,
+    );
+    let working_set = 2 * 8 * layout.max_tile_entries();
+    println!(
+        "budget        : {} KB (2-tile working set = {} KB)",
+        budget >> 10,
+        working_set >> 10,
+    );
+    if working_set > budget {
+        // An existing store's grid is fixed at creation; a smaller
+        // budget at run time cannot shrink its tiles.
+        println!(
+            "warning       : store tiles exceed the budget; re-create the store to shrink them"
+        );
+    }
+    println!("kernel tier   : {}", mttkrp_blas::kernels().tier());
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -148,6 +219,34 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
     let seed: u64 = num(opts, "seed", 0)?;
     let out = require(opts, "out")?;
 
+    if opts.contains_key("ooc") {
+        // Stream a tile store straight from the Kruskal generator —
+        // the tensor never materializes, so its size is bounded by
+        // disk, not RAM. Noise is hashed per entry (order-independent,
+        // unlike the in-core stream) so tiles can be generated in any
+        // order.
+        let budget = ooc_budget(opts)?;
+        let layout = ooc_layout(opts, &dims, budget)?;
+        print_ooc_header(&layout, budget);
+        let model = KruskalModel::random(&dims, rank, seed);
+        // Noise amplitude from the model norm (no materialized data to
+        // measure): ‖X‖/√I ≈ √(norm_sq/I).
+        let total: usize = dims.iter().product();
+        let scale = (model.norm_sq() / total as f64).sqrt() * noise;
+        TileStore::write_with(out, &layout, |idx| {
+            let mut s = model.entry(idx);
+            if noise > 0.0 {
+                let ell = linear_index(&dims, idx) as u64;
+                let mut rng = Rng64::seed_from_u64(seed ^ 0x5EED ^ ell);
+                s += scale * (rng.next_f64() - 0.5);
+            }
+            s
+        })
+        .map_err(|e| e.to_string())?;
+        println!("wrote rank-{rank} tile store {dims:?} (+{noise} noise) to {out}");
+        return Ok(());
+    }
+
     let mut x = KruskalModel::random(&dims, rank, seed).to_dense();
     if noise > 0.0 {
         let scale = x.norm() / (x.len() as f64).sqrt() * noise;
@@ -192,6 +291,24 @@ fn load(opts: &HashMap<String, String>) -> Result<DenseTensor, String> {
 }
 
 fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
+    let input = require(opts, "input")?;
+    if TileStore::is_tile_store(input) {
+        let store = TileStore::open(input).map_err(|e| e.to_string())?;
+        let l = store.layout();
+        let total = l.dim_info().total();
+        println!("format    : MTTB tile store");
+        println!("dims      : {:?}", l.dims());
+        println!("entries   : {total}");
+        println!("bytes     : {}", 8 * total);
+        println!(
+            "tile      : {:?} ({} KB); grid {:?} ({} tiles)",
+            l.tile_dims(),
+            (8 * l.max_tile_entries()) >> 10,
+            l.grid(),
+            l.ntiles(),
+        );
+        return Ok(());
+    }
     let x = load(opts)?;
     println!("dims      : {:?}", x.dims());
     println!("entries   : {}", x.len());
@@ -215,7 +332,6 @@ fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
 }
 
 fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
-    let x = load(opts)?;
     let rank: usize = num(opts, "rank", 4)?;
     let iters: usize = num(opts, "iters", 50)?;
     let tol: f64 = num(opts, "tol", 1e-8)?;
@@ -226,14 +342,55 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
     } else {
         ThreadPool::new(threads)
     };
-
-    let init = KruskalModel::random(x.dims(), rank, seed);
     let cp_opts = CpAlsOptions {
         max_iters: iters,
         tol,
         strategy: MttkrpStrategy::Auto,
     };
     let method = opts.get("method").map(|s| s.as_str()).unwrap_or("als");
+
+    if opts.contains_key("ooc") {
+        if method != "als" {
+            return Err(format!("--ooc supports --method als only (got {method:?})"));
+        }
+        let input = require(opts, "input")?;
+        let budget = ooc_budget(opts)?;
+        // A tile store streams directly; a dense file is converted to
+        // a temporary store first (held on disk, not in memory, past
+        // the conversion pass).
+        let mut temp: Option<std::path::PathBuf> = None;
+        let x = if TileStore::is_tile_store(input) {
+            OocTensor::open(input).map_err(|e| e.to_string())?
+        } else {
+            let dense = read_tensor(input).map_err(|e| e.to_string())?;
+            let layout = ooc_layout(opts, dense.dims(), budget)?;
+            let path =
+                std::env::temp_dir().join(format!("tensorcp_ooc_{}.mttb", std::process::id()));
+            let store =
+                TileStore::write_dense(&path, &layout, &dense).map_err(|e| e.to_string())?;
+            temp = Some(path);
+            OocTensor::from_store(store).map_err(|e| e.to_string())?
+        };
+        mttkrp_ooc::reset_peak_resident_tile_bytes();
+        print_ooc_header(x.layout(), budget);
+
+        let init = KruskalModel::random(x.dims(), rank, seed);
+        let t0 = std::time::Instant::now();
+        let (model, report) = cp_als(&pool, &x, init, &cp_opts);
+        let elapsed = t0.elapsed().as_secs_f64();
+        println!(
+            "resident peak : {} KB (tile buffers)",
+            mttkrp_ooc::peak_resident_tile_bytes() >> 10
+        );
+        if let Some(path) = temp {
+            std::fs::remove_file(path).ok();
+        }
+        print_decompose_report("als (out-of-core)", rank, &model, &report, elapsed);
+        return write_model_out(opts, &model);
+    }
+
+    let x = load(opts)?;
+    let init = KruskalModel::random(x.dims(), rank, seed);
     let t0 = std::time::Instant::now();
     let (model, report): (KruskalModel, CpAlsReport) = match method {
         "als" => cp_als(&pool, &x, init, &cp_opts),
@@ -242,7 +399,17 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
         other => return Err(format!("unknown method {other:?} (als|nn|dimtree)")),
     };
     let elapsed = t0.elapsed().as_secs_f64();
+    print_decompose_report(method, rank, &model, &report, elapsed);
+    write_model_out(opts, &model)
+}
 
+fn print_decompose_report(
+    method: &str,
+    rank: usize,
+    model: &KruskalModel,
+    report: &CpAlsReport,
+    elapsed: f64,
+) {
     println!("method        : {method}");
     println!("rank          : {rank}");
     println!(
@@ -266,7 +433,9 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
             .map(|l| (l * 1e3).round() / 1e3)
             .collect::<Vec<_>>()
     );
+}
 
+fn write_model_out(opts: &HashMap<String, String>, model: &KruskalModel) -> CliResult {
     if let Some(path) = opts.get("model-out") {
         let stored = StoredModel {
             dims: model.dims().to_vec(),

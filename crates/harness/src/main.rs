@@ -12,15 +12,21 @@
 //! mttkrp-harness --fig7            # CP-ALS per-iteration, ours vs TTB-style
 //! mttkrp-harness --fig8            # breakdowns on the fMRI tensors
 //! mttkrp-harness --sparse          # sparse CSF MTTKRP vs density sweep
+//! mttkrp-harness --ooc             # out-of-core streaming vs in-core
 //! mttkrp-harness --ext-dimtree     # future-work: dimension-tree CP-ALS
 //! mttkrp-harness --all             # everything
 //! mttkrp-harness --all --scale medium   # small (default) | medium | paper
 //! mttkrp-harness --all --kernel scalar  # force a SIMD dispatch tier
+//! mttkrp-harness --ooc --budget-mb 8    # out-of-core memory budget
+//! mttkrp-harness --ooc --tile 64x64x64  # explicit tile extents
 //! ```
 //!
 //! `--kernel {auto,scalar,avx2,avx512,neon}` pins the hardware-kernel
 //! tier every hot loop dispatches to (default `auto`: best supported);
-//! the selected tier is printed in the header.
+//! the selected tier is printed in the header. The out-of-core sweep
+//! prints its tile grid, budget, and peak resident tile bytes; the
+//! budget comes from `--budget-mb`, else `MTTKRP_OOC_BUDGET`, else an
+//! eighth of the tensor.
 
 mod extension;
 mod fig4;
@@ -28,6 +34,7 @@ mod fig5;
 mod fig6;
 mod fig7;
 mod fig8;
+mod ooc;
 mod scale;
 mod sparse;
 mod util;
@@ -70,6 +77,31 @@ fn main() {
             }
         }
     }
+    let budget_mb: Option<usize> = match args.iter().position(|a| a == "--budget-mb") {
+        Some(i) => match args.get(i + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(mb)) => Some(mb),
+            other => {
+                eprintln!("bad --budget-mb {other:?} (expected a megabyte count)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let tile: Option<Vec<usize>> = match args.iter().position(|a| a == "--tile") {
+        Some(i) => {
+            let raw = args.get(i + 1).map(|s| s.as_str()).unwrap_or("");
+            let parsed: Result<Vec<usize>, _> =
+                raw.split(['x', 'X', ',']).map(|t| t.parse()).collect();
+            match parsed {
+                Ok(t) if !t.is_empty() && !t.contains(&0) => Some(t),
+                _ => {
+                    eprintln!("bad --tile {raw:?} (expected e.g. 64x64x64)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
     let all = args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -109,6 +141,10 @@ fn main() {
         sparse::run(scale);
         ran = true;
     }
+    if want("--ooc") {
+        ooc::run(scale, budget_mb.map(|mb| mb << 20), tile.clone());
+        ran = true;
+    }
     if want("--ext-dimtree") {
         extension::run(scale);
         ran = true;
@@ -122,7 +158,8 @@ fn main() {
 fn print_help() {
     println!(
         "usage: mttkrp-harness [--fig4] [--fig5] [--fig6] [--fig7] [--fig8] \
-         [--sparse] [--ext-dimtree] [--all] [--scale small|medium|paper] \
-         [--kernel auto|scalar|avx2|avx512|neon]"
+         [--sparse] [--ooc] [--ext-dimtree] [--all] [--scale small|medium|paper] \
+         [--kernel auto|scalar|avx2|avx512|neon] \
+         [--budget-mb N] [--tile AxBxC]"
     );
 }

@@ -148,6 +148,110 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn ooc_gen_info_decompose_round_trip() {
+    let store_path = tmp("o.mttb");
+    // Generate a tile store under a budget that forces several tiles
+    // (12×10×8 = 7.5 KB; 4 KB budget → ≤ 2 KB tiles).
+    let out = tensorcp()
+        .args([
+            "gen", "--dims", "12x10x8", "--rank", "2", "--seed", "3", "--ooc", "--out",
+        ])
+        .arg(&store_path)
+        .env("MTTKRP_OOC_BUDGET", "4096")
+        .output()
+        .expect("run tensorcp gen --ooc");
+    assert!(
+        out.status.success(),
+        "gen --ooc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("grid"),
+        "tile grid missing from header: {text}"
+    );
+    assert!(
+        text.contains("budget"),
+        "budget missing from header: {text}"
+    );
+    assert!(text.contains("kernel tier"), "tier missing: {text}");
+
+    let out = tensorcp()
+        .args(["info", "--input"])
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MTTB tile store"), "info output: {text}");
+    assert!(text.contains("[12, 10, 8]"), "info output: {text}");
+
+    let out = tensorcp()
+        .args([
+            "decompose",
+            "--rank",
+            "2",
+            "--iters",
+            "400",
+            "--ooc",
+            "--input",
+        ])
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "decompose --ooc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("resident peak"),
+        "resident peak missing: {text}"
+    );
+    let fit_line = text
+        .lines()
+        .find(|l| l.starts_with("final fit"))
+        .expect("fit line");
+    let fit: f64 = fit_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+    assert!(fit > 0.99, "fit = {fit}");
+
+    // A dense input converts on the fly under --ooc.
+    let dense_path = tmp("o.mtkt");
+    tensorcp()
+        .args([
+            "gen", "--dims", "12x10x8", "--rank", "2", "--seed", "3", "--out",
+        ])
+        .arg(&dense_path)
+        .output()
+        .unwrap();
+    let out = tensorcp()
+        .args([
+            "decompose",
+            "--rank",
+            "2",
+            "--iters",
+            "20",
+            "--ooc",
+            "--tile",
+            "6x5x4",
+            "--input",
+        ])
+        .arg(&dense_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "dense-input --ooc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("grid [2, 2, 2]"));
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&dense_path).ok();
+}
+
+#[test]
 fn nn_and_dimtree_methods_run() {
     let tensor_path = tmp("m2.mtkt");
     tensorcp()

@@ -1,0 +1,396 @@
+//! Tile-grid geometry: how an N-way dim grid is cut into tiles.
+//!
+//! A [`TiledLayout`] partitions the global index grid `I_0 × ⋯ ×
+//! I_{N−1}` into axis-aligned tiles of nominal shape `T_0 × ⋯ ×
+//! T_{N−1}`: mode `n` splits into `⌈I_n / T_n⌉` chunks, every chunk
+//! full-sized except a possibly smaller last one (the *remainder*
+//! chunk, when `T_n ∤ I_n`). Tiles are numbered by a **row-major tile
+//! grid** (tile coordinate of mode 0 slowest, last mode fastest);
+//! entries *within* a tile use the same natural linearization as every
+//! dense tensor in the workspace (mode 0 fastest), so a loaded tile is
+//! directly a [`mttkrp_tensor::DenseTensor`] of its own shape.
+//!
+//! The geometry is adversarial-shape-safe: prime dims, tile extents of
+//! 1, tiles larger than the mode, and order-2..high tensors all reduce
+//! to the same arithmetic, and every product is overflow-checked
+//! through [`DimInfo`].
+
+use mttkrp_tensor::DimInfo;
+
+/// Environment variable holding the resident-memory budget in bytes
+/// (suffixes `k`/`m`/`g` = binary kilo/mega/giga are accepted).
+pub const BUDGET_ENV: &str = "MTTKRP_OOC_BUDGET";
+
+/// A partition of an N-way dim grid into axis-aligned tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TiledLayout {
+    info: DimInfo,
+    /// Nominal tile extent per mode (`1 ≤ tile[n] ≤ dims[n]`).
+    tile: Vec<usize>,
+    /// Tiles per mode: `grid[n] = ⌈dims[n] / tile[n]⌉`.
+    grid: Vec<usize>,
+    /// Total tile count, `Π grid[n]`.
+    ntiles: usize,
+}
+
+impl TiledLayout {
+    /// Build a layout with the given nominal tile extents; extents are
+    /// clamped to the dims (a tile larger than the mode is the whole
+    /// mode).
+    ///
+    /// # Panics
+    /// Panics on an empty or zero dim list, or a zero tile extent.
+    pub fn new(dims: &[usize], tile_dims: &[usize]) -> Self {
+        let info = DimInfo::new(dims);
+        assert_eq!(
+            tile_dims.len(),
+            dims.len(),
+            "one tile extent per tensor mode"
+        );
+        assert!(
+            tile_dims.iter().all(|&t| t > 0),
+            "zero tile extents are not supported"
+        );
+        let tile: Vec<usize> = tile_dims
+            .iter()
+            .zip(dims)
+            .map(|(&t, &d)| t.min(d))
+            .collect();
+        let grid: Vec<usize> = tile
+            .iter()
+            .zip(dims)
+            .map(|(&t, &d)| d.div_ceil(t))
+            .collect();
+        let ntiles = grid
+            .iter()
+            .try_fold(1usize, |acc, &g| acc.checked_mul(g))
+            .expect("tile count overflows usize");
+        TiledLayout {
+            info,
+            tile,
+            grid,
+            ntiles,
+        }
+    }
+
+    /// Pick the tile grid for a resident-memory budget of
+    /// `budget_bytes`: the largest power-of-two subdivision whose
+    /// **two** tile buffers (compute + prefetch) fit the budget.
+    /// Starting from one whole-tensor tile, the largest tile extent is
+    /// halved until `2 · tile_bytes ≤ budget_bytes` or every extent is
+    /// 1 (the floor: two single-entry buffers, 16 bytes).
+    pub fn for_budget(dims: &[usize], budget_bytes: usize) -> Self {
+        let mut tile: Vec<usize> = dims.to_vec();
+        loop {
+            let entries: usize = tile.iter().product();
+            if 2 * entries * 8 <= budget_bytes {
+                break;
+            }
+            // Halve the largest extent, keeping tiles compact.
+            let (argmax, &max) = tile
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &t)| t)
+                .expect("at least one mode");
+            if max == 1 {
+                break; // budget below the 2-entry floor; best effort
+            }
+            tile[argmax] = max.div_ceil(2);
+        }
+        Self::new(dims, &tile)
+    }
+
+    /// [`TiledLayout::for_budget`] with the budget taken from the
+    /// [`BUDGET_ENV`] environment variable when set, else
+    /// `default_budget_bytes`. This is what tests, examples, and CLI
+    /// defaults use, so a CI leg can shrink every tile grid at once.
+    pub fn for_budget_env(dims: &[usize], default_budget_bytes: usize) -> Self {
+        Self::for_budget(dims, budget_from_env().unwrap_or(default_budget_bytes))
+    }
+
+    /// Global tensor dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.info.dims()
+    }
+
+    /// Global shape metadata.
+    #[inline]
+    pub fn dim_info(&self) -> &DimInfo {
+        &self.info
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.info.order()
+    }
+
+    /// Nominal tile extents.
+    #[inline]
+    pub fn tile_dims(&self) -> &[usize] {
+        &self.tile
+    }
+
+    /// Tiles per mode.
+    #[inline]
+    pub fn grid(&self) -> &[usize] {
+        &self.grid
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn ntiles(&self) -> usize {
+        self.ntiles
+    }
+
+    /// Entry count of a full (non-remainder) tile — the largest any
+    /// tile gets, hence the size tile buffers are allocated at.
+    #[inline]
+    pub fn max_tile_entries(&self) -> usize {
+        self.tile.iter().product()
+    }
+
+    /// Tile coordinate of tile `t` under the row-major grid numbering
+    /// (mode 0 slowest, last mode fastest).
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn tile_coord(&self, t: usize) -> Vec<usize> {
+        assert!(t < self.ntiles, "tile {t} out of range ({})", self.ntiles);
+        let mut coord = vec![0usize; self.grid.len()];
+        let mut rem = t;
+        for (c, &g) in coord.iter_mut().zip(&self.grid).rev() {
+            *c = rem % g;
+            rem /= g;
+        }
+        coord
+    }
+
+    /// Inverse of [`TiledLayout::tile_coord`].
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of its grid range.
+    pub fn tile_id(&self, coord: &[usize]) -> usize {
+        assert_eq!(coord.len(), self.grid.len(), "one coordinate per mode");
+        let mut t = 0usize;
+        for (&c, &g) in coord.iter().zip(&self.grid) {
+            assert!(c < g, "tile coordinate {c} out of grid range {g}");
+            t = t * g + c;
+        }
+        t
+    }
+
+    /// Global index where tile `t` starts, per mode.
+    pub fn tile_offset(&self, t: usize) -> Vec<usize> {
+        self.tile_coord(t)
+            .iter()
+            .zip(&self.tile)
+            .map(|(&c, &tl)| c * tl)
+            .collect()
+    }
+
+    /// Shape of tile `t` (full extents except remainder chunks).
+    pub fn tile_shape(&self, t: usize) -> Vec<usize> {
+        self.tile_coord(t)
+            .iter()
+            .zip(self.tile.iter().zip(self.info.dims()))
+            .map(|(&c, (&tl, &d))| (d - c * tl).min(tl))
+            .collect()
+    }
+
+    /// Shape metadata of tile `t` (its per-tile [`DimInfo`]).
+    pub fn tile_info(&self, t: usize) -> DimInfo {
+        DimInfo::new(&self.tile_shape(t))
+    }
+
+    /// Entry count of tile `t`.
+    pub fn tile_entries(&self, t: usize) -> usize {
+        self.tile_shape(t).iter().product()
+    }
+
+    /// Bitmask of modes in which tile `t` is the remainder chunk
+    /// (smaller than the nominal extent). Tiles with equal masks have
+    /// equal shapes, so the mask doubles as a shape key — there are at
+    /// most `2^order` distinct tile shapes.
+    pub fn shape_mask(&self, t: usize) -> usize {
+        let coord = self.tile_coord(t);
+        let mut mask = 0usize;
+        for (n, &c) in coord.iter().enumerate() {
+            if c == self.grid[n] - 1 && !self.info.dim(n).is_multiple_of(self.tile[n]) {
+                mask |= 1 << n;
+            }
+        }
+        mask
+    }
+
+    /// The tile shape for a given shape mask (see
+    /// [`TiledLayout::shape_mask`]), regardless of whether any tile
+    /// actually has it.
+    pub fn mask_shape(&self, mask: usize) -> Vec<usize> {
+        (0..self.order())
+            .map(|n| {
+                if mask & (1 << n) != 0 {
+                    self.info.dim(n) % self.tile[n]
+                } else {
+                    self.tile[n]
+                }
+            })
+            .collect()
+    }
+
+    /// Every shape mask some tile actually has, in ascending order.
+    /// (`mask` bit `n` is achievable iff mode `n` has a remainder
+    /// chunk; the achievable masks are the subsets of those bits.)
+    pub fn achievable_masks(&self) -> Vec<usize> {
+        let rem_bits: Vec<usize> = (0..self.order())
+            .filter(|&n| !self.info.dim(n).is_multiple_of(self.tile[n]))
+            .map(|n| 1usize << n)
+            .collect();
+        let mut masks = Vec::with_capacity(1 << rem_bits.len());
+        for sub in 0..(1usize << rem_bits.len()) {
+            let mut mask = 0usize;
+            for (i, &bit) in rem_bits.iter().enumerate() {
+                if sub & (1 << i) != 0 {
+                    mask |= bit;
+                }
+            }
+            masks.push(mask);
+        }
+        masks.sort_unstable();
+        masks
+    }
+
+    /// Map a global multi-index to `(tile id, local multi-index)`.
+    pub fn locate(&self, global: &[usize]) -> (usize, Vec<usize>) {
+        assert_eq!(global.len(), self.order(), "one index per mode");
+        let mut coord = Vec::with_capacity(self.order());
+        let mut local = Vec::with_capacity(self.order());
+        for (n, &g) in global.iter().enumerate() {
+            assert!(g < self.info.dim(n), "index {g} out of mode {n}");
+            coord.push(g / self.tile[n]);
+            local.push(g % self.tile[n]);
+        }
+        (self.tile_id(&coord), local)
+    }
+
+    /// Map `(tile id, local multi-index)` back to the global
+    /// multi-index (inverse of [`TiledLayout::locate`]).
+    pub fn global_of(&self, t: usize, local: &[usize]) -> Vec<usize> {
+        let off = self.tile_offset(t);
+        let shape = self.tile_shape(t);
+        assert_eq!(local.len(), self.order(), "one index per mode");
+        local
+            .iter()
+            .zip(off.iter().zip(&shape))
+            .map(|(&l, (&o, &s))| {
+                assert!(l < s, "local index {l} out of tile extent {s}");
+                o + l
+            })
+            .collect()
+    }
+}
+
+/// Parse the [`BUDGET_ENV`] environment variable, if set and valid.
+pub fn budget_from_env() -> Option<usize> {
+    let raw = std::env::var(BUDGET_ENV).ok()?;
+    parse_budget(&raw)
+}
+
+/// Parse a byte-count string: a plain integer, optionally suffixed
+/// with `k`, `m`, or `g` (binary multiples, case-insensitive).
+pub fn parse_budget(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1usize << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1usize << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1usize),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_grid_has_uniform_tiles() {
+        let l = TiledLayout::new(&[6, 4], &[3, 2]);
+        assert_eq!(l.grid(), &[2, 2]);
+        assert_eq!(l.ntiles(), 4);
+        for t in 0..4 {
+            assert_eq!(l.tile_shape(t), vec![3, 2]);
+            assert_eq!(l.shape_mask(t), 0);
+        }
+        assert_eq!(l.achievable_masks(), vec![0]);
+    }
+
+    #[test]
+    fn ragged_grid_has_remainder_tiles() {
+        let l = TiledLayout::new(&[7, 5], &[3, 2]);
+        assert_eq!(l.grid(), &[3, 3]);
+        // Row-major ids: coordinate (c0, c1) -> c0 * 3 + c1.
+        assert_eq!(l.tile_coord(5), vec![1, 2]);
+        assert_eq!(l.tile_id(&[1, 2]), 5);
+        // Tile (2, 2) is the remainder in both modes: 7 = 3+3+1, 5 = 2+2+1.
+        let t = l.tile_id(&[2, 2]);
+        assert_eq!(l.tile_shape(t), vec![1, 1]);
+        assert_eq!(l.shape_mask(t), 0b11);
+        assert_eq!(l.tile_offset(t), vec![6, 4]);
+        assert_eq!(l.achievable_masks(), vec![0b00, 0b01, 0b10, 0b11]);
+        let total: usize = (0..l.ntiles()).map(|t| l.tile_entries(t)).sum();
+        assert_eq!(total, 35);
+    }
+
+    #[test]
+    fn oversized_tile_clamps_to_whole_mode() {
+        let l = TiledLayout::new(&[4, 3], &[99, 2]);
+        assert_eq!(l.tile_dims(), &[4, 2]);
+        assert_eq!(l.grid(), &[1, 2]);
+    }
+
+    #[test]
+    fn budget_picks_two_tiles_within_budget() {
+        let dims = [40usize, 40, 40]; // 512_000 bytes
+        let budget = 128 * 1024;
+        let l = TiledLayout::for_budget(&dims, budget);
+        assert!(2 * l.max_tile_entries() * 8 <= budget, "layout {l:?}");
+        assert!(l.ntiles() > 1);
+        // A budget bigger than the tensor keeps it one tile.
+        let l = TiledLayout::for_budget(&dims, 2 * 512_000 + 16);
+        assert_eq!(l.ntiles(), 1);
+    }
+
+    #[test]
+    fn budget_floor_is_single_entry_tiles() {
+        let l = TiledLayout::for_budget(&[3, 3], 1);
+        assert_eq!(l.tile_dims(), &[1, 1]);
+        assert_eq!(l.ntiles(), 9);
+    }
+
+    #[test]
+    fn parse_budget_suffixes() {
+        assert_eq!(parse_budget("4096"), Some(4096));
+        assert_eq!(parse_budget("4k"), Some(4096));
+        assert_eq!(parse_budget("2M"), Some(2 << 20));
+        assert_eq!(parse_budget("1g"), Some(1 << 30));
+        assert_eq!(parse_budget(" 8 k "), Some(8192));
+        assert_eq!(parse_budget("nope"), None);
+        assert_eq!(parse_budget(""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tile extents")]
+    fn zero_tile_extent_rejected() {
+        let _ = TiledLayout::new(&[3, 3], &[1, 0]);
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let l = TiledLayout::new(&[7, 5, 3], &[3, 2, 3]);
+        let (t, local) = l.locate(&[6, 3, 2]);
+        assert_eq!(l.global_of(t, &local), vec![6, 3, 2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Out-of-core tiled tensor engine: decompose tensors that never fit
+//! in RAM.
+//!
+//! The dense and sparse subsystems assume the tensor is resident; this
+//! crate removes that assumption with three pieces:
+//!
+//! * [`TiledLayout`] — cuts the N-way dim grid into axis-aligned tiles
+//!   (row-major tile grid, natural linearization within each tile) and
+//!   can pick the grid from a byte budget ([`TiledLayout::for_budget`],
+//!   honouring the `MTTKRP_OOC_BUDGET` environment variable through
+//!   [`TiledLayout::for_budget_env`]).
+//! * [`TileStore`] — the `MTTB` file format: checked header (magic,
+//!   version, dims, tile grid, per-tile offsets), streaming
+//!   `BufWriter` builds (from an in-core tensor **or** a generator
+//!   closure, so fixtures bigger than the budget never exist in
+//!   memory), positioned per-tile reads, and rejection of corrupt
+//!   headers, truncation, and out-of-range reads.
+//! * [`OocTensor`] — implements `mttkrp_core::MttkrpBackend` via
+//!   [`OocMttkrpPlanSet`]: per-tile planned dense MTTKRPs (the same
+//!   1-step/2-step SIMD kernels as in-core execution) against
+//!   row-sliced factors, with a dedicated I/O thread prefetching tile
+//!   `k+1` into the second half of a double buffer while the pool
+//!   computes tile `k`. Because the CP drivers are backend-generic,
+//!   `cp_als`/`cp_gradient` run out-of-core unchanged.
+//!
+//! Peak resident tensor bytes are capped at **2 tiles + workspaces**;
+//! the [`metrics`] gauge instruments every tile buffer so the cap is a
+//! tested invariant, not a comment.
+//!
+//! # Example
+//!
+//! ```
+//! use mttkrp_ooc::{OocTensor, TiledLayout, TileStore};
+//! use mttkrp_parallel::ThreadPool;
+//! use mttkrp_tensor::DenseTensor;
+//!
+//! let dims = [6usize, 5, 4];
+//! let x = DenseTensor::from_fn(&dims, {
+//!     let mut k = 0.0f64;
+//!     move || {
+//!         k += 1.0;
+//!         (k * 0.37).sin()
+//!     }
+//! });
+//! // A budget far below the 960-byte tensor forces a multi-tile grid.
+//! let layout = TiledLayout::for_budget(&dims, 400);
+//! assert!(layout.ntiles() > 1);
+//! let path = std::env::temp_dir().join("mttkrp_ooc_doc.mttb");
+//! TileStore::write_dense(&path, &layout, &x).unwrap();
+//! let ooc = OocTensor::open(&path).unwrap();
+//! assert!((ooc.norm() - x.norm()).abs() < 1e-12);
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+pub mod layout;
+pub mod metrics;
+pub mod store;
+pub mod tensor;
+
+pub use layout::{budget_from_env, parse_budget, TiledLayout, BUDGET_ENV};
+pub use metrics::{
+    peak_resident_tile_bytes, reset_peak_resident_tile_bytes, resident_tile_bytes, TileBuf,
+};
+pub use store::{TileReader, TileStore, TileStoreBuilder};
+pub use tensor::{OocMttkrpPlanSet, OocTensor};

@@ -1,0 +1,160 @@
+//! Resident-tile-bytes accounting.
+//!
+//! The out-of-core engine's whole point is a bounded working set: at
+//! any instant at most **two tiles** of tensor data are resident (the
+//! tile being computed on and the tile the I/O thread is prefetching),
+//! plus rank-sized workspaces. That claim is load-bearing enough to
+//! instrument rather than assert by inspection: every tile-sized buffer
+//! in this crate is a [`TileBuf`], which registers its capacity with a
+//! process-wide gauge on construction and deregisters on drop. Tests
+//! and CLIs read [`resident_tile_bytes`] / [`peak_resident_tile_bytes`]
+//! to verify and report the cap.
+//!
+//! The gauge tracks *tile buffers*, not all allocations — factor
+//! matrices, MTTKRP plan workspaces, and the output matrix are the
+//! "+ workspaces" term of the budget and scale with `Σ I_n · C`, not
+//! with the tensor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static TILE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TILE_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Bytes of tile-buffer memory currently resident across the process.
+pub fn resident_tile_bytes() -> usize {
+    TILE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`resident_tile_bytes`] since the last
+/// [`reset_peak_resident_tile_bytes`].
+pub fn peak_resident_tile_bytes() -> usize {
+    TILE_PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the peak gauge to the current resident level (e.g. before a
+/// measured run).
+pub fn reset_peak_resident_tile_bytes() {
+    TILE_PEAK.store(TILE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn register(bytes: usize) {
+    let now = TILE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    TILE_PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+fn deregister(bytes: usize) {
+    TILE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// A gauge-registered tile buffer.
+///
+/// Owns a `Vec<f64>` whose *capacity* is fixed at construction (one
+/// maximal tile); the length is resized per tile without reallocating.
+/// The backing memory may temporarily move out (the compute path wraps
+/// it in a borrowed-shape `DenseTensor`) via [`TileBuf::take_vec`] /
+/// [`TileBuf::put_vec`] — the registration follows the `TileBuf`, which
+/// stays alive for exactly as long as the memory is resident.
+#[derive(Debug)]
+pub struct TileBuf {
+    data: Option<Vec<f64>>,
+    capacity: usize,
+}
+
+impl TileBuf {
+    /// Allocate a buffer able to hold `max_entries` values and register
+    /// it with the gauge.
+    pub fn new(max_entries: usize) -> Self {
+        register(max_entries * 8);
+        TileBuf {
+            data: Some(vec![0.0; max_entries]),
+            capacity: max_entries,
+        }
+    }
+
+    /// Registered capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mutable access to the backing vector.
+    ///
+    /// # Panics
+    /// Panics if the vector is currently taken.
+    pub fn vec_mut(&mut self) -> &mut Vec<f64> {
+        self.data.as_mut().expect("tile buffer vector is taken")
+    }
+
+    /// Move the backing vector out (its registration stays with the
+    /// `TileBuf`, which must outlive the use).
+    ///
+    /// # Panics
+    /// Panics if already taken.
+    pub fn take_vec(&mut self) -> Vec<f64> {
+        self.data.take().expect("tile buffer vector is taken")
+    }
+
+    /// Return a vector previously moved out with [`TileBuf::take_vec`].
+    ///
+    /// # Panics
+    /// Panics if the buffer already holds a vector or `v`'s capacity
+    /// shrank below the registered size (the gauge would under-report).
+    pub fn put_vec(&mut self, v: Vec<f64>) {
+        assert!(self.data.is_none(), "tile buffer already holds a vector");
+        assert!(
+            v.capacity() >= self.capacity,
+            "returned vector lost capacity"
+        );
+        self.data = Some(v);
+    }
+}
+
+impl Drop for TileBuf {
+    fn drop(&mut self) {
+        deregister(self.capacity * 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Gauge tests share process-global state; serialize them so
+    // concurrent test threads don't see each other's buffers.
+    static GAUGE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn gauge_tracks_buffer_lifetime() {
+        let _g = GAUGE_LOCK.lock().unwrap();
+        let before = resident_tile_bytes();
+        let buf = TileBuf::new(1000);
+        assert_eq!(resident_tile_bytes(), before + 8000);
+        assert!(peak_resident_tile_bytes() >= before + 8000);
+        drop(buf);
+        assert_eq!(resident_tile_bytes(), before);
+    }
+
+    #[test]
+    fn take_put_keeps_registration() {
+        let _g = GAUGE_LOCK.lock().unwrap();
+        let before = resident_tile_bytes();
+        let mut buf = TileBuf::new(16);
+        let mut v = buf.take_vec();
+        // Memory is still resident while moved out.
+        assert_eq!(resident_tile_bytes(), before + 128);
+        v.truncate(3);
+        buf.put_vec(v);
+        assert_eq!(buf.vec_mut().len(), 3);
+        drop(buf);
+        assert_eq!(resident_tile_bytes(), before);
+    }
+
+    #[test]
+    fn reset_peak_drops_to_current() {
+        let _g = GAUGE_LOCK.lock().unwrap();
+        let big = TileBuf::new(4096);
+        drop(big);
+        reset_peak_resident_tile_bytes();
+        assert_eq!(peak_resident_tile_bytes(), resident_tile_bytes());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the tile geometry and the `MTTB` store, in the
+//! workspace's seeded `Rng64` case-loop style (no proptest dependency;
+//! failures reproduce from the printed case tag).
+
+use mttkrp_ooc::{TileStore, TiledLayout};
+use mttkrp_rng::Rng64;
+use mttkrp_tensor::DenseTensor;
+use std::path::PathBuf;
+
+fn tmp(name: &str, case: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mttkrp_ooc_prop_{name}_{}_{case}.mttb",
+        std::process::id()
+    ))
+}
+
+/// Random adversarial geometry: dims 1..8 (primes and 1s likely), tile
+/// extents 1..=dim+1 (oversized extents exercise clamping).
+fn rand_layout(rng: &mut Rng64) -> TiledLayout {
+    let order = rng.usize_in(2, 6);
+    let dims: Vec<usize> = (0..order).map(|_| rng.usize_in(1, 8)).collect();
+    let tile: Vec<usize> = dims.iter().map(|&d| rng.usize_in(1, d + 2)).collect();
+    TiledLayout::new(&dims, &tile)
+}
+
+#[test]
+fn tile_grid_round_trips_every_global_index() {
+    let mut rng = Rng64::seed_from_u64(0x00C_0001);
+    for case in 0..64 {
+        let l = rand_layout(&mut rng);
+        let tag = format!(
+            "case {case}: dims {:?} tile {:?} grid {:?}",
+            l.dims(),
+            l.tile_dims(),
+            l.grid()
+        );
+
+        // Tile id <-> coordinate round trip.
+        for t in 0..l.ntiles() {
+            assert_eq!(l.tile_id(&l.tile_coord(t)), t, "{tag}");
+        }
+
+        // Tiles tile the grid: entry counts sum to the total, and
+        // every global index lands in exactly one tile and round-trips
+        // through (tile, local).
+        let total: usize = l.dims().iter().product();
+        let sum: usize = (0..l.ntiles()).map(|t| l.tile_entries(t)).sum();
+        assert_eq!(sum, total, "{tag}");
+
+        let info = l.dim_info().clone();
+        let mut idx = vec![0usize; l.order()];
+        loop {
+            let (t, local) = l.locate(&idx);
+            assert!(t < l.ntiles(), "{tag}");
+            let shape = l.tile_shape(t);
+            for (m, (&lo, &s)) in local.iter().zip(&shape).enumerate() {
+                assert!(lo < s, "{tag}: local {lo} ≥ extent {s} in mode {m}");
+            }
+            assert_eq!(l.global_of(t, &local), idx, "{tag}");
+            if !info.increment(&mut idx) {
+                break;
+            }
+        }
+
+        // The shape mask is a faithful shape key and every achievable
+        // mask appears.
+        let masks = l.achievable_masks();
+        for t in 0..l.ntiles() {
+            let m = l.shape_mask(t);
+            assert!(masks.contains(&m), "{tag}");
+            assert_eq!(l.mask_shape(m), l.tile_shape(t), "{tag}");
+        }
+    }
+}
+
+#[test]
+fn store_write_read_reconstructs_the_source_tensor() {
+    let mut rng = Rng64::seed_from_u64(0x00C_0002);
+    for case in 0..24 {
+        let l = rand_layout(&mut rng);
+        let total: usize = l.dims().iter().product();
+        let x = DenseTensor::from_vec(l.dims(), (0..total).map(|_| rng.next_f64() - 0.5).collect());
+        let tag = format!("case {case}: dims {:?} tile {:?}", l.dims(), l.tile_dims());
+        let path = tmp("round", case);
+        let store = TileStore::write_dense(&path, &l, &x).expect("write");
+
+        // Full reconstruction is bitwise equal.
+        let back = store.read_dense().expect("read");
+        assert_eq!(back, x, "{tag}");
+
+        // Per-tile reads see exactly the gathered blocks.
+        let mut r = store.reader().expect("reader");
+        for t in 0..l.ntiles() {
+            let mut got = vec![f64::NAN; l.tile_entries(t)];
+            r.read_tile_into(t, &mut got).expect("tile read");
+            let mut want = vec![0.0; l.tile_entries(t)];
+            x.gather_block(&l.tile_offset(t), &l.tile_shape(t), &mut want);
+            assert_eq!(got, want, "{tag}: tile {t}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn generator_builds_match_in_core_builds() {
+    let mut rng = Rng64::seed_from_u64(0x00C_0003);
+    for case in 0..12 {
+        let l = rand_layout(&mut rng);
+        let total: usize = l.dims().iter().product();
+        let x = DenseTensor::from_vec(l.dims(), (0..total).map(|_| rng.next_f64() - 0.5).collect());
+        let p_dense = tmp("gen_dense", case);
+        let p_gen = tmp("gen_fn", case);
+        TileStore::write_dense(&p_dense, &l, &x).expect("write dense");
+        let info = x.info().clone();
+        TileStore::write_with(&p_gen, &l, |idx| x.data()[info.linear(idx)]).expect("write gen");
+        let a = std::fs::read(&p_dense).unwrap();
+        let b = std::fs::read(&p_gen).unwrap();
+        std::fs::remove_file(&p_dense).ok();
+        std::fs::remove_file(&p_gen).ok();
+        assert_eq!(a, b, "case {case}: builders disagree bytewise");
+    }
+}
+
+#[test]
+fn corrupt_headers_and_truncations_are_rejected() {
+    let mut rng = Rng64::seed_from_u64(0x00C_0004);
+    for case in 0..12 {
+        let l = rand_layout(&mut rng);
+        let total: usize = l.dims().iter().product();
+        let x = DenseTensor::from_vec(l.dims(), (0..total).map(|_| rng.next_f64() - 0.5).collect());
+        let path = tmp("corrupt", case);
+        TileStore::write_dense(&path, &l, &x).expect("write");
+        let good = std::fs::read(&path).unwrap();
+        let tag = format!("case {case}: dims {:?} tile {:?}", l.dims(), l.tile_dims());
+
+        // Random single-truncation anywhere in the file.
+        let cut = rng.usize_below(good.len());
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(TileStore::open(&path).is_err(), "{tag}: cut at {cut}");
+
+        // Random header-word corruption that changes the geometry.
+        let mut b = good.clone();
+        let word = rng.usize_below(l.order());
+        b[12 + 8 * word..20 + 8 * word].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &b).unwrap();
+        assert!(TileStore::open(&path).is_err(), "{tag}: forged dim {word}");
+
+        // Trailing garbage.
+        let mut b = good.clone();
+        b.extend_from_slice(&rng.next_u64().to_le_bytes());
+        std::fs::write(&path, &b).unwrap();
+        assert!(TileStore::open(&path).is_err(), "{tag}: trailing bytes");
+
+        // Out-of-range tile read on the intact store.
+        std::fs::write(&path, &good).unwrap();
+        let store = TileStore::open(&path).expect("intact store reopens");
+        let mut r = store.reader().unwrap();
+        let mut buf = vec![0.0; l.tile_entries(0)];
+        assert!(r.read_tile_into(l.ntiles() + 3, &mut buf).is_err(), "{tag}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -191,6 +191,89 @@ impl DenseTensor {
         out
     }
 
+    /// Copy the axis-aligned block starting at `offsets` with shape
+    /// `shape` into `out`, in the block's own natural linearization
+    /// (mode 0 fastest within the block).
+    ///
+    /// This is the gather a tiled/out-of-core store performs per tile;
+    /// mode-0 runs are contiguous in the source, so the copy moves
+    /// `shape[0]`-length slices, not single entries.
+    ///
+    /// # Panics
+    /// Panics if the block does not fit inside the tensor or `out` is
+    /// not exactly the block's entry count.
+    pub fn gather_block(&self, offsets: &[usize], shape: &[usize], out: &mut [f64]) {
+        self.for_block_runs(offsets, shape, out.len(), |dst, src, len| {
+            out[dst..dst + len].copy_from_slice(&self.data[src..src + len]);
+        });
+    }
+
+    /// Inverse of [`Self::gather_block`]: write `src` (the block's
+    /// natural linearization) into the block at `offsets`.
+    ///
+    /// # Panics
+    /// Panics if the block does not fit inside the tensor or `src` is
+    /// not exactly the block's entry count.
+    pub fn scatter_block(&mut self, offsets: &[usize], shape: &[usize], src: &[f64]) {
+        // Collect the runs first: `for_block_runs` borrows `self`
+        // shared, the writes need it mutable.
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+        self.for_block_runs(offsets, shape, src.len(), |dst, gsrc, len| {
+            runs.push((dst, gsrc, len));
+        });
+        for (blk, glb, len) in runs {
+            self.data[glb..glb + len].copy_from_slice(&src[blk..blk + len]);
+        }
+    }
+
+    /// Enumerate the mode-0-contiguous runs of an axis-aligned block as
+    /// `(block_linear_start, global_linear_start, run_len)` triples.
+    fn for_block_runs(
+        &self,
+        offsets: &[usize],
+        shape: &[usize],
+        buf_len: usize,
+        mut f: impl FnMut(usize, usize, usize),
+    ) {
+        let order = self.order();
+        assert_eq!(offsets.len(), order, "one offset per mode");
+        assert_eq!(shape.len(), order, "one extent per mode");
+        let mut entries = 1usize;
+        for n in 0..order {
+            assert!(shape[n] > 0, "empty block extent in mode {n}");
+            assert!(
+                offsets[n] + shape[n] <= self.info.dim(n),
+                "block exceeds mode {n}: {} + {} > {}",
+                offsets[n],
+                shape[n],
+                self.info.dim(n)
+            );
+            entries *= shape[n];
+        }
+        assert_eq!(buf_len, entries, "buffer must match the block size");
+
+        let run = shape[0];
+        let nruns = entries / run;
+        // Walk the block's outer modes (1..order) in its own
+        // linearization order, tracking the matching global index.
+        let mut local = vec![0usize; order];
+        for r in 0..nruns {
+            let mut global = 0usize;
+            for n in 0..order {
+                global += (offsets[n] + local[n]) * self.info.i_left(n);
+            }
+            f(r * run, global, run);
+            // Increment local over modes 1.. (mode 0 spans the run).
+            for n in 1..order {
+                local[n] += 1;
+                if local[n] < shape[n] {
+                    break;
+                }
+                local[n] = 0;
+            }
+        }
+    }
+
     /// Consume the tensor, returning its linearized buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -324,6 +407,53 @@ mod tests {
         let y = x.clone().reshape(&[6, 2]);
         assert_eq!(y.data(), x.data());
         assert_eq!(y.get(&[5, 1]), 11.0);
+    }
+
+    #[test]
+    fn gather_scatter_block_round_trips() {
+        let x = iota_tensor(&[4, 3, 5]);
+        let offsets = [1usize, 0, 2];
+        let shape = [2usize, 3, 2];
+        let mut block = vec![f64::NAN; 12];
+        x.gather_block(&offsets, &shape, &mut block);
+        // Entry (i0, i1, i2) of the block is x(1+i0, i1, 2+i2).
+        let mut k = 0;
+        for i2 in 0..2 {
+            for i1 in 0..3 {
+                for i0 in 0..2 {
+                    assert_eq!(block[k], x.get(&[1 + i0, i1, 2 + i2]), "k={k}");
+                    k += 1;
+                }
+            }
+        }
+        let mut y = DenseTensor::zeros(&[4, 3, 5]);
+        y.scatter_block(&offsets, &shape, &block);
+        for i2 in 0..2 {
+            for i1 in 0..3 {
+                for i0 in 0..2 {
+                    assert_eq!(y.get(&[1 + i0, i1, 2 + i2]), x.get(&[1 + i0, i1, 2 + i2]));
+                }
+            }
+        }
+        // Everything outside the block stays zero.
+        assert_eq!(y.get(&[0, 0, 0]), 0.0);
+        assert_eq!(y.get(&[3, 2, 4]), 0.0);
+    }
+
+    #[test]
+    fn gather_whole_tensor_is_identity() {
+        let x = iota_tensor(&[3, 2, 2]);
+        let mut block = vec![0.0; 12];
+        x.gather_block(&[0, 0, 0], &[3, 2, 2], &mut block);
+        assert_eq!(&block[..], x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "block exceeds mode")]
+    fn gather_out_of_range_block_panics() {
+        let x = iota_tensor(&[3, 3]);
+        let mut block = vec![0.0; 4];
+        x.gather_block(&[2, 0], &[2, 2], &mut block);
     }
 
     #[test]

@@ -19,10 +19,19 @@
 //!
 //! Tensor entries are the natural linearization; factors are row-major,
 //! matching the in-memory conventions everywhere else in the workspace.
-//! Encoding/decoding is plain `std` (`to_le_bytes`/`from_le_bytes`) on a
-//! `Vec<u8>` — no serialization dependency.
+//!
+//! Encoding is plain `std` (`to_le_bytes`/`from_le_bytes`), and every
+//! codec **streams**: files are written through a [`BufWriter`] and
+//! read through a [`BufReader`] in bounded chunks — no whole-file
+//! `Vec<u8>` round-trip, so writing or reading a multi-gigabyte tensor
+//! costs one tensor of memory, not two. Readers are handed the total
+//! input length up-front (file metadata, or the slice length for the
+//! `*_from_bytes` forms) and reject length mismatches **before**
+//! touching the payload, so a header promising petabytes fails
+//! immediately instead of after a long partial read.
 
-use std::io::{self, Read, Write};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use mttkrp_sparse::CooTensor;
@@ -51,185 +60,214 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Little-endian cursor over a byte slice. Callers bounds-check with
-/// [`Reader::remaining`] before reading, as the format validators do.
-struct Reader<'a> {
-    buf: &'a [u8],
+// ---- streaming primitives --------------------------------------------------
+
+/// Entries per conversion chunk on the streaming f64 paths (8 KiB of
+/// scratch; bounds the codec's working memory independent of payload
+/// size).
+const CHUNK: usize = 1024;
+
+fn put_u32_le(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
 }
 
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
-    fn advance(&mut self, n: usize) {
-        self.buf = &self.buf[n..];
-    }
-
-    fn get_u32_le(&mut self) -> u32 {
-        let (head, tail) = self.buf.split_at(4);
-        self.buf = tail;
-        u32::from_le_bytes(head.try_into().unwrap())
-    }
-
-    fn get_u64_le(&mut self) -> u64 {
-        let (head, tail) = self.buf.split_at(8);
-        self.buf = tail;
-        u64::from_le_bytes(head.try_into().unwrap())
-    }
-
-    fn get_f64_le(&mut self) -> f64 {
-        f64::from_bits(self.get_u64_le())
-    }
+fn put_u64_le(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
 }
 
-fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
+/// Stream an `f64` slice in bounded chunks.
+fn put_f64_slice(w: &mut impl Write, data: &[f64]) -> io::Result<()> {
+    let mut scratch = [0u8; 8 * CHUNK];
+    for chunk in data.chunks(CHUNK) {
+        for (i, &v) in chunk.iter().enumerate() {
+            scratch[8 * i..8 * i + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&scratch[..8 * chunk.len()])?;
+    }
+    Ok(())
 }
 
-fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
+fn get_u32_le(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
 }
 
-fn put_f64_le(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_le_bytes());
+fn get_u64_le(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
-/// Serialize a tensor into a byte buffer.
-pub fn tensor_to_bytes(x: &DenseTensor) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + x.dims().len() * 8 + x.len() * 8);
-    buf.extend_from_slice(TENSOR_MAGIC);
-    put_u32_le(&mut buf, VERSION);
-    put_u32_le(&mut buf, x.dims().len() as u32);
+/// Stream `count` `f64`s into a fresh vector in bounded chunks.
+fn get_f64_vec(r: &mut impl Read, count: usize) -> io::Result<Vec<f64>> {
+    let mut out = vec![0.0f64; count];
+    let mut scratch = [0u8; 8 * CHUNK];
+    let mut pos = 0usize;
+    while pos < count {
+        let n = (count - pos).min(CHUNK);
+        r.read_exact(&mut scratch[..8 * n])?;
+        for (i, slot) in out[pos..pos + n].iter_mut().enumerate() {
+            *slot = f64::from_le_bytes(scratch[8 * i..8 * i + 8].try_into().unwrap());
+        }
+        pos += n;
+    }
+    Ok(out)
+}
+
+fn check_magic(r: &mut impl Read, magic: &[u8; 4], what: &str) -> io::Result<()> {
+    let mut m = [0u8; 4];
+    r.read_exact(&mut m)
+        .map_err(|_| bad(&format!("not a {what} file (truncated magic)")))?;
+    if &m != magic {
+        return Err(bad(&format!("not a {what} file (bad magic)")));
+    }
+    Ok(())
+}
+
+/// Validate the declared total input length against the byte count the
+/// parsed header implies — called before any payload is read.
+fn check_total_len(input_len: u64, expected: u64, what: &str) -> io::Result<()> {
+    if input_len != expected {
+        return Err(bad(&format!(
+            "{what} payload length mismatch: input is {input_len} bytes, header implies {expected}"
+        )));
+    }
+    Ok(())
+}
+
+// ---- dense tensors ---------------------------------------------------------
+
+/// Stream a tensor to any writer (header + entries, no intermediate
+/// buffer).
+pub fn write_tensor_to(w: &mut impl Write, x: &DenseTensor) -> io::Result<()> {
+    w.write_all(TENSOR_MAGIC)?;
+    put_u32_le(w, VERSION)?;
+    put_u32_le(w, x.dims().len() as u32)?;
     for &d in x.dims() {
-        put_u64_le(&mut buf, d as u64);
+        put_u64_le(w, d as u64)?;
     }
-    for &v in x.data() {
-        put_f64_le(&mut buf, v);
-    }
-    buf
+    put_f64_slice(w, x.data())
 }
 
-/// Deserialize a tensor from bytes.
-pub fn tensor_from_bytes(buf: &[u8]) -> io::Result<DenseTensor> {
-    let mut buf = Reader::new(buf);
-    if buf.remaining() < 12 || &buf.buf[..4] != TENSOR_MAGIC {
-        return Err(bad("not a tensor file (bad magic)"));
-    }
-    buf.advance(4);
-    if buf.get_u32_le() != VERSION {
+/// Read a tensor from any reader whose total length is `input_len`
+/// bytes. The length check happens after the header parse and before
+/// the payload read.
+pub fn read_tensor_from(r: &mut impl Read, input_len: u64) -> io::Result<DenseTensor> {
+    check_magic(r, TENSOR_MAGIC, "tensor")?;
+    if get_u32_le(r)? != VERSION {
         return Err(bad("unsupported tensor file version"));
     }
-    let ndims = buf.get_u32_le() as usize;
-    if ndims == 0 || buf.remaining() < ndims * 8 {
-        return Err(bad("truncated tensor header"));
+    let ndims = get_u32_le(r)? as usize;
+    if ndims == 0 {
+        return Err(bad("tensor with zero modes"));
     }
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
-        let d = buf.get_u64_le() as usize;
+        let d = get_u64_le(r)? as usize;
         if d == 0 {
             return Err(bad("zero-length tensor mode"));
         }
         dims.push(d);
     }
-    // Checked shape product, like the sparse/model readers.
+    // Checked shape product: crafted headers must fail cleanly.
     let total = dims
         .iter()
         .try_fold(1usize, |acc, &d| acc.checked_mul(d))
         .ok_or_else(|| bad("tensor shape overflows"))?;
-    if total.checked_mul(8) != Some(buf.remaining()) {
-        return Err(bad("tensor payload length mismatch"));
-    }
-    let mut data = Vec::with_capacity(total);
-    for _ in 0..total {
-        data.push(buf.get_f64_le());
-    }
+    // The byte count must also be computed checked: a total that fits
+    // usize can still wrap `8 * total` and sneak past the length gate.
+    let expected = (total as u64)
+        .checked_mul(8)
+        .and_then(|p| p.checked_add(12 + 8 * ndims as u64))
+        .ok_or_else(|| bad("tensor payload size overflows"))?;
+    check_total_len(input_len, expected, "tensor")?;
+    let data = get_f64_vec(r, total)?;
     Ok(DenseTensor::from_vec(&dims, data))
 }
 
-/// Write a tensor to `path`.
-pub fn write_tensor(path: impl AsRef<Path>, x: &DenseTensor) -> io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&tensor_to_bytes(x))
-}
-
-/// Read a tensor from `path`.
-pub fn read_tensor(path: impl AsRef<Path>) -> io::Result<DenseTensor> {
-    let mut buf = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut buf)?;
-    tensor_from_bytes(&buf)
-}
-
-/// Serialize a Kruskal model into bytes.
-pub fn model_to_bytes(m: &StoredModel) -> Vec<u8> {
-    let factor_len: usize = m.factors.iter().map(|f| f.len()).sum();
-    let mut buf = Vec::with_capacity(16 + m.dims.len() * 8 + (m.rank + factor_len) * 8);
-    buf.extend_from_slice(MODEL_MAGIC);
-    put_u32_le(&mut buf, VERSION);
-    put_u32_le(&mut buf, m.dims.len() as u32);
-    put_u32_le(&mut buf, m.rank as u32);
-    for &d in &m.dims {
-        put_u64_le(&mut buf, d as u64);
-    }
-    for &l in &m.lambda {
-        put_f64_le(&mut buf, l);
-    }
-    for f in &m.factors {
-        for &v in f {
-            put_f64_le(&mut buf, v);
-        }
-    }
+/// Serialize a tensor into a byte buffer.
+pub fn tensor_to_bytes(x: &DenseTensor) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + x.dims().len() * 8 + x.len() * 8);
+    write_tensor_to(&mut buf, x).expect("Vec<u8> writes are infallible");
     buf
 }
 
-/// Deserialize a Kruskal model from bytes.
-pub fn model_from_bytes(buf: &[u8]) -> io::Result<StoredModel> {
-    let mut buf = Reader::new(buf);
-    if buf.remaining() < 16 || &buf.buf[..4] != MODEL_MAGIC {
-        return Err(bad("not a model file (bad magic)"));
+/// Deserialize a tensor from bytes.
+pub fn tensor_from_bytes(buf: &[u8]) -> io::Result<DenseTensor> {
+    read_tensor_from(&mut { buf }, buf.len() as u64)
+}
+
+/// Write a tensor to `path`, streaming through a [`BufWriter`].
+pub fn write_tensor(path: impl AsRef<Path>, x: &DenseTensor) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_tensor_to(&mut w, x)?;
+    w.flush()
+}
+
+/// Read a tensor from `path`, streaming through a [`BufReader`]. A
+/// file whose length disagrees with its header is rejected before the
+/// payload is read.
+pub fn read_tensor(path: impl AsRef<Path>) -> io::Result<DenseTensor> {
+    let f = File::open(path)?;
+    let len = f.metadata()?.len();
+    read_tensor_from(&mut BufReader::new(f), len)
+}
+
+// ---- Kruskal models --------------------------------------------------------
+
+/// Stream a Kruskal model to any writer.
+pub fn write_model_to(w: &mut impl Write, m: &StoredModel) -> io::Result<()> {
+    w.write_all(MODEL_MAGIC)?;
+    put_u32_le(w, VERSION)?;
+    put_u32_le(w, m.dims.len() as u32)?;
+    put_u32_le(w, m.rank as u32)?;
+    for &d in &m.dims {
+        put_u64_le(w, d as u64)?;
     }
-    buf.advance(4);
-    if buf.get_u32_le() != VERSION {
+    put_f64_slice(w, &m.lambda)?;
+    for f in &m.factors {
+        put_f64_slice(w, f)?;
+    }
+    Ok(())
+}
+
+/// Read a Kruskal model from any reader whose total length is
+/// `input_len` bytes.
+pub fn read_model_from(r: &mut impl Read, input_len: u64) -> io::Result<StoredModel> {
+    check_magic(r, MODEL_MAGIC, "model")?;
+    if get_u32_le(r)? != VERSION {
         return Err(bad("unsupported model file version"));
     }
-    let ndims = buf.get_u32_le() as usize;
-    let rank = buf.get_u32_le() as usize;
-    if ndims == 0 || rank == 0 || buf.remaining() < ndims * 8 {
-        return Err(bad("truncated model header"));
+    let ndims = get_u32_le(r)? as usize;
+    let rank = get_u32_le(r)? as usize;
+    if ndims == 0 || rank == 0 {
+        return Err(bad("model with zero modes or zero rank"));
     }
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
-        let d = buf.get_u64_le() as usize;
+        let d = get_u64_le(r)? as usize;
         if d == 0 {
             return Err(bad("zero-length model mode"));
         }
         dims.push(d);
     }
     // Checked arithmetic: crafted headers must fail cleanly, not wrap.
-    let expect = dims
+    let words = dims
         .iter()
         .try_fold(rank, |acc, &d| {
             d.checked_mul(rank).and_then(|f| acc.checked_add(f))
         })
         .ok_or_else(|| bad("model header overflows"))?;
-    if buf.remaining() != expect * 8 {
-        return Err(bad("model payload length mismatch"));
-    }
-    let mut lambda = Vec::with_capacity(rank);
-    for _ in 0..rank {
-        lambda.push(buf.get_f64_le());
-    }
+    let expected = (words as u64)
+        .checked_mul(8)
+        .and_then(|p| p.checked_add(16 + 8 * ndims as u64))
+        .ok_or_else(|| bad("model payload size overflows"))?;
+    check_total_len(input_len, expected, "model")?;
+    let lambda = get_f64_vec(r, rank)?;
     let mut factors = Vec::with_capacity(ndims);
     for &d in &dims {
-        let mut f = Vec::with_capacity(d * rank);
-        for _ in 0..d * rank {
-            f.push(buf.get_f64_le());
-        }
-        factors.push(f);
+        factors.push(get_f64_vec(r, d * rank)?);
     }
     Ok(StoredModel {
         dims,
@@ -239,60 +277,72 @@ pub fn model_from_bytes(buf: &[u8]) -> io::Result<StoredModel> {
     })
 }
 
-/// Write a Kruskal model to `path`.
-pub fn write_model(path: impl AsRef<Path>, m: &StoredModel) -> io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&model_to_bytes(m))
-}
-
-/// Read a Kruskal model from `path`.
-pub fn read_model(path: impl AsRef<Path>) -> io::Result<StoredModel> {
-    let mut buf = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut buf)?;
-    model_from_bytes(&buf)
-}
-
-/// Serialize a sparse (COO) tensor into bytes, entries in canonical
-/// order.
-pub fn sparse_to_bytes(x: &CooTensor) -> Vec<u8> {
-    let nm = x.order();
-    let nnz = x.nnz();
-    let mut buf = Vec::with_capacity(20 + nm * 8 + nnz * (nm + 1) * 8);
-    buf.extend_from_slice(SPARSE_MAGIC);
-    put_u32_le(&mut buf, VERSION);
-    put_u32_le(&mut buf, nm as u32);
-    put_u64_le(&mut buf, nnz as u64);
-    for &d in x.dims() {
-        put_u64_le(&mut buf, d as u64);
-    }
-    for &i in x.indices() {
-        put_u64_le(&mut buf, i as u64);
-    }
-    for &v in x.values() {
-        put_f64_le(&mut buf, v);
-    }
+/// Serialize a Kruskal model into bytes.
+pub fn model_to_bytes(m: &StoredModel) -> Vec<u8> {
+    let factor_len: usize = m.factors.iter().map(|f| f.len()).sum();
+    let mut buf = Vec::with_capacity(16 + m.dims.len() * 8 + (m.rank + factor_len) * 8);
+    write_model_to(&mut buf, m).expect("Vec<u8> writes are infallible");
     buf
 }
 
-/// Deserialize a sparse (COO) tensor from bytes, re-validating indices
-/// and header arithmetic.
-pub fn sparse_from_bytes(buf: &[u8]) -> io::Result<CooTensor> {
-    let mut buf = Reader::new(buf);
-    if buf.remaining() < 20 || &buf.buf[..4] != SPARSE_MAGIC {
-        return Err(bad("not a sparse tensor file (bad magic)"));
+/// Deserialize a Kruskal model from bytes.
+pub fn model_from_bytes(buf: &[u8]) -> io::Result<StoredModel> {
+    read_model_from(&mut { buf }, buf.len() as u64)
+}
+
+/// Write a Kruskal model to `path`, streaming through a [`BufWriter`].
+pub fn write_model(path: impl AsRef<Path>, m: &StoredModel) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_model_to(&mut w, m)?;
+    w.flush()
+}
+
+/// Read a Kruskal model from `path`, streaming through a
+/// [`BufReader`].
+pub fn read_model(path: impl AsRef<Path>) -> io::Result<StoredModel> {
+    let f = File::open(path)?;
+    let len = f.metadata()?.len();
+    read_model_from(&mut BufReader::new(f), len)
+}
+
+// ---- sparse (COO) tensors --------------------------------------------------
+
+/// Stream a sparse (COO) tensor to any writer, entries in canonical
+/// order.
+pub fn write_sparse_to(w: &mut impl Write, x: &CooTensor) -> io::Result<()> {
+    w.write_all(SPARSE_MAGIC)?;
+    put_u32_le(w, VERSION)?;
+    put_u32_le(w, x.order() as u32)?;
+    put_u64_le(w, x.nnz() as u64)?;
+    for &d in x.dims() {
+        put_u64_le(w, d as u64)?;
     }
-    buf.advance(4);
-    if buf.get_u32_le() != VERSION {
+    // Index words stream in bounded chunks like the value payload.
+    let mut scratch = [0u8; 8 * CHUNK];
+    for chunk in x.indices().chunks(CHUNK) {
+        for (i, &v) in chunk.iter().enumerate() {
+            scratch[8 * i..8 * i + 8].copy_from_slice(&(v as u64).to_le_bytes());
+        }
+        w.write_all(&scratch[..8 * chunk.len()])?;
+    }
+    put_f64_slice(w, x.values())
+}
+
+/// Read a sparse (COO) tensor from any reader whose total length is
+/// `input_len` bytes, re-validating indices and header arithmetic.
+pub fn read_sparse_from(r: &mut impl Read, input_len: u64) -> io::Result<CooTensor> {
+    check_magic(r, SPARSE_MAGIC, "sparse tensor")?;
+    if get_u32_le(r)? != VERSION {
         return Err(bad("unsupported sparse tensor file version"));
     }
-    let ndims = buf.get_u32_le() as usize;
-    let nnz = buf.get_u64_le() as usize;
-    if ndims < 2 || buf.remaining() < ndims * 8 {
-        return Err(bad("truncated sparse tensor header"));
+    let ndims = get_u32_le(r)? as usize;
+    if ndims < 2 {
+        return Err(bad("sparse tensor needs at least two modes"));
     }
+    let nnz = get_u64_le(r)? as usize;
     let mut dims = Vec::with_capacity(ndims);
     for _ in 0..ndims {
-        let d = buf.get_u64_le() as usize;
+        let d = get_u64_le(r)? as usize;
         if d == 0 {
             return Err(bad("zero-length sparse tensor mode"));
         }
@@ -309,45 +359,77 @@ pub fn sparse_from_bytes(buf: &[u8]) -> io::Result<CooTensor> {
         .and_then(|iw| iw.checked_add(nnz))
         .and_then(|w| w.checked_mul(8))
         .ok_or_else(|| bad("sparse tensor header overflows"))?;
-    if buf.remaining() != payload_words {
-        return Err(bad("sparse tensor payload length mismatch"));
-    }
-    let mut inds = Vec::with_capacity(nnz * ndims);
-    for k in 0..nnz {
-        for (m, &d) in dims.iter().enumerate() {
-            let i = buf.get_u64_le() as usize;
-            if i >= d {
+    let expected = (payload_words as u64)
+        .checked_add(20 + 8 * ndims as u64)
+        .ok_or_else(|| bad("sparse tensor payload size overflows"))?;
+    check_total_len(input_len, expected, "sparse tensor")?;
+    let mut inds = vec![0usize; nnz * ndims];
+    let mut scratch = [0u8; 8 * CHUNK];
+    let mut pos = 0usize;
+    while pos < inds.len() {
+        let n = (inds.len() - pos).min(CHUNK);
+        r.read_exact(&mut scratch[..8 * n])?;
+        for (i, slot) in inds[pos..pos + n].iter_mut().enumerate() {
+            let word = u64::from_le_bytes(scratch[8 * i..8 * i + 8].try_into().unwrap()) as usize;
+            let (k, m) = ((pos + i) / ndims, (pos + i) % ndims);
+            if word >= dims[m] {
                 return Err(bad(&format!(
-                    "entry {k}: index {i} out of bounds for mode {m} ({d})"
+                    "entry {k}: index {word} out of bounds for mode {m} ({})",
+                    dims[m]
                 )));
             }
-            inds.push(i);
+            *slot = word;
         }
+        pos += n;
     }
-    let mut vals = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        vals.push(buf.get_f64_le());
-    }
+    let vals = get_f64_vec(r, nnz)?;
     Ok(CooTensor::from_entries(&dims, inds, vals))
 }
 
-/// Write a sparse tensor to `path`.
-pub fn write_sparse(path: impl AsRef<Path>, x: &CooTensor) -> io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&sparse_to_bytes(x))
+/// Serialize a sparse (COO) tensor into bytes, entries in canonical
+/// order.
+pub fn sparse_to_bytes(x: &CooTensor) -> Vec<u8> {
+    let nm = x.order();
+    let nnz = x.nnz();
+    let mut buf = Vec::with_capacity(20 + nm * 8 + nnz * (nm + 1) * 8);
+    write_sparse_to(&mut buf, x).expect("Vec<u8> writes are infallible");
+    buf
 }
 
-/// Read a sparse tensor from `path`.
+/// Deserialize a sparse (COO) tensor from bytes, re-validating indices
+/// and header arithmetic.
+pub fn sparse_from_bytes(buf: &[u8]) -> io::Result<CooTensor> {
+    read_sparse_from(&mut { buf }, buf.len() as u64)
+}
+
+/// Write a sparse tensor to `path`, streaming through a [`BufWriter`].
+pub fn write_sparse(path: impl AsRef<Path>, x: &CooTensor) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_sparse_to(&mut w, x)?;
+    w.flush()
+}
+
+/// Read a sparse tensor from `path`, streaming through a
+/// [`BufReader`].
 pub fn read_sparse(path: impl AsRef<Path>) -> io::Result<CooTensor> {
-    let mut buf = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut buf)?;
-    sparse_from_bytes(&buf)
+    let f = File::open(path)?;
+    let len = f.metadata()?.len();
+    read_sparse_from(&mut BufReader::new(f), len)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::random_tensor;
+
+    // Test-crafting helpers (headers built by hand into a Vec).
+    fn push_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn push_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
 
     #[test]
     fn tensor_round_trips_through_bytes() {
@@ -393,17 +475,69 @@ mod tests {
         assert!(tensor_from_bytes(&bytes[..bytes.len() - 8]).is_err());
     }
 
+    // Satellite regression: the streaming readers must reject a
+    // length/header mismatch from the header alone, before any payload
+    // is read — a header promising a huge payload over a short (or
+    // overlong) input fails up-front with `InvalidData`, not midway
+    // with `UnexpectedEof` after a long partial read.
+    #[test]
+    fn rejects_length_mismatch_before_reading_payload() {
+        // Header declares a 100×100×100 tensor (8 MB payload) but the
+        // input ends right after the header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 3);
+        for _ in 0..3 {
+            push_u64(&mut buf, 100);
+        }
+        let err = tensor_from_bytes(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("length mismatch"),
+            "unexpected error: {err}"
+        );
+
+        // Same check fires for trailing garbage (input longer than the
+        // header implies).
+        let x = random_tensor(&[3, 3], 4);
+        let mut bytes = tensor_to_bytes(&x);
+        bytes.extend_from_slice(&[0u8; 8]);
+        let err = tensor_from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"));
+
+        // And for the model and sparse readers.
+        let m = StoredModel {
+            dims: vec![2, 2],
+            rank: 1,
+            lambda: vec![1.0],
+            factors: vec![vec![0.0; 2], vec![0.0; 2]],
+        };
+        let mut bytes = model_to_bytes(&m);
+        bytes.truncate(bytes.len() - 8);
+        assert!(model_from_bytes(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("length mismatch"));
+        let mut bytes = sparse_to_bytes(&crate::random_sparse(&[3, 3], 4, 1));
+        bytes.pop();
+        assert!(sparse_from_bytes(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("length mismatch"));
+    }
+
     #[test]
     fn rejects_zero_model_dim() {
         // Model header with a zero mode must fail cleanly, not defer a
         // panic to whoever consumes the decoded dims.
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MTKM");
-        put_u32_le(&mut buf, 1);
-        put_u32_le(&mut buf, 2); // ndims
-        put_u32_le(&mut buf, 1); // rank
-        put_u64_le(&mut buf, 0);
-        put_u64_le(&mut buf, 3);
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2); // ndims
+        push_u32(&mut buf, 1); // rank
+        push_u64(&mut buf, 0);
+        push_u64(&mut buf, 3);
         assert!(model_from_bytes(&buf).is_err());
     }
 
@@ -411,11 +545,40 @@ mod tests {
     fn rejects_overflowing_tensor_shape() {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MTKT");
-        put_u32_le(&mut buf, 1);
-        put_u32_le(&mut buf, 2);
-        put_u64_le(&mut buf, 1 << 40);
-        put_u64_le(&mut buf, 1 << 40);
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2);
+        push_u64(&mut buf, 1 << 40);
+        push_u64(&mut buf, 1 << 40);
         assert!(tensor_from_bytes(&buf).is_err());
+    }
+
+    // Regression: a shape whose *entry count* fits usize but whose
+    // *byte count* wraps u64 (2^31 × 2^30 = 2^61 entries → 2^64 bytes)
+    // used to wrap the length check to 0, match the header-only input,
+    // and panic with a capacity overflow in the payload read. It must
+    // be InvalidData like every other forged header.
+    #[test]
+    fn rejects_byte_count_wrapping_shape() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2);
+        push_u64(&mut buf, 1 << 31);
+        push_u64(&mut buf, 1 << 30);
+        let err = tensor_from_bytes(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Same construction against the model reader: factor word
+        // counts that fit usize but wrap `8 × words` in u64.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKM");
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2);
+        push_u32(&mut buf, 1);
+        push_u64(&mut buf, 1 << 60);
+        push_u64(&mut buf, 1 << 60);
+        let err = model_from_bytes(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -423,10 +586,10 @@ mod tests {
         // Hand-craft a header with a zero mode.
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MTKT");
-        put_u32_le(&mut buf, 1);
-        put_u32_le(&mut buf, 2);
-        put_u64_le(&mut buf, 0);
-        put_u64_le(&mut buf, 3);
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2);
+        push_u64(&mut buf, 0);
+        push_u64(&mut buf, 3);
         assert!(tensor_from_bytes(&buf).is_err());
     }
 
@@ -490,11 +653,11 @@ mod tests {
         // InvalidData, not a panic in the COO constructor.
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MTKS");
-        put_u32_le(&mut buf, 1);
-        put_u32_le(&mut buf, 2);
-        put_u64_le(&mut buf, 0);
-        put_u64_le(&mut buf, 1 << 40);
-        put_u64_le(&mut buf, 1 << 40);
+        push_u32(&mut buf, 1);
+        push_u32(&mut buf, 2);
+        push_u64(&mut buf, 0);
+        push_u64(&mut buf, 1 << 40);
+        push_u64(&mut buf, 1 << 40);
         assert!(sparse_from_bytes(&buf).is_err());
     }
 

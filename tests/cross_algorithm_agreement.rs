@@ -6,10 +6,12 @@
 //! fixed-seed [`mttkrp_rng::Rng64`] stream so failures reproduce.
 
 use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
 use mttkrp_repro::mttkrp::{
     mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, mttkrp_auto, mttkrp_explicit,
-    mttkrp_oracle, AlgoChoice, MttkrpPlan, TwoStepSide,
+    mttkrp_oracle, AlgoChoice, MttkrpBackend, MttkrpPlan, TwoStepSide,
 };
+use mttkrp_repro::ooc::{OocTensor, TileStore, TiledLayout};
 use mttkrp_repro::parallel::ThreadPool;
 use mttkrp_repro::rng::Rng64;
 use mttkrp_repro::sparse::{CsfTensor, SparseMttkrpPlan};
@@ -189,6 +191,108 @@ fn sparse_thread_count_does_not_change_results() {
                     "n={n} t={t}: {a} vs {b}"
                 );
             }
+        }
+    }
+}
+
+/// Out-of-core streaming MTTKRP is the same arithmetic as the in-core
+/// planned kernels, tile by tile, so it must agree to 1e-12 on every
+/// mode — across ragged/prime shapes (tile extents that do not divide
+/// the dims), 3rd- and 4th-order tensors, and team sizes 1/2/4.
+#[test]
+fn ooc_streaming_mttkrp_agrees_with_in_core_all_modes() {
+    let mut rng = Rng64::seed_from_u64(0xA62E_0005);
+    // (dims, tile): prime dims with non-dividing prime tile extents,
+    // extents of 1, and oversized extents (clamped to the mode).
+    let cases: [(&[usize], &[usize]); 4] = [
+        (&[7, 5, 3], &[3, 2, 2]),
+        (&[11, 4, 6], &[5, 4, 1]),
+        (&[5, 3, 2, 4], &[2, 2, 2, 3]),
+        (&[6, 7, 5, 3], &[6, 3, 9, 2]),
+    ];
+    for (dims, tile) in cases {
+        let total: usize = dims.iter().product();
+        let x = DenseTensor::from_vec(dims, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+        let c = 4;
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .map(|&d| (0..d * c).map(|_| rng.next_f64() - 0.5).collect())
+            .collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+
+        let path = std::env::temp_dir().join(format!(
+            "mttkrp_agree_ooc_{}_{total}.mttb",
+            std::process::id()
+        ));
+        let layout = TiledLayout::new(dims, tile);
+        assert!(layout.ntiles() > 1, "dims {dims:?}: want a multi-tile grid");
+        let store = TileStore::write_dense(&path, &layout, &x).unwrap();
+        let ooc = OocTensor::from_store(store).unwrap();
+
+        for t in [1usize, 2, 4] {
+            let pool = ThreadPool::new(t);
+            let mut dense_plans =
+                MttkrpBackend::plan_modes(&x, &pool, c, Some(AlgoChoice::Heuristic));
+            let mut ooc_plans = ooc.plan_modes(&pool, c, Some(AlgoChoice::Heuristic));
+            for n in 0..dims.len() {
+                let mut want = vec![0.0; dims[n] * c];
+                x.mttkrp_planned(&mut dense_plans, &pool, &refs, n, &mut want);
+                let mut got = vec![f64::NAN; dims[n] * c];
+                ooc.mttkrp_planned(&mut ooc_plans, &pool, &refs, n, &mut got);
+                for (a, b) in got.iter().zip(&want) {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                        "dims {dims:?} t={t} n={n}: ooc {a} vs in-core {b}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// CP-ALS over the out-of-core backend must track the in-core run from
+/// the same init to 1e-12 in fit, iteration for iteration — the sweeps
+/// perform the same updates, only the MTTKRP streams from disk.
+#[test]
+fn ooc_cp_als_matches_in_core_fit() {
+    for (dims, tile, t) in [
+        (vec![7usize, 6, 5], vec![3usize, 4, 2], 1usize),
+        (vec![5, 4, 3, 3], vec![2, 3, 2, 2], 2),
+        (vec![9, 5, 7], vec![4, 5, 3], 4),
+    ] {
+        let rank = 3;
+        let x = KruskalModel::random(&dims, rank, 0xCAFE).to_dense();
+        let path = std::env::temp_dir().join(format!(
+            "mttkrp_agree_ooc_cp_{}_{}.mttb",
+            std::process::id(),
+            dims.len() * 100 + t
+        ));
+        let layout = TiledLayout::new(&dims, &tile);
+        let store = TileStore::write_dense(&path, &layout, &x).unwrap();
+        let ooc = OocTensor::from_store(store).unwrap();
+
+        let pool = ThreadPool::new(t);
+        let opts = CpAlsOptions {
+            max_iters: 12,
+            tol: 0.0,
+            strategy: MttkrpStrategy::Auto,
+        };
+        let init = KruskalModel::random(&dims, rank, 7);
+        let (_, dense_report) = cp_als(&pool, &x, init.clone(), &opts);
+        let (_, ooc_report) = cp_als(&pool, &ooc, init, &opts);
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(dense_report.iters, ooc_report.iters);
+        for (i, (a, b)) in ooc_report.fits.iter().zip(&dense_report.fits).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12,
+                "dims {dims:?} t={t} iter {i}: ooc fit {a} vs in-core {b}"
+            );
         }
     }
 }
