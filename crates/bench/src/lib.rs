@@ -61,6 +61,53 @@ impl MttkrpFixture {
     }
 }
 
+/// Wall-time statistics of repeated calls of one function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Median of the measured wall times (seconds).
+    pub median: f64,
+    /// Fastest measured run (seconds) — the least-noise estimate,
+    /// which is what calibration microbenchmarks want.
+    pub min: f64,
+    /// Slowest measured run (seconds).
+    pub max: f64,
+    /// Number of measured runs (excluding the warm-up).
+    pub samples: usize,
+}
+
+/// Time `f`: one unmeasured warm-up call (faults pages, fills
+/// thread-local pack buffers), then `samples` measured calls. The
+/// shared timer under both [`BenchGroup`] and the `mttkrp-tune`
+/// calibration microbenchmarks.
+pub fn sample_stats(samples: usize, mut f: impl FnMut()) -> SampleStats {
+    let samples = samples.max(1);
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SampleStats {
+        median: times[times.len() / 2],
+        min: times[0],
+        max: times[times.len() - 1],
+        samples,
+    }
+}
+
+/// Median wall time of `samples` measured calls of `f` (one warm-up).
+pub fn sample_median(samples: usize, f: impl FnMut()) -> f64 {
+    sample_stats(samples, f).median
+}
+
+/// Fastest wall time of `samples` measured calls of `f` (one warm-up).
+pub fn sample_min(samples: usize, f: impl FnMut()) -> f64 {
+    sample_stats(samples, f).min
+}
+
 /// A named group of timed benchmark functions (the in-tree stand-in for
 /// `criterion::BenchmarkGroup`).
 ///
@@ -87,23 +134,11 @@ impl BenchGroup {
     }
 
     /// Time `f`: one warm-up call, then `samples` measured calls.
-    pub fn bench(&self, fn_name: &str, mut f: impl FnMut()) {
-        f(); // warm-up (faults pages, fills thread-local pack buffers)
-        let mut times: Vec<f64> = (0..self.samples)
-            .map(|_| {
-                let t0 = std::time::Instant::now();
-                f();
-                t0.elapsed().as_secs_f64()
-            })
-            .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pub fn bench(&self, fn_name: &str, f: impl FnMut()) {
+        let s = sample_stats(self.samples, f);
         println!(
             "{}/{fn_name},{:.6},{:.6},{:.6},{}",
-            self.name,
-            times[times.len() / 2],
-            times[0],
-            times[times.len() - 1],
-            self.samples,
+            self.name, s.median, s.min, s.max, s.samples,
         );
     }
 }

@@ -3,7 +3,7 @@
 //! Every public wrapper here is a *safe* fn whose body immediately
 //! enters the matching `#[target_feature]` implementation. That is
 //! sound because the wrappers are only ever reachable through
-//! [`avx2_set`] / [`avx512_set`], which [`super::KernelSet::for_tier`]
+//! `avx2_set` / `avx512_set`, which [`super::KernelSet::for_tier`]
 //! refuses to construct unless the running CPU reports the features —
 //! the `is_x86_feature_detected!` contract of the module docs.
 

@@ -1,5 +1,5 @@
 //! Vector (level-1) kernels, dispatched through the process-wide
-//! [`crate::kernels`] set.
+//! [`crate::kernels`](mod@crate::kernels) set.
 //!
 //! The Hadamard (element-wise) product is the workhorse of the row-wise
 //! Khatri-Rao product: every output row of a KRP is a Hadamard product of

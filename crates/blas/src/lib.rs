@@ -18,7 +18,7 @@
 //! * [`gemv()`] — matrix-vector multiply used by the 2-step multi-TTV.
 //! * [`level1`] — dot/axpy/scale/Hadamard vector kernels (the Hadamard
 //!   product is the inner operation of the row-wise Khatri-Rao product).
-//! * [`kernels`] — runtime-dispatched hardware kernels (scalar
+//! * [`kernels`](mod@kernels) — runtime-dispatched hardware kernels (scalar
 //!   reference plus AVX2+FMA / AVX-512F / NEON variants) resolved once
 //!   into a [`KernelSet`] of function pointers that the GEMM
 //!   microkernel, SYRK row updates, level-1 wrappers, KRP row streams,

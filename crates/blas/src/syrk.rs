@@ -5,7 +5,7 @@
 //! mirrored. For the tall-skinny factors of CP-ALS (`I_n × C` with
 //! small `C`) this is bandwidth-bound on reading `A`, so the kernel
 //! streams `A` once, accumulating all `C(C+1)/2` pairs per row block
-//! through the dispatched [`crate::kernels`] rank-1 row update.
+//! through the dispatched [`crate::kernels`](mod@crate::kernels) rank-1 row update.
 //!
 //! Gram matrices are recomputed `N` times per CP-ALS iteration, so both
 //! entry points are allocation-free in steady state: [`syrk_t`] keeps

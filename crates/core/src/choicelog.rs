@@ -1,0 +1,290 @@
+//! Predicted-vs-measured bookkeeping for plan algorithm choices.
+//!
+//! A [`crate::AlgoChoice::Predicted`] or resolved
+//! [`crate::AlgoChoice::Tuned`] plan commits to the algorithm its cost
+//! model priced as faster — and nothing in the hot path ever checks
+//! whether the model was right. [`ChoiceLog`] makes mispredictions
+//! observable: drivers append one [`ChoiceRecord`] per timed execution
+//! (model's predicted seconds next to the measured wall time), and
+//! sweeps that time *both* algorithms can also record the road not
+//! taken, which is what turns the log into an accuracy report
+//! (`mttkrp-harness --tune` prints one).
+//!
+//! Two quality measures fall out:
+//!
+//! * [`ChoiceRecord::prediction_error`] — how far off the model's
+//!   absolute time was for the algorithm that actually ran;
+//! * [`ChoiceLog::agreement`] — over records where the alternative was
+//!   also measured, how often the plan's choice was the empirically
+//!   faster algorithm (the paper's machine-model claim, and the ≥ 80%
+//!   acceptance bar of the tuning subsystem).
+
+use crate::breakdown::Breakdown;
+use crate::model::ModeCost;
+use crate::plan::{MttkrpPlan, PlannedAlgo};
+
+/// One observed plan execution (or one sweep configuration): what the
+/// plan chose, what the model predicted, what the clock said.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChoiceRecord {
+    /// Tensor dimensions of the planned shape.
+    pub dims: Vec<usize>,
+    /// Decomposition rank `C`.
+    pub rank: usize,
+    /// The planned mode.
+    pub mode: usize,
+    /// Team size the plan was built for.
+    pub threads: usize,
+    /// The kernel the plan resolved to.
+    pub algo: PlannedAlgo,
+    /// Model-predicted seconds per algorithm, if the plan was built
+    /// from a prediction (`None` for heuristic/forced plans).
+    pub predicted: Option<ModeCost>,
+    /// Measured seconds of the algorithm the plan ran.
+    pub measured: f64,
+    /// Measured seconds of the *other* algorithm, when the caller swept
+    /// both (1-step when a 2-step ran, and vice versa).
+    pub measured_other: Option<f64>,
+}
+
+impl ChoiceRecord {
+    /// Whether the plan ran a 1-step kernel (either variant).
+    pub fn ran_one_step(&self) -> bool {
+        matches!(
+            self.algo,
+            PlannedAlgo::OneStepExternal | PlannedAlgo::OneStepInternal
+        )
+    }
+
+    /// The model's predicted seconds for the algorithm that ran.
+    pub fn predicted_for_run(&self) -> Option<f64> {
+        self.predicted.map(|p| {
+            if self.ran_one_step() {
+                p.one_step
+            } else {
+                p.two_step
+            }
+        })
+    }
+
+    /// Relative error of the model on the executed algorithm:
+    /// `|predicted − measured| / measured`. `None` for unpredicted
+    /// plans or a zero measurement.
+    pub fn prediction_error(&self) -> Option<f64> {
+        let p = self.predicted_for_run()?;
+        (self.measured > 0.0).then(|| (p - self.measured).abs() / self.measured)
+    }
+
+    /// Whether the plan's choice was the empirically faster algorithm.
+    /// Requires the alternative to have been measured too; `None`
+    /// otherwise.
+    pub fn choice_was_fastest(&self) -> Option<bool> {
+        self.measured_other.map(|other| self.measured <= other)
+    }
+}
+
+/// An append-only log of [`ChoiceRecord`]s with aggregate accuracy
+/// queries. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct ChoiceLog {
+    records: Vec<ChoiceRecord>,
+}
+
+impl ChoiceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one timed execution of `plan`: the resolved algorithm,
+    /// its predicted times (if any), and the measured total of `bd`.
+    pub fn record(&mut self, plan: &MttkrpPlan, bd: &Breakdown) {
+        self.push_record(plan, bd.total, None);
+    }
+
+    /// Record a sweep configuration where **both** algorithms were
+    /// timed: `measured` is the plan's own algorithm, `measured_other`
+    /// the alternative. This is what enables [`ChoiceLog::agreement`].
+    pub fn record_sweep(&mut self, plan: &MttkrpPlan, measured: f64, measured_other: f64) {
+        self.push_record(plan, measured, Some(measured_other));
+    }
+
+    fn push_record(&mut self, plan: &MttkrpPlan, measured: f64, measured_other: Option<f64>) {
+        self.records.push(ChoiceRecord {
+            dims: plan.dims().to_vec(),
+            rank: plan.rank(),
+            mode: plan.mode(),
+            threads: plan.threads(),
+            algo: plan.algo(),
+            predicted: plan.predicted_times(),
+            measured,
+            measured_other,
+        });
+    }
+
+    /// All recorded executions, in insertion order.
+    pub fn records(&self) -> &[ChoiceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of two-sided records ([`ChoiceLog::record_sweep`])
+    /// whose choice was empirically fastest — `None` if no record has
+    /// the alternative measured.
+    pub fn agreement(&self) -> Option<f64> {
+        let decided: Vec<bool> = self
+            .records
+            .iter()
+            .filter_map(ChoiceRecord::choice_was_fastest)
+            .collect();
+        if decided.is_empty() {
+            return None;
+        }
+        Some(decided.iter().filter(|&&b| b).count() as f64 / decided.len() as f64)
+    }
+
+    /// Arithmetic mean of the relative prediction errors over
+    /// predicted records — `None` when no record carries a prediction.
+    pub fn mean_prediction_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(ChoiceRecord::prediction_error)
+            .collect();
+        if errs.is_empty() {
+            return None;
+        }
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+
+    /// One summary line per record plus an aggregate footer — what the
+    /// harness prints after an accuracy sweep.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for r in &self.records {
+            let dims = r
+                .dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x");
+            let _ = write!(
+                s,
+                "choice,{dims},n={},c={},t={},{:?},measured={:.3e}",
+                r.mode, r.rank, r.threads, r.algo, r.measured
+            );
+            if let Some(p) = r.predicted_for_run() {
+                let _ = write!(s, ",predicted={p:.3e}");
+            }
+            if let Some(best) = r.choice_was_fastest() {
+                let _ = write!(s, ",fastest={}", if best { "yes" } else { "NO" });
+            }
+            s.push('\n');
+        }
+        if let Some(a) = self.agreement() {
+            let _ = writeln!(s, "choice-agreement,{:.1}%", a * 100.0);
+        }
+        if let Some(e) = self.mean_prediction_error() {
+            let _ = writeln!(s, "mean-prediction-error,{:.1}%", e * 100.0);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AlgoChoice;
+    use mttkrp_parallel::ThreadPool;
+    use mttkrp_tensor::DenseTensor;
+
+    fn run_once(plan: &mut MttkrpPlan, pool: &ThreadPool) -> Breakdown {
+        let dims = plan.dims().to_vec();
+        let c = plan.rank();
+        let x = DenseTensor::zeros(&dims);
+        let factors: Vec<Vec<f64>> = dims.iter().map(|&d| vec![1.0; d * c]).collect();
+        let refs: Vec<mttkrp_blas::MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| mttkrp_blas::MatRef::from_slice(f, d, c, mttkrp_blas::Layout::RowMajor))
+            .collect();
+        let n = plan.mode();
+        let mut out = vec![0.0; dims[n] * c];
+        plan.execute_timed(pool, &x, &refs, &mut out)
+    }
+
+    #[test]
+    fn records_capture_shape_algo_and_prediction() {
+        let pool = ThreadPool::new(1);
+        let dims = [4usize, 3, 2];
+        let mut log = ChoiceLog::new();
+        let mut plan = MttkrpPlan::new(
+            &pool,
+            &dims,
+            2,
+            1,
+            AlgoChoice::Predicted {
+                one_step: 2.0,
+                two_step: 1.0,
+            },
+        );
+        let bd = run_once(&mut plan, &pool);
+        log.record(&plan, &bd);
+        assert_eq!(log.len(), 1);
+        let r = &log.records()[0];
+        assert_eq!(r.dims, vec![4, 3, 2]);
+        assert_eq!(r.mode, 1);
+        assert!(!r.ran_one_step(), "2-step predicted faster");
+        assert_eq!(r.predicted_for_run(), Some(1.0));
+        assert!(r.prediction_error().is_some());
+        assert!(r.choice_was_fastest().is_none(), "one-sided record");
+        assert!(log.agreement().is_none());
+    }
+
+    #[test]
+    fn sweep_records_drive_agreement() {
+        let pool = ThreadPool::new(1);
+        let dims = [4usize, 3, 2];
+        let mut log = ChoiceLog::new();
+        let plan = MttkrpPlan::new(
+            &pool,
+            &dims,
+            2,
+            1,
+            AlgoChoice::Predicted {
+                one_step: 2.0,
+                two_step: 1.0,
+            },
+        );
+        // Choice (2-step) measured faster than the alternative: right.
+        log.record_sweep(&plan, 1.0e-3, 2.0e-3);
+        // Choice measured slower: a misprediction.
+        log.record_sweep(&plan, 3.0e-3, 2.0e-3);
+        assert_eq!(log.agreement(), Some(0.5));
+        let s = log.summary();
+        assert!(s.contains("choice-agreement,50.0%"), "summary:\n{s}");
+        assert!(s.contains("fastest=NO"), "summary:\n{s}");
+    }
+
+    #[test]
+    fn heuristic_plans_record_without_predictions() {
+        let pool = ThreadPool::new(1);
+        let mut log = ChoiceLog::new();
+        let mut plan = MttkrpPlan::new(&pool, &[3, 3], 2, 0, AlgoChoice::Heuristic);
+        let bd = run_once(&mut plan, &pool);
+        log.record(&plan, &bd);
+        assert!(log.records()[0].predicted.is_none());
+        assert!(log.records()[0].prediction_error().is_none());
+        assert!(log.mean_prediction_error().is_none());
+    }
+}

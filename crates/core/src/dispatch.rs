@@ -36,9 +36,9 @@ impl ModeKind {
 /// 2-step for internal modes. Output is row-major `I_n × C`.
 ///
 /// Thin allocating wrapper over a one-shot
-/// [`MttkrpPlan`](crate::plan::MttkrpPlan) with
-/// [`AlgoChoice::Heuristic`]; iterative callers should hold a
-/// [`MttkrpPlanSet`](crate::plan::MttkrpPlanSet) instead.
+/// [`crate::plan::MttkrpPlan`] with [`AlgoChoice::Heuristic`];
+/// iterative callers should hold a [`crate::plan::MttkrpPlanSet`]
+/// instead.
 pub fn mttkrp_auto(
     pool: &ThreadPool,
     x: &DenseTensor,

@@ -63,10 +63,14 @@
 //! assert_eq!(m[0], (0..24).filter(|i| (i / 4) % 3 == 0).sum::<usize>() as f64);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod backend;
 pub mod baseline;
 pub mod breakdown;
+pub mod choicelog;
 pub mod dispatch;
+pub mod model;
 pub mod multimode;
 pub mod onestep;
 pub mod oracle;
@@ -76,7 +80,9 @@ pub mod twostep;
 pub use backend::{DensePlans, MttkrpBackend};
 pub use baseline::{mttkrp_explicit, mttkrp_explicit_timed};
 pub use breakdown::Breakdown;
+pub use choicelog::{ChoiceLog, ChoiceRecord};
 pub use dispatch::{mttkrp_auto, mttkrp_auto_timed, ModeKind};
+pub use model::{cost_model_installed, install_cost_model, tuned_cost, ModeCost};
 pub use multimode::{mttkrp_all_modes, AllModesPlan};
 pub use onestep::{mttkrp_1step, mttkrp_1step_seq, mttkrp_1step_timed};
 pub use oracle::mttkrp_oracle;

@@ -10,7 +10,8 @@
 //! * **External modes** (`n = 0`, `n = N−1`): the columns of the (single
 //!   strided view) matricization are partitioned into `T` contiguous
 //!   blocks; each thread forms only its own rows of the KRP with a
-//!   seeked [`KrpCursor`] and multiplies into a thread-private output,
+//!   seeked [`mttkrp_krp::KrpCursor`] and multiplies into a
+//!   thread-private output,
 //!   followed by a parallel reduction.
 //! * **Internal modes**: the left partial KRP `KL` is precomputed in
 //!   parallel; the `IR_n` blocks are dealt block-cyclically to threads,

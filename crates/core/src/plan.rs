@@ -72,6 +72,7 @@ use mttkrp_parallel::{block_range, reduce, ThreadPool, Workspace};
 use mttkrp_tensor::DenseTensor;
 
 use crate::breakdown::{timed, Breakdown};
+use crate::model::{tuned_cost, ModeCost};
 use crate::twostep::TwoStepSide;
 use crate::validate_factors;
 
@@ -95,6 +96,13 @@ pub enum AlgoChoice {
         /// Predicted seconds for the 2-step algorithm on this mode.
         two_step: f64,
     },
+    /// Consult the process-wide cost model installed by the tuning
+    /// subsystem ([`crate::model::install_cost_model`], fed by a
+    /// calibrated `mttkrp-tune` profile): resolves to
+    /// [`AlgoChoice::Predicted`] with the model's per-mode times when a
+    /// model is installed, and falls back to [`AlgoChoice::Heuristic`]
+    /// otherwise — so `Tuned` is always safe to request.
+    Tuned,
 }
 
 /// The fully resolved kernel a plan will run.
@@ -190,6 +198,12 @@ pub struct MttkrpPlan {
     n: usize,
     threads: usize,
     algo: PlannedAlgo,
+    /// The choice the plan was resolved from, post-`Tuned` resolution
+    /// (`Tuned` itself never survives construction: it becomes
+    /// `Predicted` or `Heuristic`). Kept so drivers and the
+    /// [`crate::ChoiceLog`] can compare predictions against
+    /// measurements.
+    choice: AlgoChoice,
     kind: PlanKind,
     /// Dispatched SIMD kernels for GEMM tiles and Hadamard row
     /// products, resolved at plan construction.
@@ -216,6 +230,31 @@ impl MttkrpPlan {
     /// # Panics
     /// Panics if the tensor order is below 2, `n` is out of range, or
     /// `c == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mttkrp_core::{AlgoChoice, MttkrpPlan, PlannedAlgo};
+    /// use mttkrp_parallel::ThreadPool;
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// // Mode 0 is external: the heuristic resolves to 1-step.
+    /// let plan = MttkrpPlan::new(&pool, &[4, 3, 2], 5, 0, AlgoChoice::Heuristic);
+    /// assert_eq!(plan.algo(), PlannedAlgo::OneStepExternal);
+    /// assert_eq!((plan.rank(), plan.mode(), plan.threads()), (5, 0, 2));
+    ///
+    /// // An internal mode with explicit predicted times takes the
+    /// // cheaper algorithm (here: 1-step despite being internal).
+    /// let plan = MttkrpPlan::new(
+    ///     &pool,
+    ///     &[4, 3, 2],
+    ///     5,
+    ///     1,
+    ///     AlgoChoice::Predicted { one_step: 1.0, two_step: 2.0 },
+    /// );
+    /// assert_eq!(plan.algo(), PlannedAlgo::OneStepInternal);
+    /// assert_eq!(plan.predicted_times().unwrap().two_step, 2.0);
+    /// ```
     pub fn new(pool: &ThreadPool, dims: &[usize], c: usize, n: usize, choice: AlgoChoice) -> Self {
         Self::new_with_kernels(pool, dims, c, n, choice, *kernels())
     }
@@ -236,6 +275,18 @@ impl MttkrpPlan {
         assert!(n < nmodes, "mode {n} out of range");
         assert!(c > 0, "rank must be positive");
         let t = pool.num_threads();
+        // Resolve the adaptive choice first: with an installed cost
+        // model `Tuned` becomes a concrete prediction for this shape;
+        // without one it is exactly the paper's heuristic.
+        let choice = match choice {
+            AlgoChoice::Tuned => match tuned_cost(dims, c, n, t) {
+                Some(ModeCost { one_step, two_step }) => {
+                    AlgoChoice::Predicted { one_step, two_step }
+                }
+                None => AlgoChoice::Heuristic,
+            },
+            other => other,
+        };
         let i_n = dims[n];
         let il: usize = dims[..n].iter().product();
         let ir: usize = dims[n + 1..].iter().product();
@@ -251,6 +302,7 @@ impl MttkrpPlan {
                 AlgoChoice::OneStep => true,
                 AlgoChoice::TwoStep(_) => false,
                 AlgoChoice::Predicted { one_step, two_step } => one_step <= two_step,
+                AlgoChoice::Tuned => unreachable!("Tuned resolved above"),
             }
         };
 
@@ -349,8 +401,28 @@ impl MttkrpPlan {
             n,
             threads: t,
             algo,
+            choice,
             kind,
             kernels: ks,
+        }
+    }
+
+    /// The [`AlgoChoice`] the plan resolved to. [`AlgoChoice::Tuned`]
+    /// never appears here: it is replaced at construction by the cost
+    /// model's [`AlgoChoice::Predicted`] times, or by
+    /// [`AlgoChoice::Heuristic`] when no model is installed.
+    #[inline]
+    pub fn choice(&self) -> AlgoChoice {
+        self.choice
+    }
+
+    /// The cost model's predicted seconds for this mode, when the plan
+    /// was built from a prediction ([`AlgoChoice::Predicted`], directly
+    /// or via a resolved [`AlgoChoice::Tuned`]).
+    pub fn predicted_times(&self) -> Option<ModeCost> {
+        match self.choice {
+            AlgoChoice::Predicted { one_step, two_step } => Some(ModeCost { one_step, two_step }),
+            _ => None,
         }
     }
 

@@ -29,6 +29,10 @@ pub enum MttkrpStrategy {
     /// matricization + full KRP + one GEMM per mode (Figure 7's Matlab
     /// comparator).
     Explicit,
+    /// Per-mode choice from the process-wide cost model installed by a
+    /// calibrated tuning profile (`mttkrp-tune`); identical to
+    /// [`MttkrpStrategy::Auto`] when no profile is loaded.
+    Tuned,
 }
 
 impl MttkrpStrategy {
@@ -41,6 +45,7 @@ impl MttkrpStrategy {
             MttkrpStrategy::OneStep => Some(AlgoChoice::OneStep),
             MttkrpStrategy::TwoStep => Some(AlgoChoice::TwoStep(TwoStepSide::Auto)),
             MttkrpStrategy::Explicit => None,
+            MttkrpStrategy::Tuned => Some(AlgoChoice::Tuned),
         }
     }
 }
@@ -110,6 +115,32 @@ impl CpAlsReport {
 /// Generic over the tensor storage: pass a `DenseTensor` or a
 /// `mttkrp_sparse::CsfTensor` (any [`MttkrpBackend`]). Backends
 /// without selectable kernels ignore [`CpAlsOptions::strategy`].
+///
+/// # Example
+///
+/// ```
+/// use mttkrp_cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+/// use mttkrp_parallel::ThreadPool;
+///
+/// // A rank-1 tensor built from a known model is recovered to
+/// // near-perfect fit within a few sweeps.
+/// let dims = [6usize, 5, 4];
+/// let truth = KruskalModel::random(&dims, 1, 7);
+/// let x = truth.to_dense();
+/// let pool = ThreadPool::new(2);
+/// let (model, report) = cp_als(
+///     &pool,
+///     &x,
+///     KruskalModel::random(&dims, 1, 1),
+///     &CpAlsOptions {
+///         max_iters: 100,
+///         tol: 1e-12,
+///         strategy: MttkrpStrategy::Auto,
+///     },
+/// );
+/// assert!(report.final_fit() > 0.999, "fit {}", report.final_fit());
+/// assert_eq!(model.rank(), 1);
+/// ```
 pub fn cp_als<X: MttkrpBackend>(
     pool: &ThreadPool,
     x: &X,

@@ -14,6 +14,7 @@
 //! tensorcp decompose --input x.mttb --ooc [--budget-mb N] [--tile AxBxC]
 //! tensorcp info --input x.mtkt        # or a .mttb tile store
 //! tensorcp profile --input x.mtkt [--rank 25]
+//! tensorcp tune --out host.tune       # calibrate this host
 //! ```
 //!
 //! `--ooc` runs out-of-core: `gen --ooc` streams a tile store straight
@@ -22,6 +23,13 @@
 //! converts a dense file on the fly, holding at most two tiles of
 //! tensor data resident. The budget comes from `--budget-mb`, else
 //! `MTTKRP_OOC_BUDGET`, else 256 MB; `--tile` overrides the grid.
+//!
+//! `tune` measures this host (stream bandwidth, per-tier GEMM and
+//! Hadamard throughput, reduction efficiency), fits the machine-model
+//! coefficients, and writes them as a `MTTKRP-TUNE v1` profile.
+//! Exporting `MTTKRP_TUNE_PROFILE=host.tune` makes every later
+//! `decompose` pick its per-mode MTTKRP algorithm with the calibrated
+//! model instead of the paper's fixed heuristic.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -65,12 +73,20 @@ fn main() {
             }
         }
     }
+    // Load a calibrated tuning profile (MTTKRP_TUNE_PROFILE) before
+    // any plan is built; `Tuned` strategies fall back to the heuristic
+    // without one.
+    if let Err(e) = mttkrp_tune::init_from_env() {
+        eprintln!("MTTKRP_TUNE_PROFILE: {e}");
+        exit(1);
+    }
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "gen-fmri" => cmd_gen_fmri(&opts),
         "decompose" => cmd_decompose(&opts),
         "info" => cmd_info(&opts),
         "profile" => cmd_profile(&opts),
+        "tune" => cmd_tune(&opts),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -99,9 +115,13 @@ fn usage() {
                       [--ooc [--budget-mb N] [--tile AxBxC]]  (stream from disk)\n\
            info       --input FILE   (dense .mtkt or tile-store .mttb)\n\
            profile    --input FILE [--rank R] [--threads T]\n\
+           tune       [--out FILE] [--threads T] [--quick]\n\
+                      (calibrate this host, print + write a tuning profile)\n\
          every command accepts --kernel auto|scalar|avx2|avx512|neon\n\
          (hardware dispatch tier; default auto = best supported);\n\
-         the out-of-core budget falls back to MTTKRP_OOC_BUDGET, then 256 MB"
+         the out-of-core budget falls back to MTTKRP_OOC_BUDGET, then 256 MB;\n\
+         a profile named by MTTKRP_TUNE_PROFILE is loaded at startup and\n\
+         drives per-mode algorithm choice in decompose"
     );
 }
 
@@ -342,10 +362,12 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
     } else {
         ThreadPool::new(threads)
     };
+    // `Tuned` consults the loaded tuning profile per mode and is
+    // identical to `Auto` (the paper heuristic) when none is loaded.
     let cp_opts = CpAlsOptions {
         max_iters: iters,
         tol,
-        strategy: MttkrpStrategy::Auto,
+        strategy: MttkrpStrategy::Tuned,
     };
     let method = opts.get("method").map(|s| s.as_str()).unwrap_or("als");
 
@@ -411,6 +433,14 @@ fn print_decompose_report(
     elapsed: f64,
 ) {
     println!("method        : {method}");
+    println!(
+        "tuning        : {}",
+        if mttkrp_tune::installed_profile().is_some() {
+            "profile-backed choice (MTTKRP_TUNE_PROFILE)"
+        } else {
+            "heuristic (no tuning profile loaded)"
+        }
+    );
     println!("rank          : {rank}");
     println!(
         "iterations    : {} (converged = {})",
@@ -445,6 +475,35 @@ fn write_model_out(opts: &HashMap<String, String>, model: &KruskalModel) -> CliR
         };
         write_model(path, &stored).map_err(|e| e.to_string())?;
         println!("model written : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_tune(opts: &HashMap<String, String>) -> CliResult {
+    let threads: usize = num(opts, "threads", 0)?;
+    let tune_opts = mttkrp_tune::CalibrateOptions {
+        threads: (threads > 0).then_some(threads),
+        quick: opts.contains_key("quick"),
+    };
+    println!(
+        "calibrating host ({} threads, kernel tiers: {})...",
+        tune_opts.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
+        mttkrp_blas::available_tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let profile = mttkrp_tune::calibrate(&tune_opts);
+    print!("{}", profile.to_text());
+    if let Some(out) = opts.get("out") {
+        profile.save(out).map_err(|e| e.to_string())?;
+        println!("profile written : {out}");
+        println!("use it with     : MTTKRP_TUNE_PROFILE={out}");
     }
     Ok(())
 }

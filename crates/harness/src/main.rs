@@ -14,6 +14,7 @@
 //! mttkrp-harness --sparse          # sparse CSF MTTKRP vs density sweep
 //! mttkrp-harness --ooc             # out-of-core streaming vs in-core
 //! mttkrp-harness --ext-dimtree     # future-work: dimension-tree CP-ALS
+//! mttkrp-harness --tune            # calibrate + prediction-accuracy sweep
 //! mttkrp-harness --all             # everything
 //! mttkrp-harness --all --scale medium   # small (default) | medium | paper
 //! mttkrp-harness --all --kernel scalar  # force a SIMD dispatch tier
@@ -27,6 +28,13 @@
 //! prints its tile grid, budget, and peak resident tile bytes; the
 //! budget comes from `--budget-mb`, else `MTTKRP_OOC_BUDGET`, else an
 //! eighth of the tensor.
+//!
+//! `--tune` calibrates a tuning profile on this host (or loads one
+//! with `--profile FILE`), optionally persists it (`--profile-out
+//! FILE`), and sweeps 1-step vs 2-step prediction accuracy against
+//! measurements (Heuristic vs paper-constant model vs calibrated
+//! profile). A profile named by `MTTKRP_TUNE_PROFILE` is loaded at
+//! startup and drives every `Tuned` plan the other figures build.
 
 mod extension;
 mod fig4;
@@ -37,6 +45,7 @@ mod fig8;
 mod ooc;
 mod scale;
 mod sparse;
+mod tune;
 mod util;
 
 use scale::Scale;
@@ -102,6 +111,25 @@ fn main() {
         }
         None => None,
     };
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let profile_path = flag_value("--profile");
+    let profile_out = flag_value("--profile-out");
+
+    // Honor MTTKRP_TUNE_PROFILE before any plan is built, so every
+    // figure's Tuned/Predicted choices see the calibrated model.
+    let tuned = match mttkrp_tune::init_from_env() {
+        Ok(p) => p.is_some(),
+        Err(e) => {
+            eprintln!("MTTKRP_TUNE_PROFILE: {e}");
+            std::process::exit(1);
+        }
+    };
+
     let all = args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -114,6 +142,14 @@ fn main() {
         mttkrp_blas::kernels().tier(),
     );
     println!("# modeled machine = 2 x 6-core Sandy Bridge E5-2620 (calibrated to this host's kernel rates)");
+    println!(
+        "# tuning profile = {}",
+        if tuned {
+            "loaded from MTTKRP_TUNE_PROFILE"
+        } else {
+            "none (heuristic fallback; run --tune to calibrate)"
+        }
+    );
     println!();
 
     let mut ran = false;
@@ -149,6 +185,10 @@ fn main() {
         extension::run(scale);
         ran = true;
     }
+    if want("--tune") {
+        tune::run(scale, profile_path, profile_out);
+        ran = true;
+    }
     if !ran {
         print_help();
         std::process::exit(2);
@@ -158,8 +198,10 @@ fn main() {
 fn print_help() {
     println!(
         "usage: mttkrp-harness [--fig4] [--fig5] [--fig6] [--fig7] [--fig8] \
-         [--sparse] [--ooc] [--ext-dimtree] [--all] [--scale small|medium|paper] \
+         [--sparse] [--ooc] [--ext-dimtree] [--tune] [--all] \
+         [--scale small|medium|paper] \
          [--kernel auto|scalar|avx2|avx512|neon] \
-         [--budget-mb N] [--tile AxBxC]"
+         [--budget-mb N] [--tile AxBxC] \
+         [--profile FILE] [--profile-out FILE]"
     );
 }

@@ -1,0 +1,185 @@
+//! `--tune`: calibrate (or load) a tuning profile and sweep
+//! prediction accuracy.
+//!
+//! Prints the profile text, then times **both** the 1-step and 2-step
+//! algorithm on every internal mode of a shape family and compares
+//! three per-mode selection policies against the empirically fastest
+//! algorithm:
+//!
+//! * `heuristic` — the paper's §5.3.3 rule (2-step on internal modes);
+//! * `paper-model` — `predicted_choice` on the hardcoded Sandy Bridge
+//!   constants (what `Predicted` plans used before calibration);
+//! * `tuned` — the calibrated profile's machine.
+//!
+//! The tuned policy's records also flow through a
+//! [`mttkrp_core::ChoiceLog`], so the printed table ends with the
+//! log's agreement/misprediction summary and a
+//! `CHECK tuned-choice-agreement` line (the subsystem's ≥ 80% bar).
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_core::{AlgoChoice, ChoiceLog, MttkrpPlan};
+use mttkrp_machine::{predicted_choice, Machine};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tune::{calibrate, CalibrateOptions, TuningProfile};
+use mttkrp_workloads::{random_factors, random_tensor};
+
+use crate::scale::Scale;
+use crate::util::{claim, fmt_s, time_median};
+
+/// Dimension ratios of the sweep's shape families: equal and skewed
+/// variants of orders 3–5, chosen so internal modes span both
+/// `IL ≫ IR` and `IL ≪ IR` regimes (where 1-step and 2-step trade
+/// places).
+const SHAPES: &[&[usize]] = &[
+    &[1, 1, 1],
+    &[8, 1, 1],
+    &[1, 1, 8],
+    &[1, 1, 1, 1],
+    &[6, 1, 1, 6],
+    &[1, 6, 6, 1],
+    &[1, 1, 1, 1, 1],
+    &[4, 1, 1, 1, 4],
+];
+
+/// Scale `ratios` to concrete dims with ≈`entries` total entries.
+fn scaled_dims(ratios: &[usize], entries: usize) -> Vec<usize> {
+    let prod: f64 = ratios.iter().map(|&r| r as f64).product();
+    let s = (entries as f64 / prod).powf(1.0 / ratios.len() as f64);
+    ratios
+        .iter()
+        .map(|&r| ((r as f64 * s).round() as usize).max(2))
+        .collect()
+}
+
+fn one_step_is_faster(c: AlgoChoice) -> bool {
+    match c {
+        AlgoChoice::Predicted { one_step, two_step } => one_step <= two_step,
+        _ => unreachable!("policies produce Predicted choices"),
+    }
+}
+
+/// Run the calibration + accuracy sweep. `profile_path` loads an
+/// existing profile instead of calibrating; `profile_out` persists the
+/// profile in use.
+pub fn run(scale: Scale, profile_path: Option<&str>, profile_out: Option<&str>) {
+    println!("## Autotuning: profile + prediction-accuracy sweep");
+    let profile = match profile_path {
+        Some(p) => match TuningProfile::load(p) {
+            Ok(prof) => {
+                println!("# loaded profile from {p}");
+                prof
+            }
+            Err(e) => {
+                eprintln!("cannot load tuning profile {p}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            println!("# calibrating this host (stream ladder, per-tier GEMM/Hadamard, reduction)");
+            calibrate(&CalibrateOptions::default())
+        }
+    };
+    if let Some(out) = profile_out {
+        match profile.save(out) {
+            Ok(()) => println!("# wrote profile to {out}"),
+            Err(e) => {
+                eprintln!("cannot write tuning profile {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    print!("{}", profile.to_text());
+    println!();
+
+    if !mttkrp_tune::install(profile.clone()) {
+        println!("# note: a profile was already installed (MTTKRP_TUNE_PROFILE); sweeping the one passed here");
+    }
+
+    let t = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = ThreadPool::new(t);
+    let paper = Machine::sandy_bridge_12core();
+    let tuned_machine = profile.machine_active();
+    let c = 25;
+    let entries = scale.synthetic_entries() / 2;
+
+    println!("# per-internal-mode choices vs the empirically fastest algorithm (t = {t}, C = {c})");
+    println!("dims,mode,1step_s,2step_s,fastest,heuristic,paper-model,tuned");
+    let mut log = ChoiceLog::new();
+    let (mut heur_ok, mut paper_ok, mut tuned_ok, mut total) = (0usize, 0usize, 0usize, 0usize);
+    for ratios in SHAPES {
+        let dims = scaled_dims(ratios, entries);
+        let x = random_tensor(&dims, 11);
+        let factors = random_factors(&dims, c, 23);
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        for n in 1..dims.len() - 1 {
+            let mut out = vec![0.0; dims[n] * c];
+            let mut p1 = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::OneStep);
+            let t1 = time_median(3, || p1.execute(&pool, &x, &refs, &mut out));
+            let mut p2 = MttkrpPlan::new(
+                &pool,
+                &dims,
+                c,
+                n,
+                AlgoChoice::TwoStep(mttkrp_core::TwoStepSide::Auto),
+            );
+            let t2 = time_median(3, || p2.execute(&pool, &x, &refs, &mut out));
+            let fastest_one = t1 <= t2;
+
+            let heur_one = false; // internal modes: the paper rule says 2-step
+            let paper_one = one_step_is_faster(predicted_choice(&paper, &dims, n, c, t));
+            let tuned_choice = predicted_choice(&tuned_machine, &dims, n, c, t);
+            let tuned_one = one_step_is_faster(tuned_choice);
+            heur_ok += usize::from(heur_one == fastest_one);
+            paper_ok += usize::from(paper_one == fastest_one);
+            tuned_ok += usize::from(tuned_one == fastest_one);
+            total += 1;
+
+            // Feed the ChoiceLog with the tuned plan's view: what it
+            // chose, what it predicted, what both algorithms measured.
+            let tuned_plan = MttkrpPlan::new(&pool, &dims, c, n, tuned_choice);
+            let (own, other) = if tuned_one { (t1, t2) } else { (t2, t1) };
+            log.record_sweep(&tuned_plan, own, other);
+
+            let name = |one: bool| if one { "1step" } else { "2step" };
+            println!(
+                "{},{n},{},{},{},{},{},{}",
+                dims.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
+                fmt_s(t1),
+                fmt_s(t2),
+                name(fastest_one),
+                name(heur_one),
+                name(paper_one),
+                name(tuned_one),
+            );
+        }
+    }
+    println!();
+    print!("{}", log.summary());
+    let pct = |ok: usize| 100.0 * ok as f64 / total.max(1) as f64;
+    println!(
+        "agreement,heuristic={:.0}%,paper-model={:.0}%,tuned={:.0}%  ({} internal modes)",
+        pct(heur_ok),
+        pct(paper_ok),
+        pct(tuned_ok),
+        total
+    );
+    let tuned_pct = pct(tuned_ok);
+    println!(
+        "CHECK tuned-choice-agreement {:.0}% >= 80%: {}",
+        tuned_pct,
+        claim(tuned_pct >= 80.0)
+    );
+    println!(
+        "CHECK tuned-at-least-matches-heuristic: {}",
+        claim(tuned_ok >= heur_ok)
+    );
+}

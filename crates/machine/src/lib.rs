@@ -26,6 +26,8 @@
 //! GEMM rate and STREAM bandwidth and keeps the paper machine's scaling
 //! curves, per the substitution documented in DESIGN.md.
 
+#![deny(missing_docs)]
+
 pub mod predict;
 
 pub use predict::{
@@ -33,6 +35,9 @@ pub use predict::{
     predicted_choice, predicted_plan_set,
 };
 
+use std::sync::OnceLock;
+
+use mttkrp_core::ModeCost;
 use mttkrp_parallel::ThreadPool;
 
 /// Roofline machine model (see crate docs).
@@ -53,6 +58,11 @@ pub struct Machine {
     pub hadamard_cost: f64,
     /// Strength of the MKL small-output parallel penalty (0 disables).
     pub mkl_penalty: f64,
+    /// Efficiency of the parallel private-buffer reduction relative to
+    /// raw STREAM bandwidth (1.0 = the paper-machine assumption that a
+    /// reduction streams at full `BW(T)`; a calibrated profile measures
+    /// the real ratio, which barrier overhead drags below 1).
+    pub reduce_scale: f64,
 }
 
 impl Machine {
@@ -67,6 +77,7 @@ impl Machine {
             gemm_eff0: 0.90,
             hadamard_cost: 3.0e-9,
             mkl_penalty: 0.35,
+            reduce_scale: 1.0,
         }
     }
 
@@ -183,13 +194,69 @@ impl Machine {
     }
 
     /// Reduction of `t_bufs` private `elems`-sized buffers at `t`
-    /// threads (each element read `t_bufs` times, written once).
+    /// threads (each element read `t_bufs` times, written once), at
+    /// the machine's measured reduction efficiency.
     pub fn reduce_time(&self, elems: usize, t_bufs: usize, t: usize) -> f64 {
         if t_bufs <= 1 {
             return 0.0;
         }
-        (elems as f64) * 8.0 * (t_bufs as f64 + 1.0) / self.bw(t)
+        (elems as f64) * 8.0 * (t_bufs as f64 + 1.0) / (self.bw(t) * self.reduce_scale)
     }
+}
+
+/// The team size the model recommends for a sparse tree-walk MTTKRP
+/// producing `out_elems` output elements from `nnz` nonzeros at rank
+/// `c`, at most `t` threads. The walk scales linearly with threads, but
+/// every extra thread adds a private `out_elems` accumulator to the
+/// final reduction — for hypersparse tensors (tiny `nnz`, huge `I_n`)
+/// merging `T` mostly-zero buffers costs more than the walk saves, so
+/// the model caps the team where `walk(t') + reduce(t')` is minimized.
+/// Ties go to the larger team (the uncapped behavior).
+pub fn sparse_team(m: &Machine, out_elems: usize, c: usize, nnz: usize, t: usize) -> usize {
+    // Per-nonzero cost of the CSF walk: one `axpy` over a C-row at the
+    // leaf plus amortized internal `mul_add`s — about two fused
+    // multiply-adds per column, priced with the measured per-element
+    // Hadamard cost (the same streamed-FMA kernel family).
+    let walk1 = nnz as f64 * c as f64 * 2.0 * m.hadamard_cost;
+    let mut best_t = 1usize;
+    let mut best = f64::INFINITY;
+    for cand in 1..=t.max(1) {
+        let cost = walk1 / cand as f64 + m.reduce_time(out_elems, cand, cand);
+        if cost <= best {
+            best = cost;
+            best_t = cand;
+        }
+    }
+    best_t
+}
+
+static TUNED_MACHINE: OnceLock<Machine> = OnceLock::new();
+
+/// Install `m` as the process-wide tuned machine model: registers a
+/// cost model with `mttkrp-core` (so every later
+/// [`mttkrp_core::AlgoChoice::Tuned`] plan prices its mode with
+/// [`predict_1step`]/[`predict_2step`] on `m`) and makes `m` available
+/// to the sparse planner via [`installed_machine`]. First installation
+/// wins; returns `false` (leaving the earlier model in effect) on
+/// repeat calls.
+pub fn install_machine(m: Machine) -> bool {
+    if TUNED_MACHINE.set(m).is_err() {
+        return false;
+    }
+    let m = *TUNED_MACHINE.get().expect("just installed");
+    mttkrp_core::install_cost_model(Box::new(move |dims, c, n, t| {
+        Some(ModeCost {
+            one_step: predict_1step(&m, dims, n, c, t).total,
+            two_step: predict_2step(&m, dims, n, c, t).total,
+        })
+    }))
+}
+
+/// The machine installed by [`install_machine`], if any. Planners that
+/// can exploit calibrated coefficients (e.g. the sparse team-size cap)
+/// consult this and fall back to their uncalibrated defaults on `None`.
+pub fn installed_machine() -> Option<&'static Machine> {
+    TUNED_MACHINE.get()
 }
 
 #[cfg(test)]

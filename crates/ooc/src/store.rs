@@ -72,6 +72,34 @@ pub struct TileStore {
 
 impl TileStore {
     /// Open and validate a store.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mttkrp_ooc::{TileStore, TiledLayout};
+    /// use mttkrp_tensor::DenseTensor;
+    ///
+    /// let dims = [6usize, 5, 4];
+    /// let x = DenseTensor::from_fn(&dims, {
+    ///     let mut k = 0.0;
+    ///     move || { k += 1.0; k }
+    /// });
+    /// let layout = TiledLayout::new(&dims, &[3, 5, 2]);
+    /// let path = std::env::temp_dir().join("doctest-open.mttb");
+    /// TileStore::write_dense(&path, &layout, &x)?;
+    ///
+    /// // Reopening re-validates the whole header: geometry, tile
+    /// // offsets, and total file length.
+    /// let store = TileStore::open(&path)?;
+    /// assert_eq!(store.layout().dims(), &dims);
+    /// assert_eq!(store.layout().ntiles(), 2 * 1 * 2);
+    /// let mut reader = store.reader()?;
+    /// let mut tile = vec![0.0; store.layout().tile_entries(0)];
+    /// reader.read_tile_into(0, &mut tile)?;
+    /// assert_eq!(tile[0], x.get(&[0, 0, 0]));
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn open(path: impl AsRef<Path>) -> io::Result<TileStore> {
         let path = path.as_ref().to_path_buf();
         let file = File::open(&path)?;

@@ -195,8 +195,11 @@ impl OocMttkrpPlanSet {
     ///
     /// `choice` follows the dense meaning; `None` (the explicit
     /// baseline, which has no out-of-core formulation — it would
-    /// materialize the matricization) falls back to the heuristic
-    /// planned kernels.
+    /// materialize the matricization) falls back to
+    /// [`AlgoChoice::Tuned`] planned kernels: with a loaded tuning
+    /// profile every distinct tile shape is priced by the calibrated
+    /// cost model, and without one `Tuned` is exactly the paper's
+    /// heuristic.
     pub fn new(
         pool: &ThreadPool,
         x: &OocTensor,
@@ -206,7 +209,7 @@ impl OocMttkrpPlanSet {
         assert!(c > 0, "rank must be positive");
         let layout = x.layout().clone();
         assert!(layout.order() >= 2, "MTTKRP requires an order >= 2 tensor");
-        let choice = choice.unwrap_or(AlgoChoice::Heuristic);
+        let choice = choice.unwrap_or(AlgoChoice::Tuned);
         let masks = layout.achievable_masks();
         let nmasks = 1usize << layout.order();
         let modes = (0..layout.order())

@@ -50,6 +50,8 @@ pub struct SparseMttkrpPlan {
     c: usize,
     n: usize,
     threads: usize,
+    /// Threads that actually receive fibers; see [`Self::team`].
+    team: usize,
     nnz: usize,
     /// Root-fiber ids of the planned tree. Execution overwrites
     /// exactly these accumulator rows (all others stay zero from
@@ -72,6 +74,7 @@ impl std::fmt::Debug for SparseMttkrpPlan {
             .field("c", &self.c)
             .field("n", &self.n)
             .field("threads", &self.threads)
+            .field("team", &self.team)
             .field("nnz", &self.nnz)
             .field("fiber_ranges", &self.fiber_ranges)
             .finish()
@@ -106,6 +109,7 @@ impl SparseMttkrpPlan {
         let counts = tree.root_fiber_nnz();
         let nf = counts.len();
         let nnz = csf.nnz();
+        let i_n = dims[n];
 
         // Prefix nnz over fibers: cum[f] = nonzeros in fibers [0, f).
         let mut cum = Vec::with_capacity(nf + 1);
@@ -114,21 +118,33 @@ impl SparseMttkrpPlan {
             cum.push(cum.last().unwrap() + k);
         }
 
-        // Thread k takes fibers [b_k, b_{k+1}): the smallest prefix
-        // whose nnz reaches k·nnz/T, clamped monotone. Fibers are never
-        // split, so a single huge fiber caps balance — the price of
-        // race-free row ownership.
+        // With a calibrated machine model installed (a loaded tuning
+        // profile), cap the working team where the modeled walk time
+        // plus the reduction of that many private `I_n × C` buffers is
+        // minimized — for hypersparse tensors the merge dominates and
+        // fewer accumulators win. Without a profile, use every thread
+        // (the uncalibrated behavior).
+        let team = mttkrp_machine::installed_machine()
+            .map(|m| mttkrp_machine::sparse_team(m, i_n * c, c, nnz, t))
+            .unwrap_or(t)
+            .clamp(1, t);
+
+        // Thread k < team takes fibers [b_k, b_{k+1}): the smallest
+        // prefix whose nnz reaches k·nnz/team, clamped monotone;
+        // threads beyond the team receive empty ranges. Fibers are
+        // never split, so a single huge fiber caps balance — the price
+        // of race-free row ownership.
         let mut bounds = vec![0usize; t + 1];
-        bounds[t] = nf;
-        for k in 1..t {
-            let target = (k as u128 * nnz as u128).div_ceil(t as u128) as usize;
+        for b in bounds.iter_mut().skip(team) {
+            *b = nf;
+        }
+        for k in 1..team {
+            let target = (k as u128 * nnz as u128).div_ceil(team as u128) as usize;
             bounds[k] = cum
                 .partition_point(|&s| s < target)
                 .clamp(bounds[k - 1], nf);
         }
         let fiber_ranges: Vec<Range<usize>> = (0..t).map(|k| bounds[k]..bounds[k + 1]).collect();
-
-        let i_n = dims[n];
         let n_scratch = dims.len().saturating_sub(2);
         let ws = Workspace::new(t, |_| SparseSlot {
             m: vec![0.0; i_n * c],
@@ -140,12 +156,22 @@ impl SparseMttkrpPlan {
             c,
             n,
             threads: t,
+            team,
             nnz,
             root_fids: tree.fids[0].clone(),
             fiber_ranges,
             ws,
             kernels: ks,
         }
+    }
+
+    /// Number of threads that actually receive root fibers (and whose
+    /// private accumulators the reduction merges). Equal to
+    /// [`SparseMttkrpPlan::threads`] unless a calibrated machine model
+    /// capped the team (see [`mttkrp_machine::sparse_team`]).
+    #[inline]
+    pub fn team(&self) -> usize {
+        self.team
     }
 
     /// The kernel tier this plan's accumulate loops dispatch to.
@@ -266,7 +292,10 @@ impl SparseMttkrpPlan {
         bd.dgemm = walk_t0.elapsed().as_secs_f64();
 
         let reduce_t0 = std::time::Instant::now();
-        let slots = self.ws.slots();
+        // Only the first `team` slots ever receive fibers; merging the
+        // untouched all-zero accumulators beyond them would waste
+        // exactly the bandwidth the team cap was chosen to save.
+        let slots = &self.ws.slots()[..self.team];
         if slots.len() == 1 {
             out.copy_from_slice(&slots[0].m);
         } else {

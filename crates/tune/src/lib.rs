@@ -1,0 +1,122 @@
+//! Empirical autotuning: measure this host, fit the paper's machine
+//! model, persist the fit, and drive adaptive plan selection with it.
+//!
+//! The paper's central contribution beyond raw parallelization is a
+//! machine model that picks between the 1-step and 2-step MTTKRP per
+//! mode. `mttkrp-machine` implements that model — but seeded with the
+//! paper testbed's hardcoded Sandy Bridge constants, so its
+//! `Predicted` plan choices are only trustworthy on a machine that
+//! looks like a 2012 Xeon. This crate replaces guessed constants with
+//! **measured** ones:
+//!
+//! 1. [`calibrate()`] runs microbenchmarks on the live host (STREAM
+//!    bandwidth over a thread ladder, register-tiled GEMM and Hadamard
+//!    throughput per SIMD kernel tier, parallel-reduction efficiency —
+//!    all timed with `mttkrp-bench`'s shared timer) and fits the
+//!    model's coefficients from the measurements;
+//! 2. the fit persists as a versioned [`TuningProfile`] — a plain-text
+//!    codec with a checked `MTTKRP-TUNE v1` header and the same
+//!    reject-don't-panic reader discipline as the binary
+//!    `MTKT`/`MTKS`/`MTTB` formats (see `docs/FORMATS.md`);
+//! 3. [`install`] (or [`init_from_env`], honoring the
+//!    [`ENV_VAR`]=`MTTKRP_TUNE_PROFILE` environment variable) turns a
+//!    profile into the process-wide cost model: every
+//!    [`mttkrp_core::AlgoChoice::Tuned`] plan built afterwards —
+//!    dense, per-tile out-of-core, and the sparse team-size cap —
+//!    prices its mode on the calibrated machine instead of the paper's
+//!    external/internal heuristic.
+//!
+//! Without a profile nothing changes: `Tuned` falls back to the
+//! heuristic, so the subsystem is strictly opt-in.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use mttkrp_tune::{calibrate, CalibrateOptions};
+//!
+//! let profile = calibrate(&CalibrateOptions::default());
+//! profile.save("host.tune")?;
+//! mttkrp_tune::install(profile);
+//! // MttkrpPlan::new(.., AlgoChoice::Tuned) now prices 1-step vs
+//! // 2-step with this host's measured bandwidth and kernel rates.
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Or from the command line: `tensorcp tune --out host.tune`, then
+//! run anything with `MTTKRP_TUNE_PROFILE=host.tune`.
+
+#![deny(missing_docs)]
+
+pub mod calibrate;
+pub mod measure;
+pub mod profile;
+
+pub use calibrate::{calibrate, CalibrateOptions};
+pub use profile::{TierTuning, TuningProfile, ENV_VAR, MAGIC, VERSION};
+
+use std::io;
+use std::sync::OnceLock;
+
+static INSTALLED: OnceLock<TuningProfile> = OnceLock::new();
+
+/// Install `profile` as the process-wide tuning profile: registers the
+/// calibrated machine (at the active kernel dispatch tier) with
+/// `mttkrp-machine`, which in turn installs the cost model every
+/// subsequently built [`mttkrp_core::AlgoChoice::Tuned`] plan
+/// consults. First installation wins, mirroring the kernel-tier
+/// dispatch; returns `false` (leaving the earlier state in effect) if
+/// a profile or machine model was already installed.
+pub fn install(profile: TuningProfile) -> bool {
+    // Register the machine first: if another model already owns the
+    // cost-model slot (an earlier profile, or a direct
+    // `mttkrp_machine::install_machine` call), refuse *without*
+    // recording the profile — `installed_profile()` must never name a
+    // profile whose coefficients are not the ones actually pricing
+    // plans.
+    if !mttkrp_machine::install_machine(profile.machine_active()) {
+        return false;
+    }
+    let _ = INSTALLED.set(profile);
+    true
+}
+
+/// The profile installed in this process, if any.
+pub fn installed_profile() -> Option<&'static TuningProfile> {
+    INSTALLED.get()
+}
+
+/// Load and [`install`] the profile named by the
+/// `MTTKRP_TUNE_PROFILE` environment variable.
+///
+/// * variable unset → `Ok(None)` (nothing installed, heuristic
+///   fallback everywhere);
+/// * variable set but the file is missing or malformed → the codec's
+///   error, so a typo'd path fails loudly instead of silently running
+///   untuned;
+/// * loaded → `Ok(Some(profile))`, with the cost model installed —
+///   unless another machine model was registered first, in which case
+///   the profile is **not** recorded and `Ok(None)` is returned (the
+///   earlier model stays authoritative).
+///
+/// Binaries call this once at startup, before building any plans.
+pub fn init_from_env() -> io::Result<Option<&'static TuningProfile>> {
+    let Some(path) = TuningProfile::env_path() else {
+        return Ok(None);
+    };
+    let profile = TuningProfile::load(&path)?;
+    install(profile);
+    Ok(installed_profile())
+}
+
+#[cfg(test)]
+mod tests {
+    // Installation is process-global; its semantics are covered by the
+    // dedicated single-test binaries in the workspace root
+    // (`tests/tune_install.rs`, `tests/tune_fallback.rs`) so this
+    // crate's unit-test process stays uninstalled for every other
+    // test.
+    #[test]
+    fn nothing_installed_by_default() {
+        assert!(super::installed_profile().is_none());
+    }
+}

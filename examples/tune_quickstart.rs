@@ -1,0 +1,94 @@
+//! Autotuning quickstart: calibrate this host, persist the profile,
+//! reload it, and let the calibrated cost model pick each mode's
+//! MTTKRP algorithm for a CP-ALS run.
+//!
+//! ```text
+//! cargo run --release --example tune_quickstart
+//! ```
+//!
+//! Uses `--quick` calibration sizes so the whole example runs in
+//! seconds; a production profile would drop `quick: true` (or run
+//! `tensorcp tune --out host.tune`).
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_repro::mttkrp::{AlgoChoice, ChoiceLog, MttkrpPlan};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::tune::{calibrate, CalibrateOptions, TuningProfile};
+use mttkrp_repro::workloads::{random_factors, random_tensor};
+
+fn main() -> std::io::Result<()> {
+    // 1. Calibrate: stream-bandwidth ladder, per-tier GEMM/Hadamard
+    //    throughput, parallel-reduction efficiency.
+    let profile = calibrate(&CalibrateOptions {
+        threads: None,
+        quick: true,
+    });
+    println!("calibrated profile:\n{}", profile.to_text());
+
+    // 2. Persist and reload — the round trip is bytewise stable.
+    let path = std::env::temp_dir().join("tune_quickstart.tune");
+    profile.save(&path)?;
+    let loaded = TuningProfile::load(&path)?;
+    assert_eq!(loaded, profile, "write -> load must be lossless");
+    println!("profile round-tripped through {}", path.display());
+
+    // 3. Install: every `Tuned` plan from here on prices 1-step vs
+    //    2-step on the calibrated machine. (`MTTKRP_TUNE_PROFILE=...`
+    //    does the same without code.)
+    mttkrp_repro::tune::install(loaded);
+
+    // 4. Watch it choose. Internal modes now resolve from predictions,
+    //    not the fixed external/internal rule.
+    let dims = [60usize, 40, 30];
+    let c = 8;
+    let pool = ThreadPool::host();
+    let mut log = ChoiceLog::new();
+    let x = random_tensor(&dims, 5);
+    let factors = random_factors(&dims, c, 3);
+    let refs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+    for n in 0..dims.len() {
+        let mut plan = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::Tuned);
+        let mut out = vec![0.0; dims[n] * c];
+        let bd = plan.execute_timed(&pool, &x, &refs, &mut out);
+        log.record(&plan, &bd);
+        println!(
+            "mode {n}: resolved {:?} (predicted {:?})",
+            plan.algo(),
+            plan.predicted_times()
+        );
+        assert!(
+            plan.predicted_times().is_some() || n == 0 || n == dims.len() - 1,
+            "internal modes must be priced by the installed profile"
+        );
+    }
+    print!("{}", log.summary());
+
+    // 5. The same adaptivity, end to end: CP-ALS with the Tuned
+    //    strategy plans every mode through the profile.
+    let (model, report) = cp_als(
+        &pool,
+        &x,
+        KruskalModel::random(&dims, c, 42),
+        &CpAlsOptions {
+            max_iters: 10,
+            tol: 0.0,
+            strategy: MttkrpStrategy::Tuned,
+        },
+    );
+    println!(
+        "tuned CP-ALS: {} iterations, fit {:.4}, lambda[0] {:.3}",
+        report.iters,
+        report.final_fit(),
+        model.lambda[0]
+    );
+    assert!(report.final_fit().is_finite());
+
+    std::fs::remove_file(&path).ok();
+    println!("OK");
+    Ok(())
+}

@@ -15,4 +15,5 @@ pub use mttkrp_parallel as parallel;
 pub use mttkrp_rng as rng;
 pub use mttkrp_sparse as sparse;
 pub use mttkrp_tensor as tensor;
+pub use mttkrp_tune as tune;
 pub use mttkrp_workloads as workloads;

@@ -1,0 +1,69 @@
+//! Fallback behavior with **no** tuning profile: `Tuned` must be
+//! byte-identical to the paper's heuristic everywhere. A single-test
+//! binary that deliberately never calls `install`/`init_from_env`, so
+//! the process stays untuned regardless of `MTTKRP_TUNE_PROFILE` (the
+//! variable only takes effect through an explicit `init_from_env`
+//! call, which library code never makes on its own).
+
+use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::mttkrp::{cost_model_installed, AlgoChoice, MttkrpPlan};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::sparse::{CooTensor, CsfTensor, SparseMttkrpPlan};
+use mttkrp_repro::tensor::DenseTensor;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_f64() - 0.5).collect()
+}
+
+#[test]
+fn tuned_without_a_profile_is_the_heuristic() {
+    assert!(
+        !cost_model_installed(),
+        "this binary must never install a model"
+    );
+    let pool = ThreadPool::new(3);
+    let c = 3;
+    for dims in [vec![7usize, 5, 4], vec![4, 3, 5, 2], vec![3, 3, 3, 3, 2]] {
+        let x = DenseTensor::from_vec(&dims, rand_vec(dims.iter().product(), 13));
+        let factors: Vec<Vec<f64>> = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| rand_vec(d * c, 100 + k as u64))
+            .collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        for n in 0..dims.len() {
+            let mut tuned = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::Tuned);
+            let mut heur = MttkrpPlan::new(&pool, &dims, c, n, AlgoChoice::Heuristic);
+            // Resolution: Tuned collapses to Heuristic (not Predicted),
+            // picks the identical kernel, and records no predictions.
+            assert_eq!(tuned.choice(), AlgoChoice::Heuristic, "dims {dims:?} n={n}");
+            assert_eq!(tuned.algo(), heur.algo(), "dims {dims:?} n={n}");
+            assert!(tuned.predicted_times().is_none());
+            // Execution: bitwise-identical output.
+            let mut a = vec![f64::NAN; dims[n] * c];
+            let mut b = vec![f64::NAN; dims[n] * c];
+            tuned.execute(&pool, &x, &refs, &mut a);
+            heur.execute(&pool, &x, &refs, &mut b);
+            assert_eq!(a, b, "dims {dims:?} n={n}");
+        }
+    }
+
+    // Sparse plans without a machine use the full team (no cap), even
+    // for a hypersparse shape that a calibrated model would cap.
+    let sdims = [10_000usize, 8, 6];
+    let inds = vec![0, 0, 0, 9_999, 7, 5, 17, 3, 2];
+    let vals = vec![1.0, 2.0, 3.0];
+    let csf = CsfTensor::from_coo(&CooTensor::from_entries(&sdims, inds, vals));
+    let plan = SparseMttkrpPlan::new(&pool, &csf, 2, 0);
+    assert_eq!(
+        plan.team(),
+        pool.num_threads(),
+        "uncalibrated sparse plans keep the full team"
+    );
+}
