@@ -10,7 +10,7 @@
 //! the scalar reference (BENCH tracking: per-tier kernel throughput).
 
 use mttkrp_bench::BenchGroup;
-use mttkrp_blas::kernels::{available_tiers, KernelSet, MicroTile, MR, NR};
+use mttkrp_blas::kernels::{available_tiers, KernelSet, MicroTile, MR, NR_MAX};
 use mttkrp_blas::{gemm_with, Layout, MatMut, MatRef};
 
 /// Vector length of the level-1 benches (L2-resident: 2 × 64 KiB).
@@ -83,12 +83,12 @@ fn main() {
             std::hint::black_box(acc[0]);
         });
 
-        // The raw register tile at full panel depth: 2·MR·NR·KC flops
-        // per invocation.
+        // The raw register tile at full panel depth: 2·MR·nr·KC flops
+        // per invocation (`nr` is the set's panel width).
         let a_panel = rand_vec(KC * MR, 7);
-        let b_panel = rand_vec(KC * NR, 8);
+        let b_panel = rand_vec(KC * ks.nr(), 8);
         group.bench("gemm_micro_kc256", || {
-            let mut tile: MicroTile = [[0.0; NR]; MR];
+            let mut tile: MicroTile<f64> = [[0.0; NR_MAX]; MR];
             for _ in 0..REPS * 4 {
                 (ks.gemm_micro)(KC, &a_panel, &b_panel, &mut tile);
             }

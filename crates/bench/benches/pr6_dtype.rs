@@ -1,0 +1,256 @@
+//! PR 6 trajectory record: MTTKRP throughput per {dtype, tier,
+//! algorithm, T}, CP-ALS sweep time per dtype, and the fused-agreement
+//! errors — written to `BENCH_pr6.json` at the repo root (see the
+//! "Benchmark trajectory" section of README.md for the schema).
+//!
+//! Throughput is reported **GB-effective**: bytes are counted as if
+//! every element were 8 bytes regardless of storage dtype, so an f32
+//! run that moves half the physical bytes in the same time shows up as
+//! 2× the effective rate — the apples-to-apples number the
+//! storage-precision tradeoff is about.
+//!
+//! Env knobs: `MTTKRP_BENCH_SMOKE=1` shrinks the fixture for CI smoke
+//! runs, `MTTKRP_BENCH_OUT` overrides the output path,
+//! `MTTKRP_BENCH_SAMPLES` the per-measurement sample count.
+
+use std::fmt::Write as _;
+
+use mttkrp_bench::{sample_min, MttkrpFixture, RANK};
+use mttkrp_blas::{kernels, Layout, MatRef, Scalar};
+use mttkrp_core::{mttkrp_1step, mttkrp_2step, mttkrp_fused, AlgoChoice, MttkrpPlan, TwoStepSide};
+use mttkrp_cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_parallel::ThreadPool;
+
+const SAMPLES: usize = 5;
+
+/// One measured MTTKRP configuration.
+struct MttkrpRow {
+    dtype: &'static str,
+    tier: &'static str,
+    algorithm: &'static str,
+    threads: usize,
+    mode: usize,
+    seconds: f64,
+    gb_effective_per_s: f64,
+}
+
+/// Max relative error of the fused pass against a reference algorithm,
+/// over all modes.
+struct AgreementRow {
+    dtype: &'static str,
+    baseline: &'static str,
+    max_rel_error: f64,
+    bound: f64,
+}
+
+struct CpAlsRow {
+    dtype: &'static str,
+    seconds_per_sweep: f64,
+    iters: usize,
+    final_fit: f64,
+}
+
+fn samples() -> usize {
+    std::env::var("MTTKRP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(SAMPLES)
+}
+
+/// Sweep one dtype: every mode × {1-step, 2-step (internal), fused} ×
+/// {1, host} threads, plus the agreement errors and a CP-ALS run.
+fn sweep<S: Scalar>(
+    fx64: &MttkrpFixture,
+    host: &ThreadPool,
+    rows: &mut Vec<MttkrpRow>,
+    agreement: &mut Vec<AgreementRow>,
+    cpals: &mut Vec<CpAlsRow>,
+    agreement_bound: f64,
+) {
+    let dims = fx64.dims.clone();
+    let nmodes = dims.len();
+    let x = fx64.x.cast::<S>();
+    let factors: Vec<Vec<S>> = fx64
+        .factors
+        .iter()
+        .map(|f| f.iter().map(|&v| S::from_f64(v)).collect())
+        .collect();
+    let refs: Vec<MatRef<S>> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, RANK, Layout::RowMajor))
+        .collect();
+    let dtype = S::DTYPE.name();
+    let tier = kernels::<S>().tier().name();
+    let n_samples = samples();
+    // Effective bytes: the tensor read once, normalized to 8-byte
+    // elements so dtypes are compared on the same scale.
+    let gb_eff = (x.len() as f64) * 8.0 / 1e9;
+
+    let pools: Vec<ThreadPool> = if host.num_threads() > 1 {
+        vec![ThreadPool::new(1), ThreadPool::new(host.num_threads())]
+    } else {
+        vec![ThreadPool::new(1)]
+    };
+    for pool in &pools {
+        let t = pool.num_threads();
+        for n in 0..nmodes {
+            let mut out = vec![S::ZERO; dims[n] * RANK];
+            let algos: &[(&str, AlgoChoice)] = &[
+                ("1step", AlgoChoice::OneStep),
+                ("2step", AlgoChoice::TwoStep(TwoStepSide::Auto)),
+                ("fused", AlgoChoice::Fused),
+            ];
+            for &(name, choice) in algos {
+                if name == "2step" && (n == 0 || n == nmodes - 1) {
+                    continue; // external modes have no 2-step split
+                }
+                let mut plan = MttkrpPlan::<S>::new(pool, &dims, RANK, n, choice);
+                let secs = sample_min(n_samples, || plan.execute(pool, &x, &refs, &mut out));
+                rows.push(MttkrpRow {
+                    dtype,
+                    tier,
+                    algorithm: name,
+                    threads: t,
+                    mode: n,
+                    seconds: secs,
+                    gb_effective_per_s: gb_eff / secs,
+                });
+            }
+        }
+    }
+
+    // Fused agreement against both references, max over modes.
+    let (mut err_one, mut err_two) = (0.0f64, 0.0f64);
+    for n in 0..nmodes {
+        let mut fused = vec![S::ZERO; dims[n] * RANK];
+        mttkrp_fused(host, &x, &refs, n, &mut fused);
+        let mut reference = vec![S::ZERO; dims[n] * RANK];
+        mttkrp_1step(host, &x, &refs, n, &mut reference);
+        err_one = err_one.max(max_rel(&fused, &reference));
+        if n > 0 && n < nmodes - 1 {
+            mttkrp_2step(host, &x, &refs, n, &mut reference);
+            err_two = err_two.max(max_rel(&fused, &reference));
+        }
+    }
+    agreement.push(AgreementRow {
+        dtype,
+        baseline: "1step",
+        max_rel_error: err_one,
+        bound: agreement_bound,
+    });
+    agreement.push(AgreementRow {
+        dtype,
+        baseline: "2step",
+        max_rel_error: err_two,
+        bound: agreement_bound,
+    });
+
+    // CP-ALS sweep time on the same tensor.
+    let iters = 4;
+    let init = KruskalModel::<f64>::random(&dims, RANK, 23).cast::<S>();
+    let opts = CpAlsOptions {
+        max_iters: iters,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
+    let t0 = std::time::Instant::now();
+    let (_, report) = cp_als(host, &x, init, &opts);
+    let dt = t0.elapsed().as_secs_f64();
+    cpals.push(CpAlsRow {
+        dtype,
+        seconds_per_sweep: dt / report.iters.max(1) as f64,
+        iters: report.iters,
+        final_fit: report.final_fit(),
+    });
+}
+
+fn max_rel<S: Scalar>(got: &[S], want: &[S]) -> f64 {
+    got.iter()
+        .zip(want)
+        .map(|(a, b)| {
+            let (a, b) = (a.to_f64(), b.to_f64());
+            (a - b).abs() / (1.0 + b.abs())
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Best (max over modes/algorithms) GB-effective rate at `threads` for
+/// one dtype.
+fn best_rate(rows: &[MttkrpRow], dtype: &str, threads: usize) -> f64 {
+    rows.iter()
+        .filter(|r| r.dtype == dtype && r.threads == threads)
+        .map(|r| r.gb_effective_per_s)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let smoke = std::env::var("MTTKRP_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let entries = if smoke { 60_000 } else { 2_000_000 };
+    let host = ThreadPool::host();
+    let fx = MttkrpFixture::equal(3, entries);
+
+    let mut rows = Vec::new();
+    let mut agreement = Vec::new();
+    let mut cpals = Vec::new();
+    sweep::<f64>(&fx, &host, &mut rows, &mut agreement, &mut cpals, 1e-12);
+    sweep::<f32>(&fx, &host, &mut rows, &mut agreement, &mut cpals, 1e-5);
+
+    let f64_t1 = best_rate(&rows, "f64", 1);
+    let f32_t1 = best_rate(&rows, "f32", 1);
+    let speedup = f32_t1 / f64_t1;
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"mttkrp-bench-v1\",");
+    let _ = writeln!(s, "  \"pr\": 6,");
+    let _ = writeln!(s, "  \"rank\": {RANK},");
+    let _ = writeln!(s, "  \"dims\": {:?},", fx.dims);
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"host_threads\": {},", host.num_threads());
+    let _ = writeln!(s, "  \"mttkrp\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"dtype\": \"{}\", \"tier\": \"{}\", \"algorithm\": \"{}\", \"threads\": {}, \"mode\": {}, \"seconds\": {:e}, \"gb_effective_per_s\": {:.4}}}{comma}",
+            r.dtype, r.tier, r.algorithm, r.threads, r.mode, r.seconds, r.gb_effective_per_s
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"cp_als\": [");
+    for (i, r) in cpals.iter().enumerate() {
+        let comma = if i + 1 < cpals.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"dtype\": \"{}\", \"seconds_per_sweep\": {:e}, \"iters\": {}, \"final_fit\": {:.9}}}{comma}",
+            r.dtype, r.seconds_per_sweep, r.iters, r.final_fit
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"fused_agreement\": [");
+    for (i, r) in agreement.iter().enumerate() {
+        let comma = if i + 1 < agreement.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"dtype\": \"{}\", \"baseline\": \"{}\", \"max_rel_error\": {:e}, \"bound\": {:e}, \"within_bound\": {}}}{comma}",
+            r.dtype, r.baseline, r.max_rel_error, r.bound, r.max_rel_error <= r.bound
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"acceptance\": {{");
+    let _ = writeln!(
+        s,
+        "    \"f32_best_gb_effective_t1\": {f32_t1:.4},\n    \"f64_best_gb_effective_t1\": {f64_t1:.4},\n    \"f32_over_f64_t1\": {speedup:.4},\n    \"f32_speedup_target\": 1.5,\n    \"f32_speedup_met\": {}",
+        speedup >= 1.5
+    );
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+
+    let out = std::env::var("MTTKRP_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr6.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &s).expect("write BENCH_pr6.json");
+    print!("{s}");
+    eprintln!("# wrote {out}");
+}

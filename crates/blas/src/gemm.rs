@@ -13,11 +13,12 @@
 
 use mttkrp_parallel::{block_range, ThreadPool};
 
-use crate::kernels::{kernels, KernelSet, MicroTile, MR, NR};
+use crate::kernels::{kernels, KernelSet, MicroTile, MR, NR_MAX};
 use crate::mat::{MatMut, MatRef};
+use crate::scalar::Scalar;
 
 /// K-dimension cache block (sized so an `MR × KC` strip of packed A and a
-/// `KC × NR` strip of packed B stay L1/L2-resident).
+/// `KC × nr` strip of packed B stay L1/L2-resident).
 const KC: usize = 256;
 /// M-dimension cache block (packed A panel is `MC × KC` ≈ 512 KiB / 4).
 const MC: usize = 64;
@@ -29,13 +30,20 @@ const NC: usize = 1024;
 ///
 /// # Panics
 /// Panics on dimension mismatch (`A: m×k`, `B: k×n`, `C: m×n`).
-pub fn gemm(alpha: f64, a: MatRef, b: MatRef, beta: f64, c: MatMut) {
-    gemm_with(kernels(), alpha, a, b, beta, c)
+pub fn gemm<S: Scalar>(alpha: f64, a: MatRef<S>, b: MatRef<S>, beta: f64, c: MatMut<S>) {
+    gemm_with(kernels::<S>(), alpha, a, b, beta, c)
 }
 
 /// [`gemm`] against an explicit [`KernelSet`] — what plan executors
 /// call so a tier forced at plan construction threads through.
-pub fn gemm_with(ks: &KernelSet, alpha: f64, a: MatRef, b: MatRef, beta: f64, mut c: MatMut) {
+pub fn gemm_with<S: Scalar>(
+    ks: &KernelSet<S>,
+    alpha: f64,
+    a: MatRef<S>,
+    b: MatRef<S>,
+    beta: f64,
+    mut c: MatMut<S>,
+) {
     let (m, k) = (a.nrows(), a.ncols());
     let n = b.ncols();
     assert_eq!(b.nrows(), k, "inner dimensions must agree");
@@ -56,29 +64,27 @@ pub fn gemm_with(ks: &KernelSet, alpha: f64, a: MatRef, b: MatRef, beta: f64, mu
         return;
     }
 
-    // Pack buffers are thread-local so repeated GEMM calls (one per
-    // tensor block) do not re-allocate or re-zero 2 MiB each time.
-    thread_local! {
-        static PACKS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
-            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
-    }
-    PACKS.with(|packs| {
-        let mut packs = packs.borrow_mut();
-        let (ref mut a_pack, ref mut b_pack) = *packs;
-        a_pack.resize(MC * KC, 0.0);
-        b_pack.resize(KC * NC, 0.0);
+    // Pack buffers are thread-local (one arena per element type) so
+    // repeated GEMM calls (one per tensor block) do not re-allocate or
+    // re-zero 2 MiB each time.
+    S::with_pack_buffers(|a_pack, b_pack| {
+        a_pack.resize(MC * KC, S::ZERO);
+        // The packed B block rounds `nc` up to the set's panel width,
+        // so size for one extra panel of padding past `NC`.
+        b_pack.resize(KC * (NC + NR_MAX), S::ZERO);
         gemm_blocked(ks, alpha, &a, &b, &mut c, a_pack, b_pack);
     });
 }
 
 /// Unpacked accumulation kernel for small problems:
 /// `C += α·A·B` (C already scaled by β).
-fn small_kernel(alpha: f64, a: &MatRef, b: &MatRef, c: &mut MatMut) {
+fn small_kernel<S: Scalar>(alpha: f64, a: &MatRef<S>, b: &MatRef<S>, c: &mut MatMut<S>) {
     let (m, k) = (a.nrows(), a.ncols());
     let n = b.ncols();
+    let alpha = S::from_f64(alpha);
     for i in 0..m {
         for j in 0..n {
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for p in 0..k {
                 s += unsafe { a.get_unchecked(i, p) * b.get_unchecked(p, j) };
             }
@@ -91,14 +97,14 @@ fn small_kernel(alpha: f64, a: &MatRef, b: &MatRef, c: &mut MatMut) {
 }
 
 /// The packed, blocked path of [`gemm`].
-fn gemm_blocked(
-    ks: &KernelSet,
+fn gemm_blocked<S: Scalar>(
+    ks: &KernelSet<S>,
     alpha: f64,
-    a: &MatRef,
-    b: &MatRef,
-    c: &mut MatMut,
-    a_pack: &mut [f64],
-    b_pack: &mut [f64],
+    a: &MatRef<S>,
+    b: &MatRef<S>,
+    c: &mut MatMut<S>,
+    a_pack: &mut [S],
+    b_pack: &mut [S],
 ) {
     let (m, k) = (a.nrows(), a.ncols());
     let n = b.ncols();
@@ -109,7 +115,7 @@ fn gemm_blocked(
         let mut pc = 0;
         while pc < k {
             let kc = usize::min(KC, k - pc);
-            pack_b(b_pack, b, pc, jc, kc, nc);
+            pack_b(b_pack, b, pc, jc, kc, nc, ks.nr());
             let mut ic = 0;
             while ic < m {
                 let mc = usize::min(MC, m - ic);
@@ -126,14 +132,15 @@ fn gemm_blocked(
 /// Scale `C` by `beta` in place per the BLAS convention (`beta == 0`
 /// overwrites, so NaNs in uninitialized output memory do not
 /// propagate). Shared with the SYRK entry points.
-pub(crate) fn scale_c(c: &mut MatMut, beta: f64) {
+pub(crate) fn scale_c<S: Scalar>(c: &mut MatMut<S>, beta: f64) {
     if beta == 1.0 {
         return;
     }
     if beta == 0.0 {
-        c.fill(0.0);
+        c.fill(S::ZERO);
         return;
     }
+    let beta = S::from_f64(beta);
     for i in 0..c.nrows() {
         for j in 0..c.ncols() {
             unsafe {
@@ -147,7 +154,7 @@ pub(crate) fn scale_c(c: &mut MatMut, beta: f64) {
 /// Pack an `mc × kc` panel of A starting at `(ic, pc)` into micro-panels
 /// of `MR` rows, column-major within each micro-panel
 /// (`a_pack[panel][p * MR + i]`). Rows past `mc` are zero-padded.
-fn pack_a(a_pack: &mut [f64], a: &MatRef, ic: usize, pc: usize, mc: usize, kc: usize) {
+fn pack_a<S: Scalar>(a_pack: &mut [S], a: &MatRef<S>, ic: usize, pc: usize, mc: usize, kc: usize) {
     let mut dst = 0;
     let mut ir = 0;
     while ir < mc {
@@ -157,7 +164,7 @@ fn pack_a(a_pack: &mut [f64], a: &MatRef, ic: usize, pc: usize, mc: usize, kc: u
                 a_pack[dst] = if i < mr {
                     unsafe { a.get_unchecked(ic + ir + i, pc + p) }
                 } else {
-                    0.0
+                    S::ZERO
                 };
                 dst += 1;
             }
@@ -167,54 +174,66 @@ fn pack_a(a_pack: &mut [f64], a: &MatRef, ic: usize, pc: usize, mc: usize, kc: u
 }
 
 /// Pack a `kc × nc` panel of B starting at `(pc, jc)` into micro-panels
-/// of `NR` columns, row-major within each micro-panel
-/// (`b_pack[panel][p * NR + j]`). Columns past `nc` are zero-padded.
-fn pack_b(b_pack: &mut [f64], b: &MatRef, pc: usize, jc: usize, kc: usize, nc: usize) {
+/// of `nr_panel` columns (the kernel set's [`KernelSet::nr`]),
+/// row-major within each micro-panel (`b_pack[panel][p * nr_panel + j]`).
+/// Columns past `nc` are zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_b<S: Scalar>(
+    b_pack: &mut [S],
+    b: &MatRef<S>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    nr_panel: usize,
+) {
     let mut dst = 0;
     let mut jr = 0;
     while jr < nc {
-        let nr = usize::min(NR, nc - jr);
+        let nr = usize::min(nr_panel, nc - jr);
         for p in 0..kc {
-            for j in 0..NR {
+            for j in 0..nr_panel {
                 b_pack[dst] = if j < nr {
                     unsafe { b.get_unchecked(pc + p, jc + jr + j) }
                 } else {
-                    0.0
+                    S::ZERO
                 };
                 dst += 1;
             }
         }
-        jr += NR;
+        jr += nr_panel;
     }
 }
 
 /// Multiply one packed `mc × kc` A panel by one packed `kc × nc` B panel,
 /// accumulating `α · (panel product)` into `C[ic.., jc..]`.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
-    ks: &KernelSet,
+fn macro_kernel<S: Scalar>(
+    ks: &KernelSet<S>,
     alpha: f64,
-    a_pack: &[f64],
-    b_pack: &[f64],
-    c: &mut MatMut,
+    a_pack: &[S],
+    b_pack: &[S],
+    c: &mut MatMut<S>,
     ic: usize,
     jc: usize,
     mc: usize,
     nc: usize,
     kc: usize,
 ) {
+    let alpha = S::from_f64(alpha);
+    let nr_panel = ks.nr();
     let mut jr = 0;
     while jr < nc {
-        let nr = usize::min(NR, nc - jr);
-        let b_panel = &b_pack[(jr / NR) * (kc * NR)..][..kc * NR];
+        let nr = usize::min(nr_panel, nc - jr);
+        let b_panel = &b_pack[(jr / nr_panel) * (kc * nr_panel)..][..kc * nr_panel];
         let mut ir = 0;
         while ir < mc {
             let mr = usize::min(MR, mc - ir);
             let a_panel = &a_pack[(ir / MR) * (kc * MR)..][..kc * MR];
             // Register-tiled rank-`kc` update: the dispatched microkernel
             // (explicit FMA tile on SIMD tiers) accumulates into a fresh
-            // `MR × NR` stack tile.
-            let mut acc: MicroTile = [[0.0; NR]; MR];
+            // `MR × nr` stack tile.
+            let mut acc: MicroTile<S> = [[S::ZERO; NR_MAX]; MR];
             (ks.gemm_micro)(kc, a_panel, b_panel, &mut acc);
             // Write back the valid `mr × nr` corner of the register tile.
             for i in 0..mr {
@@ -227,26 +246,33 @@ fn macro_kernel(
             }
             ir += MR;
         }
-        jr += NR;
+        jr += nr_panel;
     }
 }
 
 /// Parallel `C ← α·A·B + β·C`: the larger output dimension is statically
 /// partitioned into one contiguous block per pool thread, each of which
 /// runs the sequential [`gemm`] on its disjoint slice of `C`.
-pub fn par_gemm(pool: &ThreadPool, alpha: f64, a: MatRef, b: MatRef, beta: f64, c: MatMut) {
-    par_gemm_with(kernels(), pool, alpha, a, b, beta, c)
+pub fn par_gemm<S: Scalar>(
+    pool: &ThreadPool,
+    alpha: f64,
+    a: MatRef<S>,
+    b: MatRef<S>,
+    beta: f64,
+    c: MatMut<S>,
+) {
+    par_gemm_with(kernels::<S>(), pool, alpha, a, b, beta, c)
 }
 
 /// [`par_gemm`] against an explicit [`KernelSet`].
-pub fn par_gemm_with(
-    ks: &KernelSet,
+pub fn par_gemm_with<S: Scalar>(
+    ks: &KernelSet<S>,
     pool: &ThreadPool,
     alpha: f64,
-    a: MatRef,
-    b: MatRef,
+    a: MatRef<S>,
+    b: MatRef<S>,
     beta: f64,
-    c: MatMut,
+    c: MatMut<S>,
 ) {
     let t = pool.num_threads();
     let (m, n) = (c.nrows(), c.ncols());
@@ -259,7 +285,7 @@ pub fn par_gemm_with(
     let nsplit = usize::min(t, if split_cols { n } else { m });
 
     // Carve C into per-thread disjoint blocks ahead of the region.
-    let mut blocks: Vec<Option<MatMut>> = Vec::with_capacity(t);
+    let mut blocks: Vec<Option<MatMut<S>>> = Vec::with_capacity(t);
     let mut rest = c;
     for tid in 0..t {
         if tid >= nsplit {
@@ -278,7 +304,7 @@ pub fn par_gemm_with(
         }
     }
 
-    let mut items: Vec<Option<MatMut>> = blocks;
+    let mut items: Vec<Option<MatMut<S>>> = blocks;
     pool.run_with_private(
         |tid| items[tid].take(),
         |ctx, item| {

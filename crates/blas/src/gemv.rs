@@ -9,48 +9,58 @@ use mttkrp_parallel::ThreadPool;
 
 use crate::level1::{axpy, dot, scale};
 use crate::mat::MatRef;
+use crate::scalar::Scalar;
 
 /// `y ← α·A·x + β·y` for an arbitrarily strided `A` (m × n).
 ///
 /// Row-contiguous views (`col_stride == 1`) use per-row dot products;
 /// column-contiguous views (`row_stride == 1`) use per-column AXPYs;
 /// other stride combinations fall back to a strided double loop.
-pub fn gemv(alpha: f64, a: MatRef, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv<S: Scalar>(alpha: f64, a: MatRef<S>, x: &[S], beta: f64, y: &mut [S]) {
     let (m, n) = (a.nrows(), a.ncols());
     assert_eq!(x.len(), n, "x length must equal ncols");
     assert_eq!(y.len(), m, "y length must equal nrows");
 
     if beta == 0.0 {
-        y.fill(0.0);
+        y.fill(S::ZERO);
     } else if beta != 1.0 {
-        scale(beta, y);
+        scale(S::from_f64(beta), y);
     }
     if alpha == 0.0 || m == 0 || n == 0 {
         return;
     }
 
+    let alpha_s = S::from_f64(alpha);
     if a.col_stride() == 1 {
+        // The dispatched dot accumulates in f64; narrow once per entry.
         for i in 0..m {
-            y[i] += alpha * dot(a.row_slice(i), x);
+            y[i] += S::from_f64(alpha * dot(a.row_slice(i), x));
         }
     } else if a.row_stride() == 1 {
         for j in 0..n {
-            axpy(alpha * x[j], a.col_slice(j), y);
+            axpy(alpha_s * x[j], a.col_slice(j), y);
         }
     } else {
         for i in 0..m {
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for j in 0..n {
                 s += unsafe { a.get_unchecked(i, j) } * x[j];
             }
-            y[i] += alpha * s;
+            y[i] += alpha_s * s;
         }
     }
 }
 
 /// Parallel GEMV: rows of `A` (and the matching entries of `y`) are
 /// statically partitioned across the pool.
-pub fn par_gemv(pool: &ThreadPool, alpha: f64, a: MatRef, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn par_gemv<S: Scalar>(
+    pool: &ThreadPool,
+    alpha: f64,
+    a: MatRef<S>,
+    x: &[S],
+    beta: f64,
+    y: &mut [S],
+) {
     let m = a.nrows();
     assert_eq!(y.len(), m, "y length must equal nrows");
     if pool.num_threads() == 1 || m < 2 * pool.num_threads() {

@@ -7,20 +7,23 @@
 //! AArch64 core, but checked anyway so the dispatch contract is
 //! uniform across architectures).
 //!
-//! NEON is 128-bit (`float64x2_t`, two lanes of `f64`), so loops step
-//! by 2 with fused multiply-add via `vfmaq_f64`.
+//! NEON is 128-bit: two lanes of `f64` (`float64x2_t`, `vfmaq_f64`) or
+//! four lanes of `f32` (`float32x4_t`, `vfmaq_f32`). The `f32`
+//! reductions widen pairs via `vcvt_f64_f32` so `dot` and the SYRK
+//! rank-1 update accumulate in `f64`.
 
 #![allow(unsafe_op_in_unsafe_fn)]
 
 use core::arch::aarch64::*;
 
-use super::{KernelSet, KernelTier, MicroTile, MR, NR};
+use super::{KernelSet, KernelTier, MicroTile, MR, NR, NR_MAX};
 
 /// The NEON set. Caller contract: only hand this out after
 /// `KernelTier::Neon.supported()` returned true.
-pub(super) fn neon_set() -> KernelSet {
+pub(crate) fn neon_set_f64() -> KernelSet<f64> {
     KernelSet {
         tier: KernelTier::Neon,
+        nr: NR,
         dot: dot_neon,
         axpy: axpy_neon,
         hadamard: hadamard_neon,
@@ -169,7 +172,7 @@ unsafe fn syrk_rank1_lower_neon_impl(row: &[f64], acc: &mut [f64]) {
     }
 }
 
-fn gemm_micro_neon(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+fn gemm_micro_neon(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile<f64>) {
     debug_assert!(a_panel.len() >= kc * MR);
     debug_assert!(b_panel.len() >= kc * NR);
     unsafe { gemm_micro_neon_impl(kc, a_panel, b_panel, acc) }
@@ -178,12 +181,17 @@ fn gemm_micro_neon(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroT
 /// 4×8 register tile as 4 rows × 4 two-lane vectors: 16 accumulators,
 /// 4 B loads and 4 A broadcasts per rank-1 step — 24 of 32 NEON regs.
 #[target_feature(enable = "neon")]
-unsafe fn gemm_micro_neon_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+unsafe fn gemm_micro_neon_impl(
+    kc: usize,
+    a_panel: &[f64],
+    b_panel: &[f64],
+    acc: &mut MicroTile<f64>,
+) {
     let cp = acc.as_mut_ptr() as *mut f64;
     let mut c: [[float64x2_t; 4]; MR] = [[vdupq_n_f64(0.0); 4]; MR];
     for (i, row) in c.iter_mut().enumerate() {
         for (j, v) in row.iter_mut().enumerate() {
-            *v = vld1q_f64(cp.add(i * NR + j * 2));
+            *v = vld1q_f64(cp.add(i * NR_MAX + j * 2));
         }
     }
     let ap = a_panel.as_ptr();
@@ -204,7 +212,243 @@ unsafe fn gemm_micro_neon_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc:
     }
     for (i, row) in c.iter().enumerate() {
         for (j, v) in row.iter().enumerate() {
-            vst1q_f64(cp.add(i * NR + j * 2), *v);
+            vst1q_f64(cp.add(i * NR_MAX + j * 2), *v);
+        }
+    }
+}
+
+// ------------------------------------------------------------ NEON (f32)
+
+/// The NEON `f32` set (4 lanes). Same caller contract as
+/// [`neon_set_f64`].
+pub(crate) fn neon_set_f32() -> KernelSet<f32> {
+    KernelSet {
+        tier: KernelTier::Neon,
+        nr: NR,
+        dot: dot_neon_f32,
+        axpy: axpy_neon_f32,
+        hadamard: hadamard_neon_f32,
+        hadamard_assign: hadamard_assign_neon_f32,
+        mul_add: mul_add_neon_f32,
+        syrk_rank1_lower: syrk_rank1_lower_neon_f32,
+        gemm_micro: gemm_micro_neon_f32,
+    }
+}
+
+fn dot_neon_f32(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { dot_neon_f32_impl(x, y) }
+}
+
+/// `f32` dot with in-register widening: each 4-lane load splits into
+/// two `float64x2_t` halves (`vcvt_f64_f32`) before the FMA, so the
+/// accumulation is pure `f64`.
+#[target_feature(enable = "neon")]
+unsafe fn dot_neon_f32_impl(x: &[f32], y: &[f32]) -> f64 {
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = vdupq_n_f64(0.0);
+    let mut acc1 = vdupq_n_f64(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = vld1q_f32(xp.add(i));
+        let yv = vld1q_f32(yp.add(i));
+        acc0 = vfmaq_f64(
+            acc0,
+            vcvt_f64_f32(vget_low_f32(xv)),
+            vcvt_f64_f32(vget_low_f32(yv)),
+        );
+        acc1 = vfmaq_f64(
+            acc1,
+            vcvt_f64_f32(vget_high_f32(xv)),
+            vcvt_f64_f32(vget_high_f32(yv)),
+        );
+        i += 4;
+    }
+    let mut s = vaddvq_f64(vaddq_f64(acc0, acc1));
+    while i < n {
+        s += x[i] as f64 * y[i] as f64;
+        i += 1;
+    }
+    s
+}
+
+fn axpy_neon_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { axpy_neon_f32_impl(alpha, x, y) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon_f32_impl(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let va = vdupq_n_f32(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = vfmaq_f32(vld1q_f32(yp.add(i)), va, vld1q_f32(xp.add(i)));
+        vst1q_f32(yp.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        y[i] = alpha.mul_add(x[i], y[i]);
+        i += 1;
+    }
+}
+
+fn hadamard_neon_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { hadamard_neon_f32_impl(a, b, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn hadamard_neon_f32_impl(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        vst1q_f32(
+            op.add(i),
+            vmulq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i))),
+        );
+        i += 4;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+fn hadamard_assign_neon_f32(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { hadamard_assign_neon_f32_impl(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn hadamard_assign_neon_f32_impl(a: &mut [f32], b: &[f32]) {
+    let n = a.len();
+    let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        vst1q_f32(
+            ap.add(i),
+            vmulq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i))),
+        );
+        i += 4;
+    }
+    while i < n {
+        a[i] *= b[i];
+        i += 1;
+    }
+}
+
+fn mul_add_neon_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { mul_add_neon_f32_impl(a, b, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn mul_add_neon_f32_impl(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = vfmaq_f32(
+            vld1q_f32(op.add(i)),
+            vld1q_f32(ap.add(i)),
+            vld1q_f32(bp.add(i)),
+        );
+        vst1q_f32(op.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        out[i] = a[i].mul_add(b[i], out[i]);
+        i += 1;
+    }
+}
+
+/// `y[i] += α·x[i]` with `f32` input and `f64` output, widening four
+/// lanes at a time.
+#[target_feature(enable = "neon")]
+unsafe fn axpy_wide_neon_impl(alpha: f64, x: &[f32], y: &mut [f64]) {
+    let n = x.len();
+    let va = vdupq_n_f64(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = vld1q_f32(xp.add(i));
+        let r0 = vfmaq_f64(vld1q_f64(yp.add(i)), va, vcvt_f64_f32(vget_low_f32(xv)));
+        let r1 = vfmaq_f64(
+            vld1q_f64(yp.add(i + 2)),
+            va,
+            vcvt_f64_f32(vget_high_f32(xv)),
+        );
+        vst1q_f64(yp.add(i), r0);
+        vst1q_f64(yp.add(i + 2), r1);
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i] as f64;
+        i += 1;
+    }
+}
+
+fn syrk_rank1_lower_neon_f32(row: &[f32], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    unsafe { syrk_rank1_lower_neon_f32_impl(row, acc) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn syrk_rank1_lower_neon_f32_impl(row: &[f32], acc: &mut [f64]) {
+    let n = row.len();
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        axpy_wide_neon_impl(rp as f64, &row[..p + 1], &mut acc[p * n..p * n + p + 1]);
+    }
+}
+
+fn gemm_micro_neon_f32(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut MicroTile<f32>) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    unsafe { gemm_micro_neon_f32_impl(kc, a_panel, b_panel, acc) }
+}
+
+/// 4×8 `f32` register tile as 4 rows × 2 four-lane vectors: 8
+/// accumulators, 2 B loads and 4 A broadcasts per rank-1 step — half
+/// the vector ops of the `f64` twin for the same tile.
+#[target_feature(enable = "neon")]
+unsafe fn gemm_micro_neon_f32_impl(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut MicroTile<f32>,
+) {
+    let cp = acc.as_mut_ptr() as *mut f32;
+    let mut c: [[float32x4_t; 2]; MR] = [[vdupq_n_f32(0.0); 2]; MR];
+    for (i, row) in c.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = vld1q_f32(cp.add(i * NR_MAX + j * 4));
+        }
+    }
+    let ap = a_panel.as_ptr();
+    let bp = b_panel.as_ptr();
+    for p in 0..kc {
+        let b = [vld1q_f32(bp.add(p * NR)), vld1q_f32(bp.add(p * NR + 4))];
+        for (i, row) in c.iter_mut().enumerate() {
+            let a = vdupq_n_f32(*ap.add(p * MR + i));
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = vfmaq_f32(*v, a, b[j]);
+            }
+        }
+    }
+    for (i, row) in c.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            vst1q_f32(cp.add(i * NR_MAX + j * 4), *v);
         }
     }
 }

@@ -11,21 +11,27 @@
 //! Each primitive has a shared scalar reference implementation
 //! ([`scalar`]) and, where the target supports it, explicit-SIMD
 //! variants: AVX2+FMA and AVX-512F on `x86_64`, NEON on `aarch64`.
+//! Every kernel exists for both element types ([`crate::Scalar`]): the
+//! `f32` SIMD variants run **twice the lanes** of their `f64` twins
+//! (AVX2 8 vs 4, AVX-512 16 vs 8, NEON 4 vs 2), while the reductions —
+//! `dot` and the SYRK rank-1 update — always accumulate in `f64`.
+//!
 //! CPU capability is detected **once** (via
 //! `is_x86_feature_detected!`-style runtime checks) and resolved into a
 //! [`KernelSet`] — a plain struct of function pointers — so hot loops
 //! pay one indirect call per kernel invocation and zero per-call
 //! feature checks.
 //!
-//! The process-wide default set is [`kernels()`]. It honours the
-//! `MTTKRP_KERNEL` environment variable (`auto`, `scalar`, `avx2`,
-//! `avx512`, `neon`) so CI can force the portable fallback, and
-//! [`force_tier`] lets a harness pin the tier programmatically before
-//! first use (the `--kernel` flag). Plans capture a `KernelSet` at
+//! The process-wide default set is [`kernels()`] (one per element
+//! type). It honours the `MTTKRP_KERNEL` environment variable (`auto`,
+//! `scalar`, `avx2`, `avx512`, `neon`) so CI can force the portable
+//! fallback, and [`force_tier`] lets a harness pin the tier
+//! programmatically before first use (the `--kernel` flag; it pins
+//! **both** element types). Plans capture a `KernelSet` at
 //! construction, so a forced tier threads through `MttkrpPlan` /
 //! `SparseMttkrpPlan` executions built afterwards.
 
-use std::sync::OnceLock;
+use crate::scalar::Scalar;
 
 pub mod scalar;
 
@@ -36,11 +42,19 @@ pub mod x86_64;
 
 /// Microkernel tile height (rows of C per register tile).
 pub const MR: usize = 4;
-/// Microkernel tile width (columns of C per register tile).
+/// Base microkernel tile width (columns of C per register tile) — the
+/// B-panel width of the `f64` and scalar kernels. Individual sets may
+/// use a wider panel (see [`KernelSet::nr`]), up to [`NR_MAX`].
 pub const NR: usize = 8;
+/// Upper bound on [`KernelSet::nr`] across every set: the `f32` SIMD
+/// kernels run 16-column tiles (a full zmm / two ymm per C row), and
+/// [`MicroTile`] rows are sized for the widest case.
+pub const NR_MAX: usize = 16;
 
-/// The `MR × NR` register-tile accumulator of the GEMM microkernel.
-pub type MicroTile = [[f64; NR]; MR];
+/// The register-tile accumulator of the GEMM microkernel. Rows are
+/// [`NR_MAX`] wide; a kernel whose panel width [`KernelSet::nr`] is
+/// narrower only reads and writes the first `nr` columns of each row.
+pub type MicroTile<S> = [[S; NR_MAX]; MR];
 
 /// A dispatchable kernel tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +113,18 @@ impl KernelTier {
             KernelTier::Neon => false,
         }
     }
+
+    /// SIMD lane count of this tier's kernels for an element of
+    /// `size_bytes` (8 for `f64`, 4 for `f32`); 1 for the scalar tier.
+    pub fn lanes_for(self, size_bytes: usize) -> usize {
+        let vector_bytes = match self {
+            KernelTier::Scalar => return 1,
+            KernelTier::Avx2 => 32,
+            KernelTier::Avx512 => 64,
+            KernelTier::Neon => 16,
+        };
+        vector_bytes / size_bytes
+    }
 }
 
 impl std::fmt::Display for KernelTier {
@@ -112,82 +138,92 @@ impl std::fmt::Display for KernelTier {
 /// Sets for SIMD tiers are only constructible when
 /// [`KernelTier::supported`] holds (enforced by [`KernelSet::for_tier`]),
 /// which is what makes calling their pointers sound.
+///
+/// The element type `S` defaults to `f64`; the two reductions (`dot`,
+/// `syrk_rank1_lower`) accumulate in `f64` for every `S`.
 #[derive(Clone, Copy)]
-pub struct KernelSet {
+pub struct KernelSet<S: Scalar = f64> {
     tier: KernelTier,
-    /// Dot product `Σ x[i]·y[i]` (equal lengths).
-    pub dot: fn(&[f64], &[f64]) -> f64,
+    /// B-panel width of `gemm_micro` (columns of C per register tile).
+    nr: usize,
+    /// Dot product `Σ x[i]·y[i]` (equal lengths), accumulated in `f64`.
+    pub dot: fn(&[S], &[S]) -> f64,
     /// `y[i] += α·x[i]` (equal lengths).
-    pub axpy: fn(f64, &[f64], &mut [f64]),
+    pub axpy: fn(S, &[S], &mut [S]),
     /// `out[i] = a[i]·b[i]` (equal lengths).
-    pub hadamard: fn(&[f64], &[f64], &mut [f64]),
+    pub hadamard: fn(&[S], &[S], &mut [S]),
     /// `a[i] *= b[i]` (equal lengths).
-    pub hadamard_assign: fn(&mut [f64], &[f64]),
+    pub hadamard_assign: fn(&mut [S], &[S]),
     /// `out[i] += a[i]·b[i]` (equal lengths) — the CSF internal-node
-    /// accumulate.
-    pub mul_add: fn(&[f64], &[f64], &mut [f64]),
-    /// Rank-1 lower-triangle SYRK row update: for `n = row.len()`,
+    /// accumulate and the fused MTTKRP's row combine.
+    pub mul_add: fn(&[S], &[S], &mut [S]),
+    /// Rank-1 lower-triangle SYRK row update into an **f64**
+    /// accumulator: for `n = row.len()`,
     /// `acc[p·n .. p·n+p+1] += row[p] · row[0..=p]` for every `p`
     /// (`acc.len() == n·n`; only the lower-triangle prefixes are
     /// touched).
-    pub syrk_rank1_lower: fn(&[f64], &mut [f64]),
-    /// Register-tiled `MR × NR` rank-`kc` GEMM microkernel on packed
-    /// panels: `acc[i][j] += Σ_p a_panel[p·MR+i] · b_panel[p·NR+j]`
-    /// (`a_panel.len() >= kc·MR`, `b_panel.len() >= kc·NR`).
-    pub gemm_micro: fn(usize, &[f64], &[f64], &mut MicroTile),
+    pub syrk_rank1_lower: fn(&[S], &mut [f64]),
+    /// Register-tiled `MR × nr` rank-`kc` GEMM microkernel on packed
+    /// panels: `acc[i][j] += Σ_p a_panel[p·MR+i] · b_panel[p·nr+j]`
+    /// for `j < nr` (`a_panel.len() >= kc·MR`,
+    /// `b_panel.len() >= kc·nr`, with `nr = self.nr()`). Accumulates
+    /// natively in `S` — this is where the doubled `f32` lane count
+    /// pays off: the `f32` SIMD sets run 16-column tiles
+    /// (`nr == NR_MAX`) against the `f64` sets' 8.
+    pub gemm_micro: fn(usize, &[S], &[S], &mut MicroTile<S>),
 }
 
-impl std::fmt::Debug for KernelSet {
+impl<S: Scalar> std::fmt::Debug for KernelSet<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KernelSet")
             .field("tier", &self.tier)
+            .field("dtype", &S::DTYPE)
             .finish()
     }
 }
 
-impl KernelSet {
+impl<S: Scalar> KernelSet<S> {
     /// The tier this set dispatches to.
     #[inline]
     pub fn tier(&self) -> KernelTier {
         self.tier
     }
 
+    /// The B-panel width of this set's `gemm_micro` (columns of C per
+    /// register tile). Always a divisor of [`NR_MAX`]; the GEMM driver
+    /// packs B and steps its column loop at this width.
+    #[inline]
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
     /// The portable reference set (always available).
-    pub fn scalar() -> KernelSet {
+    pub fn scalar() -> KernelSet<S> {
         KernelSet {
             tier: KernelTier::Scalar,
-            dot: scalar::dot,
-            axpy: scalar::axpy,
-            hadamard: scalar::hadamard,
-            hadamard_assign: scalar::hadamard_assign,
-            mul_add: scalar::mul_add,
-            syrk_rank1_lower: scalar::syrk_rank1_lower,
-            gemm_micro: scalar::gemm_micro,
+            nr: NR,
+            dot: scalar::dot::<S>,
+            axpy: scalar::axpy::<S>,
+            hadamard: scalar::hadamard::<S>,
+            hadamard_assign: scalar::hadamard_assign::<S>,
+            mul_add: scalar::mul_add::<S>,
+            syrk_rank1_lower: scalar::syrk_rank1_lower::<S>,
+            gemm_micro: scalar::gemm_micro::<S>,
         }
     }
 
     /// The set for `tier`, or `None` when the running CPU (or compile
     /// target) does not support it.
-    pub fn for_tier(tier: KernelTier) -> Option<KernelSet> {
+    pub fn for_tier(tier: KernelTier) -> Option<KernelSet<S>> {
         if !tier.supported() {
             return None;
         }
-        match tier {
-            KernelTier::Scalar => Some(KernelSet::scalar()),
-            #[cfg(target_arch = "x86_64")]
-            KernelTier::Avx2 => Some(x86_64::avx2_set()),
-            #[cfg(target_arch = "x86_64")]
-            KernelTier::Avx512 => Some(x86_64::avx512_set()),
-            #[cfg(target_arch = "aarch64")]
-            KernelTier::Neon => Some(aarch64::neon_set()),
-            #[allow(unreachable_patterns)]
-            _ => None,
-        }
+        S::simd_set(tier)
     }
 
     /// The best set the running CPU supports
     /// (AVX-512 > AVX2 > NEON > scalar).
-    pub fn detect() -> KernelSet {
+    pub fn detect() -> KernelSet<S> {
         for tier in [KernelTier::Avx512, KernelTier::Avx2, KernelTier::Neon] {
             if let Some(set) = KernelSet::for_tier(tier) {
                 return set;
@@ -210,18 +246,18 @@ pub fn available_tiers() -> Vec<KernelTier> {
     tiers
 }
 
-static GLOBAL: OnceLock<KernelSet> = OnceLock::new();
-
-/// The process-wide kernel set, resolved once on first use:
-/// `MTTKRP_KERNEL` (if set and not `auto`) pins the tier, otherwise the
-/// best supported tier is detected.
+/// The process-wide kernel set for element type `S`, resolved once on
+/// first use: `MTTKRP_KERNEL` (if set and not `auto`) pins the tier,
+/// otherwise the best supported tier is detected. The two element
+/// types resolve independently but follow the same policy, so they land
+/// on the same tier unless [`force_tier`] raced a resolution.
 ///
 /// # Panics
 /// Panics if `MTTKRP_KERNEL` names an unknown tier or one the running
 /// CPU does not support — a forced tier silently falling back would
 /// defeat its point (CI forcing `scalar` must actually test scalar).
-pub fn kernels() -> &'static KernelSet {
-    GLOBAL.get_or_init(|| match std::env::var("MTTKRP_KERNEL") {
+pub fn kernels<S: Scalar>() -> &'static KernelSet<S> {
+    S::global_kernel_cell().get_or_init(|| match std::env::var("MTTKRP_KERNEL") {
         Ok(name) => match KernelTier::parse(&name) {
             Ok(None) => KernelSet::detect(),
             Ok(Some(tier)) => KernelSet::for_tier(tier)
@@ -232,21 +268,26 @@ pub fn kernels() -> &'static KernelSet {
     })
 }
 
-/// Pin the process-wide tier before first use (the harness `--kernel`
-/// flag). Returns an error if the tier is unsupported on this CPU, or
-/// if the global set was already resolved to a *different* tier.
+/// Pin the process-wide tier for **both** element types before first
+/// use (the harness `--kernel` flag). Returns the pinned `f64` set; an
+/// error if the tier is unsupported on this CPU, or if either global
+/// set was already resolved to a *different* tier.
 pub fn force_tier(tier: KernelTier) -> Result<&'static KernelSet, String> {
-    let set = KernelSet::for_tier(tier)
-        .ok_or_else(|| format!("kernel tier {tier} is not supported on this CPU"))?;
-    let got = GLOBAL.get_or_init(|| set);
-    if got.tier() == tier {
-        Ok(got)
-    } else {
-        Err(format!(
-            "kernel tier already resolved to {} (force_tier({tier}) came too late)",
-            got.tier()
-        ))
+    fn pin<S: Scalar>(tier: KernelTier) -> Result<&'static KernelSet<S>, String> {
+        let set = KernelSet::<S>::for_tier(tier)
+            .ok_or_else(|| format!("kernel tier {tier} is not supported on this CPU"))?;
+        let got = S::global_kernel_cell().get_or_init(|| set);
+        if got.tier() == tier {
+            Ok(got)
+        } else {
+            Err(format!(
+                "kernel tier already resolved to {} (force_tier({tier}) came too late)",
+                got.tier()
+            ))
+        }
     }
+    pin::<f32>(tier)?;
+    pin::<f64>(tier)
 }
 
 #[cfg(test)]
@@ -256,9 +297,12 @@ mod tests {
     #[test]
     fn scalar_is_always_available() {
         assert!(KernelTier::Scalar.supported());
-        assert_eq!(KernelSet::scalar().tier(), KernelTier::Scalar);
+        assert_eq!(KernelSet::<f64>::scalar().tier(), KernelTier::Scalar);
+        assert_eq!(KernelSet::<f32>::scalar().tier(), KernelTier::Scalar);
         assert_eq!(
-            KernelSet::for_tier(KernelTier::Scalar).unwrap().tier(),
+            KernelSet::<f64>::for_tier(KernelTier::Scalar)
+                .unwrap()
+                .tier(),
             KernelTier::Scalar
         );
     }
@@ -268,8 +312,10 @@ mod tests {
         let tiers = available_tiers();
         assert_eq!(*tiers.last().unwrap(), KernelTier::Scalar);
         for tier in tiers {
-            let set = KernelSet::for_tier(tier).expect("listed tier must resolve");
+            let set = KernelSet::<f64>::for_tier(tier).expect("listed tier must resolve");
             assert_eq!(set.tier(), tier);
+            let set32 = KernelSet::<f32>::for_tier(tier).expect("listed tier must resolve (f32)");
+            assert_eq!(set32.tier(), tier);
         }
     }
 
@@ -290,9 +336,35 @@ mod tests {
     #[test]
     fn detect_matches_global_default_tier() {
         // The global may have been pinned by the environment; absent
-        // that, it must agree with fresh detection.
+        // that, it must agree with fresh detection, for both types.
         if std::env::var("MTTKRP_KERNEL").is_err() {
-            assert_eq!(kernels().tier(), KernelSet::detect().tier());
+            assert_eq!(kernels::<f64>().tier(), KernelSet::<f64>::detect().tier());
+            assert_eq!(kernels::<f32>().tier(), KernelSet::<f32>::detect().tier());
         }
+    }
+
+    #[test]
+    fn every_set_panel_width_divides_nr_max() {
+        for tier in available_tiers() {
+            let k64 = KernelSet::<f64>::for_tier(tier).unwrap();
+            let k32 = KernelSet::<f32>::for_tier(tier).unwrap();
+            for nr in [k64.nr(), k32.nr()] {
+                assert!(
+                    nr > 0 && nr <= NR_MAX && NR_MAX.is_multiple_of(nr),
+                    "{tier}: nr={nr}"
+                );
+            }
+            // f32 tiles are never narrower than the f64 twin's.
+            assert!(k32.nr() >= k64.nr(), "{tier}");
+        }
+    }
+
+    #[test]
+    fn f32_tiers_double_the_f64_lanes() {
+        for tier in [KernelTier::Avx2, KernelTier::Avx512, KernelTier::Neon] {
+            assert_eq!(tier.lanes_for(4), 2 * tier.lanes_for(8), "{tier}");
+        }
+        assert_eq!(KernelTier::Scalar.lanes_for(4), 1);
+        assert_eq!(KernelTier::Avx512.lanes_for(4), 16);
     }
 }

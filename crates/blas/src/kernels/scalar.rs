@@ -3,15 +3,19 @@
 //!
 //! These are plain Rust loops written so LLVM's autovectorizer does
 //! well on them (independent partial sums, fixed-width inner blocks);
-//! they are also the fallback tier on CPUs without AVX2/NEON.
+//! they are also the fallback tier on CPUs without AVX2/NEON. Every
+//! kernel is generic over the element type [`Scalar`]; the reductions
+//! (`dot`, `syrk_rank1_lower`) accumulate in `f64` regardless of the
+//! storage type, matching the SIMD tiers' mixed-precision contract.
 
 use super::{MicroTile, MR, NR};
+use crate::scalar::Scalar;
 
-/// Dot product `Σ x[i]·y[i]`.
+/// Dot product `Σ x[i]·y[i]`, accumulated in `f64`.
 ///
 /// Accumulates in four independent partial sums so the loop vectorizes
 /// and the rounding behaviour is deterministic for a given length.
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
     let mut acc = [0.0f64; 4];
     let chunks = x.len() / 4;
@@ -19,18 +23,18 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
         let xb = &x[c * 4..c * 4 + 4];
         let yb = &y[c * 4..c * 4 + 4];
         for l in 0..4 {
-            acc[l] += xb[l] * yb[l];
+            acc[l] += xb[l].to_f64() * yb[l].to_f64();
         }
     }
     let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
     for i in chunks * 4..x.len() {
-        s += x[i] * y[i];
+        s += x[i].to_f64() * y[i].to_f64();
     }
     s
 }
 
 /// `y[i] += α·x[i]`.
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
@@ -38,7 +42,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 }
 
 /// `out[i] = a[i]·b[i]`.
-pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+pub fn hadamard<S: Scalar>(a: &[S], b: &[S], out: &mut [S]) {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(a.len(), out.len());
     for i in 0..out.len() {
@@ -47,7 +51,7 @@ pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
 }
 
 /// `a[i] *= b[i]`.
-pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
+pub fn hadamard_assign<S: Scalar>(a: &mut [S], b: &[S]) {
     debug_assert_eq!(a.len(), b.len());
     for (ai, &bi) in a.iter_mut().zip(b.iter()) {
         *ai *= bi;
@@ -55,7 +59,7 @@ pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
 }
 
 /// `out[i] += a[i]·b[i]`.
-pub fn mul_add(a: &[f64], b: &[f64], out: &mut [f64]) {
+pub fn mul_add<S: Scalar>(a: &[S], b: &[S], out: &mut [S]) {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(a.len(), out.len());
     for ((o, &ai), &bi) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
@@ -63,19 +67,20 @@ pub fn mul_add(a: &[f64], b: &[f64], out: &mut [f64]) {
     }
 }
 
-/// Rank-1 lower-triangle SYRK row update:
+/// Rank-1 lower-triangle SYRK row update into an `f64` accumulator:
 /// `acc[p·n .. p·n+p+1] += row[p] · row[0..=p]` for `p in 0..n`.
-pub fn syrk_rank1_lower(row: &[f64], acc: &mut [f64]) {
+pub fn syrk_rank1_lower<S: Scalar>(row: &[S], acc: &mut [f64]) {
     let n = row.len();
     debug_assert_eq!(acc.len(), n * n);
     for p in 0..n {
         let rp = row[p];
-        if rp == 0.0 {
+        if rp == S::ZERO {
             continue;
         }
+        let rp = rp.to_f64();
         let dst = &mut acc[p * n..p * n + p + 1];
         for (q, d) in dst.iter_mut().enumerate() {
-            *d += rp * row[q];
+            *d += rp * row[q].to_f64();
         }
     }
 }
@@ -83,10 +88,10 @@ pub fn syrk_rank1_lower(row: &[f64], acc: &mut [f64]) {
 /// Register-tiled `MR × NR` rank-`kc` update on packed panels:
 /// `acc[i][j] += Σ_p a_panel[p·MR+i] · b_panel[p·NR+j]`.
 ///
-/// The accumulator lives in `MR × NR` locals; with `MR = 4`, `NR = 8`
-/// LLVM vectorizes the inner loop into FMA lanes.
+/// The accumulator lives in `MR × NR` locals of the storage type; with
+/// `MR = 4`, `NR = 8` LLVM vectorizes the inner loop into FMA lanes.
 #[inline]
-pub fn gemm_micro(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+pub fn gemm_micro<S: Scalar>(kc: usize, a_panel: &[S], b_panel: &[S], acc: &mut MicroTile<S>) {
     debug_assert!(a_panel.len() >= kc * MR);
     debug_assert!(b_panel.len() >= kc * NR);
     for p in 0..kc {

@@ -1,23 +1,33 @@
-//! `x86_64` SIMD kernels: AVX2+FMA and AVX-512F.
+//! `x86_64` SIMD kernels: AVX2+FMA and AVX-512F, for `f64` and `f32`.
 //!
 //! Every public wrapper here is a *safe* fn whose body immediately
 //! enters the matching `#[target_feature]` implementation. That is
 //! sound because the wrappers are only ever reachable through
-//! `avx2_set` / `avx512_set`, which [`super::KernelSet::for_tier`]
+//! `avx2_set_*` / `avx512_set_*`, which [`super::KernelSet::for_tier`]
 //! refuses to construct unless the running CPU reports the features —
 //! the `is_x86_feature_detected!` contract of the module docs.
+//!
+//! The `f32` kernels run **twice the lanes** of their `f64` twins
+//! (AVX2: 8 vs 4, AVX-512: 16 vs 8) while keeping the mixed-precision
+//! contract: `dot` and the SYRK rank-1 update widen to `f64`
+//! accumulators in registers (`vcvtps2pd` + FMA), so long reductions
+//! never round in single precision.
+//!
+//! The AVX-512 sets additionally assume AVX2+FMA for `f32` tails and
+//! widening steps — every CPU with AVX-512F reports both.
 
 #![allow(unsafe_op_in_unsafe_fn)]
 
 use core::arch::x86_64::*;
 
-use super::{KernelSet, KernelTier, MicroTile, MR, NR};
+use super::{KernelSet, KernelTier, MicroTile, MR, NR, NR_MAX};
 
-/// The AVX2+FMA set. Caller contract: only hand this out after
+/// The AVX2+FMA `f64` set. Caller contract: only hand this out after
 /// `KernelTier::Avx2.supported()` returned true.
-pub(super) fn avx2_set() -> KernelSet {
+pub(crate) fn avx2_set_f64() -> KernelSet<f64> {
     KernelSet {
         tier: KernelTier::Avx2,
+        nr: NR,
         dot: dot_avx2,
         axpy: axpy_avx2,
         hadamard: hadamard_avx2,
@@ -28,11 +38,12 @@ pub(super) fn avx2_set() -> KernelSet {
     }
 }
 
-/// The AVX-512F set. Caller contract: only hand this out after
+/// The AVX-512F `f64` set. Caller contract: only hand this out after
 /// `KernelTier::Avx512.supported()` returned true.
-pub(super) fn avx512_set() -> KernelSet {
+pub(crate) fn avx512_set_f64() -> KernelSet<f64> {
     KernelSet {
         tier: KernelTier::Avx512,
+        nr: NR,
         dot: dot_avx512,
         axpy: axpy_avx512,
         hadamard: hadamard_avx512,
@@ -40,6 +51,38 @@ pub(super) fn avx512_set() -> KernelSet {
         mul_add: mul_add_avx512,
         syrk_rank1_lower: syrk_rank1_lower_avx512,
         gemm_micro: gemm_micro_avx512,
+    }
+}
+
+/// The AVX2+FMA `f32` set (8 lanes). Same caller contract as
+/// [`avx2_set_f64`].
+pub(crate) fn avx2_set_f32() -> KernelSet<f32> {
+    KernelSet {
+        tier: KernelTier::Avx2,
+        nr: NR_MAX,
+        dot: dot_avx2_f32,
+        axpy: axpy_avx2_f32,
+        hadamard: hadamard_avx2_f32,
+        hadamard_assign: hadamard_assign_avx2_f32,
+        mul_add: mul_add_avx2_f32,
+        syrk_rank1_lower: syrk_rank1_lower_avx2_f32,
+        gemm_micro: gemm_micro_avx2_f32,
+    }
+}
+
+/// The AVX-512F `f32` set (16 lanes). Same caller contract as
+/// [`avx512_set_f64`].
+pub(crate) fn avx512_set_f32() -> KernelSet<f32> {
+    KernelSet {
+        tier: KernelTier::Avx512,
+        nr: NR_MAX,
+        dot: dot_avx512_f32,
+        axpy: axpy_avx512_f32,
+        hadamard: hadamard_avx512_f32,
+        hadamard_assign: hadamard_assign_avx512_f32,
+        mul_add: mul_add_avx512_f32,
+        syrk_rank1_lower: syrk_rank1_lower_avx512_f32,
+        gemm_micro: gemm_micro_avx512_f32,
     }
 }
 
@@ -198,7 +241,7 @@ unsafe fn syrk_rank1_lower_avx2_impl(row: &[f64], acc: &mut [f64]) {
     }
 }
 
-fn gemm_micro_avx2(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+fn gemm_micro_avx2(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile<f64>) {
     debug_assert!(a_panel.len() >= kc * MR);
     debug_assert!(b_panel.len() >= kc * NR);
     unsafe { gemm_micro_avx2_impl(kc, a_panel, b_panel, acc) }
@@ -207,16 +250,23 @@ fn gemm_micro_avx2(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroT
 /// 4×8 register tile: 8 ymm accumulators (2 per C row), one broadcast
 /// of A per row, two loads of B per rank-1 step — 11 of 16 ymm.
 #[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn gemm_micro_avx2_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+unsafe fn gemm_micro_avx2_impl(
+    kc: usize,
+    a_panel: &[f64],
+    b_panel: &[f64],
+    acc: &mut MicroTile<f64>,
+) {
+    // Tile rows are NR_MAX elements apart; this kernel's panel is NR
+    // columns wide, so only the first NR lanes of each row are touched.
     let cp = acc.as_mut_ptr() as *mut f64;
     let mut c00 = _mm256_loadu_pd(cp);
     let mut c01 = _mm256_loadu_pd(cp.add(4));
-    let mut c10 = _mm256_loadu_pd(cp.add(8));
-    let mut c11 = _mm256_loadu_pd(cp.add(12));
-    let mut c20 = _mm256_loadu_pd(cp.add(16));
-    let mut c21 = _mm256_loadu_pd(cp.add(20));
-    let mut c30 = _mm256_loadu_pd(cp.add(24));
-    let mut c31 = _mm256_loadu_pd(cp.add(28));
+    let mut c10 = _mm256_loadu_pd(cp.add(NR_MAX));
+    let mut c11 = _mm256_loadu_pd(cp.add(NR_MAX + 4));
+    let mut c20 = _mm256_loadu_pd(cp.add(2 * NR_MAX));
+    let mut c21 = _mm256_loadu_pd(cp.add(2 * NR_MAX + 4));
+    let mut c30 = _mm256_loadu_pd(cp.add(3 * NR_MAX));
+    let mut c31 = _mm256_loadu_pd(cp.add(3 * NR_MAX + 4));
     let ap = a_panel.as_ptr();
     let bp = b_panel.as_ptr();
     for p in 0..kc {
@@ -237,12 +287,236 @@ unsafe fn gemm_micro_avx2_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc:
     }
     _mm256_storeu_pd(cp, c00);
     _mm256_storeu_pd(cp.add(4), c01);
-    _mm256_storeu_pd(cp.add(8), c10);
-    _mm256_storeu_pd(cp.add(12), c11);
-    _mm256_storeu_pd(cp.add(16), c20);
-    _mm256_storeu_pd(cp.add(20), c21);
-    _mm256_storeu_pd(cp.add(24), c30);
-    _mm256_storeu_pd(cp.add(28), c31);
+    _mm256_storeu_pd(cp.add(NR_MAX), c10);
+    _mm256_storeu_pd(cp.add(NR_MAX + 4), c11);
+    _mm256_storeu_pd(cp.add(2 * NR_MAX), c20);
+    _mm256_storeu_pd(cp.add(2 * NR_MAX + 4), c21);
+    _mm256_storeu_pd(cp.add(3 * NR_MAX), c30);
+    _mm256_storeu_pd(cp.add(3 * NR_MAX + 4), c31);
+}
+
+// ----------------------------------------------------------- AVX2 (f32)
+
+fn dot_avx2_f32(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { dot_avx2_f32_impl(x, y) }
+}
+
+/// `f32` dot with in-register widening: each 8-lane `f32` load is
+/// converted to two 4-lane `f64` vectors before the FMA, so the
+/// accumulation is pure `f64`.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2_f32_impl(x: &[f32], y: &[f32]) -> f64 {
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let yv = _mm256_loadu_ps(yp.add(i));
+        acc0 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm256_castps256_ps128(xv)),
+            _mm256_cvtps_pd(_mm256_castps256_ps128(yv)),
+            acc0,
+        );
+        acc1 = _mm256_fmadd_pd(
+            _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(xv)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(yv)),
+            acc1,
+        );
+        i += 8;
+    }
+    let mut s = hsum256(_mm256_add_pd(acc0, acc1));
+    while i < n {
+        s += x[i] as f64 * y[i] as f64;
+        i += 1;
+    }
+    s
+}
+
+fn axpy_avx2_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { axpy_avx2_f32_impl(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2_f32_impl(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let va = _mm256_set1_ps(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+        _mm256_storeu_ps(yp.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        y[i] = alpha.mul_add(x[i], y[i]);
+        i += 1;
+    }
+}
+
+fn hadamard_avx2_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { hadamard_avx2_f32_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hadamard_avx2_f32_impl(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        _mm256_storeu_ps(op.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+fn hadamard_assign_avx2_f32(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { hadamard_assign_avx2_f32_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn hadamard_assign_avx2_f32_impl(a: &mut [f32], b: &[f32]) {
+    let n = a.len();
+    let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        _mm256_storeu_ps(ap.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        a[i] *= b[i];
+        i += 1;
+    }
+}
+
+fn mul_add_avx2_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { mul_add_avx2_f32_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mul_add_avx2_f32_impl(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i)),
+            _mm256_loadu_ps(bp.add(i)),
+            _mm256_loadu_ps(op.add(i)),
+        );
+        _mm256_storeu_ps(op.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        out[i] = a[i].mul_add(b[i], out[i]);
+        i += 1;
+    }
+}
+
+/// `y[i] += α·x[i]` with `f32` input and `f64` output, widening four
+/// lanes at a time (`vcvtps2pd` + FMA).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_wide_avx2_impl(alpha: f64, x: &[f32], y: &mut [f64]) {
+    let n = x.len();
+    let va = _mm256_set1_pd(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_cvtps_pd(_mm_loadu_ps(xp.add(i)));
+        let r = _mm256_fmadd_pd(va, xv, _mm256_loadu_pd(yp.add(i)));
+        _mm256_storeu_pd(yp.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i] as f64;
+        i += 1;
+    }
+}
+
+fn syrk_rank1_lower_avx2_f32(row: &[f32], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    unsafe { syrk_rank1_lower_avx2_f32_impl(row, acc) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn syrk_rank1_lower_avx2_f32_impl(row: &[f32], acc: &mut [f64]) {
+    let n = row.len();
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        axpy_wide_avx2_impl(rp as f64, &row[..p + 1], &mut acc[p * n..p * n + p + 1]);
+    }
+}
+
+fn gemm_micro_avx2_f32(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut MicroTile<f32>) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR_MAX);
+    unsafe { gemm_micro_avx2_f32_impl(kc, a_panel, b_panel, acc) }
+}
+
+/// 4×16 `f32` register tile (panel width `NR_MAX`): 8 ymm accumulators
+/// (2 per C row), two B loads and four A broadcasts per rank-1 step —
+/// the same instruction mix as the `f64` twin but twice the columns
+/// per tile, so the doubled lane count turns into doubled MAC
+/// throughput instead of extra shuffle traffic.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_micro_avx2_f32_impl(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut MicroTile<f32>,
+) {
+    let cp = acc.as_mut_ptr() as *mut f32;
+    let mut c00 = _mm256_loadu_ps(cp);
+    let mut c01 = _mm256_loadu_ps(cp.add(8));
+    let mut c10 = _mm256_loadu_ps(cp.add(NR_MAX));
+    let mut c11 = _mm256_loadu_ps(cp.add(NR_MAX + 8));
+    let mut c20 = _mm256_loadu_ps(cp.add(2 * NR_MAX));
+    let mut c21 = _mm256_loadu_ps(cp.add(2 * NR_MAX + 8));
+    let mut c30 = _mm256_loadu_ps(cp.add(3 * NR_MAX));
+    let mut c31 = _mm256_loadu_ps(cp.add(3 * NR_MAX + 8));
+    let ap = a_panel.as_ptr();
+    let bp = b_panel.as_ptr();
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR_MAX));
+        let b1 = _mm256_loadu_ps(bp.add(p * NR_MAX + 8));
+        let a0 = _mm256_set1_ps(*ap.add(p * MR));
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*ap.add(p * MR + 1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*ap.add(p * MR + 2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*ap.add(p * MR + 3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+    }
+    _mm256_storeu_ps(cp, c00);
+    _mm256_storeu_ps(cp.add(8), c01);
+    _mm256_storeu_ps(cp.add(NR_MAX), c10);
+    _mm256_storeu_ps(cp.add(NR_MAX + 8), c11);
+    _mm256_storeu_ps(cp.add(2 * NR_MAX), c20);
+    _mm256_storeu_ps(cp.add(2 * NR_MAX + 8), c21);
+    _mm256_storeu_ps(cp.add(3 * NR_MAX), c30);
+    _mm256_storeu_ps(cp.add(3 * NR_MAX + 8), c31);
 }
 
 // -------------------------------------------------------------- AVX-512
@@ -407,7 +681,7 @@ unsafe fn syrk_rank1_lower_avx512_impl(row: &[f64], acc: &mut [f64]) {
     }
 }
 
-fn gemm_micro_avx512(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+fn gemm_micro_avx512(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile<f64>) {
     debug_assert!(a_panel.len() >= kc * MR);
     debug_assert!(b_panel.len() >= kc * NR);
     unsafe { gemm_micro_avx512_impl(kc, a_panel, b_panel, acc) }
@@ -416,12 +690,19 @@ fn gemm_micro_avx512(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut Micr
 /// 4×8 register tile with one zmm per C row: 4 accumulators, one B
 /// load, four A broadcasts per rank-1 step.
 #[target_feature(enable = "avx512f")]
-unsafe fn gemm_micro_avx512_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut MicroTile) {
+unsafe fn gemm_micro_avx512_impl(
+    kc: usize,
+    a_panel: &[f64],
+    b_panel: &[f64],
+    acc: &mut MicroTile<f64>,
+) {
+    // Tile rows are NR_MAX elements apart; only the first NR lanes of
+    // each row (one zmm) belong to this kernel's panel.
     let cp = acc.as_mut_ptr() as *mut f64;
     let mut c0 = _mm512_loadu_pd(cp);
-    let mut c1 = _mm512_loadu_pd(cp.add(8));
-    let mut c2 = _mm512_loadu_pd(cp.add(16));
-    let mut c3 = _mm512_loadu_pd(cp.add(24));
+    let mut c1 = _mm512_loadu_pd(cp.add(NR_MAX));
+    let mut c2 = _mm512_loadu_pd(cp.add(2 * NR_MAX));
+    let mut c3 = _mm512_loadu_pd(cp.add(3 * NR_MAX));
     let ap = a_panel.as_ptr();
     let bp = b_panel.as_ptr();
     for p in 0..kc {
@@ -432,7 +713,264 @@ unsafe fn gemm_micro_avx512_impl(kc: usize, a_panel: &[f64], b_panel: &[f64], ac
         c3 = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(p * MR + 3)), b, c3);
     }
     _mm512_storeu_pd(cp, c0);
-    _mm512_storeu_pd(cp.add(8), c1);
-    _mm512_storeu_pd(cp.add(16), c2);
-    _mm512_storeu_pd(cp.add(24), c3);
+    _mm512_storeu_pd(cp.add(NR_MAX), c1);
+    _mm512_storeu_pd(cp.add(2 * NR_MAX), c2);
+    _mm512_storeu_pd(cp.add(3 * NR_MAX), c3);
+}
+
+// --------------------------------------------------------- AVX-512 (f32)
+
+fn dot_avx512_f32(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { dot_avx512_f32_impl(x, y) }
+}
+
+/// `f32` dot with in-register widening to 8-lane `f64` vectors
+/// (`vcvtps2pd` zmm form), two per 16-element step.
+#[target_feature(enable = "avx512f")]
+unsafe fn dot_avx512_f32_impl(x: &[f32], y: &[f32]) -> f64 {
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = _mm512_setzero_pd();
+    let mut acc1 = _mm512_setzero_pd();
+    let mut i = 0;
+    while i + 16 <= n {
+        acc0 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(xp.add(i))),
+            _mm512_cvtps_pd(_mm256_loadu_ps(yp.add(i))),
+            acc0,
+        );
+        acc1 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(xp.add(i + 8))),
+            _mm512_cvtps_pd(_mm256_loadu_ps(yp.add(i + 8))),
+            acc1,
+        );
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm512_fmadd_pd(
+            _mm512_cvtps_pd(_mm256_loadu_ps(xp.add(i))),
+            _mm512_cvtps_pd(_mm256_loadu_ps(yp.add(i))),
+            acc0,
+        );
+        i += 8;
+    }
+    let mut s = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+    while i < n {
+        s += x[i] as f64 * y[i] as f64;
+        i += 1;
+    }
+    s
+}
+
+fn axpy_avx512_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    unsafe { axpy_avx512_f32_impl(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512_f32_impl(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let va = _mm512_set1_ps(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 16 <= n {
+        let r = _mm512_fmadd_ps(va, _mm512_loadu_ps(xp.add(i)), _mm512_loadu_ps(yp.add(i)));
+        _mm512_storeu_ps(yp.add(i), r);
+        i += 16;
+    }
+    if i < n {
+        let mask: __mmask16 = (1u32 << (n - i)) as u16 - 1;
+        let r = _mm512_fmadd_ps(
+            va,
+            _mm512_maskz_loadu_ps(mask, xp.add(i)),
+            _mm512_maskz_loadu_ps(mask, yp.add(i)),
+        );
+        _mm512_mask_storeu_ps(yp.add(i), mask, r);
+    }
+}
+
+fn hadamard_avx512_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { hadamard_avx512_f32_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn hadamard_avx512_f32_impl(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 16 <= n {
+        let r = _mm512_mul_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)));
+        _mm512_storeu_ps(op.add(i), r);
+        i += 16;
+    }
+    if i < n {
+        let mask: __mmask16 = (1u32 << (n - i)) as u16 - 1;
+        let r = _mm512_mul_ps(
+            _mm512_maskz_loadu_ps(mask, ap.add(i)),
+            _mm512_maskz_loadu_ps(mask, bp.add(i)),
+        );
+        _mm512_mask_storeu_ps(op.add(i), mask, r);
+    }
+}
+
+fn hadamard_assign_avx512_f32(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { hadamard_assign_avx512_f32_impl(a, b) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn hadamard_assign_avx512_f32_impl(a: &mut [f32], b: &[f32]) {
+    let n = a.len();
+    let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 16 <= n {
+        let r = _mm512_mul_ps(_mm512_loadu_ps(ap.add(i)), _mm512_loadu_ps(bp.add(i)));
+        _mm512_storeu_ps(ap.add(i), r);
+        i += 16;
+    }
+    if i < n {
+        let mask: __mmask16 = (1u32 << (n - i)) as u16 - 1;
+        let r = _mm512_mul_ps(
+            _mm512_maskz_loadu_ps(mask, ap.add(i)),
+            _mm512_maskz_loadu_ps(mask, bp.add(i)),
+        );
+        _mm512_mask_storeu_ps(ap.add(i), mask, r);
+    }
+}
+
+fn mul_add_avx512_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    unsafe { mul_add_avx512_f32_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn mul_add_avx512_f32_impl(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 16 <= n {
+        let r = _mm512_fmadd_ps(
+            _mm512_loadu_ps(ap.add(i)),
+            _mm512_loadu_ps(bp.add(i)),
+            _mm512_loadu_ps(op.add(i)),
+        );
+        _mm512_storeu_ps(op.add(i), r);
+        i += 16;
+    }
+    if i < n {
+        let mask: __mmask16 = (1u32 << (n - i)) as u16 - 1;
+        let r = _mm512_fmadd_ps(
+            _mm512_maskz_loadu_ps(mask, ap.add(i)),
+            _mm512_maskz_loadu_ps(mask, bp.add(i)),
+            _mm512_maskz_loadu_ps(mask, op.add(i)),
+        );
+        _mm512_mask_storeu_ps(op.add(i), mask, r);
+    }
+}
+
+/// `y[i] += α·x[i]` with `f32` input and `f64` output, widening eight
+/// lanes at a time.
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_wide_avx512_impl(alpha: f64, x: &[f32], y: &mut [f64]) {
+    let n = x.len();
+    let va = _mm512_set1_pd(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = _mm512_cvtps_pd(_mm256_loadu_ps(xp.add(i)));
+        let r = _mm512_fmadd_pd(va, xv, _mm512_loadu_pd(yp.add(i)));
+        _mm512_storeu_pd(yp.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        y[i] += alpha * x[i] as f64;
+        i += 1;
+    }
+}
+
+fn syrk_rank1_lower_avx512_f32(row: &[f32], acc: &mut [f64]) {
+    let n = row.len();
+    debug_assert_eq!(acc.len(), n * n);
+    unsafe { syrk_rank1_lower_avx512_f32_impl(row, acc) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn syrk_rank1_lower_avx512_f32_impl(row: &[f32], acc: &mut [f64]) {
+    let n = row.len();
+    for p in 0..n {
+        let rp = row[p];
+        if rp == 0.0 {
+            continue;
+        }
+        axpy_wide_avx512_impl(rp as f64, &row[..p + 1], &mut acc[p * n..p * n + p + 1]);
+    }
+}
+
+fn gemm_micro_avx512_f32(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut MicroTile<f32>) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR_MAX);
+    unsafe { gemm_micro_avx512_f32_impl(kc, a_panel, b_panel, acc) }
+}
+
+/// 4×16 `f32` tile (panel width `NR_MAX`), one zmm per C row: each
+/// rank-1 step is a single 16-lane B load plus four A broadcast-loads
+/// feeding four FMAs — the same instruction mix as the `f64` twin for
+/// twice the columns, and no cross-lane shuffles stealing FMA-port
+/// slots. The k loop is unrolled by two with a second accumulator bank
+/// so eight independent chains cover the FMA latency.
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_micro_avx512_f32_impl(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut MicroTile<f32>,
+) {
+    let cp = acc.as_mut_ptr() as *mut f32;
+    let ap = a_panel.as_ptr();
+    let bp = b_panel.as_ptr();
+    let mut z00 = _mm512_setzero_ps();
+    let mut z10 = _mm512_setzero_ps();
+    let mut z20 = _mm512_setzero_ps();
+    let mut z30 = _mm512_setzero_ps();
+    let mut z01 = _mm512_setzero_ps();
+    let mut z11 = _mm512_setzero_ps();
+    let mut z21 = _mm512_setzero_ps();
+    let mut z31 = _mm512_setzero_ps();
+    let kc2 = kc & !1;
+    let mut p = 0;
+    while p < kc2 {
+        let b0 = _mm512_loadu_ps(bp.add(p * NR_MAX));
+        z00 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR)), b0, z00);
+        z10 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR + 1)), b0, z10);
+        z20 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR + 2)), b0, z20);
+        z30 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR + 3)), b0, z30);
+        let b1 = _mm512_loadu_ps(bp.add((p + 1) * NR_MAX));
+        z01 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add((p + 1) * MR)), b1, z01);
+        z11 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add((p + 1) * MR + 1)), b1, z11);
+        z21 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add((p + 1) * MR + 2)), b1, z21);
+        z31 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add((p + 1) * MR + 3)), b1, z31);
+        p += 2;
+    }
+    if kc2 < kc {
+        // Odd trailing step into the first bank.
+        let p = kc2;
+        let b0 = _mm512_loadu_ps(bp.add(p * NR_MAX));
+        z00 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR)), b0, z00);
+        z10 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR + 1)), b0, z10);
+        z20 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR + 2)), b0, z20);
+        z30 = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(p * MR + 3)), b0, z30);
+    }
+    // Fold the banks and add into the existing tile.
+    let c0 = _mm512_add_ps(_mm512_loadu_ps(cp), _mm512_add_ps(z00, z01));
+    let c1 = _mm512_add_ps(_mm512_loadu_ps(cp.add(NR_MAX)), _mm512_add_ps(z10, z11));
+    let c2 = _mm512_add_ps(_mm512_loadu_ps(cp.add(2 * NR_MAX)), _mm512_add_ps(z20, z21));
+    let c3 = _mm512_add_ps(_mm512_loadu_ps(cp.add(3 * NR_MAX)), _mm512_add_ps(z30, z31));
+    _mm512_storeu_ps(cp, c0);
+    _mm512_storeu_ps(cp.add(NR_MAX), c1);
+    _mm512_storeu_ps(cp.add(2 * NR_MAX), c2);
+    _mm512_storeu_ps(cp.add(3 * NR_MAX), c3);
 }

@@ -9,57 +9,58 @@
 //! executors) call its function pointers directly.
 
 use crate::kernels::kernels;
+use crate::scalar::Scalar;
 
 /// Dot product `Σ x[i]·y[i]`.
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
-    (kernels().dot)(x, y)
+    (kernels::<S>().dot)(x, y)
 }
 
 /// `y ← y + α·x`.
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    (kernels().axpy)(alpha, x, y)
+    (kernels::<S>().axpy)(alpha, x, y)
 }
 
 /// `x ← α·x`.
-pub fn scale(alpha: f64, x: &mut [f64]) {
+pub fn scale<S: Scalar>(alpha: S, x: &mut [S]) {
     for xi in x.iter_mut() {
         *xi *= alpha;
     }
 }
 
 /// `dst ← src`.
-pub fn copy(src: &[f64], dst: &mut [f64]) {
+pub fn copy<S: Scalar>(src: &[S], dst: &mut [S]) {
     assert_eq!(src.len(), dst.len(), "copy length mismatch");
     dst.copy_from_slice(src);
 }
 
 /// Hadamard product `out[i] = a[i]·b[i]`.
 #[inline]
-pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+pub fn hadamard<S: Scalar>(a: &[S], b: &[S], out: &mut [S]) {
     assert_eq!(a.len(), b.len(), "hadamard length mismatch");
     assert_eq!(a.len(), out.len(), "hadamard output length mismatch");
-    (kernels().hadamard)(a, b, out)
+    (kernels::<S>().hadamard)(a, b, out)
 }
 
 /// In-place Hadamard product `a[i] *= b[i]`.
 #[inline]
-pub fn hadamard_assign(a: &mut [f64], b: &[f64]) {
+pub fn hadamard_assign<S: Scalar>(a: &mut [S], b: &[S]) {
     assert_eq!(a.len(), b.len(), "hadamard length mismatch");
-    (kernels().hadamard_assign)(a, b)
+    (kernels::<S>().hadamard_assign)(a, b)
 }
 
 /// Fused multiply-accumulate `out[i] += a[i]·b[i]`.
 #[inline]
-pub fn mul_add(a: &[f64], b: &[f64], out: &mut [f64]) {
+pub fn mul_add<S: Scalar>(a: &[S], b: &[S], out: &mut [S]) {
     assert_eq!(a.len(), b.len(), "mul_add length mismatch");
     assert_eq!(a.len(), out.len(), "mul_add output length mismatch");
-    (kernels().mul_add)(a, b, out)
+    (kernels::<S>().mul_add)(a, b, out)
 }
 
 /// Euclidean norm `‖x‖₂`.
-pub fn nrm2(x: &[f64]) -> f64 {
+pub fn nrm2<S: Scalar>(x: &[S]) -> f64 {
     dot(x, x).sqrt()
 }
 
@@ -77,7 +78,7 @@ mod tests {
 
     #[test]
     fn dot_short_vectors() {
-        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
         assert_eq!(dot(&[2.0], &[3.0]), 6.0);
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
     }

@@ -6,6 +6,9 @@
 //! point of the 1-step/2-step algorithms is that tensor entries are never
 //! reordered, only reinterpreted. This crate therefore provides:
 //!
+//! * [`Scalar`] — the sealed element-type parameter (`f32`/`f64`) every
+//!   container and kernel below is generic over; reductions accumulate
+//!   in `f64` for both storage types (mixed precision).
 //! * [`MatRef`]/[`MatMut`] — borrowed, arbitrarily strided 2-D views.
 //!   Row-major, column-major, transposed, and block-submatrix views are
 //!   all just stride choices, so a single [`gemm()`] entry point covers
@@ -31,6 +34,7 @@ pub mod gemv;
 pub mod kernels;
 pub mod level1;
 pub mod mat;
+pub mod scalar;
 pub mod stream;
 pub mod syrk;
 
@@ -39,4 +43,5 @@ pub use gemv::{gemv, par_gemv};
 pub use kernels::{available_tiers, force_tier, kernels, KernelSet, KernelTier};
 pub use level1::{axpy, copy, dot, hadamard, hadamard_assign, mul_add, scale};
 pub use mat::{Layout, MatMut, MatRef};
+pub use scalar::{Dtype, Scalar};
 pub use syrk::{par_syrk_t, par_syrk_t_ws, syrk_t, syrk_t_with, SyrkWorkspace};

@@ -1,4 +1,5 @@
-//! Borrowed, strided 2-D matrix views over `f64` storage.
+//! Borrowed, strided 2-D matrix views over [`Scalar`] storage
+//! (`f32` or `f64`; the type parameter defaults to `f64`).
 //!
 //! A view is `(ptr, nrows, ncols, row_stride, col_stride)`. Column-major
 //! storage is `rs == 1, cs == nrows`; row-major is `rs == ncols, cs == 1`;
@@ -7,6 +8,8 @@
 //! of tensor memory, which is how the algorithms avoid reordering entries.
 
 use std::marker::PhantomData;
+
+use crate::scalar::Scalar;
 
 /// Memory order of a dense matrix backed by one contiguous slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,45 +20,45 @@ pub enum Layout {
     RowMajor,
 }
 
-/// Immutable strided view of an `nrows × ncols` matrix of `f64`.
+/// Immutable strided view of an `nrows × ncols` matrix of `S`.
 #[derive(Clone, Copy)]
-pub struct MatRef<'a> {
-    ptr: *const f64,
+pub struct MatRef<'a, S: Scalar = f64> {
+    ptr: *const S,
     nrows: usize,
     ncols: usize,
     rs: isize,
     cs: isize,
-    _marker: PhantomData<&'a f64>,
+    _marker: PhantomData<&'a S>,
 }
 
-// Safety: shared reads of f64 through the view; aliasing rules are those
-// of the underlying `&[f64]` borrow.
-unsafe impl Send for MatRef<'_> {}
-unsafe impl Sync for MatRef<'_> {}
+// Safety: shared reads of `S` through the view; aliasing rules are those
+// of the underlying `&[S]` borrow.
+unsafe impl<S: Scalar> Send for MatRef<'_, S> {}
+unsafe impl<S: Scalar> Sync for MatRef<'_, S> {}
 
-/// Mutable strided view of an `nrows × ncols` matrix of `f64`.
+/// Mutable strided view of an `nrows × ncols` matrix of `S`.
 ///
 /// Distinct `MatMut` views handed to different threads must be disjoint;
 /// the splitting constructors ([`MatMut::split_rows_at`],
 /// [`MatMut::split_cols_at`]) guarantee this.
-pub struct MatMut<'a> {
-    ptr: *mut f64,
+pub struct MatMut<'a, S: Scalar = f64> {
+    ptr: *mut S,
     nrows: usize,
     ncols: usize,
     rs: isize,
     cs: isize,
-    _marker: PhantomData<&'a mut f64>,
+    _marker: PhantomData<&'a mut S>,
 }
 
-// Safety: exclusive access to the viewed elements, like `&mut [f64]`.
-unsafe impl Send for MatMut<'_> {}
+// Safety: exclusive access to the viewed elements, like `&mut [S]`.
+unsafe impl<S: Scalar> Send for MatMut<'_, S> {}
 
-impl<'a> MatRef<'a> {
+impl<'a, S: Scalar> MatRef<'a, S> {
     /// View a contiguous slice as an `nrows × ncols` matrix.
     ///
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
-    pub fn from_slice(data: &'a [f64], nrows: usize, ncols: usize, layout: Layout) -> Self {
+    pub fn from_slice(data: &'a [S], nrows: usize, ncols: usize, layout: Layout) -> Self {
         assert_eq!(
             data.len(),
             nrows * ncols,
@@ -79,10 +82,10 @@ impl<'a> MatRef<'a> {
     ///
     /// # Safety
     /// Every element `(i, j)` with `i < nrows`, `j < ncols` must map to a
-    /// readable `f64` within the borrow that produced `ptr`, and the
+    /// readable `S` within the borrow that produced `ptr`, and the
     /// mapping must stay within that allocation.
     pub unsafe fn from_raw_parts(
-        ptr: *const f64,
+        ptr: *const S,
         nrows: usize,
         ncols: usize,
         rs: isize,
@@ -127,13 +130,13 @@ impl<'a> MatRef<'a> {
     /// # Safety
     /// `i < nrows && j < ncols`.
     #[inline(always)]
-    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> S {
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
     }
 
     /// Element `(i, j)` with bounds checking.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         assert!(
             i < self.nrows && j < self.ncols,
             "index ({i},{j}) out of bounds"
@@ -143,7 +146,7 @@ impl<'a> MatRef<'a> {
 
     /// Transposed view (swaps dimensions and strides; no data movement).
     #[inline]
-    pub fn t(&self) -> MatRef<'a> {
+    pub fn t(&self) -> MatRef<'a, S> {
         MatRef {
             ptr: self.ptr,
             nrows: self.ncols,
@@ -156,7 +159,7 @@ impl<'a> MatRef<'a> {
 
     /// Submatrix view of shape `nrows × ncols` starting at `(i, j)`.
     #[inline]
-    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a, S> {
         assert!(
             i + nrows <= self.nrows && j + ncols <= self.ncols,
             "submatrix out of bounds"
@@ -173,20 +176,20 @@ impl<'a> MatRef<'a> {
 
     /// Column `j` as a `nrows × 1` view.
     #[inline]
-    pub fn col(&self, j: usize) -> MatRef<'a> {
+    pub fn col(&self, j: usize) -> MatRef<'a, S> {
         self.submatrix(0, j, self.nrows, 1)
     }
 
     /// Row `i` as a `1 × ncols` view.
     #[inline]
-    pub fn row(&self, i: usize) -> MatRef<'a> {
+    pub fn row(&self, i: usize) -> MatRef<'a, S> {
         self.submatrix(i, 0, 1, self.ncols)
     }
 
     /// Row `i` as a slice, available when columns are contiguous
     /// (`col_stride == 1`, i.e. row-major-like views).
     #[inline]
-    pub fn row_slice(&self, i: usize) -> &'a [f64] {
+    pub fn row_slice(&self, i: usize) -> &'a [S] {
         assert_eq!(
             self.cs, 1,
             "row_slice requires contiguous rows (col_stride == 1)"
@@ -198,7 +201,7 @@ impl<'a> MatRef<'a> {
     /// Column `j` as a slice, available when rows are contiguous
     /// (`row_stride == 1`, i.e. column-major-like views).
     #[inline]
-    pub fn col_slice(&self, j: usize) -> &'a [f64] {
+    pub fn col_slice(&self, j: usize) -> &'a [S] {
         assert_eq!(
             self.rs, 1,
             "col_slice requires contiguous columns (row_stride == 1)"
@@ -208,7 +211,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// Copy into a freshly allocated `Vec` in the requested layout.
-    pub fn to_vec(&self, layout: Layout) -> Vec<f64> {
+    pub fn to_vec(&self, layout: Layout) -> Vec<S> {
         let mut out = Vec::with_capacity(self.nrows * self.ncols);
         match layout {
             Layout::ColMajor => {
@@ -230,12 +233,12 @@ impl<'a> MatRef<'a> {
     }
 }
 
-impl<'a> MatMut<'a> {
+impl<'a, S: Scalar> MatMut<'a, S> {
     /// View a contiguous mutable slice as an `nrows × ncols` matrix.
     ///
     /// # Panics
     /// Panics if `data.len() != nrows * ncols`.
-    pub fn from_slice(data: &'a mut [f64], nrows: usize, ncols: usize, layout: Layout) -> Self {
+    pub fn from_slice(data: &'a mut [S], nrows: usize, ncols: usize, layout: Layout) -> Self {
         assert_eq!(
             data.len(),
             nrows * ncols,
@@ -262,7 +265,7 @@ impl<'a> MatMut<'a> {
     /// must be injective (no two indices alias) and the caller must hold
     /// exclusive access to every mapped element.
     pub unsafe fn from_raw_parts(
-        ptr: *mut f64,
+        ptr: *mut S,
         nrows: usize,
         ncols: usize,
         rs: isize,
@@ -304,7 +307,7 @@ impl<'a> MatMut<'a> {
 
     /// Immutable view of the same matrix.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, S> {
         MatRef {
             ptr: self.ptr,
             nrows: self.nrows,
@@ -317,7 +320,7 @@ impl<'a> MatMut<'a> {
 
     /// Reborrowed mutable view (shorter lifetime).
     #[inline]
-    pub fn as_mut(&mut self) -> MatMut<'_> {
+    pub fn as_mut(&mut self) -> MatMut<'_, S> {
         MatMut {
             ptr: self.ptr,
             nrows: self.nrows,
@@ -330,7 +333,7 @@ impl<'a> MatMut<'a> {
 
     /// Transposed mutable view.
     #[inline]
-    pub fn t(self) -> MatMut<'a> {
+    pub fn t(self) -> MatMut<'a, S> {
         MatMut {
             ptr: self.ptr,
             nrows: self.ncols,
@@ -346,7 +349,7 @@ impl<'a> MatMut<'a> {
     /// # Safety
     /// `i < nrows && j < ncols`.
     #[inline(always)]
-    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> S {
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
     }
 
@@ -355,13 +358,13 @@ impl<'a> MatMut<'a> {
     /// # Safety
     /// `i < nrows && j < ncols`.
     #[inline(always)]
-    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: S) {
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) = v }
     }
 
     /// Element `(i, j)` with bounds checking.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         assert!(
             i < self.nrows && j < self.ncols,
             "index ({i},{j}) out of bounds"
@@ -371,7 +374,7 @@ impl<'a> MatMut<'a> {
 
     /// Write element `(i, j)` with bounds checking.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         assert!(
             i < self.nrows && j < self.ncols,
             "index ({i},{j}) out of bounds"
@@ -382,7 +385,7 @@ impl<'a> MatMut<'a> {
     /// Mutable submatrix of shape `nrows × ncols` starting at `(i, j)`,
     /// consuming the view (use [`MatMut::as_mut`] first to keep it).
     #[inline]
-    pub fn submatrix(self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'a> {
+    pub fn submatrix(self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'a, S> {
         assert!(
             i + nrows <= self.nrows && j + ncols <= self.ncols,
             "submatrix out of bounds"
@@ -399,7 +402,7 @@ impl<'a> MatMut<'a> {
 
     /// Split into the first `i` rows and the remaining rows (disjoint).
     #[inline]
-    pub fn split_rows_at(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_rows_at(self, i: usize) -> (MatMut<'a, S>, MatMut<'a, S>) {
         assert!(i <= self.nrows, "split row {i} out of bounds");
         let top = MatMut {
             ptr: self.ptr,
@@ -422,14 +425,14 @@ impl<'a> MatMut<'a> {
 
     /// Split into the first `j` columns and the remaining columns.
     #[inline]
-    pub fn split_cols_at(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_cols_at(self, j: usize) -> (MatMut<'a, S>, MatMut<'a, S>) {
         let (l, r) = self.t().split_rows_at(j);
         (l.t(), r.t())
     }
 
     /// Mutable row `i` as a slice (requires `col_stride == 1`).
     #[inline]
-    pub fn row_slice_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_slice_mut(&mut self, i: usize) -> &mut [S] {
         assert_eq!(
             self.cs, 1,
             "row_slice_mut requires contiguous rows (col_stride == 1)"
@@ -440,7 +443,7 @@ impl<'a> MatMut<'a> {
 
     /// Mutable column `j` as a slice (requires `row_stride == 1`).
     #[inline]
-    pub fn col_slice_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_slice_mut(&mut self, j: usize) -> &mut [S] {
         assert_eq!(
             self.rs, 1,
             "col_slice_mut requires contiguous columns (row_stride == 1)"
@@ -450,7 +453,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Fill every element with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: S) {
         for i in 0..self.nrows {
             for j in 0..self.ncols {
                 unsafe { self.set_unchecked(i, j, v) };
@@ -459,7 +462,7 @@ impl<'a> MatMut<'a> {
     }
 }
 
-impl std::fmt::Debug for MatRef<'_> {
+impl<S: Scalar> std::fmt::Debug for MatRef<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -469,7 +472,7 @@ impl std::fmt::Debug for MatRef<'_> {
     }
 }
 
-impl std::fmt::Debug for MatMut<'_> {
+impl<S: Scalar> std::fmt::Debug for MatMut<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,

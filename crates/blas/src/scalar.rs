@@ -1,0 +1,287 @@
+//! The sealed element-type abstraction of the compute stack.
+//!
+//! Every hot-path container and kernel in the reproduction — matrices,
+//! dense tensors, KRP streams, the [`crate::KernelSet`] function-pointer
+//! layer, the MTTKRP plans, and the CP drivers — is generic over one
+//! [`Scalar`] parameter, defaulting to `f64` so the original all-double
+//! API is unchanged. The trait is **sealed** to exactly `f32` and `f64`:
+//! the paper's machine model prices MTTKRP in memory traffic and SIMD
+//! lanes, and those are the two IEEE types the SIMD tiers implement
+//! (each `f32` kernel runs twice the lanes of its `f64` twin).
+//!
+//! Mixed precision is part of the contract, not an afterthought: dot
+//! products, SYRK/Gram accumulation, and norm reductions always
+//! accumulate in `f64` regardless of the storage type (see
+//! [`crate::KernelSet::dot`] and [`crate::KernelSet::syrk_rank1_lower`]),
+//! so `f32` factor matrices lose precision only at the final store, not
+//! inside long reductions.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+use crate::kernels::{KernelSet, KernelTier};
+
+mod sealed {
+    /// Seal: only `f32` and `f64` can implement [`super::Scalar`].
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Runtime tag for the two storable element types.
+///
+/// This is what file headers, CLI flags (`--dtype`), and bench records
+/// carry; [`Scalar::DTYPE`] maps the compile-time parameter to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// IEEE-754 binary32 storage (f64 accumulation in reductions).
+    F32,
+    /// IEEE-754 binary64 storage.
+    F64,
+}
+
+impl Dtype {
+    /// Lower-case dtype name as used by `--dtype` and file headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+
+    /// Storage size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F64 => 8,
+        }
+    }
+
+    /// Parse a dtype name (`"f32"` or `"f64"`).
+    pub fn parse(s: &str) -> Result<Dtype, String> {
+        match s {
+            "f32" => Ok(Dtype::F32),
+            "f64" => Ok(Dtype::F64),
+            other => Err(format!("unknown dtype {other:?} (expected f32|f64)")),
+        }
+    }
+}
+
+impl Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A storable element type of the compute stack: `f32` or `f64`.
+///
+/// Beyond plain arithmetic, the trait carries the per-type dispatch
+/// plumbing the crate needs because Rust statics and `thread_local!`
+/// cannot themselves be generic: the process-wide [`KernelSet`] cell,
+/// the SIMD tier constructors, and the GEMM pack-buffer arena each have
+/// one monomorphic home per type, reached through these methods.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Runtime tag of this type.
+    const DTYPE: Dtype;
+
+    /// Narrow (or pass through) an `f64` value.
+    fn from_f64(x: f64) -> Self;
+
+    /// Widen (or pass through) to `f64`.
+    fn to_f64(self) -> f64;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// Fused (or contracted) `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// The process-wide kernel-set cell for this type. Use
+    /// [`crate::kernels::kernels`] instead of touching this directly.
+    #[doc(hidden)]
+    fn global_kernel_cell() -> &'static OnceLock<KernelSet<Self>>;
+
+    /// The SIMD kernel set for `tier` on this type, if the crate ships
+    /// one for the compile target. `tier` is already known to be
+    /// supported by the running CPU when this is called.
+    #[doc(hidden)]
+    fn simd_set(tier: KernelTier) -> Option<KernelSet<Self>>;
+
+    /// Run `f` with this thread's reusable GEMM pack buffers
+    /// (`a_pack`, `b_pack`) for this element type.
+    #[doc(hidden)]
+    fn with_pack_buffers<R>(f: impl FnOnce(&mut Vec<Self>, &mut Vec<Self>) -> R) -> R;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: Dtype = Dtype::F64;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+
+    fn global_kernel_cell() -> &'static OnceLock<KernelSet<f64>> {
+        static CELL: OnceLock<KernelSet<f64>> = OnceLock::new();
+        &CELL
+    }
+
+    fn simd_set(tier: KernelTier) -> Option<KernelSet<f64>> {
+        match tier {
+            KernelTier::Scalar => Some(KernelSet::scalar()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => Some(crate::kernels::x86_64::avx2_set_f64()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => Some(crate::kernels::x86_64::avx512_set_f64()),
+            #[cfg(target_arch = "aarch64")]
+            KernelTier::Neon => Some(crate::kernels::aarch64::neon_set_f64()),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        }
+    }
+
+    fn with_pack_buffers<R>(f: impl FnOnce(&mut Vec<f64>, &mut Vec<f64>) -> R) -> R {
+        thread_local! {
+            static PACKS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        PACKS.with(|cell| {
+            let mut packs = cell.borrow_mut();
+            let (a, b) = &mut *packs;
+            f(a, b)
+        })
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: Dtype = Dtype::F32;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+
+    fn global_kernel_cell() -> &'static OnceLock<KernelSet<f32>> {
+        static CELL: OnceLock<KernelSet<f32>> = OnceLock::new();
+        &CELL
+    }
+
+    fn simd_set(tier: KernelTier) -> Option<KernelSet<f32>> {
+        match tier {
+            KernelTier::Scalar => Some(KernelSet::scalar()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => Some(crate::kernels::x86_64::avx2_set_f32()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => Some(crate::kernels::x86_64::avx512_set_f32()),
+            #[cfg(target_arch = "aarch64")]
+            KernelTier::Neon => Some(crate::kernels::aarch64::neon_set_f32()),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        }
+    }
+
+    fn with_pack_buffers<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+        thread_local! {
+            static PACKS: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        PACKS.with(|cell| {
+            let mut packs = cell.borrow_mut();
+            let (a, b) = &mut *packs;
+            f(a, b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_round_trips() {
+        for d in [Dtype::F32, Dtype::F64] {
+            assert_eq!(Dtype::parse(d.name()), Ok(d));
+        }
+        assert!(Dtype::parse("f16").is_err());
+        assert_eq!(Dtype::F32.size_bytes(), 4);
+        assert_eq!(Dtype::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn scalar_consts_and_conversions() {
+        assert_eq!(<f32 as Scalar>::DTYPE, Dtype::F32);
+        assert_eq!(<f64 as Scalar>::DTYPE, Dtype::F64);
+        assert_eq!(f32::from_f64(1.5), 1.5f32);
+        assert_eq!(Scalar::to_f64(2.5f32), 2.5f64);
+        assert_eq!(<f32 as Scalar>::ZERO + <f32 as Scalar>::ONE, 1.0f32);
+    }
+
+    #[test]
+    fn pack_buffers_persist_per_type() {
+        let first = f32::with_pack_buffers(|a, _| {
+            a.resize(64, 0.0);
+            a.as_ptr() as usize
+        });
+        let second = f32::with_pack_buffers(|a, _| a.as_ptr() as usize);
+        assert_eq!(first, second, "pack arena must be stable per thread");
+    }
+}

@@ -1,6 +1,11 @@
 //! Symmetric rank-k update: `C ← α·AᵀA + β·C` (the `DSYRK` case used
 //! for CP-ALS Gram matrices `G = UᵀU`).
 //!
+//! The input `A` may be `f32` or `f64` ([`Scalar`]); the Gram output
+//! `C` is **always `f64`** — the normal-equation solves downstream stay
+//! in double precision, and the dispatched rank-1 row update widens
+//! each product before accumulating (mixed-precision contract).
+//!
 //! Exploits symmetry: only the lower triangle is computed, then
 //! mirrored. For the tall-skinny factors of CP-ALS (`I_n × C` with
 //! small `C`) this is bandwidth-bound on reading `A`, so the kernel
@@ -21,11 +26,12 @@ use mttkrp_parallel::{block_range, ThreadPool, Workspace};
 use crate::gemm::scale_c;
 use crate::kernels::{kernels, KernelSet};
 use crate::mat::{MatMut, MatRef};
+use crate::scalar::Scalar;
 
 /// Accumulate the lower triangle of `AᵀA` into `acc` (`n × n`,
 /// row-indexed `acc[p * n + q]`, `q <= p`), which must be zeroed by the
 /// caller.
-fn syrk_acc_lower(ks: &KernelSet, a: &MatRef, acc: &mut [f64]) {
+fn syrk_acc_lower<S: Scalar>(ks: &KernelSet<S>, a: &MatRef<S>, acc: &mut [f64]) {
     let (m, n) = (a.nrows(), a.ncols());
     debug_assert_eq!(acc.len(), n * n);
     if a.col_stride() == 1 {
@@ -40,7 +46,7 @@ fn syrk_acc_lower(ks: &KernelSet, a: &MatRef, acc: &mut [f64]) {
             for q in 0..=p {
                 let mut s = 0.0;
                 for i in 0..m {
-                    s += unsafe { a.get_unchecked(i, p) * a.get_unchecked(i, q) };
+                    s += unsafe { a.get_unchecked(i, p).to_f64() * a.get_unchecked(i, q).to_f64() };
                 }
                 acc[p * n + q] += s;
             }
@@ -69,12 +75,18 @@ fn add_mirrored(alpha: f64, acc: &[f64], c: &mut MatMut) {
 /// `C ← α·AᵀA + β·C` with `A` an `m × n` view and `C` an `n × n`
 /// matrix. Both triangles of `C` are written (full symmetric result).
 /// Dispatches through the process-wide [`kernels()`].
-pub fn syrk_t(alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
-    syrk_t_with(kernels(), alpha, a, beta, c)
+pub fn syrk_t<S: Scalar>(alpha: f64, a: MatRef<S>, beta: f64, c: &mut MatMut<f64>) {
+    syrk_t_with(kernels::<S>(), alpha, a, beta, c)
 }
 
 /// [`syrk_t`] against an explicit [`KernelSet`].
-pub fn syrk_t_with(ks: &KernelSet, alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+pub fn syrk_t_with<S: Scalar>(
+    ks: &KernelSet<S>,
+    alpha: f64,
+    a: MatRef<S>,
+    beta: f64,
+    c: &mut MatMut<f64>,
+) {
     let (m, n) = (a.nrows(), a.ncols());
     assert_eq!(c.nrows(), n, "output must be n x n");
     assert_eq!(c.ncols(), n, "output must be n x n");
@@ -125,26 +137,26 @@ impl SyrkWorkspace {
 /// thread accumulates a private lower-triangle Gram in its workspace
 /// slot, reduced at the end — exactly the thread-private-plus-reduction
 /// pattern of the MTTKRP algorithms.
-pub fn par_syrk_t_ws(
+pub fn par_syrk_t_ws<S: Scalar>(
     pool: &ThreadPool,
     ws: &mut SyrkWorkspace,
     alpha: f64,
-    a: MatRef,
+    a: MatRef<S>,
     beta: f64,
-    c: &mut MatMut,
+    c: &mut MatMut<f64>,
 ) {
-    par_syrk_t_ws_with(kernels(), pool, ws, alpha, a, beta, c)
+    par_syrk_t_ws_with(kernels::<S>(), pool, ws, alpha, a, beta, c)
 }
 
 /// [`par_syrk_t_ws`] against an explicit [`KernelSet`].
-pub fn par_syrk_t_ws_with(
-    ks: &KernelSet,
+pub fn par_syrk_t_ws_with<S: Scalar>(
+    ks: &KernelSet<S>,
     pool: &ThreadPool,
     ws: &mut SyrkWorkspace,
     alpha: f64,
-    a: MatRef,
+    a: MatRef<S>,
     beta: f64,
-    c: &mut MatMut,
+    c: &mut MatMut<f64>,
 ) {
     let (m, n) = (a.nrows(), a.ncols());
     let t = pool.num_threads();
@@ -177,7 +189,13 @@ pub fn par_syrk_t_ws_with(
 /// One-shot parallel `C ← α·AᵀA + β·C`: builds a fresh [`SyrkWorkspace`]
 /// per call. Iterative drivers should hold a workspace and call
 /// [`par_syrk_t_ws`] instead.
-pub fn par_syrk_t(pool: &ThreadPool, alpha: f64, a: MatRef, beta: f64, c: &mut MatMut) {
+pub fn par_syrk_t<S: Scalar>(
+    pool: &ThreadPool,
+    alpha: f64,
+    a: MatRef<S>,
+    beta: f64,
+    c: &mut MatMut<f64>,
+) {
     let mut ws = SyrkWorkspace::new(pool.num_threads());
     par_syrk_t_ws(pool, &mut ws, alpha, a, beta, c)
 }

@@ -3,8 +3,13 @@
 //! error on seeded random inputs, including unaligned/remainder
 //! lengths, `alpha == 0`, the NaN-clearing `beta` semantics of the full
 //! GEMM, and tiles smaller than `MR × NR`.
+//!
+//! The `f32` kernel sets are held to the same structure: the two `f64`
+//! reductions (`dot`, SYRK) keep near-f64 tolerances because they
+//! accumulate in `f64` on every tier, while the natively-`f32`
+//! elementwise and GEMM kernels get f32-appropriate budgets.
 
-use mttkrp_blas::kernels::{available_tiers, KernelSet, KernelTier, MicroTile, MR, NR};
+use mttkrp_blas::kernels::{available_tiers, KernelSet, KernelTier, MicroTile, MR, NR_MAX};
 use mttkrp_blas::{gemm_with, syrk_t_with, Layout, MatMut, MatRef};
 
 /// Relative-error budget of the acceptance criterion.
@@ -156,28 +161,34 @@ fn syrk_rank1_lower_with_zero_entries_skips_consistently() {
 }
 
 #[test]
-fn gemm_micro_matches_scalar() {
-    let reference = KernelSet::scalar();
-    for (tier, ks) in simd_tiers() {
-        for kc in [0usize, 1, 2, 3, 8, 17, 100, 256] {
+fn gemm_micro_matches_naive_panel_product() {
+    // Sets may use different panel widths (`ks.nr()`), so each is
+    // checked against a naive product over its own packed layout
+    // (the same summation order as the scalar reference kernel).
+    for (tier, ks) in std::iter::once((KernelTier::Scalar, KernelSet::scalar())).chain(simd_tiers())
+    {
+        let nr = ks.nr();
+        for kc in [0usize, 1, 2, 3, 8, 17, 100, 255, 256] {
             let a_panel = rand_vec(kc * MR, 51 + kc as u64);
-            let b_panel = rand_vec(kc * NR, 53 + kc as u64);
-            let init = rand_vec(MR * NR, 57 + kc as u64);
-            let to_tile = |v: &[f64]| {
-                let mut t: MicroTile = [[0.0; NR]; MR];
-                for i in 0..MR {
-                    t[i].copy_from_slice(&v[i * NR..(i + 1) * NR]);
-                }
-                t
-            };
-            let mut want = to_tile(&init);
-            (reference.gemm_micro)(kc, &a_panel, &b_panel, &mut want);
-            let mut got = to_tile(&init);
+            let b_panel = rand_vec(kc * nr, 53 + kc as u64);
+            let init = rand_vec(MR * nr, 57 + kc as u64);
+            let mut got: MicroTile<f64> = [[0.0; NR_MAX]; MR];
+            for i in 0..MR {
+                got[i][..nr].copy_from_slice(&init[i * nr..(i + 1) * nr]);
+            }
             (ks.gemm_micro)(kc, &a_panel, &b_panel, &mut got);
+            let mut want = init.clone();
+            for p in 0..kc {
+                for i in 0..MR {
+                    for j in 0..nr {
+                        want[i * nr + j] += a_panel[p * MR + i] * b_panel[p * nr + j];
+                    }
+                }
+            }
             for i in 0..MR {
                 assert_all_close(
-                    &got[i],
-                    &want[i],
+                    &got[i][..nr],
+                    &want[i * nr..(i + 1) * nr],
                     &format!("gemm_micro {tier} kc={kc} row {i}"),
                 );
             }
@@ -292,6 +303,228 @@ fn full_syrk_matches_scalar_tier() {
             let mut gv = MatMut::from_slice(&mut got, n, n, Layout::ColMajor);
             syrk_t_with(&ks, 1.0, a, 0.0, &mut gv);
             assert_all_close(&got, &want, &format!("syrk_t {tier} m={m} n={n}"));
+        }
+    }
+}
+
+// ------------------------------------------------------------- f32 tiers
+
+/// f32 products widen exactly into f64, so the f64-accumulating
+/// reductions differ from the reference only by f64 summation order.
+const TOL32_REDUCE: f64 = 1e-12;
+/// Elementwise f32 kernels differ at most by one FMA contraction.
+const TOL32_ELEM: f64 = 1e-6;
+/// Natively-f32 GEMM accumulation reorders hundreds of summands.
+const TOL32_GEMM: f64 = 3e-4;
+
+fn rand_vec_f32(n: usize, seed: u64) -> Vec<f32> {
+    rand_vec(n, seed).into_iter().map(|x| x as f32).collect()
+}
+
+fn assert_all_close_f32(got: &[f32], want: &[f32], tol: f64, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            (*g as f64 - *w as f64).abs() <= tol * (1.0 + w.abs() as f64),
+            "{ctx}[{i}]: {g} vs {w}"
+        );
+    }
+}
+
+fn simd_tiers_f32() -> Vec<(KernelTier, KernelSet<f32>)> {
+    available_tiers()
+        .into_iter()
+        .filter(|&t| t != KernelTier::Scalar)
+        .map(|t| (t, KernelSet::for_tier(t).expect("listed tier resolves")))
+        .collect()
+}
+
+#[test]
+fn f32_dot_matches_scalar_on_all_lengths() {
+    let reference = KernelSet::<f32>::scalar();
+    for (tier, ks) in simd_tiers_f32() {
+        for &n in LENGTHS {
+            let x = rand_vec_f32(n, 11 + n as u64);
+            let y = rand_vec_f32(n, 29 + n as u64);
+            let want = (reference.dot)(&x, &y);
+            let got = (ks.dot)(&x, &y);
+            assert!(
+                (got - want).abs() <= TOL32_REDUCE * (1.0 + want.abs()),
+                "f32 dot {tier} n={n}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_elementwise_kernels_match_scalar() {
+    let reference = KernelSet::<f32>::scalar();
+    for (tier, ks) in simd_tiers_f32() {
+        for &n in LENGTHS {
+            let a = rand_vec_f32(n, 7 + n as u64);
+            let b = rand_vec_f32(n, 13 + n as u64);
+
+            for &alpha in &[0.0f32, 1.0, -2.5, 0.37] {
+                let mut want = b.clone();
+                (reference.axpy)(alpha, &a, &mut want);
+                let mut got = b.clone();
+                (ks.axpy)(alpha, &a, &mut got);
+                assert_all_close_f32(
+                    &got,
+                    &want,
+                    TOL32_ELEM,
+                    &format!("f32 axpy {tier} n={n} alpha={alpha}"),
+                );
+            }
+
+            let mut want = vec![f32::NAN; n];
+            (reference.hadamard)(&a, &b, &mut want);
+            let mut got = vec![f32::NAN; n];
+            (ks.hadamard)(&a, &b, &mut got);
+            assert_all_close_f32(
+                &got,
+                &want,
+                TOL32_ELEM,
+                &format!("f32 hadamard {tier} n={n}"),
+            );
+
+            let mut want_assign = a.clone();
+            (reference.hadamard_assign)(&mut want_assign, &b);
+            let mut got_assign = a.clone();
+            (ks.hadamard_assign)(&mut got_assign, &b);
+            assert_all_close_f32(
+                &got_assign,
+                &want_assign,
+                TOL32_ELEM,
+                &format!("f32 hadamard_assign {tier} n={n}"),
+            );
+
+            let acc0 = rand_vec_f32(n, 17 + n as u64);
+            let mut want_acc = acc0.clone();
+            (reference.mul_add)(&a, &b, &mut want_acc);
+            let mut got_acc = acc0.clone();
+            (ks.mul_add)(&a, &b, &mut got_acc);
+            assert_all_close_f32(
+                &got_acc,
+                &want_acc,
+                TOL32_ELEM,
+                &format!("f32 mul_add {tier} n={n}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_syrk_rank1_lower_matches_scalar() {
+    // The accumulator is f64 on every tier, so the comparison is tight.
+    let reference = KernelSet::<f32>::scalar();
+    for (tier, ks) in simd_tiers_f32() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 25, 33] {
+            let row = rand_vec_f32(n, 41 + n as u64);
+            let acc0 = rand_vec(n * n, 43 + n as u64);
+            let mut want = acc0.clone();
+            (reference.syrk_rank1_lower)(&row, &mut want);
+            let mut got = acc0.clone();
+            (ks.syrk_rank1_lower)(&row, &mut got);
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (g - w).abs() <= TOL32_REDUCE * (1.0 + w.abs()),
+                    "f32 syrk {tier} n={n} [{i}]: {g} vs {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_gemm_micro_matches_naive_panel_product() {
+    // The f32 SIMD sets run 16-column panels (`ks.nr() == NR_MAX`), the
+    // scalar set the base 8 — each is checked over its own layout.
+    for (tier, ks) in
+        std::iter::once((KernelTier::Scalar, KernelSet::<f32>::scalar())).chain(simd_tiers_f32())
+    {
+        let nr = ks.nr();
+        for kc in [0usize, 1, 2, 3, 8, 17, 100, 255, 256] {
+            let a_panel = rand_vec_f32(kc * MR, 51 + kc as u64);
+            let b_panel = rand_vec_f32(kc * nr, 53 + kc as u64);
+            let init = rand_vec_f32(MR * nr, 57 + kc as u64);
+            let mut got: MicroTile<f32> = [[0.0; NR_MAX]; MR];
+            for i in 0..MR {
+                got[i][..nr].copy_from_slice(&init[i * nr..(i + 1) * nr]);
+            }
+            (ks.gemm_micro)(kc, &a_panel, &b_panel, &mut got);
+            let mut want = init.clone();
+            for p in 0..kc {
+                for i in 0..MR {
+                    for j in 0..nr {
+                        want[i * nr + j] += a_panel[p * MR + i] * b_panel[p * nr + j];
+                    }
+                }
+            }
+            for i in 0..MR {
+                assert_all_close_f32(
+                    &got[i][..nr],
+                    &want[i * nr..(i + 1) * nr],
+                    TOL32_GEMM,
+                    &format!("f32 gemm_micro {tier} kc={kc} row {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_full_gemm_and_syrk_match_scalar_tier() {
+    let scalar = KernelSet::<f32>::scalar();
+    for (tier, ks) in simd_tiers_f32() {
+        for &(m, n, k) in &[
+            (2usize, 3usize, 4usize),
+            (4, 8, 256),
+            (65, 9, 257),
+            (37, 90, 64),
+        ] {
+            let a_data = rand_vec_f32(m * k, (m * 31 + k) as u64);
+            let b_data = rand_vec_f32(k * n, (k * 17 + n) as u64);
+            let a = MatRef::from_slice(&a_data, m, k, Layout::ColMajor);
+            let b = MatRef::from_slice(&b_data, k, n, Layout::RowMajor);
+            let c0 = rand_vec_f32(m * n, 91);
+            let mut want = c0.clone();
+            gemm_with(
+                &scalar,
+                1.5,
+                a,
+                b,
+                1.0,
+                MatMut::from_slice(&mut want, m, n, Layout::RowMajor),
+            );
+            let mut got = c0.clone();
+            gemm_with(
+                &ks,
+                1.5,
+                a,
+                b,
+                1.0,
+                MatMut::from_slice(&mut got, m, n, Layout::RowMajor),
+            );
+            assert_all_close_f32(
+                &got,
+                &want,
+                TOL32_GEMM,
+                &format!("f32 gemm {tier} {m}x{n}x{k}"),
+            );
+        }
+
+        // SYRK on f32 input writes an f64 Gram — near-f64 agreement.
+        for &(m, n) in &[(5usize, 3usize), (64, 8), (200, 25)] {
+            let a_data = rand_vec_f32(m * n, (m + 3 * n) as u64);
+            let a = MatRef::from_slice(&a_data, m, n, Layout::RowMajor);
+            let mut want = vec![0.0f64; n * n];
+            let mut wv = MatMut::from_slice(&mut want, n, n, Layout::ColMajor);
+            syrk_t_with(&scalar, 1.0, a, 0.0, &mut wv);
+            let mut got = vec![0.0f64; n * n];
+            let mut gv = MatMut::from_slice(&mut got, n, n, Layout::ColMajor);
+            syrk_t_with(&ks, 1.0, a, 0.0, &mut gv);
+            assert_all_close(&got, &want, &format!("f32 syrk_t {tier} m={m} n={n}"));
         }
     }
 }

@@ -17,7 +17,7 @@
 //! Bader–Kolda baseline when no choice is given), while sparse
 //! backends, which have a single tree-walk kernel per mode, ignore it.
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{MatRef, Scalar};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
@@ -28,6 +28,10 @@ use crate::plan::{AlgoChoice, MttkrpPlanSet};
 /// A tensor storage format the CP drivers can decompose: shape and norm
 /// queries plus reusable planned per-mode MTTKRP execution.
 pub trait MttkrpBackend {
+    /// The element type the backend stores and the drivers compute in
+    /// (`f64` for every backend predating the generic stack).
+    type Elem: Scalar;
+
     /// Reusable per-mode execution state (plans + workspaces), built
     /// once and carried across sweeps.
     type PlanSet;
@@ -53,24 +57,25 @@ pub trait MttkrpBackend {
         &self,
         plans: &mut Self::PlanSet,
         pool: &ThreadPool,
-        factors: &[MatRef<'_>],
+        factors: &[MatRef<'_, Self::Elem>],
         n: usize,
-        out: &mut [f64],
+        out: &mut [Self::Elem],
     ) -> Breakdown;
 }
 
 /// The dense backend's plan state: planned kernels, or the explicit
 /// baseline (which reorders tensor entries per call and has no
 /// plannable workspace).
-pub enum DensePlans {
+pub enum DensePlans<S: Scalar = f64> {
     /// One [`crate::MttkrpPlan`] per mode.
-    Planned(MttkrpPlanSet),
+    Planned(MttkrpPlanSet<S>),
     /// Bader–Kolda explicit matricization + full KRP + one GEMM.
     Explicit,
 }
 
-impl MttkrpBackend for DenseTensor {
-    type PlanSet = DensePlans;
+impl<S: Scalar> MttkrpBackend for DenseTensor<S> {
+    type Elem = S;
+    type PlanSet = DensePlans<S>;
 
     fn dims(&self) -> &[usize] {
         DenseTensor::dims(self)
@@ -80,7 +85,7 @@ impl MttkrpBackend for DenseTensor {
         DenseTensor::norm(self)
     }
 
-    fn plan_modes(&self, pool: &ThreadPool, c: usize, choice: Option<AlgoChoice>) -> DensePlans {
+    fn plan_modes(&self, pool: &ThreadPool, c: usize, choice: Option<AlgoChoice>) -> DensePlans<S> {
         match choice {
             Some(choice) => {
                 DensePlans::Planned(MttkrpPlanSet::new(pool, DenseTensor::dims(self), c, choice))
@@ -91,11 +96,11 @@ impl MttkrpBackend for DenseTensor {
 
     fn mttkrp_planned(
         &self,
-        plans: &mut DensePlans,
+        plans: &mut DensePlans<S>,
         pool: &ThreadPool,
-        factors: &[MatRef<'_>],
+        factors: &[MatRef<'_, S>],
         n: usize,
-        out: &mut [f64],
+        out: &mut [S],
     ) -> Breakdown {
         match plans {
             DensePlans::Planned(set) => set.execute_timed(pool, self, factors, n, out),

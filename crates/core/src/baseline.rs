@@ -7,7 +7,7 @@
 //! the time of the single DGEMM alone, ignoring reorder and KRP costs.
 //! [`baseline_gemm_only`] provides that operation for the harness.
 
-use mttkrp_blas::{par_gemm, Layout, MatMut, MatRef};
+use mttkrp_blas::{par_gemm, Layout, MatMut, MatRef, Scalar};
 use mttkrp_krp::{krp_reuse, krp_rows};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
@@ -18,24 +18,24 @@ use crate::{krp_inputs, validate_factors};
 /// Full explicit-matricization MTTKRP: reorder + full KRP + one GEMM.
 ///
 /// Output is row-major `I_n × C`, overwritten.
-pub fn mttkrp_explicit(
+pub fn mttkrp_explicit<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) {
     let _ = mttkrp_explicit_timed(pool, x, factors, n, out);
 }
 
 /// [`mttkrp_explicit`] with the per-phase breakdown (reorder / full KRP /
 /// DGEMM).
-pub fn mttkrp_explicit_timed(
+pub fn mttkrp_explicit_timed<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) -> Breakdown {
     let dims = x.dims();
     assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
@@ -56,7 +56,7 @@ pub fn mttkrp_explicit_timed(
     // Form the full KRP explicitly.
     let inputs = krp_inputs(factors, n);
     debug_assert_eq!(krp_rows(&inputs), i_neq);
-    let mut k = vec![0.0; i_neq * c];
+    let mut k = vec![S::ZERO; i_neq * c];
     timed(&mut bd.full_krp, || krp_reuse(&inputs, &mut k));
 
     // One (multithreaded) GEMM.
@@ -81,7 +81,12 @@ pub fn mttkrp_explicit_timed(
 /// matrices with the MTTKRP's shape (`I_n × I≠n` times `I≠n × C`),
 /// excluding reorder and KRP time. Operands are caller-provided so the
 /// harness can time exactly this call.
-pub fn baseline_gemm_only(pool: &ThreadPool, x_mat: MatRef, k: MatRef, out: &mut [f64]) {
+pub fn baseline_gemm_only<S: Scalar>(
+    pool: &ThreadPool,
+    x_mat: MatRef<S>,
+    k: MatRef<S>,
+    out: &mut [S],
+) {
     let (m, c) = (x_mat.nrows(), k.ncols());
     assert_eq!(out.len(), m * c, "output must be I_n × C");
     par_gemm(

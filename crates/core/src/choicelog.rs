@@ -57,14 +57,15 @@ impl ChoiceRecord {
     }
 
     /// The model's predicted seconds for the algorithm that ran.
+    /// `None` for unpredicted plans, and for a fused run whose model
+    /// had no calibrated fused term.
     pub fn predicted_for_run(&self) -> Option<f64> {
-        self.predicted.map(|p| {
-            if self.ran_one_step() {
-                p.one_step
-            } else {
-                p.two_step
-            }
-        })
+        let p = self.predicted?;
+        match self.algo {
+            PlannedAlgo::Fused => p.fused,
+            PlannedAlgo::OneStepExternal | PlannedAlgo::OneStepInternal => Some(p.one_step),
+            PlannedAlgo::TwoStepLeft | PlannedAlgo::TwoStepRight => Some(p.two_step),
+        }
     }
 
     /// Relative error of the model on the executed algorithm:

@@ -3,7 +3,7 @@
 //! it anyway) and 2-step for internal modes (where it wins or ties in
 //! every benchmark).
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{MatRef, Scalar};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
@@ -39,23 +39,23 @@ impl ModeKind {
 /// [`crate::plan::MttkrpPlan`] with [`AlgoChoice::Heuristic`];
 /// iterative callers should hold a [`crate::plan::MttkrpPlanSet`]
 /// instead.
-pub fn mttkrp_auto(
+pub fn mttkrp_auto<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) {
     let _ = mttkrp_auto_timed(pool, x, factors, n, out);
 }
 
 /// [`mttkrp_auto`] returning the phase breakdown.
-pub fn mttkrp_auto_timed(
+pub fn mttkrp_auto_timed<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) -> Breakdown {
     let dims = x.dims();
     let c = validate_factors(dims, factors);

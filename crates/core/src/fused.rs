@@ -1,0 +1,130 @@
+//! The matrix-free fused MTTKRP (GenTen-style streaming).
+//!
+//! One pass over the tensor entries in natural (generalized
+//! column-major) order per mode: entry `ℓ = jl + i_n·IL_n + jr·IL_n·I_n`
+//! contributes `M(i_n,:) += X[ℓ] · (KL(jl,:) ∗ KR(jr,:))`, where the
+//! left/right Khatri-Rao rows are formed on the fly with Algorithm 1's
+//! prefix reuse — never materialized as matrices, and the implicit
+//! unfolding is fused into the index arithmetic, so no reorder buffer
+//! exists either. Threads own disjoint ranges of output rows, so the
+//! pass also needs no reduction.
+//!
+//! Compared with the paper's 1-step/2-step BLAS formulations this trades
+//! GEMM register blocking for strictly minimal memory traffic (the
+//! tensor is read exactly once, nothing else is written but the output),
+//! which wins when the tensor dwarfs cache and the rank is small. The
+//! tuned cost model prices all three and picks per mode
+//! ([`crate::AlgoChoice::Tuned`]); [`crate::AlgoChoice::Fused`] forces
+//! this variant.
+
+use mttkrp_blas::{MatRef, Scalar};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tensor::DenseTensor;
+
+use crate::breakdown::Breakdown;
+use crate::plan::{AlgoChoice, MttkrpPlan};
+use crate::validate_factors;
+
+/// Matrix-free fused MTTKRP. Output is row-major `I_n × C`, overwritten.
+///
+/// Thin allocating wrapper over a one-shot [`MttkrpPlan`] forced to
+/// [`AlgoChoice::Fused`]; iterative callers should hold the plan.
+pub fn mttkrp_fused<S: Scalar>(
+    pool: &ThreadPool,
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
+    n: usize,
+    out: &mut [S],
+) {
+    let _ = mttkrp_fused_timed(pool, x, factors, n, out);
+}
+
+/// [`mttkrp_fused`] returning the phase breakdown (the single streaming
+/// pass is reported under [`Breakdown::fused`]).
+pub fn mttkrp_fused_timed<S: Scalar>(
+    pool: &ThreadPool,
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
+    n: usize,
+    out: &mut [S],
+) -> Breakdown {
+    let dims = x.dims();
+    assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
+    let c = validate_factors(dims, factors);
+    assert!(n < dims.len(), "mode {n} out of range");
+    assert_eq!(out.len(), dims[n] * c, "output must be I_n × C");
+    let mut plan = MttkrpPlan::new(pool, dims, c, n, AlgoChoice::Fused);
+    plan.execute_timed(pool, x, factors, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::mttkrp_oracle;
+    use mttkrp_blas::Layout;
+    use mttkrp_rng::Rng64;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng64::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_f64() - 0.5).collect()
+    }
+
+    #[test]
+    fn fused_matches_oracle_all_modes_orders_and_threads() {
+        for dims in [
+            vec![5usize, 4],
+            vec![4, 3, 5],
+            vec![3, 4, 2, 3],
+            vec![2, 3, 2, 2, 2],
+        ] {
+            let c = 3;
+            let x = DenseTensor::from_vec(&dims, rand_vec(dims.iter().product(), 11));
+            let factors: Vec<Vec<f64>> = dims
+                .iter()
+                .enumerate()
+                .map(|(k, &d)| rand_vec(d * c, 100 + k as u64))
+                .collect();
+            let refs: Vec<MatRef> = factors
+                .iter()
+                .zip(&dims)
+                .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+                .collect();
+            for t in [1usize, 2, 7] {
+                let pool = ThreadPool::new(t);
+                for n in 0..dims.len() {
+                    let mut want = vec![0.0; dims[n] * c];
+                    let mut got = vec![f64::NAN; dims[n] * c];
+                    mttkrp_oracle(&x, &refs, n, &mut want);
+                    mttkrp_fused(&pool, &x, &refs, n, &mut got);
+                    for (a, b) in got.iter().zip(&want) {
+                        assert!(
+                            (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                            "dims {dims:?} t={t} mode {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_breakdown_reports_only_the_fused_phase() {
+        let dims = [8usize, 8, 8];
+        let c = 4;
+        let x = DenseTensor::from_vec(&dims, rand_vec(512, 3));
+        let factors: Vec<Vec<f64>> = dims.iter().map(|&d| rand_vec(d * c, 8)).collect();
+        let refs: Vec<MatRef> = factors
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0.0; 8 * c];
+        let bd = mttkrp_fused_timed(&pool, &x, &refs, 1, &mut out);
+        assert!(bd.fused > 0.0, "fused phase must be timed");
+        assert_eq!(bd.dgemm, 0.0, "fused never calls GEMM");
+        assert_eq!(bd.full_krp, 0.0, "fused never materializes a KRP");
+        assert_eq!(bd.reorder, 0.0, "fused never reorders");
+        assert_eq!(bd.reduce, 0.0, "fused output rows are disjoint");
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`twostep`] — Algorithm 4 (Phan et al.): one large partial-MTTKRP
 //!   GEMM on `X(0:n)` or `X(0:n−1)ᵀ` followed by a multi-TTV of GEMV
 //!   calls, choosing the side that minimizes second-step flops.
+//! * [`fused`] — the matrix-free fused variant (GenTen-style): one
+//!   streaming pass over the tensor entries per mode, fusing the
+//!   implicit unfolding with the Hadamard of factor rows — no
+//!   materialized KRP, no unfold buffer, no reduction.
 //! * [`dispatch::mttkrp_auto`] — the per-mode choice used by the CP-ALS
 //!   driver (1-step for external modes, 2-step for internal modes).
 //! * [`plan::MttkrpPlan`] — the reusable plan/executor split: algorithm
@@ -70,6 +74,7 @@ pub mod baseline;
 pub mod breakdown;
 pub mod choicelog;
 pub mod dispatch;
+pub mod fused;
 pub mod model;
 pub mod multimode;
 pub mod onestep;
@@ -82,6 +87,7 @@ pub use baseline::{mttkrp_explicit, mttkrp_explicit_timed};
 pub use breakdown::Breakdown;
 pub use choicelog::{ChoiceLog, ChoiceRecord};
 pub use dispatch::{mttkrp_auto, mttkrp_auto_timed, ModeKind};
+pub use fused::{mttkrp_fused, mttkrp_fused_timed};
 pub use model::{cost_model_installed, install_cost_model, tuned_cost, ModeCost};
 pub use multimode::{mttkrp_all_modes, AllModesPlan};
 pub use onestep::{mttkrp_1step, mttkrp_1step_seq, mttkrp_1step_timed};
@@ -89,13 +95,13 @@ pub use oracle::mttkrp_oracle;
 pub use plan::{AlgoChoice, MttkrpPlan, MttkrpPlanSet, PlannedAlgo};
 pub use twostep::{mttkrp_2step, mttkrp_2step_timed, TwoStepSide};
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{MatRef, Scalar};
 
 /// Validate factor shapes against the tensor and return `C`.
 ///
 /// # Panics
 /// Panics unless there is one `I_k × C` row-contiguous factor per mode.
-pub(crate) fn validate_factors(dims: &[usize], factors: &[MatRef]) -> usize {
+pub(crate) fn validate_factors<S: Scalar>(dims: &[usize], factors: &[MatRef<S>]) -> usize {
     assert_eq!(
         factors.len(),
         dims.len(),
@@ -112,7 +118,7 @@ pub(crate) fn validate_factors(dims: &[usize], factors: &[MatRef]) -> usize {
 
 /// The KRP inputs for mode `n`: all factors but `U_n`, in descending
 /// mode order (so mode 0 varies fastest in the KRP rows).
-pub(crate) fn krp_inputs<'a>(factors: &[MatRef<'a>], n: usize) -> Vec<MatRef<'a>> {
+pub(crate) fn krp_inputs<'a, S: Scalar>(factors: &[MatRef<'a, S>], n: usize) -> Vec<MatRef<'a, S>> {
     factors
         .iter()
         .enumerate()

@@ -20,7 +20,7 @@
 //!   `X(n)[j] · K_t` into its private output — again followed by a
 //!   parallel reduction.
 
-use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
+use mttkrp_blas::{gemm, Layout, MatMut, MatRef, Scalar};
 use mttkrp_krp::{krp_reuse, krp_rows};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
@@ -33,7 +33,12 @@ use crate::{krp_inputs, validate_factors};
 /// GEMM per contiguous block of `X(n)`.
 ///
 /// Output is row-major `I_n × C`, overwritten.
-pub fn mttkrp_1step_seq(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+pub fn mttkrp_1step_seq<S: Scalar>(
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
+    n: usize,
+    out: &mut [S],
+) {
     let dims = x.dims();
     assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");
     let c = validate_factors(dims, factors);
@@ -42,7 +47,7 @@ pub fn mttkrp_1step_seq(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut
 
     let inputs = krp_inputs(factors, n);
     let j_rows = krp_rows(&inputs);
-    let mut k = vec![0.0; j_rows * c];
+    let mut k = vec![S::ZERO; j_rows * c];
     krp_reuse(&inputs, &mut k);
 
     let unf = x.unfold(n);
@@ -79,34 +84,34 @@ pub fn mttkrp_1step_seq(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut
 /// This is a thin allocating wrapper: it builds a one-shot
 /// [`MttkrpPlan`] (forced to the 1-step kernel) and executes it.
 /// Iterative callers should hold the plan instead.
-pub fn mttkrp_1step(
+pub fn mttkrp_1step<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) {
     let _ = mttkrp_1step_impl(pool, x, factors, n, out);
 }
 
 /// [`mttkrp_1step`] returning the per-phase time breakdown (Figure 6's
 /// `1S` bars).
-pub fn mttkrp_1step_timed(
+pub fn mttkrp_1step_timed<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) -> Breakdown {
     mttkrp_1step_impl(pool, x, factors, n, out)
 }
 
-fn mttkrp_1step_impl(
+fn mttkrp_1step_impl<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) -> Breakdown {
     let dims = x.dims();
     assert!(dims.len() >= 2, "MTTKRP requires an order >= 2 tensor");

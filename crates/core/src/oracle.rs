@@ -1,6 +1,6 @@
 //! Definition-by-summation MTTKRP, the correctness oracle.
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{MatRef, Scalar};
 use mttkrp_tensor::DenseTensor;
 
 use crate::validate_factors;
@@ -8,8 +8,16 @@ use crate::validate_factors;
 /// `M(i, c) = Σ_{idx: idx[n] = i} X(idx) · Π_{k≠n} U_k(idx[k], c)`,
 /// evaluated entry by entry. `O(I · C · N)` — test sizes only.
 ///
-/// Output is row-major `I_n × C`, overwritten.
-pub fn mttkrp_oracle(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f64]) {
+/// Generic over the storage type but always evaluated in `f64`, so the
+/// same oracle doubles as the higher-precision reference the `f32`
+/// agreement tests compare against. Output is row-major `I_n × C`,
+/// overwritten.
+pub fn mttkrp_oracle<S: Scalar>(
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
+    n: usize,
+    out: &mut [f64],
+) {
     let dims = x.dims();
     let c = validate_factors(dims, factors);
     assert!(n < dims.len(), "mode {n} out of range");
@@ -20,10 +28,10 @@ pub fn mttkrp_oracle(x: &DenseTensor, factors: &[MatRef], n: usize, out: &mut [f
     for &v in x.data() {
         let i = idx[n];
         for col in 0..c {
-            let mut p = v;
+            let mut p = v.to_f64();
             for (k, &ik) in idx.iter().enumerate() {
                 if k != n {
-                    p *= factors[k].get(ik, col);
+                    p *= factors[k].get(ik, col).to_f64();
                 }
             }
             out[i * c + col] += p;

@@ -66,7 +66,9 @@
 
 use std::ops::Range;
 
-use mttkrp_blas::{gemm_with, kernels, par_gemm_with, par_gemv, KernelSet, Layout, MatMut, MatRef};
+use mttkrp_blas::{
+    gemm_with, kernels, par_gemm_with, par_gemv, KernelSet, Layout, MatMut, MatRef, Scalar,
+};
 use mttkrp_krp::{par_krp_with, KrpState};
 use mttkrp_parallel::{block_range, reduce, ThreadPool, Workspace};
 use mttkrp_tensor::DenseTensor;
@@ -87,6 +89,11 @@ pub enum AlgoChoice {
     /// Force the 2-step algorithm (Algorithm 4) with the given side on
     /// internal modes; external modes still degenerate to 1-step.
     TwoStep(TwoStepSide),
+    /// Force the matrix-free fused algorithm on every mode: one
+    /// streaming pass over the tensor entries that multiplies each
+    /// entry into its output row with the on-the-fly Hadamard of factor
+    /// rows — no materialized KRP, no unfold buffer, no reduction.
+    Fused,
     /// Pick whichever of the two predicted times is smaller — the
     /// machine-model override. Build the predictions with
     /// `mttkrp_machine::predicted_choice`.
@@ -119,35 +126,52 @@ pub enum PlannedAlgo {
     TwoStepLeft,
     /// 2-step, partial on the right (`R = X(0:n)·KR`).
     TwoStepRight,
+    /// Matrix-free fused streaming pass (GenTen-style), threads owning
+    /// disjoint output row ranges.
+    Fused,
 }
 
 /// Per-thread workspace of the external-mode 1-step executor.
-struct ExtSlot {
+struct ExtSlot<S: Scalar> {
     /// Private `I_n × C` output accumulator.
-    m: Vec<f64>,
+    m: Vec<S>,
     /// This thread's KRP row block (`cols × C` for its column range).
-    k: Vec<f64>,
+    k: Vec<S>,
     /// Reusable Khatri-Rao cursor state.
-    krp: KrpState,
+    krp: KrpState<S>,
     /// Per-thread phase times for the merged breakdown.
     bd: Breakdown,
 }
 
 /// Per-thread workspace of the internal-mode 1-step executor.
-struct IntSlot {
+struct IntSlot<S: Scalar> {
     /// Private `I_n × C` output accumulator.
-    m: Vec<f64>,
+    m: Vec<S>,
     /// Expanded per-block KRP `K_t = KR(j,:) ⊙ KL` (`IL_n × C`).
-    kt: Vec<f64>,
+    kt: Vec<S>,
     /// One row of the right KRP.
-    kr_row: Vec<f64>,
+    kr_row: Vec<S>,
     /// Reusable Khatri-Rao cursor state.
-    krp: KrpState,
+    krp: KrpState<S>,
     /// Per-thread phase times for the merged breakdown.
     bd: Breakdown,
 }
 
-enum PlanKind {
+/// Per-thread workspace of the matrix-free fused executor.
+struct FusedSlot<S: Scalar> {
+    /// Current left-KRP row (`C`), streamed per entry.
+    kl_row: Vec<S>,
+    /// Current right-KRP row (`C`), streamed per right block.
+    kr_row: Vec<S>,
+    /// Reusable cursor state for the left row stream.
+    left: KrpState<S>,
+    /// Reusable cursor state for the right row stream.
+    right: KrpState<S>,
+    /// Per-thread phase times for the merged breakdown.
+    bd: Breakdown,
+}
+
+enum PlanKind<S: Scalar> {
     OneStepExternal {
         /// Threads that actually receive a column block.
         nsplit: usize,
@@ -155,7 +179,7 @@ enum PlanKind {
         col_ranges: Vec<Range<usize>>,
         /// Factor indices in KRP order (descending, skipping `n`).
         krp_order: Vec<usize>,
-        ws: Workspace<ExtSlot>,
+        ws: Workspace<ExtSlot<S>>,
     },
     OneStepInternal {
         ir: usize,
@@ -164,10 +188,10 @@ enum PlanKind {
         /// Factor indices `N−1, …, n+1` (right KRP order).
         right_order: Vec<usize>,
         /// Shared left partial KRP (`IL_n × C`).
-        kl: Vec<f64>,
+        kl: Vec<S>,
         /// Cursor state for single-thread KL formation.
-        kl_state: KrpState,
-        ws: Workspace<IntSlot>,
+        kl_state: KrpState<S>,
+        ws: Workspace<IntSlot<S>>,
     },
     TwoStep {
         use_left: bool,
@@ -176,23 +200,40 @@ enum PlanKind {
         left_order: Vec<usize>,
         right_order: Vec<usize>,
         /// Left partial KRP (`IL_n × C`).
-        kl: Vec<f64>,
+        kl: Vec<S>,
         /// Right partial KRP (`IR_n × C`).
-        kr: Vec<f64>,
+        kr: Vec<S>,
         /// Cursor state for single-thread KRP formation.
-        krp_state: KrpState,
+        krp_state: KrpState<S>,
         /// The step-1 intermediate (`I_n·IR_n × C` or `IL_n·I_n × C`).
-        mid: Vec<f64>,
+        mid: Vec<S>,
         /// Multi-TTV input column scratch.
-        col_in: Vec<f64>,
+        col_in: Vec<S>,
         /// Multi-TTV output column scratch.
-        col_out: Vec<f64>,
+        col_out: Vec<S>,
+    },
+    Fused {
+        il: usize,
+        ir: usize,
+        /// Factor indices `n−1, …, 0` (left KRP order).
+        left_order: Vec<usize>,
+        /// Factor indices `N−1, …, n+1` (right KRP order).
+        right_order: Vec<usize>,
+        /// Static per-thread output row ranges (disjoint — no
+        /// reduction).
+        row_ranges: Vec<Range<usize>>,
+        ws: Workspace<FusedSlot<S>>,
     },
 }
 
 /// A reusable execution plan for the mode-`n` MTTKRP of one tensor
 /// shape, rank, and thread-pool size. See the [module docs](self).
-pub struct MttkrpPlan {
+///
+/// Generic over the element type `S` ([`Scalar`]; defaults to `f64`):
+/// an `MttkrpPlan<f32>` runs the same schedule over `f32` tensor and
+/// factor data with the f32 SIMD kernel tiers (twice the lanes, half
+/// the memory traffic).
+pub struct MttkrpPlan<S: Scalar = f64> {
     dims: Vec<usize>,
     c: usize,
     n: usize,
@@ -204,13 +245,18 @@ pub struct MttkrpPlan {
     /// [`crate::ChoiceLog`] can compare predictions against
     /// measurements.
     choice: AlgoChoice,
-    kind: PlanKind,
+    /// The cost model's full prediction when one resolved this plan
+    /// (a direct [`AlgoChoice::Predicted`], or `Tuned` hitting an
+    /// installed model — including resolutions that picked the fused
+    /// path, which the two-field `Predicted` variant cannot carry).
+    predicted: Option<ModeCost>,
+    kind: PlanKind<S>,
     /// Dispatched SIMD kernels for GEMM tiles and Hadamard row
     /// products, resolved at plan construction.
-    kernels: KernelSet,
+    kernels: KernelSet<S>,
 }
 
-impl std::fmt::Debug for MttkrpPlan {
+impl<S: Scalar> std::fmt::Debug for MttkrpPlan<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MttkrpPlan")
             .field("dims", &self.dims)
@@ -222,7 +268,7 @@ impl std::fmt::Debug for MttkrpPlan {
     }
 }
 
-impl MttkrpPlan {
+impl<S: Scalar> MttkrpPlan<S> {
     /// Plan the mode-`n` MTTKRP of a `dims` tensor at rank `c` on
     /// `pool`'s team, resolving `choice` to a concrete kernel and
     /// pre-allocating every workspace.
@@ -239,13 +285,13 @@ impl MttkrpPlan {
     ///
     /// let pool = ThreadPool::new(2);
     /// // Mode 0 is external: the heuristic resolves to 1-step.
-    /// let plan = MttkrpPlan::new(&pool, &[4, 3, 2], 5, 0, AlgoChoice::Heuristic);
+    /// let plan = MttkrpPlan::<f64>::new(&pool, &[4, 3, 2], 5, 0, AlgoChoice::Heuristic);
     /// assert_eq!(plan.algo(), PlannedAlgo::OneStepExternal);
     /// assert_eq!((plan.rank(), plan.mode(), plan.threads()), (5, 0, 2));
     ///
     /// // An internal mode with explicit predicted times takes the
     /// // cheaper algorithm (here: 1-step despite being internal).
-    /// let plan = MttkrpPlan::new(
+    /// let plan = MttkrpPlan::<f64>::new(
     ///     &pool,
     ///     &[4, 3, 2],
     ///     5,
@@ -256,7 +302,7 @@ impl MttkrpPlan {
     /// assert_eq!(plan.predicted_times().unwrap().two_step, 2.0);
     /// ```
     pub fn new(pool: &ThreadPool, dims: &[usize], c: usize, n: usize, choice: AlgoChoice) -> Self {
-        Self::new_with_kernels(pool, dims, c, n, choice, *kernels())
+        Self::new_with_kernels(pool, dims, c, n, choice, *kernels::<S>())
     }
 
     /// [`MttkrpPlan::new`] with an explicit [`KernelSet`] (e.g. a
@@ -268,7 +314,7 @@ impl MttkrpPlan {
         c: usize,
         n: usize,
         choice: AlgoChoice,
-        ks: KernelSet,
+        ks: KernelSet<S>,
     ) -> Self {
         let nmodes = dims.len();
         assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
@@ -278,14 +324,33 @@ impl MttkrpPlan {
         // Resolve the adaptive choice first: with an installed cost
         // model `Tuned` becomes a concrete prediction for this shape;
         // without one it is exactly the paper's heuristic.
+        let mut predicted = None;
         let choice = match choice {
             AlgoChoice::Tuned => match tuned_cost(dims, c, n, t) {
-                Some(ModeCost { one_step, two_step }) => {
-                    AlgoChoice::Predicted { one_step, two_step }
+                Some(cost) => {
+                    predicted = Some(cost);
+                    match cost.fused {
+                        // The fused term is opt-in: only a profile that
+                        // calibrated the fused pass prices it.
+                        Some(f) if f < cost.one_step.min(cost.two_step) => AlgoChoice::Fused,
+                        _ => AlgoChoice::Predicted {
+                            one_step: cost.one_step,
+                            two_step: cost.two_step,
+                        },
+                    }
                 }
                 None => AlgoChoice::Heuristic,
             },
-            other => other,
+            other => {
+                if let AlgoChoice::Predicted { one_step, two_step } = other {
+                    predicted = Some(ModeCost {
+                        one_step,
+                        two_step,
+                        fused: None,
+                    });
+                }
+                other
+            }
         };
         let i_n = dims[n];
         let il: usize = dims[..n].iter().product();
@@ -293,8 +358,11 @@ impl MttkrpPlan {
         // Algorithm choice follows the paper's mode-index rule: the
         // 2-step degenerates on modes 0 and N−1.
         let external = n == 0 || n == nmodes - 1;
+        let fused = matches!(choice, AlgoChoice::Fused);
 
-        let one_step = if external {
+        let one_step = if fused {
+            false
+        } else if external {
             true
         } else {
             match choice {
@@ -302,6 +370,7 @@ impl MttkrpPlan {
                 AlgoChoice::OneStep => true,
                 AlgoChoice::TwoStep(_) => false,
                 AlgoChoice::Predicted { one_step, two_step } => one_step <= two_step,
+                AlgoChoice::Fused => unreachable!("fused handled above"),
                 AlgoChoice::Tuned => unreachable!("Tuned resolved above"),
             }
         };
@@ -314,7 +383,38 @@ impl MttkrpPlan {
         // by index alone would send e.g. mode 1 of `[400, 300, 1]` to
         // the block-cyclic internal kernel, whose single block serializes
         // the whole GEMM on one thread.
-        let (algo, kind) = if one_step && (il == 1 || ir == 1) {
+        let (algo, kind) = if fused {
+            let nsplit = usize::min(t, i_n.max(1));
+            let row_ranges: Vec<Range<usize>> = (0..t)
+                .map(|tid| {
+                    if tid < nsplit {
+                        block_range(i_n, nsplit, tid)
+                    } else {
+                        0..0
+                    }
+                })
+                .collect();
+            let left_order: Vec<usize> = (0..n).rev().collect();
+            let right_order: Vec<usize> = (n + 1..nmodes).rev().collect();
+            let ws = Workspace::new(t, |_| FusedSlot {
+                kl_row: vec![S::ZERO; c],
+                kr_row: vec![S::ZERO; c],
+                left: KrpState::new(),
+                right: KrpState::new(),
+                bd: Breakdown::default(),
+            });
+            (
+                PlannedAlgo::Fused,
+                PlanKind::Fused {
+                    il,
+                    ir,
+                    left_order,
+                    right_order,
+                    row_ranges,
+                    ws,
+                },
+            )
+        } else if one_step && (il == 1 || ir == 1) {
             let j_total: usize = dims.iter().product::<usize>() / i_n;
             let nsplit = usize::min(t, j_total.max(1));
             let col_ranges: Vec<Range<usize>> = (0..t)
@@ -328,8 +428,8 @@ impl MttkrpPlan {
                 .collect();
             let krp_order: Vec<usize> = (0..nmodes).rev().filter(|&k| k != n).collect();
             let ws = Workspace::new(t, |tid| ExtSlot {
-                m: vec![0.0; i_n * c],
-                k: vec![0.0; col_ranges[tid].len() * c],
+                m: vec![S::ZERO; i_n * c],
+                k: vec![S::ZERO; col_ranges[tid].len() * c],
                 krp: KrpState::new(),
                 bd: Breakdown::default(),
             });
@@ -347,9 +447,9 @@ impl MttkrpPlan {
             let right_order: Vec<usize> = (n + 1..nmodes).rev().collect();
             if one_step {
                 let ws = Workspace::new(t, |_| IntSlot {
-                    m: vec![0.0; i_n * c],
-                    kt: vec![0.0; il * c],
-                    kr_row: vec![0.0; c],
+                    m: vec![S::ZERO; i_n * c],
+                    kt: vec![S::ZERO; il * c],
+                    kr_row: vec![S::ZERO; c],
                     krp: KrpState::new(),
                     bd: Breakdown::default(),
                 });
@@ -359,7 +459,7 @@ impl MttkrpPlan {
                         ir,
                         left_order,
                         right_order,
-                        kl: vec![0.0; il * c],
+                        kl: vec![S::ZERO; il * c],
                         kl_state: KrpState::new(),
                         ws,
                     },
@@ -384,12 +484,12 @@ impl MttkrpPlan {
                         ir,
                         left_order,
                         right_order,
-                        kl: vec![0.0; il * c],
-                        kr: vec![0.0; ir * c],
+                        kl: vec![S::ZERO; il * c],
+                        kr: vec![S::ZERO; ir * c],
                         krp_state: KrpState::new(),
-                        mid: vec![0.0; mid_len],
-                        col_in: vec![0.0; usize::max(il, ir)],
-                        col_out: vec![0.0; i_n],
+                        mid: vec![S::ZERO; mid_len],
+                        col_in: vec![S::ZERO; usize::max(il, ir)],
+                        col_out: vec![S::ZERO; i_n],
                     },
                 )
             }
@@ -402,6 +502,7 @@ impl MttkrpPlan {
             threads: t,
             algo,
             choice,
+            predicted,
             kind,
             kernels: ks,
         }
@@ -420,10 +521,7 @@ impl MttkrpPlan {
     /// was built from a prediction ([`AlgoChoice::Predicted`], directly
     /// or via a resolved [`AlgoChoice::Tuned`]).
     pub fn predicted_times(&self) -> Option<ModeCost> {
-        match self.choice {
-            AlgoChoice::Predicted { one_step, two_step } => Some(ModeCost { one_step, two_step }),
-            _ => None,
-        }
+        self.predicted
     }
 
     /// The kernel tier this plan's hot loops dispatch to.
@@ -465,11 +563,12 @@ impl MttkrpPlan {
     /// Address of the first thread's private output buffer — exposed so
     /// tests can assert workspace-pointer stability across executions
     /// (the "no per-iteration allocation" property).
-    pub fn workspace_ptr(&self) -> *const f64 {
+    pub fn workspace_ptr(&self) -> *const S {
         match &self.kind {
             PlanKind::OneStepExternal { ws, .. } => ws.slot(0).m.as_ptr(),
             PlanKind::OneStepInternal { ws, .. } => ws.slot(0).m.as_ptr(),
             PlanKind::TwoStep { mid, .. } => mid.as_ptr(),
+            PlanKind::Fused { ws, .. } => ws.slot(0).kl_row.as_ptr(),
         }
     }
 
@@ -482,9 +581,9 @@ impl MttkrpPlan {
     pub fn execute(
         &mut self,
         pool: &ThreadPool,
-        x: &DenseTensor,
-        factors: &[MatRef],
-        out: &mut [f64],
+        x: &DenseTensor<S>,
+        factors: &[MatRef<S>],
+        out: &mut [S],
     ) {
         let _ = self.execute_timed(pool, x, factors, out);
     }
@@ -493,9 +592,9 @@ impl MttkrpPlan {
     pub fn execute_timed(
         &mut self,
         pool: &ThreadPool,
-        x: &DenseTensor,
-        factors: &[MatRef],
-        out: &mut [f64],
+        x: &DenseTensor<S>,
+        factors: &[MatRef<S>],
+        out: &mut [S],
     ) -> Breakdown {
         assert_eq!(
             x.dims(),
@@ -601,6 +700,31 @@ impl MttkrpPlan {
                     &mut bd,
                 );
             }
+            PlanKind::Fused {
+                il,
+                ir,
+                left_order,
+                right_order,
+                row_ranges,
+                ws,
+            } => {
+                exec_fused(
+                    &self.kernels,
+                    pool,
+                    x,
+                    factors,
+                    i_n,
+                    c,
+                    *il,
+                    *ir,
+                    left_order,
+                    right_order,
+                    row_ranges,
+                    ws,
+                    out,
+                    &mut bd,
+                );
+            }
         }
         bd.total = total_t0.elapsed().as_secs_f64();
         bd
@@ -610,13 +734,13 @@ impl MttkrpPlan {
 /// Form the KRP `factors[order[0]] ⊙ …` into `out`: cursor-state path
 /// for one thread (allocation-free), row-partitioned [`par_krp`] for a
 /// team.
-fn plan_krp(
-    ks: &KernelSet,
+fn plan_krp<S: Scalar>(
+    ks: &KernelSet<S>,
     pool: &ThreadPool,
-    factors: &[MatRef],
+    factors: &[MatRef<S>],
     order: &[usize],
-    st: &mut KrpState,
-    out: &mut [f64],
+    st: &mut KrpState<S>,
+    out: &mut [S],
     c: usize,
 ) {
     if pool.num_threads() == 1 {
@@ -625,25 +749,25 @@ fn plan_krp(
             stream.write_next(row);
         }
     } else {
-        let inputs: Vec<MatRef> = order.iter().map(|&i| factors[i]).collect();
+        let inputs: Vec<MatRef<S>> = order.iter().map(|&i| factors[i]).collect();
         par_krp_with(ks, pool, &inputs, out);
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_onestep_external(
-    ks: &KernelSet,
+fn exec_onestep_external<S: Scalar>(
+    ks: &KernelSet<S>,
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
     i_n: usize,
     c: usize,
     nsplit: usize,
     col_ranges: &[Range<usize>],
     krp_order: &[usize],
-    ws: &mut Workspace<ExtSlot>,
-    out: &mut [f64],
+    ws: &mut Workspace<ExtSlot<S>>,
+    out: &mut [S],
     bd: &mut Breakdown,
 ) {
     let unf = x.unfold(n);
@@ -688,21 +812,21 @@ fn exec_onestep_external(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_onestep_internal(
-    ks: &KernelSet,
+fn exec_onestep_internal<S: Scalar>(
+    ks: &KernelSet<S>,
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
     i_n: usize,
     c: usize,
     ir: usize,
     left_order: &[usize],
     right_order: &[usize],
-    kl: &mut [f64],
-    kl_state: &mut KrpState,
-    ws: &mut Workspace<IntSlot>,
-    out: &mut [f64],
+    kl: &mut [S],
+    kl_state: &mut KrpState<S>,
+    ws: &mut Workspace<IntSlot<S>>,
+    out: &mut [S],
     bd: &mut Breakdown,
 ) {
     let unf = x.unfold(n);
@@ -715,7 +839,7 @@ fn exec_onestep_internal(
 
     pool.run_with_workspace(ws, |ctx, slot| {
         slot.bd = Breakdown::default();
-        slot.m.fill(0.0);
+        slot.m.fill(S::ZERO);
         let mut stream = slot.krp.cursor_with(factors, right_order, ks);
         let mut j = ctx.thread_id;
         while j < ir {
@@ -755,11 +879,11 @@ fn exec_onestep_internal(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_twostep(
-    ks: &KernelSet,
+fn exec_twostep<S: Scalar>(
+    ks: &KernelSet<S>,
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
     i_n: usize,
     c: usize,
@@ -768,13 +892,13 @@ fn exec_twostep(
     ir: usize,
     left_order: &[usize],
     right_order: &[usize],
-    kl: &mut [f64],
-    kr: &mut [f64],
-    krp_state: &mut KrpState,
-    mid: &mut [f64],
-    col_in: &mut [f64],
-    col_out: &mut [f64],
-    out: &mut [f64],
+    kl: &mut [S],
+    kr: &mut [S],
+    krp_state: &mut KrpState<S>,
+    mid: &mut [S],
+    col_in: &mut [S],
+    col_out: &mut [S],
+    out: &mut [S],
     bd: &mut Breakdown,
 ) {
     // Lines 2–3: both partial KRPs.
@@ -861,30 +985,154 @@ fn exec_twostep(
 /// Combine the first `nparts` slots' private outputs into `out`
 /// (overwriting). Allocation-free for one part; the paper's parallel
 /// element-range reduction otherwise.
-fn reduce_slots<S>(
+fn reduce_slots<W, S: Scalar>(
     pool: &ThreadPool,
-    out: &mut [f64],
-    slots: &[S],
+    out: &mut [S],
+    slots: &[W],
     nparts: usize,
-    buf: impl Fn(&S) -> &Vec<f64>,
+    buf: impl Fn(&W) -> &Vec<S>,
 ) {
     if nparts == 1 {
         out.copy_from_slice(buf(&slots[0]));
         return;
     }
-    out.fill(0.0);
-    let parts: Vec<&[f64]> = slots[..nparts].iter().map(|s| buf(s).as_slice()).collect();
+    out.fill(S::ZERO);
+    let parts: Vec<&[S]> = slots[..nparts].iter().map(|s| buf(s).as_slice()).collect();
     reduce::sum_into(pool, out, &parts);
+}
+
+/// `out[c] += x · kl[c] · kr[c]` — the fused algorithm's per-entry
+/// rank-length accumulate, contracted so LLVM keeps the FMA form for
+/// both element types.
+#[inline]
+fn fused_accum<S: Scalar>(x: S, kl: &[S], kr: &[S], out: &mut [S]) {
+    for ((o, &a), &b) in out.iter_mut().zip(kl).zip(kr) {
+        *o = (x * a).mul_add(b, *o);
+    }
+}
+
+/// The matrix-free fused MTTKRP: one pass over the tensor entries in
+/// natural order, multiplying each entry into its output row with the
+/// on-the-fly Hadamard of factor rows — no materialized KRP, no unfold
+/// buffer, and no reduction (threads own disjoint output row ranges).
+///
+/// Entry `ℓ = jl + i·IL_n + jr·IL_n·I_n` contributes
+/// `M(i,:) += X[ℓ] · (KL(jl,:) ∗ KR(jr,:))`. Left rows are streamed
+/// with Algorithm 1's prefix reuse — or borrowed straight from the
+/// factor when one matrix makes up the side — so the dominant cost is
+/// one fused multiply-add chain per entry.
+#[allow(clippy::too_many_arguments)]
+fn exec_fused<S: Scalar>(
+    ks: &KernelSet<S>,
+    pool: &ThreadPool,
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
+    i_n: usize,
+    c: usize,
+    il: usize,
+    ir: usize,
+    left_order: &[usize],
+    right_order: &[usize],
+    row_ranges: &[Range<usize>],
+    ws: &mut Workspace<FusedSlot<S>>,
+    out: &mut [S],
+    bd: &mut Breakdown,
+) {
+    let data = x.data();
+    let out_base = out.as_mut_ptr() as usize;
+    pool.run_with_workspace(ws, |ctx, slot| {
+        let FusedSlot {
+            kl_row,
+            kr_row,
+            left,
+            right,
+            bd,
+        } = slot;
+        *bd = Breakdown::default();
+        let r = row_ranges[ctx.thread_id].clone();
+        if r.is_empty() {
+            return;
+        }
+        // Safety: row ranges are pairwise disjoint sub-ranges of
+        // `0..i_n` and `out` stays mutably borrowed for the region.
+        let my_out = unsafe {
+            std::slice::from_raw_parts_mut((out_base as *mut S).add(r.start * c), r.len() * c)
+        };
+        my_out.fill(S::ZERO);
+        timed(&mut bd.fused, || {
+            let z_l = left_order.len();
+            let z_r = right_order.len();
+            let mut right_stream = (z_r >= 2).then(|| right.cursor_with(factors, right_order, ks));
+            for jr in 0..ir {
+                match (&mut right_stream, z_r) {
+                    (Some(stream), _) => stream.write_next(kr_row),
+                    (None, 1) => kr_row.copy_from_slice(factors[right_order[0]].row_slice(jr)),
+                    (None, _) => {}
+                }
+                for i in r.clone() {
+                    let orow = &mut my_out[(i - r.start) * c..(i - r.start) * c + c];
+                    let base = (jr * i_n + i) * il;
+                    let xrow = &data[base..base + il];
+                    match (z_l, z_r) {
+                        (0, _) => {
+                            // Mode 0 (IL = 1): the row product is KR alone.
+                            (ks.axpy)(xrow[0], kr_row, orow);
+                        }
+                        (1, 0) => {
+                            // Last mode of an order-2 tensor.
+                            let f = factors[left_order[0]];
+                            for (jl, &xv) in xrow.iter().enumerate() {
+                                if xv != S::ZERO {
+                                    (ks.axpy)(xv, f.row_slice(jl), orow);
+                                }
+                            }
+                        }
+                        (_, 0) => {
+                            // Last mode: stream left rows, no right side.
+                            let mut ls = left.cursor_with(factors, left_order, ks);
+                            for &xv in xrow {
+                                ls.write_next(kl_row);
+                                if xv != S::ZERO {
+                                    (ks.axpy)(xv, kl_row, orow);
+                                }
+                            }
+                        }
+                        (1, _) => {
+                            // One left factor: borrow its rows directly.
+                            let f = factors[left_order[0]];
+                            for (jl, &xv) in xrow.iter().enumerate() {
+                                if xv != S::ZERO {
+                                    fused_accum(xv, f.row_slice(jl), kr_row, orow);
+                                }
+                            }
+                        }
+                        _ => {
+                            let mut ls = left.cursor_with(factors, left_order, ks);
+                            for &xv in xrow {
+                                ls.write_next(kl_row);
+                                if xv != S::ZERO {
+                                    fused_accum(xv, kl_row, kr_row, orow);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    });
+    for slot in ws.slots() {
+        bd.fused = bd.fused.max(slot.bd.fused);
+    }
 }
 
 /// One plan per mode of a tensor shape — what CP-ALS builds once per
 /// model and reuses every sweep.
 #[derive(Debug)]
-pub struct MttkrpPlanSet {
-    plans: Vec<MttkrpPlan>,
+pub struct MttkrpPlanSet<S: Scalar = f64> {
+    plans: Vec<MttkrpPlan<S>>,
 }
 
-impl MttkrpPlanSet {
+impl<S: Scalar> MttkrpPlanSet<S> {
     /// Plan every mode of a `dims` tensor at rank `c` with the same
     /// [`AlgoChoice`].
     pub fn new(pool: &ThreadPool, dims: &[usize], c: usize, choice: AlgoChoice) -> Self {
@@ -913,13 +1161,13 @@ impl MttkrpPlanSet {
 
     /// The plan for mode `n`.
     #[inline]
-    pub fn plan(&self, n: usize) -> &MttkrpPlan {
+    pub fn plan(&self, n: usize) -> &MttkrpPlan<S> {
         &self.plans[n]
     }
 
     /// Mutable plan for mode `n`.
     #[inline]
-    pub fn plan_mut(&mut self, n: usize) -> &mut MttkrpPlan {
+    pub fn plan_mut(&mut self, n: usize) -> &mut MttkrpPlan<S> {
         &mut self.plans[n]
     }
 
@@ -927,10 +1175,10 @@ impl MttkrpPlanSet {
     pub fn execute(
         &mut self,
         pool: &ThreadPool,
-        x: &DenseTensor,
-        factors: &[MatRef],
+        x: &DenseTensor<S>,
+        factors: &[MatRef<S>],
         n: usize,
-        out: &mut [f64],
+        out: &mut [S],
     ) {
         self.plans[n].execute(pool, x, factors, out);
     }
@@ -939,10 +1187,10 @@ impl MttkrpPlanSet {
     pub fn execute_timed(
         &mut self,
         pool: &ThreadPool,
-        x: &DenseTensor,
-        factors: &[MatRef],
+        x: &DenseTensor<S>,
+        factors: &[MatRef<S>],
         n: usize,
-        out: &mut [f64],
+        out: &mut [S],
     ) -> Breakdown {
         self.plans[n].execute_timed(pool, x, factors, out)
     }
@@ -1002,6 +1250,7 @@ mod tests {
                         one_step: 2.0,
                         two_step: 1.0,
                     },
+                    AlgoChoice::Fused,
                 ] {
                     let mut plan = MttkrpPlan::new(&pool, &dims, c, n, choice);
                     let mut got = vec![f64::NAN; dims[n] * c];
@@ -1078,23 +1327,24 @@ mod tests {
             AlgoChoice::TwoStep(TwoStepSide::Auto),
         ] {
             assert_eq!(
-                MttkrpPlan::new(&pool, &dims, 2, 0, choice).algo(),
+                MttkrpPlan::<f64>::new(&pool, &dims, 2, 0, choice).algo(),
                 PlannedAlgo::OneStepExternal
             );
         }
         // Internal heuristic: 2-step with the IL > IR rule (IL=4 < IR=5
         // here → right).
         assert_eq!(
-            MttkrpPlan::new(&pool, &dims, 2, 1, AlgoChoice::Heuristic).algo(),
+            MttkrpPlan::<f64>::new(&pool, &dims, 2, 1, AlgoChoice::Heuristic).algo(),
             PlannedAlgo::TwoStepRight
         );
         assert_eq!(
-            MttkrpPlan::new(&pool, &dims, 2, 1, AlgoChoice::TwoStep(TwoStepSide::Left)).algo(),
+            MttkrpPlan::<f64>::new(&pool, &dims, 2, 1, AlgoChoice::TwoStep(TwoStepSide::Left))
+                .algo(),
             PlannedAlgo::TwoStepLeft
         );
         // Machine-model override picks the cheaper prediction.
         assert_eq!(
-            MttkrpPlan::new(
+            MttkrpPlan::<f64>::new(
                 &pool,
                 &dims,
                 2,
@@ -1133,7 +1383,7 @@ mod tests {
             }
         }
         // A genuinely blocked internal mode still plans the internal kernel.
-        let plan = MttkrpPlan::new(&pool, &[4, 3, 2], 2, 1, AlgoChoice::OneStep);
+        let plan = MttkrpPlan::<f64>::new(&pool, &[4, 3, 2], 2, 1, AlgoChoice::OneStep);
         assert_eq!(plan.algo(), PlannedAlgo::OneStepInternal);
     }
 
@@ -1174,7 +1424,11 @@ mod tests {
             for n in 0..dims.len() {
                 let mut want = vec![0.0; dims[n] * c];
                 mttkrp_oracle(&x, &refs, n, &mut want);
-                for choice in [AlgoChoice::OneStep, AlgoChoice::TwoStep(TwoStepSide::Auto)] {
+                for choice in [
+                    AlgoChoice::OneStep,
+                    AlgoChoice::TwoStep(TwoStepSide::Auto),
+                    AlgoChoice::Fused,
+                ] {
                     let mut plan = MttkrpPlan::new_with_kernels(&pool, &dims, c, n, choice, ks);
                     assert_eq!(plan.kernel_tier(), tier);
                     let mut got = vec![f64::NAN; dims[n] * c];

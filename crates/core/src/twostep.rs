@@ -15,7 +15,7 @@
 //! algorithm (the partial MTTKRP already is the answer), so this module
 //! delegates those modes to [`crate::onestep`].
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{MatRef, Scalar};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
@@ -38,35 +38,35 @@ pub enum TwoStepSide {
 /// exactly as in the paper. Output is row-major `I_n × C`, overwritten.
 ///
 /// External modes delegate to the (equivalent) 1-step algorithm.
-pub fn mttkrp_2step(
+pub fn mttkrp_2step<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
 ) {
     let _ = mttkrp_2step_impl(pool, x, factors, n, out, TwoStepSide::Auto);
 }
 
 /// [`mttkrp_2step`] with an explicit side choice (the left-vs-right
 /// ablation) and per-phase timing (Figure 6's `2S` bars).
-pub fn mttkrp_2step_timed(
+pub fn mttkrp_2step_timed<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     side: TwoStepSide,
 ) -> Breakdown {
     mttkrp_2step_impl(pool, x, factors, n, out, side)
 }
 
-fn mttkrp_2step_impl(
+fn mttkrp_2step_impl<S: Scalar>(
     pool: &ThreadPool,
-    x: &DenseTensor,
-    factors: &[MatRef],
+    x: &DenseTensor<S>,
+    factors: &[MatRef<S>],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     side: TwoStepSide,
 ) -> Breakdown {
     let dims = x.dims();

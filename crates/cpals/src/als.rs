@@ -6,7 +6,7 @@
 //! kernel) — the driver only ever asks the backend for its shape, its
 //! norm, and a planned mode-`n` MTTKRP.
 
-use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
+use mttkrp_blas::{gemm, Layout, MatMut, MatRef, Scalar};
 use mttkrp_core::{AlgoChoice, Breakdown, MttkrpBackend, TwoStepSide};
 use mttkrp_linalg::{sym_pinv_into, PinvWorkspace};
 use mttkrp_parallel::ThreadPool;
@@ -33,6 +33,9 @@ pub enum MttkrpStrategy {
     /// calibrated tuning profile (`mttkrp-tune`); identical to
     /// [`MttkrpStrategy::Auto`] when no profile is loaded.
     Tuned,
+    /// Matrix-free fused streaming MTTKRP everywhere (one pass over the
+    /// tensor entries per mode, no materialized KRP or unfold).
+    Fused,
 }
 
 impl MttkrpStrategy {
@@ -46,6 +49,7 @@ impl MttkrpStrategy {
             MttkrpStrategy::TwoStep => Some(AlgoChoice::TwoStep(TwoStepSide::Auto)),
             MttkrpStrategy::Explicit => None,
             MttkrpStrategy::Tuned => Some(AlgoChoice::Tuned),
+            MttkrpStrategy::Fused => Some(AlgoChoice::Fused),
         }
     }
 }
@@ -125,7 +129,7 @@ impl CpAlsReport {
 /// // A rank-1 tensor built from a known model is recovered to
 /// // near-perfect fit within a few sweeps.
 /// let dims = [6usize, 5, 4];
-/// let truth = KruskalModel::random(&dims, 1, 7);
+/// let truth = KruskalModel::<f64>::random(&dims, 1, 7);
 /// let x = truth.to_dense();
 /// let pool = ThreadPool::new(2);
 /// let (model, report) = cp_als(
@@ -144,9 +148,9 @@ impl CpAlsReport {
 pub fn cp_als<X: MttkrpBackend>(
     pool: &ThreadPool,
     x: &X,
-    init: KruskalModel,
+    init: KruskalModel<X::Elem>,
     opts: &CpAlsOptions,
-) -> (KruskalModel, CpAlsReport) {
+) -> (KruskalModel<X::Elem>, CpAlsReport) {
     let mut sweep = CpAlsSweep::new(pool, x, init, opts);
 
     let mut report = CpAlsReport {
@@ -190,19 +194,20 @@ pub fn cp_als<X: MttkrpBackend>(
 /// pool — the property tests/plan_alloc.rs proves with a counting
 /// allocator. [`cp_als`] is a thin driver over this type.
 pub struct CpAlsSweep<X: MttkrpBackend> {
-    model: KruskalModel,
+    model: KruskalModel<X::Elem>,
     plans: X::PlanSet,
     dims: Vec<usize>,
     c: usize,
     norm_x: f64,
-    /// Per-mode Gram matrices of the (normalized) factors.
+    /// Per-mode Gram matrices of the (normalized) factors, always
+    /// accumulated in `f64` (the mixed-precision contract).
     grams: Vec<Vec<f64>>,
     gram_ws: GramWorkspace,
-    solve: SolveWorkspace,
+    solve: SolveWorkspace<X::Elem>,
     /// MTTKRP output buffer (`max I_n × C`).
-    m_buf: Vec<f64>,
+    m_buf: Vec<X::Elem>,
     /// Copy of the last mode's MTTKRP for the fit evaluation.
-    last_mode_m: Vec<f64>,
+    last_mode_m: Vec<X::Elem>,
     /// `c × c` scratch for the model-norm Gram Hadamard.
     norm_had: Vec<f64>,
 }
@@ -213,7 +218,7 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
     ///
     /// # Panics
     /// Panics if the model shape does not match the tensor.
-    pub fn new(pool: &ThreadPool, x: &X, init: KruskalModel, opts: &CpAlsOptions) -> Self {
+    pub fn new(pool: &ThreadPool, x: &X, init: KruskalModel<X::Elem>, opts: &CpAlsOptions) -> Self {
         let dims = x.dims().to_vec();
         let nmodes = dims.len();
         let c = init.rank();
@@ -246,8 +251,8 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
             grams,
             gram_ws,
             solve: SolveWorkspace::new(c),
-            m_buf: vec![0.0; dims.iter().copied().max().unwrap_or(0) * c],
-            last_mode_m: vec![0.0; dims[nmodes - 1] * c],
+            m_buf: vec![<X::Elem as Scalar>::ZERO; dims.iter().copied().max().unwrap_or(0) * c],
+            last_mode_m: vec![<X::Elem as Scalar>::ZERO; dims[nmodes - 1] * c],
             norm_had: vec![0.0; c * c],
             model,
         }
@@ -255,12 +260,12 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
 
     /// The current model.
     #[inline]
-    pub fn model(&self) -> &KruskalModel {
+    pub fn model(&self) -> &KruskalModel<X::Elem> {
         &self.model
     }
 
     /// Consume the state, returning the fitted model.
-    pub fn into_model(self) -> KruskalModel {
+    pub fn into_model(self) -> KruskalModel<X::Elem> {
         self.model
     }
 
@@ -311,7 +316,9 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
             let mut s = 0.0;
             for i in 0..self.dims[nmodes - 1] {
                 for col in 0..c {
-                    s += self.model.lambda[col] * u[i * c + col] * self.last_mode_m[i * c + col];
+                    s += self.model.lambda[col]
+                        * u[i * c + col].to_f64()
+                        * self.last_mode_m[i * c + col].to_f64();
                 }
             }
             s
@@ -345,20 +352,24 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
 }
 
 /// Reusable scratch of the least-squares factor update (the Gram
-/// Hadamard, its pseudoinverse, and the eigensolver workspace).
-pub(crate) struct SolveWorkspace {
+/// Hadamard, its pseudoinverse in `f64`, the storage-typed copy the
+/// final GEMM consumes, and the eigensolver workspace).
+pub(crate) struct SolveWorkspace<S: Scalar = f64> {
     /// `H = ⊛_{k≠n} G_k`, column-major `c × c`.
     h: Vec<f64>,
     /// `H†`, column-major `c × c`.
     p: Vec<f64>,
+    /// `H†` narrowed to the storage type for the `M · H†` GEMM.
+    p_cast: Vec<S>,
     pinv: PinvWorkspace,
 }
 
-impl SolveWorkspace {
+impl<S: Scalar> SolveWorkspace<S> {
     pub(crate) fn new(c: usize) -> Self {
         SolveWorkspace {
             h: vec![0.0; c * c],
             p: vec![0.0; c * c],
+            p_cast: vec![S::ZERO; c * c],
             pinv: PinvWorkspace::new(),
         }
     }
@@ -367,21 +378,24 @@ impl SolveWorkspace {
 /// One least-squares factor update: `U_n = M · H†` with
 /// `H = ⊛_{k≠n} G_k` (all buffers row-major `rows × c`),
 /// allocation-free against a caller-held [`SolveWorkspace`].
-pub(crate) fn solve_factor_update_ws(
-    ws: &mut SolveWorkspace,
-    m: &[f64],
+pub(crate) fn solve_factor_update_ws<S: Scalar>(
+    ws: &mut SolveWorkspace<S>,
+    m: &[S],
     rows: usize,
     c: usize,
     grams: &[Vec<f64>],
     n: usize,
-    out: &mut Vec<f64>,
+    out: &mut Vec<S>,
 ) {
     hadamard_excluding_into(grams, n, c, &mut ws.h);
     sym_pinv_into(&ws.h, c, 0.0, &mut ws.pinv, &mut ws.p)
         .expect("pseudoinverse of a c x c Gram Hadamard");
+    for (d, &src) in ws.p_cast.iter_mut().zip(&ws.p) {
+        *d = S::from_f64(src);
+    }
     let mv = MatRef::from_slice(m, rows, c, Layout::RowMajor);
-    let pv = MatRef::from_slice(&ws.p, c, c, Layout::ColMajor);
-    out.resize(rows * c, 0.0);
+    let pv = MatRef::from_slice(&ws.p_cast, c, c, Layout::ColMajor);
+    out.resize(rows * c, S::ZERO);
     gemm(
         1.0,
         mv,

@@ -10,7 +10,7 @@
 //! *fixed* factor set here, so [`mttkrp_core::mttkrp_all_modes`]'s
 //! two-GEMM shared-partial evaluation applies directly.
 
-use mttkrp_blas::{gemm, Layout, MatMut, MatRef};
+use mttkrp_blas::{gemm, Layout, MatMut, MatRef, Scalar};
 use mttkrp_core::{AlgoChoice, AllModesPlan, MttkrpBackend};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
@@ -37,8 +37,8 @@ use crate::model::KruskalModel;
 pub fn cp_gradient<X: MttkrpBackend>(
     pool: &ThreadPool,
     x: &X,
-    model: &KruskalModel,
-) -> (f64, Vec<Vec<f64>>) {
+    model: &KruskalModel<X::Elem>,
+) -> (f64, Vec<Vec<X::Elem>>) {
     assert!(
         model.lambda.iter().all(|&l| l == 1.0),
         "fold λ into a factor before calling cp_gradient"
@@ -49,7 +49,10 @@ pub fn cp_gradient<X: MttkrpBackend>(
 
     let refs = model.factor_refs();
     let mut plans = x.plan_modes(pool, c, Some(AlgoChoice::Heuristic));
-    let mut grads: Vec<Vec<f64>> = dims.iter().map(|&d| vec![0.0; d * c]).collect();
+    let mut grads: Vec<Vec<X::Elem>> = dims
+        .iter()
+        .map(|&d| vec![<X::Elem as Scalar>::ZERO; d * c])
+        .collect();
     for (n, g) in grads.iter_mut().enumerate() {
         x.mttkrp_planned(&mut plans, pool, &refs, n, g);
     }
@@ -64,12 +67,12 @@ pub fn cp_gradient<X: MttkrpBackend>(
 /// `H = ⊛_{k≠n} G_k` in place and returns the objective
 /// `½(‖X‖² − 2⟨X,Y⟩ + ‖Y‖²).max(0)`, with `⟨X,Y⟩` read from the last
 /// mode's MTTKRP before it is consumed.
-fn finish_gradient(
+fn finish_gradient<S: Scalar>(
     pool: &ThreadPool,
-    model: &KruskalModel,
+    model: &KruskalModel<S>,
     dims: &[usize],
     norm_x_sq: f64,
-    grads: &mut [Vec<f64>],
+    grads: &mut [Vec<S>],
 ) -> f64 {
     let nmodes = dims.len();
     let c = model.rank();
@@ -84,16 +87,24 @@ fn finish_gradient(
     let inner: f64 = {
         let n = nmodes - 1;
         let u = &model.factors[n];
-        u.iter().zip(&grads[n]).map(|(a, b)| a * b).sum()
+        u.iter()
+            .zip(&grads[n])
+            .map(|(a, b)| a.to_f64() * b.to_f64())
+            .sum()
     };
 
+    let mut h_cast = vec![S::ZERO; c * c];
     for n in 0..nmodes {
         let rows = dims[n];
         let g = &mut grads[n];
         assert_eq!(g.len(), rows * c, "gradient buffer {n} must be I_n × C");
-        // G_n = U_n·H − M_n  (H symmetric).
+        // G_n = U_n·H − M_n  (H symmetric; narrowed to the storage type
+        // for the GEMM after the f64 Gram Hadamard).
         let h = hadamard_excluding(&grams, n, c);
-        let hv = MatRef::from_slice(&h, c, c, Layout::ColMajor);
+        for (d, &src) in h_cast.iter_mut().zip(&h) {
+            *d = S::from_f64(src);
+        }
+        let hv = MatRef::from_slice(&h_cast, c, c, Layout::ColMajor);
         gemm(
             1.0,
             refs[n],
@@ -197,7 +208,7 @@ mod tests {
     #[test]
     fn gradient_vanishes_at_exact_decomposition() {
         let dims = [5usize, 4, 3];
-        let model = KruskalModel::random(&dims, 2, 8);
+        let model = KruskalModel::<f64>::random(&dims, 2, 8);
         let x = model.to_dense();
         let pool = ThreadPool::new(2);
         let (f, grads) = cp_gradient(&pool, &x, &model);
@@ -213,7 +224,7 @@ mod tests {
     #[should_panic]
     fn rejects_weighted_models() {
         let dims = [3usize, 3];
-        let x = KruskalModel::random(&dims, 1, 1).to_dense();
+        let x = KruskalModel::<f64>::random(&dims, 1, 1).to_dense();
         let mut model = KruskalModel::random(&dims, 1, 2);
         model.lambda[0] = 2.0;
         let pool = ThreadPool::new(1);

@@ -7,7 +7,7 @@
 //! multithreaded-BLAS setup) and, in the steady state of an iterative
 //! driver, allocation-free against a caller-held [`GramWorkspace`].
 
-use mttkrp_blas::{par_syrk_t_ws, syrk_t, Layout, MatMut, MatRef, SyrkWorkspace};
+use mttkrp_blas::{par_syrk_t_ws, syrk_t, Layout, MatMut, MatRef, Scalar, SyrkWorkspace};
 use mttkrp_parallel::ThreadPool;
 
 /// Reusable state for [`gram_into`]: the per-thread SYRK accumulators.
@@ -31,10 +31,10 @@ impl GramWorkspace {
 /// `c × c` (symmetric, so layout is moot, but kept consistent with the
 /// `mttkrp-linalg` convention), fully overwritten. Rows of `U` are
 /// statically partitioned across `pool`'s team.
-pub fn gram_into(
+pub fn gram_into<S: Scalar>(
     pool: &ThreadPool,
     ws: &mut GramWorkspace,
-    u: &[f64],
+    u: &[S],
     rows: usize,
     c: usize,
     out: &mut [f64],
@@ -48,7 +48,7 @@ pub fn gram_into(
 
 /// `G = Uᵀ·U`, parallelized over `pool` — the one-shot wrapper over
 /// [`gram_into`] (fresh workspace and output per call).
-pub fn gram(pool: &ThreadPool, u: &[f64], rows: usize, c: usize) -> Vec<f64> {
+pub fn gram<S: Scalar>(pool: &ThreadPool, u: &[S], rows: usize, c: usize) -> Vec<f64> {
     let mut ws = GramWorkspace::new(pool.num_threads());
     let mut g = vec![0.0; c * c];
     gram_into(pool, &mut ws, u, rows, c, &mut g);
@@ -57,7 +57,7 @@ pub fn gram(pool: &ThreadPool, u: &[f64], rows: usize, c: usize) -> Vec<f64> {
 
 /// Sequential `G = Uᵀ·U` for contexts without a pool (e.g.
 /// `KruskalModel::norm_sq`).
-pub fn gram_seq(u: &[f64], rows: usize, c: usize) -> Vec<f64> {
+pub fn gram_seq<S: Scalar>(u: &[S], rows: usize, c: usize) -> Vec<f64> {
     assert_eq!(u.len(), rows * c, "factor must be rows x c");
     let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
     let mut g = vec![0.0; c * c];

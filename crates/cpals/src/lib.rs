@@ -32,7 +32,7 @@
 //! use mttkrp_parallel::ThreadPool;
 //!
 //! let dims = [6usize, 5, 4];
-//! let planted = KruskalModel::random(&dims, 2, 7).to_dense();
+//! let planted = KruskalModel::<f64>::random(&dims, 2, 7).to_dense();
 //! let pool = ThreadPool::new(2);
 //! let init = KruskalModel::random(&dims, 2, 8);
 //! let opts = CpAlsOptions { max_iters: 100, ..Default::default() };

@@ -1,24 +1,27 @@
 //! The Kruskal (CP) model: weights plus one factor matrix per mode.
 
-use mttkrp_blas::{Layout, MatRef};
+use mttkrp_blas::{Layout, MatRef, Scalar};
 use mttkrp_rng::Rng64;
 use mttkrp_tensor::DenseTensor;
 
 /// A rank-`C` Kruskal tensor `⟦λ; U_0, …, U_{N−1}⟧`.
 ///
-/// Factors are row-major `I_n × C`; `lambda` holds the per-component
-/// weights extracted by column normalization.
+/// Factors are row-major `I_n × C` in the storage type `S` ([`Scalar`];
+/// defaults to `f64`); `lambda` holds the per-component weights
+/// extracted by column normalization, always in `f64` — weights come
+/// from norm reductions, which the whole stack accumulates in double
+/// regardless of storage.
 #[derive(Debug, Clone, PartialEq)]
-pub struct KruskalModel {
+pub struct KruskalModel<S: Scalar = f64> {
     dims: Vec<usize>,
     rank: usize,
     /// Row-major `I_n × C` factor matrices.
-    pub factors: Vec<Vec<f64>>,
+    pub factors: Vec<Vec<S>>,
     /// Component weights, length `C`.
     pub lambda: Vec<f64>,
 }
 
-impl KruskalModel {
+impl<S: Scalar> KruskalModel<S> {
     /// Model with every factor entry drawn uniformly from `[0, 1)`
     /// (Tensor Toolbox's default random initialization) and unit
     /// weights. Deterministic in `seed`.
@@ -27,7 +30,7 @@ impl KruskalModel {
         let mut rng = Rng64::seed_from_u64(seed);
         let factors = dims
             .iter()
-            .map(|&d| (0..d * rank).map(|_| rng.next_f64()).collect())
+            .map(|&d| (0..d * rank).map(|_| S::from_f64(rng.next_f64())).collect())
             .collect();
         KruskalModel {
             dims: dims.to_vec(),
@@ -38,7 +41,7 @@ impl KruskalModel {
     }
 
     /// Wrap existing factors (row-major `I_n × C`) with unit weights.
-    pub fn from_factors(dims: &[usize], rank: usize, factors: Vec<Vec<f64>>) -> Self {
+    pub fn from_factors(dims: &[usize], rank: usize, factors: Vec<Vec<S>>) -> Self {
         assert_eq!(factors.len(), dims.len(), "one factor per mode");
         for (n, (f, &d)) in factors.iter().zip(dims).enumerate() {
             assert_eq!(f.len(), d * rank, "factor {n} must be I_n x C");
@@ -63,8 +66,25 @@ impl KruskalModel {
         self.rank
     }
 
+    /// Convert to another storage type, narrowing or widening every
+    /// factor entry through `f64` (weights are already `f64`). This is
+    /// how mixed-precision tests share one deterministic initialization
+    /// across dtypes.
+    pub fn cast<T: Scalar>(&self) -> KruskalModel<T> {
+        KruskalModel {
+            dims: self.dims.clone(),
+            rank: self.rank,
+            factors: self
+                .factors
+                .iter()
+                .map(|f| f.iter().map(|&v| T::from_f64(v.to_f64())).collect())
+                .collect(),
+            lambda: self.lambda.clone(),
+        }
+    }
+
     /// Borrowed views of the factors, as the MTTKRP kernels expect.
-    pub fn factor_refs(&self) -> Vec<MatRef<'_>> {
+    pub fn factor_refs(&self) -> Vec<MatRef<'_, S>> {
         self.factors
             .iter()
             .zip(&self.dims)
@@ -77,12 +97,12 @@ impl KruskalModel {
     /// loop — the paper tops out at order 6), higher orders fall back
     /// to [`KruskalModel::factor_refs`]. This is what keeps the
     /// steady-state CP-ALS sweep free of per-mode allocations.
-    pub fn with_factor_refs<R>(&self, f: impl FnOnce(&[MatRef<'_>]) -> R) -> R {
+    pub fn with_factor_refs<R>(&self, f: impl FnOnce(&[MatRef<'_, S>]) -> R) -> R {
         const MAX_STACK_MODES: usize = 16;
         let n = self.dims.len();
         if n <= MAX_STACK_MODES {
-            static EMPTY: [f64; 0] = [];
-            let mut buf = [MatRef::from_slice(&EMPTY, 0, 0, Layout::RowMajor); MAX_STACK_MODES];
+            let empty: &[S] = &[];
+            let mut buf = [MatRef::from_slice(empty, 0, 0, Layout::RowMajor); MAX_STACK_MODES];
             for (slot, (fm, &d)) in buf.iter_mut().zip(self.factors.iter().zip(&self.dims)) {
                 *slot = MatRef::from_slice(fm, d, self.rank, Layout::RowMajor);
             }
@@ -100,13 +120,13 @@ impl KruskalModel {
         for col in 0..c {
             let mut s = 0.0;
             for i in 0..rows {
-                let v = self.factors[n][i * c + col];
+                let v = self.factors[n][i * c + col].to_f64();
                 s += v * v;
             }
             let norm = s.sqrt();
             if norm > 0.0 {
                 self.lambda[col] *= norm;
-                let inv = 1.0 / norm;
+                let inv = S::from_f64(1.0 / norm);
                 for i in 0..rows {
                     self.factors[n][i * c + col] *= inv;
                 }
@@ -126,19 +146,21 @@ impl KruskalModel {
     pub fn entry(&self, idx: &[usize]) -> f64 {
         debug_assert_eq!(idx.len(), self.dims.len(), "one index per mode");
         let c = self.rank;
-        let mut s = 0.0;
+        // Evaluated in the storage type so the bitwise-parity contract
+        // with `to_dense` holds for f32 models too.
+        let mut s = S::ZERO;
         for col in 0..c {
-            let mut p = 1.0;
+            let mut p = S::ONE;
             for (n, &i) in idx.iter().enumerate() {
                 let mut v = self.factors[n][i * c + col];
                 if n == 0 {
-                    v *= self.lambda[col];
+                    v *= S::from_f64(self.lambda[col]);
                 }
                 p *= v;
             }
             s += p;
         }
-        s
+        s.to_f64()
     }
 
     /// Squared Frobenius norm of the modeled tensor:
@@ -162,13 +184,13 @@ impl KruskalModel {
     }
 
     /// Materialize the modeled tensor (test sizes only: `O(I·C·N)`).
-    pub fn to_dense(&self) -> DenseTensor {
+    pub fn to_dense(&self) -> DenseTensor<S> {
         // Fold λ into mode-0 columns, then evaluate.
         let c = self.rank;
         let mut f0 = self.factors[0].clone();
         for chunk in f0.chunks_exact_mut(c) {
             for (v, &l) in chunk.iter_mut().zip(&self.lambda) {
-                *v *= l;
+                *v *= S::from_f64(l);
             }
         }
         // DenseTensor::from_factors expects column-major factors.
@@ -178,7 +200,7 @@ impl KruskalModel {
             .enumerate()
         {
             let d = self.dims[n];
-            let mut cm = vec![0.0; d * c];
+            let mut cm = vec![S::ZERO; d * c];
             for i in 0..d {
                 for col in 0..c {
                     cm[i + col * d] = f[i * c + col];
@@ -212,16 +234,16 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_in_seed() {
-        let a = KruskalModel::random(&[3, 4], 2, 7);
-        let b = KruskalModel::random(&[3, 4], 2, 7);
-        let c = KruskalModel::random(&[3, 4], 2, 8);
+        let a = KruskalModel::<f64>::random(&[3, 4], 2, 7);
+        let b = KruskalModel::<f64>::random(&[3, 4], 2, 7);
+        let c = KruskalModel::<f64>::random(&[3, 4], 2, 8);
         assert_eq!(a, b);
         assert_ne!(a.factors, c.factors);
     }
 
     #[test]
     fn normalize_extracts_column_norms() {
-        let mut m = KruskalModel::from_factors(
+        let mut m = KruskalModel::<f64>::from_factors(
             &[2, 2],
             2,
             vec![vec![3.0, 0.0, 4.0, 0.0], vec![1.0, 1.0, 0.0, 1.0]],
@@ -237,7 +259,7 @@ mod tests {
 
     #[test]
     fn with_factor_refs_matches_allocating_refs() {
-        let m = KruskalModel::random(&[4, 3, 2, 5], 3, 13);
+        let m = KruskalModel::<f64>::random(&[4, 3, 2, 5], 3, 13);
         let heap = m.factor_refs();
         m.with_factor_refs(|refs| {
             assert_eq!(refs.len(), heap.len());
@@ -255,14 +277,14 @@ mod tests {
 
     #[test]
     fn norm_sq_matches_dense_norm() {
-        let m = KruskalModel::random(&[3, 4, 2], 3, 5);
+        let m = KruskalModel::<f64>::random(&[3, 4, 2], 3, 5);
         let dense = m.to_dense();
         assert!((m.norm_sq() - dense.norm().powi(2)).abs() < 1e-8 * m.norm_sq().max(1.0));
     }
 
     #[test]
     fn norm_sq_respects_lambda() {
-        let mut m = KruskalModel::random(&[3, 3], 2, 9);
+        let mut m = KruskalModel::<f64>::random(&[3, 3], 2, 9);
         let base = m.norm_sq();
         m.lambda = vec![2.0; 2];
         // Doubling both weights quadruples the squared norm.

@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 use std::process::exit;
 
-use mttkrp_blas::{Layout, MatRef};
+use mttkrp_blas::{Dtype, Layout, MatRef, Scalar};
 use mttkrp_core::{mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, TwoStepSide};
 use mttkrp_cpals::{
     cp_als, cp_als_dimtree, cp_als_nn, CpAlsOptions, CpAlsReport, KruskalModel, MttkrpStrategy,
@@ -45,8 +45,8 @@ use mttkrp_rng::Rng64;
 use mttkrp_tensor::linear_index;
 use mttkrp_tensor::DenseTensor;
 use mttkrp_workloads::{
-    linearize_symmetric, random_factors, read_tensor, write_model, write_tensor, FmriConfig,
-    StoredModel,
+    linearize_symmetric, random_factors, read_tensor, tensor_dtype, write_model, write_tensor,
+    FmriConfig, StoredModel,
 };
 
 fn main() {
@@ -108,17 +108,22 @@ fn usage() {
         "tensorcp — CP decomposition of dense tensor files\n\
          commands:\n\
            gen        --dims AxBxC --rank R [--noise S] [--seed N] --out FILE\n\
+                      [--dtype f32|f64] (element type of the written file)\n\
                       [--ooc [--budget-mb N] [--tile AxBxC]]  (write a tile store)\n\
-           gen-fmri   [--preset small|medium|paper] [--three-way] --out FILE\n\
+           gen-fmri   [--preset small|medium|paper] [--three-way] [--dtype f32|f64]\n\
+                      --out FILE\n\
            decompose  --input FILE --rank R [--method als|nn|dimtree]\n\
                       [--iters N] [--tol T] [--threads T] [--model-out FILE]\n\
+                      [--dtype f32|f64] (default: the file's stored dtype)\n\
                       [--ooc [--budget-mb N] [--tile AxBxC]]  (stream from disk)\n\
            info       --input FILE   (dense .mtkt or tile-store .mttb)\n\
-           profile    --input FILE [--rank R] [--threads T]\n\
+           profile    --input FILE [--rank R] [--threads T] [--dtype f32|f64]\n\
            tune       [--out FILE] [--threads T] [--quick]\n\
                       (calibrate this host, print + write a tuning profile)\n\
          every command accepts --kernel auto|scalar|avx2|avx512|neon\n\
          (hardware dispatch tier; default auto = best supported);\n\
+         f32 runs store in binary32 but keep f64 accumulators in every\n\
+         reduction; the out-of-core (--ooc) paths are f64-only;\n\
          the out-of-core budget falls back to MTTKRP_OOC_BUDGET, then 256 MB;\n\
          a profile named by MTTKRP_TUNE_PROFILE is loaded at startup and\n\
          drives per-mode algorithm choice in decompose"
@@ -179,7 +184,7 @@ fn print_ooc_header(layout: &TiledLayout, budget: usize) {
             "warning       : store tiles exceed the budget; re-create the store to shrink them"
         );
     }
-    println!("kernel tier   : {}", mttkrp_blas::kernels().tier());
+    println!("kernel tier   : {}", mttkrp_blas::kernels::<f64>().tier());
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -221,6 +226,13 @@ fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
     Ok(dims)
 }
 
+/// The validated `--dtype` flag, or `None` when absent (commands pick
+/// their own default: `gen` writes f64, `decompose`/`profile` follow
+/// the input file).
+fn dtype_flag(opts: &HashMap<String, String>) -> Result<Option<Dtype>, String> {
+    opts.get("dtype").map(|s| Dtype::parse(s)).transpose()
+}
+
 fn num<T: std::str::FromStr>(
     opts: &HashMap<String, String>,
     key: &str,
@@ -238,8 +250,12 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
     let noise: f64 = num(opts, "noise", 0.0)?;
     let seed: u64 = num(opts, "seed", 0)?;
     let out = require(opts, "out")?;
+    let dtype = dtype_flag(opts)?.unwrap_or(Dtype::F64);
 
     if opts.contains_key("ooc") {
+        if dtype != Dtype::F64 {
+            return Err("--ooc tile stores are f64-only (drop --dtype f32)".into());
+        }
         // Stream a tile store straight from the Kruskal generator —
         // the tensor never materializes, so its size is bounded by
         // disk, not RAM. Noise is hashed per entry (order-independent,
@@ -248,7 +264,7 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
         let budget = ooc_budget(opts)?;
         let layout = ooc_layout(opts, &dims, budget)?;
         print_ooc_header(&layout, budget);
-        let model = KruskalModel::random(&dims, rank, seed);
+        let model = KruskalModel::<f64>::random(&dims, rank, seed);
         // Noise amplitude from the model norm (no materialized data to
         // measure): ‖X‖/√I ≈ √(norm_sq/I).
         let total: usize = dims.iter().product();
@@ -267,7 +283,10 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
         return Ok(());
     }
 
-    let mut x = KruskalModel::random(&dims, rank, seed).to_dense();
+    // Generate in f64 regardless of the output dtype, then narrow once
+    // at the end — the f32 file holds the rounded values of the same
+    // reproducible stream, not a stream drawn at f32.
+    let mut x = KruskalModel::<f64>::random(&dims, rank, seed).to_dense();
     if noise > 0.0 {
         let scale = x.norm() / (x.len() as f64).sqrt() * noise;
         let mut rng = Rng64::seed_from_u64(seed ^ 0x5EED);
@@ -275,8 +294,12 @@ fn cmd_gen(opts: &HashMap<String, String>) -> CliResult {
             *v += scale * (rng.next_f64() - 0.5);
         }
     }
-    write_tensor(out, &x).map_err(|e| e.to_string())?;
-    println!("wrote rank-{rank} tensor {dims:?} (+{noise} noise) to {out}");
+    match dtype {
+        Dtype::F64 => write_tensor(out, &x),
+        Dtype::F32 => write_tensor(out, &x.cast::<f32>()),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("wrote rank-{rank} {dtype} tensor {dims:?} (+{noise} noise) to {out}");
     Ok(())
 }
 
@@ -295,19 +318,30 @@ fn cmd_gen_fmri(opts: &HashMap<String, String>) -> CliResult {
         other => return Err(format!("unknown preset {other:?}")),
     };
     let out = require(opts, "out")?;
+    let dtype = dtype_flag(opts)?.unwrap_or(Dtype::F64);
     let x4 = cfg.generate_4way();
     let x = if opts.contains_key("three-way") {
         linearize_symmetric(&x4)
     } else {
         x4
     };
-    write_tensor(out, &x).map_err(|e| e.to_string())?;
-    println!("wrote fMRI tensor {:?} to {out}", x.dims());
+    match dtype {
+        Dtype::F64 => write_tensor(out, &x),
+        Dtype::F32 => write_tensor(out, &x.cast::<f32>()),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("wrote fMRI {dtype} tensor {:?} to {out}", x.dims());
     Ok(())
 }
 
-fn load(opts: &HashMap<String, String>) -> Result<DenseTensor, String> {
-    read_tensor(require(opts, "input")?).map_err(|e| e.to_string())
+/// The dtype a dense run should execute at: `--dtype` if given, else
+/// whatever the input file stores. A `--dtype` that contradicts the
+/// file is rejected by the typed reader before the payload is read.
+fn run_dtype(opts: &HashMap<String, String>, input: &str) -> Result<Dtype, String> {
+    match dtype_flag(opts)? {
+        Some(d) => Ok(d),
+        None => tensor_dtype(input).map_err(|e| e.to_string()),
+    }
 }
 
 fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
@@ -329,10 +363,18 @@ fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
         );
         return Ok(());
     }
-    let x = load(opts)?;
+    match tensor_dtype(input).map_err(|e| e.to_string())? {
+        Dtype::F64 => print_dense_info::<f64>(&read_tensor(input).map_err(|e| e.to_string())?),
+        Dtype::F32 => print_dense_info::<f32>(&read_tensor(input).map_err(|e| e.to_string())?),
+    }
+    Ok(())
+}
+
+fn print_dense_info<S: Scalar>(x: &DenseTensor<S>) {
     println!("dims      : {:?}", x.dims());
+    println!("dtype     : {}", S::DTYPE);
     println!("entries   : {}", x.len());
-    println!("bytes     : {}", x.len() * 8);
+    println!("bytes     : {}", x.len() * S::DTYPE.size_bytes());
     println!("frobenius : {:.6e}", x.norm());
     let info = x.info();
     for n in 0..x.order() {
@@ -348,7 +390,6 @@ fn cmd_info(opts: &HashMap<String, String>) -> CliResult {
             },
         );
     }
-    Ok(())
 }
 
 fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
@@ -374,6 +415,9 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
     if opts.contains_key("ooc") {
         if method != "als" {
             return Err(format!("--ooc supports --method als only (got {method:?})"));
+        }
+        if dtype_flag(opts)? == Some(Dtype::F32) {
+            return Err("--ooc decomposition is f64-only (drop --dtype f32)".into());
         }
         let input = require(opts, "input")?;
         let budget = ooc_budget(opts)?;
@@ -411,7 +455,28 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
         return write_model_out(opts, &model);
     }
 
-    let x = load(opts)?;
+    let input = require(opts, "input")?;
+    let dtype = run_dtype(opts, input)?;
+    if dtype == Dtype::F32 {
+        if method != "als" {
+            return Err(format!(
+                "--dtype f32 supports --method als only (got {method:?}; nn/dimtree are f64 paths)"
+            ));
+        }
+        // The whole sweep runs at f32 storage (f64 accumulators inside
+        // every reduction); the model is widened only for the report
+        // and the f64 MTKM file.
+        let x: DenseTensor<f32> = read_tensor(input).map_err(|e| e.to_string())?;
+        let init = KruskalModel::<f32>::random(x.dims(), rank, seed);
+        let t0 = std::time::Instant::now();
+        let (model, report) = cp_als(&pool, &x, init, &cp_opts);
+        let elapsed = t0.elapsed().as_secs_f64();
+        println!("dtype         : f32 (f64 accumulators)");
+        let model = model.cast::<f64>();
+        print_decompose_report(method, rank, &model, &report, elapsed);
+        return write_model_out(opts, &model);
+    }
+    let x: DenseTensor<f64> = read_tensor(input).map_err(|e| e.to_string())?;
     let init = KruskalModel::random(x.dims(), rank, seed);
     let t0 = std::time::Instant::now();
     let (model, report): (KruskalModel, CpAlsReport) = match method {
@@ -509,7 +574,14 @@ fn cmd_tune(opts: &HashMap<String, String>) -> CliResult {
 }
 
 fn cmd_profile(opts: &HashMap<String, String>) -> CliResult {
-    let x = load(opts)?;
+    let input = require(opts, "input")?;
+    match run_dtype(opts, input)? {
+        Dtype::F64 => profile_at::<f64>(opts, &read_tensor(input).map_err(|e| e.to_string())?),
+        Dtype::F32 => profile_at::<f32>(opts, &read_tensor(input).map_err(|e| e.to_string())?),
+    }
+}
+
+fn profile_at<S: Scalar>(opts: &HashMap<String, String>, x: &DenseTensor<S>) -> CliResult {
     let rank: usize = num(opts, "rank", 25)?;
     let threads: usize = num(opts, "threads", 0)?;
     let pool = if threads == 0 {
@@ -518,36 +590,42 @@ fn cmd_profile(opts: &HashMap<String, String>) -> CliResult {
         ThreadPool::new(threads)
     };
     let dims = x.dims().to_vec();
-    let factors = random_factors(&dims, rank, 1);
-    let refs: Vec<MatRef> = factors
+    let factors: Vec<Vec<S>> = random_factors(&dims, rank, 1)
+        .into_iter()
+        .map(|f| f.into_iter().map(S::from_f64).collect())
+        .collect();
+    let refs: Vec<MatRef<S>> = factors
         .iter()
         .zip(&dims)
         .map(|(f, &d)| MatRef::from_slice(f, d, rank, Layout::RowMajor))
         .collect();
 
-    println!("algorithm,mode,total_ms,reorder_ms,krp_ms,gemm_ms,gemv_ms,reduce_ms");
+    println!("algorithm,mode,total_ms,reorder_ms,krp_ms,gemm_ms,gemv_ms,reduce_ms,fused_ms");
     for n in 0..dims.len() {
-        let mut out = vec![0.0; dims[n] * rank];
-        let bd = mttkrp_explicit_timed(&pool, &x, &refs, n, &mut out);
+        let mut out = vec![S::ZERO; dims[n] * rank];
+        let bd = mttkrp_explicit_timed(&pool, x, &refs, n, &mut out);
         print_row("explicit", n, &bd);
-        let bd = mttkrp_1step_timed(&pool, &x, &refs, n, &mut out);
+        let bd = mttkrp_1step_timed(&pool, x, &refs, n, &mut out);
         print_row("1step", n, &bd);
         if n > 0 && n < dims.len() - 1 {
-            let bd = mttkrp_2step_timed(&pool, &x, &refs, n, &mut out, TwoStepSide::Auto);
+            let bd = mttkrp_2step_timed(&pool, x, &refs, n, &mut out, TwoStepSide::Auto);
             print_row("2step", n, &bd);
         }
+        let bd = mttkrp_core::mttkrp_fused_timed(&pool, x, &refs, n, &mut out);
+        print_row("fused", n, &bd);
     }
     Ok(())
 }
 
 fn print_row(alg: &str, n: usize, bd: &mttkrp_core::Breakdown) {
     println!(
-        "{alg},{n},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+        "{alg},{n},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
         bd.total * 1e3,
         bd.reorder * 1e3,
         (bd.full_krp + bd.lr_krp) * 1e3,
         bd.dgemm * 1e3,
         bd.dgemv * 1e3,
         bd.reduce * 1e3,
+        bd.fused * 1e3,
     );
 }

@@ -1,11 +1,13 @@
 //! Figure 5: MTTKRP time vs threads for N ∈ {3,4,5,6} equal-dimension
 //! tensors (≈750M entries in the paper, scaled here), C = 25 —
-//! 1-step per mode, 2-step per internal mode, and the baseline DGEMM.
+//! 1-step per mode, 2-step per internal mode, the matrix-free fused
+//! pass, and the baseline DGEMM. `--dtype f32` runs the same sweep in
+//! binary32 storage (f64 accumulators inside every reduction).
 
-use mttkrp_blas::{Layout, MatRef};
+use mttkrp_blas::{Dtype, Layout, MatRef, Scalar};
 use mttkrp_core::baseline::baseline_gemm_only;
 use mttkrp_core::{AlgoChoice, MttkrpPlan, TwoStepSide};
-use mttkrp_machine::{predict_1step, predict_2step, predict_baseline, Machine};
+use mttkrp_machine::{predict_1step, predict_2step, predict_baseline, predict_fused, Machine};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 use mttkrp_workloads::{equal_dims, random_factors, random_matrix};
@@ -15,8 +17,13 @@ use crate::util::{claim, fmt_s, time_median, MODEL_THREADS};
 
 pub const C: usize = 25;
 
-/// Build the Figure 5/6 workload for one mode count.
-pub fn workload(nmodes: usize, scale: Scale) -> (DenseTensor, Vec<Vec<f64>>, Vec<usize>) {
+/// Build the Figure 5/6 workload for one mode count at storage type
+/// `S` (values are drawn in f64 and narrowed once, so the f32 tensor
+/// holds the rounded values of the identical stream).
+pub fn workload<S: Scalar>(
+    nmodes: usize,
+    scale: Scale,
+) -> (DenseTensor<S>, Vec<Vec<S>>, Vec<usize>) {
     let dims = equal_dims(nmodes, scale.synthetic_entries());
     // from_fn with a cheap counter-based fill: value content is
     // irrelevant to timing, and even the in-tree Rng64 on 750M entries
@@ -26,13 +33,16 @@ pub fn workload(nmodes: usize, scale: Scale) -> (DenseTensor, Vec<Vec<f64>>, Vec
         k = k
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        ((k >> 40) as f64) * 2e-8 - 0.5
+        S::from_f64(((k >> 40) as f64) * 2e-8 - 0.5)
     });
-    let factors = random_factors(&dims, C, nmodes as u64);
+    let factors = random_factors(&dims, C, nmodes as u64)
+        .into_iter()
+        .map(|f| f.into_iter().map(S::from_f64).collect())
+        .collect();
     (x, factors, dims)
 }
 
-pub fn refs<'a>(factors: &'a [Vec<f64>], dims: &[usize]) -> Vec<MatRef<'a>> {
+pub fn refs<'a, S: Scalar>(factors: &'a [Vec<S>], dims: &[usize]) -> Vec<MatRef<'a, S>> {
     factors
         .iter()
         .zip(dims)
@@ -40,20 +50,30 @@ pub fn refs<'a>(factors: &'a [Vec<f64>], dims: &[usize]) -> Vec<MatRef<'a>> {
         .collect()
 }
 
-pub fn run(scale: Scale) {
-    println!("## Figure 5: MTTKRP time vs threads (C = {C})");
+pub fn run(scale: Scale, dtype: Dtype) {
+    match dtype {
+        Dtype::F64 => run_at::<f64>(scale),
+        Dtype::F32 => run_at::<f32>(scale),
+    }
+}
+
+fn run_at<S: Scalar>(scale: Scale) {
+    println!(
+        "## Figure 5: MTTKRP time vs threads (C = {C}, dtype = {})",
+        S::DTYPE
+    );
     let pool = ThreadPool::host();
     // Model/claims use the paper testbed's constants.
     let machine = Machine::sandy_bridge_12core();
 
     for nmodes in 3..=6 {
-        let (x, factors, dims) = workload(nmodes, scale);
+        let (x, factors, dims) = workload::<S>(nmodes, scale);
         println!("\n### N = {nmodes}: dims = {dims:?} ({} entries)", x.len());
         println!("series,threads,seconds,source");
         let frefs = refs(&factors, &dims);
 
         for n in 0..nmodes {
-            let mut out = vec![0.0; dims[n] * C];
+            let mut out = vec![S::ZERO; dims[n] * C];
             // Steady-state measurement: the plan (algorithm choice,
             // partition schedule, workspaces) is built once outside the
             // timing loop, exactly as CP-ALS reuses it across sweeps.
@@ -78,6 +98,18 @@ pub fn run(scale: Scale) {
                     );
                 }
             }
+            // The matrix-free fused pass (one tensor read, no GEMM, no
+            // materialized KRP) — the third algorithm a tuned plan can
+            // pick.
+            let mut plan = MttkrpPlan::new(&pool, &dims, C, n, AlgoChoice::Fused);
+            let tf = time_median(scale.trials(), || plan.execute(&pool, &x, &frefs, &mut out));
+            println!("Fused n={n},{},{},measured", pool.num_threads(), fmt_s(tf));
+            for &t in &MODEL_THREADS {
+                println!(
+                    "Fused n={n},{t},{},model",
+                    fmt_s(predict_fused(&machine, &dims, n, C, t).total)
+                );
+            }
         }
 
         // Baseline: single DGEMM between column-major matrices of the
@@ -87,9 +119,12 @@ pub fn run(scale: Scale) {
         let i_n = dims[n_mid];
         let i_neq = x.len() / i_n;
         let xv = MatRef::from_slice(x.data(), i_n, i_neq, Layout::ColMajor);
-        let k = random_matrix(i_neq, C, 5);
+        let k: Vec<S> = random_matrix(i_neq, C, 5)
+            .into_iter()
+            .map(S::from_f64)
+            .collect();
         let kv = MatRef::from_slice(&k, i_neq, C, Layout::ColMajor);
-        let mut out = vec![0.0; i_n * C];
+        let mut out = vec![S::ZERO; i_n * C];
         let tb = time_median(scale.trials(), || {
             baseline_gemm_only(&pool, xv, kv, &mut out)
         });

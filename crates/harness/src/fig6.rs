@@ -1,9 +1,11 @@
-//! Figure 6: per-phase time breakdown of baseline / 1-step / 2-step
-//! across modes, sequential (T=1) and parallel (T=12), for the Figure 5
-//! tensors.
+//! Figure 6: per-phase time breakdown of baseline / 1-step / 2-step /
+//! fused across modes, sequential (T=1) and parallel (T=12), for the
+//! Figure 5 tensors. `--dtype f32` reruns the sweep in binary32
+//! storage.
 
+use mttkrp_blas::{Dtype, Scalar};
 use mttkrp_core::{mttkrp_explicit_timed, AlgoChoice, Breakdown, MttkrpPlan, TwoStepSide};
-use mttkrp_machine::{predict_1step, predict_2step, predict_explicit, Machine};
+use mttkrp_machine::{predict_1step, predict_2step, predict_explicit, predict_fused, Machine};
 use mttkrp_parallel::ThreadPool;
 
 use crate::fig5::{refs, workload, C};
@@ -12,31 +14,42 @@ use crate::util::fmt_s;
 
 fn print_bd(series: &str, n: usize, t: usize, source: &str, bd: &Breakdown) {
     println!(
-        "{series},n={n},T={t},{source},reorder={},full_krp={},lr_krp={},dgemm={},dgemv={},reduce={},total={}",
+        "{series},n={n},T={t},{source},reorder={},full_krp={},lr_krp={},dgemm={},dgemv={},reduce={},fused={},total={}",
         fmt_s(bd.reorder),
         fmt_s(bd.full_krp),
         fmt_s(bd.lr_krp),
         fmt_s(bd.dgemm),
         fmt_s(bd.dgemv),
         fmt_s(bd.reduce),
+        fmt_s(bd.fused),
         fmt_s(bd.total),
     );
 }
 
-pub fn run(scale: Scale) {
-    println!("## Figure 6: MTTKRP phase breakdowns (C = {C})");
-    println!("# B = explicit baseline (reorder + full KRP + DGEMM); 1S/2S = paper algorithms");
+pub fn run(scale: Scale, dtype: Dtype) {
+    match dtype {
+        Dtype::F64 => run_at::<f64>(scale),
+        Dtype::F32 => run_at::<f32>(scale),
+    }
+}
+
+fn run_at<S: Scalar>(scale: Scale) {
+    println!(
+        "## Figure 6: MTTKRP phase breakdowns (C = {C}, dtype = {})",
+        S::DTYPE
+    );
+    println!("# B = explicit baseline (reorder + full KRP + DGEMM); 1S/2S = paper algorithms; FU = matrix-free fused");
     let pool = ThreadPool::host();
     let machine = Machine::sandy_bridge_12core();
     let host_t = pool.num_threads();
 
     for nmodes in 3..=6 {
-        let (x, factors, dims) = workload(nmodes, scale);
+        let (x, factors, dims) = workload::<S>(nmodes, scale);
         println!("\n### N = {nmodes}: dims = {dims:?}");
         let frefs = refs(&factors, &dims);
 
         for n in 0..nmodes {
-            let mut out = vec![0.0; dims[n] * C];
+            let mut out = vec![S::ZERO; dims[n] * C];
             let bd_b = mttkrp_explicit_timed(&pool, &x, &frefs, n, &mut out);
             print_bd("B", n, host_t, "measured", &bd_b);
             // Steady state: warm the plan once, report the second run.
@@ -51,6 +64,10 @@ pub fn run(scale: Scale) {
                 let bd_2 = p2.execute_timed(&pool, &x, &frefs, &mut out);
                 print_bd("2S", n, host_t, "measured", &bd_2);
             }
+            let mut pf = MttkrpPlan::new(&pool, &dims, C, n, AlgoChoice::Fused);
+            pf.execute(&pool, &x, &frefs, &mut out);
+            let bd_f = pf.execute_timed(&pool, &x, &frefs, &mut out);
+            print_bd("FU", n, host_t, "measured", &bd_f);
 
             for &t in &[1usize, 12] {
                 print_bd(
@@ -76,6 +93,13 @@ pub fn run(scale: Scale) {
                         &predict_2step(&machine, &dims, n, C, t),
                     );
                 }
+                print_bd(
+                    "FU",
+                    n,
+                    t,
+                    "model",
+                    &predict_fused(&machine, &dims, n, C, t),
+                );
             }
         }
     }

@@ -18,13 +18,17 @@
 //! mttkrp-harness --all             # everything
 //! mttkrp-harness --all --scale medium   # small (default) | medium | paper
 //! mttkrp-harness --all --kernel scalar  # force a SIMD dispatch tier
+//! mttkrp-harness --fig5 --dtype f32     # binary32 storage, f64 accumulators
 //! mttkrp-harness --ooc --budget-mb 8    # out-of-core memory budget
 //! mttkrp-harness --ooc --tile 64x64x64  # explicit tile extents
 //! ```
 //!
 //! `--kernel {auto,scalar,avx2,avx512,neon}` pins the hardware-kernel
 //! tier every hot loop dispatches to (default `auto`: best supported);
-//! the selected tier is printed in the header. The out-of-core sweep
+//! the selected tier is printed in the header. `--dtype {f32,f64}`
+//! (default `f64`) sets the element type of the dense MTTKRP figures
+//! (5 and 6): f32 stores in binary32 with twice the SIMD lanes while
+//! every dot/Gram/norm reduction keeps an f64 accumulator. The out-of-core sweep
 //! prints its tile grid, budget, and peak resident tile bytes; the
 //! budget comes from `--budget-mb`, else `MTTKRP_OOC_BUDGET`, else an
 //! eighth of the tensor.
@@ -119,6 +123,16 @@ fn main() {
     };
     let profile_path = flag_value("--profile");
     let profile_out = flag_value("--profile-out");
+    let dtype = match flag_value("--dtype") {
+        None => mttkrp_blas::Dtype::F64,
+        Some(name) => match mttkrp_blas::Dtype::parse(name) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("--dtype: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
 
     // Honor MTTKRP_TUNE_PROFILE before any plan is built, so every
     // figure's Tuned/Predicted choices see the calibrated model.
@@ -135,11 +149,14 @@ fn main() {
 
     println!("# MTTKRP reproduction harness");
     println!(
-        "# scale = {scale:?}; host cores = {}; kernel tier = {}",
+        "# scale = {scale:?}; host cores = {}; kernel tier = {}; dtype = {dtype}",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-        mttkrp_blas::kernels().tier(),
+        match dtype {
+            mttkrp_blas::Dtype::F64 => mttkrp_blas::kernels::<f64>().tier(),
+            mttkrp_blas::Dtype::F32 => mttkrp_blas::kernels::<f32>().tier(),
+        },
     );
     println!("# modeled machine = 2 x 6-core Sandy Bridge E5-2620 (calibrated to this host's kernel rates)");
     println!(
@@ -158,11 +175,11 @@ fn main() {
         ran = true;
     }
     if want("--fig5") {
-        fig5::run(scale);
+        fig5::run(scale, dtype);
         ran = true;
     }
     if want("--fig6") {
-        fig6::run(scale);
+        fig6::run(scale, dtype);
         ran = true;
     }
     if want("--fig7") {
@@ -200,7 +217,7 @@ fn print_help() {
         "usage: mttkrp-harness [--fig4] [--fig5] [--fig6] [--fig7] [--fig8] \
          [--sparse] [--ooc] [--ext-dimtree] [--tune] [--all] \
          [--scale small|medium|paper] \
-         [--kernel auto|scalar|avx2|avx512|neon] \
+         [--kernel auto|scalar|avx2|avx512|neon] [--dtype f32|f64] \
          [--budget-mb N] [--tile AxBxC] \
          [--profile FILE] [--profile-out FILE]"
     );

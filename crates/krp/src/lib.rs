@@ -39,17 +39,17 @@
 //! assert_eq!(&k[2..4], &[1.0 * 7.0, 2.0 * 8.0]);
 //! ```
 
-use mttkrp_blas::{kernels, KernelSet, MatRef};
+use mttkrp_blas::{kernels, KernelSet, MatRef, Scalar};
 use mttkrp_parallel::ThreadPool;
 
 /// The Hadamard kernel signature cached inside the row streams: the
 /// dispatched SIMD tier is resolved once per cursor/stream, so the
 /// one-Hadamard-per-row hot loop of Algorithm 1 pays no per-row
 /// dispatch lookup.
-type HadamardFn = fn(&[f64], &[f64], &mut [f64]);
+type HadamardFn<S> = fn(&[S], &[S], &mut [S]);
 
 /// Total number of rows of the KRP of `inputs`.
-pub fn krp_rows(inputs: &[MatRef]) -> usize {
+pub fn krp_rows<S: Scalar>(inputs: &[MatRef<S>]) -> usize {
     inputs.iter().map(|u| u.nrows()).product()
 }
 
@@ -57,7 +57,7 @@ pub fn krp_rows(inputs: &[MatRef]) -> usize {
 ///
 /// # Panics
 /// Panics if the inputs disagree on column count or the list is empty.
-pub fn krp_cols(inputs: &[MatRef]) -> usize {
+pub fn krp_cols<S: Scalar>(inputs: &[MatRef<S>]) -> usize {
     assert!(!inputs.is_empty(), "KRP of zero matrices is undefined");
     let c = inputs[0].ncols();
     for (z, u) in inputs.iter().enumerate() {
@@ -72,21 +72,21 @@ pub fn krp_cols(inputs: &[MatRef]) -> usize {
 /// `seek(j)` initializes the multi-index and prefix table for output row
 /// `j` (the per-thread initialization of the parallel variant, §4.1.2);
 /// `write_next` emits the current row and advances.
-pub struct KrpCursor<'a> {
-    inputs: Vec<MatRef<'a>>,
+pub struct KrpCursor<'a, S: Scalar = f64> {
+    inputs: Vec<MatRef<'a, S>>,
     rows: Vec<usize>,
     c: usize,
     /// Multi-index `ℓ`; `ell[Z−1]` varies fastest.
     ell: Vec<usize>,
     /// Prefix Hadamard products: `Z−2` rows of length `C`
     /// (`prefix[z] = U_0(ℓ_0,:) ∗ ⋯ ∗ U_{z+1}(ℓ_{z+1},:)`).
-    prefix: Vec<f64>,
+    prefix: Vec<S>,
     remaining: usize,
     /// Dispatched Hadamard kernel, resolved at construction.
-    had: HadamardFn,
+    had: HadamardFn<S>,
 }
 
-impl<'a> KrpCursor<'a> {
+impl<'a, S: Scalar> KrpCursor<'a, S> {
     /// Create a cursor positioned at row 0, dispatching through the
     /// process-wide kernel set.
     ///
@@ -94,13 +94,13 @@ impl<'a> KrpCursor<'a> {
     /// Panics if inputs are empty, disagree on columns, or any input has
     /// rows that are not contiguous (`col_stride != 1`), since rows are
     /// consumed as slices.
-    pub fn new(inputs: &[MatRef<'a>]) -> Self {
-        Self::new_with(inputs, kernels())
+    pub fn new(inputs: &[MatRef<'a, S>]) -> Self {
+        Self::new_with(inputs, kernels::<S>())
     }
 
     /// [`KrpCursor::new`] against an explicit [`KernelSet`] (e.g. a
     /// plan's pinned tier).
-    pub fn new_with(inputs: &[MatRef<'a>], ks: &KernelSet) -> Self {
+    pub fn new_with(inputs: &[MatRef<'a, S>], ks: &KernelSet<S>) -> Self {
         let c = krp_cols(inputs);
         for (z, u) in inputs.iter().enumerate() {
             assert_eq!(u.col_stride(), 1, "KRP input {z} must have contiguous rows");
@@ -113,7 +113,7 @@ impl<'a> KrpCursor<'a> {
             rows,
             c,
             ell: vec![0; z],
-            prefix: vec![0.0; z.saturating_sub(2) * c],
+            prefix: vec![S::ZERO; z.saturating_sub(2) * c],
             remaining: total,
             had: ks.hadamard,
         };
@@ -174,7 +174,7 @@ impl<'a> KrpCursor<'a> {
     ///
     /// # Panics
     /// Panics if the cursor is exhausted or `out.len() != C`.
-    pub fn write_next(&mut self, out: &mut [f64]) {
+    pub fn write_next(&mut self, out: &mut [S]) {
         assert!(self.remaining > 0, "KRP cursor exhausted");
         assert_eq!(out.len(), self.c, "output row must have length C");
         let z = self.inputs.len();
@@ -227,14 +227,24 @@ impl<'a> KrpCursor<'a> {
 /// indices into the caller's factor list, so callers with a precomputed
 /// mode order (e.g. `MttkrpPlan`) never build a reordered `Vec<MatRef>`
 /// in the hot path.
-#[derive(Debug, Default)]
-pub struct KrpState {
+#[derive(Debug)]
+pub struct KrpState<S: Scalar = f64> {
     rows: Vec<usize>,
     ell: Vec<usize>,
-    prefix: Vec<f64>,
+    prefix: Vec<S>,
 }
 
-impl KrpState {
+impl<S: Scalar> Default for KrpState<S> {
+    fn default() -> Self {
+        KrpState {
+            rows: Vec::new(),
+            ell: Vec::new(),
+            prefix: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scalar> KrpState<S> {
     /// Empty state; buffers grow on first use and are then retained.
     pub fn new() -> Self {
         KrpState::default()
@@ -249,10 +259,10 @@ impl KrpState {
     /// selected inputs disagree on columns / have non-contiguous rows.
     pub fn cursor<'f, 's>(
         &'s mut self,
-        factors: &'f [MatRef<'f>],
+        factors: &'f [MatRef<'f, S>],
         order: &'s [usize],
-    ) -> KrpRowStream<'f, 's> {
-        self.cursor_with(factors, order, kernels())
+    ) -> KrpRowStream<'f, 's, S> {
+        self.cursor_with(factors, order, kernels::<S>())
     }
 
     /// [`KrpState::cursor`] against an explicit [`KernelSet`] — what
@@ -260,10 +270,10 @@ impl KrpState {
     /// also drives the KRP row products.
     pub fn cursor_with<'f, 's>(
         &'s mut self,
-        factors: &'f [MatRef<'f>],
+        factors: &'f [MatRef<'f, S>],
         order: &'s [usize],
-        ks: &KernelSet,
-    ) -> KrpRowStream<'f, 's> {
+        ks: &KernelSet<S>,
+    ) -> KrpRowStream<'f, 's, S> {
         assert!(!order.is_empty(), "KRP of zero matrices is undefined");
         let c = factors[order[0]].ncols();
         for &i in order {
@@ -277,7 +287,7 @@ impl KrpState {
         self.ell.clear();
         self.ell.resize(z, 0);
         self.prefix.clear();
-        self.prefix.resize(z.saturating_sub(2) * c, 0.0);
+        self.prefix.resize(z.saturating_sub(2) * c, S::ZERO);
         let total: usize = self.rows.iter().product();
         let mut stream = KrpRowStream {
             factors,
@@ -295,19 +305,19 @@ impl KrpState {
 /// A borrowed KRP row stream over externally owned state — the
 /// allocation-free counterpart of [`KrpCursor`] (same Algorithm 1
 /// prefix reuse, same row order).
-pub struct KrpRowStream<'f, 's> {
-    factors: &'f [MatRef<'f>],
+pub struct KrpRowStream<'f, 's, S: Scalar = f64> {
+    factors: &'f [MatRef<'f, S>],
     order: &'s [usize],
     c: usize,
-    st: &'s mut KrpState,
+    st: &'s mut KrpState<S>,
     remaining: usize,
     /// Dispatched Hadamard kernel, resolved at stream creation.
-    had: HadamardFn,
+    had: HadamardFn<S>,
 }
 
-impl<'f> KrpRowStream<'f, '_> {
+impl<'f, S: Scalar> KrpRowStream<'f, '_, S> {
     #[inline]
-    fn input(&self, z: usize) -> MatRef<'f> {
+    fn input(&self, z: usize) -> MatRef<'f, S> {
         self.factors[self.order[z]]
     }
 
@@ -362,7 +372,7 @@ impl<'f> KrpRowStream<'f, '_> {
     ///
     /// # Panics
     /// Panics if the stream is exhausted or `out.len() != C`.
-    pub fn write_next(&mut self, out: &mut [f64]) {
+    pub fn write_next(&mut self, out: &mut [S]) {
         assert!(self.remaining > 0, "KRP stream exhausted");
         assert_eq!(out.len(), self.c, "output row must have length C");
         let z = self.order.len();
@@ -405,7 +415,7 @@ impl<'f> KrpRowStream<'f, '_> {
 
 /// Khatri-Rao product with reuse (Algorithm 1): writes the full
 /// `(Π J_z) × C` row-major KRP into `out`.
-pub fn krp_reuse(inputs: &[MatRef], out: &mut [f64]) {
+pub fn krp_reuse<S: Scalar>(inputs: &[MatRef<S>], out: &mut [S]) {
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
@@ -417,7 +427,7 @@ pub fn krp_reuse(inputs: &[MatRef], out: &mut [f64]) {
 
 /// Naive row-wise KRP: `Z−1` Hadamard products per output row, no reuse
 /// (the "Naive" series of Figure 4).
-pub fn krp_naive(inputs: &[MatRef], out: &mut [f64]) {
+pub fn krp_naive<S: Scalar>(inputs: &[MatRef<S>], out: &mut [S]) {
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
@@ -446,7 +456,7 @@ pub fn krp_naive(inputs: &[MatRef], out: &mut [f64]) {
 /// Column-wise KRP via the Kronecker definition
 /// (`K(:,c) = U_0(:,c) ⊗ ⋯ ⊗ U_{Z−1}(:,c)`), used as a cross-check
 /// oracle. Output is row-major.
-pub fn krp_colwise(inputs: &[MatRef], out: &mut [f64]) {
+pub fn krp_colwise<S: Scalar>(inputs: &[MatRef<S>], out: &mut [S]) {
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
@@ -454,7 +464,7 @@ pub fn krp_colwise(inputs: &[MatRef], out: &mut [f64]) {
         // Kronecker of column `col` of each input, first input slowest.
         for (row_idx, chunk) in out.chunks_exact_mut(c).enumerate() {
             let mut rem = row_idx;
-            let mut v = 1.0;
+            let mut v = S::ONE;
             for u in inputs.iter().rev() {
                 let r = rem % u.nrows();
                 rem /= u.nrows();
@@ -468,7 +478,7 @@ pub fn krp_colwise(inputs: &[MatRef], out: &mut [f64]) {
 /// Parallel naive KRP: the Figure 4 "Naive" comparator with the same
 /// static row partitioning as [`par_krp`] but no prefix reuse —
 /// `Z−1` Hadamard products per output row.
-pub fn par_krp_naive(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
+pub fn par_krp_naive<S: Scalar>(pool: &ThreadPool, inputs: &[MatRef<S>], out: &mut [S]) {
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
@@ -478,7 +488,7 @@ pub fn par_krp_naive(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
     }
     let z = inputs.len();
     let row_counts: Vec<usize> = inputs.iter().map(|u| u.nrows()).collect();
-    let mut rows: Vec<&mut [f64]> = out.chunks_exact_mut(c).collect();
+    let mut rows: Vec<&mut [S]> = out.chunks_exact_mut(c).collect();
     let nrows = rows.len();
     pool.parallel_for_blocks(nrows, &mut rows, |_, range, chunk| {
         // Decompose the starting row into the multi-index (last fastest).
@@ -510,12 +520,17 @@ pub fn par_krp_naive(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
 /// Parallel KRP (§4.1.2): output rows are statically partitioned into
 /// contiguous blocks; each thread seeks a private [`KrpCursor`] to its
 /// starting row and streams its block.
-pub fn par_krp(pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
-    par_krp_with(kernels(), pool, inputs, out)
+pub fn par_krp<S: Scalar>(pool: &ThreadPool, inputs: &[MatRef<S>], out: &mut [S]) {
+    par_krp_with(kernels::<S>(), pool, inputs, out)
 }
 
 /// [`par_krp`] against an explicit [`KernelSet`].
-pub fn par_krp_with(ks: &KernelSet, pool: &ThreadPool, inputs: &[MatRef], out: &mut [f64]) {
+pub fn par_krp_with<S: Scalar>(
+    ks: &KernelSet<S>,
+    pool: &ThreadPool,
+    inputs: &[MatRef<S>],
+    out: &mut [S],
+) {
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
@@ -526,7 +541,7 @@ pub fn par_krp_with(ks: &KernelSet, pool: &ThreadPool, inputs: &[MatRef], out: &
         }
         return;
     }
-    let mut rows: Vec<&mut [f64]> = out.chunks_exact_mut(c).collect();
+    let mut rows: Vec<&mut [S]> = out.chunks_exact_mut(c).collect();
     let nrows = rows.len();
     pool.parallel_for_blocks(nrows, &mut rows, |_, range, chunk| {
         let mut cur = KrpCursor::new_with(inputs, ks);

@@ -31,8 +31,8 @@
 pub mod predict;
 
 pub use predict::{
-    predict_1step, predict_2step, predict_baseline, predict_explicit, predict_krp, predict_stream,
-    predicted_choice, predicted_plan_set,
+    predict_1step, predict_2step, predict_baseline, predict_explicit, predict_fused, predict_krp,
+    predict_stream, predicted_choice, predicted_plan_set,
 };
 
 use std::sync::OnceLock;
@@ -63,6 +63,14 @@ pub struct Machine {
     /// reduction streams at full `BW(T)`; a calibrated profile measures
     /// the real ratio, which barrier overhead drags below 1).
     pub reduce_scale: f64,
+    /// Measured seconds per tensor entry per rank column of the
+    /// matrix-free fused streaming pass (single thread). `None` on the
+    /// paper machine and on profiles recorded before the fused path
+    /// existed: [`predict_fused`] then falls back to a 3-flops/entry
+    /// roofline, and the installed cost model leaves
+    /// [`ModeCost::fused`] unpriced so a `Tuned` plan never selects an
+    /// algorithm the calibration never measured.
+    pub fused_cost: Option<f64>,
 }
 
 impl Machine {
@@ -78,6 +86,7 @@ impl Machine {
             hadamard_cost: 3.0e-9,
             mkl_penalty: 0.35,
             reduce_scale: 1.0,
+            fused_cost: None,
         }
     }
 
@@ -248,6 +257,9 @@ pub fn install_machine(m: Machine) -> bool {
         Some(ModeCost {
             one_step: predict_1step(&m, dims, n, c, t).total,
             two_step: predict_2step(&m, dims, n, c, t).total,
+            // Opt-in: only a machine whose calibration measured the
+            // fused pass prices it (see `Machine::fused_cost`).
+            fused: m.fused_cost.map(|_| predict_fused(&m, dims, n, c, t).total),
         })
     }))
 }

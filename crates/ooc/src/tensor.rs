@@ -375,6 +375,7 @@ impl OocMttkrpPlanSet {
 }
 
 impl MttkrpBackend for OocTensor {
+    type Elem = f64;
     type PlanSet = OocMttkrpPlanSet;
 
     fn dims(&self) -> &[usize] {

@@ -7,10 +7,12 @@
 //! range and sums that range across every private buffer — so the
 //! reduction itself scales with the team.
 
+use std::ops::AddAssign;
+
 use crate::pool::ThreadPool;
 
 /// `out[i] += Σ_p parts[p][i]`, sequentially.
-pub fn sum_into_seq(out: &mut [f64], parts: &[&[f64]]) {
+pub fn sum_into_seq<T: Copy + AddAssign>(out: &mut [T], parts: &[&[T]]) {
     for part in parts {
         assert_eq!(part.len(), out.len(), "private buffer length mismatch");
         for (o, &x) in out.iter_mut().zip(part.iter()) {
@@ -24,7 +26,11 @@ pub fn sum_into_seq(out: &mut [f64], parts: &[&[f64]]) {
 /// This is the paper's parallel reduction: each team thread sums a
 /// contiguous range of indices across all private buffers, touching each
 /// output element exactly once.
-pub fn sum_into(pool: &ThreadPool, out: &mut [f64], parts: &[&[f64]]) {
+pub fn sum_into<T: Copy + AddAssign + Send + Sync>(
+    pool: &ThreadPool,
+    out: &mut [T],
+    parts: &[&[T]],
+) {
     for part in parts {
         assert_eq!(part.len(), out.len(), "private buffer length mismatch");
     }
@@ -47,12 +53,15 @@ pub fn sum_into(pool: &ThreadPool, out: &mut [f64], parts: &[&[f64]]) {
 ///
 /// An empty `parts` is the empty sum: the result is an empty `Vec`
 /// (previously this indexed `parts[0]` and panicked).
-pub fn fold_first(pool: &ThreadPool, mut parts: Vec<Vec<f64>>) -> Vec<f64> {
+pub fn fold_first<T: Copy + AddAssign + Send + Sync>(
+    pool: &ThreadPool,
+    mut parts: Vec<Vec<T>>,
+) -> Vec<T> {
     if parts.is_empty() {
         return Vec::new();
     }
     let mut first = parts.remove(0);
-    let refs: Vec<&[f64]> = parts.iter().map(|v| v.as_slice()).collect();
+    let refs: Vec<&[T]> = parts.iter().map(|v| v.as_slice()).collect();
     sum_into(pool, &mut first, &refs);
     first
 }
@@ -97,7 +106,7 @@ mod tests {
     #[test]
     fn fold_first_of_nothing_is_empty() {
         let pool = ThreadPool::new(2);
-        let out = fold_first(&pool, Vec::new());
+        let out = fold_first::<f64>(&pool, Vec::new());
         assert!(out.is_empty());
     }
 

@@ -421,6 +421,7 @@ impl SparseMttkrpPlanSet {
 }
 
 impl mttkrp_core::MttkrpBackend for CsfTensor {
+    type Elem = f64;
     type PlanSet = SparseMttkrpPlanSet;
 
     fn dims(&self) -> &[usize] {

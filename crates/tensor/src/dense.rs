@@ -1,23 +1,27 @@
 //! The dense tensor container.
 
-use mttkrp_blas::{Layout, MatRef};
+use mttkrp_blas::{Layout, MatRef, Scalar};
 
 use crate::dims::DimInfo;
 use crate::unfold::ModeUnfolding;
 
 /// A dense `N`-way tensor stored under the natural linearization
 /// (mode 0 fastest; generalized column-major).
+///
+/// The element type `S` is any [`Scalar`] (`f32` or `f64`; defaults to
+/// `f64`). Reductions over entries ([`Self::norm`]) accumulate in
+/// `f64` regardless of the storage type.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DenseTensor {
+pub struct DenseTensor<S: Scalar = f64> {
     info: DimInfo,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl DenseTensor {
+impl<S: Scalar> DenseTensor<S> {
     /// All-zeros tensor of the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let info = DimInfo::new(dims);
-        let data = vec![0.0; info.total()];
+        let data = vec![S::ZERO; info.total()];
         DenseTensor { info, data }
     }
 
@@ -25,14 +29,14 @@ impl DenseTensor {
     ///
     /// # Panics
     /// Panics if `data.len()` differs from the product of `dims`.
-    pub fn from_vec(dims: &[usize], data: Vec<f64>) -> Self {
+    pub fn from_vec(dims: &[usize], data: Vec<S>) -> Self {
         let info = DimInfo::new(dims);
         assert_eq!(data.len(), info.total(), "data length must match shape");
         DenseTensor { info, data }
     }
 
     /// Tensor filled by calling `f` once per entry in linearization order.
-    pub fn from_fn(dims: &[usize], mut f: impl FnMut() -> f64) -> Self {
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut() -> S) -> Self {
         let info = DimInfo::new(dims);
         let data = (0..info.total()).map(|_| f()).collect();
         DenseTensor { info, data }
@@ -43,18 +47,18 @@ impl DenseTensor {
     ///
     /// Factors are column-major `I_n × C` matrices. Used to plant
     /// known-rank inputs for CP-ALS recovery tests.
-    pub fn from_factors(dims: &[usize], factors: &[Vec<f64>], rank: usize) -> Self {
+    pub fn from_factors(dims: &[usize], factors: &[Vec<S>], rank: usize) -> Self {
         let info = DimInfo::new(dims);
         assert_eq!(factors.len(), dims.len(), "one factor matrix per mode");
         for (n, f) in factors.iter().enumerate() {
             assert_eq!(f.len(), dims[n] * rank, "factor {n} must be I_n x C");
         }
-        let mut data = vec![0.0; info.total()];
+        let mut data = vec![S::ZERO; info.total()];
         let mut idx = vec![0usize; dims.len()];
         for slot in data.iter_mut() {
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for c in 0..rank {
-                let mut p = 1.0;
+                let mut p = S::ONE;
                 for (n, &i) in idx.iter().enumerate() {
                     // column-major factor: entry (i, c) at i + c * I_n
                     p *= factors[n][i + c * dims[n]];
@@ -99,13 +103,13 @@ impl DenseTensor {
 
     /// The linearized entries.
     #[inline]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable linearized entries.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -115,7 +119,7 @@ impl DenseTensor {
     /// wrong-length index would otherwise silently linearize against a
     /// prefix of the shape.
     #[inline]
-    pub fn get(&self, idx: &[usize]) -> f64 {
+    pub fn get(&self, idx: &[usize]) -> S {
         debug_assert_eq!(
             idx.len(),
             self.order(),
@@ -129,7 +133,7 @@ impl DenseTensor {
     /// Debug builds assert the index arity matches [`Self::order`],
     /// like [`Self::get`].
     #[inline]
-    pub fn set(&mut self, idx: &[usize], v: f64) {
+    pub fn set(&mut self, idx: &[usize], v: S) {
         debug_assert_eq!(
             idx.len(),
             self.order(),
@@ -139,14 +143,28 @@ impl DenseTensor {
         self.data[ell] = v;
     }
 
-    /// Frobenius norm (square root of the sum of squared entries).
+    /// Frobenius norm (square root of the sum of squared entries),
+    /// accumulated in `f64` for both storage types.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| x.to_f64() * x.to_f64())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Copy into a tensor of another element type (widening is exact;
+    /// narrowing rounds each entry to nearest).
+    pub fn cast<T: Scalar>(&self) -> DenseTensor<T> {
+        DenseTensor {
+            info: self.info.clone(),
+            data: self.data.iter().map(|&x| T::from_f64(x.to_f64())).collect(),
+        }
     }
 
     /// Mode-`n` unfolding as a block sequence (zero-copy; see
     /// [`ModeUnfolding`]). Valid for every mode including external ones.
-    pub fn unfold(&self, n: usize) -> ModeUnfolding<'_> {
+    pub fn unfold(&self, n: usize) -> ModeUnfolding<'_, S> {
         ModeUnfolding::new(self, n)
     }
 
@@ -156,7 +174,7 @@ impl DenseTensor {
     ///
     /// This is the left operand of the 2-step algorithm's partial MTTKRP
     /// (Algorithm 4 line 11; transposed for line 5).
-    pub fn unfold_leading(&self, n: usize) -> MatRef<'_> {
+    pub fn unfold_leading(&self, n: usize) -> MatRef<'_, S> {
         assert!(n < self.order(), "mode {n} out of range");
         let rows = self.info.i_left(n + 1);
         let cols = self.info.total() / rows;
@@ -169,10 +187,10 @@ impl DenseTensor {
     /// This reordering pass is exactly what the Bader–Kolda baseline pays
     /// for and the paper's algorithms avoid; it exists here to implement
     /// that baseline and to validate the zero-copy views against it.
-    pub fn materialize_unfolding(&self, n: usize, layout: Layout) -> Vec<f64> {
+    pub fn materialize_unfolding(&self, n: usize, layout: Layout) -> Vec<S> {
         let rows = self.info.dim(n);
         let cols = self.info.i_neq(n);
-        let mut out = vec![0.0; rows * cols];
+        let mut out = vec![S::ZERO; rows * cols];
         let unf = self.unfold(n);
         let il = self.info.i_left(n);
         for j in 0..self.info.i_right(n) {
@@ -202,7 +220,7 @@ impl DenseTensor {
     /// # Panics
     /// Panics if the block does not fit inside the tensor or `out` is
     /// not exactly the block's entry count.
-    pub fn gather_block(&self, offsets: &[usize], shape: &[usize], out: &mut [f64]) {
+    pub fn gather_block(&self, offsets: &[usize], shape: &[usize], out: &mut [S]) {
         self.for_block_runs(offsets, shape, out.len(), |dst, src, len| {
             out[dst..dst + len].copy_from_slice(&self.data[src..src + len]);
         });
@@ -214,7 +232,7 @@ impl DenseTensor {
     /// # Panics
     /// Panics if the block does not fit inside the tensor or `src` is
     /// not exactly the block's entry count.
-    pub fn scatter_block(&mut self, offsets: &[usize], shape: &[usize], src: &[f64]) {
+    pub fn scatter_block(&mut self, offsets: &[usize], shape: &[usize], src: &[S]) {
         // Collect the runs first: `for_block_runs` borrows `self`
         // shared, the writes need it mutable.
         let mut runs: Vec<(usize, usize, usize)> = Vec::new();
@@ -275,14 +293,14 @@ impl DenseTensor {
     }
 
     /// Consume the tensor, returning its linearized buffer.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<S> {
         self.data
     }
 
     /// Reinterpret the entries under a new shape with the same total
     /// size (e.g. the paper's 4-way → 3-way fMRI linearization merges
     /// the two region modes).
-    pub fn reshape(self, dims: &[usize]) -> DenseTensor {
+    pub fn reshape(self, dims: &[usize]) -> DenseTensor<S> {
         let info = DimInfo::new(dims);
         assert_eq!(
             info.total(),
@@ -477,7 +495,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "index arity")]
     fn get_rejects_wrong_arity_in_debug() {
-        let x = DenseTensor::zeros(&[2, 3, 2]);
+        let x = DenseTensor::<f64>::zeros(&[2, 3, 2]);
         let _ = x.get(&[1, 1]);
     }
 

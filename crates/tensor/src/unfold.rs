@@ -8,14 +8,14 @@
 //! modes degenerate to a single strided view (`X(0)` column-major,
 //! `X(N−1)` row-major).
 
-use mttkrp_blas::MatRef;
+use mttkrp_blas::{MatRef, Scalar};
 
 use crate::dense::DenseTensor;
 
 /// Zero-copy view of the mode-`n` matricization `X(n)`.
 #[derive(Clone, Copy)]
-pub struct ModeUnfolding<'a> {
-    data: &'a [f64],
+pub struct ModeUnfolding<'a, S: Scalar = f64> {
+    data: &'a [S],
     /// Mode dimension `I_n` (rows of the matricization).
     i_n: usize,
     /// Product of dimensions left of `n` (block width).
@@ -24,12 +24,12 @@ pub struct ModeUnfolding<'a> {
     i_right: usize,
 }
 
-impl<'a> ModeUnfolding<'a> {
+impl<'a, S: Scalar> ModeUnfolding<'a, S> {
     /// Create the unfolding view for mode `n`.
     ///
     /// # Panics
     /// Panics if `n` is out of range.
-    pub fn new(tensor: &'a DenseTensor, n: usize) -> Self {
+    pub fn new(tensor: &'a DenseTensor<S>, n: usize) -> Self {
         assert!(
             n < tensor.order(),
             "mode {n} out of range for order {}",
@@ -71,7 +71,7 @@ impl<'a> ModeUnfolding<'a> {
     /// Block `j` as a row-major `I_n × IL_n` view (Algorithm 2 line 9's
     /// `X(n)[j]`).
     #[inline]
-    pub fn block(&self, j: usize) -> MatRef<'a> {
+    pub fn block(&self, j: usize) -> MatRef<'a, S> {
         assert!(j < self.i_right, "block {j} out of range");
         let start = j * self.i_left * self.i_n;
         let len = self.i_left * self.i_n;
@@ -92,7 +92,7 @@ impl<'a> ModeUnfolding<'a> {
     /// for external modes where `X(n)` is a plain matrix in memory:
     /// mode 0 (column-major) and mode `N−1` (row-major; also any mode
     /// with `IR_n == 1` or `IL_n == 1`).
-    pub fn as_single_view(&self) -> Option<MatRef<'a>> {
+    pub fn as_single_view(&self) -> Option<MatRef<'a, S>> {
         if self.i_left == 1 {
             // Mode 0 (or all-left dims of size 1): entry (i, j) at
             // i + j*I_n — column-major.
@@ -123,7 +123,7 @@ impl<'a> ModeUnfolding<'a> {
 
     /// Entry `(i, c)` of `X(n)` where `c` is the global column index
     /// (left modes fastest). For tests and oracles; not a hot path.
-    pub fn get(&self, i: usize, c: usize) -> f64 {
+    pub fn get(&self, i: usize, c: usize) -> S {
         assert!(i < self.nrows() && c < self.ncols(), "index out of bounds");
         let col = c % self.i_left;
         let j = c / self.i_left;
@@ -131,7 +131,7 @@ impl<'a> ModeUnfolding<'a> {
     }
 }
 
-impl std::fmt::Debug for ModeUnfolding<'_> {
+impl<S: Scalar> std::fmt::Debug for ModeUnfolding<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,

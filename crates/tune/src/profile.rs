@@ -53,6 +53,13 @@ pub struct TierTuning {
     /// Seconds per element per Hadamard pass in the row-wise KRP
     /// kernels (single thread).
     pub hadamard_cost: f64,
+    /// Seconds per tensor entry per rank column of the matrix-free
+    /// fused MTTKRP pass (single thread). **Optional** in the file
+    /// format: profiles recorded before the fused path existed carry
+    /// no `fused_cost` key and load as `None`, in which case the
+    /// installed cost model never prices (and so never selects) the
+    /// fused algorithm.
+    pub fused_cost: Option<f64>,
 }
 
 /// A calibrated, persistable machine-model coefficient set. See the
@@ -110,13 +117,14 @@ impl TuningProfile {
             hadamard_cost: t.hadamard_cost,
             mkl_penalty: self.mkl_penalty,
             reduce_scale: self.reduce_scale,
+            fused_cost: t.fused_cost,
         }
     }
 
     /// [`TuningProfile::machine_for`] at the process's active kernel
     /// dispatch tier.
     pub fn machine_active(&self) -> Machine {
-        self.machine_for(kernels().tier())
+        self.machine_for(kernels::<f64>().tier())
     }
 
     /// Serialize to the profile text format (what [`save`] writes).
@@ -136,6 +144,9 @@ impl TuningProfile {
             let _ = writeln!(s, "gemm_flops = {:e}", t.gemm_flops);
             let _ = writeln!(s, "gemm_eff0 = {:e}", t.gemm_eff0);
             let _ = writeln!(s, "hadamard_cost = {:e}", t.hadamard_cost);
+            if let Some(fc) = t.fused_cost {
+                let _ = writeln!(s, "fused_cost = {fc:e}");
+            }
         }
         let _ = writeln!(s, "end");
         s
@@ -220,6 +231,7 @@ impl TuningProfile {
                     gemm_flops: bag.f64_value("gemm_flops", Positive)?,
                     gemm_eff0: bag.f64_value("gemm_eff0", Fraction)?,
                     hadamard_cost: bag.f64_value("hadamard_cost", Positive)?,
+                    fused_cost: bag.f64_optional("fused_cost", Positive)?,
                 })
             })
             .collect::<io::Result<Vec<_>>>()?;
@@ -260,6 +272,7 @@ impl TuningProfile {
     ///         gemm_flops: 6.0e9,
     ///         gemm_eff0: 0.9,
     ///         hadamard_cost: 2.0e-9,
+    ///         fused_cost: Some(1.5e-9),
     ///     }],
     /// };
     /// let path = std::env::temp_dir().join("doctest-profile.tune");
@@ -296,7 +309,7 @@ const GLOBAL_KEYS: [&str; 6] = [
     "reduce_scale",
     "mkl_penalty",
 ];
-const TIER_KEYS: [&str; 3] = ["gemm_flops", "gemm_eff0", "hadamard_cost"];
+const TIER_KEYS: [&str; 4] = ["gemm_flops", "gemm_eff0", "hadamard_cost", "fused_cost"];
 
 /// Range requirement on a parsed float.
 enum FloatRange {
@@ -360,6 +373,16 @@ impl KeyBag {
         Ok(v)
     }
 
+    /// Like [`KeyBag::f64_value`] but for keys the grammar marks
+    /// optional: an absent key is `Ok(None)`, while a present key must
+    /// still satisfy `range`.
+    fn f64_optional(&self, key: &str, range: FloatRange) -> io::Result<Option<f64>> {
+        if self.entries.iter().any(|(k, _)| k == key) {
+            return self.f64_value(key, range).map(Some);
+        }
+        Ok(None)
+    }
+
     fn f64_value(&self, key: &str, range: FloatRange) -> io::Result<f64> {
         let v: f64 = self
             .raw(key)?
@@ -399,12 +422,16 @@ mod tests {
                     gemm_flops: 7.8e9,
                     gemm_eff0: 0.9,
                     hadamard_cost: 1.2345e-9,
+                    fused_cost: Some(2.5e-9),
                 },
+                // No fused term: the pre-fused profile shape, which
+                // must keep serializing and loading unchanged.
                 TierTuning {
                     tier: KernelTier::Avx2,
                     gemm_flops: 2.34e10,
                     gemm_eff0: 0.9,
                     hadamard_cost: 0.8e-9,
+                    fused_cost: None,
                 },
             ],
         }
@@ -520,6 +547,38 @@ mod tests {
             .join("\n");
         let e = TuningProfile::from_text(&no_tiers).unwrap_err();
         assert!(e.to_string().contains("no kernel tiers"), "{e}");
+    }
+
+    #[test]
+    fn fused_cost_is_optional_and_validated_when_present() {
+        // Only the tier that measured a fused term writes the key.
+        let p = sample();
+        assert_eq!(p.to_text().matches("fused_cost").count(), 1);
+        // A pre-fused profile (no `fused_cost` key anywhere) loads,
+        // with the term absent — and so does its machine.
+        let legacy: String = p
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("fused_cost"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let q = TuningProfile::from_text(&legacy).expect("legacy profiles still load");
+        assert!(q.tiers.iter().all(|t| t.fused_cost.is_none()));
+        assert_eq!(q.machine_for(KernelTier::Scalar).fused_cost, None);
+        // When present the key obeys the same range rules as the rest.
+        let broken = p
+            .to_text()
+            .replacen("fused_cost = 2.5e-9", "fused_cost = -1.0", 1);
+        assert!(TuningProfile::from_text(&broken).is_err());
+        let dup = p.to_text().replacen(
+            "fused_cost = 2.5e-9",
+            "fused_cost = 2.5e-9\nfused_cost = 2.5e-9",
+            1,
+        );
+        let e = TuningProfile::from_text(&dup).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        // And a calibrated term flows through to the priced machine.
+        assert_eq!(p.machine_for(KernelTier::Scalar).fused_cost, Some(2.5e-9));
     }
 
     #[test]

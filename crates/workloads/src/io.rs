@@ -5,11 +5,24 @@
 //!
 //! ```text
 //! tensor  file:  b"MTKT" u32(version=1) u32(ndims) u64(dim)*ndims f64(entry)*Π dims
+//!          or:   b"MTKT" u32(version=2) u32(dtype: 4=f32|8=f64) u32(ndims)
+//!                u64(dim)*ndims dtype(entry)*Π dims
 //! kruskal file:  b"MTKM" u32(version=1) u32(ndims) u32(rank)
 //!                u64(dim)*ndims f64(lambda)*rank f64(factor rows)*Σ dims·rank
 //! sparse  file:  b"MTKS" u32(version=1) u32(ndims) u64(nnz) u64(dim)*ndims
 //!                u64(index)*nnz·ndims f64(value)*nnz
 //! ```
+//!
+//! The tensor codec is generic over [`Scalar`]: version 1 is the legacy
+//! all-`f64` layout (still what `f64` tensors are written as, so old
+//! files and readers keep working bit-for-bit), and version 2 carries
+//! an explicit dtype tag — the element size in bytes — immediately
+//! after the version word. The typed readers **reject a dtype
+//! mismatch from the header alone**: asking `read_tensor::<f32>` to
+//! open an `f64` file (or vice versa) fails with `InvalidData` before
+//! any payload byte is read, so a precision change can never silently
+//! narrow values on the way in. Use [`tensor_dtype`] to sniff a file
+//! and dispatch.
 //!
 //! Sparse entries are written in the COO tensor's canonical order
 //! (sorted by linear position, duplicates pre-merged) and re-validated
@@ -34,6 +47,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use mttkrp_blas::{Dtype, Scalar};
 use mttkrp_sparse::CooTensor;
 use mttkrp_tensor::DenseTensor;
 
@@ -41,6 +55,8 @@ const TENSOR_MAGIC: &[u8; 4] = b"MTKT";
 const MODEL_MAGIC: &[u8; 4] = b"MTKM";
 const SPARSE_MAGIC: &[u8; 4] = b"MTKS";
 const VERSION: u32 = 1;
+/// Tensor-file version that carries an explicit dtype tag.
+const TENSOR_VERSION_TYPED: u32 = 2;
 
 /// A Kruskal model as stored on disk (mirrors
 /// `mttkrp_cpals::KruskalModel` without depending on that crate).
@@ -115,6 +131,54 @@ fn get_f64_vec(r: &mut impl Read, count: usize) -> io::Result<Vec<f64>> {
     Ok(out)
 }
 
+/// Stream a [`Scalar`] slice in bounded chunks at its native storage
+/// width. The `f32` arm round-trips through `f64` (`to_f64` then
+/// narrow), which is exact for every `f32` bit pattern — the codec
+/// never narrows a value that was not already `f32`.
+fn put_scalar_slice<S: Scalar>(w: &mut impl Write, data: &[S]) -> io::Result<()> {
+    let esz = S::DTYPE.size_bytes();
+    let mut scratch = [0u8; 8 * CHUNK];
+    for chunk in data.chunks(CHUNK) {
+        for (i, &v) in chunk.iter().enumerate() {
+            let at = esz * i;
+            match S::DTYPE {
+                Dtype::F32 => {
+                    scratch[at..at + 4].copy_from_slice(&(v.to_f64() as f32).to_le_bytes())
+                }
+                Dtype::F64 => scratch[at..at + 8].copy_from_slice(&v.to_f64().to_le_bytes()),
+            }
+        }
+        w.write_all(&scratch[..esz * chunk.len()])?;
+    }
+    Ok(())
+}
+
+/// Stream `count` scalars into a fresh vector in bounded chunks; the
+/// inverse of [`put_scalar_slice`] (bit-exact round trip either way).
+fn get_scalar_vec<S: Scalar>(r: &mut impl Read, count: usize) -> io::Result<Vec<S>> {
+    let esz = S::DTYPE.size_bytes();
+    let mut out = vec![S::ZERO; count];
+    let mut scratch = [0u8; 8 * CHUNK];
+    let mut pos = 0usize;
+    while pos < count {
+        let n = (count - pos).min(CHUNK);
+        r.read_exact(&mut scratch[..esz * n])?;
+        for (i, slot) in out[pos..pos + n].iter_mut().enumerate() {
+            let at = esz * i;
+            *slot = match S::DTYPE {
+                Dtype::F32 => {
+                    S::from_f64(f32::from_le_bytes(scratch[at..at + 4].try_into().unwrap()) as f64)
+                }
+                Dtype::F64 => {
+                    S::from_f64(f64::from_le_bytes(scratch[at..at + 8].try_into().unwrap()))
+                }
+            };
+        }
+        pos += n;
+    }
+    Ok(out)
+}
+
 fn check_magic(r: &mut impl Read, magic: &[u8; 4], what: &str) -> io::Result<()> {
     let mut m = [0u8; 4];
     r.read_exact(&mut m)
@@ -139,24 +203,62 @@ fn check_total_len(input_len: u64, expected: u64, what: &str) -> io::Result<()> 
 // ---- dense tensors ---------------------------------------------------------
 
 /// Stream a tensor to any writer (header + entries, no intermediate
-/// buffer).
-pub fn write_tensor_to(w: &mut impl Write, x: &DenseTensor) -> io::Result<()> {
+/// buffer). `f64` tensors write the legacy version-1 layout
+/// (bit-identical to every pre-dtype file); `f32` tensors write
+/// version 2 with the dtype tag.
+pub fn write_tensor_to<S: Scalar>(w: &mut impl Write, x: &DenseTensor<S>) -> io::Result<()> {
     w.write_all(TENSOR_MAGIC)?;
-    put_u32_le(w, VERSION)?;
+    match S::DTYPE {
+        Dtype::F64 => put_u32_le(w, VERSION)?,
+        Dtype::F32 => {
+            put_u32_le(w, TENSOR_VERSION_TYPED)?;
+            put_u32_le(w, S::DTYPE.size_bytes() as u32)?;
+        }
+    }
     put_u32_le(w, x.dims().len() as u32)?;
     for &d in x.dims() {
         put_u64_le(w, d as u64)?;
     }
-    put_f64_slice(w, x.data())
+    put_scalar_slice(w, x.data())
+}
+
+/// Parse magic + version (+ dtype tag on version 2); returns the
+/// stored dtype and the bytes consumed so far. Shared by the typed
+/// readers and the [`tensor_dtype`] sniffer, so the dtype decision is
+/// always made before the dims — let alone the payload — are read.
+fn get_tensor_dtype(r: &mut impl Read) -> io::Result<(Dtype, u64)> {
+    check_magic(r, TENSOR_MAGIC, "tensor")?;
+    match get_u32_le(r)? {
+        VERSION => Ok((Dtype::F64, 8)),
+        TENSOR_VERSION_TYPED => match get_u32_le(r)? {
+            4 => Ok((Dtype::F32, 12)),
+            8 => Ok((Dtype::F64, 12)),
+            tag => Err(bad(&format!("unknown tensor dtype tag {tag}"))),
+        },
+        v => Err(bad(&format!("unsupported tensor file version {v}"))),
+    }
+}
+
+/// The element type a tensor file stores, from its header alone.
+pub fn tensor_dtype(path: impl AsRef<Path>) -> io::Result<Dtype> {
+    let f = File::open(path)?;
+    Ok(get_tensor_dtype(&mut BufReader::new(f))?.0)
 }
 
 /// Read a tensor from any reader whose total length is `input_len`
-/// bytes. The length check happens after the header parse and before
-/// the payload read.
-pub fn read_tensor_from(r: &mut impl Read, input_len: u64) -> io::Result<DenseTensor> {
-    check_magic(r, TENSOR_MAGIC, "tensor")?;
-    if get_u32_le(r)? != VERSION {
-        return Err(bad("unsupported tensor file version"));
+/// bytes. The dtype check happens first (a file storing the other
+/// element type is rejected, never converted), then the length check,
+/// both before the payload read.
+pub fn read_tensor_from<S: Scalar>(
+    r: &mut impl Read,
+    input_len: u64,
+) -> io::Result<DenseTensor<S>> {
+    let (dtype, header) = get_tensor_dtype(r)?;
+    if dtype != S::DTYPE {
+        return Err(bad(&format!(
+            "tensor dtype mismatch: file stores {dtype}, caller requested {}",
+            S::DTYPE
+        )));
     }
     let ndims = get_u32_le(r)? as usize;
     if ndims == 0 {
@@ -176,39 +278,40 @@ pub fn read_tensor_from(r: &mut impl Read, input_len: u64) -> io::Result<DenseTe
         .try_fold(1usize, |acc, &d| acc.checked_mul(d))
         .ok_or_else(|| bad("tensor shape overflows"))?;
     // The byte count must also be computed checked: a total that fits
-    // usize can still wrap `8 * total` and sneak past the length gate.
+    // usize can still wrap `esz * total` and sneak past the length gate.
     let expected = (total as u64)
-        .checked_mul(8)
-        .and_then(|p| p.checked_add(12 + 8 * ndims as u64))
+        .checked_mul(dtype.size_bytes() as u64)
+        .and_then(|p| p.checked_add(header + 4 + 8 * ndims as u64))
         .ok_or_else(|| bad("tensor payload size overflows"))?;
     check_total_len(input_len, expected, "tensor")?;
-    let data = get_f64_vec(r, total)?;
+    let data = get_scalar_vec::<S>(r, total)?;
     Ok(DenseTensor::from_vec(&dims, data))
 }
 
 /// Serialize a tensor into a byte buffer.
-pub fn tensor_to_bytes(x: &DenseTensor) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + x.dims().len() * 8 + x.len() * 8);
+pub fn tensor_to_bytes<S: Scalar>(x: &DenseTensor<S>) -> Vec<u8> {
+    let esz = S::DTYPE.size_bytes();
+    let mut buf = Vec::with_capacity(16 + x.dims().len() * 8 + x.len() * esz);
     write_tensor_to(&mut buf, x).expect("Vec<u8> writes are infallible");
     buf
 }
 
 /// Deserialize a tensor from bytes.
-pub fn tensor_from_bytes(buf: &[u8]) -> io::Result<DenseTensor> {
+pub fn tensor_from_bytes<S: Scalar>(buf: &[u8]) -> io::Result<DenseTensor<S>> {
     read_tensor_from(&mut { buf }, buf.len() as u64)
 }
 
 /// Write a tensor to `path`, streaming through a [`BufWriter`].
-pub fn write_tensor(path: impl AsRef<Path>, x: &DenseTensor) -> io::Result<()> {
+pub fn write_tensor<S: Scalar>(path: impl AsRef<Path>, x: &DenseTensor<S>) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     write_tensor_to(&mut w, x)?;
     w.flush()
 }
 
 /// Read a tensor from `path`, streaming through a [`BufReader`]. A
-/// file whose length disagrees with its header is rejected before the
-/// payload is read.
-pub fn read_tensor(path: impl AsRef<Path>) -> io::Result<DenseTensor> {
+/// file storing the other element type, or whose length disagrees
+/// with its header, is rejected before the payload is read.
+pub fn read_tensor<S: Scalar>(path: impl AsRef<Path>) -> io::Result<DenseTensor<S>> {
     let f = File::open(path)?;
     let len = f.metadata()?.len();
     read_tensor_from(&mut BufReader::new(f), len)
@@ -435,7 +538,7 @@ mod tests {
     fn tensor_round_trips_through_bytes() {
         let x = random_tensor(&[5, 4, 3], 1);
         let bytes = tensor_to_bytes(&x);
-        let back = tensor_from_bytes(&bytes).unwrap();
+        let back: DenseTensor<f64> = tensor_from_bytes(&bytes).unwrap();
         assert_eq!(back.dims(), x.dims());
         assert_eq!(back.data(), x.data());
     }
@@ -463,8 +566,90 @@ mod tests {
     }
 
     #[test]
+    fn f32_tensor_round_trips_and_is_half_the_bytes() {
+        let x64 = random_tensor(&[5, 4, 3], 7);
+        let x32 = x64.cast::<f32>();
+        let b32 = tensor_to_bytes(&x32);
+        let b64 = tensor_to_bytes(&x64);
+        // v2 header is 4 bytes longer (dtype tag), payload half the size.
+        assert_eq!(b32.len(), b64.len() - 8 * x64.len() + 4 * x64.len() + 4);
+        let back: DenseTensor<f32> = tensor_from_bytes(&b32).unwrap();
+        assert_eq!(back.dims(), x32.dims());
+        assert_eq!(back.data(), x32.data());
+    }
+
+    #[test]
+    fn f32_tensor_round_trips_through_file_with_dtype_sniff() {
+        let x = random_tensor(&[6, 3], 9).cast::<f32>();
+        let path = std::env::temp_dir().join("mttkrp_io_test_tensor_f32.mtkt");
+        write_tensor(&path, &x).unwrap();
+        assert_eq!(tensor_dtype(&path).unwrap(), mttkrp_blas::Dtype::F32);
+        let back: DenseTensor<f32> = read_tensor(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, x);
+    }
+
+    // Satellite regression: the typed reader must refuse to open a
+    // file of the other dtype — from the header, before any payload
+    // read — rather than silently narrowing f64 payloads into f32 (or
+    // widening the other way).
+    #[test]
+    fn rejects_dtype_mismatch_before_reading_payload() {
+        let x64 = random_tensor(&[4, 4], 5);
+        let bytes = tensor_to_bytes(&x64);
+        let err = tensor_from_bytes::<f32>(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("dtype mismatch"), "{err}");
+
+        let bytes = tensor_to_bytes(&x64.cast::<f32>());
+        let err = tensor_from_bytes::<f64>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("dtype mismatch"), "{err}");
+
+        // The mismatch fires even when the payload is absent entirely:
+        // header-only input still reports dtype, not a length problem.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        push_u32(&mut buf, 2); // typed version
+        push_u32(&mut buf, 4); // f32 tag
+        push_u32(&mut buf, 3); // ndims — never reached by the check
+        let err = tensor_from_bytes::<f64>(&buf).unwrap_err();
+        assert!(err.to_string().contains("dtype mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_dtype_tag_and_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        push_u32(&mut buf, 2);
+        push_u32(&mut buf, 2); // no 2-byte dtype exists
+        assert!(tensor_from_bytes::<f64>(&buf).is_err());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        push_u32(&mut buf, 3);
+        assert!(tensor_from_bytes::<f64>(&buf).is_err());
+    }
+
+    #[test]
+    fn v2_f64_files_are_accepted() {
+        // The writer emits v1 for f64, but v2 + 8-byte tag is legal.
+        let x = random_tensor(&[3, 2], 1);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MTKT");
+        push_u32(&mut buf, 2);
+        push_u32(&mut buf, 8);
+        push_u32(&mut buf, 2);
+        push_u64(&mut buf, 3);
+        push_u64(&mut buf, 2);
+        for &v in x.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let back: DenseTensor<f64> = tensor_from_bytes(&buf).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
-        assert!(tensor_from_bytes(b"NOPE").is_err());
+        assert!(tensor_from_bytes::<f64>(b"NOPE").is_err());
         assert!(model_from_bytes(b"XXXXXXXXXXXXXXXXXXX").is_err());
     }
 
@@ -472,7 +657,7 @@ mod tests {
     fn rejects_truncated_payload() {
         let x = random_tensor(&[3, 3], 3);
         let bytes = tensor_to_bytes(&x);
-        assert!(tensor_from_bytes(&bytes[..bytes.len() - 8]).is_err());
+        assert!(tensor_from_bytes::<f64>(&bytes[..bytes.len() - 8]).is_err());
     }
 
     // Satellite regression: the streaming readers must reject a
@@ -491,7 +676,7 @@ mod tests {
         for _ in 0..3 {
             push_u64(&mut buf, 100);
         }
-        let err = tensor_from_bytes(&buf).unwrap_err();
+        let err = tensor_from_bytes::<f64>(&buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(
             err.to_string().contains("length mismatch"),
@@ -503,7 +688,7 @@ mod tests {
         let x = random_tensor(&[3, 3], 4);
         let mut bytes = tensor_to_bytes(&x);
         bytes.extend_from_slice(&[0u8; 8]);
-        let err = tensor_from_bytes(&bytes).unwrap_err();
+        let err = tensor_from_bytes::<f64>(&bytes).unwrap_err();
         assert!(err.to_string().contains("length mismatch"));
 
         // And for the model and sparse readers.
@@ -549,7 +734,7 @@ mod tests {
         push_u32(&mut buf, 2);
         push_u64(&mut buf, 1 << 40);
         push_u64(&mut buf, 1 << 40);
-        assert!(tensor_from_bytes(&buf).is_err());
+        assert!(tensor_from_bytes::<f64>(&buf).is_err());
     }
 
     // Regression: a shape whose *entry count* fits usize but whose
@@ -565,7 +750,7 @@ mod tests {
         push_u32(&mut buf, 2);
         push_u64(&mut buf, 1 << 31);
         push_u64(&mut buf, 1 << 30);
-        let err = tensor_from_bytes(&buf).unwrap_err();
+        let err = tensor_from_bytes::<f64>(&buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
 
         // Same construction against the model reader: factor word
@@ -590,7 +775,7 @@ mod tests {
         push_u32(&mut buf, 2);
         push_u64(&mut buf, 0);
         push_u64(&mut buf, 3);
-        assert!(tensor_from_bytes(&buf).is_err());
+        assert!(tensor_from_bytes::<f64>(&buf).is_err());
     }
 
     #[test]

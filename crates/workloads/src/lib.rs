@@ -19,7 +19,8 @@ pub mod io;
 
 pub use fmri::{linearize_symmetric, FmriConfig};
 pub use io::{
-    read_model, read_sparse, read_tensor, write_model, write_sparse, write_tensor, StoredModel,
+    read_model, read_sparse, read_tensor, tensor_dtype, write_model, write_sparse, write_tensor,
+    StoredModel,
 };
 pub use io::{
     read_model_from, read_sparse_from, read_tensor_from, write_model_to, write_sparse_to,

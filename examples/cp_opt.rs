@@ -20,7 +20,7 @@ fn main() {
     let dims = [30usize, 25, 20];
     let rank = 3;
     let pool = ThreadPool::host();
-    let x = KruskalModel::random(&dims, rank, 1).to_dense();
+    let x = KruskalModel::<f64>::random(&dims, rank, 1).to_dense();
     let norm_x_sq = x.data().iter().map(|v| v * v).sum::<f64>();
 
     let mut model = KruskalModel::random(&dims, rank, 2);

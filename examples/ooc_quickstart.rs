@@ -46,7 +46,7 @@ fn main() {
     // allocated. (Swap in your own closure: a data loader, a kernel
     // function, a random stream.)
     let rank = 3;
-    let planted = KruskalModel::random(&dims, rank, 0x00C);
+    let planted = KruskalModel::<f64>::random(&dims, rank, 0x00C);
     let path = std::env::temp_dir().join(format!("ooc_quickstart_{}.mttb", std::process::id()));
     reset_peak_resident_tile_bytes();
     let store = TileStore::write_with(&path, &layout, |idx| {

@@ -58,7 +58,7 @@ fn main() {
     );
 
     // CP decomposition of a planted rank-4 tensor.
-    let planted = KruskalModel::random(&dims, 4, 7).to_dense();
+    let planted = KruskalModel::<f64>::random(&dims, 4, 7).to_dense();
     let init = KruskalModel::random(&dims, 4, 8);
     let opts = CpAlsOptions {
         max_iters: 60,

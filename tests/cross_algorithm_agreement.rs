@@ -5,10 +5,10 @@
 //! reformulations, not approximations). Cases are generated from a
 //! fixed-seed [`mttkrp_rng::Rng64`] stream so failures reproduce.
 
-use mttkrp_repro::blas::{Layout, MatRef};
+use mttkrp_repro::blas::{Layout, MatRef, Scalar};
 use mttkrp_repro::cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
 use mttkrp_repro::mttkrp::{
-    mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, mttkrp_auto, mttkrp_explicit,
+    mttkrp_1step, mttkrp_1step_seq, mttkrp_2step_timed, mttkrp_auto, mttkrp_explicit, mttkrp_fused,
     mttkrp_oracle, AlgoChoice, MttkrpBackend, MttkrpPlan, TwoStepSide,
 };
 use mttkrp_repro::ooc::{OocTensor, TileStore, TiledLayout};
@@ -103,6 +103,167 @@ fn all_variants_match_oracle() {
                 assert!(close(&got, &want), "2-step {side:?}; {tag}");
             }
         }
+
+        got.fill(f64::NAN);
+        mttkrp_fused(&pool, &x, &refs, case.n, &mut got);
+        assert!(close(&got, &want), "fused; {tag}");
+    }
+}
+
+/// The fused matrix-free pass is an exact reformulation of the 1-step
+/// and 2-step algorithms: same products, same additions grouped per
+/// output row. At f64 the three must agree to 1e-12; at f32 (where the
+/// partials round differently per algorithm) to 1e-5 — on every mode
+/// and over several team sizes.
+#[test]
+fn fused_agrees_with_1step_and_2step_at_both_precisions() {
+    fn run<S: Scalar>(tol: f64) {
+        let mut rng = Rng64::seed_from_u64(0xA62E_0006);
+        for dims in [vec![6usize, 5, 4], vec![4, 3, 5, 3], vec![3, 2, 4, 2, 3]] {
+            let total: usize = dims.iter().product();
+            let c = 4;
+            let x = DenseTensor::<S>::from_vec(
+                &dims,
+                (0..total)
+                    .map(|_| S::from_f64(rng.next_f64() - 0.5))
+                    .collect(),
+            );
+            let factors: Vec<Vec<S>> = dims
+                .iter()
+                .map(|&d| {
+                    (0..d * c)
+                        .map(|_| S::from_f64(rng.next_f64() - 0.5))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<MatRef<S>> = factors
+                .iter()
+                .zip(&dims)
+                .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+                .collect();
+            for t in [1usize, 2, 5] {
+                let pool = ThreadPool::new(t);
+                for n in 0..dims.len() {
+                    let mut one = vec![S::ZERO; dims[n] * c];
+                    mttkrp_1step(&pool, &x, &refs, n, &mut one);
+                    let mut fused = vec![S::ZERO; dims[n] * c];
+                    mttkrp_fused(&pool, &x, &refs, n, &mut fused);
+                    for (a, b) in fused.iter().zip(&one) {
+                        let (a, b) = (a.to_f64(), b.to_f64());
+                        assert!(
+                            (a - b).abs() <= tol * (1.0 + b.abs()),
+                            "{} dims {dims:?} t={t} n={n}: fused {a} vs 1-step {b}",
+                            S::DTYPE
+                        );
+                    }
+                    if n > 0 && n < dims.len() - 1 {
+                        let mut two = vec![S::ZERO; dims[n] * c];
+                        mttkrp_2step_timed(&pool, &x, &refs, n, &mut two, TwoStepSide::Auto);
+                        for (a, b) in fused.iter().zip(&two) {
+                            let (a, b) = (a.to_f64(), b.to_f64());
+                            assert!(
+                                (a - b).abs() <= tol * (1.0 + b.abs()),
+                                "{} dims {dims:?} t={t} n={n}: fused {a} vs 2-step {b}",
+                                S::DTYPE
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    run::<f64>(1e-12);
+    run::<f32>(1e-5);
+}
+
+/// f32 storage with f64 accumulators: every planned f32 algorithm must
+/// track the f64 oracle of the *same rounded inputs* to ≈1e-5 relative
+/// — the error of storing operands in binary32, not of accumulating in
+/// it (a pure-f32 summation over these reduction lengths would drift
+/// well past this bound).
+#[test]
+fn f32_planned_mttkrp_tracks_f64_oracle_all_modes() {
+    let mut rng = Rng64::seed_from_u64(0xA62E_0007);
+    for dims in [vec![9usize, 6, 8], vec![5, 4, 6, 4]] {
+        let total: usize = dims.iter().product();
+        let c = 5;
+        // Draw in f64, narrow once; the oracle runs on the narrowed
+        // values widened back, so both precisions see identical inputs.
+        let vals: Vec<f64> = (0..total).map(|_| rng.next_f64() - 0.5).collect();
+        let x32 = DenseTensor::<f32>::from_vec(&dims, vals.iter().map(|&v| v as f32).collect());
+        let x64 =
+            DenseTensor::<f64>::from_vec(&dims, x32.data().iter().map(|&v| v as f64).collect());
+        let f32s: Vec<Vec<f32>> = dims
+            .iter()
+            .map(|&d| (0..d * c).map(|_| (rng.next_f64() - 0.5) as f32).collect())
+            .collect();
+        let f64s: Vec<Vec<f64>> = f32s
+            .iter()
+            .map(|f| f.iter().map(|&v| v as f64).collect())
+            .collect();
+        let refs32: Vec<MatRef<f32>> = f32s
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        let refs64: Vec<MatRef<f64>> = f64s
+            .iter()
+            .zip(&dims)
+            .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+            .collect();
+        for t in [1usize, 3] {
+            let pool = ThreadPool::new(t);
+            for n in 0..dims.len() {
+                let mut want = vec![0.0f64; dims[n] * c];
+                mttkrp_oracle(&x64, &refs64, n, &mut want);
+                for choice in [
+                    AlgoChoice::Heuristic,
+                    AlgoChoice::OneStep,
+                    AlgoChoice::TwoStep(TwoStepSide::Auto),
+                    AlgoChoice::Fused,
+                ] {
+                    let mut plan = MttkrpPlan::<f32>::new(&pool, &dims, c, n, choice);
+                    let mut got = vec![f32::NAN; dims[n] * c];
+                    plan.execute(&pool, &x32, &refs32, &mut got);
+                    for (a, b) in got.iter().zip(&want) {
+                        let a = *a as f64;
+                        assert!(
+                            (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                            "dims {dims:?} t={t} n={n} {choice:?}: f32 {a} vs f64 oracle {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// CP-ALS in f32 storage follows the f64 run's fit trajectory from the
+/// same (rounded) init to ≈1e-5 per iteration: the Gram/pinv/fit
+/// chain stays f64, so only factor storage rounds.
+#[test]
+fn f32_cp_als_fit_trajectory_tracks_f64() {
+    let dims = [8usize, 7, 6];
+    let rank = 3;
+    let pool = ThreadPool::new(2);
+    let x64 = KruskalModel::<f64>::random(&dims, rank, 0xF17).to_dense();
+    let x32 = x64.cast::<f32>();
+    // Same init, rounded the same way the tensor was.
+    let init64 = KruskalModel::<f64>::random(&dims, rank, 21);
+    let init32 = init64.cast::<f32>();
+    let opts = CpAlsOptions {
+        max_iters: 10,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
+    let (_, rep64) = cp_als(&pool, &x64, init64, &opts);
+    let (_, rep32) = cp_als(&pool, &x32, init32, &opts);
+    assert_eq!(rep64.iters, rep32.iters);
+    for (i, (a, b)) in rep32.fits.iter().zip(&rep64.fits).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-5,
+            "iter {i}: f32 fit {a} vs f64 fit {b}"
+        );
     }
 }
 

@@ -50,6 +50,7 @@ fn steady_state_plan_execution_does_not_allocate() {
             AlgoChoice::Heuristic,
             AlgoChoice::OneStep,
             AlgoChoice::TwoStep(TwoStepSide::Auto),
+            AlgoChoice::Fused,
         ] {
             let mut plan = MttkrpPlan::new(&pool, &dims, c, n, choice);
             let mut out = vec![0.0; dims[n] * c];
@@ -78,5 +79,51 @@ fn steady_state_plan_execution_does_not_allocate() {
             calls > 0 && bytes > 1024,
             "expected the wrapper to allocate per call: n={n} calls={calls} bytes={bytes}"
         );
+    }
+}
+
+/// The same zero-allocation property for the f32 instantiation of the
+/// whole plan stack — the generic workspaces must size themselves off
+/// the scalar type, not fall back to any f64-shaped scratch.
+#[test]
+fn steady_state_f32_plan_execution_does_not_allocate() {
+    let dims = [7usize, 5, 6, 4];
+    let c = 4;
+    let mut rng = Rng64::seed_from_u64(0xA110_C0F2);
+    let total: usize = dims.iter().product();
+    let x = DenseTensor::<f32>::from_vec(
+        &dims,
+        (0..total).map(|_| (rng.next_f64() - 0.5) as f32).collect(),
+    );
+    let factors: Vec<Vec<f32>> = dims
+        .iter()
+        .map(|&d| (0..d * c).map(|_| (rng.next_f64() - 0.5) as f32).collect())
+        .collect();
+    let frefs: Vec<MatRef<f32>> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+    let pool = ThreadPool::new(1);
+
+    for n in 0..dims.len() {
+        for choice in [
+            AlgoChoice::OneStep,
+            AlgoChoice::TwoStep(TwoStepSide::Auto),
+            AlgoChoice::Fused,
+        ] {
+            let mut plan = MttkrpPlan::<f32>::new(&pool, &dims, c, n, choice);
+            let mut out = vec![0.0f32; dims[n] * c];
+            plan.execute(&pool, &x, &frefs, &mut out);
+            let (calls, bytes) = counted(|| {
+                plan.execute(&pool, &x, &frefs, &mut out);
+                plan.execute(&pool, &x, &frefs, &mut out);
+            });
+            assert_eq!(
+                (calls, bytes),
+                (0, 0),
+                "steady-state f32 plan execution allocated: n={n} choice={choice:?}"
+            );
+        }
     }
 }
