@@ -1,7 +1,7 @@
 //! PR 6 trajectory record: MTTKRP throughput per {dtype, tier,
 //! algorithm, T}, CP-ALS sweep time per dtype, and the fused-agreement
-//! errors — written to `BENCH_pr6.json` at the repo root (see the
-//! "Benchmark trajectory" section of README.md for the schema).
+//! errors — written to `BENCH_pr6.json` at the repo root through the
+//! shared [`BenchReport`] builder (schema in docs/FORMATS.md).
 //!
 //! Throughput is reported **GB-effective**: bytes are counted as if
 //! every element were 8 bytes regardless of storage dtype, so an f32
@@ -13,12 +13,11 @@
 //! runs, `MTTKRP_BENCH_OUT` overrides the output path,
 //! `MTTKRP_BENCH_SAMPLES` the per-measurement sample count.
 
-use std::fmt::Write as _;
-
 use mttkrp_bench::{sample_min, MttkrpFixture, RANK};
 use mttkrp_blas::{kernels, Layout, MatRef, Scalar};
 use mttkrp_core::{mttkrp_1step, mttkrp_2step, mttkrp_fused, AlgoChoice, MttkrpPlan, TwoStepSide};
 use mttkrp_cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_obs::BenchReport;
 use mttkrp_parallel::ThreadPool;
 
 const SAMPLES: usize = 5;
@@ -201,56 +200,60 @@ fn main() {
     let f32_t1 = best_rate(&rows, "f32", 1);
     let speedup = f32_t1 / f64_t1;
 
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"mttkrp-bench-v1\",");
-    let _ = writeln!(s, "  \"pr\": 6,");
-    let _ = writeln!(s, "  \"rank\": {RANK},");
-    let _ = writeln!(s, "  \"dims\": {:?},", fx.dims);
-    let _ = writeln!(s, "  \"smoke\": {smoke},");
-    let _ = writeln!(s, "  \"host_threads\": {},", host.num_threads());
-    let _ = writeln!(s, "  \"mttkrp\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"dtype\": \"{}\", \"tier\": \"{}\", \"algorithm\": \"{}\", \"threads\": {}, \"mode\": {}, \"seconds\": {:e}, \"gb_effective_per_s\": {:.4}}}{comma}",
-            r.dtype, r.tier, r.algorithm, r.threads, r.mode, r.seconds, r.gb_effective_per_s
-        );
+    let mut report = BenchReport::new(6);
+    report
+        .scalar("rank", RANK)
+        .scalar(
+            "dims",
+            fx.dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+        )
+        .scalar("smoke", smoke)
+        .scalar("host_threads", host.num_threads());
+    for r in &rows {
+        report
+            .row("mttkrp")
+            .field("dtype", r.dtype)
+            .field("tier", r.tier)
+            .field("algorithm", r.algorithm)
+            .field("threads", r.threads)
+            .field("mode", r.mode)
+            .field("seconds", r.seconds)
+            .field("gb_effective_per_s", r.gb_effective_per_s);
     }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"cp_als\": [");
-    for (i, r) in cpals.iter().enumerate() {
-        let comma = if i + 1 < cpals.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"dtype\": \"{}\", \"seconds_per_sweep\": {:e}, \"iters\": {}, \"final_fit\": {:.9}}}{comma}",
-            r.dtype, r.seconds_per_sweep, r.iters, r.final_fit
-        );
+    for r in &cpals {
+        report
+            .row("cp_als")
+            .field("dtype", r.dtype)
+            .field("seconds_per_sweep", r.seconds_per_sweep)
+            .field("iters", r.iters)
+            .field("final_fit", r.final_fit);
     }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"fused_agreement\": [");
-    for (i, r) in agreement.iter().enumerate() {
-        let comma = if i + 1 < agreement.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"dtype\": \"{}\", \"baseline\": \"{}\", \"max_rel_error\": {:e}, \"bound\": {:e}, \"within_bound\": {}}}{comma}",
-            r.dtype, r.baseline, r.max_rel_error, r.bound, r.max_rel_error <= r.bound
-        );
+    for r in &agreement {
+        report
+            .row("fused_agreement")
+            .field("dtype", r.dtype)
+            .field("baseline", r.baseline)
+            .field("max_rel_error", r.max_rel_error)
+            .field("bound", r.bound)
+            .field("within_bound", r.max_rel_error <= r.bound);
     }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"acceptance\": {{");
-    let _ = writeln!(
-        s,
-        "    \"f32_best_gb_effective_t1\": {f32_t1:.4},\n    \"f64_best_gb_effective_t1\": {f64_t1:.4},\n    \"f32_over_f64_t1\": {speedup:.4},\n    \"f32_speedup_target\": 1.5,\n    \"f32_speedup_met\": {}",
-        speedup >= 1.5
-    );
-    let _ = writeln!(s, "  }}");
-    let _ = writeln!(s, "}}");
+    report
+        .row("acceptance")
+        .field("f32_best_gb_effective_t1", f32_t1)
+        .field("f64_best_gb_effective_t1", f64_t1)
+        .field("f32_over_f64_t1", speedup)
+        .field("f32_speedup_target", 1.5)
+        .field("f32_speedup_met", speedup >= 1.5);
 
-    let out = std::env::var("MTTKRP_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_pr6.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &s).expect("write BENCH_pr6.json");
-    print!("{s}");
+    let out = BenchReport::out_path(&format!(
+        "{}/../../BENCH_pr6.json",
+        env!("CARGO_MANIFEST_DIR")
+    ));
+    report.save(&out).expect("write BENCH_pr6.json");
+    print!("{}", report.to_json());
     eprintln!("# wrote {out}");
 }

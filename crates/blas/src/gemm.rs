@@ -55,6 +55,10 @@ pub fn gemm_with<S: Scalar>(
         return;
     }
 
+    if mttkrp_obs::metrics_enabled() {
+        record_gemm_metrics::<S>(ks.tier(), m, n, k);
+    }
+
     // Small problems (e.g. the tiny per-block multiplies of the
     // internal-mode 1-step MTTKRP on high-order tensors) skip packing:
     // the panels would not amortize, and the accumulate loop below is
@@ -63,6 +67,11 @@ pub fn gemm_with<S: Scalar>(
         small_kernel(alpha, &a, &b, &mut c);
         return;
     }
+
+    // Only the blocked path gets a dispatch span: the small-problem
+    // calls above are too numerous (one per tensor block) to trace
+    // individually without flooding the span buffers.
+    let _span = mttkrp_obs::span_full!("gemm_blocked", mnk = m * n * k);
 
     // Pack buffers are thread-local (one arena per element type) so
     // repeated GEMM calls (one per tensor block) do not re-allocate or
@@ -74,6 +83,35 @@ pub fn gemm_with<S: Scalar>(
         b_pack.resize(KC * (NC + NR_MAX), S::ZERO);
         gemm_blocked(ks, alpha, &a, &b, &mut c, a_pack, b_pack);
     });
+}
+
+/// Per-tier GEMM call/byte counters, recorded only under `--metrics`
+/// (`MTTKRP_METRICS=1`). Bytes model each operand touched once:
+/// `(m·k + k·n + 2·m·n) · sizeof(S)` (read + write of C).
+fn record_gemm_metrics<S: Scalar>(tier: crate::KernelTier, m: usize, n: usize, k: usize) {
+    let bytes = ((m * k + k * n + 2 * m * n) * std::mem::size_of::<S>()) as u64;
+    // One statically-named counter pair per tier keeps the handles
+    // cacheable per call site.
+    let (calls, moved) = match tier {
+        crate::KernelTier::Scalar => (
+            mttkrp_obs::counter!("blas.gemm_calls.scalar"),
+            mttkrp_obs::counter!("blas.gemm_bytes.scalar"),
+        ),
+        crate::KernelTier::Avx2 => (
+            mttkrp_obs::counter!("blas.gemm_calls.avx2"),
+            mttkrp_obs::counter!("blas.gemm_bytes.avx2"),
+        ),
+        crate::KernelTier::Avx512 => (
+            mttkrp_obs::counter!("blas.gemm_calls.avx512"),
+            mttkrp_obs::counter!("blas.gemm_bytes.avx512"),
+        ),
+        crate::KernelTier::Neon => (
+            mttkrp_obs::counter!("blas.gemm_calls.neon"),
+            mttkrp_obs::counter!("blas.gemm_bytes.neon"),
+        ),
+    };
+    calls.incr();
+    moved.add(bytes);
 }
 
 /// Unpacked accumulation kernel for small problems:

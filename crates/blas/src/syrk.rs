@@ -96,6 +96,8 @@ pub fn syrk_t_with<S: Scalar>(
         return;
     }
 
+    let _span = mttkrp_obs::span_full!("syrk", rows = m);
+
     // The accumulator is thread-local so repeated Gram computations
     // (N per CP-ALS iteration) do not heap-allocate in steady state.
     thread_local! {

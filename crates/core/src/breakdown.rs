@@ -81,6 +81,18 @@ impl Breakdown {
         self.fused += other.fused;
         self.reduce += other.reduce;
     }
+
+    /// Seconds of categorized work hidden behind the driver's wall
+    /// time: `max(0, categorized() − total)`. Zero for a plain serial
+    /// execution; positive when a driver overlapped sub-call phases
+    /// with other work (see [`Breakdown::accumulate_phases`]) or when
+    /// concurrently executed phases were max-merged. The same overlap
+    /// is visible structurally in the span timeline (`MTTKRP_TRACE`):
+    /// compute spans on the main thread run concurrently with
+    /// `tile_read` spans on the prefetch thread.
+    pub fn overlap(&self) -> f64 {
+        (self.categorized() - self.total).max(0.0)
+    }
 }
 
 /// Time a closure, adding the elapsed seconds to `slot`, and return its
@@ -91,6 +103,15 @@ pub(crate) fn timed<R>(slot: &mut f64, f: impl FnOnce() -> R) -> R {
     let r = f();
     *slot += t0.elapsed().as_secs_f64();
     r
+}
+
+/// [`timed`] that also emits a detail span (`MTTKRP_TRACE=full`) named
+/// `name`, so the phase shows up on the trace timeline as well as in
+/// the breakdown slot.
+#[inline]
+pub(crate) fn timed_traced<R>(name: &'static str, slot: &mut f64, f: impl FnOnce() -> R) -> R {
+    let _s = mttkrp_obs::span_full!(name);
+    timed(slot, f)
 }
 
 #[cfg(test)]
@@ -143,6 +164,22 @@ mod tests {
         assert_eq!(a.dgemm, 1.5);
         assert_eq!(a.total, 3.0);
         assert_eq!(a.categorized(), 1.5);
+    }
+
+    #[test]
+    fn overlap_measures_hidden_phase_time() {
+        let mut bd = Breakdown {
+            total: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(bd.overlap(), 0.0, "serial execution has no overlap");
+        bd.accumulate_phases(&Breakdown {
+            dgemm: 0.8,
+            reduce: 0.4,
+            total: 9.0, // sub-call totals are ignored
+            ..Default::default()
+        });
+        assert!((bd.overlap() - 0.2).abs() < 1e-12, "got {}", bd.overlap());
     }
 
     #[test]

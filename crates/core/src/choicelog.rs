@@ -111,7 +111,7 @@ impl ChoiceLog {
     }
 
     fn push_record(&mut self, plan: &MttkrpPlan, measured: f64, measured_other: Option<f64>) {
-        self.records.push(ChoiceRecord {
+        let rec = ChoiceRecord {
             dims: plan.dims().to_vec(),
             rank: plan.rank(),
             mode: plan.mode(),
@@ -120,7 +120,12 @@ impl ChoiceLog {
             predicted: plan.predicted_times(),
             measured,
             measured_other,
-        });
+        };
+        mttkrp_obs::counter!("core.choice_records").incr();
+        if rec.choice_was_fastest() == Some(true) {
+            mttkrp_obs::counter!("core.choice_agree").incr();
+        }
+        self.records.push(rec);
     }
 
     /// All recorded executions, in insertion order.
@@ -200,6 +205,68 @@ impl ChoiceLog {
         }
         s
     }
+
+    /// Self-describing JSON dump of the whole log
+    /// (`mttkrp-choices-v1`) — what `mttkrp-harness --choices-out`
+    /// writes after an accuracy sweep.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+
+        fn opt(v: Option<f64>) -> String {
+            match v {
+                Some(v) if v.is_finite() => format!("{v:e}"),
+                _ => "null".to_string(),
+            }
+        }
+
+        let mut s = String::from("{\n  \"schema\": \"mttkrp-choices-v1\",\n");
+        let _ = writeln!(s, "  \"agreement\": {},", opt(self.agreement()));
+        let _ = writeln!(
+            s,
+            "  \"mean_prediction_error\": {},",
+            opt(self.mean_prediction_error())
+        );
+        s.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let dims = r
+                .dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                s,
+                "\n    {{\"dims\": [{dims}], \"rank\": {}, \"mode\": {}, \"threads\": {}, \
+                 \"algo\": \"{:?}\", \"predicted\": ",
+                r.rank, r.mode, r.threads, r.algo
+            );
+            match r.predicted {
+                Some(p) => {
+                    let _ = write!(
+                        s,
+                        "{{\"one_step\": {}, \"two_step\": {}, \"fused\": {}}}",
+                        opt(Some(p.one_step)),
+                        opt(Some(p.two_step)),
+                        opt(p.fused)
+                    );
+                }
+                None => s.push_str("null"),
+            }
+            let _ = write!(
+                s,
+                ", \"measured\": {}, \"measured_other\": {}, \"fastest\": {}}}{}",
+                opt(Some(r.measured)),
+                opt(r.measured_other),
+                match r.choice_was_fastest() {
+                    Some(b) => b.to_string(),
+                    None => "null".to_string(),
+                },
+                if i + 1 < self.records.len() { "," } else { "" }
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +342,34 @@ mod tests {
         let s = log.summary();
         assert!(s.contains("choice-agreement,50.0%"), "summary:\n{s}");
         assert!(s.contains("fastest=NO"), "summary:\n{s}");
+    }
+
+    #[test]
+    fn to_json_is_self_describing_and_balanced() {
+        let pool = ThreadPool::new(1);
+        let mut log = ChoiceLog::new();
+        let plan = MttkrpPlan::new(
+            &pool,
+            &[4, 3, 2],
+            2,
+            1,
+            AlgoChoice::Predicted {
+                one_step: 2.0,
+                two_step: 1.0,
+            },
+        );
+        log.record_sweep(&plan, 1.0e-3, 2.0e-3);
+        let mut plain = MttkrpPlan::new(&pool, &[3, 3], 2, 0, AlgoChoice::Heuristic);
+        let bd = run_once(&mut plain, &pool);
+        log.record(&plain, &bd);
+        let s = log.to_json();
+        assert!(s.contains("\"schema\": \"mttkrp-choices-v1\""));
+        assert!(s.contains("\"agreement\": 1e0"));
+        assert!(s.contains("\"dims\": [4, 3, 2]"));
+        assert!(s.contains("\"fastest\": true"));
+        assert!(s.contains("\"predicted\": null"), "heuristic record:\n{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 
     #[test]

@@ -73,7 +73,7 @@ use mttkrp_krp::{par_krp_with, KrpState};
 use mttkrp_parallel::{block_range, reduce, ThreadPool, Workspace};
 use mttkrp_tensor::DenseTensor;
 
-use crate::breakdown::{timed, Breakdown};
+use crate::breakdown::{timed, timed_traced, Breakdown};
 use crate::model::{tuned_cost, ModeCost};
 use crate::twostep::TwoStepSide;
 use crate::validate_factors;
@@ -320,6 +320,8 @@ impl<S: Scalar> MttkrpPlan<S> {
         assert!(nmodes >= 2, "MTTKRP requires an order >= 2 tensor");
         assert!(n < nmodes, "mode {n} out of range");
         assert!(c > 0, "rank must be positive");
+        let _span = mttkrp_obs::span!("plan_build", mode = n);
+        mttkrp_obs::counter!("core.plans_built").incr();
         let t = pool.num_threads();
         // Resolve the adaptive choice first: with an installed cost
         // model `Tuned` becomes a concrete prediction for this shape;
@@ -611,6 +613,7 @@ impl<S: Scalar> MttkrpPlan<S> {
         let i_n = self.dims[self.n];
         assert_eq!(out.len(), i_n * c, "output must be I_n × C");
 
+        let _span = mttkrp_obs::span!("mttkrp", mode = self.n);
         let total_t0 = std::time::Instant::now();
         let mut bd = Breakdown::default();
         match &mut self.kind {
@@ -781,14 +784,14 @@ fn exec_onestep_external<S: Scalar>(
         if r.is_empty() {
             return;
         }
-        timed(&mut slot.bd.full_krp, || {
+        timed_traced("krp", &mut slot.bd.full_krp, || {
             let mut stream = slot.krp.cursor_with(factors, krp_order, ks);
             stream.seek(r.start);
             for row in slot.k.chunks_exact_mut(c) {
                 stream.write_next(row);
             }
         });
-        timed(&mut slot.bd.dgemm, || {
+        timed_traced("gemm", &mut slot.bd.dgemm, || {
             let xt = xv.submatrix(0, r.start, i_n, r.len());
             let kt = MatRef::from_slice(&slot.k, r.len(), c, Layout::RowMajor);
             gemm_with(
@@ -806,7 +809,7 @@ fn exec_onestep_external<S: Scalar>(
         bd.full_krp = bd.full_krp.max(slot.bd.full_krp);
         bd.dgemm = bd.dgemm.max(slot.bd.dgemm);
     }
-    timed(&mut bd.reduce, || {
+    timed_traced("reduce", &mut bd.reduce, || {
         reduce_slots(pool, out, ws.slots(), nsplit, |s| &s.m)
     });
 }
@@ -832,7 +835,7 @@ fn exec_onestep_internal<S: Scalar>(
     let unf = x.unfold(n);
     debug_assert_eq!(unf.num_blocks(), ir);
 
-    timed(&mut bd.lr_krp, || {
+    timed_traced("krp", &mut bd.lr_krp, || {
         plan_krp(ks, pool, factors, left_order, kl_state, kl, c)
     });
     let kl = &*kl;
@@ -840,6 +843,9 @@ fn exec_onestep_internal<S: Scalar>(
     pool.run_with_workspace(ws, |ctx, slot| {
         slot.bd = Breakdown::default();
         slot.m.fill(S::ZERO);
+        // One detail span for the whole block-cyclic loop; per-block
+        // spans would swamp the trace buffer for large IR_n.
+        let _s = mttkrp_obs::span_full!("block_loop", blocks = ir);
         let mut stream = slot.krp.cursor_with(factors, right_order, ks);
         let mut j = ctx.thread_id;
         while j < ir {
@@ -873,7 +879,7 @@ fn exec_onestep_internal<S: Scalar>(
     }
     bd.lr_krp += phase.lr_krp;
     bd.dgemm = phase.dgemm;
-    timed(&mut bd.reduce, || {
+    timed_traced("reduce", &mut bd.reduce, || {
         reduce_slots(pool, out, ws.slots(), ws.slots().len(), |s| &s.m)
     });
 }
@@ -902,7 +908,7 @@ fn exec_twostep<S: Scalar>(
     bd: &mut Breakdown,
 ) {
     // Lines 2–3: both partial KRPs.
-    timed(&mut bd.lr_krp, || {
+    timed_traced("krp", &mut bd.lr_krp, || {
         plan_krp(ks, pool, factors, left_order, krp_state, kl, c);
         plan_krp(ks, pool, factors, right_order, krp_state, kr, c);
     });
@@ -914,7 +920,7 @@ fn exec_twostep<S: Scalar>(
     if use_left {
         // Line 5: L(0:N−n−1) = X(0:n−1)ᵀ · KL, of shape (I_n·IR_n) × C,
         // stored column-major (L in natural order with C appended).
-        timed(&mut bd.dgemm, || {
+        timed_traced("gemm", &mut bd.dgemm, || {
             let xt = x.unfold_leading(n - 1).t(); // (I_n·IR_n) × IL_n, row-major
             par_gemm_with(
                 ks,
@@ -928,7 +934,7 @@ fn exec_twostep<S: Scalar>(
         });
         // Lines 6–9: M(:,j) = L(0)[j] · KR(:,j); L(0)[j] is the j-th
         // I_n × IR_n column-major block of L's mode-0 unfolding.
-        timed(&mut bd.dgemv, || {
+        timed_traced("gemv", &mut bd.dgemv, || {
             for j in 0..c {
                 let lj = MatRef::from_slice(
                     &mid[j * i_n * ir..(j + 1) * i_n * ir],
@@ -948,7 +954,7 @@ fn exec_twostep<S: Scalar>(
     } else {
         // Line 11: R(0:n) = X(0:n) · KR, of shape (IL_n·I_n) × C,
         // stored column-major (R in natural order with C appended).
-        timed(&mut bd.dgemm, || {
+        timed_traced("gemm", &mut bd.dgemm, || {
             let xv = x.unfold_leading(n); // (IL_n·I_n) × IR_n, column-major
             par_gemm_with(
                 ks,
@@ -962,7 +968,7 @@ fn exec_twostep<S: Scalar>(
         });
         // Lines 12–15: M(:,j) = R(n)[j] · KL(:,j); R(n)[j] is the j-th
         // I_n × IL_n row-major block of R's mode-n unfolding.
-        timed(&mut bd.dgemv, || {
+        timed_traced("gemv", &mut bd.dgemv, || {
             for j in 0..c {
                 let rj = MatRef::from_slice(
                     &mid[j * il * i_n..(j + 1) * il * i_n],
@@ -1059,7 +1065,7 @@ fn exec_fused<S: Scalar>(
             std::slice::from_raw_parts_mut((out_base as *mut S).add(r.start * c), r.len() * c)
         };
         my_out.fill(S::ZERO);
-        timed(&mut bd.fused, || {
+        timed_traced("fused_stream", &mut bd.fused, || {
             let z_l = left_order.len();
             let z_r = right_order.len();
             let mut right_stream = (z_r >= 2).then(|| right.cursor_with(factors, right_order, ks));

@@ -151,6 +151,7 @@ pub fn cp_als<X: MttkrpBackend>(
     init: KruskalModel<X::Elem>,
     opts: &CpAlsOptions,
 ) -> (KruskalModel<X::Elem>, CpAlsReport) {
+    let _span = mttkrp_obs::span!("cp_als", rank = init.rank());
     let mut sweep = CpAlsSweep::new(pool, x, init, opts);
 
     let mut report = CpAlsReport {
@@ -223,6 +224,8 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
         let nmodes = dims.len();
         let c = init.rank();
         assert_eq!(init.dims(), &dims[..], "model shape must match tensor");
+        // Covers initial Grams plus per-mode plan construction.
+        let _span = mttkrp_obs::span!("plan_construct", modes = nmodes);
 
         let model = init;
         let mut gram_ws = GramWorkspace::new(pool.num_threads());
@@ -272,11 +275,13 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
     /// One full ALS iteration over every mode; returns the fit
     /// `1 − ‖X − Y‖/‖X‖` and the accumulated MTTKRP phase breakdown.
     pub fn sweep(&mut self, pool: &ThreadPool, x: &X) -> (f64, Breakdown) {
+        let _span = mttkrp_obs::span!("sweep");
         let nmodes = self.dims.len();
         let c = self.c;
         let mut sweep_bd = Breakdown::default();
 
         for n in 0..nmodes {
+            let _mode_span = mttkrp_obs::span!("als_mode", mode = n);
             let rows = self.dims[n];
             let m = &mut self.m_buf[..rows * c];
             let bd = {
@@ -289,15 +294,18 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
             if n == nmodes - 1 {
                 self.last_mode_m.copy_from_slice(m);
             }
-            solve_factor_update_ws(
-                &mut self.solve,
-                m,
-                rows,
-                c,
-                &self.grams,
-                n,
-                &mut self.model.factors[n],
-            );
+            {
+                let _solve_span = mttkrp_obs::span!("solve", mode = n);
+                solve_factor_update_ws(
+                    &mut self.solve,
+                    m,
+                    rows,
+                    c,
+                    &self.grams,
+                    n,
+                    &mut self.model.factors[n],
+                );
+            }
             self.model.lambda.fill(1.0);
             self.model.normalize_mode(n);
             gram_into(
@@ -311,6 +319,7 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
         }
 
         // Fit via the last-mode MTTKRP: ⟨X, Y⟩ = Σ_{i,c} λ_c·U(i,c)·M(i,c).
+        let _fit_span = mttkrp_obs::span!("fit");
         let inner: f64 = {
             let u = &self.model.factors[nmodes - 1];
             let mut s = 0.0;

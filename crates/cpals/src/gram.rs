@@ -41,6 +41,7 @@ pub fn gram_into<S: Scalar>(
 ) {
     assert_eq!(u.len(), rows * c, "factor must be rows x c");
     assert_eq!(out.len(), c * c, "output must be c x c");
+    let _span = mttkrp_obs::span!("gram", rows = rows);
     let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
     let mut gv = MatMut::from_slice(out, c, c, Layout::ColMajor);
     par_syrk_t_ws(pool, &mut ws.syrk, 1.0, uv, 0.0, &mut gv);

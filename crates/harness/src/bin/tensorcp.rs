@@ -30,6 +30,12 @@
 //! Exporting `MTTKRP_TUNE_PROFILE=host.tune` makes every later
 //! `decompose` pick its per-mode MTTKRP algorithm with the calibrated
 //! model instead of the paper's fixed heuristic.
+//!
+//! Every command also accepts `--trace-out FILE` (record `mttkrp_obs`
+//! spans across the run — plan construction, per-mode MTTKRP phases,
+//! Gram/solve, OOC prefetch — and write them as chrome-trace JSON,
+//! viewable in Perfetto) and `--metrics` (enable the process-wide
+//! metrics registry and print its text dump after the command).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -80,6 +86,17 @@ fn main() {
         eprintln!("MTTKRP_TUNE_PROFILE: {e}");
         exit(1);
     }
+    // Observability: --trace-out implies full-detail tracing (unless
+    // MTTKRP_TRACE pins a level) and writes a chrome-trace JSON after
+    // the command; --metrics enables the registry and prints its dump.
+    let trace_out = opts.get("trace-out").cloned();
+    if trace_out.is_some() && std::env::var_os("MTTKRP_TRACE").is_none() {
+        mttkrp_obs::set_trace_level(mttkrp_obs::TraceLevel::Full);
+    }
+    let want_metrics = opts.contains_key("metrics");
+    if want_metrics {
+        mttkrp_obs::set_metrics_enabled(true);
+    }
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "gen-fmri" => cmd_gen_fmri(&opts),
@@ -101,6 +118,18 @@ fn main() {
         eprintln!("error: {e}");
         exit(1);
     }
+    if let Some(path) = trace_out {
+        match mttkrp_obs::write_chrome_trace(&path) {
+            Ok(n) => eprintln!("trace written : {n} spans to {path} (chrome trace format)"),
+            Err(e) => {
+                eprintln!("cannot write trace {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    if want_metrics {
+        print!("{}", mttkrp_obs::registry().text_dump());
+    }
 }
 
 fn usage() {
@@ -121,7 +150,10 @@ fn usage() {
            tune       [--out FILE] [--threads T] [--quick]\n\
                       (calibrate this host, print + write a tuning profile)\n\
          every command accepts --kernel auto|scalar|avx2|avx512|neon\n\
-         (hardware dispatch tier; default auto = best supported);\n\
+         (hardware dispatch tier; default auto = best supported),\n\
+         --trace-out FILE (record spans, write chrome-trace JSON; implies\n\
+         MTTKRP_TRACE=full unless the env var pins a level), and\n\
+         --metrics (enable + print the metrics registry after the command);\n\
          f32 runs store in binary32 but keep f64 accumulators in every\n\
          reduction; the out-of-core (--ooc) paths are f64-only;\n\
          the out-of-core budget falls back to MTTKRP_OOC_BUDGET, then 256 MB;\n\

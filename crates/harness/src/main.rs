@@ -39,6 +39,13 @@
 //! measurements (Heuristic vs paper-constant model vs calibrated
 //! profile). A profile named by `MTTKRP_TUNE_PROFILE` is loaded at
 //! startup and drives every `Tuned` plan the other figures build.
+//!
+//! Observability (`mttkrp_obs`): `--trace-out FILE` records spans
+//! across the run and writes a chrome-trace JSON on exit (implies
+//! `MTTKRP_TRACE=full` unless the env var pins a level); `--metrics`
+//! enables the metrics registry and prints its text dump after the
+//! figures; `--choices-out FILE` writes the `--tune` sweep's
+//! [`ChoiceLog`](mttkrp_core::ChoiceLog) as JSON.
 
 mod extension;
 mod fig4;
@@ -123,6 +130,17 @@ fn main() {
     };
     let profile_path = flag_value("--profile");
     let profile_out = flag_value("--profile-out");
+    let trace_out = flag_value("--trace-out").map(String::from);
+    let choices_out = flag_value("--choices-out");
+    let want_metrics = args.iter().any(|a| a == "--metrics");
+    if trace_out.is_some() && std::env::var_os("MTTKRP_TRACE").is_none() {
+        // --trace-out implies tracing: full detail unless the user
+        // pinned a level in the environment.
+        mttkrp_obs::set_trace_level(mttkrp_obs::TraceLevel::Full);
+    }
+    if want_metrics {
+        mttkrp_obs::set_metrics_enabled(true);
+    }
     let dtype = match flag_value("--dtype") {
         None => mttkrp_blas::Dtype::F64,
         Some(name) => match mttkrp_blas::Dtype::parse(name) {
@@ -203,12 +221,25 @@ fn main() {
         ran = true;
     }
     if want("--tune") {
-        tune::run(scale, profile_path, profile_out);
+        tune::run(scale, profile_path, profile_out, choices_out);
         ran = true;
     }
     if !ran {
         print_help();
         std::process::exit(2);
+    }
+
+    if let Some(path) = trace_out {
+        match mttkrp_obs::write_chrome_trace(&path) {
+            Ok(n) => eprintln!("# trace: wrote {n} spans to {path} (chrome trace format)"),
+            Err(e) => {
+                eprintln!("cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want_metrics {
+        print!("{}", mttkrp_obs::registry().text_dump());
     }
 }
 
@@ -219,6 +250,7 @@ fn print_help() {
          [--scale small|medium|paper] \
          [--kernel auto|scalar|avx2|avx512|neon] [--dtype f32|f64] \
          [--budget-mb N] [--tile AxBxC] \
-         [--profile FILE] [--profile-out FILE]"
+         [--profile FILE] [--profile-out FILE] \
+         [--trace-out FILE] [--metrics] [--choices-out FILE]"
     );
 }

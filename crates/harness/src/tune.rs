@@ -60,8 +60,14 @@ fn one_step_is_faster(c: AlgoChoice) -> bool {
 
 /// Run the calibration + accuracy sweep. `profile_path` loads an
 /// existing profile instead of calibrating; `profile_out` persists the
-/// profile in use.
-pub fn run(scale: Scale, profile_path: Option<&str>, profile_out: Option<&str>) {
+/// profile in use; `choices_out` writes the sweep's [`ChoiceLog`] as
+/// JSON (`mttkrp-choices-v1`).
+pub fn run(
+    scale: Scale,
+    profile_path: Option<&str>,
+    profile_out: Option<&str>,
+    choices_out: Option<&str>,
+) {
     println!("## Autotuning: profile + prediction-accuracy sweep");
     let profile = match profile_path {
         Some(p) => match TuningProfile::load(p) {
@@ -164,6 +170,15 @@ pub fn run(scale: Scale, profile_path: Option<&str>, profile_out: Option<&str>) 
     }
     println!();
     print!("{}", log.summary());
+    if let Some(path) = choices_out {
+        match std::fs::write(path, log.to_json()) {
+            Ok(()) => println!("# wrote choice log to {path}"),
+            Err(e) => {
+                eprintln!("cannot write choice log {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let pct = |ok: usize| 100.0 * ok as f64 / total.max(1) as f64;
     println!(
         "agreement,heuristic={:.0}%,paper-model={:.0}%,tuned={:.0}%  ({} internal modes)",

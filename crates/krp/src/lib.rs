@@ -534,6 +534,7 @@ pub fn par_krp_with<S: Scalar>(
     let c = krp_cols(inputs);
     let j = krp_rows(inputs);
     assert_eq!(out.len(), j * c, "output must be (Π J_z) × C");
+    let _span = mttkrp_obs::span_full!("par_krp", rows = j);
     if pool.num_threads() == 1 {
         let mut cur = KrpCursor::new_with(inputs, ks);
         for row in out.chunks_exact_mut(c) {

@@ -1,0 +1,587 @@
+//! Process-wide metrics registry: named counters, gauges, and
+//! log-linear histograms.
+//!
+//! Metric handles are `&'static` — interned once in [`Registry`] and
+//! leaked — so hot paths cache a handle (the [`counter!`](crate::counter),
+//! [`gauge!`](crate::gauge), [`histogram!`](crate::histogram) macros do
+//! this with a per-site `OnceLock`) and the record path is a bare
+//! relaxed atomic op: **no allocation, no lock, no lookup**.
+//!
+//! Naming convention (`<crate>.<subsystem>_<what>[.<tier>]`, all
+//! snake-case):
+//!
+//! * `core.plans_built`, `core.choice_records`, `core.choice_agree`
+//! * `blas.gemm_bytes.<tier>`, `blas.gemm_calls.<tier>`
+//! * `ooc.resident_tile_bytes` (gauge), `ooc.io_wait_ns`,
+//!   `ooc.tiles_read`, `ooc.tile_wait_ns` (histogram)
+//!
+//! Structural metrics (gauge registrations, per-execution counters) are
+//! recorded unconditionally — they are off the per-element hot paths
+//! and tests depend on them. Per-kernel-call sites additionally gate on
+//! [`metrics_enabled`] (`MTTKRP_METRICS=1` or `--metrics`), which like
+//! the trace gate costs one relaxed load when disabled.
+//!
+//! ## Epoch-based peak reset
+//!
+//! [`Gauge`] packs a 16-bit reset epoch next to its 48-bit peak in one
+//! atomic word. `reset_peak` CAS-publishes `(epoch+1, current value)`,
+//! and every concurrent peak update CAS-retries against the *current*
+//! word — so a racing update can neither resurrect a pre-reset peak nor
+//! be lost by the reset's store, the race the old
+//! `ooc::metrics::reset_peak_resident_tile_bytes` (load-then-store)
+//! had.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+const ENABLED_UNINIT: u8 = u8::MAX;
+static ENABLED: AtomicU8 = AtomicU8::new(ENABLED_UNINIT);
+
+/// Whether hot-path metric sites should record. First call resolves
+/// `MTTKRP_METRICS` (`1`/`on`/`true` enable); afterwards one relaxed
+/// atomic load.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = matches!(
+        std::env::var("MTTKRP_METRICS").ok().as_deref(),
+        Some("1") | Some("on") | Some("true")
+    );
+    ENABLED.store(u8::from(on), Ordering::Relaxed);
+    on
+}
+
+/// Force hot-path metric recording on or off (CLIs use this for
+/// `--metrics`), overriding `MTTKRP_METRICS`.
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(u8::from(on), Ordering::Relaxed);
+}
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Peak payload bits of the packed `(epoch, peak)` gauge word.
+const GAUGE_PEAK_BITS: u32 = 48;
+/// Peak values saturate at 2^48 − 1 (≈ 256 TB when counting bytes).
+const GAUGE_PEAK_MAX: u64 = (1 << GAUGE_PEAK_BITS) - 1;
+
+fn clamp_peak(v: i64) -> u64 {
+    v.clamp(0, GAUGE_PEAK_MAX as i64) as u64
+}
+
+/// An up/down gauge with a resettable high-water mark.
+///
+/// The peak is tracked per *reset epoch* (see the module docs); it
+/// saturates at 2^48 − 1 and floors at 0 (a negative current value
+/// records a peak of 0).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    /// `epoch << 48 | peak`, updated only by CAS so resets and raises
+    /// serialize correctly.
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Add `delta` (may be negative); returns the new value.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        if delta > 0 {
+            self.raise_peak(now);
+        }
+        now
+    }
+
+    /// Subtract `delta`; returns the new value.
+    #[inline]
+    pub fn sub(&self, delta: i64) -> i64 {
+        self.add(-delta)
+    }
+
+    /// Set the value outright (also raises the peak).
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.raise_peak(v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`Gauge::reset_peak`].
+    pub fn peak(&self) -> i64 {
+        (self.peak.load(Ordering::Relaxed) & GAUGE_PEAK_MAX) as i64
+    }
+
+    /// The current reset epoch (increments on every reset, wraps at
+    /// 2^16). A reader holding `(epoch, peak)` can tell whether a peak
+    /// belongs to its measurement window.
+    pub fn peak_epoch(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed) >> GAUGE_PEAK_BITS
+    }
+
+    /// Reset the peak to the current value, starting a new epoch;
+    /// returns the new epoch. Concurrent updates CAS-retry against the
+    /// new word, so none are lost and none resurrect the old peak.
+    pub fn reset_peak(&self) -> u64 {
+        loop {
+            let cur = self.peak.load(Ordering::Relaxed);
+            let epoch = ((cur >> GAUGE_PEAK_BITS) + 1) & 0xFFFF;
+            let next = (epoch << GAUGE_PEAK_BITS) | clamp_peak(self.value());
+            if self
+                .peak
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return epoch;
+            }
+        }
+    }
+
+    fn raise_peak(&self, now: i64) {
+        let now = clamp_peak(now);
+        loop {
+            let cur = self.peak.load(Ordering::Relaxed);
+            if (cur & GAUGE_PEAK_MAX) >= now {
+                return;
+            }
+            let next = (cur & !GAUGE_PEAK_MAX) | now;
+            if self
+                .peak
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// Bucket count of [`Histogram`]: values 0–3 get exact buckets, every
+/// larger power-of-two octave is split into 4 linear sub-buckets
+/// (log-linear, ≤ 25% relative bucket width) up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// A log-linear histogram of `u64` samples (typically nanoseconds or
+/// bytes). Recording is a handful of relaxed atomic adds — no
+/// allocation, no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros() as usize; // >= 2
+        let sub = ((v >> (top - 2)) & 3) as usize;
+        (top - 1) * 4 + sub
+    }
+}
+
+/// Smallest value mapping to bucket `idx` (the quantile estimates
+/// report this lower bound).
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        let top = idx / 4 + 1;
+        let sub = (idx % 4) as u64;
+        (1u64 << (top - 2)) * (4 + sub)
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the lower bound of the
+    /// bucket where the cumulative count crosses `q · count`. Within
+    /// 25% of the true value by bucket construction. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        self.max()
+    }
+}
+
+enum Slot {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The process-wide metric registry — see [`registry`].
+///
+/// Lock poisoning is recovered from: the only panic that can happen
+/// under the lock is the kind-mismatch panic below, which leaves the
+/// map consistent.
+#[derive(Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as another kind.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Box::leak(Box::default())));
+        match slot {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as another kind.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Box::leak(Box::default())));
+        match slot {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as another kind.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Box::leak(Box::default())));
+        match slot {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slots.keys().cloned().collect()
+    }
+
+    /// One line per metric, sorted by name — the `--metrics` dump.
+    pub fn text_dump(&self) -> String {
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut s = String::new();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => {
+                    let _ = writeln!(s, "{name} counter {}", c.value());
+                }
+                Slot::Gauge(g) => {
+                    let _ = writeln!(
+                        s,
+                        "{name} gauge value={} peak={} epoch={}",
+                        g.value(),
+                        g.peak(),
+                        g.peak_epoch()
+                    );
+                }
+                Slot::Histogram(h) => {
+                    let _ = writeln!(
+                        s,
+                        "{name} histogram count={} sum={} p50={} p90={} p99={} max={}",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                        h.max()
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    /// Self-describing JSON dump (`mttkrp-metrics-v1`).
+    pub fn json_dump(&self) -> String {
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut s = String::from("{\n  \"schema\": \"mttkrp-metrics-v1\",\n  \"metrics\": [\n");
+        let n = slots.len();
+        for (i, (name, slot)) in slots.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            match slot {
+                Slot::Counter(c) => {
+                    let _ = writeln!(
+                        s,
+                        "    {{\"name\": \"{name}\", \"kind\": \"counter\", \"value\": {}}}{comma}",
+                        c.value()
+                    );
+                }
+                Slot::Gauge(g) => {
+                    let _ = writeln!(
+                        s,
+                        "    {{\"name\": \"{name}\", \"kind\": \"gauge\", \"value\": {}, \"peak\": {}, \"epoch\": {}}}{comma}",
+                        g.value(),
+                        g.peak(),
+                        g.peak_epoch()
+                    );
+                }
+                Slot::Histogram(h) => {
+                    let _ = writeln!(
+                        s,
+                        "    {{\"name\": \"{name}\", \"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}{comma}",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                        h.max()
+                    );
+                }
+            }
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The process-wide [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = registry().counter("test.counter_roundtrip");
+        c.add(3);
+        c.incr();
+        assert_eq!(c.value(), 4);
+        // Re-registering returns the same metric.
+        assert_eq!(registry().counter("test.counter_roundtrip").value(), 4);
+
+        let g = registry().gauge("test.gauge_roundtrip");
+        g.add(100);
+        g.sub(40);
+        assert_eq!(g.value(), 60);
+        assert_eq!(g.peak(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        registry().counter("test.kind_mismatch");
+        registry().gauge("test.kind_mismatch");
+    }
+
+    #[test]
+    fn gauge_epoch_reset_starts_new_window() {
+        let g = Gauge::default();
+        g.add(100);
+        g.sub(100);
+        assert_eq!((g.peak(), g.peak_epoch()), (100, 0));
+        let e = g.reset_peak();
+        assert_eq!(e, 1);
+        assert_eq!(g.peak(), 0, "peak resets to the current value");
+        g.add(25);
+        assert_eq!(g.peak(), 25);
+        assert_eq!(g.peak_epoch(), 1, "raises stay within the new epoch");
+    }
+
+    #[test]
+    fn gauge_peak_clamps_negative_values() {
+        let g = Gauge::default();
+        g.sub(5);
+        assert_eq!(g.value(), -5);
+        assert_eq!(g.peak(), 0);
+        g.reset_peak();
+        assert_eq!(g.peak(), 0, "negative current value floors the peak at 0");
+    }
+
+    #[test]
+    fn gauge_reset_race_cannot_resurrect_old_peak() {
+        // Interleave raises and resets from two threads; after the final
+        // reset (quiescent), the peak must equal the current value.
+        let g: &'static Gauge = Box::leak(Box::default());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..10_000 {
+                    g.add(3);
+                    g.sub(3);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..1_000 {
+                    g.reset_peak();
+                }
+            });
+        });
+        g.reset_peak();
+        assert_eq!(g.peak(), clamp_peak(g.value()) as i64);
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_monotone() {
+        // Every value maps to a bucket whose bounds bracket it.
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < HISTOGRAM_BUCKETS);
+            assert!(bucket_lower_bound(i) <= v, "v={v} bucket={i}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert!(v < bucket_lower_bound(i + 1), "v={v} bucket={i}");
+            }
+        }
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_lower_bound(i) > bucket_lower_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_approximate() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((375..=500).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((768..=990).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn dumps_cover_all_kinds() {
+        registry().counter("test.dump_counter").add(7);
+        registry().gauge("test.dump_gauge").add(9);
+        registry().histogram("test.dump_hist").record(5);
+        let text = registry().text_dump();
+        assert!(text.contains("test.dump_counter counter"));
+        assert!(text.contains("test.dump_gauge gauge value="));
+        assert!(text.contains("test.dump_hist histogram count="));
+        let json = registry().json_dump();
+        assert!(json.contains("\"schema\": \"mttkrp-metrics-v1\""));
+        assert!(json.contains("\"name\": \"test.dump_gauge\""));
+    }
+}

@@ -1,0 +1,262 @@
+//! The bench trajectory reporter: a builder for the per-PR
+//! `BENCH_pr<N>.json` records.
+//!
+//! Every PR's acceptance benchmark persists its numbers at the repo
+//! root so the performance trajectory is diffable across PRs. Before
+//! this crate each bench hand-rolled its JSON; [`BenchReport`] is the
+//! shared writer: scalars (`rank`, `smoke`, `host_threads`, …),
+//! row-oriented sections (`"mttkrp": [{...}, ...]`), and an
+//! `acceptance` section for the pass/fail summary, emitted under the
+//! schema tag [`BenchReport::SCHEMA`] (documented in docs/FORMATS.md).
+//!
+//! ```
+//! use mttkrp_obs::BenchReport;
+//!
+//! let mut r = BenchReport::new(7);
+//! r.scalar("rank", 25u64).scalar("smoke", true);
+//! r.row("mttkrp")
+//!     .field("algorithm", "1step")
+//!     .field("seconds", 1.25e-3);
+//! let json = r.to_json();
+//! assert!(json.contains("\"schema\": \"mttkrp-bench-v1\""));
+//! assert!(json.contains("\"pr\": 7"));
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON-serializable bench value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float, written in exponent form (`null` when non-finite).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl BenchValue {
+    fn write_to(&self, s: &mut String) {
+        match self {
+            BenchValue::U64(v) => {
+                let _ = write!(s, "{v}");
+            }
+            BenchValue::I64(v) => {
+                let _ = write!(s, "{v}");
+            }
+            BenchValue::F64(v) if v.is_finite() => {
+                let _ = write!(s, "{v:e}");
+            }
+            BenchValue::F64(_) => s.push_str("null"),
+            BenchValue::Bool(v) => {
+                let _ = write!(s, "{v}");
+            }
+            BenchValue::Str(v) => {
+                let _ = write!(s, "\"{}\"", crate::export::escape(v));
+            }
+        }
+    }
+}
+
+impl From<u64> for BenchValue {
+    fn from(v: u64) -> Self {
+        BenchValue::U64(v)
+    }
+}
+impl From<usize> for BenchValue {
+    fn from(v: usize) -> Self {
+        BenchValue::U64(v as u64)
+    }
+}
+impl From<u32> for BenchValue {
+    fn from(v: u32) -> Self {
+        BenchValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for BenchValue {
+    fn from(v: i64) -> Self {
+        BenchValue::I64(v)
+    }
+}
+impl From<f64> for BenchValue {
+    fn from(v: f64) -> Self {
+        BenchValue::F64(v)
+    }
+}
+impl From<bool> for BenchValue {
+    fn from(v: bool) -> Self {
+        BenchValue::Bool(v)
+    }
+}
+impl From<&str> for BenchValue {
+    fn from(v: &str) -> Self {
+        BenchValue::Str(v.to_string())
+    }
+}
+impl From<String> for BenchValue {
+    fn from(v: String) -> Self {
+        BenchValue::Str(v)
+    }
+}
+
+type Row = Vec<(String, BenchValue)>;
+
+/// Builder for one `BENCH_pr<N>.json` document. See the module docs.
+#[derive(Debug)]
+pub struct BenchReport {
+    pr: u32,
+    scalars: Row,
+    sections: Vec<(String, Vec<Row>)>,
+}
+
+/// Field-by-field builder for one row of a [`BenchReport`] section.
+/// Each [`RowBuilder::field`] call returns the builder, so a row is
+/// one method chain; dropping it finishes the row.
+pub struct RowBuilder<'a> {
+    row: &'a mut Row,
+}
+
+impl RowBuilder<'_> {
+    /// Add one `key: value` field to the row.
+    pub fn field(self, key: &str, value: impl Into<BenchValue>) -> Self {
+        self.row.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+impl BenchReport {
+    /// The schema tag every report carries; bump when the envelope
+    /// (not a section's fields) changes shape.
+    pub const SCHEMA: &'static str = "mttkrp-bench-v1";
+
+    /// A report for PR number `pr`.
+    pub fn new(pr: u32) -> BenchReport {
+        BenchReport {
+            pr,
+            scalars: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Add (or overwrite) a top-level scalar field.
+    pub fn scalar(&mut self, key: &str, value: impl Into<BenchValue>) -> &mut Self {
+        let value = value.into();
+        match self.scalars.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.scalars.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Append a row to `section` (created on first use, emitted in
+    /// first-use order) and return its field builder.
+    pub fn row(&mut self, section: &str) -> RowBuilder<'_> {
+        let idx = match self.sections.iter().position(|(s, _)| s == section) {
+            Some(i) => i,
+            None => {
+                self.sections.push((section.to_string(), Vec::new()));
+                self.sections.len() - 1
+            }
+        };
+        let rows = &mut self.sections[idx].1;
+        rows.push(Vec::new());
+        RowBuilder {
+            row: rows.last_mut().expect("row just pushed"),
+        }
+    }
+
+    /// Render the document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{}\",", Self::SCHEMA);
+        let _ = write!(s, "  \"pr\": {}", self.pr);
+        for (k, v) in &self.scalars {
+            s.push_str(",\n");
+            let _ = write!(s, "  \"{}\": ", crate::export::escape(k));
+            v.write_to(&mut s);
+        }
+        for (name, rows) in &self.sections {
+            s.push_str(",\n");
+            let _ = write!(s, "  \"{}\": [", crate::export::escape(name));
+            for (i, row) in rows.iter().enumerate() {
+                let comma = if i + 1 < rows.len() { "," } else { "" };
+                s.push_str("\n    {");
+                for (j, (k, v)) in row.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "\"{}\": ", crate::export::escape(k));
+                    v.write_to(&mut s);
+                }
+                let _ = write!(s, "}}{comma}");
+            }
+            s.push_str("\n  ]");
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Write the document to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The output path a bench should write to: `MTTKRP_BENCH_OUT` if
+    /// set, else `default` (conventionally
+    /// `<workspace root>/BENCH_pr<N>.json`).
+    pub fn out_path(default: &str) -> String {
+        std::env::var("MTTKRP_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_scalars_sections_and_schema() {
+        let mut r = BenchReport::new(7);
+        r.scalar("rank", 25u64)
+            .scalar("smoke", false)
+            .scalar("label", "dense");
+        r.row("mttkrp")
+            .field("algorithm", "1step")
+            .field("seconds", 0.5)
+            .field("mode", 2u64);
+        r.row("mttkrp").field("algorithm", "fused");
+        r.row("acceptance").field("ok", true);
+        let s = r.to_json();
+        assert!(s.contains("\"schema\": \"mttkrp-bench-v1\""));
+        assert!(s.contains("\"pr\": 7"));
+        assert!(s.contains("\"rank\": 25"));
+        assert!(s.contains("\"label\": \"dense\""));
+        assert!(s.contains("\"algorithm\": \"1step\", \"seconds\": 5e-1, \"mode\": 2"));
+        assert!(s.contains("\"acceptance\": ["));
+        // Balanced braces/brackets (cheap structural validity check;
+        // CI parses the real file with a JSON parser).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut r = BenchReport::new(1);
+        r.scalar("bad", f64::NAN);
+        assert!(r.to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn scalar_overwrites_by_key() {
+        let mut r = BenchReport::new(1);
+        r.scalar("x", 1u64).scalar("x", 2u64);
+        let s = r.to_json();
+        assert!(s.contains("\"x\": 2"));
+        assert!(!s.contains("\"x\": 1"));
+    }
+}

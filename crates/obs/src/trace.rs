@@ -1,0 +1,379 @@
+//! Tracing spans: RAII guards recorded into per-thread ring buffers.
+//!
+//! The recorder is built around two constraints inherited from the rest
+//! of the workspace:
+//!
+//! 1. **The disabled path must be free.** Every hot loop in the MTTKRP
+//!    stack carries span guards; when tracing is off the entire cost of
+//!    a guard is **one relaxed atomic load** and a branch — no clock
+//!    read, no thread-local access, no allocation. The zero-allocation
+//!    property tests (`tests/obs_disabled.rs`) pin this.
+//! 2. **The enabled path must not allocate in steady state.** Each
+//!    thread records into a pre-reserved fixed-capacity buffer
+//!    ([`SPAN_CAPACITY`] records) registered on its first span; once
+//!    the buffer fills, further records are counted in
+//!    [`dropped_spans`] rather than grown, so the allocation-counting
+//!    suites pass even under `MTTKRP_TRACE=full`.
+//!
+//! Records are published with the owning thread's buffer mutex held —
+//! the lock is uncontended except while a flush ([`take_spans`]) drains
+//! concurrently, so the record path is one clock read, one CAS-backed
+//! lock, and a bounds-checked push.
+//!
+//! Nesting is tracked with a per-thread depth counter maintained by the
+//! RAII guards, so drained records are **well-nested per thread**: a
+//! record at depth `d+1` closed before its enclosing depth-`d` span,
+//! and records appear in closing order (monotone end timestamps per
+//! thread). Timestamps share one process-wide [`Instant`] epoch, so
+//! spans from different threads (e.g. the OOC prefetch thread vs the
+//! compute team) are directly comparable on one timeline.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread span buffer capacity, in records. A thread that closes
+/// more spans than this between flushes drops the excess (counted by
+/// [`dropped_spans`]) instead of reallocating.
+pub const SPAN_CAPACITY: usize = 16 * 1024;
+
+/// Runtime tracing verbosity, resolved once from `MTTKRP_TRACE`
+/// (`off` | `spans` | `full`; unset means `off`) or forced with
+/// [`set_trace_level`].
+///
+/// `Spans` records the coarse timeline (plan construction, per-mode
+/// MTTKRP, Gram, solve, sweeps, tile I/O); `Full` adds the per-phase /
+/// per-kernel detail spans inside the hot loops (KRP, GEMM, reduce,
+/// per-tile waits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceLevel {
+    /// No recording; guards cost one relaxed atomic load.
+    Off = 0,
+    /// Coarse timeline spans.
+    Spans = 1,
+    /// Coarse spans plus per-phase/per-kernel detail spans.
+    Full = 2,
+}
+
+impl TraceLevel {
+    /// Parse a `MTTKRP_TRACE` value; `None` for unrecognized input.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "off" | "0" | "" => Some(TraceLevel::Off),
+            "spans" | "1" => Some(TraceLevel::Spans),
+            "full" | "2" => Some(TraceLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name (`off` / `spans` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Spans => "spans",
+            TraceLevel::Full => "full",
+        }
+    }
+}
+
+const LEVEL_UNINIT: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+/// The process-wide tracing level. First call resolves `MTTKRP_TRACE`;
+/// afterwards this is a single relaxed atomic load — the *entire*
+/// disabled-path cost of every span site.
+#[inline]
+pub fn trace_level() -> TraceLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => TraceLevel::Off,
+        1 => TraceLevel::Spans,
+        2 => TraceLevel::Full,
+        _ => init_level(),
+    }
+}
+
+#[cold]
+fn init_level() -> TraceLevel {
+    let level = match std::env::var("MTTKRP_TRACE") {
+        Ok(v) => TraceLevel::parse(&v).unwrap_or_else(|| {
+            eprintln!("MTTKRP_TRACE={v:?} not recognized (expected off|spans|full); tracing off");
+            TraceLevel::Off
+        }),
+        Err(_) => TraceLevel::Off,
+    };
+    LEVEL.store(level as u8, Ordering::Relaxed);
+    level
+}
+
+/// Force the tracing level, overriding `MTTKRP_TRACE` (CLIs use this
+/// for `--trace-out`; tests use it to pin the level regardless of the
+/// environment).
+pub fn set_trace_level(level: TraceLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// One closed span, drained by [`take_spans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`"mttkrp"`, `"gemm"`, `"tile_read"`, …).
+    pub name: &'static str,
+    /// Category: the crate that recorded it (`"mttkrp-core"`, …).
+    pub cat: &'static str,
+    /// Optional argument key (`""` when the span carries no argument).
+    pub arg_key: &'static str,
+    /// Argument value (meaningful only when `arg_key` is non-empty).
+    pub arg_val: i64,
+    /// Recording thread, indexed by registration order.
+    pub tid: u32,
+    /// Nesting depth on the recording thread (0 = outermost).
+    pub depth: u32,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// End offset from the trace epoch, nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+struct ThreadBuf {
+    tid: u32,
+    name: String,
+    records: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+/// All registered thread buffers. Buffers are leaked (`&'static`): one
+/// bounded allocation per recording thread for the process lifetime,
+/// which is what lets the record path stay allocation-free.
+static THREADS: Mutex<Vec<&'static ThreadBuf>> = Mutex::new(Vec::new());
+
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[inline]
+fn now_ns() -> u64 {
+    TRACE_EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    static LOCAL: Cell<Option<&'static ThreadBuf>> = const { Cell::new(None) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+#[cold]
+fn register_thread() -> &'static ThreadBuf {
+    let mut threads = THREADS.lock().expect("span thread registry poisoned");
+    let buf: &'static ThreadBuf = Box::leak(Box::new(ThreadBuf {
+        tid: threads.len() as u32,
+        name: std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_string(),
+        records: Mutex::new(Vec::with_capacity(SPAN_CAPACITY)),
+        dropped: AtomicU64::new(0),
+    }));
+    threads.push(buf);
+    buf
+}
+
+#[inline]
+fn local_buf() -> &'static ThreadBuf {
+    LOCAL.with(|l| match l.get() {
+        Some(b) => b,
+        None => {
+            let b = register_thread();
+            l.set(Some(b));
+            b
+        }
+    })
+}
+
+/// RAII span guard: records a [`SpanRecord`] on drop when tracing is at
+/// or above the level it was entered with. Construct through the
+/// [`span!`](crate::span) / [`span_full!`](crate::span_full) macros,
+/// which fill the category with the calling crate's name.
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    arg_key: &'static str,
+    arg_val: i64,
+    start_ns: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Open a span if the current [`trace_level`] is at least
+    /// `min_level`. The inactive path performs exactly one relaxed
+    /// atomic load.
+    #[inline]
+    pub fn enter(
+        min_level: TraceLevel,
+        name: &'static str,
+        cat: &'static str,
+        arg_key: &'static str,
+        arg_val: i64,
+    ) -> SpanGuard {
+        let active = trace_level() >= min_level;
+        let start_ns = if active {
+            DEPTH.with(|d| d.set(d.get() + 1));
+            now_ns()
+        } else {
+            0
+        };
+        SpanGuard {
+            name,
+            cat,
+            arg_key,
+            arg_val,
+            start_ns,
+            active,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            close_span(self);
+        }
+    }
+}
+
+fn close_span(g: &SpanGuard) {
+    let end = now_ns();
+    let depth = DEPTH.with(|d| {
+        let v = d.get().saturating_sub(1);
+        d.set(v);
+        v
+    });
+    let buf = local_buf();
+    let rec = SpanRecord {
+        name: g.name,
+        cat: g.cat,
+        arg_key: g.arg_key,
+        arg_val: g.arg_val,
+        tid: buf.tid,
+        depth,
+        start_ns: g.start_ns,
+        dur_ns: end.saturating_sub(g.start_ns),
+    };
+    let mut records = buf.records.lock().expect("span buffer poisoned");
+    if records.len() < SPAN_CAPACITY {
+        records.push(rec);
+    } else {
+        drop(records);
+        buf.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Drain every thread's buffered spans (the "flush"). Buffers keep
+/// their reserved capacity, so recording stays allocation-free after a
+/// flush. Records are grouped by thread, each group in closing order.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let threads = THREADS.lock().expect("span thread registry poisoned");
+    let mut out = Vec::new();
+    for t in threads.iter() {
+        let mut records = t.records.lock().expect("span buffer poisoned");
+        out.extend(records.drain(..));
+    }
+    out
+}
+
+/// Spans discarded because a thread's buffer was full, since process
+/// start. A nonzero value means the trace is truncated (earliest spans
+/// per thread are kept).
+pub fn dropped_spans() -> u64 {
+    let threads = THREADS.lock().expect("span thread registry poisoned");
+    threads
+        .iter()
+        .map(|t| t.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// `(tid, thread name)` for every thread that has recorded a span.
+pub fn thread_names() -> Vec<(u32, String)> {
+    let threads = THREADS.lock().expect("span thread registry poisoned");
+    threads.iter().map(|t| (t.tid, t.name.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Level mutations are process-global; every test in this module
+    // takes the lock (they run in one binary's test harness).
+    static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parse_covers_all_levels() {
+        assert_eq!(TraceLevel::parse("off"), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("spans"), Some(TraceLevel::Spans));
+        assert_eq!(TraceLevel::parse("full"), Some(TraceLevel::Full));
+        assert_eq!(TraceLevel::parse("2"), Some(TraceLevel::Full));
+        assert_eq!(TraceLevel::parse("bogus"), None);
+        assert!(TraceLevel::Off < TraceLevel::Spans);
+        assert!(TraceLevel::Spans < TraceLevel::Full);
+    }
+
+    #[test]
+    fn disabled_guard_records_nothing() {
+        let _l = LEVEL_LOCK.lock().unwrap();
+        let before = set_and_drain(TraceLevel::Off);
+        {
+            let _g = SpanGuard::enter(TraceLevel::Spans, "noop", "mttkrp-obs", "", 0);
+        }
+        let spans = take_spans();
+        assert!(
+            !spans.iter().any(|s| s.name == "noop"),
+            "off-level guard must not record (got {spans:?}, pre-drained {before})"
+        );
+    }
+
+    #[test]
+    fn nested_guards_record_depth_and_order() {
+        let _l = LEVEL_LOCK.lock().unwrap();
+        set_and_drain(TraceLevel::Spans);
+        {
+            let _outer = SpanGuard::enter(TraceLevel::Spans, "outer_t", "mttkrp-obs", "", 0);
+            let _inner = SpanGuard::enter(TraceLevel::Spans, "inner_t", "mttkrp-obs", "mode", 3);
+        }
+        set_trace_level(TraceLevel::Off);
+        let spans: Vec<SpanRecord> = take_spans()
+            .into_iter()
+            .filter(|s| s.name.ends_with("_t"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first, one level deeper, contained in the outer.
+        let (inner, outer) = (&spans[0], &spans[1]);
+        assert_eq!(inner.name, "inner_t");
+        assert_eq!(outer.name, "outer_t");
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert_eq!((inner.arg_key, inner.arg_val), ("mode", 3));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+    }
+
+    #[test]
+    fn full_spans_skipped_at_spans_level() {
+        let _l = LEVEL_LOCK.lock().unwrap();
+        set_and_drain(TraceLevel::Spans);
+        {
+            let _g = SpanGuard::enter(TraceLevel::Full, "detail_t", "mttkrp-obs", "", 0);
+        }
+        set_trace_level(TraceLevel::Off);
+        assert!(!take_spans().iter().any(|s| s.name == "detail_t"));
+    }
+
+    fn set_and_drain(level: TraceLevel) -> usize {
+        set_trace_level(level);
+        take_spans().len()
+    }
+}

@@ -10,40 +10,53 @@
 //! and CLIs read [`resident_tile_bytes`] / [`peak_resident_tile_bytes`]
 //! to verify and report the cap.
 //!
+//! The gauge is the `ooc.resident_tile_bytes` entry of the
+//! [`mttkrp_obs`] registry (so it appears in `--metrics` dumps next to
+//! the I/O counters); the free functions here are thin shims kept for
+//! the existing callers. The registry [`mttkrp_obs::Gauge`] also fixed
+//! a race the old module-local implementation had: its peak reset was a
+//! non-atomic load-then-store, so a concurrent `TileBuf::new` could
+//! either leak a pre-reset peak into the new window or have its raise
+//! overwritten. The registry gauge CAS-publishes an epoch-tagged word
+//! instead (see `mttkrp_obs::metrics`).
+//!
 //! The gauge tracks *tile buffers*, not all allocations — factor
 //! matrices, MTTKRP plan workspaces, and the output matrix are the
 //! "+ workspaces" term of the budget and scale with `Σ I_n · C`, not
 //! with the tensor.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use mttkrp_obs::Gauge;
 
-static TILE_BYTES: AtomicUsize = AtomicUsize::new(0);
-static TILE_PEAK: AtomicUsize = AtomicUsize::new(0);
+/// The registry gauge backing this module (shared with `--metrics`
+/// dumps under the name `ooc.resident_tile_bytes`).
+fn tile_gauge() -> &'static Gauge {
+    mttkrp_obs::gauge!("ooc.resident_tile_bytes")
+}
 
 /// Bytes of tile-buffer memory currently resident across the process.
 pub fn resident_tile_bytes() -> usize {
-    TILE_BYTES.load(Ordering::Relaxed)
+    tile_gauge().value().max(0) as usize
 }
 
 /// High-water mark of [`resident_tile_bytes`] since the last
 /// [`reset_peak_resident_tile_bytes`].
 pub fn peak_resident_tile_bytes() -> usize {
-    TILE_PEAK.load(Ordering::Relaxed)
+    tile_gauge().peak() as usize
 }
 
 /// Reset the peak gauge to the current resident level (e.g. before a
-/// measured run).
+/// measured run), starting a new epoch — safe against concurrent
+/// registrations (see the module docs).
 pub fn reset_peak_resident_tile_bytes() {
-    TILE_PEAK.store(TILE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    tile_gauge().reset_peak();
 }
 
 fn register(bytes: usize) {
-    let now = TILE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
-    TILE_PEAK.fetch_max(now, Ordering::Relaxed);
+    tile_gauge().add(bytes as i64);
 }
 
 fn deregister(bytes: usize) {
-    TILE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    tile_gauge().sub(bytes as i64);
 }
 
 /// A gauge-registered tile buffer.
@@ -156,5 +169,17 @@ mod tests {
         drop(big);
         reset_peak_resident_tile_bytes();
         assert_eq!(peak_resident_tile_bytes(), resident_tile_bytes());
+    }
+
+    #[test]
+    fn gauge_is_visible_in_the_registry() {
+        let _g = GAUGE_LOCK.lock().unwrap();
+        let _buf = TileBuf::new(8);
+        assert!(mttkrp_obs::registry()
+            .names()
+            .iter()
+            .any(|n| n == "ooc.resident_tile_bytes"));
+        let g = mttkrp_obs::registry().gauge("ooc.resident_tile_bytes");
+        assert_eq!(g.value().max(0) as usize, resident_tile_bytes());
     }
 }

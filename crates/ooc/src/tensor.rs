@@ -120,6 +120,10 @@ impl PrefetchEngine {
             .name("mttkrp-ooc-prefetch".into())
             .spawn(move || {
                 while let Ok(FillReq { tile, mut buf }) = req_rx.recv() {
+                    // Recorded on this thread's own span buffer, so the
+                    // trace timeline shows reads running concurrently
+                    // with the compute thread's tile spans.
+                    let _span = mttkrp_obs::span!("tile_read", tile = tile);
                     let entries = reader.layout().tile_entries(tile);
                     let v = buf.vec_mut();
                     v.resize(entries, 0.0);
@@ -303,6 +307,7 @@ impl OocMttkrpPlanSet {
         }
         assert_eq!(out.len(), dims[n] * c, "output must be I_n × C");
 
+        let _span = mttkrp_obs::span!("ooc_mttkrp", mode = n);
         let wall_t0 = Instant::now();
         let mut bd = Breakdown::default();
         let mut io_wait = 0.0;
@@ -316,7 +321,10 @@ impl OocMttkrpPlanSet {
         let mut srefs: Vec<MatRef> = Vec::with_capacity(dims.len());
         for k in 0..nt {
             let t0 = Instant::now();
-            let (tile_id, mut buf) = self.engine.receive();
+            let (tile_id, mut buf) = {
+                let _wait_span = mttkrp_obs::span_full!("tile_wait", tile = k);
+                self.engine.receive()
+            };
             io_wait += t0.elapsed().as_secs_f64();
             debug_assert_eq!(tile_id, k, "tiles must arrive in request order");
             let free = spare.take().expect("double buffer half missing");
@@ -343,7 +351,10 @@ impl OocMttkrpPlanSet {
                     .map(|(m, f)| f.submatrix(offs[m], 0, shape[m], c)),
             );
             let rows = shape[n] * c;
-            let tile_bd = plan.execute_timed(pool, &tile, &srefs, &mut self.tile_out[..rows]);
+            let tile_bd = {
+                let _compute_span = mttkrp_obs::span_full!("tile_compute", tile = k);
+                plan.execute_timed(pool, &tile, &srefs, &mut self.tile_out[..rows])
+            };
             bd.accumulate_phases(&tile_bd);
             // Accumulate into the owned output row block (tiles sharing
             // a mode-n chunk share rows; the block is contiguous
@@ -358,6 +369,8 @@ impl OocMttkrpPlanSet {
         self.bufs[1] = Some(parked.expect("double buffer half missing"));
 
         self.last_io_wait = io_wait;
+        mttkrp_obs::counter!("ooc.io_wait_ns").add((io_wait * 1e9) as u64);
+        mttkrp_obs::counter!("ooc.tiles_read").add(nt as u64);
         bd.total = wall_t0.elapsed().as_secs_f64();
         bd
     }

@@ -1,0 +1,133 @@
+//! Span timeline of the streaming out-of-core MTTKRP.
+//!
+//! The engine's I/O-overlap claim is structural in the trace: tile
+//! reads are recorded on the dedicated prefetch thread's buffer, tile
+//! waits and computes on the calling thread's, and all timestamps
+//! share one process epoch — so the drained records show the read of
+//! tile `k+1` framed by the compute of tile `k`. This binary holds
+//! only this test, so the global span buffers see exactly this
+//! pipeline's records.
+
+use mttkrp_blas::{Layout, MatRef};
+use mttkrp_core::AlgoChoice;
+use mttkrp_obs::{set_trace_level, take_spans, thread_names, SpanRecord, TraceLevel};
+use mttkrp_ooc::{OocMttkrpPlanSet, OocTensor, TileStore, TiledLayout};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_rng::Rng64;
+use mttkrp_tensor::DenseTensor;
+
+#[test]
+fn streaming_execution_traces_reads_on_the_prefetch_thread() {
+    let dims = [8usize, 6, 5];
+    let c = 3;
+    let mut rng = Rng64::seed_from_u64(0x7ACE0);
+    let x = DenseTensor::from_fn(&dims, || rng.next_f64() - 0.5);
+    let factors: Vec<Vec<f64>> = dims
+        .iter()
+        .map(|&d| (0..d * c).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
+    let refs: Vec<MatRef> = factors
+        .iter()
+        .zip(&dims)
+        .map(|(f, &d)| MatRef::from_slice(f, d, c, Layout::RowMajor))
+        .collect();
+
+    let path = std::env::temp_dir().join(format!("mttkrp_ooc_trace_{}.mttb", std::process::id()));
+    let layout = TiledLayout::new(&dims, &[4, 3, 3]);
+    let ntiles = layout.ntiles();
+    assert!(ntiles > 1, "need a multi-tile grid to stream");
+    let store = TileStore::write_dense(&path, &layout, &x).unwrap();
+    let ooc = OocTensor::from_store(store).unwrap();
+
+    let pool = ThreadPool::new(1);
+    let mut plans = OocMttkrpPlanSet::new(&pool, &ooc, c, Some(AlgoChoice::Heuristic));
+
+    set_trace_level(TraceLevel::Full);
+    let _ = take_spans(); // discard plan/setup spans
+    let n = 1;
+    let mut out = vec![0.0; dims[n] * c];
+    let bd = plans.execute_timed(&pool, &refs, n, &mut out);
+    set_trace_level(TraceLevel::Off);
+    std::fs::remove_file(&path).ok();
+
+    let spans = take_spans();
+    let by_name =
+        |name: &str| -> Vec<&SpanRecord> { spans.iter().filter(|s| s.name == name).collect() };
+
+    let mttkrp = by_name("ooc_mttkrp");
+    assert_eq!(mttkrp.len(), 1, "one driver span per execution");
+    let driver = mttkrp[0];
+
+    let reads = by_name("tile_read");
+    let waits = by_name("tile_wait");
+    let computes = by_name("tile_compute");
+    assert_eq!(reads.len(), ntiles, "one read span per tile");
+    assert_eq!(waits.len(), ntiles, "one wait span per tile");
+    assert_eq!(computes.len(), ntiles, "one compute span per tile");
+
+    // Reads live on the prefetch thread's buffer; waits and computes on
+    // the driver's. The prefetch thread is registered under its
+    // spawn-time name.
+    let read_tid = reads[0].tid;
+    assert!(reads.iter().all(|s| s.tid == read_tid));
+    assert_ne!(read_tid, driver.tid, "reads must come from another thread");
+    assert!(waits.iter().all(|s| s.tid == driver.tid));
+    assert!(computes.iter().all(|s| s.tid == driver.tid));
+    let names = thread_names();
+    let prefetch_name = &names
+        .iter()
+        .find(|(tid, _)| *tid == read_tid)
+        .expect("prefetch thread registered")
+        .1;
+    assert_eq!(prefetch_name, "mttkrp-ooc-prefetch");
+
+    // Shared epoch: every tile span of this execution falls inside the
+    // driver span's window, including the cross-thread reads (tile 0's
+    // read is requested after the driver opens).
+    for s in reads.iter().chain(&waits).chain(&computes) {
+        assert!(
+            driver.start_ns <= s.start_ns && s.end_ns() <= driver.end_ns(),
+            "span {:?} tile {} [{}, {}] outside driver [{}, {}]",
+            s.name,
+            s.arg_val,
+            s.start_ns,
+            s.end_ns(),
+            driver.start_ns,
+            driver.end_ns(),
+        );
+    }
+
+    // The double-buffer protocol, read off the cross-thread timeline:
+    // tile k+1's read is requested right after tile k's wait returns
+    // (that is when its buffer frees), and must complete before tile
+    // k+1's own wait can return — so each read span is bracketed by
+    // consecutive wait spans, the window the compute of tile k shares.
+    fn span_for<'a>(set: &[&'a SpanRecord], tile: usize) -> &'a SpanRecord {
+        set.iter()
+            .find(|s| s.arg_val == tile as i64)
+            .expect("span per tile")
+    }
+    for k in 0..ntiles - 1 {
+        let next_read = span_for(&reads, k + 1);
+        assert!(
+            span_for(&waits, k).end_ns() <= next_read.start_ns,
+            "tile {}'s read started before its buffer was freed",
+            k + 1,
+        );
+        assert!(
+            next_read.end_ns() <= span_for(&waits, k + 1).end_ns(),
+            "tile {}'s wait returned before the read finished",
+            k + 1,
+        );
+    }
+
+    // The breakdown agrees with the timeline's structure: the driver's
+    // wall time is its own, the phases are summed from sub-calls
+    // (`accumulate_phases`), so overlap() is exactly the hidden work.
+    assert!(bd.total > 0.0);
+    assert!(bd.overlap() >= 0.0);
+    assert!(
+        (bd.overlap() - (bd.categorized() - bd.total).max(0.0)).abs() < 1e-15,
+        "overlap must be the categorized excess"
+    );
+}

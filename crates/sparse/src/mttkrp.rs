@@ -268,10 +268,12 @@ impl SparseMttkrpPlan {
             "tensor structure differs from plan (root fibers changed)"
         );
 
+        let _span = mttkrp_obs::span!("sparse_mttkrp", mode = self.n);
         let total_t0 = std::time::Instant::now();
         let mut bd = Breakdown::default();
 
         let walk_t0 = std::time::Instant::now();
+        let walk_span = mttkrp_obs::span_full!("tree_walk");
         let ranges = &self.fiber_ranges;
         let ks = &self.kernels;
         pool.run_with_workspace(&mut self.ws, |ctx, slot| {
@@ -289,9 +291,11 @@ impl SparseMttkrpPlan {
                 );
             }
         });
+        drop(walk_span);
         bd.dgemm = walk_t0.elapsed().as_secs_f64();
 
         let reduce_t0 = std::time::Instant::now();
+        let _reduce_span = mttkrp_obs::span_full!("reduce");
         // Only the first `team` slots ever receive fibers; merging the
         // untouched all-zero accumulators beyond them would waste
         // exactly the bandwidth the team cap was chosen to save.

@@ -45,19 +45,23 @@ fn thread_ladder(t: usize) -> Vec<usize> {
 /// parallel GEMMs use private outputs plus a reduction, so the MKL
 /// small-output stall the paper models does not occur here.
 pub fn calibrate(opts: &CalibrateOptions) -> TuningProfile {
+    let _span = mttkrp_obs::span!("calibrate");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let threads = opts.threads.unwrap_or(cores).max(1);
 
     // Bandwidth ladder → bw1 and θ.
-    let points: Vec<(usize, f64)> = thread_ladder(threads)
-        .into_iter()
-        .map(|t| {
-            let pool = ThreadPool::new(t);
-            (t, measure::stream_bandwidth(&pool, opts.quick))
-        })
-        .collect();
+    let points: Vec<(usize, f64)> = {
+        let _s = mttkrp_obs::span!("stream_ladder", threads = threads);
+        thread_ladder(threads)
+            .into_iter()
+            .map(|t| {
+                let pool = ThreadPool::new(t);
+                (t, measure::stream_bandwidth(&pool, opts.quick))
+            })
+            .collect()
+    };
     let bw1 = points[0].1;
     let bw_theta = measure::fit_bw_theta(bw1, &points);
     let bw_at_team = {
@@ -67,6 +71,7 @@ pub fn calibrate(opts: &CalibrateOptions) -> TuningProfile {
 
     // Reduction efficiency at the full team.
     let reduce_scale = {
+        let _s = mttkrp_obs::span!("reduce_scale");
         let pool = ThreadPool::new(threads);
         measure::reduce_scale(&pool, threads, bw_at_team, opts.quick)
     };
@@ -74,18 +79,24 @@ pub fn calibrate(opts: &CalibrateOptions) -> TuningProfile {
     // The fused pass's inner accumulate is scalar code shared by every
     // tier, so it is measured once and recorded in each tier section
     // (the section is where `machine_for` reads it from).
-    let fused = measure::fused_cost(opts.quick);
+    let fused = {
+        let _s = mttkrp_obs::span!("fused_cost");
+        measure::fused_cost(opts.quick)
+    };
 
     // Per-tier kernel throughput.
     let tiers = available_tiers()
         .into_iter()
         .filter_map(|tier| KernelSet::for_tier(tier).map(|ks| (tier, ks)))
-        .map(|(tier, ks)| TierTuning {
-            tier,
-            gemm_flops: measure::gemm_flops(&ks, opts.quick),
-            gemm_eff0: 0.90,
-            hadamard_cost: measure::hadamard_cost(&ks, opts.quick),
-            fused_cost: Some(fused),
+        .map(|(tier, ks)| {
+            let _s = mttkrp_obs::span!("tier_throughput", tier = tier as usize);
+            TierTuning {
+                tier,
+                gemm_flops: measure::gemm_flops(&ks, opts.quick),
+                gemm_eff0: 0.90,
+                hadamard_cost: measure::hadamard_cost(&ks, opts.quick),
+                fused_cost: Some(fused),
+            }
         })
         .collect();
 

@@ -10,6 +10,7 @@ pub use mttkrp_cpals as cpals;
 pub use mttkrp_krp as krp;
 pub use mttkrp_linalg as linalg;
 pub use mttkrp_machine as machine;
+pub use mttkrp_obs as obs;
 pub use mttkrp_ooc as ooc;
 pub use mttkrp_parallel as parallel;
 pub use mttkrp_rng as rng;
