@@ -1,0 +1,223 @@
+//! PR 8 trajectory record: the rewritten factorization stack — written
+//! to `BENCH_pr8.json` via the shared [`BenchReport`] builder (schema
+//! in docs/FORMATS.md).
+//!
+//! Two comparisons, per dtype on the active kernel tier:
+//!
+//! 1. **Blocked vs unblocked Cholesky.** The right-looking blocked
+//!    factorization routes its trailing update through the tiered GEMM
+//!    kernels; the unblocked column sweep is the scalar baseline.
+//!    Acceptance (full runs on the avx512 tier): ≥ 2× at n = 512 f64.
+//! 2. **Tridiagonal-QR EVD vs the Jacobi oracle.** `sym_evd_in`
+//!    (Householder tridiagonalization + implicit-shift QL) against
+//!    `jacobi_eigh_in`, the f64 oracle it replaced on the Gram solve
+//!    escalation path. Acceptance (full runs): faster at every
+//!    n ≥ 128.
+//!
+//! Env knobs: `MTTKRP_BENCH_SMOKE=1` shrinks the sizes,
+//! `MTTKRP_BENCH_OUT` overrides the output path,
+//! `MTTKRP_BENCH_SAMPLES` the per-measurement sample count.
+
+use mttkrp_bench::sample_min;
+use mttkrp_blas::{kernels, Layout, MatMut, Scalar};
+use mttkrp_linalg::{
+    cholesky_in_place_with, cholesky_unblocked, jacobi_eigh_in, sym_evd_in, CHOL_PANEL,
+};
+use mttkrp_obs::BenchReport;
+use mttkrp_rng::Rng64;
+
+const SAMPLES: usize = 5;
+
+fn samples() -> usize {
+    std::env::var("MTTKRP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(SAMPLES)
+}
+
+/// Column-major SPD fixture `B·Bᵀ + n·I` with seeded uniform `B`.
+fn spd_f64(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let mut a = vec![0.0; n * n];
+    for j in 0..n {
+        for p in 0..n {
+            let bjp = b[j + p * n];
+            for i in 0..n {
+                a[i + j * n] += b[i + p * n] * bjp;
+            }
+        }
+    }
+    for i in 0..n {
+        a[i + i * n] += n as f64;
+    }
+    a
+}
+
+/// Cholesky flop count `n³/3` in GFLOP.
+fn chol_gflop(n: usize) -> f64 {
+    (n as f64).powi(3) / 3.0 / 1e9
+}
+
+/// Time blocked and unblocked Cholesky on one SPD fixture; returns
+/// `(blocked_secs, unblocked_secs)`. The per-sample copy-in is O(n²),
+/// negligible against the O(n³) factorization it resets.
+fn time_chol<S: Scalar>(a64: &[f64], n: usize, n_samples: usize) -> (f64, f64) {
+    let a: Vec<S> = a64.iter().map(|&v| S::from_f64(v)).collect();
+    let mut work = vec![S::ZERO; n * n];
+    let ks = kernels::<S>();
+    let blocked = sample_min(n_samples, || {
+        work.copy_from_slice(&a);
+        cholesky_in_place_with(
+            ks,
+            MatMut::from_slice(&mut work, n, n, Layout::ColMajor),
+            CHOL_PANEL,
+        )
+        .expect("SPD fixture must factor");
+    });
+    let unblocked = sample_min(n_samples, || {
+        work.copy_from_slice(&a);
+        cholesky_unblocked(MatMut::from_slice(&mut work, n, n, Layout::ColMajor))
+            .expect("SPD fixture must factor");
+    });
+    (blocked, unblocked)
+}
+
+fn main() {
+    let smoke = std::env::var("MTTKRP_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let n_samples = samples();
+    let chol_sizes: &[usize] = if smoke {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let evd_sizes: &[usize] = if smoke {
+        &[32, 64]
+    } else {
+        &[64, 128, 256, 512]
+    };
+    let tier = kernels::<f64>().tier().name();
+
+    let mut report = BenchReport::new(8);
+    report
+        .scalar("smoke", smoke)
+        .scalar("samples", n_samples)
+        .scalar("tier", tier)
+        .scalar("chol_panel", CHOL_PANEL);
+
+    let mut rng = Rng64::seed_from_u64(0xB8C8_0008);
+    let mut speedup_512_f64 = f64::NAN;
+    for &n in chol_sizes {
+        let a = spd_f64(&mut rng, n);
+        for dtype in ["f64", "f32"] {
+            let (blocked, unblocked) = if dtype == "f64" {
+                time_chol::<f64>(&a, n, n_samples)
+            } else {
+                time_chol::<f32>(&a, n, n_samples)
+            };
+            let speedup = unblocked / blocked;
+            if dtype == "f64" && n == 512 {
+                speedup_512_f64 = speedup;
+            }
+            report
+                .row("cholesky")
+                .field("dtype", dtype)
+                .field("tier", tier)
+                .field("n", n)
+                .field("blocked_seconds", blocked)
+                .field("unblocked_seconds", unblocked)
+                .field("speedup", speedup)
+                .field("blocked_gflops", chol_gflop(n) / blocked);
+            println!(
+                "cholesky {dtype} n={n}: blocked {blocked:.3e}s ({:.2} GFLOP/s), \
+                 unblocked {unblocked:.3e}s, speedup x{speedup:.2}",
+                chol_gflop(n) / blocked
+            );
+        }
+    }
+
+    let mut evd_slower_at = Vec::new();
+    for &n in evd_sizes {
+        let a = spd_f64(&mut rng, n);
+        // f64: head-to-head against the Jacobi oracle it replaced.
+        let mut work = vec![0.0f64; n * n];
+        let mut w = vec![0.0f64; n];
+        let mut e = vec![0.0f64; n];
+        let evd = sample_min(n_samples, || {
+            work.copy_from_slice(&a);
+            sym_evd_in(
+                MatMut::from_slice(&mut work, n, n, Layout::ColMajor),
+                &mut w,
+                &mut e,
+            )
+            .expect("EVD must converge");
+        });
+        let mut v = vec![0.0f64; n * n];
+        let jacobi = sample_min(n_samples, || {
+            work.copy_from_slice(&a);
+            jacobi_eigh_in(&mut work, n, &mut w, &mut v).expect("Jacobi must converge");
+        });
+        let speedup = jacobi / evd;
+        if n >= 128 && evd >= jacobi {
+            evd_slower_at.push(n);
+        }
+        report
+            .row("evd")
+            .field("dtype", "f64")
+            .field("n", n)
+            .field("evd_seconds", evd)
+            .field("jacobi_seconds", jacobi)
+            .field("speedup", speedup);
+        println!("evd f64 n={n}: tridiag-QL {evd:.3e}s, jacobi {jacobi:.3e}s, x{speedup:.2}");
+
+        // f32: no oracle counterpart (Jacobi is f64-only); record the
+        // throughput row for the dtype-scaling trend.
+        let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let mut work32 = vec![0.0f32; n * n];
+        let mut w32 = vec![0.0f32; n];
+        let mut e32 = vec![0.0f32; n];
+        let evd32 = sample_min(n_samples, || {
+            work32.copy_from_slice(&a32);
+            sym_evd_in(
+                MatMut::from_slice(&mut work32, n, n, Layout::ColMajor),
+                &mut w32,
+                &mut e32,
+            )
+            .expect("EVD must converge");
+        });
+        report
+            .row("evd")
+            .field("dtype", "f32")
+            .field("n", n)
+            .field("evd_seconds", evd32)
+            .field("speedup_vs_f64", evd / evd32);
+    }
+
+    let chol_target_applies = !smoke && tier == "avx512";
+    let chol_met = !chol_target_applies || speedup_512_f64 >= 2.0;
+    let evd_met = smoke || evd_slower_at.is_empty();
+    report
+        .row("acceptance")
+        .field("chol_speedup_512_f64", speedup_512_f64)
+        .field("chol_target_applies", chol_target_applies)
+        .field("chol_speedup_met", chol_met)
+        .field("evd_beats_jacobi_from_128", evd_slower_at.is_empty())
+        .field("evd_target_met", evd_met);
+
+    let out = BenchReport::out_path(&format!(
+        "{}/../../BENCH_pr8.json",
+        env!("CARGO_MANIFEST_DIR")
+    ));
+    report.save(&out).expect("write BENCH_pr8.json");
+    print!("{}", report.to_json());
+    eprintln!("# wrote {out}");
+
+    assert!(
+        chol_met,
+        "blocked Cholesky speedup at n=512 f64 is x{speedup_512_f64:.2}, target >= 2.0"
+    );
+    assert!(
+        evd_met,
+        "tridiagonal-QL EVD slower than Jacobi at n = {evd_slower_at:?}"
+    );
+}

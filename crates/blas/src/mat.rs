@@ -460,6 +460,22 @@ impl<'a, S: Scalar> MatMut<'a, S> {
             }
         }
     }
+
+    /// Copy every element from `src`, which must have the same shape
+    /// (strides may differ — this is how a strided Gram lands in a
+    /// contiguous factorization workspace).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: MatRef<'_, S>) {
+        assert_eq!(self.nrows, src.nrows(), "copy_from: row count mismatch");
+        assert_eq!(self.ncols, src.ncols(), "copy_from: column count mismatch");
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                unsafe { self.set_unchecked(i, j, src.get_unchecked(i, j)) };
+            }
+        }
+    }
 }
 
 impl<S: Scalar> std::fmt::Debug for MatRef<'_, S> {

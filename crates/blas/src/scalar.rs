@@ -106,6 +106,11 @@ pub trait Scalar:
     const ZERO: Self;
     /// Multiplicative identity.
     const ONE: Self;
+    /// Machine epsilon of this type (`f32::EPSILON` / `f64::EPSILON`),
+    /// the unit the factorization tolerances in `mttkrp-linalg` scale.
+    const EPSILON: Self;
+    /// Smallest positive normal value of this type.
+    const MIN_POSITIVE: Self;
     /// Runtime tag of this type.
     const DTYPE: Dtype;
 
@@ -117,6 +122,22 @@ pub trait Scalar:
 
     /// Absolute value.
     fn abs(self) -> Self;
+
+    /// Square root (what the Cholesky pivot and the EVD rotations
+    /// need; follows IEEE `sqrt` for the type).
+    fn sqrt(self) -> Self;
+
+    /// `sqrt(self² + other²)` without intermediate overflow.
+    fn hypot(self, other: Self) -> Self;
+
+    /// IEEE maximum of two values.
+    fn max(self, other: Self) -> Self;
+
+    /// IEEE minimum of two values.
+    fn min(self, other: Self) -> Self;
+
+    /// `true` when neither infinite nor NaN.
+    fn is_finite(self) -> bool;
 
     /// Fused (or contracted) `self * a + b`.
     fn mul_add(self, a: Self, b: Self) -> Self;
@@ -141,6 +162,8 @@ pub trait Scalar:
 impl Scalar for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const MIN_POSITIVE: Self = f64::MIN_POSITIVE;
     const DTYPE: Dtype = Dtype::F64;
 
     #[inline(always)]
@@ -156,6 +179,31 @@ impl Scalar for f64 {
     #[inline(always)]
     fn abs(self) -> Self {
         f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn hypot(self, other: Self) -> Self {
+        f64::hypot(self, other)
+    }
+
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
     }
 
     #[inline(always)]
@@ -198,6 +246,8 @@ impl Scalar for f64 {
 impl Scalar for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const MIN_POSITIVE: Self = f32::MIN_POSITIVE;
     const DTYPE: Dtype = Dtype::F32;
 
     #[inline(always)]
@@ -213,6 +263,31 @@ impl Scalar for f32 {
     #[inline(always)]
     fn abs(self) -> Self {
         f32::abs(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn hypot(self, other: Self) -> Self {
+        f32::hypot(self, other)
+    }
+
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
     }
 
     #[inline(always)]
@@ -273,6 +348,24 @@ mod tests {
         assert_eq!(f32::from_f64(1.5), 1.5f32);
         assert_eq!(Scalar::to_f64(2.5f32), 2.5f64);
         assert_eq!(<f32 as Scalar>::ZERO + <f32 as Scalar>::ONE, 1.0f32);
+    }
+
+    #[test]
+    fn math_methods_match_inherent_ops() {
+        fn probe<S: Scalar>() {
+            let four = S::from_f64(4.0);
+            let three = S::from_f64(3.0);
+            assert_eq!(four.sqrt().to_f64(), 2.0);
+            assert_eq!(four.hypot(three).to_f64(), 5.0);
+            assert_eq!(four.max(three), four);
+            assert_eq!(four.min(three), three);
+            assert!(four.is_finite());
+            assert!(!(four / S::ZERO).is_finite());
+            assert!(S::EPSILON.to_f64() > 0.0);
+            assert!(S::MIN_POSITIVE.to_f64() > 0.0);
+        }
+        probe::<f32>();
+        probe::<f64>();
     }
 
     #[test]

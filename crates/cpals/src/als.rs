@@ -8,10 +8,10 @@
 
 use mttkrp_blas::{gemm, Layout, MatMut, MatRef, Scalar};
 use mttkrp_core::{AlgoChoice, Breakdown, MttkrpBackend, TwoStepSide};
-use mttkrp_linalg::{sym_pinv_into, PinvWorkspace};
+use mttkrp_linalg::{GramSolver, SolvePolicy};
 use mttkrp_parallel::ThreadPool;
 
-use crate::gram::{gram_into, hadamard_excluding_into, GramWorkspace};
+use crate::gram::{factor_view, gram_into, hadamard_excluding_into, GramWorkspace};
 use crate::model::KruskalModel;
 
 /// Which MTTKRP kernel CP-ALS uses for every mode.
@@ -235,7 +235,7 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
             .zip(&dims)
             .map(|(f, &d)| {
                 let mut g = vec![0.0; c * c];
-                gram_into(pool, &mut gram_ws, f, d, c, &mut g);
+                gram_into(pool, &mut gram_ws, factor_view(f, d, c), &mut g);
                 g
             })
             .collect();
@@ -265,6 +265,15 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
     #[inline]
     pub fn model(&self) -> &KruskalModel<X::Elem> {
         &self.model
+    }
+
+    /// Replace the Gram-solve policy (default
+    /// [`SolvePolicy::Auto`], the Cholesky → LDLᵀ → EVD escalation
+    /// ladder). [`SolvePolicy::ForceJacobi`] routes every solve through
+    /// the pre-refactor Jacobi pseudoinverse, which trajectory tests
+    /// use as a bit-level oracle.
+    pub fn set_solve_policy(&mut self, policy: SolvePolicy) {
+        self.solve.solver.set_policy(policy);
     }
 
     /// Consume the state, returning the fitted model.
@@ -311,9 +320,7 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
             gram_into(
                 pool,
                 &mut self.gram_ws,
-                &self.model.factors[n],
-                rows,
-                c,
+                factor_view(&self.model.factors[n], rows, c),
                 &mut self.grams[n],
             );
         }
@@ -362,7 +369,7 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
 
 /// Reusable scratch of the least-squares factor update (the Gram
 /// Hadamard, its pseudoinverse in `f64`, the storage-typed copy the
-/// final GEMM consumes, and the eigensolver workspace).
+/// final GEMM consumes, and the escalating Gram solver).
 pub(crate) struct SolveWorkspace<S: Scalar = f64> {
     /// `H = ⊛_{k≠n} G_k`, column-major `c × c`.
     h: Vec<f64>,
@@ -370,16 +377,24 @@ pub(crate) struct SolveWorkspace<S: Scalar = f64> {
     p: Vec<f64>,
     /// `H†` narrowed to the storage type for the `M · H†` GEMM.
     p_cast: Vec<S>,
-    pinv: PinvWorkspace,
+    /// Cholesky → LDLᵀ → EVD escalation solver; always `f64` per the
+    /// mixed-precision contract (Grams accumulate in `f64` even for
+    /// `f32` storage).
+    solver: GramSolver<f64>,
 }
 
 impl<S: Scalar> SolveWorkspace<S> {
     pub(crate) fn new(c: usize) -> Self {
+        let mut solver = GramSolver::new();
+        // Pre-grow every rung's scratch so steady-state sweeps stay
+        // allocation-free even when the condition of the Grams drifts
+        // across the escalation ladder mid-run.
+        solver.reserve(c);
         SolveWorkspace {
             h: vec![0.0; c * c],
             p: vec![0.0; c * c],
             p_cast: vec![S::ZERO; c * c],
-            pinv: PinvWorkspace::new(),
+            solver,
         }
     }
 }
@@ -397,7 +412,8 @@ pub(crate) fn solve_factor_update_ws<S: Scalar>(
     out: &mut Vec<S>,
 ) {
     hadamard_excluding_into(grams, n, c, &mut ws.h);
-    sym_pinv_into(&ws.h, c, 0.0, &mut ws.pinv, &mut ws.p)
+    ws.solver
+        .pinv_into(&ws.h, c, 0.0, &mut ws.p)
         .expect("pseudoinverse of a c x c Gram Hadamard");
     for (d, &src) in ws.p_cast.iter_mut().zip(&ws.p) {
         *d = S::from_f64(src);

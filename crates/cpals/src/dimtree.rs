@@ -25,7 +25,7 @@ use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::{ops::ttv, DenseTensor};
 
 use crate::als::{solve_factor_update_ws, CpAlsOptions, CpAlsReport, SolveWorkspace};
-use crate::gram::gram;
+use crate::gram::{factor_view, gram};
 use crate::model::KruskalModel;
 
 /// CP-ALS with dimension-tree (two-group) MTTKRP reuse.
@@ -59,7 +59,7 @@ pub fn cp_als_dimtree(
         .factors
         .iter()
         .zip(&dims)
-        .map(|(f, &d)| gram(pool, f, d, c))
+        .map(|(f, &d)| gram(pool, factor_view(f, d, c)))
         .collect();
 
     let mut report = CpAlsReport {
@@ -113,7 +113,7 @@ pub fn cp_als_dimtree(
             solve_factor_update_ws(&mut solve_ws, m, rows, c, &grams, n, &mut model.factors[n]);
             model.lambda.fill(1.0);
             model.normalize_mode(n);
-            grams[n] = gram(pool, &model.factors[n], rows, c);
+            grams[n] = gram(pool, factor_view(&model.factors[n], rows, c));
         }
 
         // ---- Right group: L = X(0:s−1)ᵀ · KL(new left factors). ----
@@ -141,7 +141,7 @@ pub fn cp_als_dimtree(
                 solve_factor_update_ws(&mut solve_ws, m, rows, c, &grams, n, &mut model.factors[n]);
                 model.lambda.fill(1.0);
                 model.normalize_mode(n);
-                grams[n] = gram(pool, &model.factors[n], rows, c);
+                grams[n] = gram(pool, factor_view(&model.factors[n], rows, c));
             }
         }
         report.mttkrp_time += mttkrp_t0.elapsed().as_secs_f64();

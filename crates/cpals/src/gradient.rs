@@ -15,7 +15,7 @@ use mttkrp_core::{AlgoChoice, AllModesPlan, MttkrpBackend};
 use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
-use crate::gram::{gram, hadamard_excluding};
+use crate::gram::{factor_view, gram, hadamard_excluding};
 use crate::model::KruskalModel;
 
 /// The CP objective `f = ½‖X − Y‖²` and its gradient with respect to
@@ -81,7 +81,7 @@ fn finish_gradient<S: Scalar>(
         .factors
         .iter()
         .zip(dims)
-        .map(|(f, &d)| gram(pool, f, d, c))
+        .map(|(f, &d)| gram(pool, factor_view(f, d, c)))
         .collect();
 
     let inner: f64 = {

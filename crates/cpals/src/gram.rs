@@ -27,44 +27,48 @@ impl GramWorkspace {
     }
 }
 
-/// `out ← Uᵀ·U` for a row-major `rows × c` factor; `out` is column-major
-/// `c × c` (symmetric, so layout is moot, but kept consistent with the
-/// `mttkrp-linalg` convention), fully overwritten. Rows of `U` are
-/// statically partitioned across `pool`'s team.
+/// `out ← Uᵀ·U` for a strided `rows × c` factor view; `out` is
+/// column-major `c × c` (symmetric, so layout is moot, but kept
+/// consistent with the `mttkrp-linalg` convention), fully overwritten.
+/// Rows of `U` are statically partitioned across `pool`'s team.
 pub fn gram_into<S: Scalar>(
     pool: &ThreadPool,
     ws: &mut GramWorkspace,
-    u: &[S],
-    rows: usize,
-    c: usize,
+    u: MatRef<'_, S>,
     out: &mut [f64],
 ) {
-    assert_eq!(u.len(), rows * c, "factor must be rows x c");
+    let c = u.ncols();
     assert_eq!(out.len(), c * c, "output must be c x c");
-    let _span = mttkrp_obs::span!("gram", rows = rows);
-    let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
+    let _span = mttkrp_obs::span!("gram", rows = u.nrows());
     let mut gv = MatMut::from_slice(out, c, c, Layout::ColMajor);
-    par_syrk_t_ws(pool, &mut ws.syrk, 1.0, uv, 0.0, &mut gv);
+    par_syrk_t_ws(pool, &mut ws.syrk, 1.0, u, 0.0, &mut gv);
 }
 
 /// `G = Uᵀ·U`, parallelized over `pool` — the one-shot wrapper over
 /// [`gram_into`] (fresh workspace and output per call).
-pub fn gram<S: Scalar>(pool: &ThreadPool, u: &[S], rows: usize, c: usize) -> Vec<f64> {
+pub fn gram<S: Scalar>(pool: &ThreadPool, u: MatRef<'_, S>) -> Vec<f64> {
+    let c = u.ncols();
     let mut ws = GramWorkspace::new(pool.num_threads());
     let mut g = vec![0.0; c * c];
-    gram_into(pool, &mut ws, u, rows, c, &mut g);
+    gram_into(pool, &mut ws, u, &mut g);
     g
 }
 
 /// Sequential `G = Uᵀ·U` for contexts without a pool (e.g.
 /// `KruskalModel::norm_sq`).
-pub fn gram_seq<S: Scalar>(u: &[S], rows: usize, c: usize) -> Vec<f64> {
-    assert_eq!(u.len(), rows * c, "factor must be rows x c");
-    let uv = MatRef::from_slice(u, rows, c, Layout::RowMajor);
+pub fn gram_seq<S: Scalar>(u: MatRef<'_, S>) -> Vec<f64> {
+    let c = u.ncols();
     let mut g = vec![0.0; c * c];
     let mut gv = MatMut::from_slice(&mut g, c, c, Layout::ColMajor);
-    syrk_t(1.0, uv, 0.0, &mut gv);
+    syrk_t(1.0, u, 0.0, &mut gv);
     g
+}
+
+/// View a row-major `rows × c` factor slice as a [`MatRef`] — the
+/// shape every [`crate::KruskalModel`] factor uses.
+pub fn factor_view<S: Scalar>(u: &[S], rows: usize, c: usize) -> MatRef<'_, S> {
+    assert_eq!(u.len(), rows * c, "factor must be rows x c");
+    MatRef::from_slice(u, rows, c, Layout::RowMajor)
 }
 
 /// Hadamard product of all Gram matrices except mode `n`
@@ -101,20 +105,20 @@ mod tests {
         // U = [[1,2],[3,4],[5,6]] row-major.
         let u = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let pool = ThreadPool::new(1);
-        let g = gram(&pool, &u, 3, 2);
+        let g = gram(&pool, factor_view(&u, 3, 2));
         // UᵀU = [[35, 44], [44, 56]].
         assert_eq!(g[0], 35.0);
         assert_eq!(g[1], 44.0);
         assert_eq!(g[2], 44.0);
         assert_eq!(g[3], 56.0);
-        assert_eq!(gram_seq(&u, 3, 2), g);
+        assert_eq!(gram_seq(factor_view(&u, 3, 2)), g);
     }
 
     #[test]
     fn gram_is_symmetric_psd_diagonal_nonneg() {
         let u: Vec<f64> = (0..20).map(|i| (i as f64) * 0.3 - 2.0).collect();
         let pool = ThreadPool::new(2);
-        let g = gram(&pool, &u, 5, 4);
+        let g = gram(&pool, factor_view(&u, 5, 4));
         for i in 0..4 {
             assert!(g[i + i * 4] >= 0.0);
             for j in 0..4 {
@@ -140,10 +144,10 @@ mod tests {
                 ((s >> 33) as f64 / (1u64 << 32) as f64) - 0.5
             })
             .collect();
-        let reference = gram(&ThreadPool::new(1), &u, rows, c);
+        let reference = gram(&ThreadPool::new(1), factor_view(&u, rows, c));
         for t in [2usize, 4, 7] {
             let pool = ThreadPool::new(t);
-            let g = gram(&pool, &u, rows, c);
+            let g = gram(&pool, factor_view(&u, rows, c));
             for (a, b) in g.iter().zip(&reference) {
                 assert!(
                     (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
@@ -158,10 +162,10 @@ mod tests {
         let pool = ThreadPool::new(3);
         let mut ws = GramWorkspace::new(3);
         let u: Vec<f64> = (0..600).map(|i| (i % 13) as f64 - 6.0).collect();
-        let want = gram(&pool, &u, 200, 3);
+        let want = gram(&pool, factor_view(&u, 200, 3));
         let mut out = vec![f64::NAN; 9];
         for _ in 0..3 {
-            gram_into(&pool, &mut ws, &u, 200, 3, &mut out);
+            gram_into(&pool, &mut ws, factor_view(&u, 200, 3), &mut out);
             assert_eq!(out, want);
         }
     }

@@ -52,4 +52,5 @@ pub use als::{cp_als, CpAlsOptions, CpAlsReport, CpAlsSweep, MttkrpStrategy};
 pub use dimtree::cp_als_dimtree;
 pub use gradient::{cp_gradient, cp_gradient_planned};
 pub use model::KruskalModel;
+pub use mttkrp_linalg::{SolvePolicy, SolveVariant};
 pub use nncp::cp_als_nn;

@@ -169,7 +169,7 @@ impl<S: Scalar> KruskalModel<S> {
         let c = self.rank;
         let mut had = vec![1.0; c * c];
         for (f, &d) in self.factors.iter().zip(&self.dims) {
-            let g = crate::gram::gram_seq(f, d, c);
+            let g = crate::gram::gram_seq(crate::gram::factor_view(f, d, c));
             for (h, gg) in had.iter_mut().zip(&g) {
                 *h *= gg;
             }

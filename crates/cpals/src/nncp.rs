@@ -17,7 +17,7 @@ use mttkrp_parallel::ThreadPool;
 use mttkrp_tensor::DenseTensor;
 
 use crate::als::{CpAlsOptions, CpAlsReport};
-use crate::gram::{gram, hadamard_excluding};
+use crate::gram::{factor_view, gram_into, hadamard_excluding_into, GramWorkspace};
 use crate::model::KruskalModel;
 
 /// Floor applied after the nonnegativity clamp so no column ever
@@ -53,11 +53,20 @@ pub fn cp_als_nn(
     let mut model = init;
     let norm_x = x.norm();
     let norm_x_sq = norm_x * norm_x;
+    // Workspaces held across sweeps (same steady-state allocation
+    // discipline as `CpAlsSweep`): SYRK accumulators for the Grams and
+    // the Hadamard-product scratch for each mode update.
+    let mut gram_ws = GramWorkspace::new(pool.num_threads());
+    let mut h = vec![0.0; c * c];
     let mut grams: Vec<Vec<f64>> = model
         .factors
         .iter()
         .zip(&dims)
-        .map(|(f, &d)| gram(pool, f, d, c))
+        .map(|(f, &d)| {
+            let mut g = vec![0.0; c * c];
+            gram_into(pool, &mut gram_ws, factor_view(f, d, c), &mut g);
+            g
+        })
         .collect();
 
     let mut report = CpAlsReport {
@@ -92,11 +101,16 @@ pub fn cp_als_nn(
             if n == nmodes - 1 {
                 last_mode_m.copy_from_slice(m);
             }
-            let h = hadamard_excluding(&grams, n, c);
+            hadamard_excluding_into(&grams, n, c, &mut h);
             hals_update(&mut model.factors[n], m, &h, rows, c);
             model.lambda.fill(1.0);
             model.normalize_mode(n);
-            grams[n] = gram(pool, &model.factors[n], rows, c);
+            gram_into(
+                pool,
+                &mut gram_ws,
+                factor_view(&model.factors[n], rows, c),
+                &mut grams[n],
+            );
         }
 
         // Fit via the last-mode MTTKRP (as in cp_als).

@@ -1,10 +1,15 @@
 //! Cyclic Jacobi symmetric eigendecomposition and the symmetric
-//! pseudoinverse built on it.
+//! pseudoinverse built on it — kept as the **test oracle**.
 //!
 //! CP-ALS applies `H†` where `H` is the Hadamard product of Gram
 //! matrices — symmetric PSD but possibly rank-deficient (collinear
-//! factor columns). The Jacobi method is slow but unconditionally
-//! robust, which is the right trade-off at rank × rank sizes.
+//! factor columns). The Jacobi method is slow (O(n³) per sweep, many
+//! sweeps) but unconditionally robust and easy to audit, so it anchors
+//! the correctness tests for the production path: the tridiagonal-QR
+//! EVD in [`crate::evd`] and the [`crate::GramSolver`] escalation
+//! ladder are validated against it, and
+//! [`crate::SolvePolicy::ForceJacobi`] routes production solves through
+//! it for trajectory-equivalence tests.
 
 use crate::LinalgError;
 

@@ -1,0 +1,390 @@
+//! Symmetric eigendecomposition via Householder tridiagonalization and
+//! implicit-shift QL iteration — the workhorse EVD behind the pseudo-
+//! inverse rung of the Gram-solve escalation ladder.
+//!
+//! The classic two-phase scheme (EISPACK `tred2` + `tql2`, also the
+//! backbone of LAPACK's `syev` drivers): reduce the dense symmetric
+//! matrix to tridiagonal form with accumulated Householder reflectors
+//! (O(n³) once), then diagonalize the tridiagonal matrix with
+//! implicitly shifted QL rotations (O(n²) per sweep). This replaces the
+//! cyclic Jacobi solver, which needs O(n³) *per sweep* and typically
+//! 6–10 sweeps; Jacobi remains in [`crate::jacobi_eigh_in`] as the test
+//! oracle.
+
+use mttkrp_blas::{Layout, MatMut, Scalar};
+
+use crate::LinalgError;
+
+/// Maximum implicit-shift QL iterations per eigenvalue before giving up.
+const MAX_QL_ITERS: usize = 50;
+
+/// Symmetric eigendecomposition in place: on entry `a` holds a
+/// symmetric `n × n` matrix (both triangles read); on exit its columns
+/// are orthonormal eigenvectors, `w` holds the matching eigenvalues in
+/// ascending order, and `e` is scratch (length `n`).
+///
+/// Uses Householder tridiagonalization with accumulated transformations
+/// followed by implicit-shift QL; fails with
+/// [`LinalgError::NoConvergence`] if any eigenvalue needs more than 50
+/// QL iterations (essentially impossible for finite input).
+pub fn sym_evd_in<S: Scalar>(
+    mut a: MatMut<'_, S>,
+    w: &mut [S],
+    e: &mut [S],
+) -> Result<(), LinalgError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "matrix must be square");
+    assert_eq!(w.len(), n, "eigenvalue buffer must have length n");
+    assert_eq!(e.len(), n, "scratch buffer must have length n");
+    if n == 0 {
+        return Ok(());
+    }
+    tred2(&mut a, w, e);
+    tql2(&mut a, w, e)
+}
+
+/// Allocating convenience wrapper over [`sym_evd_in`]: factors the
+/// column-major `n × n` symmetric matrix `a`, returning
+/// `(eigenvalues, eigenvectors)` with eigenvectors stored column-major.
+pub fn sym_evd<S: Scalar>(a: &[S], n: usize) -> Result<(Vec<S>, Vec<S>), LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix buffer must be n x n");
+    let mut v = a.to_vec();
+    let mut w = vec![S::ZERO; n];
+    let mut e = vec![S::ZERO; n];
+    sym_evd_in(
+        MatMut::from_slice(&mut v, n, n, Layout::ColMajor),
+        &mut w,
+        &mut e,
+    )?;
+    Ok((w, v))
+}
+
+/// Householder reduction to tridiagonal form with accumulation of the
+/// orthogonal transformation (EISPACK `tred2`). On exit `a` holds the
+/// accumulated orthogonal matrix `Q` (so `Qᵀ·A·Q = T`), `d` the
+/// diagonal of `T`, and `e[1..]` its subdiagonal (`e[0] = 0`).
+fn tred2<S: Scalar>(a: &mut MatMut<'_, S>, d: &mut [S], e: &mut [S]) {
+    let n = a.nrows();
+    for j in 0..n {
+        d[j] = a.get(n - 1, j);
+    }
+
+    // Householder reduction, working bottom-up.
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = S::ZERO;
+        let mut scale = S::ZERO;
+        if l > 0 {
+            for k in 0..=l {
+                scale += d[k].abs();
+            }
+        }
+        if scale == S::ZERO {
+            e[i] = d[l];
+            for j in 0..=l {
+                d[j] = a.get(l, j);
+                a.set(i, j, S::ZERO);
+                a.set(j, i, S::ZERO);
+            }
+        } else {
+            for k in 0..=l {
+                d[k] /= scale;
+                h += d[k] * d[k];
+            }
+            let mut f = d[l];
+            let mut g = if f > S::ZERO { -h.sqrt() } else { h.sqrt() };
+            e[i] = scale * g;
+            h -= f * g;
+            d[l] = f - g;
+            for j in 0..=l {
+                e[j] = S::ZERO;
+            }
+
+            // Apply similarity transformation to remaining rows/columns.
+            for j in 0..=l {
+                f = d[j];
+                a.set(j, i, f);
+                g = e[j] + a.get(j, j) * f;
+                for k in j + 1..=l {
+                    g += a.get(k, j) * d[k];
+                    e[k] += a.get(k, j) * f;
+                }
+                e[j] = g;
+            }
+            f = S::ZERO;
+            for j in 0..=l {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..=l {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..=l {
+                f = d[j];
+                g = e[j];
+                for k in j..=l {
+                    let v = a.get(k, j) - (f * e[k] + g * d[k]);
+                    a.set(k, j, v);
+                }
+                d[j] = a.get(l, j);
+                a.set(i, j, S::ZERO);
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate transformations.
+    for i in 0..n - 1 {
+        a.set(n - 1, i, a.get(i, i));
+        a.set(i, i, S::ONE);
+        let l = i + 1;
+        let h = d[l];
+        if h != S::ZERO {
+            for k in 0..l {
+                d[k] = a.get(k, l) / h;
+            }
+            for j in 0..l {
+                let mut g = S::ZERO;
+                for k in 0..l {
+                    g += a.get(k, l) * a.get(k, j);
+                }
+                for k in 0..l {
+                    let v = a.get(k, j) - g * d[k];
+                    a.set(k, j, v);
+                }
+            }
+        }
+        for k in 0..l {
+            a.set(k, l, S::ZERO);
+        }
+    }
+    for j in 0..n {
+        d[j] = a.get(n - 1, j);
+        a.set(n - 1, j, S::ZERO);
+    }
+    a.set(n - 1, n - 1, S::ONE);
+    e[0] = S::ZERO;
+}
+
+/// Implicit-shift QL iteration on the tridiagonal matrix produced by
+/// [`tred2`], updating the accumulated eigenvector matrix in `a`
+/// (EISPACK `tql2`). Eigenvalues come out ascending in `d` with the
+/// matching eigenvector columns of `a` permuted alongside.
+fn tql2<S: Scalar>(a: &mut MatMut<'_, S>, d: &mut [S], e: &mut [S]) -> Result<(), LinalgError> {
+    let n = a.nrows();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = S::ZERO;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Look for a negligible subdiagonal element to split at.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= S::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            if iter == MAX_QL_ITERS {
+                return Err(LinalgError::NoConvergence);
+            }
+            iter += 1;
+
+            // Form implicit shift.
+            let two = S::from_f64(2.0);
+            let mut g = (d[l + 1] - d[l]) / (two * e[l]);
+            let mut r = g.hypot(S::ONE);
+            let denom = g + if g >= S::ZERO { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / denom;
+            let mut s = S::ONE;
+            let mut c = S::ONE;
+            let mut p = S::ZERO;
+            let mut underflow = false;
+
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == S::ZERO {
+                    // Recover from underflow: split the matrix here and
+                    // restart the QL step on the shrunken block.
+                    d[i + 1] -= p;
+                    e[m] = S::ZERO;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + two * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Rotate eigenvector columns i and i+1.
+                for k in 0..n {
+                    f = a.get(k, i + 1);
+                    let v = a.get(k, i);
+                    a.set(k, i + 1, s * v + c * f);
+                    a.set(k, i, c * v - s * f);
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = S::ZERO;
+        }
+    }
+
+    // Sort eigenvalues ascending, carrying eigenvector columns along.
+    for i in 0..n.saturating_sub(1) {
+        let mut k = i;
+        let mut p = d[i];
+        for j in i + 1..n {
+            if d[j] < p {
+                k = j;
+                p = d[j];
+            }
+        }
+        if k != i {
+            d[k] = d[i];
+            d[i] = p;
+            for row in 0..n {
+                let tmp = a.get(row, i);
+                a.set(row, i, a.get(row, k));
+                a.set(row, k, tmp);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi_eigh;
+
+    fn sym_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
+                a[i + j * n] = v;
+                a[j + i * n] = v;
+            }
+        }
+        a
+    }
+
+    fn check_decomposition(a: &[f64], n: usize, w: &[f64], v: &[f64], tol: f64) {
+        // A·V = V·diag(w)
+        for j in 0..n {
+            for i in 0..n {
+                let mut av = 0.0;
+                for k in 0..n {
+                    av += a[i + k * n] * v[k + j * n];
+                }
+                let vw = v[i + j * n] * w[j];
+                assert!(
+                    (av - vw).abs() < tol,
+                    "A·v ≠ λ·v at ({i},{j}): {av} vs {vw}"
+                );
+            }
+        }
+        // VᵀV = I
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += v[k + i * n] * v[k + j * n];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((s - want).abs() < tol, "VᵀV ≠ I at ({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposes_random_symmetric_matrices() {
+        for n in [1usize, 2, 3, 8, 17, 40] {
+            let a = sym_matrix(n, n as u64 + 3);
+            let (w, v) = sym_evd(&a, n).unwrap();
+            check_decomposition(&a, n, &w, &v, 1e-9);
+            for i in 1..n {
+                assert!(w[i - 1] <= w[i], "eigenvalues not ascending at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_match_jacobi_oracle() {
+        let n = 24;
+        let a = sym_matrix(n, 99);
+        let (w, _) = sym_evd(&a, n).unwrap();
+        let mut aj = a.clone();
+        let (mut wj, _) = jacobi_eigh(&mut aj, n).unwrap();
+        wj.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (got, want) in w.iter().zip(&wj) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i + i * n] = (n - i) as f64; // descending, exercises the sort
+        }
+        let (w, v) = sym_evd(&a, n).unwrap();
+        for i in 0..n {
+            assert!((w[i] - (i + 1) as f64).abs() < 1e-14);
+        }
+        check_decomposition(&a, n, &w, &v, 1e-12);
+    }
+
+    #[test]
+    fn f32_decomposition_holds_to_single_precision() {
+        let n = 12;
+        let a64 = sym_matrix(n, 7);
+        let a: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+        let (w, v) = sym_evd(&a, n).unwrap();
+        let wf: Vec<f64> = w.iter().map(|&x| x as f64).collect();
+        let vf: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+        let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        check_decomposition(&af, n, &wf, &vf, 1e-4);
+    }
+
+    #[test]
+    fn repeated_eigenvalues_still_give_orthonormal_basis() {
+        // 2·I plus a rank-1 bump: eigenvalues {2 (n−1 times), 2+n·c}.
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i + j * n] = 0.5;
+            }
+            a[i + i * n] += 2.0;
+        }
+        let (w, v) = sym_evd(&a, n).unwrap();
+        check_decomposition(&a, n, &w, &v, 1e-10);
+        for i in 0..n - 1 {
+            assert!((w[i] - 2.0).abs() < 1e-10);
+        }
+        assert!((w[n - 1] - 5.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,462 @@
+//! Diagonally pivoted LDLᵀ factorization for symmetric positive
+//! **semi**-definite matrices — the middle rung of the Gram-solve
+//! escalation ladder.
+//!
+//! `Pᵀ·A·P = L·D·Lᵀ` with `L` unit lower triangular and `D` diagonal,
+//! pivoting on the largest remaining diagonal entry each step (for a
+//! PSD matrix that entry *is* the largest remaining element, so this is
+//! the rank-revealing "pivoted Cholesky" ordering). Factorization stops
+//! at the numerical rank: the first step whose pivot falls below
+//! `tol · max_diag` truncates `D` to zeros, which is exactly the
+//! behaviour a rank-deficient CP-ALS Gram needs.
+//!
+//! Storage: `L`'s strict lower triangle and `D` on the diagonal of the
+//! factored matrix (unit diagonal of `L` implicit); the strict upper
+//! triangle is unspecified.
+
+use mttkrp_blas::{MatMut, MatRef, Scalar};
+
+use crate::LinalgError;
+
+/// In-place diagonally pivoted LDLᵀ of the symmetric `n × n` view `a`
+/// (lower triangle read). `perm` (length `n`) receives the pivot row
+/// chosen at each step, LAPACK `ipiv`-style: at step `k`, rows/columns
+/// `k` and `perm[k]` were exchanged. `tol_rel` is the relative pivot
+/// cutoff (`<= 0` uses `n·ε` of the storage type); returns the
+/// numerical rank.
+///
+/// Fails only on a *negative* pivot beyond round-off (the matrix is
+/// then indefinite, not PSD).
+pub fn ldlt_factor_in_place<S: Scalar>(
+    mut a: MatMut<'_, S>,
+    perm: &mut [usize],
+    tol_rel: f64,
+) -> Result<usize, LinalgError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "matrix must be square");
+    assert_eq!(perm.len(), n, "permutation buffer must have length n");
+    if n == 0 {
+        return Ok(0);
+    }
+
+    let mut max_diag = 0.0f64;
+    for i in 0..n {
+        let d = a.get(i, i).to_f64();
+        if !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        max_diag = max_diag.max(d.abs());
+    }
+    let tol_rel = if tol_rel > 0.0 {
+        tol_rel
+    } else {
+        n as f64 * S::EPSILON.to_f64()
+    };
+    let cut = tol_rel * max_diag;
+    // Pivots in (−neg_floor, cut] truncate as rank deficiency; anything
+    // more negative means the matrix was not PSD to begin with.
+    let neg_floor = (n as f64) * S::EPSILON.to_f64().sqrt() * max_diag.max(1.0);
+
+    let mut rank = n;
+    for k in 0..n {
+        // Largest remaining diagonal entry.
+        let mut p = k;
+        let mut dmax = a.get(k, k).to_f64();
+        for i in k + 1..n {
+            let d = a.get(i, i).to_f64();
+            if d > dmax {
+                dmax = d;
+                p = i;
+            }
+        }
+        let d = dmax;
+        if d <= cut {
+            if d < -neg_floor {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            // Numerical rank reached: zero the remaining D entries and
+            // leave the remaining L columns as (implicit) identity.
+            rank = k;
+            for i in k..n {
+                a.set(i, i, S::ZERO);
+                for j in k..i {
+                    a.set(i, j, S::ZERO);
+                }
+            }
+            // Identity from here on: applying/unapplying the
+            // permutation stays well-defined over the full length.
+            for (i, slot) in perm.iter_mut().enumerate().skip(k) {
+                *slot = i;
+            }
+            break;
+        }
+
+        perm[k] = p;
+        if p != k {
+            swap_sym_lower(&mut a, k, p);
+        }
+
+        let dk = S::from_f64(d);
+        // l[i,k] = a[i,k] / d; trailing lower update
+        // a[i,j] −= l[i,k]·d·l[j,k] (j ≤ i).
+        for i in k + 1..n {
+            let lik = unsafe { a.get_unchecked(i, k) } / dk;
+            unsafe { a.set_unchecked(i, k, lik) };
+        }
+        for j in k + 1..n {
+            let ljk_d = unsafe { a.get_unchecked(j, k) } * dk;
+            for i in j..n {
+                let v = unsafe { a.get_unchecked(i, j) - a.get_unchecked(i, k) * ljk_d };
+                unsafe { a.set_unchecked(i, j, v) };
+            }
+        }
+    }
+    Ok(rank)
+}
+
+/// Symmetric row/column exchange `k ↔ p` (`p > k`) touching only the
+/// lower triangle.
+fn swap_sym_lower<S: Scalar>(a: &mut MatMut<'_, S>, k: usize, p: usize) {
+    let n = a.nrows();
+    // Columns left of k: rows k and p both live below the diagonal.
+    for j in 0..k {
+        let x = a.get(k, j);
+        let y = a.get(p, j);
+        a.set(k, j, y);
+        a.set(p, j, x);
+    }
+    // Diagonal entries.
+    let dk = a.get(k, k);
+    let dp = a.get(p, p);
+    a.set(k, k, dp);
+    a.set(p, p, dk);
+    // Strip strictly between k and p: (i,k) ↔ (p,i).
+    for i in k + 1..p {
+        let x = a.get(i, k);
+        let y = a.get(p, i);
+        a.set(i, k, y);
+        a.set(p, i, x);
+    }
+    // Rows below p: (i,k) ↔ (i,p).
+    for i in p + 1..n {
+        let x = a.get(i, k);
+        let y = a.get(i, p);
+        a.set(i, k, y);
+        a.set(i, p, x);
+    }
+}
+
+/// Apply the recorded exchanges to the rows of `b` (forward order:
+/// `B ← Pᵀ·B`, matching the factored ordering).
+fn permute_rows_forward<S: Scalar>(b: &mut MatMut<'_, S>, perm: &[usize]) {
+    for (k, &p) in perm.iter().enumerate() {
+        if p != k {
+            for j in 0..b.ncols() {
+                let x = b.get(k, j);
+                let y = b.get(p, j);
+                b.set(k, j, y);
+                b.set(p, j, x);
+            }
+        }
+    }
+}
+
+/// Undo the recorded exchanges on the rows of `b` (reverse order:
+/// `B ← P·B`).
+fn permute_rows_backward<S: Scalar>(b: &mut MatMut<'_, S>, perm: &[usize]) {
+    for (k, &p) in perm.iter().enumerate().rev() {
+        if p != k {
+            for j in 0..b.ncols() {
+                let x = b.get(k, j);
+                let y = b.get(p, j);
+                b.set(k, j, y);
+                b.set(p, j, x);
+            }
+        }
+    }
+}
+
+/// Solve `A·X ≈ B` in place from [`ldlt_factor_in_place`] output.
+/// Within the numerical rank this is exact; beyond it the truncated
+/// `D† = 0` components are dropped, which yields a `{1,2}`-generalized
+/// inverse solution for consistent (range-of-`A`) right-hand sides.
+pub fn ldlt_solve_in_place<S: Scalar>(
+    factor: MatRef<'_, S>,
+    perm: &[usize],
+    rank: usize,
+    mut b: MatMut<'_, S>,
+) {
+    let n = factor.nrows();
+    assert_eq!(factor.ncols(), n, "factor must be square");
+    assert_eq!(perm.len(), n, "permutation must have length n");
+    assert_eq!(b.nrows(), n, "rhs rows must match factor");
+    let nrhs = b.ncols();
+
+    permute_rows_forward(&mut b, perm);
+    // Forward: unit-lower L y = b (columns 0..rank carry data; the
+    // rest of L is identity).
+    for j in 0..nrhs {
+        for i in 1..n {
+            let lim = rank.min(i);
+            let mut s = b.get(i, j);
+            for k in 0..lim {
+                s -= unsafe { factor.get_unchecked(i, k) } * b.get(k, j);
+            }
+            b.set(i, j, s);
+        }
+    }
+    // D†: divide the leading `rank` components, zero the rest.
+    for i in 0..n {
+        if i < rank {
+            let d = factor.get(i, i);
+            for j in 0..nrhs {
+                let v = b.get(i, j) / d;
+                b.set(i, j, v);
+            }
+        } else {
+            for j in 0..nrhs {
+                b.set(i, j, S::ZERO);
+            }
+        }
+    }
+    // Backward: unit-upper Lᵀ x = y.
+    for j in 0..nrhs {
+        for i in (0..n.min(rank)).rev() {
+            let mut s = b.get(i, j);
+            for k in i + 1..n {
+                s -= unsafe { factor.get_unchecked(k, i) } * b.get(k, j);
+            }
+            b.set(i, j, s);
+        }
+    }
+    permute_rows_backward(&mut b, perm);
+}
+
+/// `out ← A⁻` (a symmetric `{1,2}`-generalized inverse; the true
+/// inverse when `rank == n`) from [`ldlt_factor_in_place`] output,
+/// assembled by solving against the identity and symmetrizing.
+pub fn ldlt_inverse_into<S: Scalar>(
+    factor: MatRef<'_, S>,
+    perm: &[usize],
+    rank: usize,
+    mut out: MatMut<'_, S>,
+) {
+    let n = factor.nrows();
+    assert_eq!(out.nrows(), n, "output must be n x n");
+    assert_eq!(out.ncols(), n, "output must be n x n");
+    out.fill(S::ZERO);
+    for i in 0..n {
+        out.set(i, i, S::ONE);
+    }
+    ldlt_solve_in_place(factor, perm, rank, out.as_mut());
+    let half = S::from_f64(0.5);
+    for j in 0..n {
+        for i in 0..j {
+            let v = (out.get(i, j) + out.get(j, i)) * half;
+            out.set(i, j, v);
+            out.set(j, i, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_blas::Layout;
+
+    fn spd_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut b = vec![0.0; n * n];
+        for v in b.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
+        }
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[i + k * n] * b[j + k * n];
+                }
+                a[i + j * n] = s;
+            }
+        }
+        for i in 0..n {
+            a[i + i * n] += n as f64;
+        }
+        a
+    }
+
+    /// Rank-r PSD matrix built from r outer products.
+    fn psd_rank(n: usize, r: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut a = vec![0.0; n * n];
+        for _ in 0..r {
+            let x: Vec<f64> = (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5
+                })
+                .collect();
+            for i in 0..n {
+                for j in 0..n {
+                    a[i + j * n] += x[i] * x[j];
+                }
+            }
+        }
+        a
+    }
+
+    fn solve_full(a: &[f64], n: usize, b0: &[f64]) -> Vec<f64> {
+        let mut f = a.to_vec();
+        let mut perm = vec![0usize; n];
+        let rank = ldlt_factor_in_place(
+            MatMut::from_slice(&mut f, n, n, Layout::ColMajor),
+            &mut perm,
+            0.0,
+        )
+        .unwrap();
+        let mut b = b0.to_vec();
+        ldlt_solve_in_place(
+            MatRef::from_slice(&f, n, n, Layout::ColMajor),
+            &perm,
+            rank,
+            MatMut::from_slice(&mut b, n, 1, Layout::ColMajor),
+        );
+        b
+    }
+
+    #[test]
+    fn full_rank_solve_recovers_solution() {
+        for n in [1usize, 2, 5, 13] {
+            let a = spd_matrix(n, n as u64 * 3 + 1);
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a[i + j * n] * x_true[j];
+                }
+            }
+            let x = solve_full(&a, n, &b);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reports_numerical_rank_of_deficient_matrix() {
+        let n = 8;
+        for r in [1usize, 3, 5] {
+            let a = psd_rank(n, r, r as u64 + 7);
+            let mut f = a.clone();
+            let mut perm = vec![0usize; n];
+            let rank = ldlt_factor_in_place(
+                MatMut::from_slice(&mut f, n, n, Layout::ColMajor),
+                &mut perm,
+                0.0,
+            )
+            .unwrap();
+            assert_eq!(rank, r, "rank-{r} matrix");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_solve_satisfies_penrose_one() {
+        // For b in range(A): A · x = b must still hold.
+        let n = 6;
+        let r = 3;
+        let a = psd_rank(n, r, 11);
+        let y: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 0.5).collect();
+        // b = A·y is in range(A) by construction.
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i + j * n] * y[j];
+            }
+        }
+        let x = solve_full(&a, n, &b);
+        let mut ax = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                ax[i] += a[i + j * n] * x[j];
+            }
+        }
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-8 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn inverse_of_full_rank_matches_identity() {
+        let n = 9;
+        let a = spd_matrix(n, 5);
+        let mut f = a.clone();
+        let mut perm = vec![0usize; n];
+        let rank = ldlt_factor_in_place(
+            MatMut::from_slice(&mut f, n, n, Layout::ColMajor),
+            &mut perm,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(rank, n);
+        let mut inv = vec![0.0; n * n];
+        ldlt_inverse_into(
+            MatRef::from_slice(&f, n, n, Layout::ColMajor),
+            &perm,
+            rank,
+            MatMut::from_slice(&mut inv, n, n, Layout::ColMajor),
+        );
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += inv[i + k * n] * a[k + j * n];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((s - want).abs() < 1e-8, "({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let n = 2;
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        let mut perm = vec![0usize; n];
+        assert_eq!(
+            ldlt_factor_in_place(
+                MatMut::from_slice(&mut a, n, n, Layout::ColMajor),
+                &mut perm,
+                0.0
+            ),
+            Err(LinalgError::NotPositiveDefinite)
+        );
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero_and_zero_solve() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        let mut perm = vec![0usize; n];
+        let rank = ldlt_factor_in_place(
+            MatMut::from_slice(&mut a, n, n, Layout::ColMajor),
+            &mut perm,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(rank, 0);
+        let mut b = vec![1.0; n];
+        ldlt_solve_in_place(
+            MatRef::from_slice(&a, n, n, Layout::ColMajor),
+            &perm,
+            rank,
+            MatMut::from_slice(&mut b, n, 1, Layout::ColMajor),
+        );
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,40 +1,61 @@
-//! Small dense factorizations substituting for LAPACK in the CP-ALS
-//! driver.
+//! Dense symmetric linear algebra substituting for LAPACK in the
+//! CP-ALS driver — `Scalar`-generic and built on the strided
+//! [`MatRef`](mttkrp_blas::MatRef)/[`MatMut`](mttkrp_blas::MatMut)
+//! views from `mttkrp-blas`.
 //!
-//! CP-ALS needs one `C × C` solve per factor update:
-//! `U_n = M · H†` where `H = ⊛_{k≠n} U_kᵀU_k` is symmetric positive
-//! semi-definite and `C` is the decomposition rank (10–50 in the paper's
-//! experiments). This crate provides:
+//! CP-ALS needs one `C × C` solve per factor update: `U_n = M · H†`
+//! where `H = ⊛_{k≠n} U_kᵀU_k` is symmetric positive semi-definite and
+//! `C` is the decomposition rank. This crate provides the full
+//! escalation ladder behind that solve:
 //!
-//! * [`cholesky`] / [`cholesky_solve`] — for the well-conditioned case;
+//! * [`cholesky_in_place`] / [`cholesky_solve_in_place`] — blocked
+//!   right-looking LLᵀ whose trailing update routes through the SIMD
+//!   `gemm` kernels, for the well-conditioned common case;
+//! * [`ldlt_factor_in_place`] / [`ldlt_solve_in_place`] — diagonally
+//!   pivoted, rank-revealing LDLᵀ for the semidefinite region;
+//! * [`sym_evd_in`] — Householder tridiagonalization + implicit-shift
+//!   QL symmetric eigendecomposition, the fast EVD;
+//! * [`GramSolver`] — the policy object tying the rungs together with
+//!   a cheap condition estimate and reusable workspaces;
 //! * [`lu_factor`] / [`lu_solve`] — general square solves with partial
 //!   pivoting;
-//! * [`jacobi_eigh`] — cyclic Jacobi symmetric eigendecomposition, whose
-//!   robustness (not speed) matters here;
-//! * [`sym_pinv`] — the Moore–Penrose pseudoinverse of a symmetric PSD
-//!   matrix via Jacobi, used for rank-deficient Gram matrices exactly as
-//!   Tensor Toolbox uses `pinv`.
+//! * [`jacobi_eigh`] / [`sym_pinv`] — the original cyclic Jacobi
+//!   eigensolver and pseudoinverse, retained as the slow-but-robust
+//!   **test oracle** for every faster path above.
 //!
-//! All matrices are **column-major** `n × n` slices. Sizes here are tiny
-//! (rank × rank), so clarity and robustness win over blocking.
+//! Factorizations take views, so row-major, column-major, and
+//! transposed/submatrix inputs all work without copies; contiguous
+//! slices enter through `MatMut::from_slice(.., Layout::ColMajor)`.
+
+#![deny(missing_docs)]
 
 pub mod chol;
 pub mod eigh;
+pub mod evd;
+pub mod ldlt;
 pub mod lu;
+pub mod solve;
 
-pub use chol::{cholesky, cholesky_solve};
+pub use chol::{
+    cholesky_in_place, cholesky_in_place_with, cholesky_inverse_into, cholesky_solve_in_place,
+    cholesky_unblocked, factor_diag_extrema, solve_lower_in_place, solve_lower_transpose_in_place,
+    CHOL_PANEL,
+};
 pub use eigh::{jacobi_eigh, jacobi_eigh_in, sym_pinv, sym_pinv_into, PinvWorkspace};
+pub use evd::{sym_evd, sym_evd_in};
+pub use ldlt::{ldlt_factor_in_place, ldlt_inverse_into, ldlt_solve_in_place};
 pub use lu::{lu_factor, lu_solve};
+pub use solve::{GramSolver, SolvePolicy, SolveVariant, DEFAULT_COND_LIMIT};
 
 /// Errors from the dense factorizations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinalgError {
-    /// Cholesky pivot was non-positive: the matrix is not (numerically)
-    /// positive definite.
+    /// A Cholesky/LDLᵀ pivot was negative beyond round-off: the matrix
+    /// is not (numerically) positive semi-definite.
     NotPositiveDefinite,
     /// An exactly singular pivot was encountered in LU.
     Singular,
-    /// The Jacobi sweep limit was reached before convergence.
+    /// The eigensolver iteration limit was reached before convergence.
     NoConvergence,
 }
 

@@ -1,50 +1,59 @@
-//! LU factorization with partial pivoting.
+//! LU factorization with partial pivoting, generic over [`Scalar`] and
+//! strided [`MatMut`]/[`MatRef`] views.
+
+use mttkrp_blas::{MatMut, MatRef, Scalar};
 
 use crate::LinalgError;
 
-/// In-place LU factorization with partial pivoting of a column-major
-/// `n × n` matrix: `P·A = L·U`, `L` unit lower / `U` upper triangular,
-/// both stored in `a`. Returns the pivot permutation (`piv[k]` = row
-/// swapped into position `k` at step `k`).
-pub fn lu_factor(a: &mut [f64], n: usize) -> Result<Vec<usize>, LinalgError> {
-    assert_eq!(a.len(), n * n, "matrix must be n x n");
-    let mut piv = Vec::with_capacity(n);
+/// In-place LU factorization with partial pivoting of the square view
+/// `a`: `P·A = L·U`, `L` unit lower / `U` upper triangular, both stored
+/// in `a`. `piv` (length `n`) receives the permutation: `piv[k]` is the
+/// row swapped into position `k` at step `k`.
+pub fn lu_factor<S: Scalar>(mut a: MatMut<'_, S>, piv: &mut [usize]) -> Result<(), LinalgError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "matrix must be square");
+    assert_eq!(piv.len(), n, "pivot buffer must have length n");
     for k in 0..n {
         // Find pivot in column k.
         let mut p = k;
-        let mut pmax = a[k + k * n].abs();
+        let mut pmax = a.get(k, k).abs();
         for i in k + 1..n {
-            let v = a[i + k * n].abs();
+            let v = a.get(i, k).abs();
             if v > pmax {
                 pmax = v;
                 p = i;
             }
         }
-        if pmax == 0.0 || !pmax.is_finite() {
+        if pmax == S::ZERO || !pmax.is_finite() {
             return Err(LinalgError::Singular);
         }
-        piv.push(p);
+        piv[k] = p;
         if p != k {
             for j in 0..n {
-                a.swap(k + j * n, p + j * n);
+                let x = a.get(k, j);
+                let y = a.get(p, j);
+                a.set(k, j, y);
+                a.set(p, j, x);
             }
         }
         // Eliminate below the pivot.
-        let pivot = a[k + k * n];
+        let pivot = a.get(k, k);
         for i in k + 1..n {
-            let m = a[i + k * n] / pivot;
-            a[i + k * n] = m;
+            let m = unsafe { a.get_unchecked(i, k) } / pivot;
+            unsafe { a.set_unchecked(i, k, m) };
             for j in k + 1..n {
-                a[i + j * n] -= m * a[k + j * n];
+                let v = unsafe { a.get_unchecked(i, j) - m * a.get_unchecked(k, j) };
+                unsafe { a.set_unchecked(i, j, v) };
             }
         }
     }
-    Ok(piv)
+    Ok(())
 }
 
 /// Solve `A·x = b` given [`lu_factor`] output; `b` is overwritten.
-pub fn lu_solve(lu: &[f64], piv: &[usize], n: usize, b: &mut [f64]) {
-    assert_eq!(lu.len(), n * n, "factor must be n x n");
+pub fn lu_solve<S: Scalar>(lu: MatRef<'_, S>, piv: &[usize], b: &mut [S]) {
+    let n = lu.nrows();
+    assert_eq!(lu.ncols(), n, "factor must be square");
     assert_eq!(piv.len(), n, "pivot vector must have length n");
     assert_eq!(b.len(), n, "rhs must have length n");
     // Apply the permutation.
@@ -57,7 +66,7 @@ pub fn lu_solve(lu: &[f64], piv: &[usize], n: usize, b: &mut [f64]) {
     for i in 1..n {
         let mut s = b[i];
         for k in 0..i {
-            s -= lu[i + k * n] * b[k];
+            s -= unsafe { lu.get_unchecked(i, k) } * b[k];
         }
         b[i] = s;
     }
@@ -65,15 +74,16 @@ pub fn lu_solve(lu: &[f64], piv: &[usize], n: usize, b: &mut [f64]) {
     for i in (0..n).rev() {
         let mut s = b[i];
         for k in i + 1..n {
-            s -= lu[i + k * n] * b[k];
+            s -= unsafe { lu.get_unchecked(i, k) } * b[k];
         }
-        b[i] = s / lu[i + i * n];
+        b[i] = s / lu.get(i, i);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mttkrp_blas::Layout;
 
     fn rand_mat(n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed | 1;
@@ -99,8 +109,17 @@ mod tests {
                 }
             }
             let mut lu = a.clone();
-            let piv = lu_factor(&mut lu, n).unwrap();
-            lu_solve(&lu, &piv, n, &mut b);
+            let mut piv = vec![0usize; n];
+            lu_factor(
+                MatMut::from_slice(&mut lu, n, n, Layout::ColMajor),
+                &mut piv,
+            )
+            .unwrap();
+            lu_solve(
+                MatRef::from_slice(&lu, n, n, Layout::ColMajor),
+                &piv,
+                &mut b,
+            );
             for (got, want) in b.iter().zip(&x_true) {
                 assert!((got - want).abs() < 1e-8, "n={n}");
             }
@@ -111,9 +130,10 @@ mod tests {
     fn pivoting_handles_zero_leading_entry() {
         // A = [[0, 1], [1, 0]] requires a row swap.
         let mut a = vec![0.0, 1.0, 1.0, 0.0];
-        let piv = lu_factor(&mut a, 2).unwrap();
+        let mut piv = vec![0usize; 2];
+        lu_factor(MatMut::from_slice(&mut a, 2, 2, Layout::ColMajor), &mut piv).unwrap();
         let mut b = vec![2.0, 3.0];
-        lu_solve(&a, &piv, 2, &mut b);
+        lu_solve(MatRef::from_slice(&a, 2, 2, Layout::ColMajor), &piv, &mut b);
         // x solves [[0,1],[1,0]] x = (2,3) → x = (3,2).
         assert!((b[0] - 3.0).abs() < 1e-14);
         assert!((b[1] - 2.0).abs() < 1e-14);
@@ -122,6 +142,71 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let mut a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
-        assert_eq!(lu_factor(&mut a, 2), Err(LinalgError::Singular));
+        let mut piv = vec![0usize; 2];
+        assert_eq!(
+            lu_factor(MatMut::from_slice(&mut a, 2, 2, Layout::ColMajor), &mut piv),
+            Err(LinalgError::Singular)
+        );
+    }
+
+    #[test]
+    fn row_major_view_factors_identically() {
+        let n = 6;
+        let a_col = rand_mat(n, 42);
+        // Same matrix laid out row-major.
+        let mut a_row = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a_row[i * n + j] = a_col[i + j * n];
+            }
+        }
+        let mut lu_c = a_col.clone();
+        let mut piv_c = vec![0usize; n];
+        lu_factor(
+            MatMut::from_slice(&mut lu_c, n, n, Layout::ColMajor),
+            &mut piv_c,
+        )
+        .unwrap();
+        let mut piv_r = vec![0usize; n];
+        lu_factor(
+            MatMut::from_slice(&mut a_row, n, n, Layout::RowMajor),
+            &mut piv_r,
+        )
+        .unwrap();
+        assert_eq!(piv_c, piv_r);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((lu_c[i + j * n] - a_row[i * n + j]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_solve_holds_to_single_precision() {
+        let n = 7;
+        let a64 = rand_mat(n, 5);
+        let a: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+        let x_true: Vec<f32> = (0..n).map(|i| i as f32 * 0.25 - 0.5).collect();
+        let mut b = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i + j * n] * x_true[j];
+            }
+        }
+        let mut lu = a.clone();
+        let mut piv = vec![0usize; n];
+        lu_factor(
+            MatMut::from_slice(&mut lu, n, n, Layout::ColMajor),
+            &mut piv,
+        )
+        .unwrap();
+        lu_solve(
+            MatRef::from_slice(&lu, n, n, Layout::ColMajor),
+            &piv,
+            &mut b,
+        );
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-3, "n={n}");
+        }
     }
 }

@@ -1,0 +1,555 @@
+//! The Gram-solve escalation ladder: try Cholesky, fall back to pivoted
+//! LDLᵀ, land on an EVD pseudoinverse.
+//!
+//! CP-ALS inverts one `R × R` Gram matrix per mode per sweep. Those
+//! matrices are symmetric PSD and *usually* comfortably positive
+//! definite, so the cheap blocked Cholesky wins almost every time — but
+//! collinear factor columns make them rank-deficient or severely
+//! ill-conditioned, and a naive Cholesky then either fails outright or
+//! silently amplifies error. [`GramSolver`] encodes the policy:
+//!
+//! 1. **Cholesky** ([`crate::cholesky_in_place_with`]) — accepted when
+//!    the factorization succeeds *and* the cheap condition estimate
+//!    `κ ≈ (max lᵢᵢ / min lᵢᵢ)²` stays within
+//!    [`GramSolver::set_cond_limit`].
+//! 2. **Pivoted LDLᵀ** ([`crate::ldlt_factor_in_place`]) — accepted
+//!    when the matrix is numerically full-rank; diagonal pivoting
+//!    tolerates the near-semidefinite region where unpivoted Cholesky
+//!    loses accuracy.
+//! 3. **EVD pseudoinverse** ([`crate::sym_evd_in`]) — unconditional
+//!    last resort, also the only rung that produces the Moore–Penrose
+//!    inverse of a genuinely rank-deficient Gram.
+//!
+//! Every solve emits an `obs` span (`solve` with nested
+//! `chol`/`ldlt`/`evd`/`jacobi`) and bumps `linalg.solves` plus a
+//! per-variant `linalg.solves.<variant>` counter when `--metrics` is
+//! on, so escalation hit rates are observable in traces and metric
+//! dumps.
+
+use mttkrp_blas::{gemm_with, kernels, Layout, MatMut, MatRef, Scalar};
+use mttkrp_obs::{counter, metrics_enabled, span, span_full};
+
+use crate::{
+    cholesky_in_place_with, cholesky_inverse_into, factor_diag_extrema, ldlt_factor_in_place,
+    ldlt_inverse_into, sym_evd_in, sym_pinv_into, LinalgError, PinvWorkspace, CHOL_PANEL,
+};
+
+/// Which rung of the escalation ladder produced a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveVariant {
+    /// Blocked LLᵀ Cholesky inverse.
+    Cholesky,
+    /// Diagonally pivoted LDLᵀ inverse.
+    Ldlt,
+    /// Pseudoinverse from the tridiagonal-QR symmetric EVD.
+    EvdPinv,
+    /// Pseudoinverse from the cyclic Jacobi oracle (forced only).
+    JacobiOracle,
+}
+
+impl SolveVariant {
+    /// Short lowercase label, used in metric names and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveVariant::Cholesky => "chol",
+            SolveVariant::Ldlt => "ldlt",
+            SolveVariant::EvdPinv => "evd",
+            SolveVariant::JacobiOracle => "jacobi",
+        }
+    }
+}
+
+/// Solver selection policy for [`GramSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolvePolicy {
+    /// Escalate Cholesky → LDLᵀ → EVD based on the condition estimate.
+    #[default]
+    Auto,
+    /// Always use Cholesky; ill-conditioned input is an error.
+    ForceCholesky,
+    /// Always use pivoted LDLᵀ (rank-deficient input truncates).
+    ForceLdlt,
+    /// Always use the EVD pseudoinverse.
+    ForceEvd,
+    /// Always use the Jacobi pseudoinverse — the pre-existing slow path,
+    /// kept as a bit-for-bit oracle for trajectory tests.
+    ForceJacobi,
+}
+
+/// Reusable workspace + policy for symmetric-PSD inverse computations.
+///
+/// All scratch buffers grow on first use of a larger `n` and are
+/// retained, so an iterative caller (CP-ALS does `N` solves per sweep)
+/// performs **zero steady-state heap allocation**; call
+/// [`GramSolver::reserve`] up front to move even the first-use growth
+/// out of the hot loop.
+#[derive(Debug)]
+pub struct GramSolver<S: Scalar = f64> {
+    policy: SolvePolicy,
+    cond_limit: f64,
+    panel: usize,
+    buf: Vec<S>,
+    w: Vec<S>,
+    e: Vec<S>,
+    vd: Vec<S>,
+    perm: Vec<usize>,
+    jac_a: Vec<f64>,
+    jac_out: Vec<f64>,
+    pinv: PinvWorkspace,
+}
+
+/// Default acceptance threshold for the Cholesky condition estimate.
+pub const DEFAULT_COND_LIMIT: f64 = 1e8;
+
+impl<S: Scalar> GramSolver<S> {
+    /// Solver with the [`SolvePolicy::Auto`] escalation policy and the
+    /// default condition limit ([`DEFAULT_COND_LIMIT`]).
+    pub fn new() -> Self {
+        GramSolver {
+            policy: SolvePolicy::Auto,
+            cond_limit: DEFAULT_COND_LIMIT,
+            panel: CHOL_PANEL,
+            buf: Vec::new(),
+            w: Vec::new(),
+            e: Vec::new(),
+            vd: Vec::new(),
+            perm: Vec::new(),
+            jac_a: Vec::new(),
+            jac_out: Vec::new(),
+            pinv: PinvWorkspace::new(),
+        }
+    }
+
+    /// Solver with an explicit policy.
+    pub fn with_policy(policy: SolvePolicy) -> Self {
+        let mut s = GramSolver::new();
+        s.policy = policy;
+        s
+    }
+
+    /// Replace the selection policy.
+    pub fn set_policy(&mut self, policy: SolvePolicy) {
+        self.policy = policy;
+    }
+
+    /// Current selection policy.
+    pub fn policy(&self) -> SolvePolicy {
+        self.policy
+    }
+
+    /// Replace the Cholesky condition-estimate acceptance threshold
+    /// (values `<= 1` effectively force escalation past Cholesky).
+    pub fn set_cond_limit(&mut self, limit: f64) {
+        self.cond_limit = limit;
+    }
+
+    /// Grow every scratch buffer to `n × n` capacity so subsequent
+    /// [`GramSolver::pinv_into`] calls at sizes `<= n` allocate nothing.
+    pub fn reserve(&mut self, n: usize) {
+        let nn = n * n;
+        grow(&mut self.buf, nn, S::ZERO);
+        grow(&mut self.w, n, S::ZERO);
+        grow(&mut self.e, n, S::ZERO);
+        grow(&mut self.vd, nn, S::ZERO);
+        grow(&mut self.perm, n, 0usize);
+        grow(&mut self.jac_a, nn, 0.0);
+        grow(&mut self.jac_out, nn, 0.0);
+        // Warm the Jacobi workspace through a trivial solve so its
+        // internal buffers reach capacity too.
+        if n > 0 {
+            self.jac_a[..nn].fill(0.0);
+            for i in 0..n {
+                self.jac_a[i + i * n] = 1.0;
+            }
+            let (a, out) = (&self.jac_a[..nn], &mut self.jac_out[..nn]);
+            let _ = sym_pinv_into(a, n, 0.0, &mut self.pinv, out);
+        }
+    }
+
+    /// Symmetric-PSD (pseudo)inverse: writes `A†` into the column-major
+    /// `n × n` `out`, choosing the factorization per the policy.
+    /// Returns the variant that produced the result.
+    ///
+    /// `a` is a column-major `n × n` symmetric matrix (lower triangle
+    /// authoritative). `rcond <= 0` uses the default `n · ε` relative
+    /// cutoff for rank truncation on the LDLᵀ and EVD rungs.
+    pub fn pinv_into(
+        &mut self,
+        a: &[S],
+        n: usize,
+        rcond: f64,
+        out: &mut [S],
+    ) -> Result<SolveVariant, LinalgError> {
+        assert_eq!(a.len(), n * n, "matrix must be n x n");
+        assert_eq!(out.len(), n * n, "output must be n x n");
+        let _solve_span = span!("solve", n = n);
+        let variant = self.dispatch(a, n, rcond, out)?;
+        if metrics_enabled() {
+            counter!("linalg.solves").incr();
+            match variant {
+                SolveVariant::Cholesky => counter!("linalg.solves.chol").incr(),
+                SolveVariant::Ldlt => counter!("linalg.solves.ldlt").incr(),
+                SolveVariant::EvdPinv => counter!("linalg.solves.evd").incr(),
+                SolveVariant::JacobiOracle => counter!("linalg.solves.jacobi").incr(),
+            }
+        }
+        Ok(variant)
+    }
+
+    fn dispatch(
+        &mut self,
+        a: &[S],
+        n: usize,
+        rcond: f64,
+        out: &mut [S],
+    ) -> Result<SolveVariant, LinalgError> {
+        match self.policy {
+            SolvePolicy::Auto => {
+                if self.try_cholesky(a, n, out).is_ok() {
+                    return Ok(SolveVariant::Cholesky);
+                }
+                if let Ok(rank) = self.try_ldlt(a, n, rcond, out) {
+                    if rank == n {
+                        return Ok(SolveVariant::Ldlt);
+                    }
+                }
+                self.evd_pinv(a, n, rcond, out)?;
+                Ok(SolveVariant::EvdPinv)
+            }
+            SolvePolicy::ForceCholesky => {
+                self.try_cholesky(a, n, out)?;
+                Ok(SolveVariant::Cholesky)
+            }
+            SolvePolicy::ForceLdlt => {
+                self.try_ldlt(a, n, rcond, out)?;
+                Ok(SolveVariant::Ldlt)
+            }
+            SolvePolicy::ForceEvd => {
+                self.evd_pinv(a, n, rcond, out)?;
+                Ok(SolveVariant::EvdPinv)
+            }
+            SolvePolicy::ForceJacobi => {
+                self.jacobi_pinv(a, n, rcond, out)?;
+                Ok(SolveVariant::JacobiOracle)
+            }
+        }
+    }
+
+    /// Cholesky rung: factor, check the diagonal condition estimate,
+    /// invert. Errors when the factorization fails or the estimate
+    /// exceeds [`GramSolver::set_cond_limit`].
+    fn try_cholesky(&mut self, a: &[S], n: usize, out: &mut [S]) -> Result<(), LinalgError> {
+        let _span = span_full!("chol", n = n);
+        grow(&mut self.buf, n * n, S::ZERO);
+        let buf = &mut self.buf[..n * n];
+        buf.copy_from_slice(a);
+        let ks = kernels::<S>();
+        cholesky_in_place_with(
+            ks,
+            MatMut::from_slice(buf, n, n, Layout::ColMajor),
+            self.panel,
+        )?;
+        let (dmin, dmax) = factor_diag_extrema(MatRef::from_slice(buf, n, n, Layout::ColMajor));
+        // κ(A) ≈ (max lᵢᵢ / min lᵢᵢ)² — cheap and within a modest
+        // factor of the true 2-norm condition number for Gram matrices.
+        if dmin <= 0.0 || (dmax / dmin) * (dmax / dmin) > self.cond_limit {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        cholesky_inverse_into(
+            ks,
+            MatRef::from_slice(buf, n, n, Layout::ColMajor),
+            MatMut::from_slice(out, n, n, Layout::ColMajor),
+        );
+        Ok(())
+    }
+
+    /// LDLᵀ rung: pivoted factor + generalized inverse. Returns the
+    /// numerical rank so `Auto` can reject rank-deficient results.
+    fn try_ldlt(
+        &mut self,
+        a: &[S],
+        n: usize,
+        rcond: f64,
+        out: &mut [S],
+    ) -> Result<usize, LinalgError> {
+        let _span = span_full!("ldlt", n = n);
+        grow(&mut self.buf, n * n, S::ZERO);
+        grow(&mut self.perm, n, 0usize);
+        let buf = &mut self.buf[..n * n];
+        buf.copy_from_slice(a);
+        let perm = &mut self.perm[..n];
+        let rank =
+            ldlt_factor_in_place(MatMut::from_slice(buf, n, n, Layout::ColMajor), perm, rcond)?;
+        ldlt_inverse_into(
+            MatRef::from_slice(buf, n, n, Layout::ColMajor),
+            perm,
+            rank,
+            MatMut::from_slice(out, n, n, Layout::ColMajor),
+        );
+        Ok(rank)
+    }
+
+    /// EVD rung: `A† = V·diag(w†)·Vᵀ` with eigenvalues below
+    /// `rcond · max|w|` truncated to zero.
+    fn evd_pinv(
+        &mut self,
+        a: &[S],
+        n: usize,
+        rcond: f64,
+        out: &mut [S],
+    ) -> Result<(), LinalgError> {
+        let _span = span_full!("evd", n = n);
+        grow(&mut self.buf, n * n, S::ZERO);
+        grow(&mut self.w, n, S::ZERO);
+        grow(&mut self.e, n, S::ZERO);
+        grow(&mut self.vd, n * n, S::ZERO);
+        let buf = &mut self.buf[..n * n];
+        buf.copy_from_slice(a);
+        // sym_evd_in reads both triangles; mirror the authoritative
+        // lower triangle up.
+        for j in 0..n {
+            for i in j + 1..n {
+                buf[j + i * n] = buf[i + j * n];
+            }
+        }
+        sym_evd_in(
+            MatMut::from_slice(buf, n, n, Layout::ColMajor),
+            &mut self.w[..n],
+            &mut self.e[..n],
+        )?;
+        let w = &self.w[..n];
+        let v = &self.buf[..n * n];
+        let wmax = w.iter().fold(0.0f64, |m, &x| m.max(x.to_f64().abs()));
+        let cut = if rcond > 0.0 {
+            rcond
+        } else {
+            n as f64 * S::EPSILON.to_f64()
+        } * wmax;
+        let vd = &mut self.vd[..n * n];
+        vd.copy_from_slice(v);
+        for (j, &wj) in w.iter().enumerate() {
+            let wjf = wj.to_f64();
+            let inv = if wjf.abs() > cut {
+                S::from_f64(1.0 / wjf)
+            } else {
+                S::ZERO
+            };
+            for i in 0..n {
+                vd[i + j * n] *= inv;
+            }
+        }
+        gemm_with(
+            kernels::<S>(),
+            1.0,
+            MatRef::from_slice(vd, n, n, Layout::ColMajor),
+            MatRef::from_slice(v, n, n, Layout::ColMajor).t(),
+            0.0,
+            MatMut::from_slice(out, n, n, Layout::ColMajor),
+        );
+        Ok(())
+    }
+
+    /// Jacobi oracle rung: round-trips through the f64 cyclic-Jacobi
+    /// pseudoinverse that predates the escalation ladder.
+    fn jacobi_pinv(
+        &mut self,
+        a: &[S],
+        n: usize,
+        rcond: f64,
+        out: &mut [S],
+    ) -> Result<(), LinalgError> {
+        let _span = span_full!("jacobi", n = n);
+        grow(&mut self.jac_a, n * n, 0.0);
+        grow(&mut self.jac_out, n * n, 0.0);
+        let jac_a = &mut self.jac_a[..n * n];
+        for (dst, src) in jac_a.iter_mut().zip(a.iter()) {
+            *dst = src.to_f64();
+        }
+        // Mirror the lower triangle up, matching the other rungs.
+        for j in 0..n {
+            for i in j + 1..n {
+                jac_a[j + i * n] = jac_a[i + j * n];
+            }
+        }
+        let jac_out = &mut self.jac_out[..n * n];
+        sym_pinv_into(jac_a, n, rcond, &mut self.pinv, jac_out)?;
+        for (dst, src) in out.iter_mut().zip(jac_out.iter()) {
+            *dst = S::from_f64(*src);
+        }
+        Ok(())
+    }
+}
+
+impl<S: Scalar> Default for GramSolver<S> {
+    fn default() -> Self {
+        GramSolver::new()
+    }
+}
+
+/// Grow `v` to at least `len`, filling new slots with `fill`; never
+/// shrinks, so steady-state callers re-use capacity.
+fn grow<T: Clone>(v: &mut Vec<T>, len: usize, fill: T) {
+    if v.len() < len {
+        v.resize(len, fill);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut b = vec![0.0; n * n];
+        for v in b.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 32) as f64) - 0.5;
+        }
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[i + k * n] * b[j + k * n];
+                }
+                a[i + j * n] = s;
+            }
+        }
+        for i in 0..n {
+            a[i + i * n] += n as f64;
+        }
+        a
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn auto_uses_cholesky_on_well_conditioned_input() {
+        let n = 20;
+        let a = spd_matrix(n, 3);
+        let mut solver = GramSolver::<f64>::new();
+        let mut out = vec![0.0; n * n];
+        let v = solver.pinv_into(&a, n, 0.0, &mut out).unwrap();
+        assert_eq!(v, SolveVariant::Cholesky);
+        // out · a ≈ I
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += out[i + k * n] * a[k + j * n];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((s - want).abs() < 1e-9, "({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_escalates_to_evd_on_rank_deficient_input() {
+        // Rank-1 PSD: Cholesky fails, LDLT reports rank < n, EVD wins.
+        let n = 6;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i + j * n] = x[i] * x[j];
+            }
+        }
+        let mut solver = GramSolver::<f64>::new();
+        let mut out = vec![0.0; n * n];
+        let v = solver.pinv_into(&a, n, 0.0, &mut out).unwrap();
+        assert_eq!(v, SolveVariant::EvdPinv);
+        // Closed form: (x xᵀ)† = x xᵀ / ‖x‖⁴.
+        let norm4 = x.iter().map(|v| v * v).sum::<f64>().powi(2);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((out[i + j * n] - x[i] * x[j] / norm4).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_spd_input() {
+        let n = 16;
+        let a = spd_matrix(n, 9);
+        let mut reference = vec![0.0; n * n];
+        GramSolver::<f64>::with_policy(SolvePolicy::ForceJacobi)
+            .pinv_into(&a, n, 0.0, &mut reference)
+            .unwrap();
+        for policy in [
+            SolvePolicy::Auto,
+            SolvePolicy::ForceCholesky,
+            SolvePolicy::ForceLdlt,
+            SolvePolicy::ForceEvd,
+        ] {
+            let mut out = vec![0.0; n * n];
+            GramSolver::<f64>::with_policy(policy)
+                .pinv_into(&a, n, 0.0, &mut out)
+                .unwrap();
+            assert!(
+                max_abs_diff(&out, &reference) < 1e-10,
+                "policy {policy:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn force_cholesky_rejects_singular_input() {
+        let n = 3;
+        let a = vec![0.0; n * n];
+        let mut out = vec![0.0; n * n];
+        assert!(GramSolver::<f64>::with_policy(SolvePolicy::ForceCholesky)
+            .pinv_into(&a, n, 0.0, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn tight_cond_limit_escalates_past_cholesky() {
+        let n = 8;
+        let a = spd_matrix(n, 21);
+        let mut solver = GramSolver::<f64>::new();
+        solver.set_cond_limit(0.5); // impossible: κ ≥ 1 always
+        let mut out = vec![0.0; n * n];
+        let v = solver.pinv_into(&a, n, 0.0, &mut out).unwrap();
+        assert_eq!(v, SolveVariant::Ldlt);
+    }
+
+    #[test]
+    fn f32_solver_matches_f64_to_single_precision() {
+        let n = 10;
+        let a64 = spd_matrix(n, 31);
+        let a32: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+        let mut out64 = vec![0.0f64; n * n];
+        let mut out32 = vec![0.0f32; n * n];
+        GramSolver::<f64>::new()
+            .pinv_into(&a64, n, 0.0, &mut out64)
+            .unwrap();
+        GramSolver::<f32>::new()
+            .pinv_into(&a32, n, 0.0, &mut out32)
+            .unwrap();
+        for (x, y) in out32.iter().zip(&out64) {
+            assert!((*x as f64 - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn reserve_then_solve_is_allocation_stable() {
+        // Behavioural check (the real counting-allocator proof lives in
+        // the workspace-level tests): buffers must not shrink between
+        // calls of different sizes.
+        let mut solver = GramSolver::<f64>::new();
+        solver.reserve(12);
+        for n in [12usize, 5, 12] {
+            let a = spd_matrix(n, n as u64);
+            let mut out = vec![0.0; n * n];
+            solver.pinv_into(&a, n, 0.0, &mut out).unwrap();
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Ill-conditioned Gram solve tests: seeded SPD inputs with controlled
+//! condition numbers up to ~1e12, exact rank deficiency with a clean
+//! spectral gap, and the escalation policy's agreement with the Jacobi
+//! oracle.
+//!
+//! Spectra are planted explicitly as `A = Q·diag(λ)·Qᵀ` with `Q` a
+//! product of Householder reflectors, so both κ(A) and rank(A) are
+//! known exactly. Accuracy demands scale with conditioning: a fixed
+//! `1e-10` bound below κ ≈ 1e6, and a κ-proportional bound beyond
+//! (an inverse computed in f64 cannot beat ~κ·n·ε relative error, so
+//! asking for 1e-10 at κ = 1e12 would test nothing but luck).
+
+use mttkrp_linalg::{sym_pinv, GramSolver, LinalgError, SolvePolicy, SolveVariant};
+use mttkrp_rng::Rng64;
+
+fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for j in 0..n {
+        for p in 0..n {
+            let bpj = b[p + j * n];
+            for i in 0..n {
+                c[i + j * n] += a[i + p * n] * bpj;
+            }
+        }
+    }
+    c
+}
+
+/// Householder reflector `I − 2vvᵀ/‖v‖²` from a seeded random vector.
+fn householder(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    let v: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+    let vv: f64 = v.iter().map(|x| x * x).sum();
+    let mut h = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            h[i + j * n] = -2.0 * v[i] * v[j] / vv;
+        }
+        h[j + j * n] += 1.0;
+    }
+    h
+}
+
+/// Symmetric matrix with the exact spectrum `evals`: `Q·diag(λ)·Qᵀ`
+/// for `Q` a product of two Householder reflectors.
+fn planted_spectrum(rng: &mut Rng64, evals: &[f64]) -> Vec<f64> {
+    let n = evals.len();
+    let q = matmul(&householder(rng, n), &householder(rng, n), n);
+    let mut qd = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            qd[i + j * n] = q[i + j * n] * evals[j];
+        }
+    }
+    let mut qt = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            qt[i + j * n] = q[j + i * n];
+        }
+    }
+    let mut a = matmul(&qd, &qt, n);
+    // Force exact symmetry (the double matmul leaves ~ε skew).
+    for j in 0..n {
+        for i in 0..j {
+            let s = 0.5 * (a[i + j * n] + a[j + i * n]);
+            a[i + j * n] = s;
+            a[j + i * n] = s;
+        }
+    }
+    a
+}
+
+/// Geometric spectrum from 1 down to 1/κ.
+fn geometric_spectrum(n: usize, kappa: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| kappa.powf(-(i as f64) / (n as f64 - 1.0)))
+        .collect()
+}
+
+fn rel_frob_diff(x: &[f64], y: &[f64]) -> f64 {
+    let num: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = y.iter().map(|&v| v * v).sum::<f64>().sqrt();
+    num / den.max(f64::MIN_POSITIVE)
+}
+
+#[test]
+fn auto_solver_tracks_oracle_across_condition_numbers() {
+    let mut rng = Rng64::seed_from_u64(0x1CC0_0001);
+    let n = 24;
+    for &kappa in &[1e2, 1e4, 1e6, 1e8, 1e10, 1e12] {
+        let a = planted_spectrum(&mut rng, &geometric_spectrum(n, kappa));
+        let oracle = sym_pinv(&a, n, 0.0).unwrap();
+        let mut solver = GramSolver::new();
+        let mut out = vec![0.0; n * n];
+        let variant = solver.pinv_into(&a, n, 0.0, &mut out).unwrap();
+        // Below the condition limit the fast Cholesky rung must be
+        // taken; above it the solver must escalate off Cholesky.
+        if kappa <= 1e6 {
+            assert_eq!(variant, SolveVariant::Cholesky, "kappa = {kappa}");
+        } else if kappa >= 1e10 {
+            assert_ne!(variant, SolveVariant::Cholesky, "kappa = {kappa}");
+        }
+        // Fixed 1e-10 agreement while conditioning permits it, then a
+        // κ-scaled bound (both paths are exact to ~κ·n·ε).
+        let bound = (50.0 * kappa * n as f64 * f64::EPSILON).max(1e-10);
+        let diff = rel_frob_diff(&out, &oracle);
+        assert!(
+            diff <= bound,
+            "kappa = {kappa}: |auto - oracle| = {diff:.3e} > {bound:.3e} ({variant:?})"
+        );
+    }
+}
+
+#[test]
+fn rank_deficient_gram_recovers_oracle_pinv() {
+    let mut rng = Rng64::seed_from_u64(0x1CC0_0002);
+    let n = 16;
+    for &rank in &[1usize, 5, 12, 15] {
+        let mut evals = vec![0.0; n];
+        for (i, e) in evals.iter_mut().take(rank).enumerate() {
+            *e = 1.0 + i as f64 / rank as f64; // clean gap to the zeros
+        }
+        let a = planted_spectrum(&mut rng, &evals);
+        let oracle = sym_pinv(&a, n, 0.0).unwrap();
+        let mut solver = GramSolver::new();
+        let mut out = vec![0.0; n * n];
+        let variant = solver.pinv_into(&a, n, 0.0, &mut out).unwrap();
+        // Cholesky must fail and rank-deficient LDLT must be rejected,
+        // leaving the eigendecomposition pseudoinverse.
+        assert_eq!(variant, SolveVariant::EvdPinv, "rank = {rank}");
+        let diff = rel_frob_diff(&out, &oracle);
+        assert!(diff <= 1e-10, "rank = {rank}: |evd - jacobi| = {diff:.3e}");
+    }
+}
+
+#[test]
+fn escalated_pinv_satisfies_penrose_conditions() {
+    // Penrose 1 and 3 for A⁺ of a severely ill-conditioned *and*
+    // rank-deficient Gram: A·X·A = A and (A·X)ᵀ = A·X.
+    let mut rng = Rng64::seed_from_u64(0x1CC0_0003);
+    let n = 20;
+    let mut evals = geometric_spectrum(n, 1e9);
+    evals[n - 1] = 0.0;
+    evals[n - 2] = 0.0;
+    let a = planted_spectrum(&mut rng, &evals);
+    let mut solver = GramSolver::new();
+    let mut x = vec![0.0; n * n];
+    solver.pinv_into(&a, n, 1e-6, &mut x).unwrap();
+    let ax = matmul(&a, &x, n);
+    let axa = matmul(&ax, &a, n);
+    for i in 0..n * n {
+        assert!(
+            (axa[i] - a[i]).abs() <= 1e-6,
+            "Penrose 1 violated at {i}: {} vs {}",
+            axa[i],
+            a[i]
+        );
+    }
+    for j in 0..n {
+        for i in 0..n {
+            assert!(
+                (ax[i + j * n] - ax[j + i * n]).abs() <= 1e-6,
+                "A·X not symmetric at ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn escalation_selects_expected_variant_per_input() {
+    let mut rng = Rng64::seed_from_u64(0x1CC0_0004);
+    let n = 12;
+    let mut solver = GramSolver::new();
+    let mut out = vec![0.0; n * n];
+
+    // Well-conditioned: the Cholesky fast path.
+    let a = planted_spectrum(&mut rng, &geometric_spectrum(n, 1e3));
+    assert_eq!(
+        solver.pinv_into(&a, n, 0.0, &mut out).unwrap(),
+        SolveVariant::Cholesky
+    );
+
+    // κ above the default 1e8 limit but full rank: pivoted LDLT.
+    let a = planted_spectrum(&mut rng, &geometric_spectrum(n, 1e10));
+    assert_eq!(
+        solver.pinv_into(&a, n, 0.0, &mut out).unwrap(),
+        SolveVariant::Ldlt
+    );
+
+    // Exactly singular: the eigendecomposition pseudoinverse.
+    let mut evals = geometric_spectrum(n, 1e2);
+    evals[n - 1] = 0.0;
+    let a = planted_spectrum(&mut rng, &evals);
+    assert_eq!(
+        solver.pinv_into(&a, n, 0.0, &mut out).unwrap(),
+        SolveVariant::EvdPinv
+    );
+
+    // ForceCholesky on the singular input must surface the failure
+    // instead of silently escalating.
+    solver.set_policy(SolvePolicy::ForceCholesky);
+    assert!(matches!(
+        solver.pinv_into(&a, n, 0.0, &mut out),
+        Err(LinalgError::NotPositiveDefinite)
+    ));
+}
+
+#[test]
+fn f32_gram_solver_tracks_f64_oracle() {
+    let mut rng = Rng64::seed_from_u64(0x1CC0_0005);
+    let n = 16;
+    for &kappa in &[1e1, 1e3] {
+        let a64 = planted_spectrum(&mut rng, &geometric_spectrum(n, kappa));
+        let oracle = sym_pinv(&a64, n, 0.0).unwrap();
+        let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+        let mut solver: GramSolver<f32> = GramSolver::new();
+        let mut out = vec![0.0f32; n * n];
+        solver.pinv_into(&a32, n, 0.0, &mut out).unwrap();
+        let out64: Vec<f64> = out.iter().map(|&v| v as f64).collect();
+        let diff = rel_frob_diff(&out64, &oracle);
+        assert!(diff <= 1e-4, "kappa = {kappa}: f32 drift {diff:.3e}");
+    }
+}

@@ -38,8 +38,10 @@ pub mod dims;
 pub mod ops;
 pub mod permute;
 pub mod unfold;
+pub mod view;
 
 pub use dense::DenseTensor;
 pub use dims::{linear_index, multi_index, DimInfo};
 pub use permute::{invert_permutation, permute_modes};
 pub use unfold::ModeUnfolding;
+pub use view::TensorView;

@@ -7,51 +7,23 @@
 //! matricization equals the mode-0 matricization of the tensor
 //! permuted so that `n` comes first.
 
+use mttkrp_blas::Scalar;
+
 use crate::dense::DenseTensor;
 
 /// Return the tensor with modes reordered so that output mode `k` is
 /// input mode `perm[k]` (`Y(i_0, …) = X(i_{perm⁻¹(0)}, …)` — i.e.
 /// `y.dims()[k] == x.dims()[perm[k]]`).
 ///
+/// Implemented as a zero-copy stride-permuted
+/// [`TensorView`](crate::TensorView) followed by one materialization
+/// pass; callers that can walk strides directly should hold the view
+/// ([`DenseTensor::permuted_view`]) and skip the copy entirely.
+///
 /// # Panics
 /// Panics if `perm` is not a permutation of `0..N`.
-pub fn permute_modes(x: &DenseTensor, perm: &[usize]) -> DenseTensor {
-    let dims = x.dims();
-    let n = dims.len();
-    assert_eq!(perm.len(), n, "permutation length must equal order");
-    let mut seen = vec![false; n];
-    for &p in perm {
-        assert!(p < n, "permutation entry {p} out of range");
-        assert!(!seen[p], "duplicate permutation entry {p}");
-        seen[p] = true;
-    }
-
-    let out_dims: Vec<usize> = perm.iter().map(|&p| dims[p]).collect();
-    let mut out = DenseTensor::zeros(&out_dims);
-
-    // Walk the *output* in linear order; gather from the input. The
-    // input index along output mode k advances by the input stride of
-    // mode perm[k].
-    let in_info = x.info();
-    let strides: Vec<usize> = perm.iter().map(|&p| in_info.i_left(p)).collect();
-    let mut idx = vec![0usize; n];
-    let mut src = 0usize;
-    let data_in = x.data();
-    for slot in out.data_mut().iter_mut() {
-        *slot = data_in[src];
-        // Increment the output multi-index (mode 0 fastest), updating
-        // the gathered source offset incrementally.
-        for k in 0..n {
-            idx[k] += 1;
-            src += strides[k];
-            if idx[k] < out_dims[k] {
-                break;
-            }
-            src -= strides[k] * out_dims[k];
-            idx[k] = 0;
-        }
-    }
-    out
+pub fn permute_modes<S: Scalar>(x: &DenseTensor<S>, perm: &[usize]) -> DenseTensor<S> {
+    x.permuted_view(perm).materialize()
 }
 
 /// Inverse of a permutation (`inv[perm[k]] == k`).
@@ -134,5 +106,28 @@ mod tests {
     fn rejects_non_permutation() {
         let x = iota(&[2, 2]);
         let _ = permute_modes(&x, &[0, 0]);
+    }
+
+    #[test]
+    fn f32_entries_map_correctly() {
+        let x: DenseTensor<f32> = iota(&[2, 3, 4]).cast();
+        let y = permute_modes(&x, &[2, 0, 1]);
+        assert_eq!(y.dims(), &[4, 2, 3]);
+        for i0 in 0..2 {
+            for i1 in 0..3 {
+                for i2 in 0..4 {
+                    assert_eq!(y.get(&[i2, i0, i1]), x.get(&[i0, i1, i2]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_double_permutation_round_trips() {
+        let x: DenseTensor<f32> = iota(&[3, 2, 4, 2]).cast();
+        let perm = [2usize, 0, 3, 1];
+        let y = permute_modes(&x, &perm);
+        let back = permute_modes(&y, &invert_permutation(&perm));
+        assert_eq!(back, x);
     }
 }

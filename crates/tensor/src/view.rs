@@ -1,0 +1,287 @@
+//! Zero-copy strided tensor views.
+//!
+//! A [`TensorView`] pairs a borrowed entry buffer with per-mode strides,
+//! generalizing [`mttkrp_blas::MatRef`] from two modes to `N`. Its key
+//! use is *stride-permuted* access: [`TensorView::permute`] reorders
+//! modes by permuting the stride table — no entries move — so a consumer
+//! that can walk arbitrary strides (or only needs a few entries) skips
+//! the explicit transposition entirely, and one that does need
+//! contiguous data calls [`TensorView::materialize`] exactly once, at
+//! the end of any chain of permutations.
+
+use mttkrp_blas::Scalar;
+
+use crate::dense::DenseTensor;
+use crate::dims::DimInfo;
+
+/// Borrowed `N`-way tensor view with explicit per-mode element strides.
+///
+/// Mode `k` of the view has extent `dims[k]` and advancing its index by
+/// one moves `strides[k]` elements in the underlying buffer. A freshly
+/// created view of a [`DenseTensor`] is in the natural linearization
+/// (mode 0 fastest); permuted views generally are not.
+#[derive(Debug, Clone)]
+pub struct TensorView<'a, S: Scalar = f64> {
+    data: &'a [S],
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl<'a, S: Scalar> TensorView<'a, S> {
+    /// View over `data` with explicit shape and element strides.
+    ///
+    /// # Panics
+    /// Panics if the extremal reachable offset is out of bounds for
+    /// `data`, or if `dims` and `strides` disagree in length.
+    pub fn from_parts(data: &'a [S], dims: &[usize], strides: &[usize]) -> Self {
+        assert_eq!(dims.len(), strides.len(), "one stride per mode");
+        let max_off: usize = dims
+            .iter()
+            .zip(strides)
+            .map(|(&d, &s)| d.saturating_sub(1) * s)
+            .sum();
+        assert!(
+            dims.iter().product::<usize>() == 0 || max_off < data.len(),
+            "view exceeds buffer: max offset {max_off} vs len {}",
+            data.len()
+        );
+        TensorView {
+            data,
+            dims: dims.to_vec(),
+            strides: strides.to_vec(),
+        }
+    }
+
+    /// Dimension list.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Per-mode element strides.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the view has zero entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry at a multi-index.
+    ///
+    /// # Panics
+    /// Panics if the index arity or any component is out of range.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> S {
+        assert_eq!(idx.len(), self.order(), "index arity must match order");
+        let mut off = 0usize;
+        for ((&i, &d), &s) in idx.iter().zip(&self.dims).zip(&self.strides) {
+            assert!(i < d, "index {i} out of range for extent {d}");
+            off += i * s;
+        }
+        self.data[off]
+    }
+
+    /// Stride-permuted view: output mode `k` is input mode `perm[k]`
+    /// (`view.permute(perm).dims()[k] == view.dims()[perm[k]]`), with
+    /// no entry movement — only the dims/strides tables are reordered.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..N`.
+    pub fn permute(&self, perm: &[usize]) -> TensorView<'a, S> {
+        let n = self.order();
+        assert_eq!(perm.len(), n, "permutation length must equal order");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n, "permutation entry {p} out of range");
+            assert!(!seen[p], "duplicate permutation entry {p}");
+            seen[p] = true;
+        }
+        TensorView {
+            data: self.data,
+            dims: perm.iter().map(|&p| self.dims[p]).collect(),
+            strides: perm.iter().map(|&p| self.strides[p]).collect(),
+        }
+    }
+
+    /// Copy the view into a fresh [`DenseTensor`] in the natural
+    /// linearization of the *view's* mode order.
+    ///
+    /// The output is walked linearly; the source offset advances by the
+    /// view strides. When the view's first mode is unit-stride (e.g. an
+    /// unpermuted leading mode), whole mode-0 runs are copied with
+    /// `copy_from_slice` instead of entry-at-a-time gathers.
+    pub fn materialize(&self) -> DenseTensor<S> {
+        let mut out = DenseTensor::zeros(&self.dims);
+        if self.is_empty() {
+            return out;
+        }
+        let n = self.order();
+        let contiguous0 = self.strides[0] == 1;
+        let (run, carry_from) = if contiguous0 {
+            (self.dims[0], 1)
+        } else {
+            (1, 0)
+        };
+        let mut idx = vec![0usize; n];
+        let out_data = out.data_mut();
+        let mut dst = 0usize;
+        while dst < out_data.len() {
+            let src: usize = idx.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum();
+            if contiguous0 {
+                out_data[dst..dst + run].copy_from_slice(&self.data[src..src + run]);
+            } else {
+                out_data[dst] = self.data[src];
+            }
+            dst += run;
+            // Odometer increment over the non-run modes (the per-run
+            // offset recomputation above is O(N), dwarfed by the copy).
+            for k in carry_from..n {
+                idx[k] += 1;
+                if idx[k] < self.dims[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+        out
+    }
+}
+
+impl<S: Scalar> DenseTensor<S> {
+    /// Zero-copy [`TensorView`] of the whole tensor in its natural
+    /// linearization (mode 0 fastest).
+    pub fn view(&self) -> TensorView<'_, S> {
+        let info: &DimInfo = self.info();
+        let n = self.order();
+        let strides: Vec<usize> = (0..n).map(|k| info.i_left(k)).collect();
+        TensorView {
+            data: self.data(),
+            dims: self.dims().to_vec(),
+            strides,
+        }
+    }
+
+    /// Zero-copy stride-permuted view: mode `k` of the view is mode
+    /// `perm[k]` of the tensor. Equivalent to
+    /// `self.view().permute(perm)`.
+    pub fn permuted_view(&self, perm: &[usize]) -> TensorView<'_, S> {
+        self.view().permute(perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(dims: &[usize]) -> DenseTensor {
+        let mut c = -1.0;
+        DenseTensor::from_fn(dims, || {
+            c += 1.0;
+            c
+        })
+    }
+
+    #[test]
+    fn view_get_matches_tensor_get() {
+        let x = iota(&[3, 4, 2]);
+        let v = x.view();
+        for i0 in 0..3 {
+            for i1 in 0..4 {
+                for i2 in 0..2 {
+                    assert_eq!(v.get(&[i0, i1, i2]), x.get(&[i0, i1, i2]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_view_reindexes_without_copy() {
+        let x = iota(&[2, 3, 4]);
+        let v = x.permuted_view(&[2, 0, 1]);
+        assert_eq!(v.dims(), &[4, 2, 3]);
+        for i0 in 0..2 {
+            for i1 in 0..3 {
+                for i2 in 0..4 {
+                    assert_eq!(v.get(&[i2, i0, i1]), x.get(&[i0, i1, i2]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_of_identity_view_is_clone() {
+        let x = iota(&[3, 2, 4]);
+        assert_eq!(x.view().materialize(), x);
+    }
+
+    #[test]
+    fn materialize_of_permuted_view_matches_gets() {
+        let x = iota(&[3, 2, 4, 2]);
+        let perm = [1usize, 3, 0, 2];
+        let y = x.permuted_view(&perm).materialize();
+        assert_eq!(y.dims(), &[2, 2, 3, 4]);
+        for i0 in 0..3 {
+            for i1 in 0..2 {
+                for i2 in 0..4 {
+                    for i3 in 0..2 {
+                        assert_eq!(y.get(&[i1, i3, i0, i2]), x.get(&[i0, i1, i2, i3]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_permutation_composes() {
+        let x = iota(&[2, 3, 4]);
+        let v = x.permuted_view(&[2, 0, 1]).permute(&[1, 2, 0]);
+        // First permute: dims (4,2,3) where view(a,b,c) = x(b,c,a).
+        // Second: dims (2,3,4), view(b,c,a) = x(b,c,a) — identity again.
+        assert_eq!(v.dims(), x.dims());
+        assert_eq!(v.materialize(), x);
+    }
+
+    #[test]
+    fn f32_views_work() {
+        let x64 = iota(&[3, 2, 2]);
+        let x: DenseTensor<f32> = x64.cast();
+        let y = x.permuted_view(&[1, 0, 2]).materialize();
+        for i0 in 0..3 {
+            for i1 in 0..2 {
+                for i2 in 0..2 {
+                    assert_eq!(y.get(&[i1, i0, i2]), x.get(&[i0, i1, i2]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate permutation entry")]
+    fn rejects_duplicate_permutation() {
+        let x = iota(&[2, 2]);
+        let _ = x.permuted_view(&[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "view exceeds buffer")]
+    fn from_parts_rejects_oversized_view() {
+        let data = [0.0f64; 4];
+        let _ = TensorView::from_parts(&data, &[2, 3], &[1, 2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Allocation accounting for CP-ALS when the Gram solve *escalates*.
+//!
+//! `tests/cpals_alloc.rs` proves the steady-state sweep is
+//! allocation-free on the Cholesky fast path. This twin forces the
+//! worst case: an exactly rank-deficient model (duplicated factor
+//! columns) makes every per-mode Gram Hadamard singular, so the solver
+//! walks the whole escalation ladder — failed Cholesky, rejected
+//! rank-deficient LDLT, eigendecomposition pseudoinverse — on every
+//! solve. `GramSolver::reserve` pre-warms all rungs, so even this path
+//! must not touch the heap once warm.
+//!
+//! Single-test binary for the same reason as its twin: the counting
+//! allocator's counters are process globals.
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+
+use counting_alloc::{counted, CountingAlloc};
+use mttkrp_repro::cpals::{CpAlsOptions, CpAlsSweep, KruskalModel, MttkrpStrategy};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::tensor::DenseTensor;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_escalated_solve_does_not_allocate() {
+    let dims = [8usize, 6, 5];
+    let c = 4;
+    let mut rng = Rng64::seed_from_u64(0xA110_C003);
+    let total: usize = dims.iter().product();
+    let x = DenseTensor::from_vec(&dims, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+    let pool = ThreadPool::new(1);
+
+    // Duplicate the last factor column onto the first in every mode:
+    // each Gram U_kᵀU_k (hence every Hadamard product H) has two
+    // identical rows/columns and is exactly singular, forcing the
+    // EVD-pinv rung of the escalation ladder each mode update.
+    let mut init = KruskalModel::random(&dims, c, 99);
+    for (f, &d) in init.factors.iter_mut().zip(&dims) {
+        for i in 0..d {
+            f[i * c] = f[i * c + (c - 1)];
+        }
+    }
+
+    let opts = CpAlsOptions {
+        max_iters: 10,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
+    let mut sweep = CpAlsSweep::new(&pool, &x, init, &opts);
+    let (warm_fit, _) = sweep.sweep(&pool, &x);
+    assert!(warm_fit.is_finite());
+    let (calls, bytes) = counted(|| {
+        let (fit1, _) = sweep.sweep(&pool, &x);
+        let (fit2, _) = sweep.sweep(&pool, &x);
+        assert!(fit1.is_finite() && fit2.is_finite());
+    });
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "steady-state escalated cp_als iteration allocated"
+    );
+}
