@@ -85,33 +85,42 @@ pub fn gemm_with<S: Scalar>(
     });
 }
 
-/// Per-tier GEMM call/byte counters, recorded only under `--metrics`
-/// (`MTTKRP_METRICS=1`). Bytes model each operand touched once:
-/// `(m·k + k·n + 2·m·n) · sizeof(S)` (read + write of C).
+/// Per-tier GEMM call/byte/flop counters, recorded only under
+/// `--metrics` (`MTTKRP_METRICS=1`). Bytes model each operand touched
+/// once: `(m·k + k·n + 2·m·n) · sizeof(S)` (read + write of C); flops
+/// are the exact `2·m·n·k`. Together the pair is what the roofline
+/// attribution (`mttkrp-tune`'s perf-report bridge) divides by the
+/// measured GEMM seconds.
 fn record_gemm_metrics<S: Scalar>(tier: crate::KernelTier, m: usize, n: usize, k: usize) {
     let bytes = ((m * k + k * n + 2 * m * n) * std::mem::size_of::<S>()) as u64;
-    // One statically-named counter pair per tier keeps the handles
+    let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    // One statically-named counter triple per tier keeps the handles
     // cacheable per call site.
-    let (calls, moved) = match tier {
+    let (calls, moved, work) = match tier {
         crate::KernelTier::Scalar => (
             mttkrp_obs::counter!("blas.gemm_calls.scalar"),
             mttkrp_obs::counter!("blas.gemm_bytes.scalar"),
+            mttkrp_obs::counter!("blas.gemm_flops.scalar"),
         ),
         crate::KernelTier::Avx2 => (
             mttkrp_obs::counter!("blas.gemm_calls.avx2"),
             mttkrp_obs::counter!("blas.gemm_bytes.avx2"),
+            mttkrp_obs::counter!("blas.gemm_flops.avx2"),
         ),
         crate::KernelTier::Avx512 => (
             mttkrp_obs::counter!("blas.gemm_calls.avx512"),
             mttkrp_obs::counter!("blas.gemm_bytes.avx512"),
+            mttkrp_obs::counter!("blas.gemm_flops.avx512"),
         ),
         crate::KernelTier::Neon => (
             mttkrp_obs::counter!("blas.gemm_calls.neon"),
             mttkrp_obs::counter!("blas.gemm_bytes.neon"),
+            mttkrp_obs::counter!("blas.gemm_flops.neon"),
         ),
     };
     calls.incr();
     moved.add(bytes);
+    work.add(flops);
 }
 
 /// Unpacked accumulation kernel for small problems:

@@ -18,10 +18,37 @@
 //!   also measured, how often the plan's choice was the empirically
 //!   faster algorithm (the paper's machine-model claim, and the ≥ 80%
 //!   acceptance bar of the tuning subsystem).
+//!
+//! ## Model-drift detection
+//!
+//! A calibrated profile goes stale — the machine changes (frequency
+//! policy, contention, a migrated VM) and the model's predictions
+//! quietly stop matching the clock. The log keeps a sliding window
+//! ([`DRIFT_WINDOW`]) of the most recent per-record prediction errors;
+//! when at least [`DRIFT_MIN_SAMPLES`] are in the window and their
+//! mean exceeds [`DRIFT_FACTOR`] × the calibration-time baseline error
+//! ([`ChoiceLog::set_baseline_error`], typically the profile's
+//! `calib_err`; [`DEFAULT_BASELINE_ERROR`] otherwise), the log is
+//! *drifted*: each transition into that state bumps the
+//! `core.model_drift` counter, and [`ChoiceLog::drift_advisory`]
+//! yields the "recalibrate" line the perf report and CLI footers
+//! surface.
+
+use std::collections::VecDeque;
 
 use crate::breakdown::Breakdown;
 use crate::model::ModeCost;
 use crate::plan::{MttkrpPlan, PlannedAlgo};
+
+/// Sliding-window length (records with predictions) drift is judged on.
+pub const DRIFT_WINDOW: usize = 8;
+/// Minimum predictions in the window before drift can trigger.
+pub const DRIFT_MIN_SAMPLES: usize = 4;
+/// Drift threshold: windowed mean error > this factor × baseline.
+pub const DRIFT_FACTOR: f64 = 2.0;
+/// Baseline relative error assumed when no calibration-time error is
+/// known (quick profiles routinely sit near 25%).
+pub const DEFAULT_BASELINE_ERROR: f64 = 0.25;
 
 /// One observed plan execution (or one sweep configuration): what the
 /// plan chose, what the model predicted, what the clock said.
@@ -85,10 +112,14 @@ impl ChoiceRecord {
 }
 
 /// An append-only log of [`ChoiceRecord`]s with aggregate accuracy
-/// queries. See the [module docs](self).
+/// queries and sliding-window drift detection. See the
+/// [module docs](self).
 #[derive(Debug, Default)]
 pub struct ChoiceLog {
     records: Vec<ChoiceRecord>,
+    baseline_error: Option<f64>,
+    window: VecDeque<f64>,
+    drifted_now: bool,
 }
 
 impl ChoiceLog {
@@ -111,7 +142,7 @@ impl ChoiceLog {
     }
 
     fn push_record(&mut self, plan: &MttkrpPlan, measured: f64, measured_other: Option<f64>) {
-        let rec = ChoiceRecord {
+        self.push(ChoiceRecord {
             dims: plan.dims().to_vec(),
             rank: plan.rank(),
             mode: plan.mode(),
@@ -120,12 +151,79 @@ impl ChoiceLog {
             predicted: plan.predicted_times(),
             measured,
             measured_other,
-        };
+        });
+    }
+
+    /// Append an externally-built record (callers that measured a run
+    /// without an `MttkrpPlan` in hand — the tune perf-report bridge
+    /// reconstructs records from CP-ALS breakdowns this way). Updates
+    /// the aggregate counters and the drift window exactly like
+    /// [`ChoiceLog::record`].
+    pub fn push(&mut self, rec: ChoiceRecord) {
         mttkrp_obs::counter!("core.choice_records").incr();
         if rec.choice_was_fastest() == Some(true) {
             mttkrp_obs::counter!("core.choice_agree").incr();
         }
+        if let Some(err) = rec.prediction_error() {
+            if self.window.len() == DRIFT_WINDOW {
+                self.window.pop_front();
+            }
+            self.window.push_back(err);
+            let now = self.window.len() >= DRIFT_MIN_SAMPLES
+                && self.window_error().is_some_and(|w| {
+                    w > DRIFT_FACTOR * self.baseline_error.unwrap_or(DEFAULT_BASELINE_ERROR)
+                });
+            if now && !self.drifted_now {
+                mttkrp_obs::counter!("core.model_drift").incr();
+            }
+            self.drifted_now = now;
+        }
         self.records.push(rec);
+    }
+
+    /// Set the calibration-time mean prediction error the drift
+    /// threshold is relative to (a loaded profile's `calib_err`).
+    /// Without it, [`DEFAULT_BASELINE_ERROR`] applies. Set this before
+    /// recording — the window is judged at push time.
+    pub fn set_baseline_error(&mut self, err: f64) {
+        if err.is_finite() && err > 0.0 {
+            self.baseline_error = Some(err);
+        }
+    }
+
+    /// The configured baseline error, if any.
+    pub fn baseline_error(&self) -> Option<f64> {
+        self.baseline_error
+    }
+
+    /// Mean relative prediction error over the sliding window (at most
+    /// the last [`DRIFT_WINDOW`] predicted records); `None` while no
+    /// predicted record has been pushed.
+    pub fn window_error(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+    }
+
+    /// Whether the log is currently in the drifted state.
+    pub fn drifted(&self) -> bool {
+        self.drifted_now
+    }
+
+    /// The "recalibrate" advisory when drifted, `None` otherwise.
+    pub fn drift_advisory(&self) -> Option<String> {
+        if !self.drifted_now {
+            return None;
+        }
+        let w = self.window_error()?;
+        let base = self.baseline_error.unwrap_or(DEFAULT_BASELINE_ERROR);
+        Some(format!(
+            "recalibrate: model drift detected — windowed prediction error {:.0}% exceeds \
+             {DRIFT_FACTOR}x the calibration baseline {:.0}% (rerun `tensorcp tune`)",
+            w * 100.0,
+            base * 100.0
+        ))
     }
 
     /// All recorded executions, in insertion order.
@@ -203,6 +301,9 @@ impl ChoiceLog {
         if let Some(e) = self.mean_prediction_error() {
             let _ = writeln!(s, "mean-prediction-error,{:.1}%", e * 100.0);
         }
+        if let Some(a) = self.drift_advisory() {
+            let _ = writeln!(s, "advisory,{a}");
+        }
         s
     }
 
@@ -226,6 +327,9 @@ impl ChoiceLog {
             "  \"mean_prediction_error\": {},",
             opt(self.mean_prediction_error())
         );
+        let _ = writeln!(s, "  \"baseline_error\": {},", opt(self.baseline_error()));
+        let _ = writeln!(s, "  \"window_error\": {},", opt(self.window_error()));
+        let _ = writeln!(s, "  \"drift\": {},", self.drifted_now);
         s.push_str("  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             let dims = r
@@ -382,5 +486,89 @@ mod tests {
         assert!(log.records()[0].predicted.is_none());
         assert!(log.records()[0].prediction_error().is_none());
         assert!(log.mean_prediction_error().is_none());
+    }
+
+    /// A synthetic record whose prediction error is exactly `err`
+    /// (prediction `1+err`, measurement `1`).
+    fn rec_with_error(err: f64) -> ChoiceRecord {
+        ChoiceRecord {
+            dims: vec![4, 3, 2],
+            rank: 2,
+            mode: 0,
+            threads: 1,
+            algo: PlannedAlgo::OneStepExternal,
+            predicted: Some(ModeCost {
+                one_step: 1.0 + err,
+                two_step: 9.0,
+                fused: None,
+            }),
+            measured: 1.0,
+            measured_other: None,
+        }
+    }
+
+    #[test]
+    fn drift_requires_min_samples_and_sustained_error() {
+        let mut log = ChoiceLog::new();
+        log.set_baseline_error(0.10); // threshold: windowed mean > 20%
+        for _ in 0..DRIFT_MIN_SAMPLES - 1 {
+            log.push(rec_with_error(0.50));
+            assert!(!log.drifted(), "below the minimum sample count");
+        }
+        log.push(rec_with_error(0.50));
+        assert!(log.drifted(), "4 records at 50% error vs 10% baseline");
+        let adv = log.drift_advisory().expect("advisory present when drifted");
+        assert!(adv.contains("recalibrate"), "{adv}");
+        assert!(
+            log.summary().contains("advisory,recalibrate"),
+            "{}",
+            log.summary()
+        );
+        assert!(log.to_json().contains("\"drift\": true"));
+    }
+
+    #[test]
+    fn accurate_predictions_never_drift() {
+        let mut log = ChoiceLog::new();
+        log.set_baseline_error(0.10);
+        for _ in 0..3 * DRIFT_WINDOW {
+            log.push(rec_with_error(0.15)); // below 2× baseline
+        }
+        assert!(!log.drifted());
+        assert!(log.drift_advisory().is_none());
+        assert!(log.to_json().contains("\"drift\": false"));
+    }
+
+    #[test]
+    fn drift_window_slides_and_recovers() {
+        let mut log = ChoiceLog::new();
+        log.set_baseline_error(0.10);
+        for _ in 0..DRIFT_WINDOW {
+            log.push(rec_with_error(1.0));
+        }
+        assert!(log.drifted());
+        // A full window of accurate predictions flushes the bad ones.
+        for _ in 0..DRIFT_WINDOW {
+            log.push(rec_with_error(0.05));
+        }
+        assert!(!log.drifted(), "window slid past the drifted region");
+        let w = log.window_error().unwrap();
+        assert!((w - 0.05).abs() < 1e-12, "window mean {w}");
+    }
+
+    #[test]
+    fn default_baseline_applies_when_unset() {
+        let mut log = ChoiceLog::new();
+        assert!(log.baseline_error().is_none());
+        for _ in 0..DRIFT_WINDOW {
+            // 2× default (0.25) exactly is not "above"; 0.6 is.
+            log.push(rec_with_error(0.6));
+        }
+        assert!(log.drifted(), "0.6 > 2x the 0.25 default baseline");
+        let mut calm = ChoiceLog::new();
+        for _ in 0..DRIFT_WINDOW {
+            calm.push(rec_with_error(0.4)); // under 2x default
+        }
+        assert!(!calm.drifted());
     }
 }

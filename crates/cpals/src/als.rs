@@ -88,6 +88,11 @@ pub struct CpAlsReport {
     pub mttkrp_time: f64,
     /// Accumulated MTTKRP phase breakdown over all modes and iterations.
     pub breakdown: Breakdown,
+    /// Per-mode accumulated MTTKRP breakdowns (index = mode) over all
+    /// iterations — what the roofline perf report attributes. Empty
+    /// for drivers whose MTTKRP work is shared across modes and cannot
+    /// be attributed per mode (the dimension-tree driver).
+    pub mode_breakdowns: Vec<Breakdown>,
     /// Whether the tolerance was met before `max_iters`.
     pub converged: bool,
 }
@@ -162,6 +167,7 @@ pub fn cp_als<X: MttkrpBackend>(
         iter_times: Vec::with_capacity(opts.max_iters),
         mttkrp_time: 0.0,
         breakdown: Breakdown::default(),
+        mode_breakdowns: Vec::new(),
         converged: false,
     };
     let mut prev_fit = f64::NEG_INFINITY;
@@ -182,6 +188,7 @@ pub fn cp_als<X: MttkrpBackend>(
         prev_fit = fit;
     }
 
+    report.mode_breakdowns = sweep.mode_breakdowns().to_vec();
     (sweep.into_model(), report)
 }
 
@@ -211,6 +218,9 @@ pub struct CpAlsSweep<X: MttkrpBackend> {
     last_mode_m: Vec<X::Elem>,
     /// `c × c` scratch for the model-norm Gram Hadamard.
     norm_had: Vec<f64>,
+    /// Per-mode accumulated MTTKRP breakdowns (pre-allocated so the
+    /// steady-state sweep stays allocation-free).
+    mode_bd: Vec<Breakdown>,
 }
 
 impl<X: MttkrpBackend> CpAlsSweep<X> {
@@ -257,8 +267,16 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
             m_buf: vec![<X::Elem as Scalar>::ZERO; dims.iter().copied().max().unwrap_or(0) * c],
             last_mode_m: vec![<X::Elem as Scalar>::ZERO; dims[nmodes - 1] * c],
             norm_had: vec![0.0; c * c],
+            mode_bd: vec![Breakdown::default(); nmodes],
             model,
         }
+    }
+
+    /// Per-mode accumulated MTTKRP breakdowns over every sweep so far
+    /// (index = mode) — the raw material of the roofline perf report.
+    #[inline]
+    pub fn mode_breakdowns(&self) -> &[Breakdown] {
+        &self.mode_bd
     }
 
     /// The current model.
@@ -299,6 +317,7 @@ impl<X: MttkrpBackend> CpAlsSweep<X> {
                     .with_factor_refs(|refs| x.mttkrp_planned(plans, pool, refs, n, m))
             };
             sweep_bd.accumulate(&bd);
+            self.mode_bd[n].accumulate(&bd);
 
             if n == nmodes - 1 {
                 self.last_mode_m.copy_from_slice(m);

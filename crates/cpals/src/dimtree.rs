@@ -68,6 +68,9 @@ pub fn cp_als_dimtree(
         iter_times: Vec::new(),
         mttkrp_time: 0.0,
         breakdown: Breakdown::default(),
+        // The group GEMMs are shared across modes, so there is no
+        // honest per-mode attribution here — left empty by design.
+        mode_breakdowns: Vec::new(),
         converged: false,
     };
     let mut prev_fit = f64::NEG_INFINITY;

@@ -75,6 +75,7 @@ pub fn cp_als_nn(
         iter_times: Vec::new(),
         mttkrp_time: 0.0,
         breakdown: Breakdown::default(),
+        mode_breakdowns: vec![Breakdown::default(); nmodes],
         converged: false,
     };
     let mut m_buf = vec![0.0; dims.iter().copied().max().unwrap() * c];
@@ -97,6 +98,7 @@ pub fn cp_als_nn(
             };
             report.mttkrp_time += bd.total;
             report.breakdown.accumulate(&bd);
+            report.mode_breakdowns[n].accumulate(&bd);
 
             if n == nmodes - 1 {
                 last_mode_m.copy_from_slice(m);

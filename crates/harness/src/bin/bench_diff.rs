@@ -1,0 +1,107 @@
+//! `bench-diff` — compare two `mttkrp-bench-v1` reports and gate on
+//! regressions.
+//!
+//! ```text
+//! bench-diff baseline.json candidate.json [--json OUT] [--tolerance PCT] [--advisory]
+//! ```
+//!
+//! Loads both reports, matches records by identity (section rows by
+//! their id, top-level scalars by name), applies the per-metric
+//! tolerance rules from `mttkrp_obs::BenchDiff` (throughput and
+//! time metrics gate at `--tolerance` percent, default 15; error/
+//! residual metrics get a wide 20x multiplier; identity fields must
+//! match exactly), prints the human-readable verdict, and exits 1 when
+//! any gated metric regressed — the perf-gate CI leg is exactly this
+//! binary. `--advisory` reports the same verdict but always exits 0
+//! (for cross-host comparisons where the gate would be noise);
+//! `--json OUT` additionally writes the `mttkrp-benchdiff-v1`
+//! envelope.
+
+use std::process::exit;
+
+use mttkrp_obs::BenchDiff;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+
+    let mut paths: Vec<&str> = Vec::new();
+    let mut json_out: Option<&str> = None;
+    let mut tolerance = BenchDiff::DEFAULT_TOLERANCE_PCT;
+    let mut advisory = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(v) = args.get(i + 1) else {
+                    die("--json needs a FILE");
+                };
+                json_out = Some(v);
+                i += 2;
+            }
+            "--tolerance" => {
+                let parsed = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
+                let Some(pct) = parsed.filter(|p| p.is_finite() && *p >= 0.0) else {
+                    die("--tolerance needs a nonnegative percentage");
+                };
+                tolerance = pct;
+                i += 2;
+            }
+            "--advisory" => {
+                advisory = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                die(&format!("unknown flag {flag:?}"));
+            }
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    let [baseline, candidate] = paths[..] else {
+        die("expected exactly two report files: bench-diff BASELINE CANDIDATE");
+    };
+
+    let diff = match BenchDiff::load(baseline, candidate) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            exit(2);
+        }
+    };
+    print!("{}", diff.text(tolerance));
+    if let Some(out) = json_out {
+        if let Err(e) = std::fs::write(out, diff.to_json(tolerance)) {
+            eprintln!("bench-diff: cannot write {out}: {e}");
+            exit(2);
+        }
+        println!("verdict written: {out} ({})", BenchDiff::SCHEMA);
+    }
+    if !diff.pass(tolerance) && !advisory {
+        exit(1);
+    }
+}
+
+fn usage() {
+    println!(
+        "bench-diff — compare two mttkrp-bench-v1 reports\n\
+         usage: bench-diff BASELINE.json CANDIDATE.json\n\
+                [--json OUT]        also write the mttkrp-benchdiff-v1 verdict\n\
+                [--tolerance PCT]   gate threshold (default {}%)\n\
+                [--advisory]        print the verdict but always exit 0\n\
+         exits 1 when any gated metric regressed beyond tolerance,\n\
+         2 on malformed input",
+        BenchDiff::DEFAULT_TOLERANCE_PCT
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench-diff: {msg}");
+    usage();
+    exit(2);
+}

@@ -36,12 +36,19 @@
 //! Gram/solve, OOC prefetch — and write them as chrome-trace JSON,
 //! viewable in Perfetto) and `--metrics` (enable the process-wide
 //! metrics registry and print its text dump after the command).
+//! `decompose --perf-report FILE` additionally prices the sweep's
+//! per-mode MTTKRP breakdowns against the loaded tuning profile's
+//! bandwidth/compute roofs and writes the `mttkrp-perf-v1` report
+//! (requires `MTTKRP_TUNE_PROFILE`; in-core `als`/`nn` only).
 
 use std::collections::HashMap;
 use std::process::exit;
 
 use mttkrp_blas::{Dtype, Layout, MatRef, Scalar};
-use mttkrp_core::{mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, TwoStepSide};
+use mttkrp_core::{
+    mttkrp_1step_timed, mttkrp_2step_timed, mttkrp_explicit_timed, AlgoChoice, MttkrpPlan,
+    TwoStepSide,
+};
 use mttkrp_cpals::{
     cp_als, cp_als_dimtree, cp_als_nn, CpAlsOptions, CpAlsReport, KruskalModel, MttkrpStrategy,
 };
@@ -94,7 +101,8 @@ fn main() {
         mttkrp_obs::set_trace_level(mttkrp_obs::TraceLevel::Full);
     }
     let want_metrics = opts.contains_key("metrics");
-    if want_metrics {
+    let want_prom = opts.contains_key("metrics-prom");
+    if want_metrics || want_prom {
         mttkrp_obs::set_metrics_enabled(true);
     }
     let result = match cmd.as_str() {
@@ -130,6 +138,9 @@ fn main() {
     if want_metrics {
         print!("{}", mttkrp_obs::registry().text_dump());
     }
+    if want_prom {
+        print!("{}", mttkrp_obs::render_prometheus());
+    }
 }
 
 fn usage() {
@@ -144,6 +155,8 @@ fn usage() {
            decompose  --input FILE --rank R [--method als|nn|dimtree]\n\
                       [--iters N] [--tol T] [--threads T] [--model-out FILE]\n\
                       [--dtype f32|f64] (default: the file's stored dtype)\n\
+                      [--perf-report FILE] (roofline attribution of the sweep;\n\
+                      needs a tuning profile, in-core als|nn only)\n\
                       [--ooc [--budget-mb N] [--tile AxBxC]]  (stream from disk)\n\
            info       --input FILE   (dense .mtkt or tile-store .mttb)\n\
            profile    --input FILE [--rank R] [--threads T] [--dtype f32|f64]\n\
@@ -152,8 +165,9 @@ fn usage() {
          every command accepts --kernel auto|scalar|avx2|avx512|neon\n\
          (hardware dispatch tier; default auto = best supported),\n\
          --trace-out FILE (record spans, write chrome-trace JSON; implies\n\
-         MTTKRP_TRACE=full unless the env var pins a level), and\n\
-         --metrics (enable + print the metrics registry after the command);\n\
+         MTTKRP_TRACE=full unless the env var pins a level),\n\
+         --metrics (enable + print the metrics registry after the command),\n\
+         and --metrics-prom (same, in Prometheus text exposition);\n\
          f32 runs store in binary32 but keep f64 accumulators in every\n\
          reduction; the out-of-core (--ooc) paths are f64-only;\n\
          the out-of-core budget falls back to MTTKRP_OOC_BUDGET, then 256 MB;\n\
@@ -443,8 +457,14 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
         strategy: MttkrpStrategy::Tuned,
     };
     let method = opts.get("method").map(|s| s.as_str()).unwrap_or("als");
+    let perf_out = opts.get("perf-report").cloned();
 
     if opts.contains_key("ooc") {
+        if perf_out.is_some() {
+            // The roofline model prices in-core operand traffic; tiled
+            // streaming has a different (prefetch-overlapped) profile.
+            eprintln!("note: --perf-report covers in-core decompositions only; skipping it here");
+        }
         if method != "als" {
             return Err(format!("--ooc supports --method als only (got {method:?})"));
         }
@@ -504,8 +524,12 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
         let (model, report) = cp_als(&pool, &x, init, &cp_opts);
         let elapsed = t0.elapsed().as_secs_f64();
         println!("dtype         : f32 (f64 accumulators)");
+        let dims = x.dims().to_vec();
         let model = model.cast::<f64>();
         print_decompose_report(method, rank, &model, &report, elapsed);
+        if let Some(out) = &perf_out {
+            perf_report_out::<f32>(out, &pool, &dims, rank, AlgoChoice::Tuned, &report)?;
+        }
         return write_model_out(opts, &model);
     }
     let x: DenseTensor<f64> = read_tensor(input).map_err(|e| e.to_string())?;
@@ -519,7 +543,75 @@ fn cmd_decompose(opts: &HashMap<String, String>) -> CliResult {
     };
     let elapsed = t0.elapsed().as_secs_f64();
     print_decompose_report(method, rank, &model, &report, elapsed);
+    if let Some(out) = &perf_out {
+        // `nn` always plans with the heuristic; mirror that so the
+        // report's algorithm labels match what actually ran.
+        let choice = if method == "nn" {
+            AlgoChoice::Heuristic
+        } else {
+            AlgoChoice::Tuned
+        };
+        perf_report_out::<f64>(out, &pool, x.dims(), rank, choice, &report)?;
+    }
     write_model_out(opts, &model)
+}
+
+/// `decompose --perf-report FILE`: fold the sweep's per-mode breakdowns
+/// through the roofline bridge and write the `mttkrp-perf-v1` report.
+///
+/// Per-mode plans are rebuilt with the same `AlgoChoice` the driver
+/// used, purely to recover the resolved algorithm and the cost model's
+/// prediction (which feeds drift detection) — nothing is re-executed.
+fn perf_report_out<S: Scalar>(
+    out: &str,
+    pool: &ThreadPool,
+    dims: &[usize],
+    rank: usize,
+    choice: AlgoChoice,
+    report: &CpAlsReport,
+) -> CliResult {
+    if report.mode_breakdowns.is_empty() {
+        // The dimension-tree driver shares group GEMMs across modes, so
+        // there is no honest per-mode attribution to report.
+        eprintln!("note: --perf-report needs per-mode breakdowns (--method als|nn); skipping it");
+        return Ok(());
+    }
+    let Some(profile) = mttkrp_tune::installed_profile() else {
+        eprintln!(
+            "note: --perf-report needs a tuning profile for the machine roofs; \
+             run `tensorcp tune --out host.tune` and set MTTKRP_TUNE_PROFILE=host.tune"
+        );
+        return Ok(());
+    };
+    let runs: Vec<mttkrp_tune::ModeRun> = report
+        .mode_breakdowns
+        .iter()
+        .enumerate()
+        .map(|(n, bd)| {
+            let plan = MttkrpPlan::<S>::new(pool, dims, rank, n, choice);
+            mttkrp_tune::ModeRun {
+                mode: n,
+                algo: plan.algo(),
+                predicted: plan.predicted_times(),
+                runs: report.iters.max(1),
+                breakdown: *bd,
+                gemm_bytes: None,
+            }
+        })
+        .collect();
+    let perf = mttkrp_tune::perf_report_with(
+        profile,
+        dims,
+        rank,
+        pool.num_threads(),
+        std::mem::size_of::<S>(),
+        mttkrp_blas::kernels::<S>().tier(),
+        &runs,
+    );
+    print!("{}", perf.table());
+    perf.save(out).map_err(|e| e.to_string())?;
+    println!("perf report   : {out} (mttkrp-perf-v1)");
+    Ok(())
 }
 
 fn print_decompose_report(

@@ -45,7 +45,10 @@
 //! `MTTKRP_TRACE=full` unless the env var pins a level); `--metrics`
 //! enables the metrics registry and prints its text dump after the
 //! figures; `--choices-out FILE` writes the `--tune` sweep's
-//! [`ChoiceLog`](mttkrp_core::ChoiceLog) as JSON.
+//! [`ChoiceLog`](mttkrp_core::ChoiceLog) as JSON; `--perf-report FILE`
+//! runs the roofline attribution (per-phase achieved GB/s / GFLOP/s
+//! against the tuning profile's roofs) and writes the
+//! `mttkrp-perf-v1` JSON envelope.
 
 mod extension;
 mod fig4;
@@ -54,6 +57,7 @@ mod fig6;
 mod fig7;
 mod fig8;
 mod ooc;
+mod perf;
 mod scale;
 mod sparse;
 mod tune;
@@ -133,12 +137,13 @@ fn main() {
     let trace_out = flag_value("--trace-out").map(String::from);
     let choices_out = flag_value("--choices-out");
     let want_metrics = args.iter().any(|a| a == "--metrics");
+    let want_prom = args.iter().any(|a| a == "--metrics-prom");
     if trace_out.is_some() && std::env::var_os("MTTKRP_TRACE").is_none() {
         // --trace-out implies tracing: full detail unless the user
         // pinned a level in the environment.
         mttkrp_obs::set_trace_level(mttkrp_obs::TraceLevel::Full);
     }
-    if want_metrics {
+    if want_metrics || want_prom {
         mttkrp_obs::set_metrics_enabled(true);
     }
     let dtype = match flag_value("--dtype") {
@@ -224,6 +229,10 @@ fn main() {
         tune::run(scale, profile_path, profile_out, choices_out);
         ran = true;
     }
+    if let Some(out) = flag_value("--perf-report") {
+        perf::run(scale, dtype, out);
+        ran = true;
+    }
     if !ran {
         print_help();
         std::process::exit(2);
@@ -241,6 +250,9 @@ fn main() {
     if want_metrics {
         print!("{}", mttkrp_obs::registry().text_dump());
     }
+    if want_prom {
+        print!("{}", mttkrp_obs::render_prometheus());
+    }
 }
 
 fn print_help() {
@@ -251,6 +263,7 @@ fn print_help() {
          [--kernel auto|scalar|avx2|avx512|neon] [--dtype f32|f64] \
          [--budget-mb N] [--tile AxBxC] \
          [--profile FILE] [--profile-out FILE] \
-         [--trace-out FILE] [--metrics] [--choices-out FILE]"
+         [--trace-out FILE] [--metrics] [--metrics-prom] \
+         [--choices-out FILE] [--perf-report FILE]"
     );
 }

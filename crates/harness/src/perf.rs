@@ -1,0 +1,152 @@
+//! `--perf-report FILE`: roofline attribution of the dense MTTKRP.
+//!
+//! Runs every mode of the Figure 5/6 3-way tensor with `Tuned` plans
+//! under an installed tuning profile (calibrating one on the spot when
+//! the process has none), snapshots the `blas.gemm_bytes.<tier>`
+//! counters around each mode's timed repetitions, and folds the
+//! per-phase breakdowns through the `mttkrp-tune` roofline bridge into
+//! a [`PerfReport`]: the utilization table on stdout plus the
+//! `mttkrp-perf-v1` JSON envelope written to `FILE`.
+//!
+//! Percent-of-roof is only meaningful against DRAM roofs when the
+//! working set actually streams from DRAM; at `--scale small` a large
+//! L3 can hold the tensor and push phases past 100%, which is why the
+//! within-roof claim line is informational (`WARN`, never an error) at
+//! that scale's sizes.
+
+use mttkrp_blas::{Dtype, Scalar};
+use mttkrp_core::{AlgoChoice, Breakdown, MttkrpPlan};
+use mttkrp_obs::PerfReport;
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tune::{calibrate, CalibrateOptions, ModeRun, TuningProfile};
+
+use crate::fig5::{refs, workload, C};
+use crate::scale::Scale;
+use crate::util::claim;
+
+/// Timed repetitions accumulated per mode (after one warmup run).
+const REPS: usize = 3;
+
+/// Sum of the per-tier GEMM byte counters (only one tier records in
+/// practice, but summing is robust to a mid-run tier mix).
+fn gemm_bytes_total() -> u64 {
+    ["scalar", "avx2", "avx512", "neon"]
+        .iter()
+        .map(|t| {
+            mttkrp_obs::registry()
+                .counter(&format!("blas.gemm_bytes.{t}"))
+                .value()
+        })
+        .sum()
+}
+
+/// The profile attribution prices against: the installed one when the
+/// process has it, otherwise calibrate-and-install on the spot.
+fn resolve_profile(scale: Scale) -> TuningProfile {
+    if let Some(p) = mttkrp_tune::installed_profile() {
+        println!("# profile: installed (MTTKRP_TUNE_PROFILE or --tune)");
+        return p.clone();
+    }
+    println!(
+        "# profile: none installed; calibrating this host ({})",
+        if scale == Scale::Small {
+            "quick"
+        } else {
+            "full"
+        }
+    );
+    let p = calibrate(&CalibrateOptions {
+        threads: None,
+        quick: scale == Scale::Small,
+    });
+    mttkrp_tune::install(p.clone());
+    p
+}
+
+pub fn run(scale: Scale, dtype: Dtype, out_path: &str) {
+    match dtype {
+        Dtype::F64 => run_at::<f64>(scale, out_path),
+        Dtype::F32 => run_at::<f32>(scale, out_path),
+    }
+}
+
+fn run_at<S: Scalar>(scale: Scale, out_path: &str) {
+    println!("## Roofline attribution (C = {C}, dtype = {})", S::DTYPE);
+    // The GEMM byte counters only record under the metrics gate.
+    mttkrp_obs::set_metrics_enabled(true);
+    let profile = resolve_profile(scale);
+    let pool = ThreadPool::host();
+    let t = pool.num_threads();
+    let tier = mttkrp_blas::kernels::<S>().tier();
+
+    let (x, factors, dims) = workload::<S>(3, scale);
+    println!(
+        "# dims = {dims:?} ({} entries, {} MB), T = {t}, tier = {}, {REPS} reps per mode",
+        x.len(),
+        (x.len() * std::mem::size_of::<S>()) >> 20,
+        tier.name()
+    );
+    let frefs = refs(&factors, &dims);
+
+    let mut runs = Vec::with_capacity(dims.len());
+    for n in 0..dims.len() {
+        let mut out = vec![S::ZERO; dims[n] * C];
+        let mut plan = MttkrpPlan::<S>::new(&pool, &dims, C, n, AlgoChoice::Tuned);
+        // Warm the plan (first touch of workspaces), then accumulate
+        // REPS steady-state executions with the byte counter bracketed
+        // around them.
+        plan.execute(&pool, &x, &frefs, &mut out);
+        let bytes_before = gemm_bytes_total();
+        let mut bd = Breakdown::default();
+        for _ in 0..REPS {
+            bd.accumulate(&plan.execute_timed(&pool, &x, &frefs, &mut out));
+        }
+        let gemm_bytes = (gemm_bytes_total() - bytes_before) as f64;
+        runs.push(ModeRun {
+            mode: n,
+            algo: plan.algo(),
+            predicted: plan.predicted_times(),
+            runs: REPS,
+            breakdown: bd,
+            gemm_bytes: (gemm_bytes > 0.0).then_some(gemm_bytes),
+        });
+    }
+
+    let report =
+        mttkrp_tune::perf_report_with(&profile, &dims, C, t, std::mem::size_of::<S>(), tier, &runs);
+    print!("{}", report.table());
+
+    check_and_save(&report, scale, out_path);
+}
+
+fn check_and_save(report: &PerfReport, scale: Scale, out_path: &str) {
+    let worst_pct = report
+        .modes()
+        .iter()
+        .flat_map(|m| m.phases.iter())
+        .map(|p| p.pct_of_roof)
+        .fold(0.0f64, f64::max);
+    let mode0_bw = report
+        .modes()
+        .first()
+        .is_some_and(|m| m.bound == mttkrp_obs::Bound::Bandwidth);
+    println!("CHECK perf-mode0-bandwidth-bound: {}", claim(mode0_bw));
+    let note = if scale == Scale::Small {
+        " (cache residency can exceed DRAM roofs at small scale)"
+    } else {
+        ""
+    };
+    println!(
+        "CHECK perf-phases-within-roof {worst_pct:.0}% <= 110%: {}{note}",
+        claim(worst_pct <= 110.0)
+    );
+
+    match report.save(out_path) {
+        Ok(()) => println!("# wrote perf report to {out_path} (mttkrp-perf-v1)"),
+        Err(e) => {
+            eprintln!("cannot write perf report {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!();
+}

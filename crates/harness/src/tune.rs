@@ -113,6 +113,11 @@ pub fn run(
     println!("# per-internal-mode choices vs the empirically fastest algorithm (t = {t}, C = {c})");
     println!("dims,mode,1step_s,2step_s,fastest,heuristic,paper-model,tuned");
     let mut log = ChoiceLog::new();
+    if let Some(ce) = profile.calib_err {
+        // Drift detection compares sustained prediction error against
+        // the calibration-time residual recorded in the profile.
+        log.set_baseline_error(ce);
+    }
     let (mut heur_ok, mut paper_ok, mut tuned_ok, mut total) = (0usize, 0usize, 0usize, 0usize);
     for ratios in SHAPES {
         let dims = scaled_dims(ratios, entries);

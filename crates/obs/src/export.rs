@@ -60,6 +60,17 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             escape(&name)
         );
     }
+    // Buffer-overflow visibility: a metadata event viewers surface
+    // next to the thread names (the count is also in `otherData`).
+    if !first {
+        s.push_str(",\n");
+    }
+    first = false;
+    let _ = write!(
+        s,
+        "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"dropped_spans\",\"args\":{{\"count\":{}}}}}",
+        dropped_spans()
+    );
     for r in spans {
         if !first {
             s.push_str(",\n");
@@ -126,18 +137,32 @@ pub fn compact_trace(spans: &[SpanRecord]) -> String {
     s
 }
 
+fn warn_if_spans_dropped() {
+    let dropped = dropped_spans();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} spans dropped to buffer overflow; the trace is incomplete \
+             (lower the trace level or shorten the traced region)"
+        );
+    }
+}
+
 /// Drain all buffered spans and write them to `path` as chrome-trace
-/// JSON; returns the number of spans written.
+/// JSON; returns the number of spans written. Warns on stderr when
+/// spans were dropped to buffer overflow.
 pub fn write_chrome_trace(path: impl AsRef<Path>) -> io::Result<usize> {
     let spans = take_spans();
+    warn_if_spans_dropped();
     std::fs::write(path, chrome_trace(&spans))?;
     Ok(spans.len())
 }
 
 /// Drain all buffered spans and write them to `path` in the compact
-/// format; returns the number of spans written.
+/// format; returns the number of spans written. Warns on stderr when
+/// spans were dropped to buffer overflow.
 pub fn write_compact_trace(path: impl AsRef<Path>) -> io::Result<usize> {
     let spans = take_spans();
+    warn_if_spans_dropped();
     std::fs::write(path, compact_trace(&spans))?;
     Ok(spans.len())
 }
@@ -193,5 +218,103 @@ mod tests {
         assert!(c.contains("\"traceEvents\":["));
         let k = compact_trace(&[]);
         assert!(k.contains("\"spans\": [\n  ]"), "got: {k}");
+    }
+
+    use crate::json::JsonValue;
+
+    fn chrome_x_events(doc: &JsonValue) -> Vec<&JsonValue> {
+        doc.get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array")
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect()
+    }
+
+    #[test]
+    fn zero_duration_spans_render_as_valid_complete_events() {
+        let doc = JsonValue::parse(&chrome_trace(&[rec("instant", 1500, 0)]))
+            .expect("chrome trace with a zero-duration span must parse");
+        let events = chrome_x_events(&doc);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("dur").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(events[0].get("ts").and_then(JsonValue::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn hostile_span_names_are_escaped_in_both_exporters() {
+        // Quotes, backslashes, and a control character in the span
+        // name, category, and arg key.
+        let mut r = rec("he said \"hi\\there\"\u{1}", 10, 20);
+        r.cat = "cat\"\\\n";
+        r.arg_key = "key\twith\"tab";
+        let chrome =
+            JsonValue::parse(&chrome_trace(&[r.clone()])).expect("escaped chrome trace must parse");
+        let ev = chrome_x_events(&chrome)[0];
+        assert_eq!(
+            ev.get("name").and_then(JsonValue::as_str),
+            Some("he said \"hi\\there\"\u{1}"),
+            "span name must round-trip through escaping"
+        );
+        assert_eq!(ev.get("cat").and_then(JsonValue::as_str), Some("cat\"\\\n"));
+        assert_eq!(
+            ev.get("args")
+                .unwrap()
+                .get("key\twith\"tab")
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let compact =
+            JsonValue::parse(&compact_trace(&[r])).expect("escaped compact trace must parse");
+        let span = &compact.get("spans").and_then(JsonValue::as_arr).unwrap()[0];
+        assert_eq!(
+            span.get("name").and_then(JsonValue::as_str),
+            Some("he said \"hi\\there\"\u{1}")
+        );
+    }
+
+    #[test]
+    fn draining_an_empty_recorder_yields_a_valid_empty_document() {
+        // With tracing off nothing records, so a drain is empty; the
+        // resulting document must still be well-formed with zero
+        // complete events and the dropped_spans metadata present.
+        // (Rendered via the same pure functions `write_*_trace` uses on
+        // the drained buffer.)
+        let doc = JsonValue::parse(&chrome_trace(&[])).expect("empty chrome trace must parse");
+        assert_eq!(chrome_x_events(&doc).len(), 0);
+        let meta_dropped = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("dropped_spans"))
+            .expect("dropped_spans metadata event");
+        assert_eq!(
+            meta_dropped
+                .get("args")
+                .unwrap()
+                .get("count")
+                .and_then(JsonValue::as_f64),
+            Some(dropped_spans() as f64)
+        );
+        assert!(
+            doc.get("otherData").unwrap().get("dropped_spans").is_some(),
+            "footer keeps the count too"
+        );
+        let compact =
+            JsonValue::parse(&compact_trace(&[])).expect("empty compact trace must parse");
+        assert_eq!(
+            compact.get("schema").and_then(JsonValue::as_str),
+            Some("mttkrp-trace-v1")
+        );
+        assert_eq!(
+            compact
+                .get("spans")
+                .and_then(JsonValue::as_arr)
+                .unwrap()
+                .len(),
+            0
+        );
+        assert!(compact.get("dropped_spans").is_some());
     }
 }

@@ -21,7 +21,19 @@
 //!   [`histogram!`](crate::histogram) macros so the record path is a
 //!   bare relaxed atomic op.
 //! * **Bench reports** ([`report`]) — [`BenchReport`] writes the
-//!   schema-versioned `BENCH_pr<N>.json` trajectory files.
+//!   schema-versioned `BENCH_pr<N>.json` trajectory files, and
+//!   [`BenchDiff`] reads two of them back (through the in-tree
+//!   [`json`] parser) and gates on relative regressions — the engine
+//!   of the `bench-diff` CLI and the CI `perf-gate` leg.
+//! * **Roofline attribution** ([`roofline`]) — [`PerfReport`] folds
+//!   measured phase seconds, byte/flop estimates, and machine roofs
+//!   into percent-of-roof and bandwidth-vs-compute verdicts per phase
+//!   and mode, rendered as a utilization table and the
+//!   `mttkrp-perf-v1` envelope. (The model-aware bridge that feeds it
+//!   lives in `mttkrp-tune`, which knows the calibrated roofs.)
+//! * **Prometheus exposition** ([`metrics::render_prometheus`]) — the
+//!   registry rendered in the Prometheus text format, groundwork for
+//!   a scraping daemon.
 //!
 //! The crate has no dependencies (std only) and sits below every other
 //! crate in the workspace, so any layer can record without cycles.
@@ -30,15 +42,20 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod roofline;
 pub mod trace;
 
 pub use export::{chrome_trace, compact_trace, write_chrome_trace, write_compact_trace};
+pub use json::JsonValue;
 pub use metrics::{
-    metrics_enabled, registry, set_metrics_enabled, Counter, Gauge, Histogram, Registry,
+    metrics_enabled, registry, render_prometheus, set_metrics_enabled, Counter, Gauge, Histogram,
+    Registry,
 };
-pub use report::{BenchReport, BenchValue, RowBuilder};
+pub use report::{BenchDiff, BenchReport, BenchValue, DiffEntry, MetricClass, RowBuilder};
+pub use roofline::{Bound, ModeAttribution, PerfReport, PhaseAttribution, PhaseSample};
 pub use trace::{
     dropped_spans, set_trace_level, take_spans, thread_names, trace_level, SpanGuard, SpanRecord,
     TraceLevel,

@@ -415,6 +415,54 @@ impl Registry {
         s
     }
 
+    /// Prometheus text exposition (version 0.0.4 subset, documented in
+    /// docs/FORMATS.md). Metric names are prefixed `mttkrp_` with the
+    /// registry's dots/dashes mapped to underscores. Counters and
+    /// gauges expose their value (gauges additionally a `_peak`
+    /// gauge); histograms expose summary-style `quantile` sample lines
+    /// (p50/p90/p99) plus `_sum`/`_count` and an exact `_max` gauge.
+    pub fn render_prometheus(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mut s = String::with_capacity(name.len() + 7);
+            s.push_str("mttkrp_");
+            for ch in name.chars() {
+                s.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+            }
+            s
+        }
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut s = String::new();
+        for (name, slot) in slots.iter() {
+            let p = prom_name(name);
+            match slot {
+                Slot::Counter(c) => {
+                    let _ = writeln!(s, "# TYPE {p} counter");
+                    let _ = writeln!(s, "{p} {}", c.value());
+                }
+                Slot::Gauge(g) => {
+                    let _ = writeln!(s, "# TYPE {p} gauge");
+                    let _ = writeln!(s, "{p} {}", g.value());
+                    let _ = writeln!(s, "# TYPE {p}_peak gauge");
+                    let _ = writeln!(s, "{p}_peak {}", g.peak());
+                }
+                Slot::Histogram(h) => {
+                    let _ = writeln!(s, "# TYPE {p} summary");
+                    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                        let _ = writeln!(s, "{p}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                    }
+                    let _ = writeln!(s, "{p}_sum {}", h.sum());
+                    let _ = writeln!(s, "{p}_count {}", h.count());
+                    let _ = writeln!(s, "# TYPE {p}_max gauge");
+                    let _ = writeln!(s, "{p}_max {}", h.max());
+                }
+            }
+        }
+        s
+    }
+
     /// Self-describing JSON dump (`mttkrp-metrics-v1`).
     pub fn json_dump(&self) -> String {
         let slots = self
@@ -465,6 +513,12 @@ impl Registry {
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(Registry::default)
+}
+
+/// Prometheus text exposition of the process-wide registry — see
+/// [`Registry::render_prometheus`].
+pub fn render_prometheus() -> String {
+    registry().render_prometheus()
 }
 
 #[cfg(test)]
@@ -569,6 +623,82 @@ mod tests {
         assert!((375..=500).contains(&p50), "p50={p50}");
         let p99 = h.quantile(0.99);
         assert!((768..=990).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_quantiles_on_known_distributions() {
+        // Constant distribution: every quantile hits the one bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(64);
+        }
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(0.99), 64);
+
+        // Two-point distribution 90/10: p50/p90 land on the low point,
+        // p99 on (the bucket lower bound of) the high point.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.9), 10);
+        let p99 = h.quantile(0.99);
+        assert!((768..=1000).contains(&p99), "p99={p99}");
+
+        // Quantiles are monotone in q.
+        let h = Histogram::default();
+        for v in [1u64, 5, 25, 125, 625, 3125] {
+            for _ in 0..7 {
+                h.record(v);
+            }
+        }
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+
+        // Empty histogram: all quantiles are 0.
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_kinds() {
+        registry().counter("test.prom-counter").add(7);
+        registry().gauge("test.prom_gauge").add(9);
+        let h = registry().histogram("test.prom_hist");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let out = render_prometheus();
+        assert!(out.contains("# TYPE mttkrp_test_prom_counter counter"));
+        assert!(out.contains("mttkrp_test_prom_counter 7"));
+        // Dots and dashes both sanitize to underscores.
+        assert!(!out.contains("test.prom"), "unsanitized name:\n{out}");
+        assert!(out.contains("# TYPE mttkrp_test_prom_gauge gauge"));
+        assert!(out.contains("mttkrp_test_prom_gauge 9"));
+        assert!(out.contains("mttkrp_test_prom_gauge_peak 9"));
+        assert!(out.contains("# TYPE mttkrp_test_prom_hist summary"));
+        assert!(out.contains("mttkrp_test_prom_hist{quantile=\"0.5\"}"));
+        assert!(out.contains("mttkrp_test_prom_hist{quantile=\"0.99\"}"));
+        assert!(out.contains("mttkrp_test_prom_hist_sum 5050"));
+        assert!(out.contains("mttkrp_test_prom_hist_count 100"));
+        assert!(out.contains("mttkrp_test_prom_hist_max 100"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("mttkrp_"), "bad sample line: {line}");
+            assert!(
+                parts.next().unwrap().parse::<i64>().is_ok(),
+                "bad value: {line}"
+            );
+            assert!(parts.next().is_none(), "extra tokens: {line}");
+        }
     }
 
     #[test]

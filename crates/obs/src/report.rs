@@ -9,6 +9,14 @@
 //! `acceptance` section for the pass/fail summary, emitted under the
 //! schema tag [`BenchReport::SCHEMA`] (documented in docs/FORMATS.md).
 //!
+//! [`BenchDiff`] closes the loop: it reads two of those files back
+//! (via the in-tree [`crate::json`] parser), matches records by their
+//! identity fields (bench section, `dtype`, `tier`, `algorithm`,
+//! `mode`, …), computes relative deltas under per-metric tolerance
+//! rules, and emits a pass/fail verdict as text and as the
+//! [`BenchDiff::SCHEMA`] JSON envelope — the engine behind the
+//! `bench-diff` CLI and the CI `perf-gate` leg.
+//!
 //! ```
 //! use mttkrp_obs::BenchReport;
 //!
@@ -22,9 +30,12 @@
 //! assert!(json.contains("\"pr\": 7"));
 //! ```
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+use crate::json::JsonValue;
 
 /// A JSON-serializable bench value.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,6 +226,465 @@ impl BenchReport {
     }
 }
 
+/// How one metric is judged when two bench reports are diffed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Throughput-like: a drop beyond tolerance is a regression.
+    HigherIsBetter,
+    /// Latency/error-like: a rise beyond tolerance is a regression.
+    LowerIsBetter,
+    /// Compared and reported, never gated (config, counts, scalars).
+    Informational,
+}
+
+/// Classify a numeric metric by its (section-qualified) identity and
+/// name, returning the class and a tolerance multiplier.
+/// Error/residual metrics get a wide multiplier — they are
+/// noise-dominated across runs — while throughput and time metrics
+/// gate at 1× the base tolerance. Top-level scalars are always
+/// informational. (Boolean fields are classified by type during the
+/// diff: any flip gates at 0× tolerance.)
+pub fn classify_metric(id: &str, name: &str) -> (MetricClass, f64) {
+    if id == "scalars" {
+        return (MetricClass::Informational, 1.0);
+    }
+    let n = name.to_ascii_lowercase();
+    let has = |p: &str| n.contains(p);
+    if has("per_s")
+        || has("gflop")
+        || has("speedup")
+        || has("throughput")
+        || has("agreement")
+        || n == "fit"
+        || has("final_fit")
+    {
+        (MetricClass::HigherIsBetter, 1.0)
+    } else if has("diff") || has("error") || has("resid") {
+        (MetricClass::LowerIsBetter, 20.0)
+    } else if has("seconds")
+        || has("time")
+        || has("overhead")
+        || n.ends_with("_ns")
+        || n.ends_with("_ms")
+        || n.ends_with("_us")
+    {
+        (MetricClass::LowerIsBetter, 1.0)
+    } else {
+        (MetricClass::Informational, 1.0)
+    }
+}
+
+/// One matched metric in a [`BenchDiff`].
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Record identity: `section[key=value,…]` (plus `#k` on repeats).
+    pub id: String,
+    /// Metric name within the record.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Signed relative change in percent (clamped to ±1e6 when the
+    /// baseline is zero).
+    pub delta_pct: f64,
+    /// How the metric is judged.
+    pub class: MetricClass,
+    /// Tolerance multiplier from [`classify_metric`].
+    pub tolerance_mult: f64,
+}
+
+impl DiffEntry {
+    /// Whether this metric participates in the gate at all.
+    pub fn gated(&self) -> bool {
+        !matches!(self.class, MetricClass::Informational)
+    }
+
+    /// Regression test at base tolerance `tolerance_pct` (scaled by
+    /// the metric's multiplier). Lower-is-better metrics whose
+    /// candidate value is still below an absolute floor of 1e-9 never
+    /// regress — error/residual metrics at the 1e-14 level fluctuate
+    /// by orders of magnitude without meaning anything.
+    pub fn regressed(&self, tolerance_pct: f64) -> bool {
+        let tol = tolerance_pct * self.tolerance_mult;
+        match self.class {
+            MetricClass::LowerIsBetter => self.candidate.abs() > 1e-9 && self.delta_pct > tol,
+            MetricClass::HigherIsBetter => self.delta_pct < -tol,
+            MetricClass::Informational => false,
+        }
+    }
+
+    /// The symmetric improvement test.
+    pub fn improved(&self, tolerance_pct: f64) -> bool {
+        let tol = tolerance_pct * self.tolerance_mult;
+        match self.class {
+            MetricClass::LowerIsBetter => self.delta_pct < -tol,
+            MetricClass::HigherIsBetter => self.delta_pct > tol,
+            MetricClass::Informational => false,
+        }
+    }
+}
+
+/// Flattened metric map: `(record identity, metric name)` → `(value,
+/// was a JSON bool)`.
+type FlatMetrics = BTreeMap<(String, String), (f64, bool)>;
+
+fn render_identity_value(v: &JsonValue) -> Option<String> {
+    match v {
+        JsonValue::Str(s) => Some(s.clone()),
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                Some(format!("{}", *n as i64))
+            } else {
+                Some(format!("{n}"))
+            }
+        }
+        JsonValue::Arr(items) => {
+            let parts: Option<Vec<String>> = items.iter().map(render_identity_value).collect();
+            parts.map(|p| p.join("x"))
+        }
+        _ => None,
+    }
+}
+
+/// Numeric fields with these names describe *which* record a row is
+/// (problem shape / configuration), not a measurement — they join the
+/// identity key instead of being diffed.
+const NUMERIC_IDENTITY: &[&str] = &[
+    "mode",
+    "n",
+    "threads",
+    "rank",
+    "c",
+    "iters",
+    "samples",
+    "nnz",
+    "order",
+    "size",
+    "density",
+    "budget_mb",
+    "tiles",
+    "reps",
+    "warmup",
+    "entries",
+    "level_idx",
+];
+
+fn flatten_row(
+    section: &str,
+    row: &JsonValue,
+    ids_seen: &mut BTreeMap<String, usize>,
+    out: &mut FlatMetrics,
+) {
+    let Some(members) = row.as_obj() else {
+        return;
+    };
+    let mut ident = Vec::new();
+    let mut metrics: Vec<(String, (f64, bool))> = Vec::new();
+    for (k, v) in members {
+        match v {
+            JsonValue::Num(n) if !NUMERIC_IDENTITY.contains(&k.as_str()) => {
+                metrics.push((k.clone(), (*n, false)));
+            }
+            JsonValue::Bool(b) => metrics.push((k.clone(), (if *b { 1.0 } else { 0.0 }, true))),
+            _ => {
+                if let Some(r) = render_identity_value(v) {
+                    ident.push(format!("{k}={r}"));
+                }
+            }
+        }
+    }
+    let mut id = if ident.is_empty() {
+        section.to_string()
+    } else {
+        format!("{section}[{}]", ident.join(","))
+    };
+    let seen = ids_seen.entry(id.clone()).or_insert(0);
+    *seen += 1;
+    if *seen > 1 {
+        id = format!("{id}#{seen}");
+    }
+    for (m, v) in metrics {
+        out.insert((id.clone(), m), v);
+    }
+}
+
+fn flatten(doc: &JsonValue) -> Result<FlatMetrics, String> {
+    let members = doc.as_obj().ok_or("bench report is not a JSON object")?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == BenchReport::SCHEMA => {}
+        other => {
+            return Err(format!(
+                "unexpected schema {other:?} (want {:?})",
+                BenchReport::SCHEMA
+            ))
+        }
+    }
+    let mut out = FlatMetrics::new();
+    let mut ids_seen = BTreeMap::new();
+    for (k, v) in members {
+        if k == "schema" {
+            continue;
+        }
+        match v {
+            JsonValue::Arr(rows) => {
+                for row in rows {
+                    flatten_row(k, row, &mut ids_seen, &mut out);
+                }
+            }
+            JsonValue::Obj(_) => flatten_row(k, v, &mut ids_seen, &mut out),
+            JsonValue::Num(n) => {
+                out.insert(("scalars".to_string(), k.clone()), (*n, false));
+            }
+            JsonValue::Bool(b) => {
+                out.insert(
+                    ("scalars".to_string(), k.clone()),
+                    (if *b { 1.0 } else { 0.0 }, true),
+                );
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// The diff of two `mttkrp-bench-v1` reports. Build with
+/// [`BenchDiff::load`] or [`BenchDiff::from_json`], then render the
+/// verdict with [`BenchDiff::text`] / [`BenchDiff::to_json`] (or gate
+/// on [`BenchDiff::pass`]). See the module docs for the matching and
+/// tolerance rules.
+#[derive(Debug)]
+pub struct BenchDiff {
+    baseline_label: String,
+    candidate_label: String,
+    entries: Vec<DiffEntry>,
+    baseline_only: Vec<String>,
+    candidate_only: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Schema tag of the JSON verdict envelope (docs/FORMATS.md).
+    pub const SCHEMA: &'static str = "mttkrp-benchdiff-v1";
+
+    /// The default gate: >15% adverse move on a gated metric fails.
+    pub const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
+
+    /// Diff two already-read documents; labels are used in rendering.
+    pub fn from_json(
+        baseline_label: &str,
+        baseline: &str,
+        candidate_label: &str,
+        candidate: &str,
+    ) -> Result<BenchDiff, String> {
+        let base =
+            flatten(&JsonValue::parse(baseline).map_err(|e| format!("{baseline_label}: {e}"))?)
+                .map_err(|e| format!("{baseline_label}: {e}"))?;
+        let cand =
+            flatten(&JsonValue::parse(candidate).map_err(|e| format!("{candidate_label}: {e}"))?)
+                .map_err(|e| format!("{candidate_label}: {e}"))?;
+        let mut entries = Vec::new();
+        let mut baseline_only = Vec::new();
+        let mut candidate_only = Vec::new();
+        for ((id, metric), (b, b_bool)) in &base {
+            match cand.get(&(id.clone(), metric.clone())) {
+                Some((c, c_bool)) => {
+                    let delta_pct = if *b != 0.0 {
+                        100.0 * (c - b) / b.abs()
+                    } else if c == b {
+                        0.0
+                    } else {
+                        1e6_f64.copysign(c - b)
+                    };
+                    // Booleans gate at zero tolerance (any flip to
+                    // false fails); everything else classifies by
+                    // name. Top-level scalars stay informational.
+                    let (class, tolerance_mult) = if id == "scalars" {
+                        (MetricClass::Informational, 1.0)
+                    } else if *b_bool || *c_bool {
+                        (MetricClass::HigherIsBetter, 0.0)
+                    } else {
+                        classify_metric(id, metric)
+                    };
+                    entries.push(DiffEntry {
+                        id: id.clone(),
+                        metric: metric.clone(),
+                        baseline: *b,
+                        candidate: *c,
+                        delta_pct,
+                        class,
+                        tolerance_mult,
+                    });
+                }
+                None => baseline_only.push(format!("{id}.{metric}")),
+            }
+        }
+        for (id, metric) in cand.keys() {
+            if !base.contains_key(&(id.clone(), metric.clone())) {
+                candidate_only.push(format!("{id}.{metric}"));
+            }
+        }
+        Ok(BenchDiff {
+            baseline_label: baseline_label.to_string(),
+            candidate_label: candidate_label.to_string(),
+            entries,
+            baseline_only,
+            candidate_only,
+        })
+    }
+
+    /// Read and diff two report files.
+    pub fn load(baseline_path: &str, candidate_path: &str) -> Result<BenchDiff, String> {
+        let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+        BenchDiff::from_json(
+            baseline_path,
+            &read(baseline_path)?,
+            candidate_path,
+            &read(candidate_path)?,
+        )
+    }
+
+    /// Every matched metric, in identity order.
+    pub fn entries(&self) -> &[DiffEntry] {
+        &self.entries
+    }
+
+    /// Metric keys present only in the baseline.
+    pub fn baseline_only(&self) -> &[String] {
+        &self.baseline_only
+    }
+
+    /// Metric keys present only in the candidate.
+    pub fn candidate_only(&self) -> &[String] {
+        &self.candidate_only
+    }
+
+    /// The gated metrics that regressed beyond `tolerance_pct`.
+    pub fn regressions(&self, tolerance_pct: f64) -> Vec<&DiffEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.regressed(tolerance_pct))
+            .collect()
+    }
+
+    /// `true` when no gated metric regressed beyond `tolerance_pct`.
+    pub fn pass(&self, tolerance_pct: f64) -> bool {
+        self.regressions(tolerance_pct).is_empty()
+    }
+
+    /// The human-readable verdict.
+    pub fn text(&self, tolerance_pct: f64) -> String {
+        let gated = self.entries.iter().filter(|e| e.gated()).count();
+        let regressions = self.regressions(tolerance_pct);
+        let improved = self
+            .entries
+            .iter()
+            .filter(|e| e.improved(tolerance_pct))
+            .count();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "bench-diff: {} -> {}",
+            self.baseline_label, self.candidate_label
+        );
+        let _ = writeln!(
+            s,
+            "  {} metrics matched ({} gated, tolerance {tolerance_pct}%): {} regressions, {} improvements",
+            self.entries.len(),
+            gated,
+            regressions.len(),
+            improved
+        );
+        for e in &regressions {
+            let _ = writeln!(
+                s,
+                "  REGRESSION {}.{}: {:.4e} -> {:.4e} ({:+.1}%, tol {}%)",
+                e.id,
+                e.metric,
+                e.baseline,
+                e.candidate,
+                e.delta_pct,
+                tolerance_pct * e.tolerance_mult
+            );
+        }
+        if !self.baseline_only.is_empty() {
+            let _ = writeln!(s, "  baseline-only keys: {}", self.baseline_only.len());
+        }
+        if !self.candidate_only.is_empty() {
+            let _ = writeln!(s, "  candidate-only keys: {}", self.candidate_only.len());
+        }
+        let _ = writeln!(
+            s,
+            "verdict: {}",
+            if regressions.is_empty() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        s
+    }
+
+    /// The `mttkrp-benchdiff-v1` JSON verdict envelope.
+    pub fn to_json(&self, tolerance_pct: f64) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:e}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let gated = self.entries.iter().filter(|e| e.gated()).count();
+        let regressions = self.regressions(tolerance_pct);
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{}\",", Self::SCHEMA);
+        let _ = writeln!(
+            s,
+            "  \"baseline\": \"{}\",",
+            crate::export::escape(&self.baseline_label)
+        );
+        let _ = writeln!(
+            s,
+            "  \"candidate\": \"{}\",",
+            crate::export::escape(&self.candidate_label)
+        );
+        let _ = writeln!(s, "  \"tolerance_pct\": {},", num(tolerance_pct));
+        let _ = writeln!(s, "  \"pass\": {},", regressions.is_empty());
+        let _ = writeln!(s, "  \"compared\": {},", self.entries.len());
+        let _ = writeln!(s, "  \"gated\": {gated},");
+        s.push_str("  \"regressions\": [");
+        for (i, e) in regressions.iter().enumerate() {
+            let comma = if i + 1 < regressions.len() { "," } else { "" };
+            let _ = write!(
+                s,
+                "\n    {{\"key\": \"{}.{}\", \"baseline\": {}, \"candidate\": {}, \"delta_pct\": {}}}{comma}",
+                crate::export::escape(&e.id),
+                crate::export::escape(&e.metric),
+                num(e.baseline),
+                num(e.candidate),
+                num(e.delta_pct)
+            );
+        }
+        s.push_str("\n  ],\n");
+        for (key, list) in [
+            ("baseline_only", &self.baseline_only),
+            ("candidate_only", &self.candidate_only),
+        ] {
+            let _ = write!(s, "  \"{key}\": [");
+            for (i, k) in list.iter().enumerate() {
+                let comma = if i + 1 < list.len() { "," } else { "" };
+                let _ = write!(s, "\"{}\"{comma}", crate::export::escape(k));
+            }
+            s.push_str(if key == "baseline_only" {
+                "],\n"
+            } else {
+                "]\n"
+            });
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +728,118 @@ mod tests {
         let s = r.to_json();
         assert!(s.contains("\"x\": 2"));
         assert!(!s.contains("\"x\": 1"));
+    }
+
+    // A miniature report exercising every record shape BenchDiff must
+    // handle across the committed files: top-level scalars, rows with
+    // string/numeric identity, a `dims` array identity (BENCH_pr6
+    // style), and an `acceptance` object (also pr6 style).
+    fn mini_report(gb: f64, seconds: f64, diff: f64, ok: bool) -> String {
+        format!(
+            r#"{{"schema": "mttkrp-bench-v1", "pr": 6, "threads": 8,
+                "mttkrp": [
+                  {{"dtype": "f64", "tier": "avx512", "algorithm": "1step", "mode": 0, "dims": [256, 64, 48], "gb_effective_per_s": {gb}, "seconds": {seconds}}},
+                  {{"dtype": "f32", "tier": "avx512", "algorithm": "fused", "mode": 1, "dims": [256, 64, 48], "gb_effective_per_s": 20.0, "seconds": 0.5}}
+                ],
+                "agreement": [{{"algorithm": "fused", "max_rel_diff": {diff}}}],
+                "acceptance": {{"fused_agrees": {ok}, "speedup": 1.4}}}}"#
+        )
+    }
+
+    #[test]
+    fn identity_diff_passes() {
+        let a = mini_report(12.5, 1.0, 1e-14, true);
+        let d = BenchDiff::from_json("base", &a, "cand", &a).unwrap();
+        assert!(d.baseline_only().is_empty() && d.candidate_only().is_empty());
+        assert!(d.pass(BenchDiff::DEFAULT_TOLERANCE_PCT));
+        assert!(d.entries().iter().any(|e| e.id.contains("dims=256x64x48")));
+        assert!(d.text(15.0).contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let base = mini_report(12.5, 1.0, 1e-14, true);
+        let cand = mini_report(10.0, 1.0, 1e-14, true); // -20%
+        let d = BenchDiff::from_json("base", &base, "cand", &cand).unwrap();
+        assert!(!d.pass(15.0));
+        let regs = d.regressions(15.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "gb_effective_per_s");
+        assert!(regs[0].delta_pct < -19.0);
+        assert!(d.text(15.0).contains("verdict: FAIL"));
+        // The same drop passes at a 25% gate.
+        assert!(d.pass(25.0));
+    }
+
+    #[test]
+    fn time_rise_fails_and_noisy_error_metrics_get_slack() {
+        let base = mini_report(12.5, 1.0, 1e-14, true);
+        // seconds +30% (regression); the error metric grows 5x but
+        // stays under the 1e-9 absolute floor, so it never gates.
+        let cand = mini_report(12.5, 1.3, 5e-14, true);
+        let d = BenchDiff::from_json("base", &base, "cand", &cand).unwrap();
+        let regs = d.regressions(15.0);
+        assert_eq!(regs.len(), 1, "{:?}", regs);
+        assert_eq!(regs[0].metric, "seconds");
+    }
+
+    #[test]
+    fn acceptance_flag_flip_fails_at_zero_tolerance() {
+        let base = mini_report(12.5, 1.0, 1e-14, true);
+        let cand = mini_report(12.5, 1.0, 1e-14, false);
+        let d = BenchDiff::from_json("base", &base, "cand", &cand).unwrap();
+        let regs = d.regressions(15.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "fused_agrees");
+    }
+
+    #[test]
+    fn top_level_scalars_are_informational() {
+        let base = mini_report(12.5, 1.0, 1e-14, true).replace(
+            "\"threads\": 8",
+            "\"threads\": 8, \"elapsed_seconds\": 100.0",
+        );
+        let cand = mini_report(12.5, 1.0, 1e-14, true).replace(
+            "\"threads\": 8",
+            "\"threads\": 8, \"elapsed_seconds\": 900.0",
+        );
+        let d = BenchDiff::from_json("base", &base, "cand", &cand).unwrap();
+        assert!(d.pass(15.0), "{}", d.text(15.0));
+    }
+
+    #[test]
+    fn unmatched_records_are_reported_not_fatal() {
+        let base = mini_report(12.5, 1.0, 1e-14, true);
+        let cand = base.replace("\"mode\": 1", "\"mode\": 2");
+        let d = BenchDiff::from_json("base", &base, "cand", &cand).unwrap();
+        assert_eq!(d.baseline_only().len(), 2); // gb + seconds of the moved row
+        assert_eq!(d.candidate_only().len(), 2);
+        assert!(d.pass(15.0));
+    }
+
+    #[test]
+    fn verdict_json_is_valid_and_self_describing() {
+        let base = mini_report(12.5, 1.0, 1e-14, true);
+        let cand = mini_report(9.0, 1.0, 1e-14, true);
+        let d = BenchDiff::from_json("base", &base, "cand", &cand).unwrap();
+        let j = d.to_json(15.0);
+        let doc = crate::json::JsonValue::parse(&j).expect("verdict JSON must parse");
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some("mttkrp-benchdiff-v1")
+        );
+        assert_eq!(doc.get("pass").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("regressions").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = BenchDiff::from_json(
+            "a",
+            r#"{"schema": "other-v1"}"#,
+            "b",
+            r#"{"schema": "other-v1"}"#,
+        );
+        assert!(err.is_err());
     }
 }

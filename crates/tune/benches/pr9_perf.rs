@@ -1,0 +1,215 @@
+//! PR 9 trajectory record: roofline attribution and the bench-diff
+//! regression gate — written to `BENCH_pr9.json` via the shared
+//! [`BenchReport`] builder (schema in docs/FORMATS.md).
+//!
+//! Three parts:
+//!
+//! 1. **Roofline attribution.** Calibrates a tuning profile on this
+//!    host, runs every mode of a 3-way fixture with `Tuned` plans
+//!    (GEMM byte counters bracketed around the timed reps), and folds
+//!    the phase breakdowns through `mttkrp_tune::perf_report_with`.
+//!    One `roofline` row per attributed phase records achieved GB/s /
+//!    GFLOP/s and percent-of-roof; the `perf` section rolls up per
+//!    mode. Percent-of-roof is recorded, not asserted — on hosts whose
+//!    last-level cache holds the fixture the DRAM-priced roofs are
+//!    legitimately exceeded.
+//! 2. **Gate self-tests.** Deterministic in-memory checks of the
+//!    `BenchDiff` engine: an identity diff must pass, a 20% throughput
+//!    regression must fail, a 20% *improvement* must pass, and a small
+//!    residual wobble must stay under the widened error tolerance.
+//!    These ARE asserted — they are what the CI perf-gate leg trusts.
+//! 3. **Acceptance rollup**: `diff_selftests_ok` plus the recorded
+//!    roofline observations (mode-0 bound, worst percent-of-roof).
+//!
+//! Env knobs: `MTTKRP_BENCH_SMOKE=1` shrinks the fixture and uses the
+//! quick calibration ladder, `MTTKRP_BENCH_OUT` overrides the output
+//! path.
+
+use mttkrp_bench::{MttkrpFixture, RANK};
+use mttkrp_core::{AlgoChoice, Breakdown, MttkrpPlan};
+use mttkrp_obs::{registry, set_metrics_enabled, BenchDiff, BenchReport, Bound};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_tune::{calibrate, CalibrateOptions, ModeRun};
+
+/// Timed repetitions accumulated per mode (after one warmup).
+const REPS: usize = 3;
+
+/// Total GEMM bytes recorded so far, summed over kernel tiers.
+fn gemm_bytes() -> u64 {
+    ["scalar", "avx2", "avx512", "neon"]
+        .iter()
+        .map(|t| registry().counter(&format!("blas.gemm_bytes.{t}")).value())
+        .sum()
+}
+
+/// A small synthetic bench report for the gate self-tests; `scale`
+/// multiplies the throughput metrics, `resid` sets the error metric.
+fn synthetic_report(scale: f64, resid: f64) -> String {
+    let mut r = BenchReport::new(9);
+    r.scalar("rank", RANK).scalar("smoke", false);
+    for mode in 0..3u32 {
+        r.row("mttkrp")
+            .field("algorithm", "1step")
+            .field("mode", mode)
+            .field("seconds", 0.01 / scale)
+            .field("gb_per_s", scale * (2.0 + mode as f64))
+            .field("resid", resid);
+    }
+    r.to_json()
+}
+
+/// The four deterministic BenchDiff checks the CI gate relies on.
+/// Returns `(all_ok, per-check rows)` and records each verdict.
+fn diff_selftests(report: &mut BenchReport) -> bool {
+    let tol = BenchDiff::DEFAULT_TOLERANCE_PCT;
+    let base = synthetic_report(1.0, 1e-12);
+
+    let identity = BenchDiff::from_json("base", &base, "same", &base)
+        .expect("identity diff parses")
+        .pass(tol);
+    let regressed = !BenchDiff::from_json("base", &base, "slow", &synthetic_report(0.8, 1e-12))
+        .expect("regression diff parses")
+        .pass(tol);
+    let improved = BenchDiff::from_json("base", &base, "fast", &synthetic_report(1.2, 1e-12))
+        .expect("improvement diff parses")
+        .pass(tol);
+    // Error metrics get a 20x-widened tolerance: a 2x residual wobble
+    // (100% < 20 * 15%) must NOT gate.
+    let resid_ok = BenchDiff::from_json("base", &base, "wobble", &synthetic_report(1.0, 2e-12))
+        .expect("residual diff parses")
+        .pass(tol);
+
+    for (name, ok) in [
+        ("identity_passes", identity),
+        ("regression_fails", regressed),
+        ("improvement_passes", improved),
+        ("residual_wobble_tolerated", resid_ok),
+    ] {
+        report
+            .row("diff_selftest")
+            .field("check", name)
+            .field("ok", ok);
+        println!(
+            "diff self-test {name}: {}",
+            if ok { "ok" } else { "FAILED" }
+        );
+    }
+    identity && regressed && improved && resid_ok
+}
+
+fn main() {
+    let smoke = std::env::var("MTTKRP_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let entries = if smoke { 60_000 } else { 4_000_000 };
+    let host = ThreadPool::host();
+    let fx = MttkrpFixture::equal(3, entries);
+    let dims = fx.dims.clone();
+    let refs = fx.refs();
+
+    let mut report = BenchReport::new(9);
+    report
+        .scalar("rank", RANK)
+        .scalar(
+            "dims",
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+        )
+        .scalar("smoke", smoke)
+        .scalar("host_threads", host.num_threads());
+
+    // -- Part 1: roofline attribution against a freshly calibrated
+    // profile (the GEMM byte counters need the metrics gate open).
+    set_metrics_enabled(true);
+    let profile = calibrate(&CalibrateOptions {
+        threads: None,
+        quick: smoke,
+    });
+    report.scalar(
+        "calib_err",
+        profile
+            .calib_err
+            .expect("calibration records its fit residual"),
+    );
+
+    let mut runs = Vec::with_capacity(dims.len());
+    for n in 0..dims.len() {
+        let mut out = vec![0.0; dims[n] * RANK];
+        let mut plan = MttkrpPlan::new(&host, &dims, RANK, n, AlgoChoice::Tuned);
+        plan.execute(&host, &fx.x, &refs, &mut out); // warm buffers
+        let bytes_before = gemm_bytes();
+        let mut bd = Breakdown::default();
+        for _ in 0..REPS {
+            bd.accumulate(&plan.execute_timed(&host, &fx.x, &refs, &mut out));
+        }
+        let measured = (gemm_bytes() - bytes_before) as f64;
+        runs.push(ModeRun {
+            mode: n,
+            algo: plan.algo(),
+            predicted: plan.predicted_times(),
+            runs: REPS,
+            breakdown: bd,
+            gemm_bytes: (measured > 0.0).then_some(measured),
+        });
+    }
+    let perf = mttkrp_tune::perf_report_with(
+        &profile,
+        &dims,
+        RANK,
+        host.num_threads(),
+        8,
+        mttkrp_blas::kernels::<f64>().tier(),
+        &runs,
+    );
+    print!("{}", perf.table());
+
+    let mut worst_pct = 0.0f64;
+    for m in perf.modes() {
+        report
+            .row("perf")
+            .field("mode", m.label.as_str())
+            .field("algorithm", m.algo.as_str())
+            .field("seconds", m.seconds)
+            .field("pct_of_roof", m.pct_of_roof)
+            .field("bandwidth_bound", m.bound == Bound::Bandwidth);
+        for p in &m.phases {
+            worst_pct = worst_pct.max(p.pct_of_roof);
+            report
+                .row("roofline")
+                .field("mode", m.label.as_str())
+                .field("phase", p.name.as_str())
+                .field("seconds", p.seconds)
+                .field("gb_per_s", p.achieved_gb_per_s)
+                .field("gflop_per_s", p.achieved_gflop_per_s)
+                .field("pct_of_roof", p.pct_of_roof)
+                .field("bandwidth_bound", p.bound == Bound::Bandwidth);
+        }
+    }
+
+    // -- Part 2: the deterministic gate self-tests.
+    let diff_ok = diff_selftests(&mut report);
+
+    // -- Part 3: acceptance rollup. The roofline observations are
+    // recorded (see the module docs for why they are not asserted);
+    // the gate self-tests are the hard invariant.
+    let mode0_bw = perf
+        .modes()
+        .first()
+        .is_some_and(|m| m.bound == Bound::Bandwidth);
+    report
+        .row("acceptance")
+        .field("diff_selftests_ok", diff_ok)
+        .field("mode0_bandwidth_bound", mode0_bw)
+        .field("worst_pct_of_roof", worst_pct)
+        .field("advisory", perf.advisory().unwrap_or("none"));
+
+    let out = BenchReport::out_path(&format!(
+        "{}/../../BENCH_pr9.json",
+        env!("CARGO_MANIFEST_DIR")
+    ));
+    report.save(&out).expect("write BENCH_pr9.json");
+    print!("{}", report.to_json());
+    eprintln!("# wrote {out}");
+
+    assert!(diff_ok, "BenchDiff self-tests failed");
+}

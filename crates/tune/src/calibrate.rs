@@ -68,6 +68,18 @@ pub fn calibrate(opts: &CalibrateOptions) -> TuningProfile {
         let t = threads as f64;
         bw1 * t / (1.0 + (t - 1.0) / bw_theta)
     };
+    // Residual of the fitted curve against the measured ladder: the
+    // calibration-time noise floor that drift detection compares
+    // runtime prediction error against.
+    let calib_err = points
+        .iter()
+        .map(|&(t, measured)| {
+            let t = t as f64;
+            let model = bw1 * t / (1.0 + (t - 1.0) / bw_theta);
+            ((model - measured) / measured).abs()
+        })
+        .sum::<f64>()
+        / points.len() as f64;
 
     // Reduction efficiency at the full team.
     let reduce_scale = {
@@ -107,6 +119,7 @@ pub fn calibrate(opts: &CalibrateOptions) -> TuningProfile {
         bw_theta,
         reduce_scale,
         mkl_penalty: 0.0,
+        calib_err: Some(calib_err),
         tiers,
     }
 }
@@ -133,6 +146,9 @@ mod tests {
         assert!(!p.tiers.is_empty());
         assert!(p.bw1 > 0.0 && p.bw_theta > 0.0);
         assert_eq!(p.mkl_penalty, 0.0);
+        // Fresh calibrations always record their fit residual.
+        let ce = p.calib_err.expect("calib_err recorded");
+        assert!(ce.is_finite() && ce >= 0.0, "calib_err {ce}");
         // The profile the calibrator emits must satisfy its own codec.
         let text = p.to_text();
         let q = TuningProfile::from_text(&text).expect("self round trip");

@@ -50,9 +50,11 @@
 pub mod calibrate;
 pub mod measure;
 pub mod profile;
+pub mod roofline;
 
 pub use calibrate::{calibrate, CalibrateOptions};
 pub use profile::{TierTuning, TuningProfile, ENV_VAR, MAGIC, VERSION};
+pub use roofline::{perf_report, perf_report_with, ModeRun};
 
 use std::io;
 use std::sync::OnceLock;

@@ -83,6 +83,13 @@ pub struct TuningProfile {
     /// outputs and a reduction, so the MKL inner-product stall the
     /// paper models (§5.3.1) does not exist here.
     pub mkl_penalty: f64,
+    /// Mean relative residual of the `BW(T)` saturation fit against
+    /// the measured bandwidth ladder, recorded at calibration time.
+    /// **Optional** in the file format: profiles written before drift
+    /// detection existed carry no `calib_err` key and load as `None`,
+    /// in which case drift detection falls back to a conservative
+    /// default baseline.
+    pub calib_err: Option<f64>,
     /// Per-tier kernel throughputs, one entry per tier measured.
     pub tiers: Vec<TierTuning>,
 }
@@ -139,6 +146,9 @@ impl TuningProfile {
         let _ = writeln!(s, "bw_theta = {:e}", self.bw_theta);
         let _ = writeln!(s, "reduce_scale = {:e}", self.reduce_scale);
         let _ = writeln!(s, "mkl_penalty = {:e}", self.mkl_penalty);
+        if let Some(ce) = self.calib_err {
+            let _ = writeln!(s, "calib_err = {ce:e}");
+        }
         for t in &self.tiers {
             let _ = writeln!(s, "[tier {}]", t.tier.name());
             let _ = writeln!(s, "gemm_flops = {:e}", t.gemm_flops);
@@ -223,6 +233,7 @@ impl TuningProfile {
         let bw_theta = globals.f64_value("bw_theta", Positive)?;
         let reduce_scale = globals.f64_value("reduce_scale", Positive)?;
         let mkl_penalty = globals.f64_value("mkl_penalty", NonNegative)?;
+        let calib_err = globals.f64_optional("calib_err", NonNegative)?;
         let tiers = tiers
             .into_iter()
             .map(|(tier, bag)| {
@@ -242,6 +253,7 @@ impl TuningProfile {
             bw_theta,
             reduce_scale,
             mkl_penalty,
+            calib_err,
             tiers,
         })
     }
@@ -267,6 +279,7 @@ impl TuningProfile {
     ///     bw_theta: 9.0,
     ///     reduce_scale: 0.8,
     ///     mkl_penalty: 0.0,
+    ///     calib_err: Some(0.03),
     ///     tiers: vec![TierTuning {
     ///         tier: KernelTier::Scalar,
     ///         gemm_flops: 6.0e9,
@@ -301,13 +314,14 @@ impl TuningProfile {
     }
 }
 
-const GLOBAL_KEYS: [&str; 6] = [
+const GLOBAL_KEYS: [&str; 7] = [
     "cores",
     "threads",
     "bw1",
     "bw_theta",
     "reduce_scale",
     "mkl_penalty",
+    "calib_err",
 ];
 const TIER_KEYS: [&str; 4] = ["gemm_flops", "gemm_eff0", "hadamard_cost", "fused_cost"];
 
@@ -416,6 +430,7 @@ mod tests {
             bw_theta: 9.25,
             reduce_scale: 0.8123,
             mkl_penalty: 0.0,
+            calib_err: Some(0.042),
             tiers: vec![
                 TierTuning {
                     tier: KernelTier::Scalar,
@@ -579,6 +594,34 @@ mod tests {
         assert!(e.to_string().contains("duplicate"), "{e}");
         // And a calibrated term flows through to the priced machine.
         assert_eq!(p.machine_for(KernelTier::Scalar).fused_cost, Some(2.5e-9));
+    }
+
+    #[test]
+    fn calib_err_is_optional_and_validated_when_present() {
+        let p = sample();
+        assert_eq!(p.to_text().matches("calib_err").count(), 1);
+        // A pre-drift profile (no `calib_err` key) still loads, with
+        // the residual absent.
+        let legacy: String = p
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("calib_err"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let q = TuningProfile::from_text(&legacy).expect("legacy profiles still load");
+        assert_eq!(q.calib_err, None);
+        // When present the key obeys the NonNegative range rule.
+        for broken in ["calib_err = -0.1", "calib_err = NaN"] {
+            let mutated = p.to_text().replacen("calib_err = 4.2e-2", broken, 1);
+            assert!(TuningProfile::from_text(&mutated).is_err(), "{broken}");
+        }
+        let dup = p.to_text().replacen(
+            "calib_err = 4.2e-2",
+            "calib_err = 4.2e-2\ncalib_err = 4.2e-2",
+            1,
+        );
+        let e = TuningProfile::from_text(&dup).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
     }
 
     #[test]

@@ -49,6 +49,8 @@ fn random_profile(rng: &mut Rng64) -> TuningProfile {
         } else {
             rng.next_f64()
         },
+        // Optional key: exercise both shapes.
+        calib_err: (rng.next_f64() < 0.5).then(|| pos_in(rng, 1e-4, 1.0)),
         tiers,
     }
 }

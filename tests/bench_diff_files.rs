@@ -1,0 +1,135 @@
+//! The bench-diff gate against the *committed* trajectory baselines:
+//! every `BENCH_pr*.json` in the repo root must parse unmodified, diff
+//! cleanly against itself (the identity diff proves the matcher
+//! resolves every record), and fail the gate when a synthetic
+//! regression is injected — the same three properties the CI perf-gate
+//! leg relies on.
+
+use mttkrp_repro::obs::{BenchDiff, JsonValue};
+
+/// The committed baselines, oldest first. Extend when a PR commits a
+/// new trajectory file.
+const BASELINES: &[&str] = &[
+    "BENCH_pr6.json",
+    "BENCH_pr7.json",
+    "BENCH_pr8.json",
+    "BENCH_pr9.json",
+];
+
+fn repo_file(name: &str) -> String {
+    let path = format!("{}/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn committed_baselines_parse_unmodified() {
+    for name in BASELINES {
+        let text = repo_file(name);
+        let doc = JsonValue::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("mttkrp-bench-v1"),
+            "{name} has the wrong schema tag"
+        );
+        // Older files record acceptance as a single object, newer ones
+        // as a row array; both count, empty or absent does not.
+        assert!(
+            matches!(doc.get("acceptance"), Some(JsonValue::Arr(rows)) if !rows.is_empty())
+                || matches!(doc.get("acceptance"), Some(JsonValue::Obj(f)) if !f.is_empty()),
+            "{name} has no acceptance rows"
+        );
+    }
+}
+
+#[test]
+fn identity_diff_passes_for_every_baseline() {
+    for name in BASELINES {
+        let text = repo_file(name);
+        let diff = BenchDiff::from_json(name, &text, name, &text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !diff.entries().is_empty(),
+            "{name}: identity diff matched no metrics"
+        );
+        assert!(
+            diff.baseline_only().is_empty() && diff.candidate_only().is_empty(),
+            "{name}: identity diff left unmatched records"
+        );
+        assert!(
+            diff.pass(BenchDiff::DEFAULT_TOLERANCE_PCT),
+            "{name}: identity diff failed the gate:\n{}",
+            diff.text(BenchDiff::DEFAULT_TOLERANCE_PCT)
+        );
+    }
+}
+
+/// Scale every numeric metric whose name marks it as a gated
+/// throughput/time metric, leaving identity fields untouched.
+fn degrade(v: &JsonValue) -> JsonValue {
+    match v {
+        JsonValue::Obj(fields) => JsonValue::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    let degraded = match v {
+                        JsonValue::Num(x)
+                            if k.contains("gb_") || k.contains("gflops") || k.contains("per_s") =>
+                        {
+                            JsonValue::Num(x * 0.8)
+                        }
+                        JsonValue::Num(x) if k == "seconds" || k.ends_with("_s") => {
+                            JsonValue::Num(x * 1.25)
+                        }
+                        other => degrade(other),
+                    };
+                    (k.clone(), degraded)
+                })
+                .collect(),
+        ),
+        JsonValue::Arr(items) => JsonValue::Arr(items.iter().map(degrade).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Render a parsed document back to JSON text (the parser accepts the
+/// subset this emits; string escaping is not needed for metric names).
+fn render(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{}", *x as i64)
+            } else {
+                format!("{x:e}")
+            }
+        }
+        JsonValue::Str(s) => format!("{s:?}"),
+        JsonValue::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        JsonValue::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k:?}: {}", render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[test]
+fn synthetic_regression_fails_the_gate() {
+    for name in BASELINES {
+        let text = repo_file(name);
+        let doc = JsonValue::parse(&text).unwrap();
+        let bad = render(&degrade(&doc));
+        let diff = BenchDiff::from_json(name, &text, "degraded", &bad)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !diff.pass(BenchDiff::DEFAULT_TOLERANCE_PCT),
+            "{name}: a 20-25% degradation of every throughput/time metric passed the gate"
+        );
+    }
+}

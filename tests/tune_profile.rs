@@ -15,6 +15,7 @@ fn sample_profile() -> TuningProfile {
         bw_theta: 11.372983346207417,
         reduce_scale: 0.7431,
         mkl_penalty: 0.0,
+        calib_err: Some(2.84375e-2),
         tiers: vec![
             TierTuning {
                 tier: KernelTier::Scalar,
