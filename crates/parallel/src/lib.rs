@@ -4,15 +4,23 @@
 //! using *static* scheduling: each of `T` threads receives one contiguous
 //! block of the iteration space, plus thread-private output buffers that
 //! are combined by a final parallel reduction. This crate provides exactly
-//! that model:
+//! that model — but since PR 10 the *execution substrate* is the
+//! work-stealing scheduler in `mttkrp-sched`, not a dedicated set of OS
+//! threads per pool:
 //!
-//! * [`ThreadPool`] — a persistent pool of workers. A *parallel region*
-//!   ([`ThreadPool::run`]) invokes one closure per thread with its
-//!   [`WorkerCtx`] (thread id and team size), blocking the caller until
-//!   every thread finishes. The calling thread participates as thread 0,
-//!   so a pool of size 1 runs entirely inline with no synchronization.
+//! * [`ThreadPool`] — a team size plus a handle to a shared
+//!   [`Scheduler`](mttkrp_sched::Scheduler). A *parallel region*
+//!   ([`ThreadPool::run`]) invokes one closure per team *slot* with its
+//!   [`WorkerCtx`] (slot id and team size), blocking the caller until
+//!   every slot finishes. Slots are stealable units: idle workers — from
+//!   any job sharing the scheduler — claim them dynamically, while the
+//!   calling thread claims slots itself so progress never depends on
+//!   idle workers existing. Slot *identity* is preserved, so partition
+//!   tables and workspace arenas indexed by `thread_id` produce results
+//!   bitwise identical to the old static one-thread-per-slot pool. A
+//!   pool of size 1 runs entirely inline with no synchronization.
 //! * [`ThreadPool::parallel_for_blocks`] — static contiguous partition of
-//!   an index range, one block per thread (OpenMP `schedule(static)`).
+//!   an index range, one block per slot (OpenMP `schedule(static)`).
 //! * [`ThreadPool::parallel_for_chunks`] — block-cyclic partition for
 //!   load-balancing loops whose per-iteration cost varies.
 //! * [`reduce::sum_into`] — the parallel reduction used to combine

@@ -1,90 +1,83 @@
-//! A persistent thread pool with OpenMP-style parallel regions.
+//! OpenMP-style parallel regions on the shared work-stealing scheduler.
 //!
-//! The pool owns `T - 1` worker threads; the thread that enters a region
-//! participates as thread 0. Regions are *blocking*: [`ThreadPool::run`]
-//! returns only after every member of the team has finished, which is what
-//! makes it sound to hand the workers a closure that borrows the caller's
-//! stack.
+//! A [`ThreadPool`] is no longer a set of dedicated OS threads: it is a
+//! *team size* plus a handle to a [`Scheduler`] (by default the
+//! process-wide global one). Entering a region submits `T − 1`
+//! stealable slot tickets and the calling thread claims slots itself,
+//! so the region completes even when every scheduler worker is busy
+//! with someone else's job — and conversely, idle workers from *other*
+//! jobs can steal this region's slots. Regions are still *blocking*:
+//! [`ThreadPool::run`] returns only after every slot has finished,
+//! which is what makes it sound to hand the team a closure that borrows
+//! the caller's stack.
+//!
+//! Slot identity is preserved (`WorkerCtx::thread_id` is the region
+//! slot id, `0..num_threads`), so the static partition tables computed
+//! by plans and the per-slot workspace arenas behave exactly as they
+//! did under the old one-OS-thread-per-slot pool: results are bitwise
+//! identical, only the *placement* of slots onto OS threads is dynamic.
+//!
+//! A pool of size `1` never touches the scheduler; every region runs
+//! inline on the caller with zero allocation, preserving the
+//! steady-state allocation-freedom the counting-allocator tests pin.
 
-use std::any::Any;
 use std::ops::Range;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::thread::JoinHandle;
+
+use mttkrp_sched::{CancelToken, Scheduler};
 
 use crate::partition::block_range;
 
 /// Identity of one thread inside a parallel region.
+///
+/// `thread_id` is the *slot* id within the team. Under work-stealing
+/// the slot may execute on any OS thread, but the id still indexes
+/// partition schedules and workspace slots exactly as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerCtx {
-    /// Thread id within the team, `0 <= thread_id < num_threads`.
+    /// Slot id within the team, `0 <= thread_id < num_threads`.
     pub thread_id: usize,
     /// Team size for this region (the pool size).
     pub num_threads: usize,
 }
 
-type PanicPayload = Box<dyn Any + Send + 'static>;
-
-/// Type-erased pointer to the region closure living on the caller's stack.
+/// A team of `T` region slots executing OpenMP-like parallel regions on
+/// a work-stealing [`Scheduler`].
 ///
-/// Safety: the caller blocks until every worker acknowledges completion,
-/// so the pointee outlives every dereference.
-struct JobMsg {
-    data: *const (),
-    call: unsafe fn(*const (), WorkerCtx),
-    ctx: WorkerCtx,
-    done: SyncSender<Result<(), PanicPayload>>,
-}
-
-// The raw pointer refers to a `Sync` closure that outlives the region.
-unsafe impl Send for JobMsg {}
-
-enum Msg {
-    Run(JobMsg),
-    Exit,
-}
-
-/// A persistent team of threads executing OpenMP-like parallel regions.
-///
-/// Creating a pool of size `1` spawns no threads; every region then runs
-/// inline on the caller, so sequential benchmarks measure zero
-/// synchronization overhead.
+/// Creating a pool of size `1` runs every region inline on the caller,
+/// so sequential benchmarks measure zero synchronization overhead.
+#[derive(Clone)]
 pub struct ThreadPool {
     size: usize,
-    senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<()>>,
+    sched: Scheduler,
+    cancel: CancelToken,
 }
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
             .field("size", &self.size)
+            .field("workers", &self.sched.workers())
             .finish()
     }
 }
 
 impl ThreadPool {
-    /// Create a pool with `size` threads (including the caller).
+    /// Create a pool with `size` team slots on the global scheduler.
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
+        Self::with_scheduler(size, Scheduler::global().clone())
+    }
+
+    /// Create a pool with `size` team slots on an explicit scheduler
+    /// (isolated instances in tests, the daemon's shared one in prod).
+    pub fn with_scheduler(size: usize, sched: Scheduler) -> Self {
         assert!(size > 0, "thread pool must have at least one thread");
-        let mut senders = Vec::with_capacity(size.saturating_sub(1));
-        let mut handles = Vec::with_capacity(size.saturating_sub(1));
-        for i in 1..size {
-            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = channel();
-            let handle = std::thread::Builder::new()
-                .name(format!("mttkrp-worker-{i}"))
-                .spawn(move || worker_loop(rx))
-                .expect("failed to spawn pool worker");
-            senders.push(tx);
-            handles.push(handle);
-        }
         ThreadPool {
             size,
-            senders,
-            handles,
+            sched,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -96,17 +89,36 @@ impl ThreadPool {
         Self::new(n)
     }
 
-    /// Number of threads in the team (including the caller).
+    /// Wire a cooperative cancellation token into this pool's regions
+    /// (the daemon hands each job's token to its pool). Regions still
+    /// run every slot — cancellation is observed by the *callers*
+    /// between regions, not by cutting a region short.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The cancellation token regions of this pool observe.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The scheduler this pool submits regions to.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Number of slots in the team (the `T` of the paper's schedules).
     #[inline]
     pub fn num_threads(&self) -> usize {
         self.size
     }
 
-    /// Execute `f(ctx)` once per team member, blocking until all finish.
+    /// Execute `f(ctx)` once per team slot, blocking until all finish.
     ///
-    /// The calling thread runs as `thread_id == 0`. If any invocation
-    /// panics, the panic is re-raised here after the team quiesces (the
-    /// first panic observed wins; thread 0's panic takes precedence).
+    /// The calling thread claims slots alongside the scheduler's
+    /// workers (so progress never depends on idle workers existing).
+    /// If any slot panics, the panic is re-raised here after the team
+    /// quiesces (the first panic observed wins).
     pub fn run<F>(&self, f: F)
     where
         F: Fn(WorkerCtx) + Sync,
@@ -118,56 +130,15 @@ impl ThreadPool {
             });
             return;
         }
-        // Completion channel buffered for every worker, so completion
-        // sends never block even while the caller is still running its
-        // own share of the region.
-        let (done_tx, done_rx) = sync_channel::<Result<(), PanicPayload>>(self.size - 1);
-        let data = &f as *const F as *const ();
-        unsafe fn call_shim<F: Fn(WorkerCtx) + Sync>(data: *const (), ctx: WorkerCtx) {
-            // Safety: `data` points at the caller's `F`, alive for the region.
-            unsafe { (*(data as *const F))(ctx) }
-        }
-        for (i, tx) in self.senders.iter().enumerate() {
-            let msg = JobMsg {
-                data,
-                call: call_shim::<F>,
-                ctx: WorkerCtx {
-                    thread_id: i + 1,
-                    num_threads: self.size,
-                },
-                done: done_tx.clone(),
-            };
-            tx.send(Msg::Run(msg))
-                .expect("pool worker exited unexpectedly");
-        }
-        drop(done_tx);
-        let mine = catch_unwind(AssertUnwindSafe(|| {
+        self.sched.run_region(self.size, &self.cancel, |ctx| {
             f(WorkerCtx {
-                thread_id: 0,
-                num_threads: self.size,
+                thread_id: ctx.slot,
+                num_threads: ctx.team,
             })
-        }));
-        // Quiesce before unwinding: the closure must outlive every worker.
-        let mut worker_panic: Option<PanicPayload> = None;
-        for _ in 0..self.size - 1 {
-            match done_rx.recv().expect("pool worker exited unexpectedly") {
-                Ok(()) => {}
-                Err(p) => {
-                    if worker_panic.is_none() {
-                        worker_panic = Some(p);
-                    }
-                }
-            }
-        }
-        if let Err(p) = mine {
-            resume_unwind(p);
-        }
-        if let Some(p) = worker_panic {
-            resume_unwind(p);
-        }
+        });
     }
 
-    /// Static contiguous partition of `0..n`: thread `t` receives the
+    /// Static contiguous partition of `0..n`: slot `t` receives the
     /// `t`-th balanced block as a half-open range.
     pub fn parallel_for_range<F>(&self, n: usize, f: F)
     where
@@ -181,7 +152,7 @@ impl ThreadPool {
         });
     }
 
-    /// Static contiguous partition of `data` (length `n`): thread `t`
+    /// Static contiguous partition of `data` (length `n`): slot `t`
     /// receives its index range plus the matching disjoint sub-slice.
     pub fn parallel_for_blocks<T, F>(&self, n: usize, data: &mut [T], f: F)
     where
@@ -203,7 +174,7 @@ impl ThreadPool {
         });
     }
 
-    /// Block-cyclic partition: thread `t` processes chunks
+    /// Block-cyclic partition: slot `t` processes chunks
     /// `t, t + T, t + 2T, ...` of `chunk` consecutive indices each.
     ///
     /// Used where per-chunk cost varies; the paper's internal-mode 1-step
@@ -223,11 +194,11 @@ impl ThreadPool {
         });
     }
 
-    /// Run a region with one private value per thread, returning the
-    /// private values afterwards (e.g. thread-local MTTKRP accumulators).
+    /// Run a region with one private value per slot, returning the
+    /// private values afterwards (e.g. slot-local MTTKRP accumulators).
     ///
     /// `init(t)` is called on the caller for `t in 0..T` before the region
-    /// starts; thread `t` then receives `&mut` access to its value.
+    /// starts; slot `t` then receives `&mut` access to its value.
     pub fn run_with_private<B, I, F>(&self, init: I, f: F) -> Vec<B>
     where
         B: Send,
@@ -237,7 +208,7 @@ impl ThreadPool {
         let mut privs: Vec<B> = (0..self.size).map(init).collect();
         let base = privs.as_mut_ptr() as usize;
         self.run(|ctx| {
-            // Safety: each thread touches only element `thread_id`, and
+            // Safety: each slot touches only element `thread_id`, and
             // `privs` outlives the region.
             let b = unsafe { &mut *(base as *mut B).add(ctx.thread_id) };
             f(ctx, b);
@@ -246,35 +217,10 @@ impl ThreadPool {
     }
 }
 
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Msg::Exit);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_loop(rx: Receiver<Msg>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Exit => break,
-            Msg::Run(job) => {
-                let res = catch_unwind(AssertUnwindSafe(|| unsafe {
-                    (job.call)(job.data, job.ctx)
-                }));
-                // The caller is guaranteed to be draining the channel.
-                let _ = job.done.send(res.map_err(|p| p as PanicPayload));
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -303,6 +249,28 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn pools_share_one_scheduler_without_interference() {
+        // Two pools of different team sizes on the same (global)
+        // scheduler: slots must not leak between their regions.
+        let small = ThreadPool::new(2);
+        let big = ThreadPool::new(6);
+        for _ in 0..20 {
+            let a = AtomicUsize::new(0);
+            let b = AtomicUsize::new(0);
+            small.run(|ctx| {
+                assert_eq!(ctx.num_threads, 2);
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            big.run(|ctx| {
+                assert_eq!(ctx.num_threads, 6);
+                b.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(a.load(Ordering::Relaxed), 2);
+            assert_eq!(b.load(Ordering::Relaxed), 6);
+        }
     }
 
     #[test]
@@ -386,6 +354,19 @@ mod tests {
             assert_eq!(ctx.thread_id, 0);
             assert_eq!(std::thread::current().id(), tid);
         });
+    }
+
+    #[test]
+    fn isolated_scheduler_pool_runs_regions() {
+        let sched = mttkrp_sched::Scheduler::new(2);
+        let pool = ThreadPool::with_scheduler(4, sched.clone());
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+        drop(pool);
+        sched.shutdown();
     }
 
     #[test]

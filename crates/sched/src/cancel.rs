@@ -1,0 +1,53 @@
+//! Cooperative cancellation tokens.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a job's owner and
+/// every task running on its behalf.
+///
+/// Cancellation is *advisory*: setting the token never interrupts a
+/// running task. Tasks (and the drivers between sweeps) poll
+/// [`CancelToken::is_cancelled`] at their natural boundaries; the
+/// scheduler itself skips still-queued tasks of a cancelled
+/// [`TaskGroup`](crate::TaskGroup) before running their closure, which
+/// bounds how much work a cancelled job can still perform by the number
+/// of tasks *already executing* when the token flipped.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+}

@@ -1,0 +1,100 @@
+//! The per-worker work deque.
+//!
+//! Each scheduler worker owns one [`WorkDeque`]: the owner pushes and
+//! pops at the *bottom* (LIFO — the task pushed most recently is the
+//! hottest in cache and runs first), while thieves steal from the *top*
+//! (FIFO — the oldest, typically largest-granularity task migrates, the
+//! classic work-stealing heuristic from Cilk/Chase–Lev).
+//!
+//! The implementation is a coarse-locked ring (`Mutex<VecDeque>`)
+//! rather than a lock-free Chase–Lev deque: tasks in this workspace are
+//! *block-sized* (an MTTKRP column block, a whole decomposition sweep
+//! region slot — microseconds to milliseconds each), so a ~20 ns
+//! uncontended lock round-trip per operation is noise, and the mutex
+//! makes every operation trivially linearizable — the property the
+//! stress battery in `tests/stress.rs` hammers. The owner's fast path
+//! takes its own (usually uncontended) lock; thieves only touch a
+//! victim's lock when their own deque and the injector are empty.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A double-ended work queue: owner LIFO at the bottom, thieves FIFO at
+/// the top. All operations are linearizable (single internal lock).
+#[derive(Debug)]
+pub struct WorkDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for WorkDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        WorkDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner push at the bottom (the next [`WorkDeque::pop`] returns
+    /// this task — LIFO for locality).
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Owner pop from the bottom: the most recently pushed task.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// Thief steal from the top: the oldest task in the deque.
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued tasks (a snapshot; immediately stale under
+    /// contention).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the deque is empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = WorkDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(3), "owner takes the newest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let d = WorkDeque::new();
+        assert!(d.is_empty());
+        for i in 0..10 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 10);
+        d.pop();
+        d.steal();
+        assert_eq!(d.len(), 8);
+    }
+}

@@ -1,0 +1,320 @@
+//! `cpd-loadgen` — mixed-traffic driver for `tensorcpd`, and the PR-10
+//! trajectory record (`BENCH_pr10.json`).
+//!
+//! Generates a dense (MTKT), sparse (MTKS), and out-of-core (MTTB)
+//! workload in a temp directory, starts an in-process daemon on a
+//! loopback TCP socket, and drives the same six-job mixed batch (2×
+//! dense, 2× sparse, 2× ooc) through two phases:
+//!
+//! 1. **Serialized**: one connection, one job at a time — the
+//!    static-baseline cost of the batch (no overlap).
+//! 2. **Concurrent**: one connection per job, all submitted at once —
+//!    jobs overlap on the shared work-stealing scheduler, bounded by
+//!    the admission controller.
+//!
+//! Reported: per-job latencies, concurrent-phase p50/p99, aggregate
+//! throughput ratio (serialized batch seconds / concurrent wall
+//! seconds), and a single-job check (CP-ALS alone on the work-stealing
+//! scheduler vs a 0-worker scheduler, whose submitter-executes-all mode
+//! is the old static schedule). The report must pass the PR-9
+//! bench-diff identity self-check.
+//!
+//! The ≥1.3× throughput and ≤5% single-job assertions only arm on
+//! hosts with ≥4 scheduler workers and outside `MTTKRP_BENCH_SMOKE=1`
+//! — on a 1-core CI box there is no overlap to win.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mttkrp_cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_obs::{BenchDiff, BenchReport};
+use mttkrp_ooc::{TileStore, TiledLayout};
+use mttkrp_parallel::ThreadPool;
+use mttkrp_rng::Rng64;
+use mttkrp_sched::Scheduler;
+use mttkrp_serve::{
+    AdmissionConfig, Bind, Format, JobEvent, JobRequest, JobSpec, Server, ServerConfig, PROTOCOL,
+};
+use mttkrp_tensor::DenseTensor;
+use mttkrp_workloads::{random_sparse, write_sparse, write_tensor};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send(&mut self, req: &JobRequest) {
+        let mut line = req.to_json();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .expect("send request");
+    }
+
+    fn next_event(&mut self) -> JobEvent {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).expect("read event");
+            assert!(n > 0, "daemon closed the connection");
+            if !line.trim().is_empty() {
+                return JobEvent::parse(line.trim()).expect("parse event");
+            }
+        }
+    }
+
+    /// Submit and block until the job's terminal event; seconds from
+    /// submit to `done` (the client-observed latency, queueing
+    /// included).
+    fn run_job(&mut self, id: &str, spec: JobSpec) -> (f64, f64) {
+        let start = Instant::now();
+        self.send(&JobRequest::Submit {
+            id: id.into(),
+            spec,
+        });
+        loop {
+            match self.next_event() {
+                JobEvent::Done {
+                    id: done_id,
+                    final_fit,
+                    ..
+                } if done_id == id => return (start.elapsed().as_secs_f64(), final_fit),
+                JobEvent::Accepted { .. } | JobEvent::Started { .. } | JobEvent::Fit { .. } => {}
+                other => panic!("job {id}: unexpected event {other:?}"),
+            }
+        }
+    }
+}
+
+/// The six-job mixed batch over the generated files.
+fn batch(dir: &Path, rank: usize, iters: usize, threads: usize) -> Vec<(String, JobSpec)> {
+    let spec = |file: &str, format: Format, seed: u64| JobSpec {
+        path: dir.join(file).to_string_lossy().into_owned(),
+        format,
+        rank,
+        max_iters: iters,
+        tol: 0.0,
+        threads,
+        seed,
+        stream_fits: false,
+        return_factors: false,
+    };
+    vec![
+        ("dense-0".into(), spec("x.mtkt", Format::Dense, 11)),
+        ("sparse-0".into(), spec("x.mtks", Format::Sparse, 12)),
+        ("ooc-0".into(), spec("x.mttb", Format::Ooc, 13)),
+        ("dense-1".into(), spec("x.mtkt", Format::Dense, 21)),
+        ("sparse-1".into(), spec("x.mtks", Format::Sparse, 22)),
+        ("ooc-1".into(), spec("x.mttb", Format::Ooc, 23)),
+    ]
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::var("MTTKRP_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let workers = Scheduler::default_workers();
+    let (dims, tile, nnz, rank, iters, threads) = if smoke {
+        (vec![10usize, 8, 6], vec![4usize, 4, 3], 300, 4, 4, 0)
+    } else {
+        (
+            vec![48usize, 40, 32],
+            vec![16usize, 16, 8],
+            40_000,
+            8,
+            10,
+            2,
+        )
+    };
+
+    // --- workload files ---
+    let dir: PathBuf = std::env::temp_dir().join(format!("cpd_loadgen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create workload dir");
+    let mut rng = Rng64::seed_from_u64(0x10AD);
+    let total: usize = dims.iter().product();
+    let x = DenseTensor::from_vec(&dims, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+    write_tensor(dir.join("x.mtkt"), &x).expect("write dense");
+    write_sparse(dir.join("x.mtks"), &random_sparse(&dims, nnz, 0x5EED)).expect("write sparse");
+    let layout = TiledLayout::new(&dims, &tile);
+    TileStore::write_dense(dir.join("x.mttb"), &layout, &x).expect("write ooc");
+
+    // --- daemon on loopback ---
+    let mut server = Server::start(ServerConfig {
+        bind: Bind::Tcp("127.0.0.1:0".into()),
+        admission: AdmissionConfig {
+            max_active: 3,
+            queue_cap: 8,
+        },
+        max_team: threads.max(2),
+        scheduler: None,
+    })
+    .expect("start daemon");
+    let addr = server.tcp_addr().expect("tcp address");
+    println!("cpd-loadgen: daemon on {addr}, {workers} scheduler workers, smoke={smoke}");
+
+    let jobs = batch(&dir, rank, iters, threads);
+
+    // --- phase 1: serialized baseline ---
+    let mut client = Client::connect(addr).expect("connect");
+    let serial_start = Instant::now();
+    let mut serial_lat = Vec::new();
+    let mut serial_fits = Vec::new();
+    for (id, spec) in &jobs {
+        let (lat, fit) = client.run_job(id, spec.clone());
+        serial_lat.push(lat);
+        serial_fits.push(fit);
+    }
+    let serial_total = serial_start.elapsed().as_secs_f64();
+
+    // --- phase 2: concurrent mixed traffic ---
+    let conc_start = Instant::now();
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(id, spec)| {
+            let id = format!("c-{id}");
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.run_job(&id, spec)
+            })
+        })
+        .collect();
+    let conc_results: Vec<(f64, f64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let conc_wall = conc_start.elapsed().as_secs_f64();
+
+    // Same files, same seeds, same team sizes → the fits must agree
+    // exactly between phases (determinism under interleaving).
+    for (i, ((_, fit), want)) in conc_results.iter().zip(&serial_fits).enumerate() {
+        assert!(
+            (fit - want).abs() <= 1e-12,
+            "job {} fit drifted between phases: {fit} vs {want}",
+            jobs[i].0
+        );
+    }
+
+    let mut conc_lat: Vec<f64> = conc_results.iter().map(|r| r.0).collect();
+    conc_lat.sort_by(f64::total_cmp);
+    let throughput_ratio = serial_total / conc_wall;
+
+    // --- single-job check: work-stealing vs 0-worker static mode ---
+    let t_single = threads.max(1);
+    let opts = CpAlsOptions {
+        max_iters: iters,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
+    let time_alone = |sched: &Scheduler| {
+        let pool = ThreadPool::with_scheduler(t_single, sched.clone());
+        let init = KruskalModel::<f64>::random(&dims, rank, 7);
+        let t0 = Instant::now();
+        let _ = cp_als(&pool, &x, init, &opts);
+        t0.elapsed().as_secs_f64()
+    };
+    let static_sched = Scheduler::new(0);
+    let single_static = time_alone(&static_sched);
+    static_sched.shutdown();
+    let single_ws = time_alone(Scheduler::global());
+    let single_ratio = single_static / single_ws; // ≥ 0.95 wanted
+
+    // --- report ---
+    let mut report = BenchReport::new(10);
+    report
+        .scalar("protocol", PROTOCOL)
+        .scalar("smoke", smoke)
+        .scalar("sched_workers", workers)
+        .scalar("jobs", jobs.len())
+        .scalar("max_active", 3usize)
+        .scalar("rank", rank)
+        .scalar(
+            "dims",
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+        );
+    for (i, (id, spec)) in jobs.iter().enumerate() {
+        report
+            .row("job")
+            .field("id", id.as_str())
+            .field("format", spec.format.as_str())
+            .field("serial_ms", serial_lat[i] * 1e3)
+            .field("concurrent_ms", conc_results[i].0 * 1e3)
+            .field("final_fit", serial_fits[i]);
+    }
+    report
+        .row("latency")
+        .field("phase", "concurrent")
+        .field("p50_ms", percentile(&conc_lat, 0.50) * 1e3)
+        .field("p99_ms", percentile(&conc_lat, 0.99) * 1e3)
+        .field("max_ms", conc_lat.last().copied().unwrap_or(0.0) * 1e3);
+    report
+        .row("throughput")
+        .field("serial_s", serial_total)
+        .field("concurrent_wall_s", conc_wall)
+        .field("ratio", throughput_ratio);
+    report
+        .row("single_job")
+        .field("static_ms", single_static * 1e3)
+        .field("ws_ms", single_ws * 1e3)
+        .field("ratio", single_ratio);
+
+    // PR-9 gate compatibility: this report diffed against itself must
+    // pass — the CI leg runs the same check on the committed file.
+    let json = report.to_json();
+    let identity_ok = BenchDiff::from_json("pr10", &json, "pr10", &json)
+        .expect("identity diff parses")
+        .pass(BenchDiff::DEFAULT_TOLERANCE_PCT);
+    report
+        .row("diff_selftest")
+        .field("check", "identity_passes")
+        .field("ok", identity_ok);
+    assert!(identity_ok, "bench-diff identity self-check failed");
+
+    // Acceptance: only armed where overlap is physically possible.
+    let armed = workers >= 4 && !smoke;
+    report
+        .scalar("acceptance_armed", armed)
+        .scalar("throughput_ratio", throughput_ratio)
+        .scalar("single_job_ratio", single_ratio);
+    println!(
+        "cpd-loadgen: serialized {serial_total:.3}s, concurrent {conc_wall:.3}s \
+         (ratio {throughput_ratio:.2}x), p50 {:.1}ms p99 {:.1}ms, \
+         single-job static/ws {single_ratio:.3}",
+        percentile(&conc_lat, 0.50) * 1e3,
+        percentile(&conc_lat, 0.99) * 1e3,
+    );
+    if armed {
+        assert!(
+            throughput_ratio >= 1.3,
+            "mixed-traffic throughput ratio {throughput_ratio:.2} < 1.3x"
+        );
+        assert!(
+            single_ratio >= 0.95,
+            "single-job regression: static/ws ratio {single_ratio:.3} < 0.95"
+        );
+    } else {
+        println!(
+            "cpd-loadgen: acceptance thresholds not armed \
+             (workers={workers}, smoke={smoke})"
+        );
+    }
+
+    let out = BenchReport::out_path("BENCH_pr10.json");
+    report.save(&out).expect("write report");
+    println!("cpd-loadgen: wrote {out}");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,123 @@
+//! `tensorcpd` — the multi-tenant CP decomposition daemon.
+//!
+//! Listens on a Unix or TCP socket for `mttkrp-jobs-v1` NDJSON
+//! requests (see `docs/FORMATS.md`), runs admitted jobs on the shared
+//! work-stealing scheduler, and streams fit trajectories back.
+//!
+//! ```text
+//! tensorcpd --unix /tmp/tensorcpd.sock --max-active 2 --queue-cap 8
+//! tensorcpd --tcp 127.0.0.1:7117 --max-team 8 --workers 6
+//! ```
+
+use std::process::ExitCode;
+
+use mttkrp_sched::Scheduler;
+use mttkrp_serve::server::Bind;
+use mttkrp_serve::{AdmissionConfig, Server, ServerConfig};
+
+const USAGE: &str = "usage: tensorcpd (--unix PATH | --tcp ADDR) \
+    [--max-active N] [--queue-cap N] [--max-team N] [--workers N]";
+
+fn main() -> ExitCode {
+    let mut bind: Option<Bind> = None;
+    let mut admission = AdmissionConfig::default();
+    let mut max_team = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut workers: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parsed: Result<(), String> = (|| match arg.as_str() {
+            "--unix" => {
+                #[cfg(unix)]
+                {
+                    bind = Some(Bind::Unix(value("--unix")?.into()));
+                    Ok(())
+                }
+                #[cfg(not(unix))]
+                Err("--unix is not supported on this platform".into())
+            }
+            "--tcp" => {
+                bind = Some(Bind::Tcp(value("--tcp")?));
+                Ok(())
+            }
+            "--max-active" => {
+                admission.max_active = parse_num(&value("--max-active")?)?;
+                Ok(())
+            }
+            "--queue-cap" => {
+                admission.queue_cap = parse_num(&value("--queue-cap")?)?;
+                Ok(())
+            }
+            "--max-team" => {
+                max_team = parse_num(&value("--max-team")?)?;
+                Ok(())
+            }
+            "--workers" => {
+                workers = Some(parse_num(&value("--workers")?)?);
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => Err(format!("unknown argument: {other}")),
+        })();
+        if let Err(e) = parsed {
+            eprintln!("tensorcpd: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let Some(bind) = bind else {
+        eprintln!("tensorcpd: no listen address\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    // Pick up a calibrated tuning profile if MTTKRP_TUNE_PROFILE
+    // points at one (team sizing falls back to the work heuristic
+    // otherwise).
+    match mttkrp_tune::init_from_env() {
+        Ok(Some(_)) => {
+            eprintln!("tensorcpd: tuned cost model installed from MTTKRP_TUNE_PROFILE");
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("tensorcpd: failed to load MTTKRP_TUNE_PROFILE profile: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
+    let cfg = ServerConfig {
+        bind,
+        admission,
+        max_team,
+        // --workers N runs jobs on a dedicated scheduler; by default
+        // jobs share the process-global one (sized by
+        // MTTKRP_SCHED_WORKERS or available parallelism).
+        scheduler: workers.map(Scheduler::new),
+    };
+    let mut server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tensorcpd: failed to bind: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match server.tcp_addr() {
+        Some(addr) => println!("tensorcpd: listening on tcp {addr}"),
+        None => println!("tensorcpd: listening on unix socket"),
+    }
+    server.wait();
+    server.stop();
+    println!("tensorcpd: shut down");
+    ExitCode::SUCCESS
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("invalid number: {s}"))
+}

@@ -14,6 +14,8 @@ pub use mttkrp_obs as obs;
 pub use mttkrp_ooc as ooc;
 pub use mttkrp_parallel as parallel;
 pub use mttkrp_rng as rng;
+pub use mttkrp_sched as sched;
+pub use mttkrp_serve as serve;
 pub use mttkrp_sparse as sparse;
 pub use mttkrp_tensor as tensor;
 pub use mttkrp_tune as tune;

@@ -1,0 +1,364 @@
+//! End-to-end battery for the `tensorcpd` daemon over a Unix socket:
+//! concurrent mixed-format jobs finish with *exactly* the fits a direct
+//! in-process CP-ALS run produces, cancellation hands the freed slot to
+//! a queued job, and a full admission queue rejects with 429-style
+//! backpressure.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+use mttkrp_repro::cpals::{cp_als, CpAlsOptions, KruskalModel, MttkrpStrategy};
+use mttkrp_repro::ooc::{OocTensor, TileStore, TiledLayout};
+use mttkrp_repro::parallel::ThreadPool;
+use mttkrp_repro::rng::Rng64;
+use mttkrp_repro::sched::Scheduler;
+use mttkrp_repro::serve::server::Bind;
+use mttkrp_repro::serve::{
+    AdmissionConfig, Format, JobEvent, JobRequest, JobSpec, Server, ServerConfig,
+};
+use mttkrp_repro::sparse::CsfTensor;
+use mttkrp_repro::tensor::DenseTensor;
+use mttkrp_repro::workloads::{random_sparse, write_sparse, write_tensor};
+
+const DIMS: [usize; 3] = [10, 8, 6];
+const TILE: [usize; 3] = [4, 4, 3];
+const NNZ: usize = 240;
+const RANK: usize = 3;
+const ITERS: usize = 5;
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn connect(sock: &Path) -> Client {
+        let writer = UnixStream::connect(sock).expect("connect to daemon");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { reader, writer }
+    }
+
+    fn send(&mut self, req: &JobRequest) {
+        let mut line = req.to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send");
+    }
+
+    fn next_event(&mut self) -> JobEvent {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read event");
+        assert!(n > 0, "daemon closed connection");
+        JobEvent::parse(line.trim()).expect("parse event")
+    }
+}
+
+/// Write the three workload files into `dir` and return the dense
+/// tensor for reference computations.
+fn write_workloads(dir: &Path) -> DenseTensor<f64> {
+    let mut rng = Rng64::seed_from_u64(0xE2E);
+    let total: usize = DIMS.iter().product();
+    let x = DenseTensor::from_vec(&DIMS, (0..total).map(|_| rng.next_f64() - 0.5).collect());
+    write_tensor(dir.join("x.mtkt"), &x).expect("write dense");
+    write_sparse(dir.join("x.mtks"), &random_sparse(&DIMS, NNZ, 0xE2E5)).expect("write sparse");
+    let layout = TiledLayout::new(&DIMS, &TILE);
+    TileStore::write_dense(dir.join("x.mttb"), &layout, &x).expect("write ooc");
+    x
+}
+
+fn spec(dir: &Path, file: &str, format: Format, max_iters: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        path: dir.join(file).to_string_lossy().into_owned(),
+        format,
+        rank: RANK,
+        max_iters,
+        tol: 0.0,
+        threads: 1,
+        seed,
+        stream_fits: true,
+        return_factors: false,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn start(dir: &Path, admission: AdmissionConfig) -> (Server, PathBuf) {
+    let sock = dir.join("tensorcpd.sock");
+    let server = Server::start(ServerConfig {
+        bind: Bind::Unix(sock.clone()),
+        admission,
+        max_team: 2,
+        scheduler: Some(Scheduler::new(1)),
+    })
+    .expect("start daemon");
+    (server, sock)
+}
+
+/// The reference trajectory the daemon must reproduce bit for bit: the
+/// same seed, options, and a team-1 pool.
+fn reference_fits<X: mttkrp_repro::mttkrp::MttkrpBackend<Elem = f64>>(
+    x: &X,
+    dims: &[usize],
+    seed: u64,
+) -> Vec<f64> {
+    let sched = Scheduler::new(0);
+    let pool = ThreadPool::with_scheduler(1, sched.clone());
+    let opts = CpAlsOptions {
+        max_iters: ITERS,
+        tol: 0.0,
+        strategy: MttkrpStrategy::Auto,
+    };
+    let init = KruskalModel::<f64>::random(dims, RANK, seed);
+    let (_, report) = cp_als(&pool, x, init, &opts);
+    sched.shutdown();
+    report.fits
+}
+
+/// Drive one job to completion, collecting its fit trajectory.
+fn run_to_done(client: &mut Client, id: &str, spec: JobSpec) -> Vec<f64> {
+    client.send(&JobRequest::Submit {
+        id: id.into(),
+        spec,
+    });
+    let mut fits = Vec::new();
+    loop {
+        match client.next_event() {
+            JobEvent::Accepted { id: eid, .. } => assert_eq!(eid, id),
+            JobEvent::Started { id: eid, team } => {
+                assert_eq!(eid, id);
+                assert_eq!(team, 1, "spec pinned threads=1");
+            }
+            JobEvent::Fit { id: eid, iter, fit } => {
+                assert_eq!(eid, id);
+                assert_eq!(iter, fits.len(), "fit events in sweep order");
+                fits.push(fit);
+            }
+            JobEvent::Done {
+                id: eid,
+                iters,
+                final_fit,
+                converged,
+                ..
+            } => {
+                assert_eq!(eid, id);
+                assert_eq!(iters, fits.len());
+                assert!(!converged, "tol=0 never converges early");
+                assert_eq!(final_fit.to_bits(), fits.last().unwrap().to_bits());
+                return fits;
+            }
+            other => panic!("job {id}: unexpected event {other:?}"),
+        }
+    }
+}
+
+/// Concurrent dense + sparse + OOC jobs, one connection each, all
+/// admitted at once (`max_active = 3`): every trajectory must equal the
+/// direct in-process run exactly — the daemon and the scheduler add
+/// plumbing, not arithmetic.
+#[test]
+fn concurrent_mixed_jobs_produce_exact_fits() {
+    let dir = fresh_dir("mixed");
+    let x = write_workloads(&dir);
+    let want_dense = reference_fits(&x, &DIMS, 11);
+    let csf = CsfTensor::from_coo(&random_sparse(&DIMS, NNZ, 0xE2E5));
+    let want_sparse = reference_fits(&csf, &DIMS, 12);
+    let ooc = OocTensor::open(dir.join("x.mttb")).expect("open ooc");
+    let want_ooc = reference_fits(&ooc, &DIMS, 13);
+    drop(ooc);
+
+    let (mut server, sock) = start(
+        &dir,
+        AdmissionConfig {
+            max_active: 3,
+            queue_cap: 4,
+        },
+    );
+    let jobs = [
+        ("dense", Format::Dense, "x.mtkt", 11, want_dense),
+        ("sparse", Format::Sparse, "x.mtks", 12, want_sparse),
+        ("ooc", Format::Ooc, "x.mttb", 13, want_ooc),
+    ];
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .map(|(id, format, file, seed, want)| {
+            let dir = dir.clone();
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&sock);
+                let fits = run_to_done(&mut client, id, spec(&dir, file, format, ITERS, seed));
+                assert_eq!(fits.len(), want.len(), "{id}: trajectory length");
+                for (i, (got, want)) in fits.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{id} iter {i}: daemon fit {got:e} != direct {want:e}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("job thread");
+    }
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With one active slot: job A hogs it (huge `max_iters`), job B queues
+/// behind it. Cancelling A must free the slot, and B — never touched —
+/// must run to completion.
+#[test]
+fn cancelled_job_frees_slot_for_queued_job() {
+    let dir = fresh_dir("cancel");
+    let _ = write_workloads(&dir);
+    let (mut server, sock) = start(
+        &dir,
+        AdmissionConfig {
+            max_active: 1,
+            queue_cap: 2,
+        },
+    );
+
+    let mut a = Client::connect(&sock);
+    a.send(&JobRequest::Submit {
+        id: "hog".into(),
+        spec: spec(&dir, "x.mtkt", Format::Dense, 1_000_000, 1),
+    });
+    // Wait until A is definitely sweeping (accepted + started + a fit).
+    loop {
+        match a.next_event() {
+            JobEvent::Fit { .. } => break,
+            JobEvent::Accepted { .. } | JobEvent::Started { .. } => {}
+            other => panic!("hog: unexpected event {other:?}"),
+        }
+    }
+
+    let mut b = Client::connect(&sock);
+    b.send(&JobRequest::Submit {
+        id: "patient".into(),
+        spec: spec(&dir, "x.mtks", Format::Sparse, ITERS, 2),
+    });
+    match b.next_event() {
+        JobEvent::Accepted { id, queue_depth } => {
+            assert_eq!(id, "patient");
+            assert_eq!(queue_depth, 1, "B waits behind the hog");
+        }
+        other => panic!("patient: unexpected event {other:?}"),
+    }
+
+    let mut canceller = Client::connect(&sock);
+    canceller.send(&JobRequest::Cancel { id: "hog".into() });
+    // A's stream drains remaining fit events, then the terminal event.
+    loop {
+        match a.next_event() {
+            JobEvent::Cancelled { id } => {
+                assert_eq!(id, "hog");
+                break;
+            }
+            JobEvent::Fit { .. } => {}
+            other => panic!("hog: unexpected event {other:?}"),
+        }
+    }
+    // The freed slot must go to B, which runs to completion.
+    let mut fits = Vec::new();
+    loop {
+        match b.next_event() {
+            JobEvent::Started { id, .. } => assert_eq!(id, "patient"),
+            JobEvent::Fit { fit, .. } => fits.push(fit),
+            JobEvent::Done { id, iters, .. } => {
+                assert_eq!(id, "patient");
+                assert_eq!(iters, ITERS);
+                break;
+            }
+            other => panic!("patient: unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(fits.len(), ITERS);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With `max_active = 1`, `queue_cap = 1`: the third submit must bounce
+/// with a 429 — backpressure, not an unbounded queue. Cancelling the
+/// queued job must emit its terminal event without it ever starting.
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    let dir = fresh_dir("reject");
+    let _ = write_workloads(&dir);
+    let (mut server, sock) = start(
+        &dir,
+        AdmissionConfig {
+            max_active: 1,
+            queue_cap: 1,
+        },
+    );
+
+    let mut a = Client::connect(&sock);
+    a.send(&JobRequest::Submit {
+        id: "a".into(),
+        spec: spec(&dir, "x.mtkt", Format::Dense, 1_000_000, 1),
+    });
+    loop {
+        match a.next_event() {
+            JobEvent::Fit { .. } => break,
+            JobEvent::Accepted { .. } | JobEvent::Started { .. } => {}
+            other => panic!("a: unexpected event {other:?}"),
+        }
+    }
+
+    let mut b = Client::connect(&sock);
+    b.send(&JobRequest::Submit {
+        id: "b".into(),
+        spec: spec(&dir, "x.mtkt", Format::Dense, ITERS, 2),
+    });
+    match b.next_event() {
+        JobEvent::Accepted { id, queue_depth } => {
+            assert_eq!(id, "b");
+            assert_eq!(queue_depth, 1);
+        }
+        other => panic!("b: unexpected event {other:?}"),
+    }
+
+    let mut c = Client::connect(&sock);
+    c.send(&JobRequest::Submit {
+        id: "c".into(),
+        spec: spec(&dir, "x.mtkt", Format::Dense, ITERS, 3),
+    });
+    match c.next_event() {
+        JobEvent::Rejected { id, code, .. } => {
+            assert_eq!(id, "c");
+            assert_eq!(code, 429, "queue-full rejection is 429-style");
+        }
+        other => panic!("c: unexpected event {other:?}"),
+    }
+
+    // A rejected id is forgotten: resubmitting later must not hit the
+    // duplicate-id guard (after the hog is cancelled the slot frees).
+    let mut canceller = Client::connect(&sock);
+    canceller.send(&JobRequest::Cancel { id: "b".into() });
+    match b.next_event() {
+        JobEvent::Cancelled { id } => assert_eq!(id, "b", "queued job cancels without starting"),
+        other => panic!("b: unexpected event {other:?}"),
+    }
+    canceller.send(&JobRequest::Cancel { id: "a".into() });
+    loop {
+        match a.next_event() {
+            JobEvent::Cancelled { id } => {
+                assert_eq!(id, "a");
+                break;
+            }
+            JobEvent::Fit { .. } => {}
+            other => panic!("a: unexpected event {other:?}"),
+        }
+    }
+    let mut c2 = Client::connect(&sock);
+    let fits = run_to_done(&mut c2, "c", spec(&dir, "x.mtkt", Format::Dense, ITERS, 3));
+    assert_eq!(fits.len(), ITERS);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
